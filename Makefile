@@ -1,0 +1,34 @@
+# Convenience targets for the help reproduction.
+
+GO ?= go
+
+.PHONY: all test vet bench figs tables race fuzz cover clean
+
+all: test
+
+test:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figs:
+	$(GO) run ./cmd/helpfigs -o figures
+
+tables:
+	$(GO) run ./cmd/helpbench
+
+fuzz:
+	$(GO) test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/shell
+	$(GO) test -fuzz='FuzzParseFile$$' -fuzztime=30s ./internal/cc
+	$(GO) test -fuzz='FuzzAddress$$' -fuzztime=30s ./internal/text
+	$(GO) test -fuzz='FuzzEditSequence$$' -fuzztime=30s ./internal/text
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

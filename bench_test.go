@@ -1,0 +1,329 @@
+package repro_test
+
+// One benchmark per evaluation table (see EXPERIMENTS.md), plus end-to-end
+// benches for the expensive paths: world provisioning, screen rendering,
+// full-session replay, and the /mnt/help file interface.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/session"
+	"repro/internal/srvnet"
+	"repro/internal/vfs"
+	"repro/internal/world"
+)
+
+// BenchmarkWorldBuild provisions the paper's whole environment: sources,
+// tools, mailbox, processes, pre-built tree.
+func BenchmarkWorldBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.Build(120, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoot measures Build plus opening the Figure 4 screen.
+func BenchmarkBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := world.Build(120, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Boot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionReplay (T1) runs the complete Figures 4-12 debugging
+// session through the live event pipeline.
+func BenchmarkSessionReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := session.New(120, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunDebugSession(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInteractionTable (T2) prices the task suite under all models.
+func BenchmarkInteractionTable(b *testing.B) {
+	tasks := baseline.StandardTasks()
+	for i := 0; i < b.N; i++ {
+		costs := baseline.Table(tasks)
+		if len(costs) == 0 {
+			b.Fatal("no costs")
+		}
+	}
+}
+
+// BenchmarkUsesVsGrep (T3) runs both the semantic and the textual search
+// over the paper's source tree.
+func BenchmarkUsesVsGrep(b *testing.B) {
+	w, err := world.Build(80, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.UsesVsGrep(w.FS, w.Shell, world.SrcDir, "n"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrepScan isolates the textual half of T3.
+func BenchmarkGrepScan(b *testing.B) {
+	w, err := world.Build(80, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out bytes.Buffer
+	ctx := w.Shell.NewContext(&out, &out)
+	ctx.Dir = world.SrcDir
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		w.Shell.Run(ctx, "grep -n n *.c")
+	}
+}
+
+// BenchmarkPlacement (T5) runs the placement heuristic for a filling
+// column.
+func BenchmarkPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := baseline.PlacementHelp(16, 48, 30)
+		if res.NewestSpan < 1 {
+			b.Fatal("placement degenerated")
+		}
+	}
+}
+
+// BenchmarkHelpfsNewWindow (T6) creates windows through the file
+// interface, as client programs do.
+func BenchmarkHelpfsNewWindow(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := w.FS.Open(world.MountRoot+"/new/ctl", vfs.OREAD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 16)
+		n, _ := f.Read(buf)
+		f.Close()
+		// Steady state: delete the window again so the table and the
+		// index stay small.
+		id := strings.TrimSpace(string(buf[:n]))
+		if err := w.FS.WriteFile(world.MountRoot+"/"+id+"/ctl", []byte("delete\n")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHelpfsBodyRead (T6) reads a window body through /mnt/help.
+func BenchmarkHelpfsBodyRead(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := w.Help.NewWindow()
+	win.Body.SetString(strings.Repeat("text line\n", 500))
+	path := fmt.Sprintf("%s/%d/body", world.MountRoot, win.ID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.FS.ReadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHelpfsBodyAppend (T6) appends through bodyapp, the path the
+// decl script's output takes.
+func BenchmarkHelpfsBodyAppend(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := w.Help.NewWindow()
+	path := fmt.Sprintf("%s/%d/bodyapp", world.MountRoot, win.ID)
+	line := []byte("appended output line\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := w.FS.Open(path, vfs.OWRITE)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Write(line)
+		f.Close()
+		if win.Body.Len() > 1<<20 {
+			win.Body.SetString("")
+		}
+	}
+}
+
+// BenchmarkRenderScreen measures a full redraw of a busy screen.
+func BenchmarkRenderScreen(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []string{"help.c", "exec.c", "text.c"} {
+		if _, err := w.Help.OpenFile(world.SrcDir+"/"+f, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Help.Render()
+	}
+}
+
+// BenchmarkOpenFile measures Open (window creation + placement + read).
+func BenchmarkOpenFile(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win, err := w.Help.OpenFile(world.SrcDir+"/exec.c", "213")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Help.CloseWindow(win)
+	}
+}
+
+// BenchmarkExecuteExternal measures a full external-command round trip:
+// context rules, shell, output to the Errors window.
+func BenchmarkExecuteExternal(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win, err := w.Help.OpenFile(world.SrcDir+"/exec.c", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Help.Execute(win, "echo bench")
+		if i%256 == 0 {
+			w.Help.Errors().Body.SetString("")
+		}
+	}
+}
+
+// BenchmarkGestureDispatch measures one click through the whole event
+// pipeline including re-render.
+func BenchmarkGestureDispatch(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win, err := w.Help.OpenFile(world.SrcDir+"/exec.c", "101")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Help.Render()
+	p, ok := w.Help.FindBody(win, "lookup")
+	if !ok {
+		b.Fatal("target not visible")
+	}
+	evs := event.Click(event.Left, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Help.HandleAll(evs)
+	}
+}
+
+// BenchmarkConnectivityCount (T7) measures the token counting over a
+// session screen.
+func BenchmarkConnectivityCount(b *testing.B) {
+	s, err := session.New(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	screen := s.Steps[0].Screen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, line := range strings.Split(screen, "\n") {
+			n += len(strings.Fields(line))
+		}
+		if n == 0 {
+			b.Fatal("empty screen")
+		}
+	}
+}
+
+// BenchmarkStackTool measures the db stack pipeline: script, adb, window
+// creation through the file interface.
+func BenchmarkStackTool(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	msg := w.Help.NewWindow()
+	msg.Body.SetString("help 176153: user TLB miss\n")
+	off := strings.Index(msg.Body.String(), "176153")
+	msg.SetSelection(core.SubBody, off+1, off+1)
+	w.Help.SetCurrent(msg, core.SubBody)
+	stf := w.Help.WindowByName("/help/db/stf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Help.Execute(stf, "stack")
+	}
+}
+
+// BenchmarkSrvnetRoundTrip measures one read over the TCP file service:
+// the latency a remote tool pays per operation in the multi-machine
+// arrangement.
+func BenchmarkSrvnetRoundTrip(b *testing.B) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte(strings.Repeat("data ", 200))); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go srvnet.NewServer(fs).Serve(l)
+	c, err := srvnet.Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadFile("/d/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command help runs the reproduced system interactively on the paper's
+// demo world. The screen renders as text after every command; input is
+// the small command language of internal/repl, a textual stand-in for the
+// mouse (type "help" at the prompt for the list).
+//
+// Flags: -w/-h set the screen size; -session replays the paper's session
+// and exits; -boot prints the boot screen and exits; -listen serves the
+// namespace over TCP so remote processes can drive the UI through
+// /mnt/help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/repl"
+	"repro/internal/session"
+	"repro/internal/srvnet"
+	"repro/internal/world"
+)
+
+func main() {
+	width := flag.Int("w", 120, "screen width in cells")
+	height := flag.Int("h", 50, "screen height in cells")
+	runSession := flag.Bool("session", false, "replay the paper's debugging session and exit")
+	bootOnly := flag.Bool("boot", false, "print the boot screen and exit")
+	listen := flag.String("listen", "", "serve the namespace (including /mnt/help) on this TCP address")
+	flag.Parse()
+
+	if *runSession {
+		s, err := session.New(*width, *height)
+		exitOn(err)
+		exitOn(s.RunDebugSession())
+		for _, st := range s.Steps {
+			fmt.Printf("==== %s: %s ====\n%s\n", st.Name, st.Desc, st.Screen)
+		}
+		m := s.Last().Metrics
+		fmt.Printf("session total: %d presses, %d keystrokes, %d cells travel\n",
+			m.Presses, m.Keystrokes, m.Travel)
+		return
+	}
+
+	w, err := world.Build(*width, *height)
+	exitOn(err)
+	exitOn(w.Boot())
+	fmt.Print(w.Help.Screen().String())
+
+	if *listen != "" {
+		// Export the namespace: remote processes drive the UI through
+		// /mnt/help, the paper's multi-machine Plan 9 arrangement.
+		l, err := net.Listen("tcp", *listen)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "help: namespace served on %s\n", l.Addr())
+		go srvnet.NewServer(w.FS).Serve(l)
+	}
+
+	if *bootOnly {
+		return
+	}
+
+	repl.New(w.Help, os.Stdout).Run(os.Stdin)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "help: %v\n", err)
+		os.Exit(1)
+	}
+}

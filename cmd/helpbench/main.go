@@ -1,0 +1,47 @@
+// Command helpbench prints the evaluation tables of EXPERIMENTS.md: each
+// reproduces one of the paper's quantified claims against the live system.
+// The generators live in internal/report; this wrapper selects and runs
+// them.
+//
+// Usage:
+//
+//	helpbench [-table name] [-w cols] [-h rows] [-src dir]
+//
+// Tables: clicks, interaction, usesgrep, size, placement, connectivity,
+// all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: clicks|interaction|usesgrep|size|placement|connectivity|all")
+	width := flag.Int("w", 120, "screen width")
+	height := flag.Int("h", 60, "screen height")
+	srcRoot := flag.String("src", ".", "repository root for the size table")
+	flag.Parse()
+
+	run := func(name string, fn func(io.Writer) error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "helpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("clicks", func(w io.Writer) error { return report.Clicks(w, *width, *height) })
+	run("interaction", report.Interaction)
+	run("usesgrep", report.UsesGrep)
+	run("size", func(w io.Writer) error { return report.Size(w, *srcRoot) })
+	run("placement", report.Placement)
+	run("connectivity", func(w io.Writer) error { return report.Connectivity(w, *width, *height) })
+}

@@ -1,0 +1,64 @@
+// Command helpfigs regenerates the paper's figures as ASCII screenshots.
+//
+// Usage:
+//
+//	helpfigs [-fig N] [-w cols] [-h rows] [-o dir]
+//
+// With -fig N it prints figure N (1-12) to standard output; without it,
+// every figure is written to dir (default "figures") as figN.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/session"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-12); 0 means all")
+	width := flag.Int("w", 120, "screen width in cells")
+	height := flag.Int("h", 60, "screen height in cells")
+	outDir := flag.String("o", "figures", "output directory when writing all figures")
+	flag.Parse()
+
+	if *fig != 0 {
+		st, err := session.Figure(*fig, *width, *height)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "helpfigs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Figure %d: %s\n\n%s", *fig, st.Desc, st.Screen)
+		if strings.Contains(st.Attrs, "U") {
+			fmt.Printf("\nattribute plane (R reverse video, O outline, U underline):\n%s", st.Attrs)
+		}
+		fmt.Printf("\n[presses=%d keystrokes=%d travel=%d]\n",
+			st.Metrics.Presses, st.Metrics.Keystrokes, st.Metrics.Travel)
+		return
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "helpfigs: %v\n", err)
+		os.Exit(1)
+	}
+	for n := 1; n <= 12; n++ {
+		st, err := session.Figure(n, *width, *height)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "helpfigs: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("fig%d.txt", n))
+		content := fmt.Sprintf("Figure %d: %s\n\n%s", n, st.Desc, st.Screen)
+		if strings.Contains(st.Attrs, "U") {
+			content += "\nattribute plane (R reverse video, O outline, U underline):\n" + st.Attrs
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "helpfigs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, st.Desc)
+	}
+}

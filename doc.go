@@ -1,0 +1,13 @@
+// Package repro is a production-quality Go reproduction of Rob Pike's
+// "A Minimalist Global User Interface" (USENIX Summer 1991): the help
+// editor/window-system/shell hybrid, every substrate it stands on (a
+// Plan 9-style namespace, an rc-subset shell and userland, a stripped C
+// compiler, a simulated process table and debugger, a mail system), the
+// file-server programming interface at /mnt/help, and a harness that
+// regenerates each of the paper's twelve figures and quantified claims.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go exercise one experiment per table plus the substrate
+// micro-benchmarks.
+package repro

@@ -1,0 +1,91 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/world"
+)
+
+// Example reproduces the paper's fundamental interaction in a dozen
+// lines: point at a file name with the left button, execute Open with the
+// middle button, and the file appears — no dialogs, no typing.
+func Example() {
+	w, err := world.Build(100, 40)
+	if err != nil {
+		panic(err)
+	}
+	if err := w.Boot(); err != nil {
+		panic(err)
+	}
+	h := w.Help
+
+	// A window mentions dat.h; the user points at it...
+	note := h.NewWindowIn(0)
+	note.Tag.SetString(world.SrcDir + "/help.c\tClose!")
+	note.Tag.SetClean()
+	note.Body.SetString(`#include "dat.h"` + "\n")
+	h.Render()
+	p, _ := h.FindBody(note, "dat.h")
+	h.HandleAll(event.Click(event.Left, p.Add(geom.Pt(1, 0))))
+
+	// ...and middle-clicks Open in the edit tool.
+	edit := h.WindowByName("/help/edit/stf")
+	h.Render()
+	pOpen, _ := h.FindBody(edit, "Open")
+	h.HandleAll(event.Click(event.Middle, pOpen))
+
+	opened := h.WindowByName(world.SrcDir + "/dat.h")
+	fmt.Println("opened:", opened.FileName())
+	fmt.Println("body starts:", strings.SplitN(opened.Body.String(), "\n", 2)[0])
+	m := h.Metrics()
+	fmt.Printf("cost: %d presses, %d keystrokes\n", m.Presses, m.Keystrokes)
+	// Output:
+	// opened: /usr/rob/src/help/dat.h
+	// body starts: /*
+	// cost: 2 presses, 0 keystrokes
+}
+
+// Example_fileInterface shows the programming interface: a window driven
+// entirely through /mnt/help file operations, with no UI code.
+func Example_fileInterface() {
+	w, err := world.Build(100, 40)
+	if err != nil {
+		panic(err)
+	}
+	sh := w.Shell
+	var out strings.Builder
+	ctx := sh.NewContext(&out, &out)
+	sh.Run(ctx, `
+x=`+"`"+`{cat /mnt/help/new/ctl}
+echo name /results > /mnt/help/$x/ctl
+echo hello from a script > /mnt/help/$x/bodyapp
+`)
+	win := w.Help.WindowByName("/results")
+	fmt.Print(win.Body.String())
+	fmt.Println("windows:", len(w.Help.Windows()))
+	// Output:
+	// hello from a script
+	// windows: 1
+}
+
+// Example_uses runs the semantic browser query from Figure 10.
+func Example_uses() {
+	w, err := world.Build(80, 24)
+	if err != nil {
+		panic(err)
+	}
+	var out strings.Builder
+	ctx := w.Shell.NewContext(&out, &out)
+	ctx.Dir = world.SrcDir
+	w.Shell.Run(ctx, "help/rcc -w -g -u -D"+world.SrcDir+" -in -n252 -fexec.c "+
+		"dat.h fns.h help.c exec.c text.c errs.c")
+	fmt.Print(out.String())
+	// Output:
+	// dat.h:136
+	// exec.c:213
+	// exec.c:252
+	// help.c:35
+}

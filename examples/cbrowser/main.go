@@ -1,0 +1,76 @@
+// Cbrowser demonstrates the stripped-compiler browser on a fresh C
+// project of your own: build a namespace, drop sources into it, and ask
+// decl/uses questions both through the Go API and through the same
+// /help/cbr tools the paper wires up with shell scripts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/shell"
+	"repro/internal/userland"
+	"repro/internal/vfs"
+)
+
+func main() {
+	fs := vfs.New()
+	sh := shell.New(fs)
+	userland.Install(sh)
+	cc.Install(sh)
+
+	// A small project with the classic hazard: a global shadowed by
+	// locals, plus a short name grep will drown in.
+	fs.MkdirAll("/proj")
+	fs.WriteFile("/proj/defs.h", []byte(`typedef struct Queue Queue;
+struct Queue { int n; };
+int q;
+`))
+	fs.WriteFile("/proj/main.c", []byte(`#include "defs.h"
+void
+push(Queue *qp)
+{
+	qp->n++;
+	q = qp->n;
+}
+int
+pop(Queue *qp)
+{
+	int q;
+	q = qp->n;
+	qp->n--;
+	return q;
+}
+`))
+
+	// --- The Go API -------------------------------------------------------
+	b := cc.NewBrowser()
+	if err := b.ParseFS(fs, []string{"/proj/defs.h", "/proj/main.c"}); err != nil {
+		log.Fatal(err)
+	}
+	q := b.Lookup("q")
+	fmt.Printf("global q declared at %s\n", q.Decl)
+	fmt.Println("references that really bind to the global:")
+	for _, ref := range b.Uses(q, nil) {
+		fmt.Printf("  %-18s %s\n", ref.Coord, ref.Kind)
+	}
+	fmt.Println("note: pop's local q and the struct field n are correctly excluded.")
+
+	// --- The same answers through the shell tool --------------------------
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = "/proj"
+	if status := sh.Run(ctx, "rcc -u -iq -D/proj defs.h main.c"); status != 0 {
+		log.Fatalf("rcc failed: %s", out.String())
+	}
+	fmt.Println("\nthe rcc tool (what /help/cbr/uses pipes into) reports:")
+	fmt.Print(out.String())
+
+	// --- And the contrast with grep ---------------------------------------
+	out.Reset()
+	sh.Run(ctx, "grep -n q defs.h main.c")
+	fmt.Println("\ngrep q, for comparison (every occurrence of the letter):")
+	fmt.Print(out.String())
+}

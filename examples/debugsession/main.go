@@ -1,0 +1,47 @@
+// Debugsession replays the paper's worked example — fixing the crash a
+// user reported by mail — entirely with the mouse, printing each figure's
+// screen and the interaction accounting along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/session"
+	"repro/internal/world"
+)
+
+func main() {
+	s, err := session.New(120, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.RunDebugSession(); err != nil {
+		log.Fatal(err)
+	}
+
+	prevPresses := 0
+	for _, st := range s.Steps {
+		fmt.Printf("==== %s: %s ====\n", st.Name, st.Desc)
+		fmt.Print(st.Screen)
+		fmt.Printf("[step cost: %d presses; cumulative keystrokes: %d]\n\n",
+			st.Metrics.Presses-prevPresses, st.Metrics.Keystrokes)
+		prevPresses = st.Metrics.Presses
+	}
+
+	// The outcome: the fatal line is gone and the program rebuilt.
+	data, err := s.W.FS.ReadFile(world.SrcDir + "/exec.c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bug removed from exec.c: %v\n", !strings.Contains(string(data), "n = 0;"))
+	fmt.Printf("program relinked:        %v\n", s.W.FS.Exists(world.SrcDir+"/v.out"))
+
+	m := s.Last().Metrics
+	fmt.Printf("\nsession total: %d presses, %d keystrokes, %d cells of mouse travel\n",
+		m.Presses, m.Keystrokes, m.Travel)
+	if m.Keystrokes == 0 {
+		fmt.Println(`"Through this entire demo I haven't yet touched the keyboard."`)
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: build the demo world, boot help, open a file by executing
+// an Open command with the mouse, edit it, and write it back — the
+// smallest end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/world"
+)
+
+func main() {
+	// A help screen of 100x40 character cells over the paper's world.
+	w, err := world.Build(100, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	h := w.Help
+
+	// Open the user's profile: execute "Open /usr/rob/lib/profile" the
+	// way a user would — the command text could live in any window.
+	scratch := h.NewWindowIn(0)
+	scratch.Body.SetString("Open /usr/rob/lib/profile")
+	h.Render()
+
+	from, _ := h.FindBody(scratch, "Open")
+	to, _ := h.FindBody(scratch, "profile")
+	to.X += len("profile")
+	h.HandleAll(event.Sweep(event.Middle, from, to))
+
+	prof := h.WindowByName("/usr/rob/lib/profile")
+	if prof == nil {
+		log.Fatalf("profile did not open; errors: %q", h.Errors().Body.String())
+	}
+	fmt.Println("opened:", prof.FileName())
+
+	// Edit: click at the top of the body and type a comment line.
+	h.Render()
+	p, _ := h.FindBody(prof, "bind")
+	h.HandleAll(event.Click(event.Left, p))
+	h.HandleAll(event.Type("# edited by quickstart\n"))
+
+	// The tag now shows Put! — execute it to write the file.
+	h.Render()
+	putPt, ok := h.FindTag(prof, "Put!")
+	if !ok {
+		log.Fatal("modified window should offer Put!")
+	}
+	h.HandleAll(event.Click(event.Middle, putPt))
+
+	data, err := w.FS.ReadFile("/usr/rob/lib/profile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file now starts with: %q\n", string(data[:23]))
+
+	h.Render()
+	fmt.Println("\nthe screen:")
+	fmt.Print(h.Screen().String())
+
+	m := h.Metrics()
+	fmt.Printf("\ninteraction: %d presses, %d keystrokes\n", m.Presses, m.Keystrokes)
+	_ = core.SubBody
+}

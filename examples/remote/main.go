@@ -1,0 +1,85 @@
+// Remote demonstrates the paper's multi-machine arrangement (Discussion:
+// "help could run on the terminal and make an invisible call to the CPU
+// server"): help and its namespace live on one side of a TCP connection;
+// a client process on the other side drives the user interface purely
+// through file operations on /mnt/help.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"repro/internal/srvnet"
+	"repro/internal/world"
+)
+
+func main() {
+	// The "terminal": a booted help world serving its namespace.
+	w, err := world.Build(100, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go srvnet.NewServer(w.FS).Serve(l)
+	fmt.Println("terminal: namespace served on", l.Addr())
+
+	// The "CPU server": a client that has never linked against any UI
+	// code, working the window system over the wire.
+	c, err := srvnet.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Create a window (one read of new/ctl), name it, and fill it with a
+	// computation done remotely: the list of C sources in the help tree.
+	idRaw, err := c.ReadFile(world.MountRoot + "/new/ctl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := strings.TrimSpace(string(idRaw))
+	fmt.Println("cpu server: created window", id)
+
+	if err := c.WriteFile(world.MountRoot+"/"+id+"/ctl",
+		[]byte("name /remote/sources\n")); err != nil {
+		log.Fatal(err)
+	}
+	names, err := c.Glob(world.SrcDir + "/*.c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var body strings.Builder
+	body.WriteString("C sources found remotely:\n")
+	for _, n := range names {
+		info, err := c.Stat(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(&body, "%-14s %5d bytes\n", n[strings.LastIndexByte(n, '/')+1:], info.Size)
+	}
+	if err := c.AppendFile(world.MountRoot+"/"+id+"/bodyapp", []byte(body.String())); err != nil {
+		log.Fatal(err)
+	}
+
+	// Back on the terminal: the window exists, placed by help's heuristic.
+	win := w.Help.WindowByName("/remote/sources")
+	if win == nil {
+		log.Fatal("remote window did not appear")
+	}
+	w.Help.Render()
+	fmt.Println("\nterminal screen now shows:")
+	fmt.Print(w.Help.Screen().String())
+
+	idx, _ := c.ReadFile(world.MountRoot + "/index")
+	fmt.Println("cpu server sees the index:")
+	fmt.Print(string(idx))
+}

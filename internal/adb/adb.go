@@ -1,0 +1,128 @@
+// Package adb reproduces the primitive debugger the paper wraps: "this
+// pops up a window containing the traceback as reported by adb, a
+// primitive debugger, under the auspices of /help/db/stack."
+//
+// adb operates on the simulated process table. The package exposes both a
+// Go API (Stack, PSListing, ...) and an Install function registering the
+// adb shell builtin, which the dozen-line /help/db scripts wrap: "Adb has
+// a notoriously cryptic input language; the commands in /help/db package
+// the most important functions of adb as easy-to-use operations ... while
+// hiding the rebarbative syntax."
+package adb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/proc"
+	"repro/internal/shell"
+)
+
+// Stack renders the symbolized traceback of a process in the format the
+// paper's Figure 7 shows: the fault line, the faulting instruction, then
+// one line per frame with "called from" coordinates and indented locals.
+func Stack(p *proc.Proc) string {
+	var b strings.Builder
+	if p.Fault != nil {
+		note := p.Fault.Note
+		note = strings.TrimPrefix(note, "user ")
+		fmt.Fprintf(&b, "last exception: %s\n", note)
+		fmt.Fprintf(&b, "%s:%d %s+%#x? %s\n",
+			p.Fault.File, p.Fault.Line, p.Fault.Func, p.Fault.Off, p.Fault.Instr)
+	}
+	for _, f := range p.Stack {
+		fmt.Fprintf(&b, "%s called from %s+%#x %s:%d\n",
+			f.ArgString(), f.CallerSym, f.CallerOff, f.File, f.Line)
+		for _, l := range f.Locals {
+			fmt.Fprintf(&b, "\t%s = %#x\n", l.Name, l.Value)
+		}
+	}
+	return b.String()
+}
+
+// Regs renders the register set.
+func Regs(p *proc.Proc) string {
+	return fmt.Sprintf("pc\t%#x\nsp\t%#x\nstatus\t%#x\nbadvaddr\t%#x\n",
+		p.Regs.PC, p.Regs.SP, p.Regs.Status, p.Regs.BadVAddr)
+}
+
+// PC renders the program counter with its symbol, e.g.
+// "0x18df4 strchr+0x68".
+func PC(p *proc.Proc) string {
+	if p.Fault != nil {
+		return fmt.Sprintf("%#x %s+%#x\n", p.Regs.PC, p.Fault.Func, p.Fault.Off)
+	}
+	return fmt.Sprintf("%#x\n", p.Regs.PC)
+}
+
+// PSListing renders the process table, one "pid cmd state" line per
+// process.
+func PSListing(t *proc.Table) string {
+	var b strings.Builder
+	for _, p := range t.List() {
+		fmt.Fprintf(&b, "%8d %-12s %s\n", p.PID, p.Cmd, p.State)
+	}
+	return b.String()
+}
+
+// BrokeListing lists broken processes, the `broke` tool: one pid per line
+// so the output can be pointed at with the mouse.
+func BrokeListing(t *proc.Table) string {
+	var b strings.Builder
+	for _, p := range t.Broken() {
+		fmt.Fprintf(&b, "%d %s\n", p.PID, p.Cmd)
+	}
+	return b.String()
+}
+
+// Install registers the adb, ps, and broke builtins against the table.
+//
+// adb usage (deliberately cryptic, as the original):
+//
+//	adb <pid> $c     stack trace
+//	adb <pid> $r     registers
+//	adb <pid> $p     program counter
+//	adb <pid> src    source directory from the symbol table
+func Install(sh *shell.Shell, table *proc.Table) {
+	sh.Register("adb", func(ctx *shell.Context, args []string) int {
+		if len(args) < 3 {
+			ctx.Errorf("usage: adb pid ($c|$r|$p)")
+			return 1
+		}
+		pid, err := strconv.Atoi(args[1])
+		if err != nil {
+			ctx.Errorf("adb: bad pid %q", args[1])
+			return 1
+		}
+		p := table.Get(pid)
+		if p == nil {
+			ctx.Errorf("adb: no process %d", pid)
+			return 1
+		}
+		switch args[2] {
+		case "$c", "c":
+			fmt.Fprint(ctx.Stdout, Stack(p))
+		case "$r", "r":
+			fmt.Fprint(ctx.Stdout, Regs(p))
+		case "$p", "p":
+			fmt.Fprint(ctx.Stdout, PC(p))
+		case "src":
+			// The source directory from the binary's symbol table; the
+			// db scripts use it as the traceback window's context.
+			fmt.Fprintln(ctx.Stdout, p.SrcDir)
+		default:
+			ctx.Errorf("adb: unknown request %q", args[2])
+			return 1
+		}
+		return 0
+	})
+	sh.Register("ps", func(ctx *shell.Context, args []string) int {
+		fmt.Fprint(ctx.Stdout, PSListing(table))
+		return 0
+	})
+	sh.Register("broke", func(ctx *shell.Context, args []string) int {
+		fmt.Fprint(ctx.Stdout, BrokeListing(table))
+		return 0
+	})
+}

@@ -1,0 +1,162 @@
+package adb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// brokenHelp builds the paper's crashed help process 176153.
+func brokenHelp() (*proc.Table, *proc.Proc) {
+	tb := proc.NewTable()
+	p := tb.Add(&proc.Proc{PID: 176153, Cmd: "help"})
+	p.Crash(
+		proc.Fault{
+			Note: "user TLB miss (load or fetch)", File: "/sys/src/libc/mips/strchr.s",
+			Line: 34, Func: "strchr", Off: 0x68, Instr: "MOVW 0(R3),R5",
+		},
+		proc.Regs{PC: 0x18df4, SP: 0x3f4e8, Status: 0xfb0c, BadVAddr: 0},
+		[]proc.Frame{
+			{Func: "strchr", Args: []proc.Var{{Name: "c", Value: 0x3c}, {Name: "s", Value: 0}},
+				CallerSym: "strlen", CallerOff: 0x1c, File: "/sys/src/libc/port/strlen.c", Line: 7},
+			{Func: "strlen", Args: []proc.Var{{Name: "s", Value: 0}},
+				CallerSym: "textinsert", CallerOff: 0x30, File: "text.c", Line: 32},
+			{Func: "textinsert", Args: []proc.Var{{Name: "sel", Value: 1}, {Name: "t", Value: 0x40e60}, {Name: "s", Value: 0}, {Name: "q0", Value: 0xd}, {Name: "full", Value: 1}},
+				CallerSym: "errs", CallerOff: 0xe8, File: "errs.c", Line: 34,
+				Locals: []proc.Var{{Name: "n", Value: 0x3d7cc}}},
+			{Func: "errs", Args: []proc.Var{{Name: "s", Value: 0}},
+				CallerSym: "Xdie2", CallerOff: 0x14, File: "exec.c", Line: 252,
+				Locals: []proc.Var{{Name: "p", Value: 0x40d88}}},
+			{Func: "Xdie2",
+				CallerSym: "lookup", CallerOff: 0xc4, File: "exec.c", Line: 101},
+		},
+	)
+	return tb, p
+}
+
+func TestStackFormat(t *testing.T) {
+	_, p := brokenHelp()
+	out := Stack(p)
+	wantLines := []string{
+		"last exception: TLB miss (load or fetch)",
+		"/sys/src/libc/mips/strchr.s:34 strchr+0x68? MOVW 0(R3),R5",
+		"strchr(c=0x3c,s=0x0) called from strlen+0x1c /sys/src/libc/port/strlen.c:7",
+		"strlen(s=0x0) called from textinsert+0x30 text.c:32",
+		"textinsert(sel=0x1,t=0x40e60,s=0x0,q0=0xd,full=0x1) called from errs+0xe8 errs.c:34",
+		"\tn = 0x3d7cc",
+		"errs(s=0x0) called from Xdie2+0x14 exec.c:252",
+		"\tp = 0x40d88",
+		"Xdie2() called from lookup+0xc4 exec.c:101",
+	}
+	got := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("lines = %d, want %d:\n%s", len(got), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if got[i] != w {
+			t.Errorf("line %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+func TestRegsAndPC(t *testing.T) {
+	_, p := brokenHelp()
+	regs := Regs(p)
+	for _, want := range []string{"pc\t0x18df4", "sp\t0x3f4e8", "status\t0xfb0c", "badvaddr\t0x0"} {
+		if !strings.Contains(regs, want) {
+			t.Errorf("regs missing %q:\n%s", want, regs)
+		}
+	}
+	if got := PC(p); got != "0x18df4 strchr+0x68\n" {
+		t.Errorf("PC = %q", got)
+	}
+	healthy := &proc.Proc{PID: 1, Cmd: "x", Regs: proc.Regs{PC: 0x1000}}
+	if got := PC(healthy); got != "0x1000\n" {
+		t.Errorf("healthy PC = %q", got)
+	}
+}
+
+func TestPSAndBrokeListings(t *testing.T) {
+	tb, _ := brokenHelp()
+	tb.Add(&proc.Proc{PID: 5, Cmd: "rc"})
+	ps := PSListing(tb)
+	if !strings.Contains(ps, "176153") || !strings.Contains(ps, "rc") {
+		t.Errorf("ps = %q", ps)
+	}
+	broke := BrokeListing(tb)
+	if broke != "176153 help\n" {
+		t.Errorf("broke = %q", broke)
+	}
+}
+
+func TestAdbBuiltin(t *testing.T) {
+	tb, _ := brokenHelp()
+	fs := vfs.New()
+	sh := shell.New(fs)
+	Install(sh, tb)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+
+	if status := sh.Run(ctx, "adb 176153 '$c'"); status != 0 {
+		t.Fatalf("adb status=%d out=%q", status, out.String())
+	}
+	if !strings.Contains(out.String(), "textinsert(sel=0x1") {
+		t.Errorf("stack out=%q", out.String())
+	}
+	out.Reset()
+	sh.Run(ctx, "adb 176153 '$r'")
+	if !strings.Contains(out.String(), "pc\t0x18df4") {
+		t.Errorf("regs out=%q", out.String())
+	}
+	out.Reset()
+	sh.Run(ctx, "broke")
+	if out.String() != "176153 help\n" {
+		t.Errorf("broke out=%q", out.String())
+	}
+	out.Reset()
+	sh.Run(ctx, "ps")
+	if !strings.Contains(out.String(), "Broken") {
+		t.Errorf("ps out=%q", out.String())
+	}
+}
+
+func TestAdbErrors(t *testing.T) {
+	tb := proc.NewTable()
+	fs := vfs.New()
+	sh := shell.New(fs)
+	Install(sh, tb)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "adb"); status == 0 {
+		t.Error("adb with no args should fail")
+	}
+	if status := sh.Run(ctx, "adb notanumber '$c'"); status == 0 {
+		t.Error("adb with bad pid should fail")
+	}
+	if status := sh.Run(ctx, "adb 7 '$c'"); status == 0 {
+		t.Error("adb with missing pid should fail")
+	}
+	if status := sh.Run(ctx, "adb 7 '$z'"); status == 0 {
+		t.Error("adb with unknown request should fail")
+	}
+}
+
+func TestAdbSrcRequest(t *testing.T) {
+	tb, p := brokenHelp()
+	p.SrcDir = "/usr/rob/src/help"
+	fs := vfs.New()
+	sh := shell.New(fs)
+	Install(sh, tb)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "adb 176153 src"); status != 0 {
+		t.Fatalf("adb src: %s", out.String())
+	}
+	if strings.TrimSpace(out.String()) != "/usr/rob/src/help" {
+		t.Errorf("src = %q", out.String())
+	}
+}

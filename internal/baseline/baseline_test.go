@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+func TestHelpBeatsBaselinesPerTask(t *testing.T) {
+	for _, task := range StandardTasks() {
+		h := HelpCost(task)
+		p := PopupWS(task)
+		s := TypedShell(task)
+		if h.Gestures() > p.Gestures() {
+			t.Errorf("%s: help %d gestures vs popup %d", task.Name, h.Gestures(), p.Gestures())
+		}
+		if h.Gestures() > s.Gestures() {
+			t.Errorf("%s: help %d gestures vs shell %d", task.Name, h.Gestures(), s.Gestures())
+		}
+	}
+}
+
+func TestHelpNeverTypes(t *testing.T) {
+	// The rule of no-retyping: help's costs for the suite involve no
+	// keystrokes at all (every task operates on text already on screen).
+	for _, task := range StandardTasks() {
+		if HelpCost(task).Keystrokes != 0 {
+			t.Errorf("%s: help model types", task.Name)
+		}
+	}
+}
+
+func TestPopupAssumptions(t *testing.T) {
+	open := PopupWS(Task{Name: "open-file-by-pointing", FileName: "/a/b.c"})
+	if open.MenuTrips < 1 {
+		t.Error("popup open should use a menu")
+	}
+	if open.Keystrokes == 0 {
+		t.Error("popup open retypes the file name")
+	}
+	// file:line costs an extra menu trip.
+	atLine := PopupWS(Task{Name: "open-file-at-line", FileName: "/a/b.c:32"})
+	if atLine.MenuTrips <= open.MenuTrips-0 && atLine.MenuTrips < 2 {
+		t.Errorf("popup open-at-line menus = %d, want >= 2", atLine.MenuTrips)
+	}
+	cut := PopupWS(Task{Name: "cut-selection", SelectionSpan: 10})
+	if cut.MenuTrips != 1 {
+		t.Errorf("popup cut menus = %d", cut.MenuTrips)
+	}
+}
+
+func TestTypedShellCosts(t *testing.T) {
+	c := TypedShell(Task{Name: "run-command-on-screen", Command: "headers"})
+	if c.Keystrokes != len("headers")+1 {
+		t.Errorf("keystrokes = %d", c.Keystrokes)
+	}
+	atLine := TypedShell(Task{Name: "open-file-at-line", FileName: "/a/b.c:32"})
+	if atLine.Keystrokes != len("vi +32 /a/b.c")+1 {
+		t.Errorf("open-at-line keystrokes = %d", atLine.Keystrokes)
+	}
+}
+
+func TestTableAndSummary(t *testing.T) {
+	costs := Table(StandardTasks())
+	if len(costs) != 3*len(StandardTasks()) {
+		t.Fatalf("rows = %d", len(costs))
+	}
+	sums := Summary(costs)
+	if !(sums["help"] < sums["popup-ws"] && sums["help"] < sums["typed-shell"]) {
+		t.Errorf("summary = %v, help should win overall", sums)
+	}
+	// Rows render without panicking and carry the model names.
+	for _, c := range costs {
+		if !strings.Contains(c.String(), c.Model) {
+			t.Errorf("row %q missing model", c.String())
+		}
+	}
+}
+
+func TestUsesVsGrepOnPaperTree(t *testing.T) {
+	w, err := world.Build(80, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := UsesVsGrep(w.FS, w.Shell, world.SrcDir, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's exact numbers: uses finds 4 true references to the
+	// global n; grep matches every occurrence of the letter n.
+	if res.UsesLines != 4 {
+		t.Errorf("uses = %d, want 4", res.UsesLines)
+	}
+	if res.GrepLines <= 4*4 {
+		t.Errorf("grep = %d lines, expected to dwarf uses' 4", res.GrepLines)
+	}
+	if p := res.GrepPrecision(); p > 0.25 {
+		t.Errorf("grep precision = %.2f, expected far below 1", p)
+	}
+}
+
+func TestUsesVsGrepUnknownIdent(t *testing.T) {
+	w, err := world.Build(80, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UsesVsGrep(w.FS, w.Shell, world.SrcDir, "zzznotthere"); err == nil {
+		t.Error("unknown identifier should error")
+	}
+}
+
+func TestUsesVsGrepPreciseIdent(t *testing.T) {
+	// For a long, distinctive identifier grep does fine — the contrast is
+	// the point: short names are where semantics beat text.
+	w, err := world.Build(80, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := UsesVsGrep(w.FS, w.Shell, world.SrcDir, "textinsert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GrepPrecision() < 0.9 {
+		t.Errorf("textinsert grep precision = %.2f, expected near 1", res.GrepPrecision())
+	}
+}
+
+func TestAblationNoDefaultsCostsMore(t *testing.T) {
+	for _, task := range StandardTasks() {
+		with := HelpCost(task)
+		without := HelpCostNoDefaults(task)
+		if without.Gestures() < with.Gestures() {
+			t.Errorf("%s: ablation cheaper than full help (%d < %d)",
+				task.Name, without.Gestures(), with.Gestures())
+		}
+		switch task.Name {
+		case "open-file-by-pointing", "open-file-at-line", "run-command-on-screen":
+			if without.Keystrokes == 0 {
+				t.Errorf("%s: ablation should require typing", task.Name)
+			}
+		}
+	}
+	// The at-line task pays for the lost file:line integration.
+	atLine := HelpCostNoDefaults(Task{Name: "open-file-at-line", FileName: "/a/b/c.c:32"})
+	if atLine.Presses != 3 {
+		t.Errorf("at-line presses = %d, want 3 (extra goto)", atLine.Presses)
+	}
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// PlacementResult summarizes the screen after opening n windows into one
+// column under one placement policy.
+type PlacementResult struct {
+	Model       string
+	N           int // windows opened
+	VisibleTags int // windows whose tag row is on screen
+	UsableWins  int // windows showing at least a tag plus two body rows
+	HiddenWins  int // windows entirely covered
+	NewestSpan  int // rows the most recent window shows
+}
+
+// String renders one row.
+func (r PlacementResult) String() string {
+	return fmt.Sprintf("%-10s n=%2d visible-tags=%2d usable=%2d hidden=%2d newest-span=%2d",
+		r.Model, r.N, r.VisibleTags, r.UsableWins, r.HiddenWins, r.NewestSpan)
+}
+
+// PlacementHelp opens n windows (each with a body of bodyLines lines)
+// into one column of a fresh help instance and measures the outcome of
+// the paper's heuristic.
+func PlacementHelp(n, colHeight, bodyLines int) PlacementResult {
+	fs := vfs.New()
+	sh := shell.New(fs)
+	h := core.New(fs, sh, 40, colHeight+1)
+	body := ""
+	for i := 0; i < bodyLines; i++ {
+		body += "line\n"
+	}
+	var wins []*core.Window
+	for i := 0; i < n; i++ {
+		w := h.NewWindowIn(0)
+		w.Body.SetString(body)
+		if i == 0 {
+			h.SetCurrent(w, core.SubBody)
+		}
+		wins = append(wins, w)
+	}
+	res := PlacementResult{Model: "help", N: n}
+	for _, w := range wins {
+		span := h.VisibleSpan(w)
+		switch {
+		case span >= 3:
+			res.VisibleTags++
+			res.UsableWins++
+		case span >= 1:
+			res.VisibleTags++
+		default:
+			res.HiddenWins++
+		}
+	}
+	res.NewestSpan = h.VisibleSpan(wins[len(wins)-1])
+	return res
+}
+
+// PlacementNaive simulates two naive policies with the same visibility
+// rule help's screen uses (a window shows from its top to the top of the
+// next displayed window below it):
+//
+//	"cascade":  each window two rows below the previous, wrapping — the
+//	            classic overlapping-WS default.
+//	"stack":    every window at the top of the column — newest wins.
+func PlacementNaive(model string, n, colHeight int) PlacementResult {
+	tops := make([]int, n)
+	for i := range tops {
+		switch model {
+		case "cascade":
+			tops[i] = (i * 2) % colHeight
+		case "stack":
+			tops[i] = 0
+		default:
+			panic("baseline: unknown placement model " + model)
+		}
+	}
+	res := PlacementResult{Model: model, N: n}
+	spans := naiveSpans(tops, colHeight)
+	for _, s := range spans {
+		switch {
+		case s >= 3:
+			res.VisibleTags++
+			res.UsableWins++
+		case s >= 1:
+			res.VisibleTags++
+		default:
+			res.HiddenWins++
+		}
+	}
+	res.NewestSpan = spans[n-1]
+	return res
+}
+
+// naiveSpans computes each window's visible rows under last-on-top
+// stacking: a window is clipped by any *later* window whose top is at or
+// above its own rows.
+func naiveSpans(tops []int, colHeight int) []int {
+	n := len(tops)
+	spans := make([]int, n)
+	for i := 0; i < n; i++ {
+		bottom := colHeight
+		covered := false
+		for j := i + 1; j < n; j++ {
+			if tops[j] <= tops[i] {
+				covered = true
+				break
+			}
+			if tops[j] < bottom {
+				bottom = tops[j]
+			}
+		}
+		if covered {
+			spans[i] = 0
+			continue
+		}
+		spans[i] = bottom - tops[i]
+	}
+	return spans
+}
+
+// PlacementSweep runs the experiment for several window counts under all
+// policies.
+func PlacementSweep(ns []int, colHeight, bodyLines int) []PlacementResult {
+	var out []PlacementResult
+	for _, n := range ns {
+		out = append(out, PlacementHelp(n, colHeight, bodyLines))
+		out = append(out, PlacementNaive("cascade", n, colHeight))
+		out = append(out, PlacementNaive("stack", n, colHeight))
+	}
+	return out
+}

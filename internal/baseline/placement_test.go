@@ -1,0 +1,77 @@
+package baseline
+
+import "testing"
+
+func TestPlacementHelpKeepsTagsVisible(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		res := PlacementHelp(n, 48, 30)
+		// The paper's contract: "Help attempts to make at least the tag
+		// of a window fully visible; if this is impossible, it covers the
+		// window completely." So every non-hidden window has a tag row,
+		// and the newest window always gets a useful span.
+		if res.VisibleTags+res.HiddenWins != n {
+			t.Errorf("n=%d: tags=%d hidden=%d don't sum", n, res.VisibleTags, res.HiddenWins)
+		}
+		if res.NewestSpan < 3 {
+			t.Errorf("n=%d: newest window span = %d, want >= 3", n, res.NewestSpan)
+		}
+	}
+}
+
+func TestPlacementStackDegenerates(t *testing.T) {
+	res := PlacementNaive("stack", 8, 48)
+	if res.VisibleTags != 1 {
+		t.Errorf("stack visible tags = %d, want 1 (only the newest)", res.VisibleTags)
+	}
+	if res.HiddenWins != 7 {
+		t.Errorf("stack hidden = %d", res.HiddenWins)
+	}
+}
+
+func TestPlacementCascadeWrapsAndCovers(t *testing.T) {
+	// Once the cascade wraps (n*2 > colHeight), earlier windows get
+	// covered; with a tall column and few windows everything shows.
+	small := PlacementNaive("cascade", 4, 48)
+	if small.VisibleTags != 4 {
+		t.Errorf("small cascade tags = %d", small.VisibleTags)
+	}
+	big := PlacementNaive("cascade", 30, 48)
+	if big.HiddenWins == 0 {
+		t.Error("wrapped cascade should cover windows")
+	}
+}
+
+func TestPlacementHelpBeatsNaiveAtScale(t *testing.T) {
+	n, colH := 12, 48
+	help := PlacementHelp(n, colH, 30)
+	stack := PlacementNaive("stack", n, colH)
+	if help.VisibleTags <= stack.VisibleTags {
+		t.Errorf("help tags=%d vs stack tags=%d", help.VisibleTags, stack.VisibleTags)
+	}
+}
+
+func TestPlacementSweepShape(t *testing.T) {
+	rows := PlacementSweep([]int{2, 4}, 48, 30)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	models := map[string]int{}
+	for _, r := range rows {
+		models[r.Model]++
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+	if models["help"] != 2 || models["cascade"] != 2 || models["stack"] != 2 {
+		t.Errorf("models = %v", models)
+	}
+}
+
+func TestPlacementNaiveUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown model should panic")
+		}
+	}()
+	PlacementNaive("bogus", 2, 10)
+}

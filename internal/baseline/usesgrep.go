@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// UsesGrepResult compares the C browser's uses query against grep for one
+// identifier over one source tree — Table T3, reproducing the paper's
+// "grep n /usr/rob/src/help/*.c ... every occurrence of the letter n".
+type UsesGrepResult struct {
+	Ident     string
+	UsesLines int // coordinates the browser reports (all true references)
+	GrepLines int // lines grep reports
+	// GrepTruePositive counts grep lines that contain a true reference,
+	// so precision = GrepTruePositive / GrepLines; uses is exact by
+	// construction.
+	GrepTruePositive int
+}
+
+// GrepPrecision returns grep's precision for the identifier.
+func (r UsesGrepResult) GrepPrecision() float64 {
+	if r.GrepLines == 0 {
+		return 1
+	}
+	return float64(r.GrepTruePositive) / float64(r.GrepLines)
+}
+
+// String renders one comparison row.
+func (r UsesGrepResult) String() string {
+	return fmt.Sprintf("ident=%-8s uses=%3d grep=%4d grep-precision=%.2f",
+		r.Ident, r.UsesLines, r.GrepLines, r.GrepPrecision())
+}
+
+// UsesVsGrep runs both tools over the .c and .h files of dir in fs for
+// the given identifier.
+func UsesVsGrep(fs *vfs.FS, sh *shell.Shell, dir, ident string) (UsesGrepResult, error) {
+	res := UsesGrepResult{Ident: ident}
+
+	// Collect the sources.
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return res, err
+	}
+	var files []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name, ".c") || strings.HasSuffix(e.Name, ".h") {
+			files = append(files, e.Name)
+		}
+	}
+
+	// The browser's answer.
+	b := cc.NewBrowser()
+	if err := parseRelative(b, fs, dir, files); err != nil {
+		return res, err
+	}
+	sym := b.Lookup(ident)
+	if sym == nil {
+		return res, fmt.Errorf("baseline: no symbol %q", ident)
+	}
+	refs := b.Uses(sym, nil)
+	trueCoords := map[string]bool{}
+	for _, r := range refs {
+		trueCoords[r.Coord.String()] = true
+	}
+	res.UsesLines = len(trueCoords)
+
+	// grep's answer: every line containing the identifier's letters.
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = dir
+	args := append([]string{"grep", "-n", ident}, files...)
+	sh.RunCommand(ctx, args)
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if out.Len() == 0 {
+		lines = nil
+	}
+	res.GrepLines = len(lines)
+	for _, line := range lines {
+		// grep -n output: file:line:text.
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		if trueCoords[parts[0]+":"+parts[1]] {
+			res.GrepTruePositive++
+		}
+	}
+	return res, nil
+}
+
+// parseRelative parses files (relative names) under dir, keeping the
+// relative spelling so coordinates match grep's output.
+func parseRelative(b *cc.Browser, fs *vfs.FS, dir string, files []string) error {
+	ordered := append([]string(nil), files...)
+	// Headers first so typedefs are known.
+	var hs, cs []string
+	for _, f := range ordered {
+		if strings.HasSuffix(f, ".h") {
+			hs = append(hs, f)
+		} else {
+			cs = append(cs, f)
+		}
+	}
+	for _, f := range append(hs, cs...) {
+		data, err := fs.ReadFile(vfs.Clean(dir + "/" + f))
+		if err != nil {
+			return err
+		}
+		if err := b.ParseFile(f, string(data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

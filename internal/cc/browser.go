@@ -1,0 +1,301 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Coord is a source coordinate in the "file.c:27" currency help trades in.
+type Coord struct {
+	File string
+	Line int
+}
+
+// IsZero reports whether the coordinate is unset (implicit externals).
+func (c Coord) IsZero() bool { return c.File == "" && c.Line == 0 }
+
+// String renders "file:line".
+func (c Coord) String() string { return fmt.Sprintf("%s:%d", c.File, c.Line) }
+
+// SymKind classifies a symbol.
+type SymKind int
+
+const (
+	KindVar       SymKind = iota // file-scope variable
+	KindFunc                     // function
+	KindTypedef                  // typedef name
+	KindParam                    // function parameter
+	KindLocal                    // block-scoped variable
+	KindTag                      // struct/union/enum tag
+	KindEnumConst                // enumeration constant
+	KindExtern                   // implicit: referenced but never declared in the tree
+)
+
+// String names the kind for tool output.
+func (k SymKind) String() string {
+	switch k {
+	case KindVar:
+		return "var"
+	case KindFunc:
+		return "func"
+	case KindTypedef:
+		return "typedef"
+	case KindParam:
+		return "param"
+	case KindLocal:
+		return "local"
+	case KindTag:
+		return "tag"
+	case KindEnumConst:
+		return "enum"
+	case KindExtern:
+		return "extern"
+	}
+	return "?"
+}
+
+// RefKind classifies one reference.
+type RefKind int
+
+const (
+	RefDecl  RefKind = iota // the declaration itself
+	RefRead                 // a read of the value
+	RefWrite                // an assignment or increment/decrement
+)
+
+// String names the reference kind.
+func (k RefKind) String() string {
+	switch k {
+	case RefDecl:
+		return "decl"
+	case RefRead:
+		return "read"
+	case RefWrite:
+		return "write"
+	}
+	return "?"
+}
+
+// Ref is one occurrence of a symbol.
+type Ref struct {
+	Coord
+	Kind RefKind
+}
+
+// Symbol is one named program object with its declaration and references.
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Decl   Coord
+	HasDef bool // functions: a definition (not just prototype) was seen
+	Refs   []Ref
+}
+
+func (s *Symbol) addRef(r Ref) {
+	// Declarations deduplicate (a header conceptually included twice
+	// stays single); uses do not — two reads of the same variable on one
+	// line are two references.
+	if r.Kind == RefDecl {
+		for _, e := range s.Refs {
+			if e == r {
+				return
+			}
+		}
+	}
+	s.Refs = append(s.Refs, r)
+}
+
+// Browser aggregates parsed translation units and answers decl/uses/src
+// queries.
+type Browser struct {
+	typedefs map[string]bool
+	globals  map[string]*Symbol
+	tags     map[string]*Symbol
+	all      []*Symbol
+	files    []string
+}
+
+// NewBrowser returns an empty browser.
+func NewBrowser() *Browser {
+	return &Browser{
+		typedefs: map[string]bool{},
+		globals:  map[string]*Symbol{},
+		tags:     map[string]*Symbol{},
+	}
+}
+
+// newSymbol records a fresh (scoped) symbol.
+func (b *Browser) newSymbol(name string, kind SymKind, at Coord) *Symbol {
+	s := &Symbol{Name: name, Kind: kind, Decl: at}
+	b.all = append(b.all, s)
+	return s
+}
+
+// declareGlobal declares (or re-declares) a file-scope symbol with C
+// linkage: the same name across translation units is one object.
+func (b *Browser) declareGlobal(name string, kind SymKind, at Coord) *Symbol {
+	if s, ok := b.globals[name]; ok {
+		if s.Decl.IsZero() {
+			s.Decl = at
+			s.Kind = kind
+		}
+		return s
+	}
+	s := b.newSymbol(name, kind, at)
+	b.globals[name] = s
+	return s
+}
+
+// declareTag records a struct/union/enum tag.
+func (b *Browser) declareTag(name string, at Coord) *Symbol {
+	if s, ok := b.tags[name]; ok {
+		s.addRef(Ref{Coord: at, Kind: RefRead})
+		return s
+	}
+	s := b.newSymbol(name, KindTag, at)
+	s.addRef(Ref{Coord: at, Kind: RefDecl})
+	b.tags[name] = s
+	return s
+}
+
+// globalOrImplicit resolves a file-scope name, creating an implicit
+// external on first reference.
+func (b *Browser) globalOrImplicit(name string) *Symbol {
+	if s, ok := b.globals[name]; ok {
+		return s
+	}
+	s := b.newSymbol(name, KindExtern, Coord{})
+	b.globals[name] = s
+	return s
+}
+
+// ParseFile parses one source file into the browser.
+func (b *Browser) ParseFile(file, src string) error {
+	toks, err := lex(file, src)
+	if err != nil {
+		return err
+	}
+	p := &parser{b: b, toks: toks}
+	p.pushScope() // the file scope: static declarations land here
+	p.parseUnit()
+	b.files = append(b.files, file)
+	return nil
+}
+
+// ParseFS parses the named vfs files, headers first so typedefs are known
+// before the sources that use them.
+func (b *Browser) ParseFS(fs *vfs.FS, paths []string) error {
+	ordered := append([]string(nil), paths...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		hi := strings.HasSuffix(ordered[i], ".h")
+		hj := strings.HasSuffix(ordered[j], ".h")
+		if hi != hj {
+			return hi
+		}
+		return ordered[i] < ordered[j]
+	})
+	for _, p := range ordered {
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := b.ParseFile(p, string(data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Files returns the files parsed so far, in parse order.
+func (b *Browser) Files() []string { return append([]string(nil), b.files...) }
+
+// Lookup returns the file-scope symbol with the given name, or nil.
+func (b *Browser) Lookup(name string) *Symbol { return b.globals[name] }
+
+// LookupTag returns the struct/union/enum tag symbol, or nil.
+func (b *Browser) LookupTag(name string) *Symbol { return b.tags[name] }
+
+// SymbolAt finds the symbol that the identifier name at file:line binds
+// to: the symbol owning a reference at exactly that coordinate, preferring
+// scoped symbols over globals, else the global of that name. This is what
+// help/parse feeds the tools — "the application can then examine the text
+// in the window to see what the user is pointing at".
+func (b *Browser) SymbolAt(file string, line int, name string) *Symbol {
+	var global *Symbol
+	for _, s := range b.all {
+		if s.Name != name {
+			continue
+		}
+		for _, r := range s.Refs {
+			if r.File == file && r.Line == line {
+				if s.Kind == KindParam || s.Kind == KindLocal {
+					return s // scoped binding wins
+				}
+				global = s
+			}
+		}
+	}
+	if global != nil {
+		return global
+	}
+	return b.globals[name]
+}
+
+// Uses returns every reference of sym restricted to files matching any of
+// the given paths (exact match; empty list means all), sorted by file then
+// line — the output of the uses tool, "all references to the variable n in
+// the files /usr/rob/src/help/*.c indicated by file name and line number".
+func (b *Browser) Uses(sym *Symbol, files []string) []Ref {
+	if sym == nil {
+		return nil
+	}
+	allowed := map[string]bool{}
+	for _, f := range files {
+		allowed[f] = true
+	}
+	var out []Ref
+	for _, r := range sym.Refs {
+		if len(allowed) > 0 && !allowed[r.File] {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Functions returns the file-scope functions with definitions, sorted by
+// name — the src tool's index.
+func (b *Browser) Functions() []*Symbol {
+	var out []*Symbol
+	for _, s := range b.globals {
+		if s.Kind == KindFunc && s.HasDef {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Globals returns file-scope variables sorted by name.
+func (b *Browser) Globals() []*Symbol {
+	var out []*Symbol
+	for _, s := range b.globals {
+		if s.Kind == KindVar {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

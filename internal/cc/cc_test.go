@@ -1,0 +1,600 @@
+package cc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("t.c", "int x = 42; /* c */ // line\nchar *s = \"hi\\n\";\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"int", "x", "=", "42", ";", "char", "*", "s", "=", "hi\\n", ";"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v", texts)
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, _ := lex("t.c", "a\nb\n\nc\n")
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 4 {
+		t.Errorf("lines = %d %d %d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexSkipsPreprocessor(t *testing.T) {
+	toks, _ := lex("t.c", "#include <u.h>\n#define X 1\nint y;\n")
+	if toks[0].text != "int" || toks[0].line != 3 {
+		t.Errorf("first token = %+v", toks[0])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, _ := lex("t.c", "/* multi\nline */ x // tail\ny\n")
+	if toks[0].text != "x" || toks[0].line != 2 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].text != "y" || toks[1].line != 3 {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("t.c", "/* unterminated"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+	if _, err := lex("t.c", `"unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lex("t.c", "'x"); err == nil {
+		t.Error("unterminated char should fail")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, _ := lex("t.c", "a==b; c+=d; e++; f->g; h<<=2;")
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			ops = append(ops, tk.text)
+		}
+	}
+	joined := strings.Join(ops, " ")
+	for _, want := range []string{"==", "+=", "++", "->", "<<="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing op %q in %v", want, ops)
+		}
+	}
+}
+
+func parseOne(t *testing.T, src string) *Browser {
+	t.Helper()
+	b := NewBrowser()
+	if err := b.ParseFile("t.c", src); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGlobalVarDecl(t *testing.T) {
+	b := parseOne(t, "int counter;\n")
+	s := b.Lookup("counter")
+	if s == nil || s.Kind != KindVar {
+		t.Fatalf("sym = %+v", s)
+	}
+	if s.Decl.File != "t.c" || s.Decl.Line != 1 {
+		t.Errorf("decl = %v", s.Decl)
+	}
+}
+
+func TestMultipleDeclarators(t *testing.T) {
+	b := parseOne(t, "int a, *b, c[10];\n")
+	for _, name := range []string{"a", "b", "c"} {
+		if s := b.Lookup(name); s == nil || s.Kind != KindVar {
+			t.Errorf("%s = %+v", name, s)
+		}
+	}
+}
+
+func TestFunctionDefinition(t *testing.T) {
+	b := parseOne(t, `
+int
+add(int x, int y)
+{
+	return x + y;
+}
+`)
+	f := b.Lookup("add")
+	if f == nil || f.Kind != KindFunc || !f.HasDef {
+		t.Fatalf("add = %+v", f)
+	}
+	if f.Decl.Line != 3 {
+		t.Errorf("decl line = %d", f.Decl.Line)
+	}
+	// Params are scoped symbols, not globals.
+	if b.Lookup("x") != nil && b.Lookup("x").Kind == KindParam {
+		t.Error("param leaked to globals")
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	b := parseOne(t, "int f(int);\nint f(int v) { return v; }\n")
+	f := b.Lookup("f")
+	if f == nil || !f.HasDef {
+		t.Fatalf("f = %+v", f)
+	}
+	if f.Decl.Line != 2 {
+		t.Errorf("definition coordinate should win: %v", f.Decl)
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	b := parseOne(t, "typedef struct Text Text;\nText *t;\n")
+	td := b.Lookup("Text")
+	if td == nil || td.Kind != KindTypedef {
+		t.Fatalf("Text = %+v", td)
+	}
+	if v := b.Lookup("t"); v == nil || v.Kind != KindVar {
+		t.Errorf("t = %+v", v)
+	}
+	// The use of Text as a type on line 2 is recorded.
+	found := false
+	for _, r := range td.Refs {
+		if r.Line == 2 && r.Kind == RefRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("typedef use not recorded: %+v", td.Refs)
+	}
+}
+
+func TestEnumConstants(t *testing.T) {
+	b := parseOne(t, "enum { Alpha, Beta = 2, Gamma };\nint x = Beta;\n")
+	be := b.Lookup("Beta")
+	if be == nil || be.Kind != KindEnumConst {
+		t.Fatalf("Beta = %+v", be)
+	}
+	uses := b.Uses(be, nil)
+	if len(uses) != 2 {
+		t.Errorf("Beta refs = %+v", uses)
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	b := parseOne(t, `
+int n;
+void f(void)
+{
+	int n;
+	n = 1;
+}
+void g(void)
+{
+	n = 2;
+}
+`)
+	g := b.Lookup("n")
+	if g == nil {
+		t.Fatal("global n missing")
+	}
+	// The write on line 6 belongs to the local, the one on line 10 to the
+	// global.
+	for _, r := range g.Refs {
+		if r.Line == 6 {
+			t.Errorf("local write attributed to global: %+v", g.Refs)
+		}
+	}
+	hit := false
+	for _, r := range g.Refs {
+		if r.Line == 10 && r.Kind == RefWrite {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("global write missing: %+v", g.Refs)
+	}
+}
+
+func TestParamShadows(t *testing.T) {
+	b := parseOne(t, `
+int s;
+int len(char *s)
+{
+	return use(s);
+}
+`)
+	g := b.Lookup("s")
+	for _, r := range g.Refs {
+		if r.Line == 5 {
+			t.Errorf("param use attributed to global: %+v", g.Refs)
+		}
+	}
+}
+
+func TestMemberAccessNotAUse(t *testing.T) {
+	b := parseOne(t, `
+typedef struct P P;
+struct P { int n; };
+int n;
+void f(P *p)
+{
+	p->n = 1;
+	n = 2;
+}
+`)
+	g := b.Lookup("n")
+	writes := 0
+	for _, r := range g.Refs {
+		if r.Kind == RefWrite {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Errorf("global n writes = %d, want 1 (p->n must not count): %+v", writes, g.Refs)
+	}
+}
+
+func TestReadWriteClassification(t *testing.T) {
+	b := parseOne(t, `
+int v;
+void f(void)
+{
+	v = 1;
+	g(v);
+	v += 2;
+	v++;
+	if(v == 3)
+		h();
+}
+`)
+	s := b.Lookup("v")
+	var reads, writes int
+	for _, r := range s.Refs {
+		switch r.Kind {
+		case RefRead:
+			reads++
+		case RefWrite:
+			writes++
+		}
+	}
+	if writes != 3 {
+		t.Errorf("writes = %d, want 3 (=, +=, ++): %+v", writes, s.Refs)
+	}
+	if reads != 2 {
+		t.Errorf("reads = %d, want 2 (g(v), v==3): %+v", reads, s.Refs)
+	}
+}
+
+func TestImplicitExtern(t *testing.T) {
+	b := parseOne(t, "void f(void) { strlen(\"x\"); }\n")
+	s := b.Lookup("strlen")
+	if s == nil || s.Kind != KindExtern || !s.Decl.IsZero() {
+		t.Fatalf("strlen = %+v", s)
+	}
+	if len(s.Refs) != 1 {
+		t.Errorf("refs = %+v", s.Refs)
+	}
+}
+
+func TestCrossFileLinkage(t *testing.T) {
+	b := NewBrowser()
+	if err := b.ParseFile("dat.h", "int shared;\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ParseFile("a.c", "void f(void) { shared = 1; }\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ParseFile("b.c", "int g(void) { return shared; }\n"); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Lookup("shared")
+	if s == nil {
+		t.Fatal("shared missing")
+	}
+	files := map[string]bool{}
+	for _, r := range s.Refs {
+		files[r.File] = true
+	}
+	if !files["dat.h"] || !files["a.c"] || !files["b.c"] {
+		t.Errorf("refs span %v", files)
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	b := parseOne(t, `
+int n;
+void f(void)
+{
+	int n;
+	n = 1;
+}
+`)
+	local := b.SymbolAt("t.c", 6, "n")
+	if local == nil || local.Kind != KindLocal {
+		t.Errorf("SymbolAt line 6 = %+v, want local", local)
+	}
+	global := b.SymbolAt("t.c", 2, "n")
+	if global == nil || global.Kind != KindVar {
+		t.Errorf("SymbolAt line 2 = %+v, want global", global)
+	}
+	// Unknown coordinates fall back to the global.
+	fallback := b.SymbolAt("other.c", 99, "n")
+	if fallback == nil || fallback.Kind != KindVar {
+		t.Errorf("fallback = %+v", fallback)
+	}
+}
+
+func TestUsesSortedAndFiltered(t *testing.T) {
+	b := NewBrowser()
+	b.ParseFile("b.c", "int q;\nvoid f(void){ q=1; }\n")
+	b.ParseFile("a.c", "extern int q;\nvoid g(void){ use(q); }\n")
+	s := b.Lookup("q")
+	all := b.Uses(s, nil)
+	if len(all) < 3 {
+		t.Fatalf("refs = %+v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].File > all[i].File {
+			t.Errorf("not sorted: %+v", all)
+		}
+	}
+	only := b.Uses(s, []string{"a.c"})
+	for _, r := range only {
+		if r.File != "a.c" {
+			t.Errorf("filter leaked %v", r)
+		}
+	}
+}
+
+func TestFunctionsAndGlobals(t *testing.T) {
+	b := parseOne(t, `
+int gv;
+int decl_only(void);
+int defined(void) { return 0; }
+`)
+	fns := b.Functions()
+	if len(fns) != 1 || fns[0].Name != "defined" {
+		t.Errorf("Functions = %+v", fns)
+	}
+	gs := b.Globals()
+	if len(gs) != 1 || gs[0].Name != "gv" {
+		t.Errorf("Globals = %+v", gs)
+	}
+}
+
+func TestLabelsNotUses(t *testing.T) {
+	b := parseOne(t, `
+int Again;
+void f(void)
+{
+Again:
+	goto Again;
+}
+`)
+	s := b.Lookup("Again")
+	for _, r := range s.Refs {
+		if r.Kind != RefDecl {
+			t.Errorf("label counted as use: %+v", s.Refs)
+		}
+	}
+}
+
+func TestStructBodySkipped(t *testing.T) {
+	b := parseOne(t, `
+struct Addr {
+	int type;
+	int pos;
+};
+int type;
+`)
+	s := b.Lookup("type")
+	if s == nil {
+		t.Fatal("global type missing")
+	}
+	if s.Decl.Line != 6 {
+		t.Errorf("decl = %v (field must not be the declaration)", s.Decl)
+	}
+	if tag := b.LookupTag("Addr"); tag == nil {
+		t.Error("tag Addr missing")
+	}
+}
+
+func TestSwitchCaseStatementPositions(t *testing.T) {
+	b := parseOne(t, `
+int mode;
+void f(int x)
+{
+	switch(x){
+	case 1:
+		mode = 1;
+		break;
+	default:
+		mode = 2;
+	}
+}
+`)
+	s := b.Lookup("mode")
+	writes := 0
+	for _, r := range s.Refs {
+		if r.Kind == RefWrite {
+			writes++
+		}
+	}
+	if writes != 2 {
+		t.Errorf("writes = %d: %+v", writes, s.Refs)
+	}
+}
+
+// TestPaperUsesScenario reproduces the structure of Figure 10: the global
+// n declared in dat.h, initialized in help.c, written in exec.c (Xdie1),
+// read in exec.c (Xdie2's errs call) — exactly four coordinates, while
+// grep would match every occurrence of the letter n.
+func TestPaperUsesScenario(t *testing.T) {
+	b := NewBrowser()
+	datH := strings.Repeat("/* padding */\n", 135) + "uchar *n;\n"
+	b.ParseFile("./dat.h", datH)
+	helpC := strings.Repeat("\n", 33) + "void main(void)\n{\n\tn = \"a test string\";\n}\n"
+	b.ParseFile("help.c", helpC)
+	execC := strings.Repeat("\n", 210) + `void
+Xdie1(int argc)
+{
+	n = 0;
+}
+` + strings.Repeat("\n", 35) + `void
+Xdie2(int argc)
+{
+	errs(n);
+}
+`
+	b.ParseFile("exec.c", execC)
+
+	s := b.Lookup("n")
+	if s == nil {
+		t.Fatal("n missing")
+	}
+	refs := b.Uses(s, nil)
+	if len(refs) != 4 {
+		t.Fatalf("uses = %d, want 4: %+v", len(refs), refs)
+	}
+	wantFiles := []string{"./dat.h", "exec.c", "exec.c", "help.c"}
+	for i, r := range refs {
+		if r.File != wantFiles[i] {
+			t.Errorf("ref %d file = %s, want %s", i, r.File, wantFiles[i])
+		}
+	}
+	if refs[0].Line != 136 || refs[0].Kind != RefDecl {
+		t.Errorf("decl ref = %+v", refs[0])
+	}
+	// exec.c:214 is the write (inside Xdie1), the other exec.c ref a read.
+	if refs[1].Kind != RefWrite {
+		t.Errorf("Xdie1 ref = %+v, want write", refs[1])
+	}
+	if refs[2].Kind != RefRead {
+		t.Errorf("Xdie2 ref = %+v, want read", refs[2])
+	}
+	if refs[3].Kind != RefWrite {
+		t.Errorf("help.c init = %+v, want write", refs[3])
+	}
+}
+
+func TestRccBuiltin(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/src")
+	fs.WriteFile("/src/dat.h", []byte("int n;\n"))
+	fs.WriteFile("/src/main.c", []byte("void f(void){ n = 1; }\n"))
+	sh := shell.New(fs)
+	Install(sh)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = "/src"
+
+	if status := sh.Run(ctx, "rcc -w -g -d -in dat.h main.c"); status != 0 {
+		t.Fatalf("rcc -d: %s", out.String())
+	}
+	if out.String() != "dat.h:1\n" {
+		t.Errorf("decl out = %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "rcc -u -in dat.h main.c"); status != 0 {
+		t.Fatalf("rcc -u: %s", out.String())
+	}
+	if out.String() != "dat.h:1\nmain.c:1\n" {
+		t.Errorf("uses out = %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "rcc -s -if dat.h main.c"); status != 0 {
+		t.Fatalf("rcc -s: %s", out.String())
+	}
+	if out.String() != "main.c:1\n" {
+		t.Errorf("src out = %q", out.String())
+	}
+}
+
+func TestRccErrors(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/src")
+	fs.WriteFile("/src/a.c", []byte("int x;\n"))
+	sh := shell.New(fs)
+	Install(sh)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = "/src"
+	for _, bad := range []string{
+		"rcc",                     // no mode/id
+		"rcc -d -ix",              // no files
+		"rcc -d -ighost a.c",      // unknown symbol (implicit extern, no decl)
+		"rcc -u -ighost2 a.c",     // no references at all? creates none
+		"rcc -s -ix a.c",          // x is not a function
+		"rcc -d -ix -nNaN a.c",    // bad line
+		"rcc -q -ix a.c",          // unknown flag
+		"rcc -d -ix /src/ghost.c", // missing file
+	} {
+		out.Reset()
+		if status := sh.Run(ctx, bad); status == 0 {
+			t.Errorf("%q should fail (out=%q)", bad, out.String())
+		}
+	}
+}
+
+func BenchmarkParseHelpSource(b *testing.B) {
+	src := `
+#include <u.h>
+typedef struct Text Text;
+struct Text { int n; };
+int nwindows;
+Text *current;
+static int
+layout(Text *t, int q0, int q1)
+{
+	int i, sum;
+	sum = 0;
+	for(i = q0; i < q1; i++)
+		sum += width(t, i);
+	return sum;
+}
+void
+render(Text *t)
+{
+	nwindows++;
+	if(layout(t, 0, t->n) > 80)
+		wrap(t);
+}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br := NewBrowser()
+		if err := br.ParseFile("t.c", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUsesQuery(b *testing.B) {
+	br := NewBrowser()
+	var sb strings.Builder
+	sb.WriteString("int target;\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("void f")
+		sb.WriteString(strings.Repeat("x", i%5+1))
+		sb.WriteString("(void){ target = 1; use(target); }\n")
+	}
+	br.ParseFile("big.c", sb.String())
+	sym := br.Lookup("target")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Uses(sym, nil)
+	}
+}

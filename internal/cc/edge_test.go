@@ -1,0 +1,226 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestKindAndRefStrings(t *testing.T) {
+	kinds := map[SymKind]string{
+		KindVar: "var", KindFunc: "func", KindTypedef: "typedef",
+		KindParam: "param", KindLocal: "local", KindTag: "tag",
+		KindEnumConst: "enum", KindExtern: "extern",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v != %q", k, want)
+		}
+	}
+	if SymKind(99).String() != "?" {
+		t.Error("unknown kind")
+	}
+	refs := map[RefKind]string{RefDecl: "decl", RefRead: "read", RefWrite: "write"}
+	for k, want := range refs {
+		if k.String() != want {
+			t.Errorf("%v != %q", k, want)
+		}
+	}
+	if RefKind(99).String() != "?" {
+		t.Error("unknown ref kind")
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	c := Coord{File: "a.c", Line: 7}
+	if c.String() != "a.c:7" {
+		t.Errorf("String = %q", c.String())
+	}
+	if !(Coord{}).IsZero() || c.IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+}
+
+func TestParseFSOrdersHeadersFirst(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/p")
+	// The .c uses a typedef the .h defines; lexical order would parse
+	// main.c first and mis-scope it, so ParseFS must do headers first.
+	fs.WriteFile("/p/main.c", []byte("Obj *o;\n"))
+	fs.WriteFile("/p/defs.h", []byte("typedef struct Obj Obj;\n"))
+	b := NewBrowser()
+	if err := b.ParseFS(fs, []string{"/p/main.c", "/p/defs.h"}); err != nil {
+		t.Fatal(err)
+	}
+	o := b.Lookup("o")
+	if o == nil || o.Kind != KindVar {
+		t.Fatalf("o = %+v", o)
+	}
+	files := b.Files()
+	if len(files) != 2 || !strings.HasSuffix(files[0], ".h") {
+		t.Errorf("parse order = %v", files)
+	}
+}
+
+func TestParseFSMissingFile(t *testing.T) {
+	fs := vfs.New()
+	b := NewBrowser()
+	if err := b.ParseFS(fs, []string{"/ghost.c"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLexErrError(t *testing.T) {
+	_, err := lex("t.c", "/* unterminated")
+	if err == nil || !strings.Contains(err.Error(), "t.c:1") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFunctionPointerDeclarator(t *testing.T) {
+	b := parseOne(t, "void (*handler)(int);\nvoid f(void){ handler(1); }\n")
+	h := b.Lookup("handler")
+	if h == nil {
+		t.Fatal("handler missing")
+	}
+	uses := b.Uses(h, nil)
+	if len(uses) < 2 {
+		t.Errorf("handler refs = %+v", uses)
+	}
+}
+
+func TestTypedefWithArrayAndPointer(t *testing.T) {
+	b := parseOne(t, "typedef char Name[32];\ntypedef int (*Cmp)(int, int);\nName buf;\n")
+	if td := b.Lookup("Name"); td == nil || td.Kind != KindTypedef {
+		t.Errorf("Name = %+v", td)
+	}
+	if td := b.Lookup("Cmp"); td == nil || td.Kind != KindTypedef {
+		t.Errorf("Cmp = %+v", td)
+	}
+	if v := b.Lookup("buf"); v == nil || v.Kind != KindVar {
+		t.Errorf("buf = %+v", v)
+	}
+}
+
+func TestMalformedDeclarationRecovers(t *testing.T) {
+	// Junk between declarations must not derail the following ones.
+	b := parseOne(t, "int a;\nint = ;\nint b;\n")
+	if b.Lookup("a") == nil || b.Lookup("b") == nil {
+		t.Error("recovery failed")
+	}
+}
+
+func TestStructVariableDeclaration(t *testing.T) {
+	b := parseOne(t, "struct Point { int x; int y; } origin;\nvoid f(void){ use(origin); }\n")
+	o := b.Lookup("origin")
+	if o == nil || o.Kind != KindVar {
+		t.Fatalf("origin = %+v", o)
+	}
+	if tag := b.LookupTag("Point"); tag == nil {
+		t.Error("tag Point missing")
+	}
+}
+
+func TestNestedBlockScopes(t *testing.T) {
+	b := parseOne(t, `
+int v;
+void f(void)
+{
+	{
+		int v;
+		v = 1;
+	}
+	v = 2;
+}
+`)
+	g := b.Lookup("v")
+	writes := 0
+	for _, r := range g.Refs {
+		if r.Kind == RefWrite {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Errorf("global writes = %d (inner-block local must shadow): %+v", writes, g.Refs)
+	}
+}
+
+func TestSizeofAndCasts(t *testing.T) {
+	b := parseOne(t, "int n;\nvoid f(void){ g(sizeof(n)); h((char)n); }\n")
+	g := b.Lookup("n")
+	reads := 0
+	for _, r := range g.Refs {
+		if r.Kind == RefRead {
+			reads++
+		}
+	}
+	if reads != 2 {
+		t.Errorf("reads = %d: %+v", reads, g.Refs)
+	}
+}
+
+func TestStringAndCharLiteralsIgnored(t *testing.T) {
+	b := parseOne(t, "int n;\nvoid f(void){ puts(\"n = n\"); g('n'); }\n")
+	g := b.Lookup("n")
+	for _, r := range g.Refs {
+		if r.Kind != RefDecl {
+			t.Errorf("literal text counted as use: %+v", g.Refs)
+		}
+	}
+}
+
+func TestContinuationPreprocessorLine(t *testing.T) {
+	toks, err := lex("t.c", "#define LONG \\\n more\nint after;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "int" || toks[0].line != 3 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+}
+
+func TestUsesNilSymbol(t *testing.T) {
+	b := NewBrowser()
+	if got := b.Uses(nil, nil); got != nil {
+		t.Errorf("Uses(nil) = %v", got)
+	}
+}
+
+func TestStaticLinkagePerFile(t *testing.T) {
+	b := NewBrowser()
+	b.ParseFile("a.c", "static int hidden;\nvoid fa(void){ hidden = 1; }\n")
+	b.ParseFile("b.c", "static int hidden;\nvoid fb(void){ hidden = 2; }\n")
+	// Neither static becomes a global of that name.
+	if g := b.Lookup("hidden"); g != nil && g.Kind != KindExtern {
+		t.Errorf("statics leaked to global linkage: %+v", g)
+	}
+	// Each file's uses bind to its own symbol.
+	sa := b.SymbolAt("a.c", 2, "hidden")
+	sb := b.SymbolAt("b.c", 2, "hidden")
+	if sa == nil || sb == nil {
+		t.Fatal("statics not resolvable at their use sites")
+	}
+	if sa == sb {
+		t.Error("two files' statics merged into one symbol")
+	}
+	for _, r := range sa.Refs {
+		if r.File == "b.c" {
+			t.Errorf("a.c's static has refs in b.c: %+v", sa.Refs)
+		}
+	}
+}
+
+func TestStaticFunctionPerFile(t *testing.T) {
+	b := NewBrowser()
+	b.ParseFile("a.c", "static void helper(void) { }\nvoid fa(void){ helper(); }\n")
+	b.ParseFile("b.c", "void fb(void){ helper(); }\n")
+	// b.c's call binds to an implicit extern, not a.c's static.
+	sb := b.SymbolAt("b.c", 1, "helper")
+	if sb == nil {
+		t.Fatal("helper unresolvable in b.c")
+	}
+	if !sb.Decl.IsZero() {
+		t.Errorf("b.c's helper bound to a declaration: %+v", sb.Decl)
+	}
+}

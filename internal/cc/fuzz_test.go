@@ -1,0 +1,37 @@
+package cc
+
+import "testing"
+
+// FuzzParseFile throws arbitrary text at the C front end; lexing may
+// reject it, but nothing may panic and accepted inputs must produce a
+// queryable browser.
+func FuzzParseFile(f *testing.F) {
+	for _, seed := range []string{
+		"int n;\nvoid f(void){ n = 1; }\n",
+		"typedef struct T T;\nstruct T { int x; };\nT *p;\n",
+		"enum { A, B = 2 };\n",
+		"typedef int (*Fn)(int);\n",
+		"int a[10], *b, c;\n",
+		"/* comment */ #define X 1\nchar *s = \"str\";\n",
+		"void g(int, char**);\nint g2(int argc, char *argv[]) { goto L; L: return argc; }\n",
+		"struct { int anon; } v;\n",
+		"x y z ( ) { } ; ; ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		b := NewBrowser()
+		if err := b.ParseFile("fuzz.c", src); err != nil {
+			return
+		}
+		// Queries on whatever was parsed must be safe.
+		for _, s := range b.Globals() {
+			b.Uses(s, nil)
+		}
+		b.Functions()
+		b.SymbolAt("fuzz.c", 1, "n")
+	})
+}

@@ -1,0 +1,223 @@
+// Package cc is the stripped C compiler behind the paper's browser tools:
+// "This compiler has no code generator: it parses the program and manages
+// the symbol table, and when it sees the declaration for the indicated
+// identifier on the appropriate line of the file, it prints the file
+// coordinates of that declaration."
+//
+// The package lexes and parses a pragmatic subset of C sufficient for the
+// help source tree the paper browses: file-scope variables and functions,
+// typedefs, struct/union/enum declarations, parameters, block-scoped
+// locals, and identifier references classified as reads or writes. A
+// Browser aggregates translation units and answers the queries the
+// /help/cbr tools need — decl (where is this symbol declared), uses
+// (every reference resolving to the same symbol, the precise alternative
+// to grep), and src (where is this function's definition).
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+)
+
+// token is one C token with its source coordinate.
+type token struct {
+	kind tokKind
+	text string
+	file string
+	line int
+}
+
+// keywords is the C keyword set; type keywords are additionally listed in
+// typeKeywords.
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "enum": true, "extern": true, "float": true, "for": true,
+	"goto": true, "if": true, "int": true, "long": true, "register": true,
+	"return": true, "short": true, "signed": true, "sizeof": true,
+	"static": true, "struct": true, "switch": true, "typedef": true,
+	"union": true, "unsigned": true, "void": true, "volatile": true,
+	"while": true,
+	// Plan 9 C conveniences used throughout the help sources.
+	"uchar": true, "ushort": true, "uint": true, "ulong": true,
+	"vlong": true, "uvlong": true, "Rune": true,
+}
+
+// typeKeywords begin a declaration.
+var typeKeywords = map[string]bool{
+	"char": true, "double": true, "float": true, "int": true, "long": true,
+	"short": true, "signed": true, "unsigned": true, "void": true,
+	"struct": true, "union": true, "enum": true,
+	"uchar": true, "ushort": true, "uint": true, "ulong": true,
+	"vlong": true, "uvlong": true, "Rune": true,
+}
+
+// qualifiers may precede a declaration without changing its shape.
+var qualifiers = map[string]bool{
+	"auto": true, "const": true, "extern": true, "register": true,
+	"static": true, "volatile": true,
+}
+
+// lexErr reports a lexical error with its coordinate.
+type lexErr struct {
+	file string
+	line int
+	msg  string
+}
+
+func (e lexErr) Error() string { return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.msg) }
+
+// lex tokenizes one C source file. Preprocessor lines are skipped whole
+// (the browser pipeline runs cpp first, and our cpp is an identity filter,
+// so #include and #define lines simply don't produce symbols).
+func lex(file, src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	line := 1
+	i := 0
+	atLineStart := true
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+			atLineStart = true
+			continue
+		case r == ' ' || r == '\t' || r == '\r':
+			i++
+			continue
+		case r == '#' && atLineStart:
+			// Preprocessor directive: skip to unescaped end of line.
+			for i < len(rs) && rs[i] != '\n' {
+				if rs[i] == '\\' && i+1 < len(rs) && rs[i+1] == '\n' {
+					line++
+					i += 2
+					continue
+				}
+				i++
+			}
+			continue
+		case r == '/' && i+1 < len(rs) && rs[i+1] == '*':
+			i += 2
+			for i+1 < len(rs) && !(rs[i] == '*' && rs[i+1] == '/') {
+				if rs[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(rs) {
+				return nil, lexErr{file, line, "unterminated comment"}
+			}
+			i += 2
+			continue
+		case r == '/' && i+1 < len(rs) && rs[i+1] == '/':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+			continue
+		case r == '"':
+			start := line
+			i++
+			var b strings.Builder
+			for i < len(rs) && rs[i] != '"' {
+				if rs[i] == '\\' && i+1 < len(rs) {
+					b.WriteRune(rs[i])
+					b.WriteRune(rs[i+1])
+					if rs[i+1] == '\n' {
+						line++
+					}
+					i += 2
+					continue
+				}
+				if rs[i] == '\n' {
+					return nil, lexErr{file, start, "newline in string"}
+				}
+				b.WriteRune(rs[i])
+				i++
+			}
+			if i >= len(rs) {
+				return nil, lexErr{file, start, "unterminated string"}
+			}
+			i++
+			toks = append(toks, token{tokString, b.String(), file, start})
+		case r == '\'':
+			start := line
+			i++
+			var b strings.Builder
+			for i < len(rs) && rs[i] != '\'' {
+				if rs[i] == '\\' && i+1 < len(rs) {
+					b.WriteRune(rs[i])
+					b.WriteRune(rs[i+1])
+					i += 2
+					continue
+				}
+				b.WriteRune(rs[i])
+				i++
+			}
+			if i >= len(rs) {
+				return nil, lexErr{file, start, "unterminated character constant"}
+			}
+			i++
+			toks = append(toks, token{tokChar, b.String(), file, start})
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				i++
+			}
+			text := string(rs[start:i])
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, text, file, line})
+		case unicode.IsDigit(r):
+			start := i
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '.' ||
+				((rs[i] == '+' || rs[i] == '-') && i > start && (rs[i-1] == 'e' || rs[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, string(rs[start:i]), file, line})
+		default:
+			// Multi-character operators that matter for read/write
+			// classification and skipping.
+			two := ""
+			if i+1 < len(rs) {
+				two = string(rs[i : i+2])
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "++", "--", "->",
+				"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>":
+				if two == "<<" || two == ">>" {
+					if i+2 < len(rs) && rs[i+2] == '=' {
+						toks = append(toks, token{tokPunct, two + "=", file, line})
+						i += 3
+						continue
+					}
+				}
+				toks = append(toks, token{tokPunct, two, file, line})
+				i += 2
+				continue
+			}
+			toks = append(toks, token{tokPunct, string(r), file, line})
+			i++
+		}
+		atLineStart = false
+	}
+	toks = append(toks, token{tokEOF, "", file, line})
+	return toks, nil
+}

@@ -1,0 +1,563 @@
+package cc
+
+// The parser walks one translation unit's token stream, maintaining a
+// scope stack and recording declarations and identifier references. It is
+// a deliberately pragmatic C front end: it understands the declaration
+// forms the help sources use (file-scope variables, functions with ANSI
+// parameter lists, typedefs, struct/union/enum with bodies, block-scoped
+// locals) and classifies every other identifier occurrence as a read or a
+// write. It does not build expressions — the browser only needs names and
+// coordinates.
+
+type parser struct {
+	b      *Browser
+	toks   []token
+	i      int
+	scopes []*scope
+}
+
+type scope struct {
+	syms map[string]*Symbol
+}
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, &scope{syms: map[string]*Symbol{}}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+// declareScoped declares name in the innermost scope (params/locals).
+func (p *parser) declareScoped(name string, kind SymKind, at Coord) *Symbol {
+	sym := p.b.newSymbol(name, kind, at)
+	p.scopes[len(p.scopes)-1].syms[name] = sym
+	return sym
+}
+
+// resolve finds name through the scope stack, then file-scope linkage,
+// creating an implicit external symbol on a miss (library functions like
+// strlen have no declaration in the tree but their uses must still link).
+func (p *parser) resolve(name string) *Symbol {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i].syms[name]; ok {
+			return s
+		}
+	}
+	return p.b.globalOrImplicit(name)
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) prev() token {
+	if p.i == 0 {
+		return token{}
+	}
+	return p.toks[p.i-1]
+}
+func (p *parser) advance() { p.i = min(p.i+1, len(p.toks)-1) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) coord() Coord { t := p.cur(); return Coord{File: t.file, Line: t.line} }
+
+// atEOF reports end of tokens.
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+// skipBalanced consumes from an opening delimiter to its match, recording
+// identifier uses along the way when record is true.
+func (p *parser) skipBalanced(open, close string, record bool) {
+	depth := 0
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == open {
+			depth++
+		} else if t.kind == tokPunct && t.text == close {
+			depth--
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		} else if record && t.kind == tokIdent {
+			p.recordUseHere()
+			continue
+		}
+		p.advance()
+	}
+}
+
+// parseUnit parses a whole file at file scope.
+func (p *parser) parseUnit() {
+	for !p.atEOF() {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && t.text == "typedef":
+			p.parseTypedef()
+		case p.startsDeclaration():
+			p.parseDeclaration(true)
+		case t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "(":
+			// Old-style definition with implicit int return, or a macro-ish
+			// construct; treat as a function definition attempt.
+			p.parseDeclarators(true, p.coord())
+		default:
+			p.advance()
+		}
+	}
+}
+
+// startsDeclaration reports whether the current token begins a declaration:
+// a qualifier, a type keyword, or a known typedef name followed by a
+// declarator shape.
+func (p *parser) startsDeclaration() bool {
+	t := p.cur()
+	if t.kind == tokKeyword && (typeKeywords[t.text] || qualifiers[t.text]) {
+		return true
+	}
+	if t.kind == tokIdent && p.b.typedefs[t.text] {
+		n := p.peek()
+		if n.kind == tokIdent {
+			return true
+		}
+		if n.kind == tokPunct && n.text == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseTypedef handles "typedef <type-spec> name[, name...];", declaring
+// each name as a typedef. Function-pointer typedefs like
+// "typedef int (*Cmp)(int, int);" declare the wrapped name: parens before
+// the declarator's identifier are entered, parens after it (the parameter
+// list) are skipped.
+func (p *parser) parseTypedef() {
+	p.advance()           // typedef
+	_ = p.parseTypeSpec() // typedefs don't carry linkage
+	sawIdent := false
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokIdent && !sawIdent {
+			at := p.coord()
+			sym := p.b.declareGlobal(t.text, KindTypedef, at)
+			sym.addRef(Ref{Coord: at, Kind: RefDecl})
+			p.b.typedefs[t.text] = true
+			sawIdent = true
+			p.advance()
+			continue
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "*":
+				p.advance()
+				continue
+			case ",":
+				sawIdent = false
+				p.advance()
+				continue
+			case "[":
+				p.skipBalanced("[", "]", false)
+				continue
+			case "(":
+				if sawIdent {
+					// Parameter list: skip whole.
+					p.skipBalanced("(", ")", false)
+					continue
+				}
+				// Function-pointer wrapper: look inside for the name.
+				p.advance()
+				continue
+			case ")":
+				p.advance()
+				continue
+			case ";":
+				p.advance()
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+// parseTypeSpec consumes the type part of a declaration: qualifiers, base
+// type keywords or a typedef name, and struct/union/enum heads with
+// optional tags and bodies. Enum bodies declare their constants. It
+// reports whether the static qualifier appeared, which switches a
+// file-scope declaration to internal linkage.
+func (p *parser) parseTypeSpec() (isStatic bool) {
+	for !p.atEOF() {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && qualifiers[t.text]:
+			if t.text == "static" {
+				isStatic = true
+			}
+			p.advance()
+		case t.kind == tokKeyword && (t.text == "struct" || t.text == "union" || t.text == "enum"):
+			isEnum := t.text == "enum"
+			p.advance()
+			if p.cur().kind == tokIdent {
+				tag := p.cur().text
+				at := p.coord()
+				p.b.declareTag(tag, at)
+				p.advance()
+			}
+			if p.cur().kind == tokPunct && p.cur().text == "{" {
+				if isEnum {
+					p.parseEnumBody()
+				} else {
+					p.parseAggregateBody()
+				}
+			}
+			return
+		case t.kind == tokKeyword && typeKeywords[t.text]:
+			p.advance()
+			// Multi-word types: unsigned long, long long, ...
+			for p.cur().kind == tokKeyword && typeKeywords[p.cur().text] {
+				p.advance()
+			}
+			return
+		case t.kind == tokIdent && p.b.typedefs[t.text]:
+			// A typedef name used as a type is still a reference to it.
+			p.resolve(t.text).addRef(Ref{Coord: p.coord(), Kind: RefRead})
+			p.advance()
+			return
+		default:
+			return
+		}
+	}
+	return
+}
+
+// parseEnumBody declares the constants of "enum { A, B = expr, ... }".
+func (p *parser) parseEnumBody() {
+	p.advance() // {
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == "}" {
+			p.advance()
+			return
+		}
+		if t.kind == tokIdent {
+			at := p.coord()
+			sym := p.b.declareGlobal(t.text, KindEnumConst, at)
+			sym.addRef(Ref{Coord: at, Kind: RefDecl})
+			p.advance()
+			// Skip an optional = expr up to , or }.
+			if p.cur().kind == tokPunct && p.cur().text == "=" {
+				for !p.atEOF() {
+					c := p.cur()
+					if c.kind == tokPunct && (c.text == "," || c.text == "}") {
+						break
+					}
+					if c.kind == tokIdent {
+						p.recordUseHere()
+						continue
+					}
+					p.advance()
+				}
+			}
+			continue
+		}
+		p.advance()
+	}
+}
+
+// parseAggregateBody skips a struct/union body. Field names live in a
+// member namespace the browser does not model, so nothing inside is
+// declared or counted as a use — exactly why "p->n" later must not count
+// against the global n.
+func (p *parser) parseAggregateBody() {
+	p.skipBalanced("{", "}", false)
+}
+
+// parseDeclaration parses "<type-spec> declarator[, declarator...];" or a
+// function definition. fileScope selects linkage for the declared names;
+// the static qualifier demotes file-scope names to internal (per-file)
+// linkage, so two files' statics of the same name stay distinct.
+func (p *parser) parseDeclaration(fileScope bool) {
+	at := p.coord()
+	isStatic := p.parseTypeSpec()
+	// A bare "struct X { ... };" has no declarators.
+	if p.cur().kind == tokPunct && p.cur().text == ";" {
+		p.advance()
+		return
+	}
+	p.parseDeclarators(fileScope && !isStatic, at)
+}
+
+// parseDeclarators handles the declarator list after a type specifier.
+func (p *parser) parseDeclarators(fileScope bool, declStart Coord) {
+	for !p.atEOF() {
+		// Pointer stars and function-pointer parens.
+		for p.cur().kind == tokPunct && (p.cur().text == "*" || p.cur().text == "(") {
+			if p.cur().text == "(" {
+				p.advance() // tolerate (*name) declarators
+				continue
+			}
+			p.advance()
+		}
+		if p.cur().kind != tokIdent {
+			// Malformed or unsupported declarator: bail to ';'.
+			p.skipToSemi()
+			return
+		}
+		name := p.cur().text
+		at := p.coord()
+		p.advance()
+		// Close a function-pointer declarator "(*name)".
+		if p.cur().kind == tokPunct && p.cur().text == ")" {
+			p.advance()
+		}
+		// Arrays.
+		for p.cur().kind == tokPunct && p.cur().text == "[" {
+			p.skipBalanced("[", "]", true)
+		}
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			// Function declarator.
+			if p.parseFunction(name, at, fileScope) {
+				return // definition consumed the body
+			}
+			// Prototype: continue with , or ;.
+		} else {
+			kind := KindLocal
+			if fileScope {
+				kind = KindVar
+			}
+			var sym *Symbol
+			if fileScope {
+				sym = p.b.declareGlobal(name, kind, at)
+			} else {
+				sym = p.declareScoped(name, kind, at)
+			}
+			sym.addRef(Ref{Coord: at, Kind: RefDecl})
+			if p.cur().kind == tokPunct && p.cur().text == "=" {
+				p.advance()
+				p.scanInitializer()
+			}
+		}
+		switch {
+		case p.cur().kind == tokPunct && p.cur().text == ",":
+			p.advance()
+		case p.cur().kind == tokPunct && p.cur().text == ";":
+			p.advance()
+			return
+		default:
+			p.skipToSemi()
+			return
+		}
+	}
+	_ = declStart
+}
+
+// parseFunction parses "name( params )" and, if a body follows, the whole
+// definition. It reports whether a body was consumed.
+func (p *parser) parseFunction(name string, at Coord, fileScope bool) bool {
+	params := p.parseParams()
+	isDef := p.cur().kind == tokPunct && p.cur().text == "{"
+	if fileScope {
+		sym := p.b.declareGlobal(name, KindFunc, at)
+		if isDef {
+			// The definition coordinate wins over an earlier prototype.
+			sym.Decl = at
+			sym.HasDef = true
+		}
+		sym.addRef(Ref{Coord: at, Kind: RefDecl})
+	} else {
+		p.declareScoped(name, KindFunc, at).addRef(Ref{Coord: at, Kind: RefDecl})
+	}
+	if !isDef {
+		return false
+	}
+	p.pushScope()
+	for _, prm := range params {
+		p.declareScoped(prm.name, KindParam, prm.at).addRef(Ref{Coord: prm.at, Kind: RefDecl})
+	}
+	p.parseBlock()
+	p.popScope()
+	return true
+}
+
+type param struct {
+	name string
+	at   Coord
+}
+
+// parseParams consumes "( ... )" returning the parameter names: for each
+// comma-separated chunk, the last plain identifier that is not a type name.
+func (p *parser) parseParams() []param {
+	var out []param
+	if !(p.cur().kind == tokPunct && p.cur().text == "(") {
+		return nil
+	}
+	p.advance()
+	depth := 1
+	var last *param
+	flush := func() {
+		if last != nil {
+			out = append(out, *last)
+			last = nil
+		}
+	}
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth == 0 {
+					flush()
+					p.advance()
+					return out
+				}
+			case ",":
+				if depth == 1 {
+					flush()
+				}
+			case "[":
+				p.skipBalanced("[", "]", false)
+				continue
+			}
+		}
+		if t.kind == tokIdent && depth == 1 && !p.b.typedefs[t.text] {
+			last = &param{name: t.text, at: Coord{File: t.file, Line: t.line}}
+		}
+		p.advance()
+	}
+	return out
+}
+
+// scanInitializer records uses inside "= expr" up to an unnested , or ;.
+func (p *parser) scanInitializer() {
+	depth := 0
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				depth--
+			case ",", ";":
+				if depth <= 0 {
+					return
+				}
+			}
+		}
+		if t.kind == tokIdent {
+			p.recordUseHere()
+			continue
+		}
+		p.advance()
+	}
+}
+
+// parseBlock walks a { } function or compound body: nested scopes, local
+// declarations at statement starts, labels, and identifier references.
+func (p *parser) parseBlock() {
+	if !(p.cur().kind == tokPunct && p.cur().text == "{") {
+		return
+	}
+	p.advance()
+	p.pushScope()
+	atStmtStart := true
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct {
+			switch t.text {
+			case "{":
+				p.parseBlock()
+				atStmtStart = true
+				continue
+			case "}":
+				p.advance()
+				p.popScope()
+				return
+			case ";":
+				p.advance()
+				atStmtStart = true
+				continue
+			}
+		}
+		if t.kind == tokKeyword && t.text == "goto" {
+			p.advance()
+			if p.cur().kind == tokIdent {
+				p.advance() // label, not a variable use
+			}
+			continue
+		}
+		// Labels: "Again:" at statement start.
+		if atStmtStart && t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == ":" &&
+			!p.b.typedefs[t.text] {
+			p.advance()
+			p.advance()
+			atStmtStart = true
+			continue
+		}
+		// Local declarations (static locals stay scoped too).
+		if atStmtStart && p.startsDeclaration() {
+			p.parseDeclaration(false)
+			atStmtStart = true
+			continue
+		}
+		if t.kind == tokIdent {
+			p.recordUseHere()
+			atStmtStart = false
+			continue
+		}
+		// case/default labels re-open statement position after ':'.
+		if t.kind == tokPunct && t.text == ":" {
+			atStmtStart = true
+			p.advance()
+			continue
+		}
+		atStmtStart = false
+		p.advance()
+	}
+	p.popScope()
+}
+
+// assignOps classify a following operator as a write to the identifier.
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+	"++": true, "--": true,
+}
+
+// recordUseHere records the current identifier token as a read or write
+// reference and advances past it. Member accesses (after '.' or '->') are
+// in the member namespace and are skipped.
+func (p *parser) recordUseHere() {
+	t := p.cur()
+	if prev := p.prev(); prev.kind == tokPunct && (prev.text == "." || prev.text == "->") {
+		p.advance()
+		return
+	}
+	kind := RefRead
+	n := p.peek()
+	if n.kind == tokPunct && assignOps[n.text] && n.text != "==" {
+		kind = RefWrite
+	}
+	if prev := p.prev(); prev.kind == tokPunct && (prev.text == "++" || prev.text == "--") {
+		kind = RefWrite
+	}
+	p.resolve(t.text).addRef(Ref{Coord: Coord{File: t.file, Line: t.line}, Kind: kind})
+	p.advance()
+}
+
+// skipToSemi recovers from an unparseable declarator.
+func (p *parser) skipToSemi() {
+	for !p.atEOF() {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == ";" {
+			p.advance()
+			return
+		}
+		if t.kind == tokPunct && t.text == "{" {
+			p.skipBalanced("{", "}", false)
+			return
+		}
+		p.advance()
+	}
+}

@@ -1,0 +1,150 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// Install registers the rcc builtin: the stripped compiler the /help/cbr
+// scripts pipe into. Usage:
+//
+//	rcc [-w] [-g] -d -i<id> [-n<line>] [-f<file>] [-D<dir>] files...  declaration
+//	rcc [-w] [-g] -u -i<id> [-n<line>] [-f<file>] [-D<dir>] files...  uses
+//	rcc [-w] [-g] -s -i<id> [-D<dir>] files...                        function source
+//
+// -D names the directory relative file arguments resolve against (the
+// source directory from help/parse), so query output keeps the relative
+// spelling the figures show.
+//
+// The -w and -g flags are accepted for fidelity with the paper's pipeline
+// ("help/rcc -w -g -i$id -n$line") and ignored. File arguments are parsed
+// as one program; -f/-n give the coordinate of the identifier the user
+// pointed at so scoped symbols resolve correctly. Query results print as
+// "file:line" coordinates, one per line, ready for Open to consume.
+func Install(sh *shell.Shell) {
+	sh.Register("rcc", func(ctx *shell.Context, args []string) int {
+		var (
+			id, file string
+			baseDir  string
+			line     int
+			mode     byte
+			files    []string
+		)
+		for _, a := range args[1:] {
+			switch {
+			case a == "-w" || a == "-g":
+				// no code generator; nothing to warn about
+			case a == "-d" || a == "-u" || a == "-s":
+				mode = a[1]
+			case strings.HasPrefix(a, "-i"):
+				id = a[2:]
+			case strings.HasPrefix(a, "-n"):
+				n, err := strconv.Atoi(a[2:])
+				if err != nil {
+					ctx.Errorf("rcc: bad line %q", a)
+					return 1
+				}
+				line = n
+			case strings.HasPrefix(a, "-f"):
+				file = a[2:]
+			case strings.HasPrefix(a, "-D"):
+				baseDir = a[2:]
+			case strings.HasPrefix(a, "-"):
+				ctx.Errorf("rcc: unknown flag %q", a)
+				return 1
+			default:
+				files = append(files, a)
+			}
+		}
+		if id == "" || mode == 0 {
+			ctx.Errorf("usage: rcc -d|-u|-s -i<id> [-n<line>] [-f<file>] files...")
+			return 1
+		}
+		if len(files) == 0 {
+			ctx.Errorf("rcc: no source files")
+			return 1
+		}
+		b := NewBrowser()
+		// Parse with the names as given, so query output keeps the
+		// caller's (usually directory-relative) spelling.
+		ordered := orderHeadersFirst(files)
+		dir := ctx.Dir
+		if baseDir != "" {
+			dir = baseDir
+		}
+		for _, f := range ordered {
+			full := f
+			if !strings.HasPrefix(full, "/") {
+				full = vfs.Clean(dir + "/" + full)
+			}
+			data, err := ctx.FS.ReadFile(full)
+			if err != nil {
+				ctx.Errorf("rcc: %v", err)
+				return 1
+			}
+			if err := b.ParseFile(f, string(data)); err != nil {
+				ctx.Errorf("rcc: %v", err)
+				return 1
+			}
+		}
+		var sym *Symbol
+		if file != "" && line > 0 {
+			sym = b.SymbolAt(file, line, id)
+		} else {
+			sym = b.Lookup(id)
+		}
+		if sym == nil {
+			ctx.Errorf("rcc: %s: no such symbol", id)
+			return 1
+		}
+		switch mode {
+		case 'd':
+			if sym.Decl.IsZero() {
+				ctx.Errorf("rcc: %s: declared outside these files", id)
+				return 1
+			}
+			fmt.Fprintln(ctx.Stdout, sym.Decl.String())
+		case 'u':
+			refs := b.Uses(sym, nil)
+			if len(refs) == 0 {
+				ctx.Errorf("rcc: %s: no references", id)
+				return 1
+			}
+			// Several references on one line print as one coordinate.
+			seen := map[string]bool{}
+			for _, r := range refs {
+				c := r.Coord.String()
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				fmt.Fprintln(ctx.Stdout, c)
+			}
+		case 's':
+			if sym.Kind != KindFunc || !sym.HasDef {
+				ctx.Errorf("rcc: %s: not a defined function", id)
+				return 1
+			}
+			fmt.Fprintln(ctx.Stdout, sym.Decl.String())
+		}
+		return 0
+	})
+}
+
+// orderHeadersFirst sorts .h files before .c files, preserving relative
+// order otherwise, so typedefs are known before use.
+func orderHeadersFirst(files []string) []string {
+	var hs, cs []string
+	for _, f := range files {
+		if strings.HasSuffix(f, ".h") {
+			hs = append(hs, f)
+		} else {
+			cs = append(cs, f)
+		}
+	}
+	return append(hs, cs...)
+}

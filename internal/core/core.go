@@ -1,0 +1,568 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/draw"
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/shell"
+	"repro/internal/text"
+	"repro/internal/vfs"
+)
+
+// minVisible is the smallest useful window: a tag line plus two body rows.
+// The placement heuristic falls through its stages when less than this
+// would remain visible.
+const minVisible = 3
+
+// Column is one vertical column of windows. Its left edge carries the
+// tower of tabs, "one per window ... visible or invisible, in order from
+// top to bottom of the column".
+type Column struct {
+	r    geom.Rect // includes the tab strip
+	wins []*Window // ordered by top row; hidden windows keep their slot
+}
+
+// winRect returns the rectangle available to windows (excluding tabs).
+func (c *Column) winRect() geom.Rect {
+	r := c.r
+	r.Min.X++
+	return r
+}
+
+// displayed returns the non-hidden windows ordered by top row.
+func (c *Column) displayed() []*Window {
+	var out []*Window
+	for _, w := range c.wins {
+		if !w.hidden {
+			out = append(out, w)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].top < out[j].top })
+	return out
+}
+
+// visibleSpan returns the number of rows window w currently shows: from
+// its top to the top of the next displayed window below (or the column
+// bottom). Zero if hidden or fully covered.
+func (c *Column) visibleSpan(w *Window) int {
+	if w.hidden {
+		return 0
+	}
+	bottom := c.r.Max.Y
+	for _, o := range c.displayed() {
+		if o != w && o.top > w.top && o.top < bottom {
+			bottom = o.top
+		}
+	}
+	span := bottom - w.top
+	if span < 0 {
+		return 0
+	}
+	return span
+}
+
+// lowestUsedRow returns the row just below the lowest visible text in the
+// column, where the placement heuristic first tries to put a new tag.
+func (c *Column) lowestUsedRow() int {
+	low := c.r.Min.Y
+	for _, w := range c.displayed() {
+		span := c.visibleSpan(w)
+		if span <= 0 {
+			continue
+		}
+		used := 1 + w.Body.NLines() // tag plus body lines
+		if used > span {
+			used = span
+		}
+		if w.top+used > low {
+			low = w.top + used
+		}
+	}
+	return low
+}
+
+// sortWins keeps the slice ordered by top row so the tab tower mirrors
+// vertical order.
+func (c *Column) sortWins() {
+	sort.SliceStable(c.wins, func(i, j int) bool { return c.wins[i].top < c.wins[j].top })
+}
+
+// Metrics aggregates the interaction accounting the paper's claims are
+// checked against.
+type Metrics struct {
+	Presses    int // mouse button-down transitions ("button clicks")
+	Travel     int // pointer travel, Manhattan cells
+	Keystrokes int // runes typed
+	Commands   int // commands executed via the middle button
+}
+
+// Help is the program: the screen, the namespace, the shell, the columns
+// of windows, and the single snarf buffer.
+type Help struct {
+	FS     *vfs.FS
+	Shell  *shell.Shell
+	screen *draw.Screen
+	cols   []*Column
+
+	byID   map[int]*Window
+	nextID int
+
+	// current selection ownership: the subwindow "with the most recent
+	// selection or typed text"; its selection paints in reverse video,
+	// all others in outline.
+	curWin *Window
+	curSub int
+
+	snarf string
+
+	machine    event.Machine
+	keystrokes int
+	commands   int
+	mousePt    geom.Point // last pointer position, for typing dispatch
+
+	errors *Window // the Errors window, created on demand
+
+	// sweepExec is the live middle-button sweep, painted underlined.
+	sweepExec *execSweep
+
+	// OnWindowCreated and OnWindowClosed notify observers (the helpfs
+	// file service) when windows come and go.
+	OnWindowCreated func(*Window)
+	OnWindowClosed  func(*Window)
+
+	exited bool
+}
+
+// New creates a help instance on a w x h cell screen over the given
+// namespace and shell, with two empty columns (the boot arrangement).
+func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
+	h9 := &Help{
+		FS:     fs,
+		Shell:  sh,
+		screen: draw.NewScreen(w, h),
+		byID:   map[int]*Window{},
+		nextID: 1,
+	}
+	// Row 0 is the column tab row; columns split the rest side by side.
+	mid := w / 2
+	h9.cols = []*Column{
+		{r: geom.Rt(0, 1, mid, h)},
+		{r: geom.Rt(mid, 1, w, h)},
+	}
+	return h9
+}
+
+// Screen returns the display, rendered by Render.
+func (h *Help) Screen() *draw.Screen { return h.screen }
+
+// Exited reports whether Exit has been executed.
+func (h *Help) Exited() bool { return h.exited }
+
+// Metrics returns the current interaction accounting.
+func (h *Help) Metrics() Metrics {
+	return Metrics{
+		Presses:    h.machine.Presses,
+		Travel:     h.machine.Travel,
+		Keystrokes: h.keystrokes,
+		Commands:   h.commands,
+	}
+}
+
+// Columns returns the number of columns.
+func (h *Help) Columns() int { return len(h.cols) }
+
+// Windows returns all windows ordered by id.
+func (h *Help) Windows() []*Window {
+	out := make([]*Window, 0, len(h.byID))
+	for _, w := range h.byID {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Window returns the window with the given id, or nil.
+func (h *Help) Window(id int) *Window { return h.byID[id] }
+
+// WindowByName returns the window whose tag names file, or nil. ("If the
+// file is already open, the command just guarantees that its window is
+// visible.")
+func (h *Help) WindowByName(name string) *Window {
+	name = vfs.Clean(name)
+	for _, w := range h.Windows() {
+		wn := w.FileName()
+		if wn == "" {
+			continue
+		}
+		if vfs.Clean(strings.TrimSuffix(wn, "/")) == strings.TrimSuffix(name, "/") {
+			return w
+		}
+	}
+	return nil
+}
+
+// Current returns the window and subwindow owning the current selection.
+func (h *Help) Current() (*Window, int) { return h.curWin, h.curSub }
+
+// SetCurrent makes (w, sub) the owner of the current selection.
+func (h *Help) SetCurrent(w *Window, sub int) {
+	h.curWin, h.curSub = w, sub
+}
+
+// Snarf returns the snarf (cut) buffer contents.
+func (h *Help) Snarf() string { return h.snarf }
+
+// colAt returns the column containing point p, defaulting to the last.
+func (h *Help) colAt(p geom.Point) *Column {
+	for _, c := range h.cols {
+		if p.In(c.r) {
+			return c
+		}
+	}
+	return h.cols[len(h.cols)-1]
+}
+
+// colOf returns the column of w (its own, or the first as fallback).
+func (h *Help) colOf(w *Window) *Column {
+	if w != nil && w.col != nil {
+		return w.col
+	}
+	return h.cols[0]
+}
+
+// selectionColumn returns the column containing the current selection,
+// where the placement heuristic puts new windows.
+func (h *Help) selectionColumn() *Column {
+	if h.curWin != nil && h.curWin.col != nil {
+		return h.curWin.col
+	}
+	return h.cols[0]
+}
+
+// NewWindow creates an empty window placed by the heuristic in the column
+// of the current selection.
+func (h *Help) NewWindow() *Window {
+	return h.newWindowIn(h.selectionColumn())
+}
+
+// NewWindowIn creates an empty window in column index ci.
+func (h *Help) NewWindowIn(ci int) *Window {
+	if ci < 0 || ci >= len(h.cols) {
+		ci = 0
+	}
+	return h.newWindowIn(h.cols[ci])
+}
+
+func (h *Help) newWindowIn(col *Column) *Window {
+	w := newWindow(h.nextID)
+	h.nextID++
+	h.byID[w.ID] = w
+	h.place(w, col)
+	if h.OnWindowCreated != nil {
+		h.OnWindowCreated(w)
+	}
+	return w
+}
+
+// place runs the paper's placement heuristic, quoted from the Discussion:
+//
+//	"first ... place the new window at the bottom of the column containing
+//	the selection. It places the tag of the window immediately below the
+//	lowest visible text already in the column. If that would leave too
+//	little of the new window visible, the new window is placed to cover
+//	half of the lowest window in the column. If that would still leave too
+//	little visible, the new window is positioned over the bottom 25% of
+//	the column ... which may entail hiding some windows entirely."
+func (h *Help) place(w *Window, col *Column) {
+	w.col = col
+	w.hidden = false
+	top := col.lowestUsedRow()
+	if col.r.Max.Y-top < minVisible {
+		// Stage two: cover half of the lowest window.
+		if disp := col.displayed(); len(disp) > 0 {
+			lowest := disp[len(disp)-1]
+			span := col.visibleSpan(lowest)
+			top = lowest.top + span/2
+		}
+		if col.r.Max.Y-top < minVisible {
+			// Stage three: the bottom 25% of the column.
+			top = col.r.Max.Y - col.r.Dy()/4
+			if col.r.Max.Y-top < minVisible {
+				top = col.r.Max.Y - minVisible
+			}
+			if top < col.r.Min.Y {
+				top = col.r.Min.Y
+			}
+			// Hide windows this placement covers completely.
+			for _, o := range col.displayed() {
+				if o != w && o.top >= top {
+					o.hidden = true
+				}
+			}
+		}
+	}
+	w.top = top
+	col.wins = append(col.wins, w)
+	col.sortWins()
+}
+
+// Reveal makes w fully visible "from the tag to the bottom of the column
+// it is in", the action of clicking its tab: windows displayed below it
+// are covered entirely.
+func (h *Help) Reveal(w *Window) {
+	col := h.colOf(w)
+	w.hidden = false
+	if w.top >= col.r.Max.Y-1 {
+		w.top = col.r.Max.Y - minVisible
+		if w.top < col.r.Min.Y {
+			w.top = col.r.Min.Y
+		}
+	}
+	for _, o := range col.wins {
+		if o != w && !o.hidden && o.top >= w.top {
+			o.hidden = true
+		}
+	}
+	col.sortWins()
+}
+
+// MoveWindow drags w so its tag lands at p, possibly into another column,
+// then does "whatever local rearrangement is necessary": nudging windows
+// off the exact row, keeping the tag visible, or covering windows that no
+// longer fit.
+func (h *Help) MoveWindow(w *Window, p geom.Point) {
+	dst := h.colAt(p)
+	src := h.colOf(w)
+	if src != dst {
+		src.removeWindow(w)
+		dst.wins = append(dst.wins, w)
+		w.col = dst
+	}
+	top := p.Y
+	if top < dst.r.Min.Y {
+		top = dst.r.Min.Y
+	}
+	if top > dst.r.Max.Y-1 {
+		top = dst.r.Max.Y - 1
+	}
+	w.top = top
+	w.hidden = false
+	// Local rearrangement: other displayed windows sharing the row are
+	// nudged down; if they fall off the column they are hidden, keeping at
+	// least w's tag fully visible.
+	for _, o := range dst.displayed() {
+		if o == w {
+			continue
+		}
+		if o.top == w.top {
+			o.top = w.top + 1
+		}
+		if o.top >= dst.r.Max.Y {
+			o.hidden = true
+		}
+	}
+	dst.sortWins()
+}
+
+// MoveWindowToColumn moves w into column index ci, re-running the
+// placement heuristic there; used when booting tools into the right-hand
+// column.
+func (h *Help) MoveWindowToColumn(w *Window, ci int) {
+	if ci < 0 || ci >= len(h.cols) {
+		return
+	}
+	dst := h.cols[ci]
+	src := h.colOf(w)
+	if src == dst {
+		return
+	}
+	src.removeWindow(w)
+	h.place(w, dst)
+}
+
+func (c *Column) removeWindow(w *Window) {
+	for i, o := range c.wins {
+		if o == w {
+			c.wins = append(c.wins[:i], c.wins[i+1:]...)
+			return
+		}
+	}
+}
+
+// CloseWindow removes w from the screen and the window table.
+func (h *Help) CloseWindow(w *Window) {
+	if h.byID[w.ID] != w {
+		return // already closed
+	}
+	h.colOf(w).removeWindow(w)
+	delete(h.byID, w.ID)
+	if h.curWin == w {
+		h.curWin = nil
+	}
+	if h.errors == w {
+		h.errors = nil
+	}
+	if h.OnWindowClosed != nil {
+		h.OnWindowClosed(w)
+	}
+}
+
+// ExpandColumn gives column ci two thirds of the screen width, the action
+// of the tab row "across the top of the columns [that] allows the columns
+// to expand horizontally".
+func (h *Help) ExpandColumn(ci int) {
+	if len(h.cols) != 2 || ci < 0 || ci > 1 {
+		return
+	}
+	w := h.screen.Bounds().Dx()
+	split := w / 3
+	if ci == 0 {
+		split = 2 * w / 3
+	}
+	h.cols[0].r.Max.X = split
+	h.cols[1].r.Min.X = split
+}
+
+// execSweep is an in-progress middle-button sweep.
+type execSweep struct {
+	win    *Window
+	sub    int
+	q0, q1 int
+}
+
+// Errors returns the Errors window, creating it if needed: "the standard
+// and error outputs are directed to a special window, called Errors, that
+// will be created automatically if needed."
+func (h *Help) Errors() *Window {
+	if h.errors != nil && h.byID[h.errors.ID] != nil {
+		return h.errors
+	}
+	w := h.NewWindow()
+	w.Tag.SetString("Errors\tClose!")
+	w.Tag.SetClean()
+	h.errors = w
+	return w
+}
+
+// AppendErrors appends text to the Errors window.
+func (h *Help) AppendErrors(s string) {
+	if s == "" {
+		return
+	}
+	w := h.Errors()
+	w.Body.Insert(w.Body.Len(), s)
+	w.Body.Commit()
+	// Keep the tail visible, like a log.
+	w.scrollTo(w.Body.Len())
+}
+
+// OpenFile opens name (already absolute) in a window, reusing an existing
+// window for the same file. addr optionally positions the view
+// ("help.c:27"). It returns the window.
+func (h *Help) OpenFile(name, addr string) (*Window, error) {
+	name = vfs.Clean(name)
+	if w := h.WindowByName(name); w != nil {
+		h.Reveal(w)
+		if addr != "" {
+			if err := w.ShowAddr(addr); err != nil {
+				return w, err
+			}
+		}
+		return w, nil
+	}
+	info, err := h.FS.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	w := h.NewWindow()
+	if info.IsDir {
+		// "When a directory is Opened, help puts its name, including a
+		// final slash, in the tag and just lists the contents in the
+		// body."
+		listing, err := h.dirListing(name)
+		if err != nil {
+			h.CloseWindow(w)
+			return nil, err
+		}
+		w.IsDir = true
+		w.Body = text.NewBuffer(listing)
+		w.SetNameTag(name + "/")
+		return w, nil
+	}
+	data, err := h.FS.ReadFile(name)
+	if err != nil {
+		h.CloseWindow(w)
+		return nil, err
+	}
+	w.Body = text.NewBuffer(string(data))
+	w.SetNameTag(name)
+	if addr != "" {
+		if err := w.ShowAddr(addr); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+func (h *Help) dirListing(name string) (string, error) {
+	f, err := h.FS.Open(name, vfs.OREAD)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(f); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Get reloads w's body from its file, discarding edits.
+func (h *Help) Get(w *Window) error {
+	name := w.FileName()
+	if name == "" {
+		return fmt.Errorf("window %d has no file name", w.ID)
+	}
+	if w.IsDir || strings.HasSuffix(name, "/") {
+		listing, err := h.dirListing(strings.TrimSuffix(name, "/"))
+		if err != nil {
+			return err
+		}
+		w.Body.SetString(listing)
+		w.Body.SetClean()
+		w.Sel[SubBody] = clampSel(w.Sel[SubBody], w.Body.Len())
+		w.RefreshTag()
+		return nil
+	}
+	data, err := h.FS.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	w.Body.SetString(string(data))
+	w.Body.SetClean()
+	w.Sel[SubBody] = clampSel(w.Sel[SubBody], w.Body.Len())
+	w.RefreshTag()
+	return nil
+}
+
+// Put writes w's body to its file (or to name if given) and marks the
+// window clean, removing Put! from the tag.
+func (h *Help) Put(w *Window, name string) error {
+	if name == "" {
+		name = w.FileName()
+	}
+	if name == "" {
+		return fmt.Errorf("window %d has no file name", w.ID)
+	}
+	if err := h.FS.WriteFile(vfs.Clean(name), []byte(w.Body.String())); err != nil {
+		return err
+	}
+	w.Body.SetClean()
+	w.SetNameTag(vfs.Clean(name))
+	return nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/shell"
+	"repro/internal/text"
+	"repro/internal/vfs"
+)
+
+// ExecuteAt executes the text in [q0, q1) of the given subwindow, the
+// action of releasing the middle button. A null selection expands to the
+// whole surrounding word (the rule of defaults: "a middle mouse button
+// click anywhere in a word [is] a selection of the whole word"); a
+// non-null selection "is always taken literally".
+func (h *Help) ExecuteAt(w *Window, sub int, q0, q1 int) {
+	buf := w.Buffer(sub)
+	if q0 == q1 {
+		q0, q1 = expandWord(buf, q0)
+	}
+	cmd := buf.Slice(q0, q1-q0)
+	h.Execute(w, cmd)
+}
+
+// Execute runs a command string in the context of window w: built-ins by
+// name (capitalized by convention; names ending in ! are window operations
+// taking no arguments), anything else as an external command under the
+// context rules.
+func (h *Help) Execute(w *Window, cmd string) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return
+	}
+	h.commands++
+	switch fields[0] {
+	case "Cut":
+		h.Cut()
+	case "Paste":
+		h.Paste()
+	case "Snarf":
+		h.SnarfSel()
+	case "New":
+		h.NewWindow()
+	case "Exit":
+		h.exited = true
+	case "Open":
+		h.openCmd(w, fields[1:])
+	case "Write":
+		name := ""
+		if len(fields) > 1 {
+			name = h.absPath(w, fields[1])
+		}
+		target := w
+		if cw, _ := h.Current(); name == "" && cw != nil {
+			target = cw
+		}
+		if err := h.Put(target, name); err != nil {
+			h.AppendErrors(fmt.Sprintf("Write: %v\n", err))
+		}
+	case "Pattern":
+		h.patternCmd(fields[1:])
+	case "Text":
+		// Preserve the argument's internal spacing: everything after the
+		// command word, minus one separating space.
+		rest := strings.TrimPrefix(strings.TrimLeft(cmd, " \t"), "Text")
+		rest = strings.TrimPrefix(rest, " ")
+		h.textCmd(rest)
+	case "Undo":
+		// An extension the paper lists as overdue future work.
+		if cw, _ := h.Current(); cw != nil {
+			cw.Body.Undo()
+			cw.Sel[SubBody] = clampSel(cw.Sel[SubBody], cw.Body.Len())
+			cw.RefreshTag()
+		}
+	case "Redo":
+		if cw, _ := h.Current(); cw != nil {
+			cw.Body.Redo()
+			cw.Sel[SubBody] = clampSel(cw.Sel[SubBody], cw.Body.Len())
+			cw.RefreshTag()
+		}
+	case "Close!":
+		// "Commands ending in an exclamation mark take no arguments; they
+		// are window operations that apply to the window in which they
+		// are executed."
+		h.CloseWindow(w)
+	case "Get!":
+		if err := h.Get(w); err != nil {
+			h.AppendErrors(fmt.Sprintf("Get!: %v\n", err))
+		}
+	case "Put!":
+		if err := h.Put(w, ""); err != nil {
+			h.AppendErrors(fmt.Sprintf("Put!: %v\n", err))
+		}
+	case "Send":
+		// Another future-work item ("support for traditional shell
+		// windows"): Send runs the window's last line (or the current
+		// selection, if any) as a shell command in the window's directory
+		// context and appends the output to the body, making any window a
+		// typescript.
+		h.sendCmd(w)
+	case "Clone!":
+		// An extension from the paper's future-work list ("multiple
+		// windows per file"): a second window on the same file, sharing
+		// nothing but the name, so two regions can be viewed at once.
+		h.cloneCmd(w)
+	default:
+		h.runExternal(w, cmd, fields)
+	}
+}
+
+// sendCmd implements the Send builtin: the shell-window behaviour.
+func (h *Help) sendCmd(w *Window) {
+	line := ""
+	if cw, csub := h.Current(); cw != nil && csub == SubBody && !cw.Sel[SubBody].Empty() {
+		w = cw
+		line = cw.SelectedText(SubBody)
+	} else {
+		line = lastNonEmptyLine(w.Body.String())
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		h.AppendErrors("Send: nothing to send\n")
+		return
+	}
+	var out bytes.Buffer
+	ctx := h.Shell.NewContext(&out, &out)
+	ctx.Dir = w.Dir()
+	h.setHelpsel(ctx)
+	h.Shell.Run(ctx, line)
+	// Typescript behaviour: output lands in the window itself, after a
+	// newline if the body does not end with one.
+	body := w.Body
+	if body.Len() > 0 && body.At(body.Len()-1) != '\n' {
+		body.Insert(body.Len(), "\n")
+	}
+	body.Insert(body.Len(), out.String())
+	body.Commit()
+	w.scrollTo(body.Len())
+	if !w.IsDir {
+		w.RefreshTag()
+	}
+}
+
+func lastNonEmptyLine(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.TrimSpace(lines[i]) != "" {
+			return lines[i]
+		}
+	}
+	return ""
+}
+
+// cloneCmd opens an additional window on w's file.
+func (h *Help) cloneCmd(w *Window) {
+	name := w.FileName()
+	if name == "" {
+		h.AppendErrors("Clone!: window has no file name\n")
+		return
+	}
+	nw := h.NewWindow()
+	nw.IsDir = w.IsDir
+	nw.Body.SetString(w.Body.String())
+	nw.Body.SetClean()
+	if w.Body.Modified() {
+		nw.Body.SetDirty()
+	}
+	nw.SetNameTag(name)
+	nw.bodyOrg = w.bodyOrg
+	nw.Sel[SubBody] = w.Sel[SubBody]
+}
+
+// openCmd implements Open with the paper's default rules. With arguments,
+// each is opened (name[:addr]), relative names resolved against the
+// executing window's directory. With no argument, "it uses the file name
+// containing the most recent selection", expanding a null selection to the
+// surrounding file name and resolving relative names against the tag of
+// the window containing the selection.
+func (h *Help) openCmd(w *Window, args []string) {
+	ctxWin := w
+	if len(args) == 0 {
+		cw, csub := h.Current()
+		if cw == nil {
+			h.AppendErrors("Open: no selection\n")
+			return
+		}
+		buf := cw.Buffer(csub)
+		sel := cw.Sel[csub]
+		var name string
+		if sel.Empty() {
+			q0, q1 := expandFilename(buf, sel.Q0)
+			name = buf.Slice(q0, q1-q0)
+		} else {
+			name = buf.Slice(sel.Q0, sel.Q1-sel.Q0)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			h.AppendErrors("Open: no file name at selection\n")
+			return
+		}
+		args = []string{name}
+		ctxWin = cw
+	}
+	for _, arg := range args {
+		name, addr := SplitAddr(arg)
+		name = h.absPathIn(ctxWin, name)
+		if _, err := h.OpenFile(name, addr); err != nil {
+			h.AppendErrors(fmt.Sprintf("Open: %v\n", err))
+		}
+	}
+}
+
+// patternCmd searches the current window's body for a literal pattern,
+// starting after the current selection and wrapping, then selects and
+// shows the match. With no argument the snarf buffer is the pattern.
+func (h *Help) patternCmd(args []string) {
+	cw, _ := h.Current()
+	if cw == nil {
+		h.AppendErrors("Pattern: no current window\n")
+		return
+	}
+	pat := strings.Join(args, " ")
+	if pat == "" {
+		pat = h.snarf
+	}
+	if pat == "" {
+		h.AppendErrors("Pattern: no pattern\n")
+		return
+	}
+	body := cw.Body.String()
+	runes := []rune(body)
+	start := cw.Sel[SubBody].Q1
+	idx := indexRunes(runes, []rune(pat), start)
+	if idx < 0 {
+		idx = indexRunes(runes, []rune(pat), 0) // wrap
+	}
+	if idx < 0 {
+		h.AppendErrors(fmt.Sprintf("Pattern: %q not found\n", pat))
+		return
+	}
+	cw.Sel[SubBody] = Selection{idx, idx + len([]rune(pat))}
+	cw.scrollTo(idx)
+	h.SetCurrent(cw, SubBody)
+}
+
+// indexRunes finds needle in hay at or after rune offset from.
+func indexRunes(hay, needle []rune, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// textCmd types its argument over the current selection, leaving the
+// insertion selected, so text can be entered without the keyboard.
+func (h *Help) textCmd(s string) {
+	cw, csub := h.Current()
+	if cw == nil {
+		return
+	}
+	sel := cw.Sel[csub]
+	buf := cw.Buffer(csub)
+	buf.Commit()
+	if !sel.Empty() {
+		buf.Delete(sel.Q0, sel.Q1-sel.Q0)
+	}
+	buf.Insert(sel.Q0, s)
+	buf.Commit()
+	cw.Sel[csub] = Selection{sel.Q0, sel.Q0 + len([]rune(s))}
+	if csub == SubBody && !cw.IsDir {
+		cw.RefreshTag()
+	}
+}
+
+// runExternal executes an external command under the context rules: "if
+// the tag line of the window containing the command has a file name and
+// the command does not begin with a slash, the directory of the file will
+// be prepended to the command. If that command cannot be found locally, it
+// will be searched for in the standard directory of program binaries. The
+// standard input of the commands is connected to an empty file; the
+// standard and error outputs are directed to ... Errors."
+func (h *Help) runExternal(w *Window, cmd string, fields []string) {
+	dir := w.Dir()
+	var out bytes.Buffer
+	ctx := h.Shell.NewContext(&out, &out)
+	ctx.Dir = dir
+	h.setHelpsel(ctx)
+
+	// The paper lists "syntax for shell-like functionality such as I/O
+	// redirection" as overdue; we provide it: a command containing shell
+	// metacharacters (including quotes, so the paper's own example
+	// "grep '^main' /sys/src/cmd/help/*.c" parses properly) runs as an
+	// rc script in the window's directory context.
+	if strings.ContainsAny(cmd, "|><`;'$") {
+		h.Shell.Run(ctx, cmd)
+		h.AppendErrors(out.String())
+		return
+	}
+
+	name := fields[0]
+	if !strings.HasPrefix(name, "/") {
+		local := vfs.Clean(dir + "/" + name)
+		if h.Shell.IsProgram(local) || h.FS.Exists(local) {
+			name = local
+		}
+	}
+	argv := []string{name}
+	for _, a := range fields[1:] {
+		argv = append(argv, h.Shell.ExpandGlobArg(ctx, a)...)
+	}
+	h.Shell.RunCommand(ctx, argv)
+	h.AppendErrors(out.String())
+}
+
+// setHelpsel passes the current selection to the tool the way the paper
+// describes: "help passes to an application the file and character offset
+// of the mouse position ... through an environment variable, helpsel."
+// The format is "windowID:q0,q1".
+func (h *Help) setHelpsel(ctx *shell.Context) {
+	cw, csub := h.Current()
+	if cw == nil {
+		return
+	}
+	sel := cw.Sel[csub]
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:%d,%d", cw.ID, sel.Q0, sel.Q1)})
+}
+
+// absPath resolves a possibly-relative file name against w's directory.
+func (h *Help) absPath(w *Window, name string) string {
+	return h.absPathIn(w, name)
+}
+
+func (h *Help) absPathIn(w *Window, name string) string {
+	if strings.HasPrefix(name, "/") {
+		return vfs.Clean(name)
+	}
+	return vfs.Clean(w.Dir() + "/" + name)
+}
+
+// SplitAddr splits "name:addr" where addr is a line number (help.c:27),
+// a character address (#123), or a pattern (/pat/) — the paper's
+// error(1)-style syntax plus the "general locations" it mentions. Text
+// with no address suffix returns addr "".
+func SplitAddr(s string) (name, addr string) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 || i == len(s)-1 {
+		return s, ""
+	}
+	suffix := s[i+1:]
+	if isLineNumber(suffix) || strings.HasPrefix(suffix, "#") || strings.HasPrefix(suffix, "/") {
+		return s[:i], suffix
+	}
+	return s, ""
+}
+
+func isLineNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandWord grows a null selection at off to the surrounding run of
+// non-whitespace, the default for execution.
+func expandWord(buf *text.Buffer, off int) (int, int) {
+	return expandClass(buf, off, func(r rune) bool { return !unicode.IsSpace(r) })
+}
+
+// expandFilename grows a null selection at off to the surrounding file
+// name: the rule of automation ("it should be good enough just to point at
+// a file name"). The character class covers path characters plus the
+// :addr suffix.
+func expandFilename(buf *text.Buffer, off int) (int, int) {
+	return expandClass(buf, off, func(r rune) bool {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+		switch r {
+		case '.', '/', '_', '-', '+', ':', '#':
+			return true
+		}
+		return false
+	})
+}
+
+// expandClass grows [off, off) to the maximal run of runes satisfying ok.
+func expandClass(buf *text.Buffer, off int, ok func(rune) bool) (int, int) {
+	n := buf.Len()
+	if off > n {
+		off = n
+	}
+	q0, q1 := off, off
+	for q0 > 0 && ok(buf.At(q0-1)) {
+		q0--
+	}
+	for q1 < n && ok(buf.At(q1)) {
+		q1++
+	}
+	return q0, q1
+}

@@ -1,0 +1,213 @@
+// Package draw provides the display substrate for the help reproduction: a
+// character-cell screen with per-cell attributes.
+//
+// The original help ran on a Plan 9 bitmap display. Because help is purely
+// textual, all of its user-interface semantics survive on a cell grid: each
+// cell holds one rune plus an attribute describing how the original would
+// have painted it (reverse video for the current selection, outline for
+// selections in other subwindows, and so on). The grid renders to plain
+// text, which is how the repository regenerates the paper's figures and
+// runs golden-screenshot tests.
+package draw
+
+import (
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Attr describes how a cell is painted.
+type Attr uint8
+
+const (
+	// Plain is ordinary text on the background.
+	Plain Attr = iota
+	// Reverse is reverse video: the current selection.
+	Reverse
+	// Outline marks a selection in a subwindow other than the current one.
+	Outline
+	// Underline marks text being swept for execution with the middle button.
+	Underline
+	// Tag is the background tint of tag lines.
+	Tag
+	// Border paints window borders and column structure.
+	Border
+	// TabCell paints the small black squares along the column edge.
+	TabCell
+)
+
+// String returns a one-letter code for the attribute, used in attribute
+// dumps by tests.
+func (a Attr) String() string {
+	switch a {
+	case Plain:
+		return "."
+	case Reverse:
+		return "R"
+	case Outline:
+		return "O"
+	case Underline:
+		return "U"
+	case Tag:
+		return "T"
+	case Border:
+		return "B"
+	case TabCell:
+		return "#"
+	}
+	return "?"
+}
+
+// Cell is one character cell of the display.
+type Cell struct {
+	R    rune
+	Attr Attr
+}
+
+// Screen is a rectangular grid of cells rooted at (0,0).
+type Screen struct {
+	w, h  int
+	cells []Cell
+}
+
+// NewScreen returns a screen of the given size with every cell blank.
+func NewScreen(w, h int) *Screen {
+	if w < 0 || h < 0 {
+		panic("draw: negative screen size")
+	}
+	s := &Screen{w: w, h: h, cells: make([]Cell, w*h)}
+	s.Clear()
+	return s
+}
+
+// Size returns the width and height of the screen in cells.
+func (s *Screen) Size() (w, h int) { return s.w, s.h }
+
+// Bounds returns the screen rectangle.
+func (s *Screen) Bounds() geom.Rect { return geom.Rt(0, 0, s.w, s.h) }
+
+// Clear resets every cell to a blank plain space.
+func (s *Screen) Clear() {
+	for i := range s.cells {
+		s.cells[i] = Cell{R: ' ', Attr: Plain}
+	}
+}
+
+// At returns the cell at p, or a blank cell if p is off screen.
+func (s *Screen) At(p geom.Point) Cell {
+	if !p.In(s.Bounds()) {
+		return Cell{R: ' ', Attr: Plain}
+	}
+	return s.cells[p.Y*s.w+p.X]
+}
+
+// Set writes the cell at p; writes outside the screen are clipped.
+func (s *Screen) Set(p geom.Point, c Cell) {
+	if !p.In(s.Bounds()) {
+		return
+	}
+	s.cells[p.Y*s.w+p.X] = c
+}
+
+// SetRune writes rune r with attribute a at p.
+func (s *Screen) SetRune(p geom.Point, r rune, a Attr) {
+	s.Set(p, Cell{R: r, Attr: a})
+}
+
+// Fill paints every cell of r with rune ch and attribute a, clipped to the
+// screen.
+func (s *Screen) Fill(r geom.Rect, ch rune, a Attr) {
+	r = r.Intersect(s.Bounds())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			s.cells[y*s.w+x] = Cell{R: ch, Attr: a}
+		}
+	}
+}
+
+// Text writes a string starting at p with attribute a, clipping at the
+// screen edge, and returns the position one past the final rune written.
+// Newlines are not interpreted; use higher layers for layout.
+func (s *Screen) Text(p geom.Point, text string, a Attr) geom.Point {
+	for _, r := range text {
+		if p.X >= s.w {
+			break
+		}
+		s.SetRune(p, r, a)
+		p.X++
+	}
+	return p
+}
+
+// SetAttr rewrites the attribute of every cell in r without touching the
+// runes, used to paint selections over already-laid-out text.
+func (s *Screen) SetAttr(r geom.Rect, a Attr) {
+	r = r.Intersect(s.Bounds())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			s.cells[y*s.w+x].Attr = a
+		}
+	}
+}
+
+// Line returns the text of row y with trailing blanks trimmed.
+func (s *Screen) Line(y int) string {
+	if y < 0 || y >= s.h {
+		return ""
+	}
+	var b strings.Builder
+	for x := 0; x < s.w; x++ {
+		b.WriteRune(s.cells[y*s.w+x].R)
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// String renders the screen as h lines of text, trailing blanks trimmed.
+// Attributes are dropped; see AttrString for the attribute plane.
+func (s *Screen) String() string {
+	var b strings.Builder
+	for y := 0; y < s.h; y++ {
+		b.WriteString(s.Line(y))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AttrString renders the attribute plane, one code letter per cell, used by
+// golden tests that check selection painting.
+func (s *Screen) AttrString() string {
+	var b strings.Builder
+	for y := 0; y < s.h; y++ {
+		line := make([]byte, 0, s.w)
+		for x := 0; x < s.w; x++ {
+			line = append(line, s.cells[y*s.w+x].Attr.String()[0])
+		}
+		b.WriteString(strings.TrimRight(string(line), "."))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Region extracts the rows of r as rendered text, used to screenshot a
+// single window for figures.
+func (s *Screen) Region(r geom.Rect) string {
+	r = r.Intersect(s.Bounds())
+	var b strings.Builder
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		var row strings.Builder
+		for x := r.Min.X; x < r.Max.X; x++ {
+			row.WriteRune(s.cells[y*s.w+x].R)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Copy returns an independent deep copy of the screen, used by session
+// recorders that keep per-step snapshots.
+func (s *Screen) Copy() *Screen {
+	n := &Screen{w: s.w, h: s.h, cells: make([]Cell, len(s.cells))}
+	copy(n.cells, s.cells)
+	return n
+}

@@ -1,0 +1,163 @@
+package draw
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestNewScreenBlank(t *testing.T) {
+	s := NewScreen(4, 2)
+	w, h := s.Size()
+	if w != 4 || h != 2 {
+		t.Fatalf("Size = %d,%d", w, h)
+	}
+	if got := s.String(); got != "\n\n" {
+		t.Errorf("blank screen = %q", got)
+	}
+	if c := s.At(geom.Pt(1, 1)); c.R != ' ' || c.Attr != Plain {
+		t.Errorf("blank cell = %+v", c)
+	}
+}
+
+func TestSetAtClipping(t *testing.T) {
+	s := NewScreen(3, 3)
+	s.SetRune(geom.Pt(1, 1), 'x', Reverse)
+	if c := s.At(geom.Pt(1, 1)); c.R != 'x' || c.Attr != Reverse {
+		t.Errorf("cell = %+v", c)
+	}
+	// Out-of-bounds writes are dropped, reads return blank.
+	s.SetRune(geom.Pt(-1, 0), 'q', Plain)
+	s.SetRune(geom.Pt(3, 0), 'q', Plain)
+	s.SetRune(geom.Pt(0, 3), 'q', Plain)
+	if got := s.At(geom.Pt(99, 99)); got.R != ' ' {
+		t.Errorf("OOB read = %+v", got)
+	}
+	if strings.Contains(s.String(), "q") {
+		t.Error("out-of-bounds write landed on screen")
+	}
+}
+
+func TestText(t *testing.T) {
+	s := NewScreen(5, 1)
+	end := s.Text(geom.Pt(2, 0), "abcdef", Plain)
+	if got := s.Line(0); got != "  abc" {
+		t.Errorf("Line = %q", got)
+	}
+	if end.X != 5 {
+		t.Errorf("end.X = %d, want clipped at 5", end.X)
+	}
+}
+
+func TestFillAndAttr(t *testing.T) {
+	s := NewScreen(4, 3)
+	s.Fill(geom.Rt(1, 1, 3, 3), '#', TabCell)
+	if got := s.Line(1); got != " ##" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	s.SetAttr(geom.Rt(0, 0, 4, 1), Reverse)
+	attrs := strings.Split(s.AttrString(), "\n")
+	if attrs[0] != "RRRR" {
+		t.Errorf("attr row 0 = %q", attrs[0])
+	}
+	if attrs[1] != " ##"[0:0]+"."+"##" && attrs[1] != ".##" {
+		t.Errorf("attr row 1 = %q", attrs[1])
+	}
+}
+
+func TestLineTrimsTrailingBlanks(t *testing.T) {
+	s := NewScreen(10, 1)
+	s.Text(geom.Pt(0, 0), "hi", Plain)
+	if got := s.Line(0); got != "hi" {
+		t.Errorf("Line = %q", got)
+	}
+	if got := s.Line(-1); got != "" {
+		t.Errorf("Line(-1) = %q", got)
+	}
+	if got := s.Line(5); got != "" {
+		t.Errorf("Line(5) = %q", got)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	s := NewScreen(6, 3)
+	s.Text(geom.Pt(0, 0), "abcdef", Plain)
+	s.Text(geom.Pt(0, 1), "ghijkl", Plain)
+	got := s.Region(geom.Rt(1, 0, 4, 2))
+	want := "bcd\nhij\n"
+	if got != want {
+		t.Errorf("Region = %q, want %q", got, want)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	s := NewScreen(3, 1)
+	s.Text(geom.Pt(0, 0), "abc", Plain)
+	c := s.Copy()
+	s.SetRune(geom.Pt(0, 0), 'z', Plain)
+	if c.Line(0) != "abc" {
+		t.Errorf("copy mutated: %q", c.Line(0))
+	}
+	if s.Line(0) != "zbc" {
+		t.Errorf("original = %q", s.Line(0))
+	}
+}
+
+func TestAttrStringCodes(t *testing.T) {
+	all := []Attr{Plain, Reverse, Outline, Underline, Tag, Border, TabCell}
+	codes := map[string]bool{}
+	for _, a := range all {
+		c := a.String()
+		if len(c) != 1 {
+			t.Errorf("Attr %d code %q not one byte", a, c)
+		}
+		if codes[c] {
+			t.Errorf("duplicate attr code %q", c)
+		}
+		codes[c] = true
+	}
+	if Attr(200).String() != "?" {
+		t.Error("unknown attr should render ?")
+	}
+}
+
+// Property: Set then At round-trips inside the screen.
+func TestSetAtRoundTrip(t *testing.T) {
+	s := NewScreen(16, 16)
+	f := func(x, y uint8, r rune, a uint8) bool {
+		p := geom.Pt(int(x%16), int(y%16))
+		if r < ' ' || r > 0x10FFFF {
+			r = 'x'
+		}
+		c := Cell{R: r, Attr: Attr(a % 7)}
+		s.Set(p, c)
+		return s.At(p) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fill never touches cells outside the given rect.
+func TestFillClipsProperty(t *testing.T) {
+	f := func(x0, y0, x1, y1 uint8) bool {
+		s := NewScreen(8, 8)
+		r := geom.Rect{Min: geom.Pt(int(x0%10), int(y0%10)), Max: geom.Pt(int(x1%10), int(y1%10))}.Canon()
+		s.Fill(r, '#', TabCell)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				in := geom.Pt(x, y).In(r)
+				got := s.At(geom.Pt(x, y)).R == '#'
+				if got != in {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

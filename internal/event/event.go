@@ -1,0 +1,283 @@
+// Package event models the input devices of the help reproduction: a
+// three-button mouse and a keyboard.
+//
+// Raw mouse states (a button bitmask plus a position) are folded by a
+// Machine into Gestures — a press, an optional drag path, optional chorded
+// clicks of other buttons while the primary is held, and a release. This is
+// exactly the structure help's interface is built from: the left button
+// sweeps selections, the middle button sweeps text to execute, the right
+// button drags windows, and chording middle or right while the left is held
+// invokes Cut and Paste ("the most common editing commands and it is
+// convenient not to move the mouse to execute them").
+//
+// Events can be synthesized by the script helpers (Click, Sweep,
+// ChordClick, Type), which is how the repository replays the paper's
+// session deterministically and counts interaction cost.
+package event
+
+import "repro/internal/geom"
+
+// Mouse button bits.
+const (
+	Left   = 1 << iota // selects text: the object of an action
+	Middle             // selects text defining the action to execute
+	Right              // controls the placement of windows
+)
+
+// ButtonName returns a human-readable name for a button bit.
+func ButtonName(b int) string {
+	switch b {
+	case Left:
+		return "left"
+	case Middle:
+		return "middle"
+	case Right:
+		return "right"
+	}
+	return "none"
+}
+
+// Mouse is one raw mouse state: the buttons currently held and the pointer
+// position, the same shape a Plan 9 mouse file delivers.
+type Mouse struct {
+	Pt      geom.Point
+	Buttons int
+}
+
+// Kbd is one typed rune. In help "typing does not execute commands:
+// newline is just a character".
+type Kbd struct {
+	R rune
+}
+
+// Event is a raw input event: either a Mouse state or a Kbd rune.
+type Event struct {
+	Mouse *Mouse
+	Kbd   *Kbd
+}
+
+// MouseEvent wraps a raw mouse state as an Event.
+func MouseEvent(m Mouse) Event { return Event{Mouse: &m} }
+
+// KbdEvent wraps a typed rune as an Event.
+func KbdEvent(r rune) Event { return Event{Kbd: &Kbd{R: r}} }
+
+// Chord is a click of a secondary button while the primary is held.
+type Chord struct {
+	Button int        // Middle (Cut) or Right (Paste) in help's bindings
+	At     geom.Point // pointer position when the chord button went down
+}
+
+// Gesture is one complete mouse interaction: primary button press, drag,
+// optional chords, and release of all buttons.
+type Gesture struct {
+	Button int          // the primary (first-pressed) button
+	Start  geom.Point   // where the primary button went down
+	End    geom.Point   // pointer position at final release
+	Path   []geom.Point // intermediate drag positions, if any
+	Chords []Chord      // secondary clicks while the primary was held
+}
+
+// IsClick reports whether the gesture was a plain click: no drag, no chord.
+func (g Gesture) IsClick() bool {
+	return g.Start == g.End && len(g.Chords) == 0 && len(g.Path) == 0
+}
+
+// Machine folds raw mouse states into gestures.
+//
+// A gesture begins when any button goes down with no gesture in progress
+// and ends when all buttons are released. Additional button presses during
+// the gesture are recorded as chords. Presses counts every button-down
+// transition ever seen, the "button clicks" currency the paper's prose uses
+// ("two button clicks", "a total of three clicks of the middle button").
+type Machine struct {
+	active  bool
+	gesture Gesture
+	buttons int // buttons currently held
+
+	// Presses is the cumulative number of button-down transitions.
+	Presses int
+	// Travel is cumulative pointer movement in cells (Manhattan).
+	Travel int
+
+	last    geom.Point
+	tracked bool
+}
+
+// Put feeds one raw mouse state to the machine. When the state completes a
+// gesture, Put returns it with done=true.
+func (m *Machine) Put(ms Mouse) (g Gesture, done bool) {
+	if m.tracked {
+		m.Travel += m.last.Manhattan(ms.Pt)
+	}
+	m.last, m.tracked = ms.Pt, true
+
+	pressed := ms.Buttons &^ m.buttons
+	m.Presses += countBits(pressed)
+
+	if !m.active {
+		if ms.Buttons == 0 {
+			return Gesture{}, false
+		}
+		m.active = true
+		m.gesture = Gesture{Button: lowBit(ms.Buttons), Start: ms.Pt, End: ms.Pt}
+		// Simultaneous extra buttons at gesture start count as chords.
+		for _, b := range []int{Left, Middle, Right} {
+			if b != m.gesture.Button && ms.Buttons&b != 0 {
+				m.gesture.Chords = append(m.gesture.Chords, Chord{Button: b, At: ms.Pt})
+			}
+		}
+		m.buttons = ms.Buttons
+		return Gesture{}, false
+	}
+
+	// Gesture in progress.
+	for _, b := range []int{Left, Middle, Right} {
+		if pressed&b != 0 && b != m.gesture.Button {
+			m.gesture.Chords = append(m.gesture.Chords, Chord{Button: b, At: ms.Pt})
+		}
+	}
+	if ms.Pt != m.gesture.End {
+		m.gesture.Path = append(m.gesture.Path, ms.Pt)
+	}
+	m.gesture.End = ms.Pt
+	m.buttons = ms.Buttons
+
+	if ms.Buttons == 0 {
+		m.active = false
+		g = m.gesture
+		// A pure move to the release point is not a drag; trim the final
+		// path entry if it equals End.
+		if n := len(g.Path); n > 0 && g.Path[n-1] == g.End {
+			g.Path = g.Path[:n-1]
+		}
+		m.gesture = Gesture{}
+		return g, true
+	}
+	return Gesture{}, false
+}
+
+// InProgress reports whether a gesture is currently being tracked.
+func (m *Machine) InProgress() bool { return m.active }
+
+// Current returns a snapshot of the gesture in progress, if any — the
+// hook help uses to underline text being swept for execution while the
+// middle button is still down.
+func (m *Machine) Current() (Gesture, bool) {
+	if !m.active {
+		return Gesture{}, false
+	}
+	return m.gesture, true
+}
+
+func countBits(v int) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+func lowBit(v int) int { return v & -v }
+
+// ---- Script helpers -------------------------------------------------------
+
+// Click synthesizes a press and release of button b at p.
+func Click(b int, p geom.Point) []Event {
+	return []Event{
+		MouseEvent(Mouse{Pt: p, Buttons: b}),
+		MouseEvent(Mouse{Pt: p, Buttons: 0}),
+	}
+}
+
+// Sweep synthesizes a press of b at from, a drag, and a release at to.
+func Sweep(b int, from, to geom.Point) []Event {
+	return []Event{
+		MouseEvent(Mouse{Pt: from, Buttons: b}),
+		MouseEvent(Mouse{Pt: to, Buttons: b}),
+		MouseEvent(Mouse{Pt: to, Buttons: 0}),
+	}
+}
+
+// ChordClick synthesizes: press primary at p, click each chord button in
+// order while the primary stays down, then release everything. With
+// primary=Left and chords=[Middle] this is help's Cut chord; [Right] is
+// Paste; [Middle, Right] is the cut-and-paste ("remember the text in the
+// cut buffer for later pasting").
+func ChordClick(primary int, p geom.Point, chords ...int) []Event {
+	evs := []Event{MouseEvent(Mouse{Pt: p, Buttons: primary})}
+	for _, c := range chords {
+		evs = append(evs,
+			MouseEvent(Mouse{Pt: p, Buttons: primary | c}),
+			MouseEvent(Mouse{Pt: p, Buttons: primary}),
+		)
+	}
+	evs = append(evs, MouseEvent(Mouse{Pt: p, Buttons: 0}))
+	return evs
+}
+
+// SweepChord synthesizes a sweep of the primary button from from to to with
+// chord clicks at the end of the sweep before release.
+func SweepChord(primary int, from, to geom.Point, chords ...int) []Event {
+	evs := []Event{
+		MouseEvent(Mouse{Pt: from, Buttons: primary}),
+		MouseEvent(Mouse{Pt: to, Buttons: primary}),
+	}
+	for _, c := range chords {
+		evs = append(evs,
+			MouseEvent(Mouse{Pt: to, Buttons: primary | c}),
+			MouseEvent(Mouse{Pt: to, Buttons: primary}),
+		)
+	}
+	evs = append(evs, MouseEvent(Mouse{Pt: to, Buttons: 0}))
+	return evs
+}
+
+// Drag synthesizes a press of b at from, movement through via, and release
+// at to — the right-button window-drag gesture.
+func Drag(b int, from geom.Point, to geom.Point, via ...geom.Point) []Event {
+	evs := []Event{MouseEvent(Mouse{Pt: from, Buttons: b})}
+	for _, p := range via {
+		evs = append(evs, MouseEvent(Mouse{Pt: p, Buttons: b}))
+	}
+	evs = append(evs,
+		MouseEvent(Mouse{Pt: to, Buttons: b}),
+		MouseEvent(Mouse{Pt: to, Buttons: 0}),
+	)
+	return evs
+}
+
+// Type synthesizes keyboard events for each rune of s.
+func Type(s string) []Event {
+	evs := make([]Event, 0, len(s))
+	for _, r := range s {
+		evs = append(evs, KbdEvent(r))
+	}
+	return evs
+}
+
+// Stream is a FIFO queue of events, used to script sessions.
+type Stream struct {
+	evs []Event
+}
+
+// Push appends events to the stream.
+func (s *Stream) Push(evs ...[]Event) {
+	for _, batch := range evs {
+		s.evs = append(s.evs, batch...)
+	}
+}
+
+// Next pops the next event; ok is false when the stream is empty.
+func (s *Stream) Next() (Event, bool) {
+	if len(s.evs) == 0 {
+		return Event{}, false
+	}
+	e := s.evs[0]
+	s.evs = s.evs[1:]
+	return e, true
+}
+
+// Len returns the number of queued events.
+func (s *Stream) Len() int { return len(s.evs) }

@@ -1,0 +1,248 @@
+package event
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// feed runs events through a machine and collects completed gestures.
+func feed(m *Machine, evs []Event) []Gesture {
+	var out []Gesture
+	for _, e := range evs {
+		if e.Mouse == nil {
+			continue
+		}
+		if g, done := m.Put(*e.Mouse); done {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func TestClickGesture(t *testing.T) {
+	var m Machine
+	gs := feed(&m, Click(Left, geom.Pt(3, 4)))
+	if len(gs) != 1 {
+		t.Fatalf("gestures = %d", len(gs))
+	}
+	g := gs[0]
+	if g.Button != Left || g.Start != geom.Pt(3, 4) || g.End != geom.Pt(3, 4) {
+		t.Errorf("gesture = %+v", g)
+	}
+	if !g.IsClick() {
+		t.Error("plain click should be IsClick")
+	}
+	if m.Presses != 1 {
+		t.Errorf("Presses = %d", m.Presses)
+	}
+}
+
+func TestSweepGesture(t *testing.T) {
+	var m Machine
+	gs := feed(&m, Sweep(Middle, geom.Pt(0, 0), geom.Pt(5, 0)))
+	if len(gs) != 1 {
+		t.Fatalf("gestures = %d", len(gs))
+	}
+	g := gs[0]
+	if g.Button != Middle || g.Start != geom.Pt(0, 0) || g.End != geom.Pt(5, 0) {
+		t.Errorf("gesture = %+v", g)
+	}
+	if g.IsClick() {
+		t.Error("sweep should not be IsClick")
+	}
+	if m.Presses != 1 {
+		t.Errorf("Presses = %d, sweep is one press", m.Presses)
+	}
+}
+
+func TestCutChord(t *testing.T) {
+	var m Machine
+	gs := feed(&m, ChordClick(Left, geom.Pt(2, 2), Middle))
+	if len(gs) != 1 {
+		t.Fatalf("gestures = %d", len(gs))
+	}
+	g := gs[0]
+	if g.Button != Left {
+		t.Errorf("primary = %v", ButtonName(g.Button))
+	}
+	if len(g.Chords) != 1 || g.Chords[0].Button != Middle {
+		t.Errorf("chords = %+v", g.Chords)
+	}
+	if m.Presses != 2 {
+		t.Errorf("Presses = %d, want 2 (left + middle)", m.Presses)
+	}
+}
+
+func TestCutPasteChord(t *testing.T) {
+	var m Machine
+	gs := feed(&m, ChordClick(Left, geom.Pt(1, 1), Middle, Right))
+	g := gs[0]
+	if len(g.Chords) != 2 ||
+		g.Chords[0].Button != Middle || g.Chords[1].Button != Right {
+		t.Errorf("chords = %+v", g.Chords)
+	}
+	if m.Presses != 3 {
+		t.Errorf("Presses = %d", m.Presses)
+	}
+}
+
+func TestSweepChordHelper(t *testing.T) {
+	var m Machine
+	gs := feed(&m, SweepChord(Left, geom.Pt(0, 0), geom.Pt(4, 0), Middle))
+	g := gs[0]
+	if g.Start != geom.Pt(0, 0) || g.End != geom.Pt(4, 0) {
+		t.Errorf("sweep = %v..%v", g.Start, g.End)
+	}
+	if len(g.Chords) != 1 || g.Chords[0].Button != Middle {
+		t.Errorf("chords = %+v", g.Chords)
+	}
+}
+
+func TestDragPath(t *testing.T) {
+	var m Machine
+	gs := feed(&m, Drag(Right, geom.Pt(0, 0), geom.Pt(10, 10), geom.Pt(5, 5)))
+	g := gs[0]
+	if g.Button != Right {
+		t.Errorf("button = %v", ButtonName(g.Button))
+	}
+	if g.End != geom.Pt(10, 10) {
+		t.Errorf("End = %v", g.End)
+	}
+	if len(g.Path) == 0 || g.Path[0] != geom.Pt(5, 5) {
+		t.Errorf("Path = %v", g.Path)
+	}
+}
+
+func TestTravelAccounting(t *testing.T) {
+	var m Machine
+	feed(&m, Click(Left, geom.Pt(0, 0)))
+	feed(&m, Click(Left, geom.Pt(3, 4)))
+	if m.Travel != 7 {
+		t.Errorf("Travel = %d, want 7", m.Travel)
+	}
+}
+
+func TestNoGestureOnIdleMove(t *testing.T) {
+	var m Machine
+	_, done := m.Put(Mouse{Pt: geom.Pt(5, 5), Buttons: 0})
+	if done {
+		t.Error("idle move completed a gesture")
+	}
+	if m.InProgress() {
+		t.Error("idle move started a gesture")
+	}
+}
+
+func TestGestureInProgress(t *testing.T) {
+	var m Machine
+	m.Put(Mouse{Pt: geom.Pt(0, 0), Buttons: Left})
+	if !m.InProgress() {
+		t.Error("press should start a gesture")
+	}
+	m.Put(Mouse{Pt: geom.Pt(0, 0), Buttons: 0})
+	if m.InProgress() {
+		t.Error("release should end the gesture")
+	}
+}
+
+func TestTwoSequentialGestures(t *testing.T) {
+	var m Machine
+	gs := feed(&m, append(Click(Left, geom.Pt(1, 1)), Click(Middle, geom.Pt(2, 2))...))
+	if len(gs) != 2 {
+		t.Fatalf("gestures = %d", len(gs))
+	}
+	if gs[0].Button != Left || gs[1].Button != Middle {
+		t.Errorf("buttons = %v, %v", gs[0].Button, gs[1].Button)
+	}
+	if m.Presses != 2 {
+		t.Errorf("Presses = %d", m.Presses)
+	}
+}
+
+func TestSimultaneousPressCountsChord(t *testing.T) {
+	var m Machine
+	// Left and middle go down in the same state: left is primary (low bit),
+	// middle is a chord.
+	m.Put(Mouse{Pt: geom.Pt(0, 0), Buttons: Left | Middle})
+	g, done := m.Put(Mouse{Pt: geom.Pt(0, 0), Buttons: 0})
+	if !done {
+		t.Fatal("gesture should complete")
+	}
+	if g.Button != Left {
+		t.Errorf("primary = %v", ButtonName(g.Button))
+	}
+	if len(g.Chords) != 1 || g.Chords[0].Button != Middle {
+		t.Errorf("chords = %+v", g.Chords)
+	}
+	if m.Presses != 2 {
+		t.Errorf("Presses = %d", m.Presses)
+	}
+}
+
+func TestTypeHelper(t *testing.T) {
+	evs := Type("hi")
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kbd == nil || evs[0].Kbd.R != 'h' || evs[1].Kbd.R != 'i' {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestStream(t *testing.T) {
+	var s Stream
+	s.Push(Click(Left, geom.Pt(0, 0)), Type("a"))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	e, ok := s.Next()
+	if !ok || e.Mouse == nil {
+		t.Errorf("first = %+v, %v", e, ok)
+	}
+	s.Next()
+	e, ok = s.Next()
+	if !ok || e.Kbd == nil || e.Kbd.R != 'a' {
+		t.Errorf("third = %+v, %v", e, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("empty stream returned an event")
+	}
+}
+
+func TestButtonName(t *testing.T) {
+	if ButtonName(Left) != "left" || ButtonName(Middle) != "middle" ||
+		ButtonName(Right) != "right" || ButtonName(0) != "none" {
+		t.Error("ButtonName mismatch")
+	}
+}
+
+func TestPathTrimsReleasePoint(t *testing.T) {
+	var m Machine
+	gs := feed(&m, Sweep(Left, geom.Pt(0, 0), geom.Pt(3, 0)))
+	if len(gs[0].Path) != 0 {
+		t.Errorf("simple sweep Path = %v, want trimmed", gs[0].Path)
+	}
+}
+
+func BenchmarkMachineClick(b *testing.B) {
+	var m Machine
+	evs := Click(Left, geom.Pt(10, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range evs {
+			m.Put(*e.Mouse)
+		}
+	}
+}
+
+func BenchmarkMachineChord(b *testing.B) {
+	var m Machine
+	evs := ChordClick(Left, geom.Pt(1, 1), Middle, Right)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range evs {
+			m.Put(*e.Mouse)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package frame lays text out inside a rectangle of character cells,
+// playing the role libframe played for the original help: it maintains the
+// bijection between rune offsets in a buffer and positions on the screen,
+// so that the mouse can be translated to "the file and character offset of
+// the mouse position" and selections can be painted over laid-out text.
+//
+// A frame views a window of a text.Buffer starting at an origin offset and
+// flowing forward until the rectangle is full. Long lines wrap; tabs expand
+// to a fixed tab stop. Layout is recomputed explicitly via Reflow, which is
+// cheap at terminal scale and keeps the data structure simple.
+package frame
+
+import (
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/text"
+)
+
+// DefaultTabWidth is the tab stop used when none is specified.
+const DefaultTabWidth = 4
+
+// Frame maps a region of a buffer onto a rectangle of cells.
+type Frame struct {
+	buf      *text.Buffer
+	rect     geom.Rect
+	org      int // rune offset of the first character displayed
+	tabWidth int
+
+	// layout state, valid after Reflow:
+	// offAt[row][col] is the rune offset whose glyph (or tab/newline
+	// expansion) occupies that cell, or -1 for cells past end of text.
+	offAt   [][]int
+	lineEnd []int // offset one past the last rune shown on each row
+	maxOff  int   // one past the last offset laid out
+	full    bool  // true if text continues past the bottom of the frame
+}
+
+// New returns a frame over buf occupying rect, showing text from offset
+// org. The frame is laid out immediately.
+func New(buf *text.Buffer, rect geom.Rect, org int) *Frame {
+	f := &Frame{buf: buf, rect: rect, org: org, tabWidth: DefaultTabWidth}
+	f.Reflow()
+	return f
+}
+
+// Rect returns the frame's rectangle.
+func (f *Frame) Rect() geom.Rect { return f.rect }
+
+// SetRect moves or resizes the frame and reflows.
+func (f *Frame) SetRect(r geom.Rect) {
+	f.rect = r
+	f.Reflow()
+}
+
+// Org returns the rune offset of the first character displayed.
+func (f *Frame) Org() int { return f.org }
+
+// SetOrg scrolls the frame so offset org is the first displayed rune. The
+// origin is clamped to the buffer and snapped back to a line start so rows
+// always begin at the start of a logical line, matching help's behaviour.
+func (f *Frame) SetOrg(org int) {
+	if org < 0 {
+		org = 0
+	}
+	if org > f.buf.Len() {
+		org = f.buf.Len()
+	}
+	// Snap to the start of the containing line.
+	for org > 0 && f.buf.At(org-1) != '\n' {
+		org--
+	}
+	f.org = org
+	f.Reflow()
+}
+
+// ScrollToLine repositions the origin so 1-based line ln is the top line.
+func (f *Frame) ScrollToLine(ln int) {
+	f.org = f.buf.LineStart(ln)
+	f.Reflow()
+}
+
+// ShowOffset scrolls minimally so offset off is visible. If off is already
+// on screen nothing changes; otherwise the frame is repositioned with off's
+// line placed a third of the way down, the heuristic help used so context
+// is visible above the target.
+func (f *Frame) ShowOffset(off int) {
+	if off < 0 {
+		off = 0
+	}
+	if off > f.buf.Len() {
+		off = f.buf.Len()
+	}
+	if f.Visible(off) {
+		return
+	}
+	ln := f.buf.LineAt(off)
+	top := ln - f.rect.Dy()/3
+	if top < 1 {
+		top = 1
+	}
+	f.ScrollToLine(top)
+}
+
+// MaxOff returns one past the last rune offset laid out in the frame.
+func (f *Frame) MaxOff() int { return f.maxOff }
+
+// Full reports whether text continues past the bottom of the frame.
+func (f *Frame) Full() bool { return f.full }
+
+// Visible reports whether offset off falls within the laid-out region.
+// The end-of-text position counts as visible when the frame is not full.
+func (f *Frame) Visible(off int) bool {
+	if off < f.org {
+		return false
+	}
+	if off < f.maxOff {
+		return true
+	}
+	return off == f.maxOff && !f.full
+}
+
+// Reflow recomputes the layout from the current buffer contents.
+func (f *Frame) Reflow() {
+	w, h := f.rect.Dx(), f.rect.Dy()
+	f.offAt = make([][]int, h)
+	f.lineEnd = make([]int, h)
+	for i := range f.offAt {
+		f.offAt[i] = make([]int, w)
+		for j := range f.offAt[i] {
+			f.offAt[i][j] = -1
+		}
+	}
+	if w <= 0 || h <= 0 {
+		f.maxOff = f.org
+		f.full = true
+		return
+	}
+	off := f.org
+	n := f.buf.Len()
+	row, col := 0, 0
+	for off < n {
+		r := f.buf.At(off)
+		switch r {
+		case '\n':
+			// The newline owns the rest of the row so a click past the
+			// end of a line resolves to the newline's offset.
+			for c := col; c < w; c++ {
+				f.offAt[row][c] = off
+			}
+			f.lineEnd[row] = off
+			row++
+			col = 0
+			off++
+			if row >= h {
+				f.maxOff = off
+				f.full = off < n
+				return
+			}
+			continue
+		case '\t':
+			next := (col/f.tabWidth + 1) * f.tabWidth
+			if next > w {
+				next = w
+			}
+			for c := col; c < next; c++ {
+				f.offAt[row][c] = off
+			}
+			col = next
+		default:
+			f.offAt[row][col] = off
+			col++
+		}
+		off++
+		if col >= w {
+			// Wrap long line.
+			f.lineEnd[row] = off
+			row++
+			col = 0
+			if row >= h {
+				f.maxOff = off
+				f.full = off < n
+				return
+			}
+		}
+	}
+	// Text ended inside the frame.
+	if row < h {
+		f.lineEnd[row] = off
+	}
+	f.maxOff = off
+	f.full = false
+}
+
+// PointOf returns the screen cell of rune offset off and whether the
+// offset is visible. The end-of-text position maps to the cell after the
+// final rune.
+func (f *Frame) PointOf(off int) (geom.Point, bool) {
+	if !f.Visible(off) {
+		return geom.Point{}, false
+	}
+	w := f.rect.Dx()
+	for row := range f.offAt {
+		for col := 0; col < w; col++ {
+			if f.offAt[row][col] == off {
+				return f.rect.Min.Add(geom.Pt(col, row)), true
+			}
+		}
+	}
+	// off == maxOff: position after the last laid-out rune.
+	if off == f.maxOff {
+		row, col := f.endCell()
+		return f.rect.Min.Add(geom.Pt(col, row)), true
+	}
+	return geom.Point{}, false
+}
+
+// endCell computes the row/col just past the final laid-out rune.
+func (f *Frame) endCell() (row, col int) {
+	w := f.rect.Dx()
+	lastRow, lastCol := 0, -1
+	for r := range f.offAt {
+		for c := 0; c < w; c++ {
+			if f.offAt[r][c] >= 0 && f.offAt[r][c] < f.maxOff {
+				// Only count real glyph cells, and remember the last.
+				if r > lastRow || (r == lastRow && c > lastCol) {
+					lastRow, lastCol = r, c
+				}
+			}
+		}
+	}
+	if lastCol == -1 {
+		return 0, 0
+	}
+	// If the last rune was a newline the next position starts a new row.
+	lastOff := f.offAt[lastRow][lastCol]
+	if f.buf.Len() > lastOff && f.buf.At(lastOff) == '\n' {
+		return lastRow + 1, 0
+	}
+	if lastCol+1 >= w {
+		return lastRow + 1, 0
+	}
+	return lastRow, lastCol + 1
+}
+
+// OffsetOf translates a screen point to the rune offset under it, the
+// fundamental mouse-to-text mapping. Points past the end of a line resolve
+// to the line's newline; points below the text resolve to the end of the
+// laid-out region; points outside the frame are clamped.
+func (f *Frame) OffsetOf(p geom.Point) int {
+	p = f.rect.Clamp(p)
+	row := p.Y - f.rect.Min.Y
+	col := p.X - f.rect.Min.X
+	if row < 0 || row >= len(f.offAt) {
+		return f.maxOff
+	}
+	if off := f.offAt[row][col]; off >= 0 {
+		return off
+	}
+	// Blank area: walk left to the nearest laid-out cell on this row.
+	for c := col; c >= 0; c-- {
+		if off := f.offAt[row][c]; off >= 0 {
+			// Click after text on a line lands just past its last rune.
+			if f.buf.Len() > off && f.buf.At(off) != '\n' {
+				return off + 1
+			}
+			return off
+		}
+	}
+	// Entirely blank row: resolve to end of text if above it, else max.
+	return f.maxOff
+}
+
+// Render paints the frame's text onto the screen with selection [q0,q1)
+// highlighted using selAttr (draw.Reverse for the current selection,
+// draw.Outline for others). A null selection (q0==q1) paints a one-cell
+// tick at the insertion point when selAttr is draw.Reverse.
+func (f *Frame) Render(s *draw.Screen, q0, q1 int, selAttr draw.Attr) {
+	w := f.rect.Dx()
+	for row := range f.offAt {
+		for col := 0; col < w; col++ {
+			p := f.rect.Min.Add(geom.Pt(col, row))
+			off := f.offAt[row][col]
+			if off < 0 {
+				s.SetRune(p, ' ', draw.Plain)
+				continue
+			}
+			r := f.buf.At(off)
+			if r == '\n' || r == '\t' {
+				r = ' '
+			}
+			attr := draw.Plain
+			if q0 < q1 && off >= q0 && off < q1 {
+				attr = selAttr
+			}
+			s.SetRune(p, r, attr)
+		}
+	}
+	if q0 == q1 && selAttr == draw.Reverse {
+		if p, ok := f.PointOf(q0); ok {
+			c := s.At(p)
+			s.Set(p, draw.Cell{R: c.R, Attr: draw.Reverse})
+		}
+	}
+}
+
+// Lines returns the number of rows in the frame's rectangle.
+func (f *Frame) Lines() int { return f.rect.Dy() }
+
+// VisibleLines returns how many rows currently contain text.
+func (f *Frame) VisibleLines() int {
+	n := 0
+	for r := range f.offAt {
+		if f.offAt[r][0] >= 0 || f.rowHasText(r) {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Frame) rowHasText(r int) bool {
+	for _, off := range f.offAt[r] {
+		if off >= 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/text"
+)
+
+func newFrame(s string, w, h int) (*text.Buffer, *Frame) {
+	b := text.NewBuffer(s)
+	return b, New(b, geom.Rt(0, 0, w, h), 0)
+}
+
+func TestLayoutSimple(t *testing.T) {
+	_, f := newFrame("ab\ncd", 10, 5)
+	p, ok := f.PointOf(0)
+	if !ok || p != geom.Pt(0, 0) {
+		t.Errorf("PointOf(0) = %v,%v", p, ok)
+	}
+	p, ok = f.PointOf(3) // 'c'
+	if !ok || p != geom.Pt(0, 1) {
+		t.Errorf("PointOf(3) = %v,%v", p, ok)
+	}
+	if f.Full() {
+		t.Error("frame should not be full")
+	}
+	if f.MaxOff() != 5 {
+		t.Errorf("MaxOff = %d", f.MaxOff())
+	}
+}
+
+func TestLayoutWrap(t *testing.T) {
+	_, f := newFrame("abcdefgh", 4, 3)
+	p, ok := f.PointOf(4) // 'e' wraps to second row
+	if !ok || p != geom.Pt(0, 1) {
+		t.Errorf("PointOf(4) = %v,%v", p, ok)
+	}
+	if f.Full() {
+		t.Error("8 chars in 4x3 should fit")
+	}
+}
+
+func TestLayoutFull(t *testing.T) {
+	_, f := newFrame("a\nb\nc\nd\ne\n", 10, 3)
+	if !f.Full() {
+		t.Error("5 lines in 3 rows should be full")
+	}
+	if f.MaxOff() != 6 { // "a\nb\nc\n" = 6 runes
+		t.Errorf("MaxOff = %d, want 6", f.MaxOff())
+	}
+	if f.Visible(7) {
+		t.Error("offset 7 should not be visible")
+	}
+}
+
+func TestTabExpansion(t *testing.T) {
+	_, f := newFrame("\tx", 12, 2)
+	p, ok := f.PointOf(1) // 'x' after a 4-wide tab
+	if !ok || p != geom.Pt(4, 0) {
+		t.Errorf("PointOf(1) = %v,%v, want (4,0)", p, ok)
+	}
+	// Clicking anywhere in the tab expansion resolves to the tab offset.
+	for x := 0; x < 4; x++ {
+		if off := f.OffsetOf(geom.Pt(x, 0)); off != 0 {
+			t.Errorf("OffsetOf(%d,0) = %d, want 0", x, off)
+		}
+	}
+}
+
+func TestOffsetOfPastLineEnd(t *testing.T) {
+	_, f := newFrame("ab\ncdef", 10, 4)
+	// Click far past "ab" should land on the newline offset (2).
+	if off := f.OffsetOf(geom.Pt(8, 0)); off != 2 {
+		t.Errorf("OffsetOf past line end = %d, want 2", off)
+	}
+	// Click below all text resolves to max offset.
+	if off := f.OffsetOf(geom.Pt(3, 3)); off != f.MaxOff() {
+		t.Errorf("OffsetOf below text = %d, want %d", off, f.MaxOff())
+	}
+}
+
+func TestOffsetOfClamps(t *testing.T) {
+	_, f := newFrame("hello", 10, 2)
+	if off := f.OffsetOf(geom.Pt(-5, -5)); off != 0 {
+		t.Errorf("clamped NW = %d", off)
+	}
+	if off := f.OffsetOf(geom.Pt(99, 99)); off != f.MaxOff() {
+		t.Errorf("clamped SE = %d, want %d", off, f.MaxOff())
+	}
+}
+
+func TestSetOrgSnapsToLineStart(t *testing.T) {
+	b, f := newFrame("first\nsecond\nthird\n", 10, 2)
+	f.SetOrg(8) // middle of "second"
+	if f.Org() != 6 {
+		t.Errorf("Org = %d, want 6 (start of 'second')", f.Org())
+	}
+	_ = b
+	if p, ok := f.PointOf(6); !ok || p != geom.Pt(0, 0) {
+		t.Errorf("PointOf(6) = %v,%v", p, ok)
+	}
+}
+
+func TestSetOrgClamps(t *testing.T) {
+	_, f := newFrame("ab", 5, 2)
+	f.SetOrg(-3)
+	if f.Org() != 0 {
+		t.Errorf("Org = %d", f.Org())
+	}
+	f.SetOrg(100)
+	if f.Org() > 2 {
+		t.Errorf("Org = %d", f.Org())
+	}
+}
+
+func TestScrollToLine(t *testing.T) {
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, strings.Repeat("x", 3))
+	}
+	_, f := newFrame(strings.Join(lines, "\n"), 10, 5)
+	f.ScrollToLine(10)
+	wantOrg := text.NewBuffer(strings.Join(lines, "\n")).LineStart(10)
+	if f.Org() != wantOrg {
+		t.Errorf("Org = %d, want %d", f.Org(), wantOrg)
+	}
+}
+
+func TestShowOffsetNoopWhenVisible(t *testing.T) {
+	_, f := newFrame("a\nb\nc", 10, 5)
+	f.ShowOffset(2)
+	if f.Org() != 0 {
+		t.Errorf("ShowOffset of visible text moved org to %d", f.Org())
+	}
+}
+
+func TestShowOffsetScrolls(t *testing.T) {
+	content := strings.Repeat("line\n", 50)
+	b, f := newFrame(content, 10, 5)
+	target := b.LineStart(40)
+	f.ShowOffset(target)
+	if !f.Visible(target) {
+		t.Error("target not visible after ShowOffset")
+	}
+	if f.Org() == 0 {
+		t.Error("frame did not scroll")
+	}
+}
+
+func TestRenderPlain(t *testing.T) {
+	_, f := newFrame("hi\nthere", 8, 3)
+	s := draw.NewScreen(8, 3)
+	f.Render(s, 0, 0, draw.Plain)
+	if got := s.Line(0); got != "hi" {
+		t.Errorf("row 0 = %q", got)
+	}
+	if got := s.Line(1); got != "there" {
+		t.Errorf("row 1 = %q", got)
+	}
+}
+
+func TestRenderSelection(t *testing.T) {
+	_, f := newFrame("hello", 8, 1)
+	s := draw.NewScreen(8, 1)
+	f.Render(s, 1, 4, draw.Reverse)
+	for x := 0; x < 5; x++ {
+		want := draw.Plain
+		if x >= 1 && x < 4 {
+			want = draw.Reverse
+		}
+		if got := s.At(geom.Pt(x, 0)).Attr; got != want {
+			t.Errorf("attr at %d = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRenderNullSelectionTick(t *testing.T) {
+	_, f := newFrame("abc", 8, 1)
+	s := draw.NewScreen(8, 1)
+	f.Render(s, 2, 2, draw.Reverse)
+	if got := s.At(geom.Pt(2, 0)).Attr; got != draw.Reverse {
+		t.Errorf("tick attr = %v", got)
+	}
+	// Outline null selections draw no tick.
+	s2 := draw.NewScreen(8, 1)
+	f.Render(s2, 2, 2, draw.Outline)
+	if got := s2.At(geom.Pt(2, 0)).Attr; got != draw.Plain {
+		t.Errorf("outline null tick attr = %v", got)
+	}
+}
+
+func TestRenderAfterEdit(t *testing.T) {
+	b, f := newFrame("old", 8, 1)
+	b.SetString("new text")
+	f.Reflow()
+	s := draw.NewScreen(8, 1)
+	f.Render(s, 0, 0, draw.Plain)
+	if got := s.Line(0); got != "new text" {
+		t.Errorf("after edit = %q", got)
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	_, f := newFrame("", 5, 3)
+	if f.MaxOff() != 0 || f.Full() {
+		t.Errorf("empty: MaxOff=%d Full=%v", f.MaxOff(), f.Full())
+	}
+	if off := f.OffsetOf(geom.Pt(2, 2)); off != 0 {
+		t.Errorf("OffsetOf on empty = %d", off)
+	}
+	p, ok := f.PointOf(0)
+	if !ok || p != geom.Pt(0, 0) {
+		t.Errorf("PointOf(0) on empty = %v,%v", p, ok)
+	}
+}
+
+func TestZeroSizeFrame(t *testing.T) {
+	b := text.NewBuffer("xyz")
+	f := New(b, geom.Rt(0, 0, 0, 0), 0)
+	if !f.Full() {
+		t.Error("zero-size frame should report full")
+	}
+	if f.MaxOff() != 0 {
+		t.Errorf("MaxOff = %d", f.MaxOff())
+	}
+}
+
+func TestPointOfEndOfText(t *testing.T) {
+	_, f := newFrame("ab", 5, 2)
+	p, ok := f.PointOf(2)
+	if !ok || p != geom.Pt(2, 0) {
+		t.Errorf("PointOf(end) = %v,%v", p, ok)
+	}
+	// After a newline, the end position starts a new row.
+	_, f2 := newFrame("ab\n", 5, 3)
+	p, ok = f2.PointOf(3)
+	if !ok || p != geom.Pt(0, 1) {
+		t.Errorf("PointOf(end after newline) = %v,%v", p, ok)
+	}
+}
+
+func TestVisibleLines(t *testing.T) {
+	_, f := newFrame("a\nb", 5, 4)
+	if n := f.VisibleLines(); n != 2 {
+		t.Errorf("VisibleLines = %d", n)
+	}
+}
+
+func TestTranslatedRect(t *testing.T) {
+	b := text.NewBuffer("hi")
+	f := New(b, geom.Rt(3, 2, 10, 5), 0)
+	p, ok := f.PointOf(0)
+	if !ok || p != geom.Pt(3, 2) {
+		t.Errorf("PointOf(0) in offset frame = %v,%v", p, ok)
+	}
+	if off := f.OffsetOf(geom.Pt(4, 2)); off != 1 {
+		t.Errorf("OffsetOf = %d", off)
+	}
+}
+
+// Property: PointOf and OffsetOf are inverse for every visible offset.
+func TestOffsetPointBijection(t *testing.T) {
+	f := func(s string, w8, h8 uint8) bool {
+		w := int(w8%20) + 2
+		h := int(h8%10) + 1
+		b := text.NewBuffer(s)
+		fr := New(b, geom.Rt(0, 0, w, h), 0)
+		for off := 0; off < fr.MaxOff(); off++ {
+			p, ok := fr.PointOf(off)
+			if !ok {
+				return false
+			}
+			if got := fr.OffsetOf(p); got != off {
+				// Tabs and newlines own multiple cells; OffsetOf on the
+				// first cell must still return the owning offset.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every OffsetOf result is within [org, maxOff].
+func TestOffsetOfInRange(t *testing.T) {
+	f := func(s string, x, y int8) bool {
+		b := text.NewBuffer(s)
+		fr := New(b, geom.Rt(0, 0, 8, 4), 0)
+		off := fr.OffsetOf(geom.Pt(int(x), int(y)))
+		return off >= 0 && off <= fr.MaxOff()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkReflow(b *testing.B) {
+	buf := text.NewBuffer(strings.Repeat("the quick brown fox jumps\n", 200))
+	f := New(buf, geom.Rt(0, 0, 80, 40), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reflow()
+	}
+}
+
+func BenchmarkOffsetOf(b *testing.B) {
+	buf := text.NewBuffer(strings.Repeat("some text here\n", 100))
+	f := New(buf, geom.Rt(0, 0, 80, 40), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.OffsetOf(geom.Pt(i%80, i%40))
+	}
+}

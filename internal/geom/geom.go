@@ -1,0 +1,180 @@
+// Package geom provides integer points and rectangles for the character-cell
+// display model used throughout the help reproduction.
+//
+// Coordinates are in character cells, not pixels: x grows rightward, y grows
+// downward. Rectangles are half-open, containing points p with
+// Min.X <= p.X < Max.X and Min.Y <= p.Y < Max.Y, following the Plan 9
+// graphics convention the original help inherited from its bitmap library.
+package geom
+
+import "fmt"
+
+// Point is an x, y coordinate pair in character cells.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// In reports whether p is inside r.
+func (p Point) In(r Rect) bool {
+	return r.Min.X <= p.X && p.X < r.Max.X && r.Min.Y <= p.Y && p.Y < r.Max.Y
+}
+
+// Eq reports whether p and q are the same point.
+func (p Point) Eq(q Point) bool { return p == q }
+
+// Manhattan returns the L1 distance between p and q, the natural measure of
+// mouse travel on a cell grid.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// String formats the point as "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is a half-open rectangle [Min, Max).
+type Rect struct {
+	Min, Max Point
+}
+
+// Rt is shorthand for Rect{Pt(x0,y0), Pt(x1,y1)}.
+func Rt(x0, y0, x1, y1 int) Rect { return Rect{Point{x0, y0}, Point{x1, y1}} }
+
+// Dx returns the width of r.
+func (r Rect) Dx() int { return r.Max.X - r.Min.X }
+
+// Dy returns the height of r.
+func (r Rect) Dy() int { return r.Max.Y - r.Min.Y }
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Area returns the number of cells in r, zero if empty.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Dx() * r.Dy()
+}
+
+// Canon returns a canonical version of r with Min <= Max on both axes.
+func (r Rect) Canon() Rect {
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// Intersect returns the largest rectangle contained in both r and s; the
+// result is empty when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	if r.Min.X < s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y < s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X > s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y > s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	if r.Min.X > s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y > s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X < s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y < s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	return r
+}
+
+// Overlaps reports whether r and s share any cell.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// ContainsRect reports whether every point of s is inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return r.Min.X <= s.Min.X && s.Max.X <= r.Max.X &&
+		r.Min.Y <= s.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Translate returns r moved by the vector p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{r.Min.Add(p), r.Max.Add(p)}
+}
+
+// Inset returns r shrunk by n cells on every side. Negative n grows r.
+func (r Rect) Inset(n int) Rect {
+	r.Min.X += n
+	r.Min.Y += n
+	r.Max.X -= n
+	r.Max.Y -= n
+	return r
+}
+
+// Clamp returns the point inside r nearest to p. Clamp on an empty
+// rectangle returns p unchanged.
+func (r Rect) Clamp(p Point) Point {
+	if r.Empty() {
+		return p
+	}
+	if p.X < r.Min.X {
+		p.X = r.Min.X
+	}
+	if p.X >= r.Max.X {
+		p.X = r.Max.X - 1
+	}
+	if p.Y < r.Min.Y {
+		p.Y = r.Min.Y
+	}
+	if p.Y >= r.Max.Y {
+		p.Y = r.Max.Y - 1
+	}
+	return p
+}
+
+// String formats the rectangle as "(x0,y0)-(x1,y1)".
+func (r Rect) String() string {
+	return fmt.Sprintf("%v-%v", r.Min, r.Max)
+}

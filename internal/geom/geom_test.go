@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointAddSub(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestPointIn(t *testing.T) {
+	r := Rt(0, 0, 10, 5)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 4), true},
+		{Pt(10, 4), false}, // half-open on X
+		{Pt(9, 5), false},  // half-open on Y
+		{Pt(-1, 0), false},
+		{Pt(5, 2), true},
+	}
+	for _, c := range cases {
+		if got := c.p.In(r); got != c.want {
+			t.Errorf("%v.In(%v) = %v, want %v", c.p, r, got, c.want)
+		}
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if d := Pt(0, 0).Manhattan(Pt(3, -4)); d != 7 {
+		t.Errorf("Manhattan = %d, want 7", d)
+	}
+	if d := Pt(2, 2).Manhattan(Pt(2, 2)); d != 0 {
+		t.Errorf("Manhattan self = %d, want 0", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rt(1, 2, 4, 8)
+	if r.Dx() != 3 || r.Dy() != 6 {
+		t.Errorf("Dx,Dy = %d,%d", r.Dx(), r.Dy())
+	}
+	if r.Area() != 18 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if r.Empty() {
+		t.Error("Empty on non-empty rect")
+	}
+	if !Rt(3, 3, 3, 9).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if Rt(3, 3, 3, 9).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+}
+
+func TestCanon(t *testing.T) {
+	r := Rect{Pt(5, 7), Pt(1, 2)}.Canon()
+	if r != Rt(1, 2, 5, 7) {
+		t.Errorf("Canon = %v", r)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Rt(0, 0, 10, 10)
+	b := Rt(5, 5, 15, 15)
+	if got := a.Intersect(b); got != Rt(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := Rt(20, 20, 30, 30)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	if a.Overlaps(c) {
+		t.Error("Overlaps on disjoint rects")
+	}
+	if !a.Overlaps(b) {
+		t.Error("!Overlaps on overlapping rects")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Rt(0, 0, 2, 2)
+	b := Rt(5, 5, 6, 6)
+	if got := a.Union(b); got != Rt(0, 0, 6, 6) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty Union = %v", got)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	a := Rt(0, 0, 10, 10)
+	if !a.ContainsRect(Rt(2, 2, 8, 8)) {
+		t.Error("ContainsRect inner")
+	}
+	if a.ContainsRect(Rt(2, 2, 11, 8)) {
+		t.Error("ContainsRect overflowing")
+	}
+	if !a.ContainsRect(Rect{}) {
+		t.Error("every rect contains the empty rect")
+	}
+	if !a.ContainsRect(a) {
+		t.Error("rect contains itself")
+	}
+}
+
+func TestTranslateInset(t *testing.T) {
+	r := Rt(1, 1, 5, 5)
+	if got := r.Translate(Pt(2, -1)); got != Rt(3, 0, 7, 4) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Inset(1); got != Rt(2, 2, 4, 4) {
+		t.Errorf("Inset = %v", got)
+	}
+	if got := r.Inset(-1); got != Rt(0, 0, 6, 6) {
+		t.Errorf("Inset(-1) = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Rt(0, 0, 10, 10)
+	cases := []struct{ in, want Point }{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(12, 12), Pt(9, 9)},
+		{Pt(3, -1), Pt(3, 0)},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Clamp on an empty rect is the identity.
+	if got := (Rect{}).Clamp(Pt(7, 8)); got != Pt(7, 8) {
+		t.Errorf("empty Clamp = %v", got)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperties(t *testing.T) {
+	f := func(ax0, ay0, adx, ady, bx0, by0, bdx, bdy uint8) bool {
+		a := Rt(int(ax0), int(ay0), int(ax0)+int(adx%32), int(ay0)+int(ady%32))
+		b := Rt(int(bx0), int(by0), int(bx0)+int(bdx%32), int(by0)+int(bdy%32))
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if !a.ContainsRect(i1) || !b.ContainsRect(i1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands; intersection area <= min area.
+func TestUnionProperties(t *testing.T) {
+	f := func(ax0, ay0, adx, ady, bx0, by0, bdx, bdy uint8) bool {
+		a := Rt(int(ax0), int(ay0), int(ax0)+int(adx%32)+1, int(ay0)+int(ady%32)+1)
+		b := Rt(int(bx0), int(by0), int(bx0)+int(bdx%32)+1, int(by0)+int(bdy%32)+1)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			return false
+		}
+		i := a.Intersect(b)
+		if i.Area() > a.Area() || i.Area() > b.Area() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a clamped point is always inside a non-empty rectangle.
+func TestClampProperty(t *testing.T) {
+	f := func(x0, y0, dx, dy uint8, px, py int16) bool {
+		r := Rt(int(x0), int(y0), int(x0)+int(dx%40)+1, int(y0)+int(dy%40)+1)
+		return r.Clamp(Pt(int(px), int(py))).In(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package helpfs exposes help's window structure as a file service, the
+// paper's programming interface: "Each help window is represented by a
+// set of files stored in numbered directories. ... Each directory contains
+// files such as tag and body, which may be read to recover the contents of
+// the corresponding subwindow, and ctl, to which may be written messages
+// to effect changes such as insertion and deletion of text."
+//
+// The service mounts (conventionally) at /mnt/help:
+//
+//	/mnt/help/index      window number, a tab, and the first line of the tag
+//	/mnt/help/ctl        service-wide messages: "open name[:addr]"
+//	/mnt/help/new/ctl    opening it creates a window placed automatically
+//	                     near the current selection; reading it returns the
+//	                     new window's number
+//	/mnt/help/N/tag      read/write the tag
+//	/mnt/help/N/body     read/write the body (write replaces)
+//	/mnt/help/N/bodyapp  writes append to the body
+//	/mnt/help/N/ctl      control messages, one per line:
+//	                       name <file>   set the file name (standard tag)
+//	                       tag <text>    set the whole tag line
+//	                       clean | dirty mark the body's modified state
+//	                       show <addr>   scroll/select an address (27, #5, /x/)
+//	                       select Q0 Q1  set the body selection
+//	                       delete        close the window
+//
+// Everything is implemented as vfs synthetic files bound to a live
+// core.Help, so shell scripts drive the user interface with cat, echo and
+// redirection — "applications (even shell procedures) exploit the
+// graphical user interface of the system" without any UI code of their own.
+package helpfs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// Service binds a help instance to a mount point in its namespace.
+type Service struct {
+	h    *core.Help
+	fs   *vfs.FS
+	root string
+}
+
+// Attach mounts the service for h at root (normally "/mnt/help") in fs and
+// keeps it in sync as windows come and go.
+func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
+	s := &Service{h: h, fs: fs, root: vfs.Clean(root)}
+	if err := fs.MkdirAll(s.root); err != nil {
+		return nil, err
+	}
+	if err := fs.RegisterDevice(s.root+"/index", readDevice(s.index)); err != nil {
+		return nil, err
+	}
+	if err := fs.RegisterDevice(s.root+"/new/ctl", &newCtlDevice{s: s}); err != nil {
+		return nil, err
+	}
+	if err := fs.RegisterDevice(s.root+"/ctl", &rootCtlDevice{s: s}); err != nil {
+		return nil, err
+	}
+	for _, w := range h.Windows() {
+		if err := s.addWindow(w); err != nil {
+			return nil, err
+		}
+	}
+	prevCreate, prevClose := h.OnWindowCreated, h.OnWindowClosed
+	h.OnWindowCreated = func(w *core.Window) {
+		if prevCreate != nil {
+			prevCreate(w)
+		}
+		s.addWindow(w)
+	}
+	h.OnWindowClosed = func(w *core.Window) {
+		if prevClose != nil {
+			prevClose(w)
+		}
+		s.removeWindow(w)
+	}
+	return s, nil
+}
+
+// Root returns the mount point.
+func (s *Service) Root() string { return s.root }
+
+// index renders the index file: "Each line of this file is a window
+// number, a tab, and the first line of the tag."
+func (s *Service) index() string {
+	var b strings.Builder
+	for _, w := range s.h.Windows() {
+		tag := w.Tag.String()
+		if i := strings.IndexByte(tag, '\n'); i >= 0 {
+			tag = tag[:i]
+		}
+		fmt.Fprintf(&b, "%d\t%s\n", w.ID, tag)
+	}
+	return b.String()
+}
+
+func (s *Service) winDir(id int) string {
+	return fmt.Sprintf("%s/%d", s.root, id)
+}
+
+// addWindow registers the numbered directory for w.
+func (s *Service) addWindow(w *core.Window) error {
+	dir := s.winDir(w.ID)
+	id := w.ID
+	if err := s.fs.RegisterDevice(dir+"/tag", &bufDevice{s: s, id: id, sub: core.SubTag}); err != nil {
+		return err
+	}
+	if err := s.fs.RegisterDevice(dir+"/body", &bufDevice{s: s, id: id, sub: core.SubBody}); err != nil {
+		return err
+	}
+	if err := s.fs.RegisterDevice(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true}); err != nil {
+		return err
+	}
+	return s.fs.RegisterDevice(dir+"/ctl", &ctlDevice{s: s, id: id})
+}
+
+// removeWindow tears down the numbered directory.
+func (s *Service) removeWindow(w *core.Window) {
+	dir := s.winDir(w.ID)
+	for _, f := range []string{"tag", "body", "bodyapp", "ctl"} {
+		s.fs.RemoveDevice(dir + "/" + f)
+	}
+	s.fs.Remove(dir)
+}
+
+// window fetches a live window by id.
+func (s *Service) window(id int) (*core.Window, error) {
+	w := s.h.Window(id)
+	if w == nil {
+		return nil, fmt.Errorf("helpfs: no window %d", id)
+	}
+	return w, nil
+}
+
+// ---- devices ----------------------------------------------------------------
+
+// readDevice adapts a content function to a read-only device whose
+// contents are computed once per open.
+type readDevice func() string
+
+func (f readDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	return &stringHandle{content: f()}, nil
+}
+
+type stringHandle struct {
+	content string
+}
+
+func (h *stringHandle) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(h.content)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.content[off:])
+	if int(off)+n == len(h.content) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *stringHandle) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("helpfs: read-only file")
+}
+
+func (h *stringHandle) Close() error { return nil }
+
+// bufDevice serves a subwindow's buffer. Reads snapshot the contents at
+// open; a plain write replaces the buffer (the paper's body semantics),
+// while appendOnly handles bodyapp: "standard output ... is appended to
+// the new window by writing to /mnt/help/$x/bodyapp".
+type bufDevice struct {
+	s          *Service
+	id         int
+	sub        int
+	appendOnly bool
+}
+
+func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	w, err := d.s.window(d.id)
+	if err != nil {
+		return nil, err
+	}
+	h := &bufHandle{d: d, w: w}
+	rw := mode &^ (vfs.OTRUNC | vfs.OAPPEND)
+	if rw != vfs.OREAD {
+		h.writable = true
+	}
+	h.snapshot = w.Buffer(d.sub).String()
+	return h, nil
+}
+
+type bufHandle struct {
+	d        *bufDevice
+	w        *core.Window
+	snapshot string
+	writable bool
+	wrote    bool
+	pending  []byte
+}
+
+func (h *bufHandle) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(h.snapshot)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.snapshot[off:])
+	if int(off)+n == len(h.snapshot) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *bufHandle) WriteAt(p []byte, off int64) (int, error) {
+	if !h.writable {
+		return 0, fmt.Errorf("helpfs: not opened for writing")
+	}
+	h.wrote = true
+	h.pending = append(h.pending, p...)
+	return len(p), nil
+}
+
+// Close applies buffered writes: bodyapp appends, tag/body replace.
+func (h *bufHandle) Close() error {
+	if !h.wrote {
+		return nil
+	}
+	buf := h.w.Buffer(h.d.sub)
+	if h.d.appendOnly {
+		buf.Insert(buf.Len(), string(h.pending))
+	} else {
+		buf.SetString(string(h.pending))
+	}
+	buf.Commit()
+	// A replacement may have shrunk the buffer under an existing
+	// selection; re-clamping keeps every later edit in range.
+	sel := h.w.Sel[h.d.sub]
+	h.w.SetSelection(h.d.sub, sel.Q0, sel.Q1)
+	// Tags are never rewritten implicitly here: programs own their
+	// windows' tags and use the "name"/"tag"/"clean"/"dirty" control
+	// messages when they want the standard decorations.
+	return nil
+}
+
+// newCtlDevice creates a window per open: "To create a new window, a
+// process just opens /mnt/help/new/ctl, which places the new window
+// automatically on the screen near the current selected text, and may then
+// read from that file the name of the window created."
+type newCtlDevice struct {
+	s *Service
+}
+
+func (d *newCtlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	w := d.s.h.NewWindow()
+	return &newCtlHandle{s: d.s, id: w.ID, name: strconv.Itoa(w.ID) + "\n"}, nil
+}
+
+type newCtlHandle struct {
+	s    *Service
+	id   int
+	name string
+	ctl  ctlHandle
+}
+
+func (h *newCtlHandle) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(h.name)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.name[off:])
+	return n, io.EOF
+}
+
+// WriteAt forwards control messages, so a script can create and configure
+// a window through the single open file.
+func (h *newCtlHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.ctl = ctlHandle{s: h.s, id: h.id}
+	return h.ctl.WriteAt(p, off)
+}
+
+func (h *newCtlHandle) Close() error { return nil }
+
+// rootCtlDevice accepts service-wide control messages:
+//
+//	open name[:addr]   open a file or directory in a window, positioned
+//	                   at the optional address — the hook that lets a
+//	                   tool "close the loop so the Open operation also
+//	                   happens automatically" (the paper's planned change
+//	                   to the decl browser).
+type rootCtlDevice struct {
+	s *Service
+}
+
+func (d *rootCtlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	return &rootCtlHandle{s: d.s}, nil
+}
+
+type rootCtlHandle struct {
+	s *Service
+}
+
+func (h *rootCtlHandle) ReadAt(p []byte, off int64) (int, error) {
+	return 0, io.EOF
+}
+
+func (h *rootCtlHandle) WriteAt(p []byte, off int64) (int, error) {
+	for _, line := range strings.Split(string(p), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		verb, arg := line, ""
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			verb, arg = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		switch verb {
+		case "open":
+			name, addr := core.SplitAddr(arg)
+			if _, err := h.s.h.OpenFile(name, addr); err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("helpfs: unknown root ctl message %q", verb)
+		}
+	}
+	return len(p), nil
+}
+
+func (h *rootCtlHandle) Close() error { return nil }
+
+// ctlDevice accepts control messages for one window.
+type ctlDevice struct {
+	s  *Service
+	id int
+}
+
+func (d *ctlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	return &ctlHandle{s: d.s, id: d.id}, nil
+}
+
+type ctlHandle struct {
+	s  *Service
+	id int
+}
+
+func (h *ctlHandle) ReadAt(p []byte, off int64) (int, error) {
+	// Reading ctl reports the window id, handy for scripts.
+	msg := strconv.Itoa(h.id) + "\n"
+	if off >= int64(len(msg)) {
+		return 0, io.EOF
+	}
+	n := copy(p, msg[off:])
+	return n, io.EOF
+}
+
+func (h *ctlHandle) WriteAt(p []byte, off int64) (int, error) {
+	w, err := h.s.window(h.id)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(p), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := h.s.ctlMessage(w, line); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (h *ctlHandle) Close() error { return nil }
+
+// ctlMessage interprets one control line.
+func (s *Service) ctlMessage(w *core.Window, line string) error {
+	verb := line
+	arg := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		verb, arg = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch verb {
+	case "name":
+		w.SetNameTag(arg)
+	case "tag":
+		w.Tag.SetString(arg)
+		w.Tag.SetClean()
+	case "clean":
+		w.Body.SetClean()
+		w.RefreshTag()
+	case "dirty":
+		w.Body.SetDirty()
+		w.RefreshTag()
+	case "show":
+		return w.ShowAddr(arg)
+	case "select":
+		var q0, q1 int
+		if _, err := fmt.Sscanf(arg, "%d %d", &q0, &q1); err != nil {
+			return fmt.Errorf("helpfs: bad select %q", arg)
+		}
+		w.SetSelection(core.SubBody, q0, q1)
+	case "delete":
+		s.h.CloseWindow(w)
+	default:
+		return fmt.Errorf("helpfs: unknown ctl message %q", verb)
+	}
+	return nil
+}

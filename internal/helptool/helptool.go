@@ -1,0 +1,159 @@
+// Package helptool carries the small amount of plumbing every help
+// application shares: parsing the $helpsel environment variable ("help
+// passes to an application the file and character offset of the mouse
+// position") and driving windows through the /mnt/help file interface.
+// Tools built on it contain no user-interface code at all, which is the
+// paper's point: "We would not need to write any user interface software."
+package helptool
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// DefaultRoot is the conventional mount point of the help file service.
+const DefaultRoot = "/mnt/help"
+
+// Sel is a decoded $helpsel: the window and rune range the user selected.
+type Sel struct {
+	Win    int
+	Q0, Q1 int
+}
+
+// ParseHelpsel decodes $helpsel ("windowID:q0,q1") from the context.
+func ParseHelpsel(ctx *shell.Context) (Sel, error) {
+	raw := ctx.Getenv("helpsel")
+	if raw == "" {
+		return Sel{}, fmt.Errorf("helptool: $helpsel not set")
+	}
+	var s Sel
+	if _, err := fmt.Sscanf(raw, "%d:%d,%d", &s.Win, &s.Q0, &s.Q1); err != nil {
+		return Sel{}, fmt.Errorf("helptool: bad $helpsel %q", raw)
+	}
+	return s, nil
+}
+
+// winFile returns the path of one of a window's interface files.
+func winFile(root string, id int, name string) string {
+	return fmt.Sprintf("%s/%d/%s", vfs.Clean(root), id, name)
+}
+
+// ReadBody reads a window's body through the file interface.
+func ReadBody(ctx *shell.Context, root string, id int) (string, error) {
+	data, err := ctx.FS.ReadFile(winFile(root, id, "body"))
+	return string(data), err
+}
+
+// ReadTag reads a window's tag.
+func ReadTag(ctx *shell.Context, root string, id int) (string, error) {
+	data, err := ctx.FS.ReadFile(winFile(root, id, "tag"))
+	return string(data), err
+}
+
+// TagFileName extracts the file name (first word) from a window's tag.
+func TagFileName(ctx *shell.Context, root string, id int) (string, error) {
+	tag, err := ReadTag(ctx, root, id)
+	if err != nil {
+		return "", err
+	}
+	if i := strings.IndexAny(tag, " \t\n"); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag, nil
+}
+
+// NewWindow creates a window through new/ctl and returns its id.
+func NewWindow(ctx *shell.Context, root string) (int, error) {
+	f, err := ctx.FS.Open(vfs.Clean(root)+"/new/ctl", vfs.OREAD)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 32)
+	n, _ := f.Read(buf)
+	id, err := strconv.Atoi(strings.TrimSpace(string(buf[:n])))
+	if err != nil {
+		return 0, fmt.Errorf("helptool: bad window id %q", buf[:n])
+	}
+	return id, nil
+}
+
+// Ctl writes one control message to a window.
+func Ctl(ctx *shell.Context, root string, id int, msg string) error {
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	return ctx.FS.WriteFile(winFile(root, id, "ctl"), []byte(msg))
+}
+
+// AppendBody appends text to a window's body via bodyapp.
+func AppendBody(ctx *shell.Context, root string, id int, text string) error {
+	f, err := ctx.FS.Open(winFile(root, id, "bodyapp"), vfs.OWRITE)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte(text))
+	return err
+}
+
+// WriteBody replaces a window's body.
+func WriteBody(ctx *shell.Context, root string, id int, text string) error {
+	return ctx.FS.WriteFile(winFile(root, id, "body"), []byte(text))
+}
+
+// LineAt returns the 1-based line number containing rune offset q0 in
+// body, and the text of that line.
+func LineAt(body string, q0 int) (int, string) {
+	runes := []rune(body)
+	if q0 > len(runes) {
+		q0 = len(runes)
+	}
+	line := 1
+	start := 0
+	for i := 0; i < q0; i++ {
+		if runes[i] == '\n' {
+			line++
+			start = i + 1
+		}
+	}
+	end := start
+	for end < len(runes) && runes[end] != '\n' {
+		end++
+	}
+	return line, string(runes[start:end])
+}
+
+// WordAt expands rune offset q0 in body to the surrounding identifier-like
+// word (letters, digits, underscore).
+func WordAt(body string, q0 int) string {
+	runes := []rune(body)
+	if q0 > len(runes) {
+		q0 = len(runes)
+	}
+	isWord := func(r rune) bool {
+		return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+	}
+	a, b := q0, q0
+	for a > 0 && isWord(runes[a-1]) {
+		a--
+	}
+	for b < len(runes) && isWord(runes[b]) {
+		b++
+	}
+	return string(runes[a:b])
+}
+
+// SelWindowBody resolves $helpsel and reads the selected window's body.
+func SelWindowBody(ctx *shell.Context, root string) (Sel, string, error) {
+	sel, err := ParseHelpsel(ctx)
+	if err != nil {
+		return Sel{}, "", err
+	}
+	body, err := ReadBody(ctx, root, sel.Win)
+	return sel, body, err
+}

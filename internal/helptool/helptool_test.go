@@ -1,0 +1,169 @@
+package helptool
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/helpfs"
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// env wires a help instance with the file service and returns a context
+// with $helpsel pointing at a window selection.
+func env(t *testing.T) (*core.Help, *shell.Context) {
+	t.Helper()
+	fs := vfs.New()
+	sh := shell.New(fs)
+	h := core.New(fs, sh, 60, 24)
+	if _, err := helpfs.Attach(h, fs, DefaultRoot); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	return h, ctx
+}
+
+func setSel(ctx *shell.Context, win *core.Window, q0, q1 int) {
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:%d,%d", win.ID, q0, q1)})
+}
+
+func TestParseHelpsel(t *testing.T) {
+	_, ctx := env(t)
+	ctx.Set("helpsel", []string{"7:3,9"})
+	sel, err := ParseHelpsel(ctx)
+	if err != nil || sel.Win != 7 || sel.Q0 != 3 || sel.Q1 != 9 {
+		t.Errorf("sel=%+v err=%v", sel, err)
+	}
+}
+
+func TestParseHelpselErrors(t *testing.T) {
+	_, ctx := env(t)
+	if _, err := ParseHelpsel(ctx); err == nil {
+		t.Error("unset $helpsel should error")
+	}
+	ctx.Set("helpsel", []string{"garbage"})
+	if _, err := ParseHelpsel(ctx); err == nil {
+		t.Error("malformed $helpsel should error")
+	}
+}
+
+func TestReadBodyTagAndFileName(t *testing.T) {
+	h, ctx := env(t)
+	w := h.NewWindow()
+	w.Body.SetString("the body text")
+	w.Tag.SetString("/a/file.c\tClose! Get!")
+
+	body, err := ReadBody(ctx, DefaultRoot, w.ID)
+	if err != nil || body != "the body text" {
+		t.Errorf("body=%q err=%v", body, err)
+	}
+	tag, err := ReadTag(ctx, DefaultRoot, w.ID)
+	if err != nil || !strings.HasPrefix(tag, "/a/file.c") {
+		t.Errorf("tag=%q err=%v", tag, err)
+	}
+	name, err := TagFileName(ctx, DefaultRoot, w.ID)
+	if err != nil || name != "/a/file.c" {
+		t.Errorf("name=%q err=%v", name, err)
+	}
+}
+
+func TestReadBodyMissingWindow(t *testing.T) {
+	_, ctx := env(t)
+	if _, err := ReadBody(ctx, DefaultRoot, 99); err == nil {
+		t.Error("missing window should error")
+	}
+}
+
+func TestNewWindowAndCtl(t *testing.T) {
+	h, ctx := env(t)
+	id, err := NewWindow(ctx, DefaultRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Window(id) == nil {
+		t.Fatalf("window %d not created", id)
+	}
+	if err := Ctl(ctx, DefaultRoot, id, "name /made/by/tool"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Window(id).FileName() != "/made/by/tool" {
+		t.Errorf("name = %q", h.Window(id).FileName())
+	}
+}
+
+func TestAppendAndWriteBody(t *testing.T) {
+	h, ctx := env(t)
+	w := h.NewWindow()
+	if err := WriteBody(ctx, DefaultRoot, w.ID, "base\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBody(ctx, DefaultRoot, w.ID, "more\n"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Body.String() != "base\nmore\n" {
+		t.Errorf("body = %q", w.Body.String())
+	}
+}
+
+func TestLineAt(t *testing.T) {
+	body := "first\nsecond\nthird"
+	cases := []struct {
+		q0       int
+		line     int
+		lineText string
+	}{
+		{0, 1, "first"},
+		{5, 1, "first"},
+		{6, 2, "second"},
+		{12, 2, "second"},
+		{13, 3, "third"},
+		{99, 3, "third"}, // clamped past the end
+	}
+	for _, c := range cases {
+		ln, text := LineAt(body, c.q0)
+		if ln != c.line || text != c.lineText {
+			t.Errorf("LineAt(%d) = %d,%q want %d,%q", c.q0, ln, text, c.line, c.lineText)
+		}
+	}
+}
+
+func TestWordAt(t *testing.T) {
+	body := "errs((uchar*)n); fn_2 done"
+	cases := []struct {
+		q0   int
+		want string
+	}{
+		{0, "errs"},
+		{2, "errs"},
+		{4, "errs"},  // boundary: end of word
+		{13, "n"},    // the n in (uchar*)n
+		{17, "fn_2"}, // underscores and digits
+		{5, ""},      // between the parens
+		{len([]rune(body)), "done"},
+	}
+	for _, c := range cases {
+		if got := WordAt(body, c.q0); got != c.want {
+			t.Errorf("WordAt(%d) = %q, want %q", c.q0, got, c.want)
+		}
+	}
+}
+
+func TestSelWindowBody(t *testing.T) {
+	h, ctx := env(t)
+	w := h.NewWindow()
+	w.Body.SetString("content here")
+	setSel(ctx, w, 2, 5)
+	sel, body, err := SelWindowBody(ctx, DefaultRoot)
+	if err != nil || sel.Win != w.ID || body != "content here" {
+		t.Errorf("sel=%+v body=%q err=%v", sel, body, err)
+	}
+	// No helpsel.
+	ctx.Set("helpsel", nil)
+	if _, _, err := SelWindowBody(ctx, DefaultRoot); err == nil {
+		t.Error("missing helpsel should error")
+	}
+}

@@ -1,0 +1,106 @@
+// Package mail is the mail substrate behind Figures 5 and 6: an mbox
+// parser and the /help/mail tool programs (headers, messages, delete,
+// reread, send) that Sean Dorward's originals provided.
+//
+// The tools contain no user-interface code. They drive help entirely
+// through the /mnt/help file interface and the $helpsel environment
+// variable: headers builds a window listing the mailbox, messages applied
+// to a header line pops the message text into a new window, delete removes
+// the message the user is pointing at, and so on.
+package mail
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Message is one mail message.
+type Message struct {
+	From string // sender address
+	Date string // date string from the separator line
+	Body string // message text, without the separator
+}
+
+// ParseMbox splits classic mbox text: messages begin at lines of the form
+// "From sender date".
+func ParseMbox(src string) []Message {
+	var msgs []Message
+	var cur *Message
+	var body []string
+	flush := func() {
+		if cur != nil {
+			cur.Body = strings.Join(body, "\n")
+			msgs = append(msgs, *cur)
+		}
+		cur = nil
+		body = nil
+	}
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "From ") {
+			flush()
+			rest := strings.TrimPrefix(line, "From ")
+			from, date := rest, ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				from, date = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			cur = &Message{From: from, Date: date}
+			continue
+		}
+		if cur != nil {
+			body = append(body, line)
+		}
+	}
+	flush()
+	for i := range msgs {
+		msgs[i].Body = strings.TrimRight(msgs[i].Body, "\n")
+	}
+	return msgs
+}
+
+// FormatMbox renders messages back to mbox text.
+func FormatMbox(msgs []Message) string {
+	var b strings.Builder
+	for _, m := range msgs {
+		fmt.Fprintf(&b, "From %s %s\n", m.From, m.Date)
+		b.WriteString(strings.TrimRight(m.Body, "\n"))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// HeaderLine renders the one-line summary shown in the headers window:
+// "1 chk@alias.com Tue Apr 16 19:30 EDT".
+func HeaderLine(i int, m Message) string {
+	return fmt.Sprintf("%d %s %s", i+1, m.From, m.Date)
+}
+
+// Headers renders the whole headers listing.
+func Headers(msgs []Message) string {
+	var b strings.Builder
+	for i, m := range msgs {
+		b.WriteString(HeaderLine(i, m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MessageWindow renders a message the way Figure 6 shows it: the
+// separator restated as the first line, then the body.
+func MessageWindow(m Message) string {
+	return fmt.Sprintf("From %s %s\n%s\n", m.From, m.Date, strings.TrimRight(m.Body, "\n"))
+}
+
+// HeaderIndex parses the message number at the start of a header line,
+// returning -1 if the line is not a header.
+func HeaderIndex(line string) int {
+	line = strings.TrimSpace(line)
+	i := strings.IndexAny(line, " \t")
+	if i <= 0 {
+		return -1
+	}
+	var n int
+	if _, err := fmt.Sscanf(line[:i], "%d", &n); err != nil || n < 1 {
+		return -1
+	}
+	return n - 1
+}

@@ -1,0 +1,308 @@
+package mail
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/helpfs"
+	"repro/internal/shell"
+	"repro/internal/userland"
+	"repro/internal/vfs"
+)
+
+const sampleMbox = `From chk@alias.com Tue Apr 16 19:30 EDT
+hello rob
+From sean Tue Apr 16 19:26 EDT
+i tried your new help and got this:
+help 176153: user TLB miss (load or fetch) badvaddr=0x0
+help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8
+From attunix!rrg Tue Apr 16 19:03 EDT 1991
+verses about UNIX
+`
+
+func TestParseMbox(t *testing.T) {
+	msgs := ParseMbox(sampleMbox)
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if msgs[0].From != "chk@alias.com" || msgs[0].Date != "Tue Apr 16 19:30 EDT" {
+		t.Errorf("msg0 = %+v", msgs[0])
+	}
+	if msgs[1].From != "sean" {
+		t.Errorf("msg1 from = %q", msgs[1].From)
+	}
+	if !strings.Contains(msgs[1].Body, "TLB miss") {
+		t.Errorf("msg1 body = %q", msgs[1].Body)
+	}
+	if msgs[2].From != "attunix!rrg" {
+		t.Errorf("msg2 from = %q", msgs[2].From)
+	}
+}
+
+func TestParseMboxEmpty(t *testing.T) {
+	if got := ParseMbox(""); len(got) != 0 {
+		t.Errorf("empty mbox = %v", got)
+	}
+	if got := ParseMbox("no separator here\n"); len(got) != 0 {
+		t.Errorf("headerless mbox = %v", got)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	msgs := ParseMbox(sampleMbox)
+	again := ParseMbox(FormatMbox(msgs))
+	if len(again) != len(msgs) {
+		t.Fatalf("round trip lost messages: %d -> %d", len(msgs), len(again))
+	}
+	for i := range msgs {
+		if msgs[i].From != again[i].From || msgs[i].Body != again[i].Body {
+			t.Errorf("message %d mismatch: %+v vs %+v", i, msgs[i], again[i])
+		}
+	}
+}
+
+func TestHeadersRendering(t *testing.T) {
+	msgs := ParseMbox(sampleMbox)
+	h := Headers(msgs)
+	want := "1 chk@alias.com Tue Apr 16 19:30 EDT\n2 sean Tue Apr 16 19:26 EDT\n3 attunix!rrg Tue Apr 16 19:03 EDT 1991\n"
+	if h != want {
+		t.Errorf("headers = %q", h)
+	}
+}
+
+func TestHeaderIndex(t *testing.T) {
+	cases := []struct {
+		line string
+		want int
+	}{
+		{"2 sean Tue Apr 16 19:26 EDT", 1},
+		{"  7 someone Mon", 6},
+		{"not a header", -1},
+		{"", -1},
+		{"0 bad", -1},
+	}
+	for _, c := range cases {
+		if got := HeaderIndex(c.line); got != c.want {
+			t.Errorf("HeaderIndex(%q) = %d, want %d", c.line, got, c.want)
+		}
+	}
+}
+
+func TestMessageWindow(t *testing.T) {
+	m := Message{From: "sean", Date: "Tue Apr 16 19:26 EDT", Body: "text"}
+	if got := MessageWindow(m); got != "From sean Tue Apr 16 19:26 EDT\ntext\n" {
+		t.Errorf("MessageWindow = %q", got)
+	}
+}
+
+// mailWorld wires help + helpfs + the mail tools over a sample mailbox.
+func mailWorld(t *testing.T) (*core.Help, *shell.Shell, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New()
+	fs.MkdirAll("/bin")
+	fs.MkdirAll("/mail/box/rob")
+	fs.WriteFile("/mail/box/rob/mbox", []byte(sampleMbox))
+	sh := shell.New(fs)
+	userland.Install(sh)
+	h := core.New(fs, sh, 80, 24)
+	if _, err := helpfs.Attach(h, fs, "/mnt/help"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(sh, "/mail/box/rob/mbox", "/mnt/help"); err != nil {
+		t.Fatal(err)
+	}
+	return h, sh, fs
+}
+
+func TestHeadersTool(t *testing.T) {
+	h, sh, _ := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = "/help/mail"
+	if status := sh.RunCommand(ctx, []string{"/help/mail/headers"}); status != 0 {
+		t.Fatalf("headers failed: %s", out.String())
+	}
+	w := h.WindowByName("/mail/box/rob/mbox")
+	if w == nil {
+		t.Fatal("headers window missing")
+	}
+	if !strings.Contains(w.Body.String(), "2 sean Tue Apr 16 19:26 EDT") {
+		t.Errorf("headers body = %q", w.Body.String())
+	}
+	// Running headers again reuses the window.
+	sh.RunCommand(ctx, []string{"/help/mail/headers"})
+	if len(h.Windows()) != 1 {
+		t.Errorf("windows = %d after second headers", len(h.Windows()))
+	}
+}
+
+// selectHeader points the selection at message i's header line.
+func selectHeader(t *testing.T, h *core.Help, ctx *shell.Context, i int) {
+	t.Helper()
+	w := h.WindowByName("/mail/box/rob/mbox")
+	if w == nil {
+		t.Fatal("no headers window")
+	}
+	body := w.Body.String()
+	needle := fmt.Sprintf("%d ", i+1)
+	off := strings.Index(body, needle)
+	if off < 0 {
+		t.Fatalf("header %d not found in %q", i+1, body)
+	}
+	q := len([]rune(body[:off])) + 2 // anywhere in the line
+	w.SetSelection(core.SubBody, q, q)
+	h.SetCurrent(w, core.SubBody)
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:%d,%d", w.ID, q, q)})
+}
+
+func TestMessagesTool(t *testing.T) {
+	h, sh, _ := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	sh.RunCommand(ctx, []string{"/help/mail/headers"})
+	selectHeader(t, h, ctx, 1) // Sean's mail
+	if status := sh.RunCommand(ctx, []string{"/help/mail/messages"}); status != 0 {
+		t.Fatalf("messages failed: %s", out.String())
+	}
+	var msgWin *core.Window
+	for _, w := range h.Windows() {
+		if strings.HasPrefix(w.Tag.String(), "From sean") {
+			msgWin = w
+		}
+	}
+	if msgWin == nil {
+		t.Fatal("message window missing")
+	}
+	if !strings.Contains(msgWin.Body.String(), "user TLB miss") {
+		t.Errorf("message body = %q", msgWin.Body.String())
+	}
+}
+
+func TestMessagesWithoutSelection(t *testing.T) {
+	_, sh, _ := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.RunCommand(ctx, []string{"/help/mail/messages"}); status == 0 {
+		t.Error("messages without $helpsel should fail")
+	}
+}
+
+func TestDeleteTool(t *testing.T) {
+	h, sh, fs := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	sh.RunCommand(ctx, []string{"/help/mail/headers"})
+	selectHeader(t, h, ctx, 0)
+	if status := sh.RunCommand(ctx, []string{"/help/mail/delete"}); status != 0 {
+		t.Fatalf("delete failed: %s", out.String())
+	}
+	data, _ := fs.ReadFile("/mail/box/rob/mbox")
+	if strings.Contains(string(data), "chk@alias.com") {
+		t.Error("deleted message still in mbox")
+	}
+	// Headers window refreshed: sean is now message 1.
+	w := h.WindowByName("/mail/box/rob/mbox")
+	if !strings.HasPrefix(w.Body.String(), "1 sean") {
+		t.Errorf("refreshed headers = %q", w.Body.String())
+	}
+}
+
+func TestSendTool(t *testing.T) {
+	h, sh, fs := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	// Compose in a fresh window.
+	draft := h.NewWindow()
+	draft.Body.SetString("dear sean, fixed\n")
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:0,0", draft.ID)})
+	if status := sh.RunCommand(ctx, []string{"/help/mail/send"}); status != 0 {
+		t.Fatalf("send failed: %s", out.String())
+	}
+	data, err := fs.ReadFile("/mail/box/rob/mbox.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dear sean, fixed") {
+		t.Errorf("outgoing = %q", data)
+	}
+	if !strings.HasPrefix(string(data), "From rob ") {
+		t.Errorf("outgoing separator = %q", data)
+	}
+}
+
+func TestToolFileListsCommands(t *testing.T) {
+	_, _, fs := mailWorld(t)
+	data, err := fs.ReadFile("/help/mail/stf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "headers messages delete reread send\n" {
+		t.Errorf("stf = %q", data)
+	}
+}
+
+func TestRereadTool(t *testing.T) {
+	h, sh, fs := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	sh.RunCommand(ctx, []string{"/help/mail/headers"})
+	// Another message arrives; reread refreshes the same window.
+	data, _ := fs.ReadFile("/mail/box/rob/mbox")
+	fs.WriteFile("/mail/box/rob/mbox", append(data,
+		[]byte("From newguy Tue Apr 16 20:00 EDT\nlate mail\n")...))
+	if status := sh.RunCommand(ctx, []string{"/help/mail/reread"}); status != 0 {
+		t.Fatalf("reread: %s", out.String())
+	}
+	w := h.WindowByName("/mail/box/rob/mbox")
+	if !strings.Contains(w.Body.String(), "4 newguy") {
+		t.Errorf("reread body = %q", w.Body.String())
+	}
+	if len(h.Windows()) != 1 {
+		t.Errorf("windows = %d", len(h.Windows()))
+	}
+}
+
+func TestHeadersMissingMailbox(t *testing.T) {
+	_, sh, fs := mailWorld(t)
+	fs.Remove("/mail/box/rob/mbox")
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.RunCommand(ctx, []string{"/help/mail/headers"}); status == 0 {
+		t.Error("headers with no mailbox should fail")
+	}
+}
+
+func TestDeleteWithSelectionOffHeader(t *testing.T) {
+	h, sh, _ := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	sh.RunCommand(ctx, []string{"/help/mail/headers"})
+	// Selection in some other window that is not a header line.
+	w := h.NewWindow()
+	w.Body.SetString("not a header")
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:0,0", w.ID)})
+	if status := sh.RunCommand(ctx, []string{"/help/mail/delete"}); status == 0 {
+		t.Errorf("delete off a header line should fail: %s", out.String())
+	}
+}
+
+func TestSendUsesUserVariable(t *testing.T) {
+	h, sh, fs := mailWorld(t)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Set("user", []string{"sean"})
+	ctx.Set("date", []string{"Wed Apr 17 09:00 EDT"})
+	draft := h.NewWindow()
+	draft.Body.SetString("reply text")
+	ctx.Set("helpsel", []string{fmt.Sprintf("%d:0,0", draft.ID)})
+	if status := sh.RunCommand(ctx, []string{"/help/mail/send"}); status != 0 {
+		t.Fatalf("send: %s", out.String())
+	}
+	data, _ := fs.ReadFile("/mail/box/rob/mbox.out")
+	if !strings.HasPrefix(string(data), "From sean Wed Apr 17 09:00 EDT\n") {
+		t.Errorf("outgoing = %q", data)
+	}
+}

@@ -1,0 +1,195 @@
+package mail
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/helptool"
+	"repro/internal/shell"
+)
+
+// Install registers the mail tool programs under /help/mail in sh, bound
+// to the mailbox at mboxPath with the help file service mounted at root.
+// The tool file /help/mail/stf lists the available commands, exactly as in
+// Figure 4: "headers messages delete reread send".
+func Install(sh *shell.Shell, mboxPath, root string) error {
+	fs := sh.FS()
+	if err := fs.MkdirAll("/help/mail"); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/help/mail/stf",
+		[]byte("headers messages delete reread send\n")); err != nil {
+		return err
+	}
+	register := func(name string, fn shell.Builtin) error {
+		return sh.RegisterProgram("/help/mail/"+name, fn)
+	}
+	if err := register("headers", headersCmd(mboxPath, root)); err != nil {
+		return err
+	}
+	if err := register("messages", messagesCmd(mboxPath, root)); err != nil {
+		return err
+	}
+	if err := register("delete", deleteCmd(mboxPath, root)); err != nil {
+		return err
+	}
+	if err := register("reread", headersCmd(mboxPath, root)); err != nil {
+		return err
+	}
+	return register("send", sendCmd(mboxPath, root))
+}
+
+// loadMbox reads and parses the mailbox.
+func loadMbox(ctx *shell.Context, mboxPath string) ([]Message, error) {
+	data, err := ctx.FS.ReadFile(mboxPath)
+	if err != nil {
+		return nil, fmt.Errorf("mail: %v", err)
+	}
+	return ParseMbox(string(data)), nil
+}
+
+// headersWindowID finds the window already labeled with the mailbox, or
+// creates one. It consults the index file, not internal state — the tools
+// see help only through the file interface.
+func headersWindowID(ctx *shell.Context, mboxPath, root string) (int, error) {
+	index, err := ctx.FS.ReadFile(root + "/index")
+	if err == nil {
+		for _, line := range strings.Split(string(index), "\n") {
+			parts := strings.SplitN(line, "\t", 2)
+			if len(parts) == 2 && strings.HasPrefix(parts[1], mboxPath) {
+				var id int
+				if _, err := fmt.Sscanf(parts[0], "%d", &id); err == nil {
+					return id, nil
+				}
+			}
+		}
+	}
+	id, err := helptool.NewWindow(ctx, root)
+	if err != nil {
+		return 0, err
+	}
+	if err := helptool.Ctl(ctx, root, id, "name "+mboxPath); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// headersCmd creates (or refreshes) the mailbox headers window, Figure 5:
+// "Headers creates a new window containing the headers of my mail
+// messages, and labels it /mail/box/rob/mbox."
+func headersCmd(mboxPath, root string) shell.Builtin {
+	return func(ctx *shell.Context, args []string) int {
+		msgs, err := loadMbox(ctx, mboxPath)
+		if err != nil {
+			ctx.Errorf("%v", err)
+			return 1
+		}
+		id, err := headersWindowID(ctx, mboxPath, root)
+		if err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		if err := helptool.WriteBody(ctx, root, id, Headers(msgs)); err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		helptool.Ctl(ctx, root, id, "clean")
+		return 0
+	}
+}
+
+// selectedMessage resolves $helpsel to the message whose header line the
+// user is pointing at ("just pointing with the left button anywhere in the
+// header line will do").
+func selectedMessage(ctx *shell.Context, mboxPath, root string) (int, []Message, error) {
+	msgs, err := loadMbox(ctx, mboxPath)
+	if err != nil {
+		return 0, nil, err
+	}
+	sel, body, err := helptool.SelWindowBody(ctx, root)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, line := helptool.LineAt(body, sel.Q0)
+	idx := HeaderIndex(line)
+	if idx < 0 || idx >= len(msgs) {
+		return 0, nil, fmt.Errorf("mail: selection is not on a header line")
+	}
+	return idx, msgs, nil
+}
+
+// messagesCmd pops the selected message into a new window, Figure 6.
+func messagesCmd(mboxPath, root string) shell.Builtin {
+	return func(ctx *shell.Context, args []string) int {
+		idx, msgs, err := selectedMessage(ctx, mboxPath, root)
+		if err != nil {
+			ctx.Errorf("%v", err)
+			return 1
+		}
+		m := msgs[idx]
+		id, err := helptool.NewWindow(ctx, root)
+		if err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		// The message window is labeled with the sender, as in Figure 6.
+		helptool.Ctl(ctx, root, id, "tag From "+m.From+"\tClose!")
+		if err := helptool.WriteBody(ctx, root, id, MessageWindow(m)); err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// deleteCmd removes the selected message from the mailbox and refreshes
+// the headers window.
+func deleteCmd(mboxPath, root string) shell.Builtin {
+	return func(ctx *shell.Context, args []string) int {
+		idx, msgs, err := selectedMessage(ctx, mboxPath, root)
+		if err != nil {
+			ctx.Errorf("%v", err)
+			return 1
+		}
+		msgs = append(msgs[:idx], msgs[idx+1:]...)
+		if err := ctx.FS.WriteFile(mboxPath, []byte(FormatMbox(msgs))); err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		return headersCmd(mboxPath, root)(ctx, args)
+	}
+}
+
+// sendCmd appends the selected window's body to the outgoing spool as a
+// message from the local user; a real transport is outside the paper's
+// demo, which pointedly stops "because to answer his mail I'd have to
+// type something".
+func sendCmd(mboxPath, root string) shell.Builtin {
+	return func(ctx *shell.Context, args []string) int {
+		sel, body, err := helptool.SelWindowBody(ctx, root)
+		if err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		_ = sel
+		out := mboxPath + ".out"
+		date := ctx.Getenv("date")
+		if date == "" {
+			date = "Tue Apr 16 19:30:00 EDT 1991"
+		}
+		entry := fmt.Sprintf("From %s %s\n%s\n", userOf(ctx), date, strings.TrimRight(body, "\n"))
+		if err := ctx.FS.AppendFile(out, []byte(entry)); err != nil {
+			ctx.Errorf("mail: %v", err)
+			return 1
+		}
+		fmt.Fprintf(ctx.Stdout, "message queued in %s\n", out)
+		return 0
+	}
+}
+
+func userOf(ctx *shell.Context) string {
+	if u := ctx.Getenv("user"); u != "" {
+		return u
+	}
+	return "rob"
+}

@@ -1,0 +1,199 @@
+// Package proc simulates the Plan 9 process substrate the paper's
+// debugging demo rests on: "a new version of help has crashed and a broken
+// process lies about waiting to be examined. (This is a property of Plan 9,
+// not of help.)"
+//
+// A Table holds simulated processes. A broken process carries the fault
+// that killed it, its register set, and a fully symbolized call stack —
+// everything adb needs to print the traceback of Figure 7. The table also
+// materializes /proc/<pid>/{status,note} files into the vfs namespace so
+// shell tools can discover processes the Plan 9 way.
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Process states.
+const (
+	StateReady  = "Ready"
+	StateSleep  = "Sleep"
+	StateBroken = "Broken"
+)
+
+// Regs is the machine register set the demo displays (a MIPS, as in the
+// paper's "user TLB miss" crash).
+type Regs struct {
+	PC       uint64
+	SP       uint64
+	Status   uint64
+	BadVAddr uint64
+}
+
+// Fault describes where a broken process died.
+type Fault struct {
+	Note  string // e.g. "user TLB miss (load or fetch)"
+	File  string // source of the faulting instruction
+	Line  int
+	Func  string // symbol containing the PC
+	Off   uint64 // PC offset within the symbol
+	Instr string // disassembly of the faulting instruction
+}
+
+// Var is a named value in a stack frame.
+type Var struct {
+	Name  string
+	Value uint64
+}
+
+// Frame is one entry of a symbolized call stack. Args describe the
+// parameters this function was called with; File:Line is the call site in
+// the *caller*, which is what adb's traceback prints after "called from".
+type Frame struct {
+	Func      string
+	Args      []Var
+	CallerSym string // caller symbol, e.g. "strlen"
+	CallerOff uint64 // return-address offset inside the caller
+	File      string // call-site coordinate (caller's source)
+	Line      int
+	Locals    []Var
+}
+
+// ArgString formats the frame's arguments the way adb prints them:
+// "textinsert(sel=0x1,t=0x40e60,s=0x0,q0=0xd,full=0x1)".
+func (f Frame) ArgString() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = fmt.Sprintf("%s=%#x", a.Name, a.Value)
+	}
+	return f.Func + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	PID   int
+	Cmd   string // command name, e.g. "help"
+	State string
+	Regs  Regs
+	Fault *Fault  // non-nil when State is Broken
+	Stack []Frame // innermost first
+	// SrcDir is the source directory recorded in the binary's symbol
+	// table, which the debugger tools use as the context for the file
+	// names in a traceback.
+	SrcDir string
+}
+
+// Table is the process table.
+type Table struct {
+	procs   map[int]*Proc
+	nextPID int
+}
+
+// NewTable returns an empty process table.
+func NewTable() *Table {
+	return &Table{procs: map[int]*Proc{}, nextPID: 1}
+}
+
+// Add inserts p, assigning a PID if p.PID is zero, and returns it.
+func (t *Table) Add(p *Proc) *Proc {
+	if p.PID == 0 {
+		p.PID = t.nextPID
+	}
+	if p.PID >= t.nextPID {
+		t.nextPID = p.PID + 1
+	}
+	if p.State == "" {
+		p.State = StateReady
+	}
+	t.procs[p.PID] = p
+	return p
+}
+
+// Get returns the process with the given pid, or nil.
+func (t *Table) Get(pid int) *Proc { return t.procs[pid] }
+
+// Remove deletes pid from the table.
+func (t *Table) Remove(pid int) { delete(t.procs, pid) }
+
+// List returns all processes ordered by pid.
+func (t *Table) List() []*Proc {
+	out := make([]*Proc, 0, len(t.procs))
+	for _, p := range t.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Broken returns the broken processes ordered by pid.
+func (t *Table) Broken() []*Proc {
+	var out []*Proc
+	for _, p := range t.List() {
+		if p.State == StateBroken {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Crash marks p broken with the given fault, stack, and registers.
+func (p *Proc) Crash(f Fault, regs Regs, stack []Frame) {
+	p.State = StateBroken
+	p.Fault = &f
+	p.Regs = regs
+	p.Stack = stack
+}
+
+// CrashBanner renders the two-line message a Plan 9 process prints when it
+// breaks, as quoted in Sean's mail in the paper:
+//
+//	help 176153: user TLB miss (load or fetch) badvaddr=0x0
+//	help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8
+func (p *Proc) CrashBanner() string {
+	if p.Fault == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s %d: %s badvaddr=%#x\n%s %d: status=%#x pc=%#x sp=%#x\n",
+		p.Cmd, p.PID, p.Fault.Note, p.Regs.BadVAddr,
+		p.Cmd, p.PID, p.Regs.Status, p.Regs.PC, p.Regs.SP)
+}
+
+// Mount materializes the table as /proc files in fs: for each process,
+// /proc/<pid>/status holds "cmd pid state" and, for broken processes,
+// /proc/<pid>/note holds the fault note. Call again after table changes.
+func (t *Table) Mount(fs *vfs.FS) error {
+	// Clear any prior materialization so removed processes disappear.
+	if ents, err := fs.ReadDir("/proc"); err == nil {
+		for _, e := range ents {
+			if sub, err := fs.ReadDir("/proc/" + e.Name); err == nil {
+				for _, f := range sub {
+					fs.Remove("/proc/" + e.Name + "/" + f.Name)
+				}
+			}
+			fs.Remove("/proc/" + e.Name)
+		}
+	}
+	if err := fs.MkdirAll("/proc"); err != nil {
+		return err
+	}
+	for _, p := range t.List() {
+		dir := fmt.Sprintf("/proc/%d", p.PID)
+		if err := fs.MkdirAll(dir); err != nil {
+			return err
+		}
+		status := fmt.Sprintf("%s %d %s\n", p.Cmd, p.PID, p.State)
+		if err := fs.WriteFile(dir+"/status", []byte(status)); err != nil {
+			return err
+		}
+		if p.Fault != nil {
+			if err := fs.WriteFile(dir+"/note", []byte(p.Fault.Note+"\n")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestAddAssignsPIDs(t *testing.T) {
+	tb := NewTable()
+	a := tb.Add(&Proc{Cmd: "help"})
+	b := tb.Add(&Proc{Cmd: "rc"})
+	if a.PID == 0 || b.PID == 0 || a.PID == b.PID {
+		t.Errorf("pids = %d, %d", a.PID, b.PID)
+	}
+	if a.State != StateReady {
+		t.Errorf("default state = %q", a.State)
+	}
+}
+
+func TestAddExplicitPID(t *testing.T) {
+	tb := NewTable()
+	tb.Add(&Proc{PID: 176153, Cmd: "help"})
+	if tb.Get(176153) == nil {
+		t.Fatal("explicit pid not found")
+	}
+	// Next auto pid must not collide.
+	n := tb.Add(&Proc{Cmd: "x"})
+	if n.PID <= 176153 {
+		t.Errorf("auto pid %d collides", n.PID)
+	}
+}
+
+func TestGetRemoveList(t *testing.T) {
+	tb := NewTable()
+	p := tb.Add(&Proc{Cmd: "a"})
+	tb.Add(&Proc{Cmd: "b"})
+	if got := tb.Get(p.PID); got != p {
+		t.Error("Get mismatch")
+	}
+	if tb.Get(9999) != nil {
+		t.Error("Get of missing pid should be nil")
+	}
+	if len(tb.List()) != 2 {
+		t.Errorf("List = %d", len(tb.List()))
+	}
+	tb.Remove(p.PID)
+	if len(tb.List()) != 1 {
+		t.Error("Remove ineffective")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	tb := NewTable()
+	tb.Add(&Proc{PID: 30, Cmd: "c"})
+	tb.Add(&Proc{PID: 10, Cmd: "a"})
+	tb.Add(&Proc{PID: 20, Cmd: "b"})
+	l := tb.List()
+	if l[0].PID != 10 || l[1].PID != 20 || l[2].PID != 30 {
+		t.Errorf("order = %d %d %d", l[0].PID, l[1].PID, l[2].PID)
+	}
+}
+
+func TestCrashAndBroken(t *testing.T) {
+	tb := NewTable()
+	p := tb.Add(&Proc{PID: 176153, Cmd: "help"})
+	p.Crash(
+		Fault{Note: "user TLB miss (load or fetch)", File: "/sys/src/libc/mips/strchr.s", Line: 34, Func: "strchr", Off: 0x68, Instr: "MOVW 0(R3),R5"},
+		Regs{PC: 0x18df4, SP: 0x3f4e8, Status: 0xfb0c, BadVAddr: 0},
+		[]Frame{{Func: "strchr", Args: []Var{{"c", 0x3c}, {"s", 0}}, CallerSym: "strlen", CallerOff: 0x1c, File: "/sys/src/libc/port/strlen.c", Line: 7}},
+	)
+	if p.State != StateBroken || p.Fault == nil {
+		t.Fatalf("state=%q fault=%v", p.State, p.Fault)
+	}
+	broken := tb.Broken()
+	if len(broken) != 1 || broken[0].PID != 176153 {
+		t.Errorf("Broken = %v", broken)
+	}
+}
+
+func TestCrashBanner(t *testing.T) {
+	p := &Proc{PID: 176153, Cmd: "help"}
+	if p.CrashBanner() != "" {
+		t.Error("banner before crash should be empty")
+	}
+	p.Crash(
+		Fault{Note: "user TLB miss (load or fetch)"},
+		Regs{PC: 0x18df4, SP: 0x3f4e8, Status: 0xfb0c, BadVAddr: 0},
+		nil,
+	)
+	banner := p.CrashBanner()
+	want := "help 176153: user TLB miss (load or fetch) badvaddr=0x0\n" +
+		"help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n"
+	if banner != want {
+		t.Errorf("banner = %q\nwant %q", banner, want)
+	}
+}
+
+func TestFrameArgString(t *testing.T) {
+	f := Frame{Func: "textinsert", Args: []Var{
+		{"sel", 1}, {"t", 0x40e60}, {"s", 0}, {"q0", 0xd}, {"full", 1},
+	}}
+	want := "textinsert(sel=0x1,t=0x40e60,s=0x0,q0=0xd,full=0x1)"
+	if got := f.ArgString(); got != want {
+		t.Errorf("ArgString = %q", got)
+	}
+	empty := Frame{Func: "Xdie2"}
+	if got := empty.ArgString(); got != "Xdie2()" {
+		t.Errorf("empty ArgString = %q", got)
+	}
+}
+
+func TestMount(t *testing.T) {
+	fs := vfs.New()
+	tb := NewTable()
+	p := tb.Add(&Proc{PID: 42, Cmd: "help"})
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/proc/42/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "help 42 Ready\n" {
+		t.Errorf("status = %q", data)
+	}
+	// Crash, remount: note appears.
+	p.Crash(Fault{Note: "sys: bad address"}, Regs{}, nil)
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	note, err := fs.ReadFile("/proc/42/note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(note), "bad address") {
+		t.Errorf("note = %q", note)
+	}
+	// Remove and remount: directory disappears.
+	tb.Remove(42)
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/proc/42/status") {
+		t.Error("stale /proc entry survives remount")
+	}
+}
+
+func TestMountRefreshesState(t *testing.T) {
+	fs := vfs.New()
+	tb := NewTable()
+	p := tb.Add(&Proc{PID: 7, Cmd: "worker"})
+	tb.Mount(fs)
+	data, _ := fs.ReadFile("/proc/7/status")
+	if !strings.Contains(string(data), "Ready") {
+		t.Fatalf("status = %q", data)
+	}
+	p.State = StateSleep
+	tb.Mount(fs)
+	data, _ = fs.ReadFile("/proc/7/status")
+	if !strings.Contains(string(data), "Sleep") {
+		t.Errorf("refreshed status = %q", data)
+	}
+}

@@ -1,0 +1,204 @@
+// Package repl implements the command language of cmd/help: a small
+// textual stand-in for the mouse, so the reproduced system can be driven
+// from a terminal (or a test) line by line. Every command translates to
+// the same events a pointing device would produce.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/geom"
+)
+
+// Usage describes the command language, printed by the help command.
+const Usage = `commands:
+  screen                 render the screen
+  windows                list windows (id, name, span)
+  open PATH[:ADDR]       Open a file or directory
+  point ID TEXT          left-click inside TEXT in window ID's body
+  sweep ID FROM TO       left-sweep from FROM to TO in the body
+  exec ID WORD           middle-click WORD in window ID's body
+  tag ID WORD            middle-click WORD in window ID's tag
+  type TEXT              type TEXT at the mouse position
+  tab ID                 click window ID's tab (reveal)
+  metrics                show interaction counters
+  help                   this message
+  quit`
+
+// REPL drives one help instance.
+type REPL struct {
+	H   *core.Help
+	Out io.Writer
+	// Echo controls whether the screen renders after mutating commands.
+	Echo bool
+}
+
+// New returns a REPL over h writing to out, echoing screens.
+func New(h *core.Help, out io.Writer) *REPL {
+	return &REPL{H: h, Out: out, Echo: true}
+}
+
+// Run reads commands from r until EOF or Exit.
+func (r *REPL) Run(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(r.Out, "> ")
+	for sc.Scan() {
+		if err := r.Command(sc.Text()); err != nil {
+			fmt.Fprintln(r.Out, "! "+err.Error())
+		}
+		if r.H.Exited() {
+			return
+		}
+		fmt.Fprint(r.Out, "> ")
+	}
+}
+
+// Command executes one line of the command language.
+func (r *REPL) Command(line string) error {
+	h := r.H
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return nil
+	}
+	winArg := func(i int) (*core.Window, error) {
+		if len(fields) <= i {
+			return nil, fmt.Errorf("missing window id")
+		}
+		id, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return nil, fmt.Errorf("bad window id %q", fields[i])
+		}
+		w := h.Window(id)
+		if w == nil {
+			return nil, fmt.Errorf("no window %d", id)
+		}
+		return w, nil
+	}
+	show := func() {
+		if !r.Echo {
+			return
+		}
+		h.Render()
+		fmt.Fprint(r.Out, h.Screen().String())
+	}
+
+	switch fields[0] {
+	case "quit", "exit":
+		if ws := h.Windows(); len(ws) > 0 {
+			h.Execute(ws[0], "Exit")
+		} else {
+			h.Execute(h.NewWindow(), "Exit")
+		}
+	case "help":
+		fmt.Fprintln(r.Out, Usage)
+	case "screen":
+		h.Render()
+		fmt.Fprint(r.Out, h.Screen().String())
+	case "windows":
+		for _, w := range h.Windows() {
+			fmt.Fprintf(r.Out, "%3d %-40s span=%d hidden=%v\n",
+				w.ID, w.FileName(), h.VisibleSpan(w), w.Hidden())
+		}
+	case "metrics":
+		m := h.Metrics()
+		fmt.Fprintf(r.Out, "presses=%d keystrokes=%d travel=%d commands=%d\n",
+			m.Presses, m.Keystrokes, m.Travel, m.Commands)
+	case "open":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: open PATH[:ADDR]")
+		}
+		name, addr := core.SplitAddr(fields[1])
+		if _, err := h.OpenFile(name, addr); err != nil {
+			return err
+		}
+		show()
+	case "point":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		p, err := r.find(w, strings.Join(fields[2:], " "))
+		if err != nil {
+			return err
+		}
+		h.HandleAll(event.Click(event.Left, p))
+		show()
+	case "sweep":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: sweep ID FROM TO")
+		}
+		h.Render()
+		p0, ok0 := h.FindBody(w, fields[2])
+		p1, ok1 := h.FindBody(w, fields[3])
+		if !ok0 || !ok1 {
+			return fmt.Errorf("sweep endpoints not visible")
+		}
+		p1.X += len(fields[3])
+		h.HandleAll(event.Sweep(event.Left, p0, p1))
+		show()
+	case "exec":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		p, err := r.find(w, strings.Join(fields[2:], " "))
+		if err != nil {
+			return err
+		}
+		h.HandleAll(event.Click(event.Middle, p))
+		show()
+	case "tag":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		h.Render()
+		p, ok := h.FindTag(w, strings.Join(fields[2:], " "))
+		if !ok {
+			return fmt.Errorf("word not in tag")
+		}
+		p.X++
+		h.HandleAll(event.Click(event.Middle, p))
+		show()
+	case "type":
+		text := strings.TrimPrefix(line, "type ")
+		h.HandleAll(event.Type(text))
+		show()
+	case "tab":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		p, ok := h.TabPoint(w)
+		if !ok {
+			return fmt.Errorf("no tab for window %d", w.ID)
+		}
+		h.HandleAll(event.Click(event.Left, p))
+		show()
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+// find locates text in a window body, one cell in so word expansion has
+// an anchor.
+func (r *REPL) find(w *core.Window, text string) (geom.Point, error) {
+	r.H.Render()
+	pt, ok := r.H.FindBody(w, text)
+	if !ok {
+		return geom.Point{}, fmt.Errorf("text %q not visible in window %d", text, w.ID)
+	}
+	pt.X++
+	return pt, nil
+}

@@ -1,0 +1,148 @@
+package repl
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+func newREPL(t *testing.T) (*REPL, *bytes.Buffer, *world.World) {
+	t.Helper()
+	w, err := world.Build(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	r := New(w.Help, &out)
+	r.Echo = false // keep test output small
+	return r, &out, w
+}
+
+func TestOpenAndWindows(t *testing.T) {
+	r, out, _ := newREPL(t)
+	if err := r.Command("open " + world.SrcDir + "/exec.c:213"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Command("windows"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exec.c") {
+		t.Errorf("windows output = %q", out.String())
+	}
+}
+
+func TestPointAndExecDriveTheSession(t *testing.T) {
+	r, _, w := newREPL(t)
+	// Find the mail tool window id.
+	mail := w.Help.WindowByName("/help/mail/stf")
+	if mail == nil {
+		t.Fatal("mail stf missing")
+	}
+	if err := r.Command("exec " + itoa(mail.ID) + " headers"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Help.WindowByName(world.MboxPath) == nil {
+		t.Fatal("headers window missing")
+	}
+	hw := w.Help.WindowByName(world.MboxPath)
+	if err := r.Command("point " + itoa(hw.ID) + " sean"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Command("exec " + itoa(mail.ID) + " messages"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, win := range w.Help.Windows() {
+		if strings.HasPrefix(win.Tag.String(), "From sean") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("messages window missing")
+	}
+}
+
+func TestTypeCommand(t *testing.T) {
+	r, _, w := newREPL(t)
+	scratch := w.Help.NewWindowIn(0)
+	if err := r.Command("point " + itoa(scratch.ID) + " "); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Command("type hello repl"); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Body.String() != "hello repl" {
+		t.Errorf("body = %q", scratch.Body.String())
+	}
+}
+
+func TestMetricsAndScreen(t *testing.T) {
+	r, out, _ := newREPL(t)
+	if err := r.Command("metrics"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "presses=") {
+		t.Errorf("metrics = %q", out.String())
+	}
+	out.Reset()
+	if err := r.Command("screen"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "help/Boot") {
+		t.Error("screen output missing boot window")
+	}
+}
+
+func TestHelpAndErrors(t *testing.T) {
+	r, out, _ := newREPL(t)
+	if err := r.Command("help"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "point ID TEXT") {
+		t.Errorf("usage = %q", out.String())
+	}
+	for _, bad := range []string{
+		"nonsense", "open", "point", "point 999 x", "point abc x",
+		"sweep 1", "tab 999", "exec 1 notinthere",
+	} {
+		if err := r.Command(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+	if err := r.Command(""); err != nil {
+		t.Error("empty line should be a no-op")
+	}
+}
+
+func TestTagCommand(t *testing.T) {
+	r, _, w := newREPL(t)
+	if err := r.Command("open " + world.SrcDir + "/dat.h"); err != nil {
+		t.Fatal(err)
+	}
+	win := w.Help.WindowByName(world.SrcDir + "/dat.h")
+	if err := r.Command("tag " + itoa(win.ID) + " Close!"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Help.WindowByName(world.SrcDir+"/dat.h") != nil {
+		t.Error("Close! via tag command did not close")
+	}
+}
+
+func TestRunUntilQuit(t *testing.T) {
+	r, out, w := newREPL(t)
+	r.Run(strings.NewReader("windows\nquit\n"))
+	if !w.Help.Exited() {
+		t.Error("quit did not exit")
+	}
+	if !strings.Contains(out.String(), "help/Boot") {
+		t.Errorf("windows listing missing: %q", out.String())
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,221 @@
+// Package report generates the evaluation tables of EXPERIMENTS.md. Each
+// function reproduces one of the paper's quantified claims against the
+// live system and writes a human-readable table; cmd/helpbench is a thin
+// wrapper. Keeping the generators here makes every table's content
+// testable.
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/session"
+	"repro/internal/world"
+)
+
+// Clicks (T1) replays the debugging session and reports the interaction
+// cost of every step, checking that the keyboard stayed untouched.
+func Clicks(w io.Writer, scrW, scrH int) error {
+	fmt.Fprintln(w, "T1. Interaction cost per session step (paper: \"Through this entire")
+	fmt.Fprintln(w, "    demo I haven't yet touched the keyboard.\")")
+	fmt.Fprintln(w)
+	s, err := session.New(scrW, scrH)
+	if err != nil {
+		return err
+	}
+	if err := s.RunDebugSession(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "    %-6s %-55s %8s %6s %6s\n", "step", "action", "presses", "keys", "travel")
+	prevPresses, prevTravel := 0, 0
+	for _, st := range s.Steps {
+		fmt.Fprintf(w, "    %-6s %-55s %8d %6d %6d\n",
+			st.Name, st.Desc, st.Metrics.Presses-prevPresses,
+			st.Metrics.Keystrokes, st.Metrics.Travel-prevTravel)
+		prevPresses = st.Metrics.Presses
+		prevTravel = st.Metrics.Travel
+	}
+	last := s.Last().Metrics
+	fmt.Fprintf(w, "\n    total: %d presses, %d keystrokes, %d cells of travel\n",
+		last.Presses, last.Keystrokes, last.Travel)
+	if last.Keystrokes == 0 {
+		fmt.Fprintln(w, "    KEYBOARD UNTOUCHED — the paper's claim holds.")
+	} else {
+		fmt.Fprintln(w, "    KEYBOARD USED — claim violated!")
+	}
+	return nil
+}
+
+// Interaction (T2) prices the standard task suite under help, the pop-up
+// window system, the typed shell, and the no-defaults ablation.
+func Interaction(w io.Writer) error {
+	fmt.Fprintln(w, "T2. Interaction cost per task: help vs a pop-up-menu window system")
+	fmt.Fprintln(w, "    vs a typed shell, plus the ablation with help's automation")
+	fmt.Fprintln(w, "    rules turned off.")
+	fmt.Fprintln(w)
+	costs := baseline.Table(baseline.StandardTasks())
+	for _, t := range baseline.StandardTasks() {
+		costs = append(costs, baseline.HelpCostNoDefaults(t))
+	}
+	sort.SliceStable(costs, func(i, j int) bool { return costs[i].Task < costs[j].Task })
+	for _, c := range costs {
+		fmt.Fprintln(w, "    "+c.String())
+	}
+	sums := baseline.Summary(costs)
+	models := make([]string, 0, len(sums))
+	for m := range sums {
+		models = append(models, m)
+	}
+	sort.Slice(models, func(i, j int) bool { return sums[models[i]] < sums[models[j]] })
+	fmt.Fprintln(w)
+	for _, m := range models {
+		fmt.Fprintf(w, "    total %-16s %4d gestures\n", m, sums[m])
+	}
+	return nil
+}
+
+// UsesGrep (T3) compares the C browser against grep on the paper's tree.
+func UsesGrep(w io.Writer) error {
+	fmt.Fprintln(w, "T3. uses vs grep on /usr/rob/src/help (paper: grep n would report")
+	fmt.Fprintln(w, "    \"every occurrence of the letter n in the program\").")
+	fmt.Fprintln(w)
+	wld, err := world.Build(80, 24)
+	if err != nil {
+		return err
+	}
+	for _, ident := range []string{"n", "fn", "snarf", "pages", "textinsert", "lookup", "errs"} {
+		res, err := baseline.UsesVsGrep(wld.FS, wld.Shell, world.SrcDir, ident)
+		if err != nil {
+			fmt.Fprintf(w, "    ident=%-10s (%v)\n", ident, err)
+			continue
+		}
+		fmt.Fprintln(w, "    "+res.String())
+	}
+	return nil
+}
+
+// Size (T4) reports line counts and the zero-UI tool audit. root is the
+// repository root for the Go line counts.
+func Size(w io.Writer, root string) error {
+	fmt.Fprintln(w, "T4. Code size (paper: help is \"4300 lines of C\"; applications need")
+	fmt.Fprintln(w, "    no user-interface code at all).")
+	fmt.Fprintln(w)
+	groups := []struct {
+		name string
+		dirs []string
+	}{
+		{"help core (core+helpfs)", []string{"internal/core", "internal/helpfs"}},
+		{"substrates", []string{
+			"internal/geom", "internal/draw", "internal/text", "internal/frame",
+			"internal/event", "internal/vfs", "internal/shell", "internal/userland",
+			"internal/proc", "internal/adb", "internal/cc", "internal/mail",
+			"internal/helptool", "internal/srvnet",
+		}},
+		{"evaluation", []string{"internal/world", "internal/session", "internal/baseline", "internal/report"}},
+	}
+	for _, g := range groups {
+		total := 0
+		for _, dir := range g.dirs {
+			n, err := countGoLines(filepath.Join(root, dir))
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		fmt.Fprintf(w, "    %-26s %6d lines of Go (non-test)\n", g.name, total)
+	}
+	fmt.Fprintln(w, "    paper's help              ~4300 lines of C")
+	fmt.Fprintln(w)
+
+	wld, err := world.Build(80, 24)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "    tool scripts (no UI code in any of them):")
+	for _, dir := range []string{"/help/edit", "/help/cbr", "/help/db", "/help/mail"} {
+		ents, err := wld.FS.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			data, _ := wld.FS.ReadFile(dir + "/" + e.Name)
+			lines := strings.Count(string(data), "\n")
+			uiWords := 0
+			for _, bad := range []string{"mouse", "kbd", "click", "screen", "pixel"} {
+				if strings.Contains(string(data), bad) {
+					uiWords++
+				}
+			}
+			fmt.Fprintf(w, "      %-22s %3d lines, UI references: %d\n", dir+"/"+e.Name, lines, uiWords)
+		}
+	}
+	return nil
+}
+
+func countGoLines(dir string) (int, error) {
+	total := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total, nil
+}
+
+// Placement (T5) compares the placement heuristic against naive policies.
+func Placement(w io.Writer) error {
+	fmt.Fprintln(w, "T5. Window placement: the paper's heuristic vs naive policies")
+	fmt.Fprintln(w, "    (column height 48, 30-line bodies).")
+	fmt.Fprintln(w)
+	for _, r := range baseline.PlacementSweep([]int{2, 4, 8, 16, 32}, 48, 30) {
+		fmt.Fprintln(w, "    "+r.String())
+	}
+	return nil
+}
+
+// Connectivity (T7) counts pointable tokens on screen across the session.
+func Connectivity(w io.Writer, scrW, scrH int) error {
+	fmt.Fprintln(w, "T7. Connectivity: tokens on screen per session step (paper: \"a kind")
+	fmt.Fprintln(w, "    of exponential connectivity results\"; compare Figure 4 to 11).")
+	fmt.Fprintln(w)
+	s, err := session.New(scrW, scrH)
+	if err != nil {
+		return err
+	}
+	if err := s.RunDebugSession(); err != nil {
+		return err
+	}
+	for _, st := range s.Steps {
+		n := CountTokens(st.Screen)
+		bar := strings.Repeat("#", n/12)
+		fmt.Fprintf(w, "    %-6s %4d tokens %s\n", st.Name, n, bar)
+	}
+	return nil
+}
+
+// CountTokens counts whitespace-separated tokens on a rendered screen,
+// each "a potential command or argument for a command".
+func CountTokens(screen string) int {
+	n := 0
+	for _, line := range strings.Split(screen, "\n") {
+		n += len(strings.Fields(line))
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/world"
+)
+
+// RunDebugSession replays the paper's worked example end to end, recording
+// a snapshot per figure:
+//
+//	F5  execute headers in the mail tool
+//	F6  point at Sean's header line, execute messages
+//	F7  point at the process number, execute stack in the debugger tool
+//	F8  point at text.c:32 in the trace, execute Open
+//	F9  Close! the text.c window; point at exec.c:252, Open
+//	F10 point at the variable n, sweep uses *.c in the C browser
+//	F11 Open help.c:35, then exec.c:213 — the jackpot
+//	F12 Cut the offending line, Put!, execute mk — the program rebuilds
+//
+// The whole run uses only the mouse; RunDebugSession returns an error if
+// any step cannot be performed.
+func (s *Session) RunDebugSession() error {
+	// --- Figure 5: read my mail -------------------------------------------
+	mailStf, err := s.Window("/help/mail/stf")
+	if err != nil {
+		return err
+	}
+	if err := s.ExecWord(mailStf, "headers"); err != nil {
+		return fmt.Errorf("fig5: %w", err)
+	}
+	mbox, err := s.Window(world.MboxPath)
+	if err != nil {
+		return fmt.Errorf("fig5: %w", err)
+	}
+	s.Snapshot("fig5", "after executing mail/headers")
+
+	// --- Figure 6: Sean's message -----------------------------------------
+	if err := s.PointAt(mbox, "sean"); err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	if err := s.ExecWord(mailStf, "messages"); err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	msgWin, err := s.WindowWithTag("From sean")
+	if err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	s.Snapshot("fig6", "after applying messages to the header line of Sean's mail")
+
+	// --- Figure 7: the broken process's stack -----------------------------
+	if err := s.PointAt(msgWin, "176153"); err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	dbStf, err := s.Window("/help/db/stf")
+	if err != nil {
+		return err
+	}
+	if err := s.ExecWord(dbStf, "stack"); err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	stackWin, err := s.WindowWithTag("176153 stack")
+	if err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	s.Snapshot("fig7", "after applying db/stack to the broken process")
+
+	// --- Figure 8: open text.c at the crash line --------------------------
+	if err := s.PointAt(stackWin, "text.c:32"); err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	editStf, err := s.Window("/help/edit/stf")
+	if err != nil {
+		return err
+	}
+	if err := s.ExecWord(editStf, "Open"); err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	textWin, err := s.Window(world.SrcDir + "/text.c")
+	if err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	s.Snapshot("fig8", "after Opening text.c at line 32")
+
+	// --- Figure 9: close text.c, open exec.c at Xdie2 ----------------------
+	if err := s.ExecTagWord(textWin, "Close!"); err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	if err := s.PointAt(stackWin, "exec.c:252"); err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	if err := s.ExecWord(editStf, "Open"); err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	execWin, err := s.Window(world.SrcDir + "/exec.c")
+	if err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	s.Snapshot("fig9", "after Opening exec.c at line 252")
+
+	// --- Figure 10: all uses of n ------------------------------------------
+	if err := s.PointAt(execWin, "n);"); err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	cbrStf, err := s.Window("/help/cbr/stf")
+	if err != nil {
+		return err
+	}
+	if err := s.ExecSweep(cbrStf, "uses", "*.c"); err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	usesWin, err := s.Window(world.SrcDir + "/uses")
+	if err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	s.Snapshot("fig10", "after finding all uses of n")
+
+	// --- Figure 11: the initialization, then the culprit write -------------
+	if err := s.PointAt(usesWin, "help.c:35"); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	if err := s.ExecWord(editStf, "Open"); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	if _, err := s.Window(world.SrcDir + "/help.c"); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	if err := s.PointAt(usesWin, "exec.c:213"); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	if err := s.ExecWord(editStf, "Open"); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	s.Snapshot("fig11", "the writing of n on line exec.c:213")
+
+	// --- Figure 12: cut the line, write the file, compile ------------------
+	if err := s.CutLine(execWin, "n = 0;"); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	if err := s.ExecTagWord(execWin, "Put!"); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	if err := s.ExecWord(cbrStf, "mk"); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	if _, err := s.LatestWindow(world.SrcDir + "/mk"); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	s.Snapshot("fig12", "after the program is compiled")
+
+	// Sanity: the bug really is gone from the file on disk.
+	data, err := s.W.FS.ReadFile(world.SrcDir + "/exec.c")
+	if err != nil {
+		return err
+	}
+	if strings.Contains(string(data), "n = 0;") {
+		return fmt.Errorf("fig12: the offending line survived the edit")
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package session
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	st, err := Figure(1, scrW, scrH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"/usr/rob/src/help/", // the directory tag, with the final slash
+		"errs.c",
+		"file.c",
+		"string routines",
+		"UNIX in song & verse",
+	} {
+		if !strings.Contains(st.Screen, want) {
+			t.Errorf("figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	// Figure 2 is a mid-gesture capture: the middle button is still down
+	// over "Cut", which renders underlined, and the selection to be cut
+	// is still on screen in outline.
+	st, err := Figure(2, scrW, scrH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Screen, "/usr/rob/lib/profile") {
+		t.Error("figure 2 missing profile window")
+	}
+	if !strings.Contains(st.Attrs, "UUU") {
+		t.Error("figure 2: swept command word not underlined")
+	}
+	if !strings.Contains(st.Screen, "bind -a /net/dk") {
+		t.Error("figure 2: the selection should still be visible mid-sweep")
+	}
+	if !strings.Contains(st.Attrs, "R") {
+		t.Error("figure 2: the current selection should paint in reverse video")
+	}
+}
+
+func TestFigure2Release(t *testing.T) {
+	// After release the Cut executes: reproduce via the session driver.
+	s, err := New(scrW, scrH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.H.OpenFile("/usr/rob/lib/profile", ""); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := s.Window("/usr/rob/lib/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SelectSweep(prof, "bind -a /net/dk", "prompt"); err != nil {
+		t.Fatal(err)
+	}
+	edit, _ := s.Window("/help/edit/stf")
+	if err := s.ExecSweep(edit, "Cut", "Cut"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prof.Body.String(), "bind -a /net/dk\n\tprompt") {
+		t.Error("Cut did not remove the selection")
+	}
+	if !strings.Contains(prof.Tag.String(), "Put!") {
+		t.Error("modified window should show Put! in the tag")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	st, err := Figure(3, scrW, scrH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"/usr/rob/src/help/help.c",
+		"/usr/rob/src/help/dat.h",
+		"typedef struct Text",
+	} {
+		if !strings.Contains(st.Screen, want) {
+			t.Errorf("figure 3 missing %q", want)
+		}
+	}
+	// Figure 3's total interaction: type the path once, then two Opens
+	// driven by pointing — no retyping of dat.h.
+	if st.Metrics.Keystrokes == 0 {
+		t.Error("figure 3 involves typing the path")
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		st, err := Figure(n, scrW, scrH)
+		if err != nil {
+			t.Errorf("figure %d: %v", n, err)
+			continue
+		}
+		if strings.TrimSpace(st.Screen) == "" {
+			t.Errorf("figure %d: empty screen", n)
+		}
+	}
+}
+
+func TestFigureOutOfRange(t *testing.T) {
+	if _, err := Figure(0, scrW, scrH); err == nil {
+		t.Error("figure 0 should fail")
+	}
+	if _, err := Figure(13, scrW, scrH); err == nil {
+		t.Error("figure 13 should fail")
+	}
+}

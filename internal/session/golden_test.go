@@ -1,0 +1,74 @@
+package session
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden screenshots")
+
+// TestBootScreenGolden locks the exact boot screen (Figure 4). The render
+// is fully deterministic — no clock, no randomness — so any drift means a
+// real change to layout or world content. Regenerate intentionally with:
+//
+//	go test ./internal/session -run Golden -update
+func TestBootScreenGolden(t *testing.T) {
+	s, err := New(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Steps[0].Screen
+	path := filepath.Join("testdata", "fig4.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("boot screen drifted from golden; run with -update if intentional.\ngot:\n%s", got)
+	}
+}
+
+// TestFigureGoldens locks the two screens that exercise the deepest
+// stacks: the adb traceback (Figure 7) and the uses query (Figure 10).
+func TestFigureGoldens(t *testing.T) {
+	s, err := New(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig7", "fig10"} {
+		var got string
+		for _, st := range s.Steps {
+			if st.Name == name {
+				got = st.Screen
+			}
+		}
+		if got == "" {
+			t.Fatalf("no step %s", name)
+		}
+		path := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from golden; run with -update if intentional", name)
+		}
+	}
+}

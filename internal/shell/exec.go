@@ -1,0 +1,251 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// maxLoopIterations bounds while loops: the interpreter is single-
+// threaded inside help's event loop, so a runaway script would hang the
+// screen. Real rc doesn't cap; a diagnostic beats a frozen UI here.
+const maxLoopIterations = 100000
+
+// exec evaluates a parsed node in ctx and returns its exit status.
+func (sh *Shell) exec(ctx *Context, n node) int {
+	switch n := n.(type) {
+	case seqNode:
+		status := 0
+		for _, c := range n.cmds {
+			// "if not" runs only when the directly preceding if's
+			// condition failed; any other command clears that state.
+			if inn, ok := c.(ifNotNode); ok {
+				if ctx.lastIfFailed {
+					status = sh.exec(ctx, inn.body)
+					ctx.Set("status", []string{statusString(status)})
+				}
+				ctx.lastIfFailed = false
+				continue
+			}
+			status = sh.exec(ctx, c)
+			if _, isIf := c.(ifNode); !isIf {
+				ctx.lastIfFailed = false
+			}
+			ctx.Set("status", []string{statusString(status)})
+		}
+		return status
+
+	case pipeNode:
+		return sh.execPipe(ctx, n)
+
+	case cmdNode:
+		return sh.execCmd(ctx, n)
+
+	case blockNode:
+		restore, status := sh.applyRedirs(ctx, n.redirs)
+		if status != 0 {
+			return status
+		}
+		defer restore()
+		return sh.exec(ctx, n.body)
+
+	case assignNode:
+		vals, err := sh.expandWords(ctx, n.values)
+		if err != nil {
+			ctx.Errorf("rc: %v", err)
+			return 1
+		}
+		ctx.Set(n.name, vals)
+		return 0
+
+	case ifNode:
+		if sh.exec(ctx, n.cond) == 0 {
+			ctx.lastIfFailed = false
+			return sh.exec(ctx, n.body)
+		}
+		ctx.lastIfFailed = true
+		return 0
+
+	case ifNotNode:
+		// Reached only when not directly after an if (the seq handler
+		// intercepts the paired case): nothing to do.
+		return 0
+
+	case whileNode:
+		status := 0
+		for i := 0; ; i++ {
+			if i >= maxLoopIterations {
+				ctx.Errorf("rc: while: loop exceeded %d iterations", maxLoopIterations)
+				return 1
+			}
+			if sh.exec(ctx, n.cond) != 0 {
+				return status
+			}
+			status = sh.exec(ctx, n.body)
+		}
+
+	case notNode:
+		if sh.exec(ctx, n.cmd) == 0 {
+			return 1
+		}
+		return 0
+
+	case forNode:
+		vals, err := sh.expandWords(ctx, n.values)
+		if err != nil {
+			ctx.Errorf("rc: %v", err)
+			return 1
+		}
+		status := 0
+		for _, v := range vals {
+			ctx.Set(n.varName, []string{v})
+			status = sh.exec(ctx, n.body)
+		}
+		return status
+
+	case fnNode:
+		sh.funcs[n.name] = n.body
+		return 0
+
+	case switchNode:
+		subjects, err := sh.expandWordNoGlob(ctx, n.subject)
+		if err != nil {
+			ctx.Errorf("rc: %v", err)
+			return 1
+		}
+		subject := strings.Join(subjects, " ")
+		for _, arm := range n.cases {
+			pats, err := sh.expandWordsNoGlob(ctx, arm.patterns)
+			if err != nil {
+				ctx.Errorf("rc: %v", err)
+				return 1
+			}
+			for _, pat := range pats {
+				if matchPattern(pat, subject) {
+					return sh.exec(ctx, arm.body)
+				}
+			}
+		}
+		return 0
+
+	case nil:
+		return 0
+	}
+	ctx.Errorf("rc: internal: unknown node %T", n)
+	return 1
+}
+
+func statusString(code int) string {
+	if code == 0 {
+		return ""
+	}
+	return "error"
+}
+
+// execPipe runs pipeline stages sequentially with buffered intermediates.
+func (sh *Shell) execPipe(ctx *Context, p pipeNode) int {
+	in := ctx.Stdin
+	status := 0
+	for i, stage := range p.stages {
+		stageCtx := *ctx
+		stageCtx.Stdin = in
+		if i < len(p.stages)-1 {
+			var buf bytes.Buffer
+			stageCtx.Stdout = &buf
+			status = sh.exec(&stageCtx, stage)
+			in = bytes.NewReader(buf.Bytes())
+		} else {
+			status = sh.exec(&stageCtx, stage)
+		}
+	}
+	return status
+}
+
+// execCmd expands and runs a simple command with its redirections.
+func (sh *Shell) execCmd(ctx *Context, c cmdNode) int {
+	var args []string
+	var err error
+	// The ~ builtin takes patterns, not file lists: suppress filename
+	// generation for its arguments, as rc's grammar does.
+	if len(c.words) > 0 && c.words[0].raw() == "~" {
+		args, err = sh.expandWordsNoGlob(ctx, c.words)
+	} else {
+		args, err = sh.expandWords(ctx, c.words)
+	}
+	if err != nil {
+		ctx.Errorf("rc: %v", err)
+		return 1
+	}
+	restore, status := sh.applyRedirs(ctx, c.redirs)
+	if status != 0 {
+		return status
+	}
+	defer restore()
+	if len(args) == 0 {
+		return 0
+	}
+	return sh.invoke(ctx, args)
+}
+
+// applyRedirs rewires the context streams per the redirection list and
+// returns a function restoring them (closing any opened files).
+func (sh *Shell) applyRedirs(ctx *Context, redirs []redir) (restore func(), status int) {
+	savedIn, savedOut := ctx.Stdin, ctx.Stdout
+	var opened []*vfs.File
+	restore = func() {
+		for _, f := range opened {
+			f.Close()
+		}
+		ctx.Stdin, ctx.Stdout = savedIn, savedOut
+	}
+	for _, r := range redirs {
+		targets, err := sh.expandWord(ctx, r.target)
+		if err != nil || len(targets) != 1 {
+			ctx.Errorf("rc: bad redirection target")
+			restore()
+			return func() {}, 1
+		}
+		path := targets[0]
+		if !strings.HasPrefix(path, "/") {
+			path = vfs.Clean(ctx.Dir + "/" + path)
+		}
+		switch r.kind {
+		case ">":
+			f, err := sh.fs.Create(path)
+			if err != nil {
+				ctx.Errorf("rc: %v", err)
+				restore()
+				return func() {}, 1
+			}
+			opened = append(opened, f)
+			ctx.Stdout = f
+		case ">>":
+			if !sh.fs.Exists(path) {
+				if err := sh.fs.WriteFile(path, nil); err != nil {
+					ctx.Errorf("rc: %v", err)
+					restore()
+					return func() {}, 1
+				}
+			}
+			f, err := sh.fs.Open(path, vfs.OWRITE|vfs.OAPPEND)
+			if err != nil {
+				ctx.Errorf("rc: %v", err)
+				restore()
+				return func() {}, 1
+			}
+			opened = append(opened, f)
+			ctx.Stdout = f
+		case "<":
+			f, err := sh.fs.Open(path, vfs.OREAD)
+			if err != nil {
+				ctx.Errorf("rc: %v", err)
+				restore()
+				return func() {}, 1
+			}
+			opened = append(opened, f)
+			ctx.Stdin = f
+		}
+	}
+	return restore, 0
+}

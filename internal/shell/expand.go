@@ -1,0 +1,214 @@
+package shell
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// expandWords expands each word and concatenates the resulting fields.
+func (sh *Shell) expandWords(ctx *Context, ws []word) ([]string, error) {
+	var out []string
+	for _, w := range ws {
+		fields, err := sh.expandWord(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fields...)
+	}
+	return out, nil
+}
+
+// expandWordsNoGlob expands words without filename generation — the form
+// rc uses for patterns (switch arms and the ~ builtin), where * must stay
+// a metacharacter for matching rather than expand against the namespace.
+func (sh *Shell) expandWordsNoGlob(ctx *Context, ws []word) ([]string, error) {
+	var out []string
+	for _, w := range ws {
+		fields, err := sh.expandWordNoGlob(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fields...)
+	}
+	return out, nil
+}
+
+func (sh *Shell) expandWordNoGlob(ctx *Context, w word) ([]string, error) {
+	fields, err := sh.expandFields(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		out = append(out, f.s)
+	}
+	return out, nil
+}
+
+// field is one expanded string plus whether glob metacharacters in it are
+// live (they are dead in quoted segments).
+type field struct {
+	s    string
+	glob bool
+}
+
+// expandWord expands one word to a list of fields following rc's rules:
+// each segment yields a list; adjacent segments concatenate with pairwise
+// distribution; unquoted fields containing metacharacters glob against
+// the namespace.
+func (sh *Shell) expandWord(ctx *Context, w word) ([]string, error) {
+	fields, err := sh.expandFields(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, f := range fields {
+		if f.glob && strings.ContainsAny(f.s, "*?[") {
+			matches := sh.globField(ctx, f.s)
+			if len(matches) > 0 {
+				out = append(out, matches...)
+				continue
+			}
+		}
+		out = append(out, f.s)
+	}
+	return out, nil
+}
+
+// maxExpansion bounds the field count one word may expand to:
+// concatenating list variables distributes (cartesian product), so a
+// pathological word like $x$x$x$x with a long list would otherwise grow
+// exponentially.
+const maxExpansion = 4096
+
+// expandFields performs segment expansion and distribution, deferring
+// glob expansion to the caller.
+func (sh *Shell) expandFields(ctx *Context, w word) ([]field, error) {
+	fields := []field{{s: "", glob: false}}
+	started := false
+	for _, s := range w.segs {
+		var parts []field
+		switch s.kind {
+		case segLit:
+			parts = []field{{s: s.text, glob: true}}
+		case segQuote:
+			parts = []field{{s: s.text, glob: false}}
+		case segVar:
+			for _, v := range sh.varValue(ctx, s.text) {
+				parts = append(parts, field{s: v, glob: false})
+			}
+		case segVarCnt:
+			parts = []field{{s: strconv.Itoa(len(sh.varValue(ctx, s.text))), glob: false}}
+		case segVarJoin:
+			parts = []field{{s: strings.Join(sh.varValue(ctx, s.text), " "), glob: false}}
+		case segSub:
+			out, err := sh.captureSub(ctx, s.sub)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range strings.Fields(out) {
+				parts = append(parts, field{s: v, glob: false})
+			}
+		default:
+			return nil, fmt.Errorf("internal: bad segment kind %d", s.kind)
+		}
+		fields = distribute(fields, parts, started)
+		if len(fields) > maxExpansion {
+			return nil, fmt.Errorf("expansion too large (> %d fields)", maxExpansion)
+		}
+		started = true
+	}
+	return fields, nil
+}
+
+// distribute concatenates two field lists pairwise, rc-style: the
+// cartesian product when lengths differ from one, with special handling
+// for empty lists (an empty list annihilates the word, as in rc).
+func distribute(a []field, b []field, started bool) []field {
+	if !started {
+		return b
+	}
+	if len(b) == 0 {
+		// Concatenation with an empty list drops the word entirely.
+		return nil
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]field, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			out = append(out, field{s: x.s + y.s, glob: x.glob || y.glob})
+		}
+	}
+	return out
+}
+
+// varValue resolves a variable, including the positional parameters.
+func (sh *Shell) varValue(ctx *Context, name string) []string {
+	if name == "*" {
+		return ctx.Vars["*"]
+	}
+	if n, err := strconv.Atoi(name); err == nil && n > 0 {
+		args := ctx.Vars["*"]
+		if n <= len(args) {
+			return []string{args[n-1]}
+		}
+		return nil
+	}
+	return ctx.Vars[name]
+}
+
+// captureSub runs a command substitution and returns its standard output.
+func (sh *Shell) captureSub(ctx *Context, n node) (string, error) {
+	var buf bytes.Buffer
+	sub := *ctx
+	sub.Stdout = &buf
+	sh.exec(&sub, n)
+	return buf.String(), nil
+}
+
+// globField expands glob metacharacters against the namespace, resolving
+// relative patterns against the context directory but reporting them in
+// the form they were written.
+func (sh *Shell) globField(ctx *Context, pat string) []string {
+	full := pat
+	rel := false
+	if !strings.HasPrefix(pat, "/") {
+		full = vfs.Clean(ctx.Dir + "/" + pat)
+		rel = true
+	}
+	matches := sh.fs.Glob(full)
+	if !rel {
+		return matches
+	}
+	prefix := vfs.Clean(ctx.Dir)
+	if prefix != "/" {
+		prefix += "/"
+	} else {
+		prefix = "/"
+	}
+	out := make([]string, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, strings.TrimPrefix(m, prefix))
+	}
+	return out
+}
+
+// ExpandGlobArg expands glob metacharacters in s against the namespace
+// relative to ctx.Dir, for callers (like help's command execution) that
+// have an argv rather than a script. It returns s itself when s has no
+// metacharacters or nothing matches.
+func (sh *Shell) ExpandGlobArg(ctx *Context, s string) []string {
+	if !strings.ContainsAny(s, "*?[") {
+		return []string{s}
+	}
+	if m := sh.globField(ctx, s); len(m) > 0 {
+		return m
+	}
+	return []string{s}
+}

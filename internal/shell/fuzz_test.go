@@ -1,0 +1,47 @@
+package shell
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// FuzzParse throws arbitrary bytes at the rc parser and, when parsing
+// succeeds, executes the program. Neither step may panic, and execution
+// must terminate (the grammar has no unbounded loops).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"echo hello",
+		"x=`{echo a b}\necho $x",
+		"if(~ $x a*) echo y",
+		"for(i in 1 2 3) echo $i",
+		"fn g { echo $1 }\ng z",
+		"switch(a){\ncase a\necho hit\n}",
+		"{ echo a; echo b } | cat > /tmp/f",
+		"echo 'quoted '' text' #comment",
+		"echo $#list $\"list pre$list^post",
+		"! true; false",
+		"eval echo nested",
+		"a=1 b=(x y) c=`{echo z} run $a $b $c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := parse(src)
+		if err != nil {
+			return
+		}
+		fs := vfs.New()
+		fs.MkdirAll("/tmp")
+		sh := New(fs)
+		sh.Register("cat", func(ctx *Context, args []string) int { return 0 })
+		sh.Register("run", func(ctx *Context, args []string) int { return 0 })
+		var out bytes.Buffer
+		ctx := sh.NewContext(&out, &out)
+		sh.exec(ctx, prog)
+	})
+}

@@ -1,0 +1,811 @@
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---- AST -------------------------------------------------------------------
+
+type node interface{ isNode() }
+
+// seqNode is a sequence of commands separated by ; or newline.
+type seqNode struct{ cmds []node }
+
+// pipeNode is a pipeline of stages connected left to right.
+type pipeNode struct{ stages []node }
+
+// cmdNode is a simple command: words plus redirections.
+type cmdNode struct {
+	words  []word
+	redirs []redir
+}
+
+// blockNode is { seq } with optional redirections.
+type blockNode struct {
+	body   node
+	redirs []redir
+}
+
+// assignNode is name=value or name=(list).
+type assignNode struct {
+	name   string
+	values []word
+}
+
+// ifNode is if(cond) body.
+type ifNode struct {
+	cond node
+	body node
+}
+
+// ifNotNode is rc's "if not body": runs body when the immediately
+// preceding if's condition failed.
+type ifNotNode struct {
+	body node
+}
+
+// whileNode is while(cond) body.
+type whileNode struct {
+	cond node
+	body node
+}
+
+// notNode is ! cmd.
+type notNode struct{ cmd node }
+
+// forNode is for(name in words) body.
+type forNode struct {
+	varName string
+	values  []word
+	body    node
+}
+
+// fnNode is fn name { body }.
+type fnNode struct {
+	name string
+	body *blockNode
+}
+
+// switchNode is rc's switch(word){ case pat...; cmds ... }.
+type switchNode struct {
+	subject word
+	cases   []switchCase
+}
+
+// switchCase is one arm: the patterns after "case" and the commands that
+// follow until the next case or the closing brace.
+type switchCase struct {
+	patterns []word
+	body     node
+}
+
+func (seqNode) isNode()    {}
+func (switchNode) isNode() {}
+func (ifNotNode) isNode()  {}
+func (whileNode) isNode()  {}
+func (pipeNode) isNode()   {}
+func (cmdNode) isNode()    {}
+func (blockNode) isNode()  {}
+func (assignNode) isNode() {}
+func (ifNode) isNode()     {}
+func (notNode) isNode()    {}
+func (forNode) isNode()    {}
+func (fnNode) isNode()     {}
+
+// redir is one redirection.
+type redir struct {
+	kind   string // ">", ">>", "<"
+	target word
+}
+
+// word is a concatenation of segments expanded and re-joined per rc rules.
+type word struct{ segs []seg }
+
+type segKind int
+
+const (
+	segLit     segKind = iota // unquoted literal text; glob metacharacters live
+	segQuote                  // 'quoted' text; never globbed
+	segVar                    // $name
+	segVarCnt                 // $#name
+	segVarJoin                // $"name
+	segSub                    // `{ command } substitution
+)
+
+type seg struct {
+	kind segKind
+	text string // literal text or variable name
+	sub  node   // parsed command for segSub
+}
+
+// raw returns the word's surface text, used to detect assignments.
+func (w word) raw() string {
+	var b strings.Builder
+	for _, s := range w.segs {
+		switch s.kind {
+		case segLit, segQuote:
+			b.WriteString(s.text)
+		case segVar:
+			b.WriteString("$" + s.text)
+		case segVarCnt:
+			b.WriteString("$#" + s.text)
+		case segVarJoin:
+			b.WriteString("$\"" + s.text)
+		case segSub:
+			b.WriteString("`{...}")
+		}
+	}
+	return b.String()
+}
+
+// ---- Lexer ------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokPipe   // |
+	tokSemi   // ; or newline
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokGt     // >
+	tokGtGt   // >>
+	tokLt     // <
+	tokBang   // !
+)
+
+type token struct {
+	kind tokKind
+	w    word
+	pos  int
+}
+
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) rune {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	// Skip blanks and comments; newlines are significant.
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == ' ' || r == '\t' || r == '\r' {
+			l.pos++
+			continue
+		}
+		if r == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch r := l.src[l.pos]; r {
+	case '\n', ';':
+		l.pos++
+		return token{kind: tokSemi, pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, pos: start}, nil
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, pos: start}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '>':
+		if l.at(1) == '>' {
+			l.pos += 2
+			return token{kind: tokGtGt, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokGt, pos: start}, nil
+	case '<':
+		l.pos++
+		return token{kind: tokLt, pos: start}, nil
+	case '!':
+		// ! is a word char inside a word (Close!), but a bare ! followed
+		// by whitespace is negation.
+		if l.at(1) == ' ' || l.at(1) == '\t' {
+			l.pos++
+			return token{kind: tokBang, pos: start}, nil
+		}
+	}
+	w, err := l.lexWord()
+	if err != nil {
+		return token{}, err
+	}
+	return token{kind: tokWord, w: w, pos: start}, nil
+}
+
+// isWordRune reports whether r can continue an unquoted word.
+func isWordRune(r rune) bool {
+	switch r {
+	case 0, ' ', '\t', '\r', '\n', ';', '|', '{', '}', '(', ')', '>', '<', '#', '\'', '$', '`':
+		return false
+	}
+	return true
+}
+
+// lexWord scans one word: a concatenation of literal runs, quoted strings,
+// variable references, and command substitutions.
+func (l *lexer) lexWord() (word, error) {
+	var w word
+	for {
+		r := l.peekRune()
+		switch {
+		case r == '\'':
+			text, err := l.lexQuote()
+			if err != nil {
+				return word{}, err
+			}
+			w.segs = append(w.segs, seg{kind: segQuote, text: text})
+		case r == '$':
+			s, err := l.lexVar()
+			if err != nil {
+				return word{}, err
+			}
+			w.segs = append(w.segs, s)
+		case r == '`':
+			s, err := l.lexSub()
+			if err != nil {
+				return word{}, err
+			}
+			w.segs = append(w.segs, s)
+		case r == '^':
+			// rc's explicit concatenation operator: skip, segments
+			// concatenate anyway.
+			l.pos++
+		case isWordRune(r):
+			start := l.pos
+			for isWordRune(l.peekRune()) && l.peekRune() != '^' {
+				l.pos++
+			}
+			w.segs = append(w.segs, seg{kind: segLit, text: string(l.src[start:l.pos])})
+		default:
+			if len(w.segs) == 0 {
+				return word{}, fmt.Errorf("unexpected character %q at %d", r, l.pos)
+			}
+			return w, nil
+		}
+	}
+}
+
+// lexQuote scans a 'single-quoted' string where ” is a literal quote.
+func (l *lexer) lexQuote() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == '\'' {
+			if l.at(1) == '\'' {
+				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteRune(r)
+		l.pos++
+	}
+	return "", fmt.Errorf("unterminated quote")
+}
+
+// lexVar scans $name, $#name, $"name, $*, $0..$9.
+func (l *lexer) lexVar() (seg, error) {
+	l.pos++ // $
+	kind := segVar
+	switch l.peekRune() {
+	case '#':
+		kind = segVarCnt
+		l.pos++
+	case '"':
+		kind = segVarJoin
+		l.pos++
+	}
+	if l.peekRune() == '*' {
+		l.pos++
+		return seg{kind: kind, text: "*"}, nil
+	}
+	start := l.pos
+	for {
+		r := l.peekRune()
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos == start {
+		return seg{}, fmt.Errorf("empty variable name at %d", l.pos)
+	}
+	return seg{kind: kind, text: string(l.src[start:l.pos])}, nil
+}
+
+// lexSub scans `{ command } into a parsed sub-program.
+func (l *lexer) lexSub() (seg, error) {
+	l.pos++ // backquote
+	if l.peekRune() != '{' {
+		return seg{}, fmt.Errorf("expected { after ` at %d", l.pos)
+	}
+	l.pos++
+	depth := 1
+	start := l.pos
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				body := string(l.src[start:l.pos])
+				l.pos++
+				sub, err := parse(body)
+				if err != nil {
+					return seg{}, fmt.Errorf("in `{...}: %v", err)
+				}
+				return seg{kind: segSub, sub: sub}, nil
+			}
+		case '\'':
+			// Skip quoted text so braces inside quotes don't count.
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+		}
+		l.pos++
+	}
+	return seg{}, fmt.Errorf("unterminated `{")
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+type parser struct {
+	lex *lexer
+	tok token
+	err error
+}
+
+// parse compiles an rc script into its AST.
+func parse(src string) (node, error) {
+	p := &parser{lex: &lexer{src: []rune(src)}}
+	p.advance()
+	prog := p.parseSeq(tokEOF)
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("unexpected token at %d", p.tok.pos)
+	}
+	return prog, nil
+}
+
+// advance fetches the next token. Once any error is recorded the current
+// token pins to EOF, so every parsing loop and recursion terminates — a
+// stale token here once sent the parser into an infinite loop (found by
+// fuzzing; regression seeds are in testdata).
+func (p *parser) advance() {
+	if p.err != nil {
+		p.tok = token{kind: tokEOF, pos: p.tok.pos}
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		p.tok = token{kind: tokEOF, pos: p.tok.pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// parseSeq parses commands until the closing token (EOF or }or )).
+func (p *parser) parseSeq(until tokKind) node {
+	var cmds []node
+	for p.err == nil {
+		for p.err == nil && p.tok.kind == tokSemi {
+			p.advance()
+		}
+		if p.tok.kind == until || p.tok.kind == tokEOF {
+			break
+		}
+		c := p.parseItem()
+		if p.err != nil {
+			break
+		}
+		cmds = append(cmds, c)
+		if p.tok.kind == tokSemi {
+			p.advance()
+		} else if p.tok.kind != until && p.tok.kind != tokEOF {
+			p.fail("expected ; or newline at %d", p.tok.pos)
+		}
+	}
+	return seqNode{cmds: cmds}
+}
+
+// parseItem parses one command: keyword forms, pipelines, assignments.
+func (p *parser) parseItem() node {
+	if p.tok.kind == tokWord && len(p.tok.w.segs) == 1 && p.tok.w.segs[0].kind == segLit {
+		switch p.tok.w.segs[0].text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "fn":
+			return p.parseFn()
+		case "switch":
+			return p.parseSwitch()
+		case "while":
+			return p.parseWhile()
+		}
+	}
+	// Assignments: one or more leading name=... words, as rc allows
+	// ("eval `{help/parse -c}" expands to several assignments on one
+	// line). If a command follows the assignments it runs afterwards;
+	// unlike rc we do not scope the assignments to that command.
+	var assigns []node
+	for p.err == nil && p.tok.kind == tokWord {
+		a, ok := p.tryAssign()
+		if !ok {
+			break
+		}
+		assigns = append(assigns, a)
+	}
+	if len(assigns) > 0 {
+		if p.tok.kind != tokWord && p.tok.kind != tokLBrace && p.tok.kind != tokBang {
+			if len(assigns) == 1 {
+				return assigns[0]
+			}
+			return seqNode{cmds: assigns}
+		}
+		cmd := p.parsePipeline()
+		return seqNode{cmds: append(assigns, cmd)}
+	}
+	return p.parsePipeline()
+}
+
+// tryAssign recognizes name=value and name=(list).
+func (p *parser) tryAssign() (node, bool) {
+	w := p.tok.w
+	if len(w.segs) == 0 || w.segs[0].kind != segLit {
+		return nil, false
+	}
+	lit := w.segs[0].text
+	eq := strings.IndexByte(lit, '=')
+	if eq <= 0 {
+		return nil, false
+	}
+	name := lit[:eq]
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '*') {
+			return nil, false
+		}
+	}
+	p.advance() // consume the assignment word
+	rest := lit[eq+1:]
+	var values []word
+	var first word
+	if rest != "" {
+		first.segs = append(first.segs, seg{kind: segLit, text: rest})
+	}
+	first.segs = append(first.segs, w.segs[1:]...)
+	if len(first.segs) > 0 {
+		values = append(values, first)
+	}
+	// List assignment: name=(a b c).
+	if len(values) == 0 && p.tok.kind == tokLParen {
+		p.advance()
+		for p.err == nil && p.tok.kind == tokWord {
+			values = append(values, p.tok.w)
+			p.advance()
+		}
+		if p.tok.kind != tokRParen {
+			p.fail("expected ) in list assignment at %d", p.tok.pos)
+			return nil, true
+		}
+		p.advance()
+	}
+	return assignNode{name: name, values: values}, true
+}
+
+func (p *parser) parseIf() node {
+	p.advance() // if
+	// rc's "if not": the else-branch of the preceding if.
+	if p.tok.kind == tokWord && p.tok.w.raw() == "not" {
+		p.advance()
+		return ifNotNode{body: p.parseItem()}
+	}
+	if p.tok.kind != tokLParen {
+		p.fail("expected ( after if at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	cond := p.parseSeq(tokRParen)
+	if p.tok.kind != tokRParen {
+		p.fail("expected ) closing if condition at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	body := p.parseItem()
+	return ifNode{cond: cond, body: body}
+}
+
+// parseWhile parses while(cond) body.
+func (p *parser) parseWhile() node {
+	p.advance() // while
+	if p.tok.kind != tokLParen {
+		p.fail("expected ( after while at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	cond := p.parseSeq(tokRParen)
+	if p.tok.kind != tokRParen {
+		p.fail("expected ) closing while condition at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	body := p.parseItem()
+	return whileNode{cond: cond, body: body}
+}
+
+func (p *parser) parseFor() node {
+	p.advance() // for
+	if p.tok.kind != tokLParen {
+		p.fail("expected ( after for at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	if p.tok.kind != tokWord {
+		p.fail("expected variable name in for at %d", p.tok.pos)
+		return nil
+	}
+	name := p.tok.w.raw()
+	p.advance()
+	if !(p.tok.kind == tokWord && p.tok.w.raw() == "in") {
+		p.fail("expected 'in' in for at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	var values []word
+	for p.err == nil && p.tok.kind == tokWord {
+		values = append(values, p.tok.w)
+		p.advance()
+	}
+	if p.tok.kind != tokRParen {
+		p.fail("expected ) closing for at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	body := p.parseItem()
+	return forNode{varName: name, values: values, body: body}
+}
+
+func (p *parser) parseFn() node {
+	p.advance() // fn
+	if p.tok.kind != tokWord {
+		p.fail("expected function name at %d", p.tok.pos)
+		return nil
+	}
+	name := p.tok.w.raw()
+	p.advance()
+	if p.tok.kind != tokLBrace {
+		p.fail("expected { after fn %s at %d", name, p.tok.pos)
+		return nil
+	}
+	blk := p.parseBlock()
+	b, _ := blk.(blockNode)
+	return fnNode{name: name, body: &b}
+}
+
+// parseSwitch parses rc's switch statement:
+//
+//	switch(subject){
+//	case pat [pat...]
+//		commands
+//	case *
+//		commands
+//	}
+//
+// Patterns match with the same rules as the ~ builtin; the first matching
+// arm runs.
+func (p *parser) parseSwitch() node {
+	p.advance() // switch
+	if p.tok.kind != tokLParen {
+		p.fail("expected ( after switch at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	if p.tok.kind != tokWord {
+		p.fail("expected switch subject at %d", p.tok.pos)
+		return nil
+	}
+	subject := p.tok.w
+	p.advance()
+	if p.tok.kind != tokRParen {
+		p.fail("expected ) after switch subject at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	if p.tok.kind != tokLBrace {
+		p.fail("expected { in switch at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	sw := switchNode{subject: subject}
+	// Skip separators to the first case.
+	for p.err == nil && p.tok.kind == tokSemi {
+		p.advance()
+	}
+	for p.err == nil && p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		if !(p.tok.kind == tokWord && p.tok.w.raw() == "case") {
+			p.fail("expected 'case' in switch at %d", p.tok.pos)
+			return nil
+		}
+		p.advance()
+		var pats []word
+		for p.err == nil && p.tok.kind == tokWord {
+			pats = append(pats, p.tok.w)
+			p.advance()
+		}
+		if len(pats) == 0 {
+			p.fail("case with no patterns at %d", p.tok.pos)
+			return nil
+		}
+		if p.tok.kind == tokSemi {
+			p.advance()
+		}
+		// Body: commands until the next case or the closing brace.
+		var cmds []node
+		for p.err == nil {
+			for p.err == nil && p.tok.kind == tokSemi {
+				p.advance()
+			}
+			if p.tok.kind == tokRBrace || p.tok.kind == tokEOF {
+				break
+			}
+			if p.tok.kind == tokWord && p.tok.w.raw() == "case" {
+				break
+			}
+			cmds = append(cmds, p.parseItem())
+			if p.tok.kind == tokSemi {
+				p.advance()
+			}
+		}
+		sw.cases = append(sw.cases, switchCase{patterns: pats, body: seqNode{cmds: cmds}})
+	}
+	if p.tok.kind != tokRBrace {
+		p.fail("expected } closing switch at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	return sw
+}
+
+func (p *parser) parsePipeline() node {
+	first := p.parseCommand()
+	if p.err != nil {
+		return nil
+	}
+	stages := []node{first}
+	for p.tok.kind == tokPipe {
+		p.advance()
+		// Allow a newline after | for long pipelines, as rc does.
+		for p.err == nil && p.tok.kind == tokSemi {
+			p.advance()
+		}
+		stages = append(stages, p.parseCommand())
+		if p.err != nil {
+			return nil
+		}
+	}
+	if len(stages) == 1 {
+		return first
+	}
+	return pipeNode{stages: stages}
+}
+
+func (p *parser) parseCommand() node {
+	switch p.tok.kind {
+	case tokBang:
+		p.advance()
+		return notNode{cmd: p.parseCommand()}
+	case tokLBrace:
+		return p.parseBlock()
+	case tokWord:
+		return p.parseSimple()
+	default:
+		p.fail("expected command at %d", p.tok.pos)
+		return nil
+	}
+}
+
+func (p *parser) parseBlock() node {
+	p.advance() // {
+	body := p.parseSeq(tokRBrace)
+	if p.tok.kind != tokRBrace {
+		p.fail("expected } at %d", p.tok.pos)
+		return nil
+	}
+	p.advance()
+	blk := blockNode{body: body}
+	blk.redirs = p.parseRedirs()
+	return blk
+}
+
+func (p *parser) parseSimple() node {
+	var cmd cmdNode
+	for p.err == nil {
+		switch p.tok.kind {
+		case tokWord:
+			cmd.words = append(cmd.words, p.tok.w)
+			p.advance()
+		case tokGt, tokGtGt, tokLt:
+			cmd.redirs = append(cmd.redirs, p.parseRedir())
+		default:
+			return cmd
+		}
+	}
+	return cmd
+}
+
+func (p *parser) parseRedirs() []redir {
+	var rs []redir
+	for p.tok.kind == tokGt || p.tok.kind == tokGtGt || p.tok.kind == tokLt {
+		rs = append(rs, p.parseRedir())
+	}
+	return rs
+}
+
+func (p *parser) parseRedir() redir {
+	kind := ">"
+	switch p.tok.kind {
+	case tokGtGt:
+		kind = ">>"
+	case tokLt:
+		kind = "<"
+	}
+	p.advance()
+	if p.tok.kind != tokWord {
+		p.fail("expected file name after redirection at %d", p.tok.pos)
+		return redir{}
+	}
+	r := redir{kind: kind, target: p.tok.w}
+	p.advance()
+	return r
+}

@@ -1,0 +1,401 @@
+// Package shell implements the rc-subset command interpreter the help
+// reproduction uses to run tools.
+//
+// The original help ran on Plan 9, whose shell is rc [Duff90]; the paper's
+// applications — the C browser's decl, the debugger's stack, the mail
+// commands — are "brief shell scripts, about a dozen lines each". This
+// package interprets enough of rc to run those scripts against the vfs
+// namespace:
+//
+//   - simple commands, pipelines, sequences (; and newline), blocks { }
+//   - redirections  > file,  >> file,  < file
+//   - variables (rc variables are lists): x=value, y=(a b c), $x, $"x, $#x
+//   - command substitution `{ ... } splitting output on whitespace
+//   - single-quoted strings with ” escaping, free concatenation inside a
+//     word with rc's list-distribution rule
+//   - glob expansion (*.c) against the vfs
+//   - if(list) cmd, if not cmd, ! cmd, ~ subject patterns...
+//   - for(v in list) cmd, while(list) cmd, switch(word){ case pat... }
+//   - fn name { body } function definitions
+//   - eval, echo, and a registry of built-in utilities (the userland)
+//
+// Commands resolve the way the paper requires: a name containing a slash
+// runs the script or registered program at that path (relative to the
+// context directory); otherwise functions, then builtins, then the search
+// path ("if that command cannot be found locally, it will be searched for
+// in the standard directory of program binaries").
+//
+// Pipelines run stages sequentially with buffered intermediate data. All
+// tools here are deterministic transformers, so sequential semantics are
+// observationally identical to concurrent pipes and keep the interpreter
+// single-threaded like the rest of the reproduction.
+package shell
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Builtin is a command implemented in Go. It returns an exit status;
+// 0 means success.
+type Builtin func(ctx *Context, args []string) int
+
+// Context carries the execution environment of one command: the namespace,
+// variables, the working directory used to resolve relative paths, and the
+// standard streams.
+type Context struct {
+	FS     *vfs.FS
+	Sh     *Shell
+	Dir    string
+	Vars   map[string][]string
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+
+	// lastIfFailed supports rc's "if not": true when the immediately
+	// preceding if's condition failed.
+	lastIfFailed bool
+
+	// depth counts nested script/function invocations, capped so a
+	// self-calling function reports an error instead of exhausting the
+	// stack (found by fuzzing).
+	depth int
+}
+
+// maxCallDepth bounds script and function nesting.
+const maxCallDepth = 100
+
+// Clone returns a child context with a copy of the variables, sharing the
+// streams and namespace, as when running a script.
+func (c *Context) Clone() *Context {
+	vars := make(map[string][]string, len(c.Vars))
+	for k, v := range c.Vars {
+		vars[k] = append([]string(nil), v...)
+	}
+	n := *c
+	n.Vars = vars
+	return &n
+}
+
+// Get returns the value of variable name, nil if unset.
+func (c *Context) Get(name string) []string { return c.Vars[name] }
+
+// Set assigns variable name.
+func (c *Context) Set(name string, value []string) {
+	if c.Vars == nil {
+		c.Vars = map[string][]string{}
+	}
+	c.Vars[name] = value
+}
+
+// Getenv returns a variable as a single space-joined string, the form
+// most tools want ($helpsel, $file, ...).
+func (c *Context) Getenv(name string) string {
+	return strings.Join(c.Vars[name], " ")
+}
+
+// Errorf writes a diagnostic to the context's standard error.
+func (c *Context) Errorf(format string, args ...any) {
+	fmt.Fprintf(c.Stderr, format+"\n", args...)
+}
+
+// Shell is an rc-subset interpreter bound to a namespace.
+type Shell struct {
+	fs       *vfs.FS
+	builtins map[string]Builtin
+	programs map[string]Builtin // vfs path -> compiled-in program
+	funcs    map[string]*blockNode
+	// SearchPath is the list of directories searched for bare command
+	// names, normally just /bin.
+	SearchPath []string
+}
+
+// New returns a shell over fs with echo, eval, and flow-control helpers
+// preinstalled. Register the userland with Register or RegisterProgram.
+func New(fs *vfs.FS) *Shell {
+	sh := &Shell{
+		fs:         fs,
+		builtins:   map[string]Builtin{},
+		programs:   map[string]Builtin{},
+		funcs:      map[string]*blockNode{},
+		SearchPath: []string{"/bin"},
+	}
+	sh.installCore()
+	return sh
+}
+
+// FS returns the namespace the shell runs against.
+func (sh *Shell) FS() *vfs.FS { return sh.fs }
+
+// Register installs a builtin command under a bare name.
+func (sh *Shell) Register(name string, fn Builtin) { sh.builtins[name] = fn }
+
+// Builtins returns the sorted names of registered builtins.
+func (sh *Shell) Builtins() []string {
+	names := make([]string, 0, len(sh.builtins))
+	for n := range sh.builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterProgram installs a compiled-in program at a vfs path, creating a
+// placeholder file so the directory listing shows it (tools are "files
+// with names like /help/edit/stf ... collected in the appropriate
+// directory"). Executing that path runs fn.
+func (sh *Shell) RegisterProgram(path string, fn Builtin) error {
+	path = vfs.Clean(path)
+	sh.programs[path] = fn
+	if !sh.fs.Exists(path) {
+		if err := sh.fs.WriteFile(path, []byte("#program\n")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewContext returns a fresh context writing to the given streams.
+func (sh *Shell) NewContext(stdout, stderr io.Writer) *Context {
+	return &Context{
+		FS:     sh.fs,
+		Sh:     sh,
+		Dir:    "/",
+		Vars:   map[string][]string{},
+		Stdin:  bytes.NewReader(nil),
+		Stdout: stdout,
+		Stderr: stderr,
+	}
+}
+
+// Run parses and executes an rc script in ctx. It returns the exit status
+// of the last command, or 1 with a diagnostic on a parse error.
+func (sh *Shell) Run(ctx *Context, script string) int {
+	prog, err := parse(script)
+	if err != nil {
+		ctx.Errorf("rc: %v", err)
+		return 1
+	}
+	return sh.exec(ctx, prog)
+}
+
+// RunCommand executes a single already-expanded argv.
+func (sh *Shell) RunCommand(ctx *Context, args []string) int {
+	if len(args) == 0 {
+		return 0
+	}
+	return sh.invoke(ctx, args)
+}
+
+// invoke resolves and runs argv[0] with the paper's search rules.
+func (sh *Shell) invoke(ctx *Context, args []string) int {
+	name := args[0]
+
+	// A name with a slash is a path. A relative one resolves against the
+	// context dir, falling back to the search path — so "help/parse" finds
+	// /bin/help/parse from any directory, as on Plan 9.
+	if strings.Contains(name, "/") {
+		if strings.HasPrefix(name, "/") {
+			return sh.runPath(ctx, name, args)
+		}
+		local := vfs.Clean(ctx.Dir + "/" + name)
+		if sh.fs.Exists(local) || sh.programs[local] != nil {
+			return sh.runPath(ctx, local, args)
+		}
+		for _, dir := range sh.SearchPath {
+			cand := vfs.Clean(dir + "/" + name)
+			if sh.fs.Exists(cand) || sh.programs[cand] != nil {
+				return sh.runPath(ctx, cand, args)
+			}
+		}
+		return sh.runPath(ctx, local, args) // report the local miss
+	}
+
+	if fn, ok := sh.funcs[name]; ok {
+		return sh.runFunction(ctx, fn, args)
+	}
+	if b, ok := sh.builtins[name]; ok {
+		return b(ctx, args)
+	}
+	// Search the standard directories of program binaries.
+	for _, dir := range sh.SearchPath {
+		path := vfs.Clean(dir + "/" + name)
+		if sh.fs.Exists(path) || sh.programs[path] != nil {
+			return sh.runPath(ctx, path, args)
+		}
+	}
+	ctx.Errorf("rc: %s: command not found", name)
+	return 127
+}
+
+// runPath executes the program or script at an absolute vfs path.
+func (sh *Shell) runPath(ctx *Context, path string, args []string) int {
+	path = vfs.Clean(path)
+	if prog, ok := sh.programs[path]; ok {
+		return prog(ctx, args)
+	}
+	data, err := sh.fs.ReadFile(path)
+	if err != nil {
+		ctx.Errorf("rc: %s: %v", path, err)
+		return 127
+	}
+	child := ctx.Clone()
+	child.depth = ctx.depth + 1
+	if child.depth > maxCallDepth {
+		ctx.Errorf("rc: %s: call depth exceeds %d", path, maxCallDepth)
+		return 1
+	}
+	child.Set("0", []string{path})
+	child.Set("*", args[1:])
+	return sh.Run(child, string(data))
+}
+
+// runFunction executes a defined function with $* bound to the arguments.
+func (sh *Shell) runFunction(ctx *Context, body *blockNode, args []string) int {
+	child := ctx.Clone()
+	child.depth = ctx.depth + 1
+	if child.depth > maxCallDepth {
+		ctx.Errorf("rc: %s: call depth exceeds %d", args[0], maxCallDepth)
+		return 1
+	}
+	child.Set("0", args[:1])
+	child.Set("*", args[1:])
+	return sh.exec(child, body.body)
+}
+
+// installCore registers the interpreter-level builtins that belong to the
+// shell itself rather than the userland.
+func (sh *Shell) installCore() {
+	sh.Register("echo", func(ctx *Context, args []string) int {
+		fmt.Fprintln(ctx.Stdout, strings.Join(args[1:], " "))
+		return 0
+	})
+	sh.Register("eval", func(ctx *Context, args []string) int {
+		return sh.Run(ctx, strings.Join(args[1:], " "))
+	})
+	sh.Register("true", func(*Context, []string) int { return 0 })
+	sh.Register("false", func(*Context, []string) int { return 1 })
+	sh.Register("exit", func(ctx *Context, args []string) int {
+		status := 0
+		if len(args) > 1 && args[1] != "" {
+			status = 1
+		}
+		return status
+	})
+	// ~ subject pattern...: rc's match builtin; exit 0 if any pattern
+	// matches the subject with shell metacharacters.
+	sh.Register("~", func(ctx *Context, args []string) int {
+		if len(args) < 2 {
+			return 1
+		}
+		subject := args[1]
+		for _, pat := range args[2:] {
+			if matchPattern(pat, subject) {
+				return 0
+			}
+		}
+		return 1
+	})
+	// bind [-a|-b] src mountpoint: compose the namespace, as in profiles.
+	sh.Register("bind", func(ctx *Context, args []string) int {
+		flag := vfs.Replace
+		rest := args[1:]
+		for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+			switch rest[0] {
+			case "-a":
+				flag = vfs.After
+			case "-b":
+				flag = vfs.Before
+			default:
+				// Unknown flags (-e, -c in profiles) are accepted and
+				// treated as plain binds.
+			}
+			rest = rest[1:]
+		}
+		if len(rest) != 2 {
+			ctx.Errorf("usage: bind [-a|-b] new old")
+			return 1
+		}
+		if err := ctx.FS.Bind(rest[0], rest[1], flag); err != nil {
+			ctx.Errorf("bind: %v", err)
+			return 1
+		}
+		return 0
+	})
+}
+
+// matchPattern implements rc's ~ matching: * ? [...] over the whole
+// subject.
+func matchPattern(pat, s string) bool {
+	return matchHere([]rune(pat), []rune(s))
+}
+
+func matchHere(pat, s []rune) bool {
+	for len(pat) > 0 {
+		switch pat[0] {
+		case '*':
+			for i := len(s); i >= 0; i-- {
+				if matchHere(pat[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			if len(s) == 0 {
+				return false
+			}
+			pat, s = pat[1:], s[1:]
+		case '[':
+			end := 1
+			for end < len(pat) && pat[end] != ']' {
+				end++
+			}
+			if end >= len(pat) || len(s) == 0 {
+				return false
+			}
+			if !matchClass(pat[1:end], s[0]) {
+				return false
+			}
+			pat, s = pat[end+1:], s[1:]
+		default:
+			if len(s) == 0 || pat[0] != s[0] {
+				return false
+			}
+			pat, s = pat[1:], s[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func matchClass(class []rune, r rune) bool {
+	neg := false
+	if len(class) > 0 && (class[0] == '^' || class[0] == '!') {
+		neg = true
+		class = class[1:]
+	}
+	match := false
+	for i := 0; i < len(class); i++ {
+		if i+2 < len(class) && class[i+1] == '-' {
+			if class[i] <= r && r <= class[i+2] {
+				match = true
+			}
+			i += 2
+			continue
+		}
+		if class[i] == r {
+			match = true
+		}
+	}
+	return match != neg
+}
+
+// IsProgram reports whether a compiled-in program is registered at path.
+func (sh *Shell) IsProgram(path string) bool {
+	_, ok := sh.programs[vfs.Clean(path)]
+	return ok
+}

@@ -1,0 +1,263 @@
+// Package srvnet exports a vfs namespace over a network connection,
+// simulating the multi-machine Plan 9 environment of the paper's
+// Discussion: "help could run on the terminal and make an invisible call
+// to the CPU server, sending requests to run applications to the remote
+// shell-like process."
+//
+// The protocol is a minimal file service in the spirit of 9P, carried as
+// newline-delimited JSON messages: each request names an operation and a
+// path; each response carries data, directory entries, or an error. One
+// request is served at a time per server (a mutex serializes namespace
+// access), which matches help's single-threaded discipline.
+//
+// With a Server wrapped around the world's namespace, a Client on
+// another machine can drive the entire user interface through
+// /mnt/help — create windows, fill bodies, send control messages — with
+// no code beyond file operations, exactly the paper's model.
+package srvnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// request is one wire operation.
+type request struct {
+	Op      string `json:"op"`
+	Path    string `json:"path,omitempty"`
+	Data    []byte `json:"data,omitempty"`
+	Append  bool   `json:"append,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+}
+
+// entry mirrors vfs.Info on the wire.
+type entry struct {
+	Name    string `json:"name"`
+	IsDir   bool   `json:"isDir"`
+	Size    int64  `json:"size"`
+	ModTime int64  `json:"modTime"`
+}
+
+// response is one wire reply.
+type response struct {
+	Err     string   `json:"err,omitempty"`
+	Data    []byte   `json:"data,omitempty"`
+	Entries []entry  `json:"entries,omitempty"`
+	Names   []string `json:"names,omitempty"`
+	Info    *entry   `json:"info,omitempty"`
+}
+
+// Server exports one namespace.
+type Server struct {
+	fs *vfs.FS
+	mu sync.Mutex
+}
+
+// NewServer wraps fs for serving. The mutex serializes all requests, so
+// the namespace needs no locking of its own; anything else touching the
+// same namespace concurrently must coordinate through Locker.
+func NewServer(fs *vfs.FS) *Server {
+	return &Server{fs: fs}
+}
+
+// Locker exposes the serialization lock so a host embedding the server
+// (help's event loop) can take the same lock around its own namespace
+// access.
+func (s *Server) Locker() sync.Locker { return &s.mu }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn handles one connection until EOF.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle performs one operation under the lock.
+func (s *Server) handle(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fail := func(err error) response { return response{Err: err.Error()} }
+	switch req.Op {
+	case "read":
+		data, err := s.fs.ReadFile(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return response{Data: data}
+	case "write":
+		var err error
+		if req.Append {
+			err = s.fs.AppendFile(req.Path, req.Data)
+		} else {
+			err = s.fs.WriteFile(req.Path, req.Data)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return response{}
+	case "readdir":
+		ents, err := s.fs.ReadDir(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]entry, len(ents))
+		for i, e := range ents {
+			out[i] = entry{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime}
+		}
+		return response{Entries: out}
+	case "stat":
+		info, err := s.fs.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return response{Info: &entry{Name: info.Name, IsDir: info.IsDir, Size: info.Size, ModTime: info.ModTime}}
+	case "glob":
+		return response{Names: s.fs.Glob(req.Pattern)}
+	case "mkdir":
+		if err := s.fs.MkdirAll(req.Path); err != nil {
+			return fail(err)
+		}
+		return response{}
+	case "remove":
+		if err := s.fs.Remove(req.Path); err != nil {
+			return fail(err)
+		}
+		return response{}
+	}
+	return response{Err: fmt.Sprintf("srvnet: unknown op %q", req.Op)}
+}
+
+// Client is a remote namespace handle. It is safe for one goroutine; the
+// underlying connection carries one request at a time.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// rpc performs one round trip.
+func (c *Client) rpc(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// ReadFile reads a remote file.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	resp, err := c.rpc(request{Op: "read", Path: path})
+	return resp.Data, err
+}
+
+// WriteFile writes (replacing) a remote file.
+func (c *Client) WriteFile(path string, data []byte) error {
+	_, err := c.rpc(request{Op: "write", Path: path, Data: data})
+	return err
+}
+
+// AppendFile appends to a remote file.
+func (c *Client) AppendFile(path string, data []byte) error {
+	_, err := c.rpc(request{Op: "write", Path: path, Data: data, Append: true})
+	return err
+}
+
+// ReadDir lists a remote directory.
+func (c *Client) ReadDir(path string) ([]vfs.Info, error) {
+	resp, err := c.rpc(request{Op: "readdir", Path: path})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vfs.Info, len(resp.Entries))
+	for i, e := range resp.Entries {
+		out[i] = vfs.Info{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime}
+	}
+	return out, nil
+}
+
+// Stat describes a remote file.
+func (c *Client) Stat(path string) (vfs.Info, error) {
+	resp, err := c.rpc(request{Op: "stat", Path: path})
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	return vfs.Info{Name: resp.Info.Name, IsDir: resp.Info.IsDir, Size: resp.Info.Size, ModTime: resp.Info.ModTime}, nil
+}
+
+// Glob expands a pattern remotely.
+func (c *Client) Glob(pattern string) ([]string, error) {
+	resp, err := c.rpc(request{Op: "glob", Pattern: pattern})
+	return resp.Names, err
+}
+
+// MkdirAll creates a remote directory tree.
+func (c *Client) MkdirAll(path string) error {
+	_, err := c.rpc(request{Op: "mkdir", Path: path})
+	return err
+}
+
+// Remove deletes a remote file or empty directory.
+func (c *Client) Remove(path string) error {
+	_, err := c.rpc(request{Op: "remove", Path: path})
+	return err
+}

@@ -1,0 +1,372 @@
+// Package text implements the rune buffer underlying every help subwindow.
+//
+// A Buffer is a gap buffer of runes with an undo/redo log. Offsets are rune
+// counts from the start of the buffer, matching the paper's model in which
+// help passes applications "the file and character offset of the mouse
+// position". The package also resolves the location syntax accepted by the
+// Open command — :27 line numbers, and the "general locations" the paper
+// mentions (:/pattern/ searches and :#offset character addresses), which we
+// implement as one of the paper's future-work extensions.
+package text
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Buffer is an editable sequence of runes.
+//
+// The zero value is an empty buffer ready to use. Buffer is not safe for
+// concurrent use; help serializes all access through its event loop, as the
+// original did.
+type Buffer struct {
+	// Gap buffer: runes[:gapStart] and runes[gapEnd:] hold the text.
+	runes    []rune
+	gapStart int
+	gapEnd   int
+
+	undo     []change
+	redo     []change
+	seq      int  // current transaction sequence number
+	noUndo   bool // true while replaying undo/redo
+	modified bool
+}
+
+// change records one primitive edit for the undo log.
+type change struct {
+	seq    int
+	insert bool   // true: text was inserted at off; false: deleted
+	off    int    // rune offset of the edit
+	text   []rune // the inserted or deleted text
+}
+
+// NewBuffer returns a buffer initialized with the given text.
+func NewBuffer(s string) *Buffer {
+	b := &Buffer{}
+	b.primInsert(0, []rune(s))
+	b.undo = nil // initial content is not undoable
+	b.modified = false
+	return b
+}
+
+// Len returns the number of runes in the buffer.
+func (b *Buffer) Len() int { return len(b.runes) - (b.gapEnd - b.gapStart) }
+
+// Modified reports whether the buffer has been edited since the last call
+// to SetClean. The help Put!/Get! commands use this to decide whether to
+// show "Put!" in a window's tag.
+func (b *Buffer) Modified() bool { return b.modified }
+
+// SetClean marks the buffer unmodified, as after a Put! or Get!.
+func (b *Buffer) SetClean() { b.modified = false }
+
+// SetDirty marks the buffer modified without editing it, used by the file
+// interface's "dirty" control message.
+func (b *Buffer) SetDirty() { b.modified = true }
+
+// moveGap positions the gap at rune offset off.
+func (b *Buffer) moveGap(off int) {
+	if off < b.gapStart {
+		n := b.gapStart - off
+		copy(b.runes[b.gapEnd-n:b.gapEnd], b.runes[off:b.gapStart])
+		b.gapStart = off
+		b.gapEnd -= n
+	} else if off > b.gapStart {
+		n := off - b.gapStart
+		copy(b.runes[b.gapStart:], b.runes[b.gapEnd:b.gapEnd+n])
+		b.gapStart += n
+		b.gapEnd += n
+	}
+}
+
+// grow ensures the gap has room for at least n more runes.
+func (b *Buffer) grow(n int) {
+	gap := b.gapEnd - b.gapStart
+	if gap >= n {
+		return
+	}
+	newCap := len(b.runes)*2 + n
+	if newCap < 64 {
+		newCap = 64 + n
+	}
+	nr := make([]rune, newCap)
+	copy(nr, b.runes[:b.gapStart])
+	tail := len(b.runes) - b.gapEnd
+	copy(nr[newCap-tail:], b.runes[b.gapEnd:])
+	b.gapEnd = newCap - tail
+	b.runes = nr
+}
+
+// primInsert inserts without recording undo.
+func (b *Buffer) primInsert(off int, rs []rune) {
+	if off < 0 || off > b.Len() {
+		panic(fmt.Sprintf("text: insert offset %d out of range [0,%d]", off, b.Len()))
+	}
+	b.grow(len(rs))
+	b.moveGap(off)
+	copy(b.runes[b.gapStart:], rs)
+	b.gapStart += len(rs)
+}
+
+// primDelete deletes without recording undo and returns the removed runes.
+func (b *Buffer) primDelete(off, n int) []rune {
+	if off < 0 || n < 0 || off+n > b.Len() {
+		panic(fmt.Sprintf("text: delete [%d,%d) out of range [0,%d]", off, off+n, b.Len()))
+	}
+	b.moveGap(off)
+	removed := make([]rune, n)
+	copy(removed, b.runes[b.gapEnd:b.gapEnd+n])
+	b.gapEnd += n
+	return removed
+}
+
+// Insert inserts s at rune offset off.
+func (b *Buffer) Insert(off int, s string) {
+	rs := []rune(s)
+	if len(rs) == 0 {
+		return
+	}
+	b.primInsert(off, rs)
+	b.modified = true
+	if !b.noUndo {
+		b.undo = append(b.undo, change{seq: b.seq, insert: true, off: off, text: rs})
+		b.redo = nil
+	}
+}
+
+// Delete removes n runes starting at off and returns them as a string.
+func (b *Buffer) Delete(off, n int) string {
+	if n == 0 {
+		return ""
+	}
+	removed := b.primDelete(off, n)
+	b.modified = true
+	if !b.noUndo {
+		b.undo = append(b.undo, change{seq: b.seq, insert: false, off: off, text: removed})
+		b.redo = nil
+	}
+	return string(removed)
+}
+
+// Replace substitutes the range [off, off+n) with s as a single undo step.
+func (b *Buffer) Replace(off, n int, s string) {
+	b.Commit()
+	b.Delete(off, n)
+	b.Insert(off, s)
+	b.Commit()
+}
+
+// Commit marks a transaction boundary: edits made after Commit undo
+// separately from edits made before it.
+func (b *Buffer) Commit() { b.seq++ }
+
+// Undo reverses the most recent transaction. It reports whether anything
+// was undone.
+func (b *Buffer) Undo() bool {
+	if len(b.undo) == 0 {
+		return false
+	}
+	b.noUndo = true
+	defer func() { b.noUndo = false }()
+	seq := b.undo[len(b.undo)-1].seq
+	for len(b.undo) > 0 && b.undo[len(b.undo)-1].seq == seq {
+		c := b.undo[len(b.undo)-1]
+		b.undo = b.undo[:len(b.undo)-1]
+		if c.insert {
+			b.primDelete(c.off, len(c.text))
+		} else {
+			b.primInsert(c.off, c.text)
+		}
+		b.redo = append(b.redo, c)
+	}
+	b.modified = true
+	return true
+}
+
+// Redo reapplies the most recently undone transaction. It reports whether
+// anything was redone.
+func (b *Buffer) Redo() bool {
+	if len(b.redo) == 0 {
+		return false
+	}
+	b.noUndo = true
+	defer func() { b.noUndo = false }()
+	seq := b.redo[len(b.redo)-1].seq
+	for len(b.redo) > 0 && b.redo[len(b.redo)-1].seq == seq {
+		c := b.redo[len(b.redo)-1]
+		b.redo = b.redo[:len(b.redo)-1]
+		if c.insert {
+			b.primInsert(c.off, c.text)
+		} else {
+			b.primDelete(c.off, len(c.text))
+		}
+		b.undo = append(b.undo, c)
+	}
+	b.modified = true
+	return true
+}
+
+// CanUndo reports whether Undo would do anything.
+func (b *Buffer) CanUndo() bool { return len(b.undo) > 0 }
+
+// CanRedo reports whether Redo would do anything.
+func (b *Buffer) CanRedo() bool { return len(b.redo) > 0 }
+
+// At returns the rune at offset off. It panics if off is out of range.
+func (b *Buffer) At(off int) rune {
+	if off < 0 || off >= b.Len() {
+		panic(fmt.Sprintf("text: At(%d) out of range [0,%d)", off, b.Len()))
+	}
+	if off < b.gapStart {
+		return b.runes[off]
+	}
+	return b.runes[off+(b.gapEnd-b.gapStart)]
+}
+
+// Slice returns the runes in [off, off+n) as a string, clamped to the
+// buffer bounds.
+func (b *Buffer) Slice(off, n int) string {
+	if off < 0 {
+		n += off
+		off = 0
+	}
+	if off > b.Len() {
+		return ""
+	}
+	if off+n > b.Len() {
+		n = b.Len() - off
+	}
+	if n <= 0 {
+		return ""
+	}
+	out := make([]rune, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.At(off + i)
+	}
+	return string(out)
+}
+
+// String returns the whole buffer contents.
+func (b *Buffer) String() string { return b.Slice(0, b.Len()) }
+
+// SetString replaces the entire contents as a single undoable transaction,
+// as the Get! command does.
+func (b *Buffer) SetString(s string) {
+	b.Replace(0, b.Len(), s)
+}
+
+// LineStart returns the offset of the first rune of 1-based line number ln.
+// Lines past the end resolve to the buffer length.
+func (b *Buffer) LineStart(ln int) int {
+	if ln <= 1 {
+		return 0
+	}
+	line := 1
+	for off := 0; off < b.Len(); off++ {
+		if b.At(off) == '\n' {
+			line++
+			if line == ln {
+				return off + 1
+			}
+		}
+	}
+	return b.Len()
+}
+
+// LineEnd returns the offset just past the last rune of line ln, excluding
+// the newline itself.
+func (b *Buffer) LineEnd(ln int) int {
+	off := b.LineStart(ln)
+	for off < b.Len() && b.At(off) != '\n' {
+		off++
+	}
+	return off
+}
+
+// LineAt returns the 1-based line number containing offset off.
+func (b *Buffer) LineAt(off int) int {
+	if off > b.Len() {
+		off = b.Len()
+	}
+	line := 1
+	for i := 0; i < off; i++ {
+		if b.At(i) == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// NLines returns the number of lines in the buffer. An empty buffer has
+// one (empty) line; a trailing newline does not start a new line.
+func (b *Buffer) NLines() int {
+	if b.Len() == 0 {
+		return 1
+	}
+	n := 1
+	for i := 0; i < b.Len(); i++ {
+		if b.At(i) == '\n' && i != b.Len()-1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrNoMatch is returned by Address when a pattern search fails.
+var ErrNoMatch = errors.New("text: no match")
+
+// Address resolves the location syntax accepted after a file name:
+//
+//	27        line 27 (window positioned so the line is visible and selected)
+//	#123      character (rune) offset 123
+//	/pat/     first literal occurrence of pat, searching forward from 0
+//
+// It returns the rune range [q0, q1) to select.
+func (b *Buffer) Address(addr string) (q0, q1 int, err error) {
+	switch {
+	case addr == "":
+		return 0, 0, nil
+	case addr[0] == '#':
+		var off int
+		if _, err := fmt.Sscanf(addr[1:], "%d", &off); err != nil {
+			return 0, 0, fmt.Errorf("text: bad address %q", addr)
+		}
+		if off < 0 {
+			off = 0
+		}
+		if off > b.Len() {
+			off = b.Len()
+		}
+		return off, off, nil
+	case addr[0] == '/':
+		pat := strings.TrimPrefix(addr, "/")
+		pat = strings.TrimSuffix(pat, "/")
+		if pat == "" {
+			return 0, 0, fmt.Errorf("text: empty pattern")
+		}
+		// Search rune-wise: a byte-level index could land inside a
+		// multi-byte rune and produce offsets past the buffer.
+		needle := []rune(pat)
+		n := b.Len()
+	search:
+		for i := 0; i+len(needle) <= n; i++ {
+			for j, r := range needle {
+				if b.At(i+j) != r {
+					continue search
+				}
+			}
+			return i, i + len(needle), nil
+		}
+		return 0, 0, ErrNoMatch
+	default:
+		var ln int
+		if _, err := fmt.Sscanf(addr, "%d", &ln); err != nil {
+			return 0, 0, fmt.Errorf("text: bad address %q", addr)
+		}
+		if ln < 1 {
+			ln = 1
+		}
+		return b.LineStart(ln), b.LineEnd(ln), nil
+	}
+}

@@ -1,0 +1,490 @@
+package text
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyBuffer(t *testing.T) {
+	var b Buffer
+	if b.Len() != 0 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.String() != "" {
+		t.Errorf("String = %q", b.String())
+	}
+	if b.Modified() {
+		t.Error("zero buffer should be unmodified")
+	}
+	if b.NLines() != 1 {
+		t.Errorf("NLines = %d, want 1", b.NLines())
+	}
+}
+
+func TestNewBufferNotModified(t *testing.T) {
+	b := NewBuffer("hello")
+	if b.Modified() {
+		t.Error("fresh buffer should be unmodified")
+	}
+	if b.CanUndo() {
+		t.Error("initial content should not be undoable")
+	}
+	if b.String() != "hello" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	b := NewBuffer("hello world")
+	b.Insert(5, ",")
+	if got := b.String(); got != "hello, world" {
+		t.Errorf("after insert: %q", got)
+	}
+	if !b.Modified() {
+		t.Error("insert should mark modified")
+	}
+	removed := b.Delete(5, 1)
+	if removed != "," {
+		t.Errorf("Delete returned %q", removed)
+	}
+	if got := b.String(); got != "hello world" {
+		t.Errorf("after delete: %q", got)
+	}
+}
+
+func TestInsertAtEnds(t *testing.T) {
+	b := NewBuffer("bc")
+	b.Insert(0, "a")
+	b.Insert(3, "d")
+	if got := b.String(); got != "abcd" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInsertEmptyNoop(t *testing.T) {
+	b := NewBuffer("x")
+	b.Insert(0, "")
+	if b.Modified() {
+		t.Error("empty insert should not modify")
+	}
+	if b.Delete(0, 0) != "" {
+		t.Error("zero delete should return empty")
+	}
+}
+
+func TestUnicode(t *testing.T) {
+	b := NewBuffer("héllo")
+	if b.Len() != 5 {
+		t.Errorf("Len = %d, want 5 runes", b.Len())
+	}
+	if b.At(1) != 'é' {
+		t.Errorf("At(1) = %q", b.At(1))
+	}
+	b.Insert(5, "…")
+	if got := b.String(); got != "héllo…" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	b := NewBuffer("abcdef")
+	cases := []struct {
+		off, n int
+		want   string
+	}{
+		{0, 3, "abc"},
+		{3, 3, "def"},
+		{4, 10, "ef"}, // clamped
+		{-2, 4, "ab"}, // negative start clamped
+		{10, 3, ""},   // past end
+		{2, 0, ""},    // zero length
+		{0, 6, "abcdef"},
+	}
+	for _, c := range cases {
+		if got := b.Slice(c.off, c.n); got != c.want {
+			t.Errorf("Slice(%d,%d) = %q, want %q", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestUndoRedoSingle(t *testing.T) {
+	b := NewBuffer("abc")
+	b.Commit()
+	b.Insert(3, "def")
+	if !b.Undo() {
+		t.Fatal("Undo returned false")
+	}
+	if got := b.String(); got != "abc" {
+		t.Errorf("after undo: %q", got)
+	}
+	if !b.Redo() {
+		t.Fatal("Redo returned false")
+	}
+	if got := b.String(); got != "abcdef" {
+		t.Errorf("after redo: %q", got)
+	}
+}
+
+func TestUndoTransaction(t *testing.T) {
+	b := NewBuffer("hello")
+	b.Replace(0, 5, "goodbye") // single transaction
+	if got := b.String(); got != "goodbye" {
+		t.Fatalf("after replace: %q", got)
+	}
+	b.Undo()
+	if got := b.String(); got != "hello" {
+		t.Errorf("after undo of replace: %q", got)
+	}
+	b.Redo()
+	if got := b.String(); got != "goodbye" {
+		t.Errorf("after redo of replace: %q", got)
+	}
+}
+
+func TestUndoEmpty(t *testing.T) {
+	var b Buffer
+	if b.Undo() {
+		t.Error("Undo on empty log should return false")
+	}
+	if b.Redo() {
+		t.Error("Redo on empty log should return false")
+	}
+}
+
+func TestRedoClearedByEdit(t *testing.T) {
+	b := NewBuffer("a")
+	b.Commit()
+	b.Insert(1, "b")
+	b.Undo()
+	if !b.CanRedo() {
+		t.Fatal("should be able to redo")
+	}
+	b.Insert(1, "c")
+	if b.CanRedo() {
+		t.Error("new edit should clear redo stack")
+	}
+}
+
+func TestUndoSequence(t *testing.T) {
+	b := NewBuffer("")
+	for _, s := range []string{"one ", "two ", "three "} {
+		b.Commit()
+		b.Insert(b.Len(), s)
+	}
+	want := []string{"one two three ", "one two ", "one ", ""}
+	for i := 1; i < len(want); i++ {
+		b.Undo()
+		if got := b.String(); got != want[i] {
+			t.Errorf("undo %d: %q, want %q", i, got, want[i])
+		}
+	}
+	for i := len(want) - 2; i >= 0; i-- {
+		b.Redo()
+		if got := b.String(); got != want[i] {
+			t.Errorf("redo to %d: %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestLines(t *testing.T) {
+	b := NewBuffer("first\nsecond\nthird")
+	if b.NLines() != 3 {
+		t.Errorf("NLines = %d", b.NLines())
+	}
+	if off := b.LineStart(1); off != 0 {
+		t.Errorf("LineStart(1) = %d", off)
+	}
+	if off := b.LineStart(2); off != 6 {
+		t.Errorf("LineStart(2) = %d", off)
+	}
+	if off := b.LineEnd(2); off != 12 {
+		t.Errorf("LineEnd(2) = %d", off)
+	}
+	if off := b.LineStart(99); off != b.Len() {
+		t.Errorf("LineStart(99) = %d, want Len", off)
+	}
+	if ln := b.LineAt(0); ln != 1 {
+		t.Errorf("LineAt(0) = %d", ln)
+	}
+	if ln := b.LineAt(6); ln != 2 {
+		t.Errorf("LineAt(6) = %d", ln)
+	}
+	if ln := b.LineAt(999); ln != 3 {
+		t.Errorf("LineAt(999) = %d", ln)
+	}
+}
+
+func TestNLinesTrailingNewline(t *testing.T) {
+	if n := NewBuffer("a\nb\n").NLines(); n != 2 {
+		t.Errorf("NLines with trailing newline = %d, want 2", n)
+	}
+	if n := NewBuffer("\n").NLines(); n != 1 {
+		t.Errorf("NLines single newline = %d, want 1", n)
+	}
+}
+
+func TestAddressLine(t *testing.T) {
+	b := NewBuffer("aa\nbb\ncc")
+	q0, q1, err := b.Address("2")
+	if err != nil || q0 != 3 || q1 != 5 {
+		t.Errorf("Address(2) = %d,%d,%v", q0, q1, err)
+	}
+	// Line numbers beyond the end clamp to buffer end.
+	q0, q1, err = b.Address("9")
+	if err != nil || q0 != b.Len() || q1 != b.Len() {
+		t.Errorf("Address(9) = %d,%d,%v", q0, q1, err)
+	}
+	q0, q1, err = b.Address("0")
+	if err != nil || q0 != 0 {
+		t.Errorf("Address(0) = %d,%d,%v", q0, q1, err)
+	}
+}
+
+func TestAddressOffset(t *testing.T) {
+	b := NewBuffer("hello")
+	q0, q1, err := b.Address("#3")
+	if err != nil || q0 != 3 || q1 != 3 {
+		t.Errorf("Address(#3) = %d,%d,%v", q0, q1, err)
+	}
+	q0, _, err = b.Address("#99")
+	if err != nil || q0 != 5 {
+		t.Errorf("Address(#99) = %d,%v, want clamp to 5", q0, err)
+	}
+}
+
+func TestAddressPattern(t *testing.T) {
+	b := NewBuffer("the quick brown fox")
+	q0, q1, err := b.Address("/brown/")
+	if err != nil || q0 != 10 || q1 != 15 {
+		t.Errorf("Address(/brown/) = %d,%d,%v", q0, q1, err)
+	}
+	if _, _, err := b.Address("/absent/"); err != ErrNoMatch {
+		t.Errorf("missing pattern err = %v", err)
+	}
+	if _, _, err := b.Address("//"); err == nil {
+		t.Error("empty pattern should error")
+	}
+}
+
+func TestAddressPatternUnicode(t *testing.T) {
+	b := NewBuffer("héllo wörld")
+	q0, q1, err := b.Address("/wörld/")
+	if err != nil || q0 != 6 || q1 != 11 {
+		t.Errorf("unicode pattern = %d,%d,%v (want rune offsets 6,11)", q0, q1, err)
+	}
+}
+
+func TestAddressBad(t *testing.T) {
+	b := NewBuffer("x")
+	if _, _, err := b.Address("#x"); err == nil {
+		t.Error("bad #addr should error")
+	}
+	if _, _, err := b.Address("zz"); err == nil {
+		t.Error("bad line addr should error")
+	}
+	if q0, q1, err := b.Address(""); err != nil || q0 != 0 || q1 != 0 {
+		t.Errorf("empty addr = %d,%d,%v", q0, q1, err)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	b := NewBuffer("old stuff")
+	b.SetString("new")
+	if b.String() != "new" {
+		t.Errorf("got %q", b.String())
+	}
+	b.Undo()
+	if b.String() != "old stuff" {
+		t.Errorf("undo of SetString: %q", b.String())
+	}
+}
+
+func TestSetCleanModified(t *testing.T) {
+	b := NewBuffer("x")
+	b.Insert(1, "y")
+	if !b.Modified() {
+		t.Fatal("want modified")
+	}
+	b.SetClean()
+	if b.Modified() {
+		t.Fatal("want clean after SetClean")
+	}
+	b.Delete(0, 1)
+	if !b.Modified() {
+		t.Fatal("delete should re-modify")
+	}
+}
+
+// Gap-buffer stress: random edits must match a reference []rune model.
+func TestGapBufferAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuffer("")
+	var model []rune
+	alphabet := "abcdefghij\n"
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(2) == 0 || len(model) == 0 {
+			off := rng.Intn(len(model) + 1)
+			n := 1 + rng.Intn(5)
+			var sb strings.Builder
+			for j := 0; j < n; j++ {
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			s := sb.String()
+			b.Insert(off, s)
+			model = append(model[:off], append([]rune(s), model[off:]...)...)
+		} else {
+			off := rng.Intn(len(model))
+			n := rng.Intn(len(model) - off + 1)
+			got := b.Delete(off, n)
+			want := string(model[off : off+n])
+			if got != want {
+				t.Fatalf("step %d: Delete returned %q, want %q", i, got, want)
+			}
+			model = append(model[:off], model[off+n:]...)
+		}
+		if b.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d model=%d", i, b.Len(), len(model))
+		}
+	}
+	if b.String() != string(model) {
+		t.Fatalf("final mismatch:\n%q\n%q", b.String(), model)
+	}
+}
+
+// Property: undo is an exact inverse of a random transaction.
+func TestUndoInverseProperty(t *testing.T) {
+	f := func(initial string, off1 uint8, ins string, del uint8) bool {
+		b := NewBuffer(initial)
+		before := b.String()
+		b.Commit()
+		o := int(off1) % (b.Len() + 1)
+		b.Insert(o, ins)
+		d := int(del) % (b.Len() - o + 1)
+		b.Delete(o, d)
+		if !b.CanUndo() && (len(ins) > 0 || d > 0) {
+			return false
+		}
+		if len(ins) == 0 && d == 0 {
+			return b.String() == before
+		}
+		b.Undo()
+		return b.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: undo followed by redo restores the edited state.
+func TestRedoInverseProperty(t *testing.T) {
+	f := func(initial, ins string, off uint8) bool {
+		if len(ins) == 0 {
+			return true
+		}
+		b := NewBuffer(initial)
+		b.Commit()
+		b.Insert(int(off)%(b.Len()+1), ins)
+		after := b.String()
+		b.Undo()
+		b.Redo()
+		return b.String() == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LineStart is monotone in the line number.
+func TestLineStartMonotone(t *testing.T) {
+	f := func(s string) bool {
+		b := NewBuffer(s)
+		prev := -1
+		for ln := 1; ln <= b.NLines()+2; ln++ {
+			off := b.LineStart(ln)
+			if off < prev {
+				return false
+			}
+			prev = off
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LineAt(LineStart(n)) == n for lines that exist.
+func TestLineRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		b := NewBuffer(s)
+		for ln := 1; ln <= b.NLines(); ln++ {
+			start := b.LineStart(ln)
+			if start < b.Len() && b.LineAt(start) != ln {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range should panic")
+		}
+	}()
+	NewBuffer("ab").At(5)
+}
+
+func TestDeletePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Delete out of range should panic")
+		}
+	}()
+	NewBuffer("ab").Delete(1, 5)
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	buf := NewBuffer("")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(buf.Len(), "x")
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	buf := NewBuffer(strings.Repeat("hello world\n", 1000))
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(rng.Intn(buf.Len()+1), "y")
+	}
+}
+
+func BenchmarkDeleteInsertChurn(b *testing.B) {
+	buf := NewBuffer(strings.Repeat("0123456789", 500))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * 37) % (buf.Len() - 10)
+		buf.Delete(off, 5)
+		buf.Insert(off, "abcde")
+	}
+}
+
+func BenchmarkAddressLine(b *testing.B) {
+	buf := NewBuffer(strings.Repeat("some line of text\n", 2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := buf.Address("1500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

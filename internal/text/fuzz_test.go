@@ -1,0 +1,72 @@
+package text
+
+import "testing"
+
+// FuzzAddress resolves arbitrary address strings against arbitrary
+// buffers; malformed addresses must error, never panic, and results must
+// stay in range.
+func FuzzAddress(f *testing.F) {
+	f.Add("line1\nline2\n", "2")
+	f.Add("hello", "#3")
+	f.Add("find me", "/me/")
+	f.Add("", "")
+	f.Add("x", "#999")
+	f.Add("x", "/missing/")
+	f.Add("x", "notanaddr")
+	f.Fuzz(func(t *testing.T, content, addr string) {
+		if len(content) > 4096 || len(addr) > 64 {
+			return
+		}
+		b := NewBuffer(content)
+		q0, q1, err := b.Address(addr)
+		if err != nil {
+			return
+		}
+		if q0 < 0 || q1 < q0 || q1 > b.Len() {
+			t.Fatalf("Address(%q) on %q = [%d,%d) out of [0,%d]", addr, content, q0, q1, b.Len())
+		}
+	})
+}
+
+// FuzzEditSequence applies a byte-coded edit script; the buffer must stay
+// internally consistent and undo must restore the starting state.
+func FuzzEditSequence(f *testing.F) {
+	f.Add("seed text", []byte{0, 5, 1, 2, 2})
+	f.Add("", []byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, initial string, script []byte) {
+		if len(initial) > 1024 || len(script) > 256 {
+			return
+		}
+		b := NewBuffer(initial)
+		before := b.String()
+		b.Commit()
+		edits := 0
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%3, int(script[i+1])
+			switch op {
+			case 0:
+				b.Insert(arg%(b.Len()+1), "ab")
+				edits++
+			case 1:
+				if b.Len() > 0 {
+					off := arg % b.Len()
+					n := arg % (b.Len() - off + 1)
+					b.Delete(off, n)
+					if n > 0 {
+						edits++
+					}
+				}
+			case 2:
+				b.Commit()
+			}
+		}
+		if b.Len() < 0 {
+			t.Fatal("negative length")
+		}
+		for b.Undo() {
+		}
+		if b.String() != before {
+			t.Fatalf("undo-all: %q != %q", b.String(), before)
+		}
+	})
+}

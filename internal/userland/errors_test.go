@@ -1,0 +1,253 @@
+package userland
+
+import (
+	"strings"
+	"testing"
+)
+
+// Error-path and edge-case coverage for the utilities: wrong usage, bad
+// arguments, missing files — each must fail with a diagnostic, not crash.
+
+func TestCpErrors(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "cp onlyone"); status == 0 {
+		t.Error("cp with one arg should fail")
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "cp /tmp/ghost /tmp/dst"); status == 0 ||
+		!strings.Contains(out.String(), "cp:") {
+		t.Errorf("cp of missing file: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "echo x > /tmp/a; cp /tmp/a /no/such/dir/b"); status == 0 {
+		t.Errorf("cp into missing dir should fail: %q", out.String())
+	}
+}
+
+func TestLsErrors(t *testing.T) {
+	fs, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "ls /ghost"); status == 0 ||
+		!strings.Contains(out.String(), "does not exist") {
+		t.Errorf("ls missing dir: %q", out.String())
+	}
+	// ls of a plain file prints the name.
+	fs.WriteFile("/tmp/f", nil)
+	out.Reset()
+	sh.Run(ctx, "ls /tmp/f")
+	if out.String() != "/tmp/f\n" {
+		t.Errorf("ls file: %q", out.String())
+	}
+}
+
+func TestWcStdinAndMissing(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	sh.Run(ctx, "echo one two | wc")
+	fields := strings.Fields(out.String())
+	if len(fields) != 3 || fields[0] != "1" || fields[1] != "2" {
+		t.Errorf("wc stdin: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "wc /ghost"); status == 0 {
+		t.Errorf("wc of missing file should fail: %q", out.String())
+	}
+}
+
+func TestHeadTailDefaultsAndFiles(t *testing.T) {
+	fs, sh, ctx, out := env(t)
+	var b strings.Builder
+	for i := 0; i < 15; i++ {
+		b.WriteString("line\n")
+	}
+	fs.WriteFile("/tmp/f", []byte(b.String()))
+	sh.Run(ctx, "head /tmp/f")
+	if strings.Count(out.String(), "line\n") != 10 {
+		t.Errorf("head default: %d lines", strings.Count(out.String(), "line\n"))
+	}
+	out.Reset()
+	sh.Run(ctx, "tail /tmp/f")
+	if strings.Count(out.String(), "line\n") != 10 {
+		t.Errorf("tail default: %d lines", strings.Count(out.String(), "line\n"))
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "head /ghost"); status == 0 {
+		t.Error("head of missing file should fail")
+	}
+	if status := sh.Run(ctx, "tail /ghost"); status == 0 {
+		t.Error("tail of missing file should fail")
+	}
+}
+
+func TestRmMkdirErrors(t *testing.T) {
+	fs, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "rm /ghost"); status == 0 ||
+		!strings.Contains(out.String(), "rm:") {
+		t.Errorf("rm missing: %q", out.String())
+	}
+	// mkdir -p flag is accepted and ignored.
+	out.Reset()
+	if status := sh.Run(ctx, "mkdir -p /deep/tree"); status != 0 {
+		t.Errorf("mkdir -p failed: %q", out.String())
+	}
+	if !fs.IsDir("/deep/tree") {
+		t.Error("mkdir did not create")
+	}
+	// mkdir over an existing file fails.
+	fs.WriteFile("/tmp/file", nil)
+	out.Reset()
+	if status := sh.Run(ctx, "mkdir /tmp/file/sub"); status == 0 {
+		t.Errorf("mkdir through a file should fail: %q", out.String())
+	}
+}
+
+func TestSedUnsupportedAndErrors(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "echo x | sed y/z/"); status == 0 {
+		t.Errorf("unsupported sed script should fail: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "echo x | sed s/a"); status == 0 {
+		t.Errorf("bad substitution should fail: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "sed 1q /ghost"); status == 0 {
+		t.Errorf("sed on missing file should fail: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "sed"); status == 0 {
+		t.Error("sed with no script should fail")
+	}
+	// Invalid regexp in s///.
+	out.Reset()
+	if status := sh.Run(ctx, "echo x | sed 's/[/y/'"); status == 0 {
+		t.Errorf("bad regexp should fail: %q", out.String())
+	}
+}
+
+func TestGrepBadFlagAndPattern(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "grep -z pat"); status != 2 {
+		t.Errorf("bad flag status: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "echo x | grep '['"); status != 2 {
+		t.Errorf("bad pattern status: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "grep"); status != 2 {
+		t.Error("grep with no pattern should fail with usage")
+	}
+}
+
+func TestFortuneDefault(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	// No /lib/fortunes: the built-in aphorism prints.
+	sh.Run(ctx, "fortune")
+	if !strings.Contains(out.String(), "Simplicity") {
+		t.Errorf("fortune default: %q", out.String())
+	}
+	// An empty fortunes file also falls back.
+	fs := ctx.FS
+	fs.MkdirAll("/lib")
+	fs.WriteFile("/lib/fortunes", nil)
+	out.Reset()
+	sh.Run(ctx, "fortune")
+	if strings.TrimSpace(out.String()) == "" {
+		t.Error("fortune printed nothing")
+	}
+}
+
+func TestCppStdinAndMissing(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	sh.Run(ctx, "echo src | cpp -DX")
+	if out.String() != "src\n" {
+		t.Errorf("cpp stdin: %q", out.String())
+	}
+	out.Reset()
+	if status := sh.Run(ctx, "cpp /ghost.c"); status == 0 {
+		t.Error("cpp of missing file should fail")
+	}
+}
+
+func TestTeeErrors(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "echo x | tee /no/dir/f"); status == 0 {
+		t.Errorf("tee into missing dir should fail: %q", out.String())
+	}
+}
+
+func TestTouchError(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "touch /no/dir/f"); status == 0 {
+		t.Errorf("touch into missing dir should fail: %q", out.String())
+	}
+}
+
+func TestMkfileTargetsAndExpand(t *testing.T) {
+	mf, err := ParseMkfile("V=x\nall: $V.o\n\techo $V and $$ and $1notvar\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mf.Targets(); len(got) != 1 || got[0] != "all" {
+		t.Errorf("Targets = %v", got)
+	}
+	if mf.Rules[0].Prereqs[0] != "x.o" {
+		t.Errorf("prereq = %v", mf.Rules[0].Prereqs)
+	}
+	// Recipe expansion happens at run time: check directly.
+	if got := mf.expand("echo $V and $$ tail"); got != "echo x and $$ tail" {
+		t.Errorf("expand = %q", got)
+	}
+	// Unset variables expand to nothing.
+	if got := mf.expand("$unset!"); got != "!" {
+		t.Errorf("unset expand = %q", got)
+	}
+}
+
+func TestMkMissingMkfile(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	ctx.Dir = "/tmp"
+	if status := sh.Run(ctx, "mk"); status == 0 {
+		t.Errorf("mk without mkfile should fail: %q", out.String())
+	}
+}
+
+func TestMkRecipeFailureStops(t *testing.T) {
+	fs, sh, ctx, out := env(t)
+	fs.MkdirAll("/p")
+	fs.WriteFile("/p/src", []byte("s"))
+	fs.WriteFile("/p/mkfile", []byte("out: src\n\tcp /ghost out\n\techo never\n"))
+	ctx.Dir = "/p"
+	if status := sh.Run(ctx, "mk"); status == 0 {
+		t.Errorf("failing recipe should fail mk: %q", out.String())
+	}
+	if strings.Contains(out.String(), "never") {
+		t.Error("recipe continued after failure")
+	}
+}
+
+func TestMkTouchedUsage(t *testing.T) {
+	_, sh, ctx, out := env(t)
+	if status := sh.Run(ctx, "mktouched"); status == 0 {
+		t.Error("mktouched with no args should fail")
+	}
+	out.Reset()
+	fs := ctx.FS
+	fs.MkdirAll("/p")
+	fs.WriteFile("/p/mkfile", []byte("a: b\n\techo x\n"))
+	ctx.Dir = "/p"
+	if status := sh.Run(ctx, "mktouched notanumber"); status == 0 {
+		t.Errorf("bad timestamp should fail: %q", out.String())
+	}
+}
+
+func TestSplitLinesEdges(t *testing.T) {
+	if got := splitLines(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := splitLines("\n"); len(got) != 1 || got[0] != "" {
+		t.Errorf("lone newline = %v", got)
+	}
+	if got := splitLines("a\nb"); len(got) != 2 {
+		t.Errorf("no trailing newline = %v", got)
+	}
+}

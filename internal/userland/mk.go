@@ -1,0 +1,328 @@
+package userland
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// Mkfile is a parsed build description: Plan 9 mk syntax restricted to
+// what the paper's session needs — plain rules with colon-separated
+// targets and prerequisites, tab-indented recipe lines, `var=value`
+// definitions and `$var` references.
+type Mkfile struct {
+	Rules []*Rule
+	Vars  map[string]string
+}
+
+// Rule is one build rule.
+type Rule struct {
+	Targets []string
+	Prereqs []string
+	Recipe  []string
+}
+
+// ParseMkfile parses mkfile text.
+func ParseMkfile(src string) (*Mkfile, error) {
+	mf := &Mkfile{Vars: map[string]string{}}
+	var cur *Rule
+	for ln, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "\t") {
+			if cur == nil {
+				return nil, fmt.Errorf("mkfile:%d: recipe outside rule", ln+1)
+			}
+			cur.Recipe = append(cur.Recipe, strings.TrimPrefix(line, "\t"))
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			cur = nil
+			continue
+		}
+		if i := strings.Index(trimmed, "="); i > 0 && !strings.Contains(trimmed[:i], ":") && !strings.ContainsAny(trimmed[:i], " \t") {
+			mf.Vars[trimmed[:i]] = strings.TrimSpace(trimmed[i+1:])
+			cur = nil
+			continue
+		}
+		i := strings.Index(trimmed, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("mkfile:%d: expected rule or assignment", ln+1)
+		}
+		r := &Rule{
+			Targets: strings.Fields(mf.expand(trimmed[:i])),
+			Prereqs: strings.Fields(mf.expand(trimmed[i+1:])),
+		}
+		if len(r.Targets) == 0 {
+			return nil, fmt.Errorf("mkfile:%d: rule without target", ln+1)
+		}
+		mf.Rules = append(mf.Rules, r)
+		cur = r
+	}
+	return mf, nil
+}
+
+// expand substitutes $var references using the mkfile's variables.
+func (mf *Mkfile) expand(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '$' {
+			b.WriteByte(s[i])
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (isIdent(s[j])) {
+			j++
+		}
+		if j == i+1 {
+			b.WriteByte('$')
+			continue
+		}
+		name := s[i+1 : j]
+		b.WriteString(mf.Vars[name])
+		i = j - 1
+	}
+	return b.String()
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// ruleFor finds the rule producing target, nil if none.
+func (mf *Mkfile) ruleFor(target string) *Rule {
+	for _, r := range mf.Rules {
+		for _, t := range r.Targets {
+			if t == target {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Targets returns every target defined in the mkfile, in rule order.
+func (mf *Mkfile) Targets() []string {
+	var out []string
+	for _, r := range mf.Rules {
+		out = append(out, r.Targets...)
+	}
+	return out
+}
+
+// mtimeOf returns the logical mtime of path, or -1 if it does not exist.
+func mtimeOf(ctx *shell.Context, p string) int64 {
+	info, err := ctx.FS.Stat(resolvePath(ctx, p))
+	if err != nil {
+		return -1
+	}
+	return info.ModTime
+}
+
+// build brings target up to date, returning (rebuilt, status).
+func (mf *Mkfile) build(ctx *shell.Context, target string, visiting map[string]bool) (bool, int) {
+	if visiting[target] {
+		ctx.Errorf("mk: dependency cycle through %s", target)
+		return false, 1
+	}
+	visiting[target] = true
+	defer delete(visiting, target)
+
+	r := mf.ruleFor(target)
+	if r == nil {
+		if mtimeOf(ctx, target) < 0 {
+			ctx.Errorf("mk: don't know how to make %s", target)
+			return false, 1
+		}
+		return false, 0 // leaf source file
+	}
+	prereqRebuilt := false
+	for _, p := range r.Prereqs {
+		rb, status := mf.build(ctx, p, visiting)
+		if status != 0 {
+			return false, status
+		}
+		prereqRebuilt = prereqRebuilt || rb
+	}
+	tm := mtimeOf(ctx, target)
+	stale := tm < 0 || prereqRebuilt
+	for _, p := range r.Prereqs {
+		if mtimeOf(ctx, p) > tm {
+			stale = true
+		}
+	}
+	if !stale {
+		return false, 0
+	}
+	for _, line := range r.Recipe {
+		line = mf.expand(line)
+		fmt.Fprintln(ctx.Stdout, line)
+		if status := ctx.Sh.Run(ctx, line); status != 0 {
+			ctx.Errorf("mk: recipe for %s failed", target)
+			return false, status
+		}
+	}
+	// Recipes whose commands are pure echoes (as in the demo mkfile)
+	// may not touch the target; stamp it so the build converges.
+	if mtimeOf(ctx, target) <= tm {
+		data, err := ctx.FS.ReadFile(resolvePath(ctx, target))
+		if err != nil {
+			data = nil
+		}
+		ctx.FS.WriteFile(resolvePath(ctx, target), data)
+	}
+	return true, 0
+}
+
+// loadMkfile reads and parses the mkfile in the context directory (or the
+// file named by -f).
+func loadMkfile(ctx *shell.Context, args []string) (*Mkfile, []string, int) {
+	file := "mkfile"
+	rest := args[1:]
+	var targets []string
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == "-f" && i+1 < len(rest) {
+			file = rest[i+1]
+			i++
+			continue
+		}
+		targets = append(targets, rest[i])
+	}
+	path := resolvePath(ctx, file)
+	if !ctx.FS.Exists(path) {
+		// The paper's source directory calls its build file "mk"; accept
+		// that spelling when no mkfile exists.
+		alt := resolvePath(ctx, "mk")
+		if ctx.FS.Exists(alt) {
+			path = alt
+		}
+	}
+	src, err := ctx.FS.ReadFile(path)
+	if err != nil {
+		ctx.Errorf("mk: %v", err)
+		return nil, nil, 1
+	}
+	mf, err := ParseMkfile(string(src))
+	if err != nil {
+		ctx.Errorf("mk: %v", err)
+		return nil, nil, 1
+	}
+	return mf, targets, 0
+}
+
+// Mk is the build tool: mk [-f mkfile] [target ...]. With no target it
+// builds the first rule's first target.
+func Mk(ctx *shell.Context, args []string) int {
+	mf, targets, status := loadMkfile(ctx, args)
+	if status != 0 {
+		return status
+	}
+	if len(targets) == 0 {
+		if len(mf.Rules) == 0 {
+			return 0
+		}
+		targets = mf.Rules[0].Targets[:1]
+	}
+	for _, t := range targets {
+		rebuilt, status := mf.build(ctx, t, map[string]bool{})
+		if status != 0 {
+			return status
+		}
+		if !rebuilt {
+			fmt.Fprintf(ctx.Stdout, "mk: '%s' is up to date\n", t)
+		}
+	}
+	return 0
+}
+
+// MkTouched is the paper's proposed inversion of make ("a tool that ...
+// sees what source files have been modified and builds the targets that
+// depend on them"): given a logical timestamp, it finds every source
+// modified since then and rebuilds exactly the targets that transitively
+// depend on one.
+//
+// Usage: mktouched [-f mkfile] since
+func MkTouched(ctx *shell.Context, args []string) int {
+	if len(args) < 2 {
+		ctx.Errorf("usage: mktouched [-f mkfile] since")
+		return 1
+	}
+	since := args[len(args)-1]
+	mf, _, status := loadMkfile(ctx, args[:len(args)-1])
+	if status != 0 {
+		return status
+	}
+	var sinceT int64
+	if _, err := fmt.Sscanf(since, "%d", &sinceT); err != nil {
+		ctx.Errorf("mktouched: bad timestamp %q", since)
+		return 1
+	}
+	targets := TouchedTargets(ctx, mf, sinceT)
+	if len(targets) == 0 {
+		fmt.Fprintln(ctx.Stdout, "mktouched: nothing modified")
+		return 0
+	}
+	for _, t := range targets {
+		fmt.Fprintf(ctx.Stdout, "mktouched: rebuilding %s\n", t)
+		if _, status := mf.build(ctx, t, map[string]bool{}); status != 0 {
+			return status
+		}
+	}
+	return 0
+}
+
+// TouchedTargets computes which targets transitively depend on any file
+// modified after since, in rule order.
+func TouchedTargets(ctx *shell.Context, mf *Mkfile, since int64) []string {
+	touched := func(p string) bool {
+		info, err := ctx.FS.Stat(vfs.Clean(resolvePath(ctx, p)))
+		return err == nil && info.ModTime > since
+	}
+	// dependsOnTouched memoizes whether a node's transitive inputs are
+	// touched.
+	memo := map[string]int{} // 0 unknown, 1 yes, 2 no
+	var visit func(string, map[string]bool) bool
+	visit = func(node string, path map[string]bool) bool {
+		if v, ok := memo[node]; ok {
+			return v == 1
+		}
+		if path[node] {
+			return false
+		}
+		path[node] = true
+		defer delete(path, node)
+		r := mf.ruleFor(node)
+		if r == nil {
+			res := touched(node)
+			if res {
+				memo[node] = 1
+			} else {
+				memo[node] = 2
+			}
+			return res
+		}
+		for _, p := range r.Prereqs {
+			if visit(p, path) {
+				memo[node] = 1
+				return true
+			}
+		}
+		memo[node] = 2
+		return false
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range mf.Rules {
+		for _, t := range r.Targets {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			if visit(t, map[string]bool{}) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

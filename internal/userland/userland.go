@@ -1,0 +1,579 @@
+// Package userland provides the Unix-flavored utilities the help paper's
+// session depends on — cat, grep, cp, sed, ls, wc and friends — implemented
+// as shell builtins over the vfs namespace, plus the mk build tool used in
+// Figure 12 ("execute mk in /help/cbr to compile the program").
+//
+// The utilities implement the subsets the paper exercises rather than full
+// POSIX behaviour; each doc comment states the supported flags. grep in
+// particular matters to the evaluation: Table T3 compares the C browser's
+// uses command against "the regular Unix command grep n /usr/rob/src/help/*.c",
+// which reports "every occurrence of the letter n in the program".
+package userland
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// Install registers every utility in sh.
+func Install(sh *shell.Shell) {
+	sh.Register("cat", Cat)
+	sh.Register("cp", Cp)
+	sh.Register("grep", Grep)
+	sh.Register("ls", Ls)
+	sh.Register("lc", Ls) // Plan 9's columnated ls; same output here
+	sh.Register("sed", Sed)
+	sh.Register("wc", Wc)
+	sh.Register("sort", Sort)
+	sh.Register("uniq", Uniq)
+	sh.Register("head", Head)
+	sh.Register("tail", Tail)
+	sh.Register("touch", Touch)
+	sh.Register("rm", Rm)
+	sh.Register("mkdir", Mkdir)
+	sh.Register("date", Date)
+	sh.Register("mk", Mk)
+	sh.Register("mktouched", MkTouched)
+	sh.Register("fortune", Fortune)
+	sh.Register("news", News)
+	sh.Register("cpp", Cpp)
+	sh.Register("tee", Tee)
+	sh.Register("basename", Basename)
+}
+
+// resolvePath makes a command argument absolute against the context dir.
+func resolvePath(ctx *shell.Context, p string) string {
+	if strings.HasPrefix(p, "/") {
+		return vfs.Clean(p)
+	}
+	return vfs.Clean(ctx.Dir + "/" + p)
+}
+
+// Cat concatenates files (or standard input with no arguments).
+func Cat(ctx *shell.Context, args []string) int {
+	if len(args) == 1 {
+		io.Copy(ctx.Stdout, ctx.Stdin)
+		return 0
+	}
+	status := 0
+	for _, a := range args[1:] {
+		data, err := ctx.FS.ReadFile(resolvePath(ctx, a))
+		if err != nil {
+			ctx.Errorf("cat: %v", err)
+			status = 1
+			continue
+		}
+		ctx.Stdout.Write(data)
+	}
+	return status
+}
+
+// Cp copies one file to another: cp from to.
+func Cp(ctx *shell.Context, args []string) int {
+	if len(args) != 3 {
+		ctx.Errorf("usage: cp from to")
+		return 1
+	}
+	data, err := ctx.FS.ReadFile(resolvePath(ctx, args[1]))
+	if err != nil {
+		ctx.Errorf("cp: %v", err)
+		return 1
+	}
+	dst := resolvePath(ctx, args[2])
+	if ctx.FS.IsDir(dst) {
+		base := args[1]
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		dst = vfs.Clean(dst + "/" + base)
+	}
+	if err := ctx.FS.WriteFile(dst, data); err != nil {
+		ctx.Errorf("cp: %v", err)
+		return 1
+	}
+	return 0
+}
+
+// Grep searches files (or stdin) for a regular expression. Supported
+// flags: -n (line numbers), -i (case fold), -l (names only), -c (count),
+// -v (invert). With more than one file, or with -n, matches are prefixed
+// with the file name — the behaviour the uses-vs-grep comparison needs.
+func Grep(ctx *shell.Context, args []string) int {
+	var numbers, fold, namesOnly, count, invert bool
+	rest := args[1:]
+	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") && len(rest[0]) > 1 {
+		for _, f := range rest[0][1:] {
+			switch f {
+			case 'n':
+				numbers = true
+			case 'i':
+				fold = true
+			case 'l':
+				namesOnly = true
+			case 'c':
+				count = true
+			case 'v':
+				invert = true
+			default:
+				ctx.Errorf("grep: unknown flag -%c", f)
+				return 2
+			}
+		}
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		ctx.Errorf("usage: grep [-nilcv] pattern [file ...]")
+		return 2
+	}
+	pat := rest[0]
+	if fold {
+		pat = "(?i)" + pat
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		ctx.Errorf("grep: %v", err)
+		return 2
+	}
+	files := rest[1:]
+	matched := false
+	scan := func(name string, r io.Reader, showName bool) {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		ln := 0
+		n := 0
+		for sc.Scan() {
+			ln++
+			hit := re.MatchString(sc.Text())
+			if hit == invert {
+				continue
+			}
+			matched = true
+			n++
+			if namesOnly {
+				fmt.Fprintln(ctx.Stdout, name)
+				return
+			}
+			if count {
+				continue
+			}
+			prefix := ""
+			if showName {
+				prefix = name + ":"
+			}
+			if numbers {
+				prefix += strconv.Itoa(ln) + ":"
+			}
+			fmt.Fprintln(ctx.Stdout, prefix+sc.Text())
+		}
+		if count {
+			prefix := ""
+			if showName {
+				prefix = name + ":"
+			}
+			fmt.Fprintln(ctx.Stdout, prefix+strconv.Itoa(n))
+		}
+	}
+	if len(files) == 0 {
+		scan("<stdin>", ctx.Stdin, false)
+	} else {
+		showName := len(files) > 1 || numbers
+		for _, f := range files {
+			data, err := ctx.FS.ReadFile(resolvePath(ctx, f))
+			if err != nil {
+				ctx.Errorf("grep: %v", err)
+				continue
+			}
+			scan(f, strings.NewReader(string(data)), showName)
+		}
+	}
+	if matched {
+		return 0
+	}
+	return 1
+}
+
+// Ls lists a directory (or the context directory), one entry per line with
+// directories slash-suffixed, matching help's directory-window rendering.
+func Ls(ctx *shell.Context, args []string) int {
+	dirs := args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{ctx.Dir}
+	}
+	status := 0
+	for _, d := range dirs {
+		p := resolvePath(ctx, d)
+		if !ctx.FS.IsDir(p) {
+			if ctx.FS.Exists(p) {
+				fmt.Fprintln(ctx.Stdout, d)
+				continue
+			}
+			ctx.Errorf("ls: %s: does not exist", d)
+			status = 1
+			continue
+		}
+		ents, err := ctx.FS.ReadDir(p)
+		if err != nil {
+			ctx.Errorf("ls: %v", err)
+			status = 1
+			continue
+		}
+		for _, e := range ents {
+			suffix := ""
+			if e.IsDir {
+				suffix = "/"
+			}
+			fmt.Fprintln(ctx.Stdout, e.Name+suffix)
+		}
+	}
+	return status
+}
+
+// Sed implements the subset the paper's scripts use:
+//
+//	sed Nq          print the first N lines then quit ("sed 1q")
+//	sed -n Np       print only line N
+//	sed s/a/b/g?    substitute (first or all occurrences per line)
+func Sed(ctx *shell.Context, args []string) int {
+	quiet := false
+	rest := args[1:]
+	if len(rest) > 0 && rest[0] == "-n" {
+		quiet = true
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		ctx.Errorf("usage: sed [-n] script [file]")
+		return 1
+	}
+	script := rest[0]
+	var in io.Reader = ctx.Stdin
+	if len(rest) > 1 {
+		data, err := ctx.FS.ReadFile(resolvePath(ctx, rest[1]))
+		if err != nil {
+			ctx.Errorf("sed: %v", err)
+			return 1
+		}
+		in = strings.NewReader(string(data))
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	// Nq form.
+	if strings.HasSuffix(script, "q") {
+		if n, err := strconv.Atoi(strings.TrimSuffix(script, "q")); err == nil {
+			for i := 0; i < n && sc.Scan(); i++ {
+				fmt.Fprintln(ctx.Stdout, sc.Text())
+			}
+			return 0
+		}
+	}
+	// Np form.
+	if strings.HasSuffix(script, "p") {
+		if n, err := strconv.Atoi(strings.TrimSuffix(script, "p")); err == nil {
+			ln := 0
+			for sc.Scan() {
+				ln++
+				if ln == n || !quiet {
+					fmt.Fprintln(ctx.Stdout, sc.Text())
+				}
+				if ln == n && quiet {
+					break
+				}
+			}
+			return 0
+		}
+	}
+	// s/a/b/ form.
+	if strings.HasPrefix(script, "s") && len(script) > 1 {
+		delim := string(script[1])
+		parts := strings.Split(script[2:], delim)
+		if len(parts) < 2 {
+			ctx.Errorf("sed: bad substitution %q", script)
+			return 1
+		}
+		re, err := regexp.Compile(parts[0])
+		if err != nil {
+			ctx.Errorf("sed: %v", err)
+			return 1
+		}
+		global := len(parts) > 2 && strings.Contains(parts[2], "g")
+		for sc.Scan() {
+			line := sc.Text()
+			if global {
+				line = re.ReplaceAllString(line, parts[1])
+			} else if loc := re.FindStringIndex(line); loc != nil {
+				line = line[:loc[0]] + re.ReplaceAllString(line[loc[0]:loc[1]], parts[1]) + line[loc[1]:]
+			}
+			fmt.Fprintln(ctx.Stdout, line)
+		}
+		return 0
+	}
+	ctx.Errorf("sed: unsupported script %q", script)
+	return 1
+}
+
+// Wc counts lines, words, and bytes of files or stdin.
+func Wc(ctx *shell.Context, args []string) int {
+	countOne := func(name string, data []byte) {
+		lines := strings.Count(string(data), "\n")
+		words := len(strings.Fields(string(data)))
+		if name != "" {
+			fmt.Fprintf(ctx.Stdout, "%7d %7d %7d %s\n", lines, words, len(data), name)
+		} else {
+			fmt.Fprintf(ctx.Stdout, "%7d %7d %7d\n", lines, words, len(data))
+		}
+	}
+	if len(args) == 1 {
+		data, _ := io.ReadAll(ctx.Stdin)
+		countOne("", data)
+		return 0
+	}
+	status := 0
+	for _, a := range args[1:] {
+		data, err := ctx.FS.ReadFile(resolvePath(ctx, a))
+		if err != nil {
+			ctx.Errorf("wc: %v", err)
+			status = 1
+			continue
+		}
+		countOne(a, data)
+	}
+	return status
+}
+
+// Sort sorts input lines lexically. Flag -r reverses.
+func Sort(ctx *shell.Context, args []string) int {
+	reverse := len(args) > 1 && args[1] == "-r"
+	data, _ := io.ReadAll(ctx.Stdin)
+	lines := splitLines(string(data))
+	sort.Strings(lines)
+	if reverse {
+		for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+	}
+	for _, l := range lines {
+		fmt.Fprintln(ctx.Stdout, l)
+	}
+	return 0
+}
+
+// Uniq drops adjacent duplicate lines.
+func Uniq(ctx *shell.Context, args []string) int {
+	data, _ := io.ReadAll(ctx.Stdin)
+	prev, first := "", true
+	for _, l := range splitLines(string(data)) {
+		if first || l != prev {
+			fmt.Fprintln(ctx.Stdout, l)
+		}
+		prev, first = l, false
+	}
+	return 0
+}
+
+// Head prints the first N lines (default 10): head [-n N] [file].
+func Head(ctx *shell.Context, args []string) int {
+	n := 10
+	rest := args[1:]
+	if len(rest) >= 2 && rest[0] == "-n" {
+		if v, err := strconv.Atoi(rest[1]); err == nil {
+			n = v
+		}
+		rest = rest[2:]
+	}
+	var in io.Reader = ctx.Stdin
+	if len(rest) > 0 {
+		data, err := ctx.FS.ReadFile(resolvePath(ctx, rest[0]))
+		if err != nil {
+			ctx.Errorf("head: %v", err)
+			return 1
+		}
+		in = strings.NewReader(string(data))
+	}
+	sc := bufio.NewScanner(in)
+	for i := 0; i < n && sc.Scan(); i++ {
+		fmt.Fprintln(ctx.Stdout, sc.Text())
+	}
+	return 0
+}
+
+// Tail prints the last N lines (default 10): tail [-n N] [file].
+func Tail(ctx *shell.Context, args []string) int {
+	n := 10
+	rest := args[1:]
+	if len(rest) >= 2 && rest[0] == "-n" {
+		if v, err := strconv.Atoi(rest[1]); err == nil {
+			n = v
+		}
+		rest = rest[2:]
+	}
+	var data []byte
+	if len(rest) > 0 {
+		var err error
+		data, err = ctx.FS.ReadFile(resolvePath(ctx, rest[0]))
+		if err != nil {
+			ctx.Errorf("tail: %v", err)
+			return 1
+		}
+	} else {
+		data, _ = io.ReadAll(ctx.Stdin)
+	}
+	lines := splitLines(string(data))
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	for _, l := range lines {
+		fmt.Fprintln(ctx.Stdout, l)
+	}
+	return 0
+}
+
+// Touch creates files or bumps their modification stamp.
+func Touch(ctx *shell.Context, args []string) int {
+	status := 0
+	for _, a := range args[1:] {
+		p := resolvePath(ctx, a)
+		data, err := ctx.FS.ReadFile(p)
+		if err != nil {
+			data = nil
+		}
+		if err := ctx.FS.WriteFile(p, data); err != nil {
+			ctx.Errorf("touch: %v", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// Rm removes files.
+func Rm(ctx *shell.Context, args []string) int {
+	status := 0
+	for _, a := range args[1:] {
+		if err := ctx.FS.Remove(resolvePath(ctx, a)); err != nil {
+			ctx.Errorf("rm: %v", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// Mkdir creates directories (always with parents, like mkdir -p).
+func Mkdir(ctx *shell.Context, args []string) int {
+	status := 0
+	for _, a := range args[1:] {
+		if a == "-p" {
+			continue
+		}
+		if err := ctx.FS.MkdirAll(resolvePath(ctx, a)); err != nil {
+			ctx.Errorf("mkdir: %v", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// Date prints the session date. The reproduction is deterministic: it
+// prints the $date variable when set, else the date of the paper's
+// recorded session, so golden screenshots are stable.
+func Date(ctx *shell.Context, args []string) int {
+	d := ctx.Getenv("date")
+	if d == "" {
+		d = "Tue Apr 16 19:30:00 EDT 1991"
+	}
+	fmt.Fprintln(ctx.Stdout, d)
+	return 0
+}
+
+// Fortune prints an aphorism from /lib/fortunes (first line), or a default.
+func Fortune(ctx *shell.Context, args []string) int {
+	if data, err := ctx.FS.ReadFile("/lib/fortunes"); err == nil {
+		lines := splitLines(string(data))
+		if len(lines) > 0 {
+			fmt.Fprintln(ctx.Stdout, lines[0])
+			return 0
+		}
+	}
+	fmt.Fprintln(ctx.Stdout, "Simplicity is the ultimate sophistication.")
+	return 0
+}
+
+// News prints /lib/news if present, the way terminals did at login.
+func News(ctx *shell.Context, args []string) int {
+	data, err := ctx.FS.ReadFile("/lib/news")
+	if err != nil {
+		return 0
+	}
+	ctx.Stdout.Write(data)
+	return 0
+}
+
+// Cpp is the C preprocessor stage of the browser pipeline. The stripped
+// compiler in this reproduction tokenizes raw source directly, so cpp is
+// an identity filter that skips -D/-I style flags and cats its input file
+// (or stdin), preserving the paper's pipeline shape
+// "cpp $cppflags $file | help/rcc ...".
+func Cpp(ctx *shell.Context, args []string) int {
+	var file string
+	for _, a := range args[1:] {
+		if strings.HasPrefix(a, "-") {
+			continue
+		}
+		file = a
+	}
+	if file == "" {
+		io.Copy(ctx.Stdout, ctx.Stdin)
+		return 0
+	}
+	data, err := ctx.FS.ReadFile(resolvePath(ctx, file))
+	if err != nil {
+		ctx.Errorf("cpp: %v", err)
+		return 1
+	}
+	ctx.Stdout.Write(data)
+	return 0
+}
+
+// Tee copies stdin to stdout and to each named file.
+func Tee(ctx *shell.Context, args []string) int {
+	data, _ := io.ReadAll(ctx.Stdin)
+	ctx.Stdout.Write(data)
+	status := 0
+	for _, a := range args[1:] {
+		if err := ctx.FS.WriteFile(resolvePath(ctx, a), data); err != nil {
+			ctx.Errorf("tee: %v", err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// Basename prints the final element of each path argument.
+func Basename(ctx *shell.Context, args []string) int {
+	for _, a := range args[1:] {
+		b := a
+		if i := strings.LastIndexByte(b, '/'); i >= 0 {
+			b = b[i+1:]
+		}
+		fmt.Fprintln(ctx.Stdout, b)
+	}
+	return 0
+}
+
+// splitLines splits on newlines, dropping a trailing empty field.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

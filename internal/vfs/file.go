@@ -1,0 +1,186 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File is an open handle with a sequential offset, the handle type the
+// shell's redirections and the help file interface use. Regular files
+// read and write the node's data; device files delegate to their per-open
+// DeviceFile handle, which is how /mnt/help/new/ctl can return the name of
+// the window that this open created.
+type File struct {
+	fs     *FS
+	node   *node
+	dev    DeviceFile
+	mode   int
+	off    int64
+	closed bool
+	name   string
+}
+
+// Open opens the file at p with the given mode (OREAD, OWRITE, ORDWR,
+// optionally OR'd with OTRUNC or OAPPEND). Opening a directory is allowed
+// only for reading; Read then returns the directory listing, one name per
+// line, the way help renders a directory window's body.
+func (fs *FS) Open(p string, mode int) (*File, error) {
+	n, err := fs.find(p)
+	if err != nil {
+		return nil, err
+	}
+	rw := mode &^ (OTRUNC | OAPPEND)
+	if rw != OREAD && rw != OWRITE && rw != ORDWR {
+		return nil, fmt.Errorf("%s: %w", p, ErrBadMode)
+	}
+	if n.dir {
+		if rw != OREAD {
+			return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+		}
+		listing, err := fs.dirListing(p)
+		if err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, node: &node{name: n.name, data: listing}, mode: mode, name: Clean(p)}, nil
+	}
+	f := &File{fs: fs, node: n, mode: mode, name: Clean(p)}
+	if n.device != nil {
+		h, err := n.device.OpenDevice(mode)
+		if err != nil {
+			return nil, err
+		}
+		f.dev = h
+		return f, nil
+	}
+	if mode&OTRUNC != 0 && rw != OREAD {
+		n.data = n.data[:0]
+	}
+	if mode&OAPPEND != 0 {
+		f.off = int64(len(n.data))
+	}
+	return f, nil
+}
+
+// Create creates (or truncates) a regular file at p and opens it ORDWR.
+func (fs *FS) Create(p string) (*File, error) {
+	if n, err := fs.find(p); err == nil {
+		if n.dir {
+			return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+		}
+		return fs.Open(p, ORDWR|OTRUNC)
+	}
+	if err := fs.WriteFile(p, nil); err != nil {
+		return nil, err
+	}
+	return fs.Open(p, ORDWR)
+}
+
+// dirListing renders a directory as text: one entry per line, directories
+// suffixed with a slash, exactly how help fills a directory window.
+func (fs *FS) dirListing(p string) ([]byte, error) {
+	ents, err := fs.ReadDir(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, e := range ents {
+		out = append(out, e.Name...)
+		if e.IsDir {
+			out = append(out, '/')
+		}
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.name }
+
+// Read reads from the current offset.
+func (f *File) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("vfs: read of closed file")
+	}
+	if f.dev != nil {
+		k, err := f.dev.ReadAt(p, f.off)
+		f.off += int64(k)
+		return k, err
+	}
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	k := copy(p, f.node.data[f.off:])
+	f.off += int64(k)
+	return k, nil
+}
+
+// Write writes at the current offset, extending the file as needed. In
+// OAPPEND mode every write lands at the end regardless of offset.
+func (f *File) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("vfs: write of closed file")
+	}
+	if rw := f.mode &^ (OTRUNC | OAPPEND); rw == OREAD {
+		return 0, fmt.Errorf("%s: %w", f.name, ErrPerm)
+	}
+	if f.dev != nil {
+		off := f.off
+		if f.mode&OAPPEND != 0 {
+			off = -1
+		}
+		k, err := f.dev.WriteAt(p, off)
+		if off >= 0 {
+			f.off += int64(k)
+		}
+		return k, err
+	}
+	if f.mode&OAPPEND != 0 {
+		f.off = int64(len(f.node.data))
+	}
+	end := f.off + int64(len(p))
+	if end > int64(len(f.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	copy(f.node.data[f.off:], p)
+	f.node.mtime = f.fs.tick()
+	f.off = end
+	return len(p), nil
+}
+
+// Seek sets the offset for the next Read or Write, interpreted per
+// io.SeekStart/Current/End.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = int64(len(f.node.data))
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, errors.New("vfs: negative seek")
+	}
+	f.off = n
+	return n, nil
+}
+
+// Close releases the handle. Closing a device file closes its per-open
+// handle, which is when devices with open-lifetime side effects clean up.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.dev != nil {
+		return f.dev.Close()
+	}
+	return nil
+}

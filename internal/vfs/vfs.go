@@ -1,0 +1,548 @@
+// Package vfs is the namespace substrate of the help reproduction: an
+// in-memory hierarchical file system with Plan 9-style bind operations and
+// synthetic (device) files.
+//
+// The original help lives in Plan 9, where "the standard currency" is
+// files and file servers: help itself is a file server, tools are plain
+// files in directories, and the session's whole world — source trees,
+// mailboxes, /bin — is a composed namespace. This package reproduces the
+// parts of that model help exercises:
+//
+//   - a rooted tree of directories and regular files,
+//   - Bind with replace/before/after flags building union directories,
+//   - synthetic files backed by a Device, used by helpfs to expose
+//     /mnt/help/N/{tag,body,ctl,bodyapp} exactly as the paper describes,
+//   - the usual operations: open, create, read, write, stat, readdir,
+//     remove, plus glob expansion for the shell.
+//
+// Paths are slash-separated and absolute ("/usr/rob/src/help"). The
+// package is safe for use from a single goroutine; help serializes all
+// access through its event loop.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Errors returned by namespace operations. They are wrapped with the
+// offending path; test with errors.Is.
+var (
+	ErrNotExist = errors.New("file does not exist")
+	ErrExist    = errors.New("file already exists")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotDir   = errors.New("not a directory")
+	ErrPerm     = errors.New("permission denied")
+	ErrBadMode  = errors.New("bad open mode")
+)
+
+// Open modes.
+const (
+	OREAD   = 0      // open for reading
+	OWRITE  = 1      // open for writing
+	ORDWR   = 2      // open for reading and writing
+	OTRUNC  = 1 << 4 // truncate on open
+	OAPPEND = 1 << 5 // all writes append
+)
+
+// Bind flags, mirroring Plan 9's MREPL, MBEFORE, MAFTER.
+type BindFlag int
+
+const (
+	Replace BindFlag = iota // the new directory replaces the old
+	Before                  // the new directory is searched first
+	After                   // the new directory is searched last
+)
+
+// Info describes a file, as returned by Stat and ReadDir.
+type Info struct {
+	Name  string // final path element
+	IsDir bool
+	Size  int64 // length in bytes; 0 for directories and devices
+	// ModTime is a logical modification time: the namespace keeps a
+	// monotonic counter bumped on every mutation, which is all tools like
+	// mk need to order builds. Devices and directories report 0.
+	ModTime int64
+}
+
+// Device is the backing implementation of a synthetic file. Each Open of
+// the file gets its own handle, so devices can carry per-open state (the
+// way reading /mnt/help/new/ctl returns the name of the window that this
+// particular open created).
+type Device interface {
+	OpenDevice(mode int) (DeviceFile, error)
+}
+
+// DeviceFile is one open handle on a device.
+type DeviceFile interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+// node is one entry in the real (pre-bind) tree.
+type node struct {
+	name     string
+	dir      bool
+	data     []byte
+	children map[string]*node
+	device   Device
+	mtime    int64
+}
+
+// FS is an in-memory file system with a bind table.
+type FS struct {
+	root *node
+	// binds maps a canonical mountpoint path to the ordered union of
+	// source paths searched there.
+	binds map[string][]string
+	// clock is the logical time source for modification stamps.
+	clock int64
+}
+
+// tick advances and returns the logical clock.
+func (fs *FS) tick() int64 {
+	fs.clock++
+	return fs.clock
+}
+
+// Now returns the current logical time without advancing it.
+func (fs *FS) Now() int64 { return fs.clock }
+
+// New returns an empty file system containing only the root directory.
+func New() *FS {
+	return &FS{
+		root:  &node{name: "/", dir: true, children: map[string]*node{}},
+		binds: map[string][]string{},
+	}
+}
+
+// Clean canonicalizes p to an absolute, cleaned path.
+func Clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// split breaks a cleaned absolute path into elements; "/" yields nil.
+func split(p string) []string {
+	p = Clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(p[1:], "/")
+}
+
+// lookup finds the node at real path p, without bind translation.
+func (fs *FS) lookup(p string) (*node, error) {
+	n := fs.root
+	for _, elem := range split(p) {
+		if !n.dir {
+			return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		child, ok := n.children[elem]
+		if !ok {
+			return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// resolve translates p through the bind table, returning the ordered,
+// deduplicated list of real candidate paths to try. The longest bound
+// prefix wins; resolution chains through nested binds up to a fixed depth.
+// A union member equal to the mountpoint itself (the common before/after
+// case) terminates rather than re-expanding.
+func (fs *FS) resolve(p string) []string {
+	var out []string
+	fs.resolveInto(Clean(p), 0, &out, map[string]bool{})
+	return out
+}
+
+func (fs *FS) resolveInto(p string, depth int, out *[]string, seen map[string]bool) {
+	prefix, sources := fs.longestBind(p)
+	if prefix == "" || depth >= 8 {
+		if !seen[p] {
+			seen[p] = true
+			*out = append(*out, p)
+		}
+		return
+	}
+	rest := strings.TrimPrefix(p, prefix)
+	for _, src := range sources {
+		np := Clean(src + rest)
+		if np == p {
+			if !seen[np] {
+				seen[np] = true
+				*out = append(*out, np)
+			}
+			continue
+		}
+		fs.resolveInto(np, depth+1, out, seen)
+	}
+}
+
+// longestBind finds the longest mountpoint that is a prefix of p.
+func (fs *FS) longestBind(p string) (string, []string) {
+	best := ""
+	for mp := range fs.binds {
+		if mp == p || strings.HasPrefix(p, mp+"/") || (mp == "/" && p != "/") {
+			if len(mp) > len(best) {
+				best = mp
+			}
+		}
+	}
+	if best == "" {
+		return "", nil
+	}
+	// Guard against the degenerate self-bind producing no progress.
+	srcs := fs.binds[best]
+	if len(srcs) == 1 && srcs[0] == best {
+		return "", nil
+	}
+	return best, srcs
+}
+
+// find locates the first existing node for path p after bind translation.
+func (fs *FS) find(p string) (*node, error) {
+	var firstErr error
+	for _, c := range fs.resolve(p) {
+		n, err := fs.lookup(c)
+		if err == nil {
+			return n, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	return nil, firstErr
+}
+
+// Bind attaches the directory (or file) at src to mountpoint mp. With
+// Replace, lookups of mp resolve only in src. With Before/After, src is
+// unioned with the existing resolution order.
+func (fs *FS) Bind(src, mp string, flag BindFlag) error {
+	src, mp = Clean(src), Clean(mp)
+	if _, err := fs.find(src); err != nil {
+		return fmt.Errorf("bind %s: %w", src, err)
+	}
+	switch flag {
+	case Replace:
+		fs.binds[mp] = []string{src}
+	case Before:
+		cur := fs.binds[mp]
+		if len(cur) == 0 {
+			cur = []string{mp}
+		}
+		fs.binds[mp] = append([]string{src}, cur...)
+	case After:
+		cur := fs.binds[mp]
+		if len(cur) == 0 {
+			cur = []string{mp}
+		}
+		fs.binds[mp] = append(cur, src)
+	default:
+		return fmt.Errorf("bind: bad flag %d", flag)
+	}
+	return nil
+}
+
+// Unbind removes all binds at mountpoint mp.
+func (fs *FS) Unbind(mp string) {
+	delete(fs.binds, Clean(mp))
+}
+
+// MkdirAll creates directory p and any missing parents. It is a no-op if p
+// already exists as a directory.
+func (fs *FS) MkdirAll(p string) error {
+	n := fs.root
+	for _, elem := range split(p) {
+		child, ok := n.children[elem]
+		if !ok {
+			child = &node{name: elem, dir: true, children: map[string]*node{}}
+			n.children[elem] = child
+		} else if !child.dir {
+			return fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		n = child
+	}
+	return nil
+}
+
+// parentOf returns the directory node that should contain the final
+// element of p, creating nothing. Bind translation applies: creation goes
+// to the first union member whose parent exists.
+func (fs *FS) parentOf(p string) (*node, string, error) {
+	p = Clean(p)
+	if p == "/" {
+		return nil, "", fmt.Errorf("/: %w", ErrExist)
+	}
+	var firstErr error
+	for _, c := range fs.resolve(p) {
+		dir, base := path.Split(c)
+		n, err := fs.lookup(Clean(dir))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !n.dir {
+			return nil, "", fmt.Errorf("%s: %w", dir, ErrNotDir)
+		}
+		return n, base, nil
+	}
+	return nil, "", firstErr
+}
+
+// WriteFile creates or truncates the regular file at p with data.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	parent, base, err := fs.parentOf(p)
+	if err != nil {
+		return err
+	}
+	child, ok := parent.children[base]
+	if ok {
+		if child.dir {
+			return fmt.Errorf("%s: %w", p, ErrIsDir)
+		}
+		if child.device != nil {
+			return fs.writeDevice(child, data)
+		}
+		child.data = append(child.data[:0], data...)
+		child.mtime = fs.tick()
+		return nil
+	}
+	parent.children[base] = &node{name: base, data: append([]byte(nil), data...), mtime: fs.tick()}
+	return nil
+}
+
+func (fs *FS) writeDevice(n *node, data []byte) error {
+	h, err := n.device.OpenDevice(OWRITE | OTRUNC)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	_, err = h.WriteAt(data, 0)
+	return err
+}
+
+// ReadFile returns the full contents of the file at p.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	n, err := fs.find(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.dir {
+		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	if n.device != nil {
+		return fs.readDevice(n)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+func (fs *FS) readDevice(n *node) ([]byte, error) {
+	h, err := n.device.OpenDevice(OREAD)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	var out []byte
+	buf := make([]byte, 4096)
+	off := int64(0)
+	for {
+		k, err := h.ReadAt(buf, off)
+		out = append(out, buf[:k]...)
+		off += int64(k)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if k == 0 {
+			return out, nil
+		}
+	}
+}
+
+// AppendFile appends data to the file at p, creating it if necessary.
+func (fs *FS) AppendFile(p string, data []byte) error {
+	n, err := fs.find(p)
+	if errors.Is(err, ErrNotExist) {
+		return fs.WriteFile(p, data)
+	}
+	if err != nil {
+		return err
+	}
+	if n.dir {
+		return fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	if n.device != nil {
+		h, err := n.device.OpenDevice(OWRITE | OAPPEND)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		_, err = h.WriteAt(data, -1)
+		return err
+	}
+	n.data = append(n.data, data...)
+	n.mtime = fs.tick()
+	return nil
+}
+
+// RegisterDevice installs a synthetic file backed by dev at path p,
+// creating parent directories as needed.
+func (fs *FS) RegisterDevice(p string, dev Device) error {
+	p = Clean(p)
+	if err := fs.MkdirAll(path.Dir(p)); err != nil {
+		return err
+	}
+	parent, base, err := fs.parentOf(p)
+	if err != nil {
+		return err
+	}
+	parent.children[base] = &node{name: base, device: dev}
+	return nil
+}
+
+// RemoveDevice removes the synthetic file at p if present.
+func (fs *FS) RemoveDevice(p string) { _ = fs.Remove(p) }
+
+// Stat describes the file at p.
+func (fs *FS) Stat(p string) (Info, error) {
+	n, err := fs.find(p)
+	if err != nil {
+		return Info{}, err
+	}
+	name := path.Base(Clean(p))
+	return Info{Name: name, IsDir: n.dir, Size: int64(len(n.data)), ModTime: n.mtime}, nil
+}
+
+// Exists reports whether p names an existing file or directory.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.find(p)
+	return err == nil
+}
+
+// IsDir reports whether p names an existing directory.
+func (fs *FS) IsDir(p string) bool {
+	n, err := fs.find(p)
+	return err == nil && n.dir
+}
+
+// ReadDir lists the entries of directory p in sorted order. For union
+// mountpoints, entries from every member are merged; the first member
+// providing a name wins.
+func (fs *FS) ReadDir(p string) ([]Info, error) {
+	seen := map[string]bool{}
+	var out []Info
+	found := false
+	var firstErr error
+	for _, c := range fs.resolve(p) {
+		n, err := fs.lookup(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !n.dir {
+			return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		found = true
+		for name, child := range n.children {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			out = append(out, Info{Name: name, IsDir: child.dir, Size: int64(len(child.data)), ModTime: child.mtime})
+		}
+	}
+	if !found {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		return nil, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove deletes the file or empty directory at p.
+func (fs *FS) Remove(p string) error {
+	var firstErr error
+	for _, c := range fs.resolve(p) {
+		dir, base := path.Split(Clean(c))
+		parent, err := fs.lookup(Clean(dir))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		child, ok := parent.children[base]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", p, ErrNotExist)
+			}
+			continue
+		}
+		if child.dir && len(child.children) > 0 {
+			return fmt.Errorf("%s: directory not empty", p)
+		}
+		delete(parent.children, base)
+		return nil
+	}
+	return firstErr
+}
+
+// Glob expands a shell pattern against the namespace. Patterns use
+// path.Match syntax per component ("/usr/rob/src/help/*.c"). A pattern
+// with no metacharacters returns itself if it exists, nothing otherwise.
+// Results are sorted.
+func (fs *FS) Glob(pattern string) []string {
+	pattern = Clean(pattern)
+	if !strings.ContainsAny(pattern, "*?[") {
+		if fs.Exists(pattern) {
+			return []string{pattern}
+		}
+		return nil
+	}
+	matches := []string{"/"}
+	for _, elem := range split(pattern) {
+		var next []string
+		for _, m := range matches {
+			if !strings.ContainsAny(elem, "*?[") {
+				cand := Clean(m + "/" + elem)
+				if fs.Exists(cand) {
+					next = append(next, cand)
+				}
+				continue
+			}
+			ents, err := fs.ReadDir(m)
+			if err != nil {
+				continue
+			}
+			for _, e := range ents {
+				if ok, _ := path.Match(elem, e.Name); ok {
+					next = append(next, Clean(m+"/"+e.Name))
+				}
+			}
+		}
+		matches = next
+	}
+	sort.Strings(matches)
+	return matches
+}

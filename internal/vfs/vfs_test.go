@@ -1,0 +1,564 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMkdirAllAndStat(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/usr/rob/src/help"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/usr/rob/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir || info.Name != "src" {
+		t.Errorf("info = %+v", info)
+	}
+	// MkdirAll is idempotent.
+	if err := fs.MkdirAll("/usr/rob"); err != nil {
+		t.Errorf("re-mkdir: %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/tmp")
+	if err := fs.WriteFile("/tmp/a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/tmp/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("data = %q", data)
+	}
+	// Overwrite truncates.
+	fs.WriteFile("/tmp/a.txt", []byte("x"))
+	data, _ = fs.ReadFile("/tmp/a.txt")
+	if string(data) != "x" {
+		t.Errorf("after overwrite = %q", data)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d")
+	if _, err := fs.ReadFile("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.ReadFile("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWriteFileIntoMissingDir(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/no/such/dir/f", []byte("x")); !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/tmp")
+	fs.AppendFile("/tmp/log", []byte("a"))
+	fs.AppendFile("/tmp/log", []byte("b"))
+	data, _ := fs.ReadFile("/tmp/log")
+	if string(data) != "ab" {
+		t.Errorf("log = %q", data)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d/sub")
+	fs.WriteFile("/d/zz", []byte("1"))
+	fs.WriteFile("/d/aa", []byte("22"))
+	ents, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name
+	}
+	if !reflect.DeepEqual(names, []string{"aa", "sub", "zz"}) {
+		t.Errorf("names = %v", names)
+	}
+	if !ents[1].IsDir {
+		t.Error("sub should be a dir")
+	}
+	if ents[0].Size != 2 {
+		t.Errorf("aa size = %d", ents[0].Size)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d/sub")
+	fs.WriteFile("/d/f", []byte("x"))
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d/f") {
+		t.Error("file still exists")
+	}
+	// Non-empty dir refuses.
+	fs.WriteFile("/d/sub/g", []byte("y"))
+	if err := fs.Remove("/d/sub"); err == nil {
+		t.Error("removing non-empty dir should fail")
+	}
+	fs.Remove("/d/sub/g")
+	if err := fs.Remove("/d/sub"); err != nil {
+		t.Errorf("removing empty dir: %v", err)
+	}
+	if err := fs.Remove("/ghost"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing: %v", err)
+	}
+}
+
+func TestBindReplace(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/real")
+	fs.WriteFile("/real/f", []byte("data"))
+	fs.MkdirAll("/mnt/x")
+	if err := fs.Bind("/real", "/mnt/x", Replace); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/mnt/x/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "data" {
+		t.Errorf("data = %q", data)
+	}
+	// Writes through the bind land in the source.
+	fs.WriteFile("/mnt/x/g", []byte("new"))
+	if got, _ := fs.ReadFile("/real/g"); string(got) != "new" {
+		t.Errorf("write through bind = %q", got)
+	}
+}
+
+func TestBindUnion(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/bin")
+	fs.WriteFile("/bin/ls", []byte("ls-main"))
+	fs.MkdirAll("/home/bin")
+	fs.WriteFile("/home/bin/rc", []byte("rc-home"))
+	fs.WriteFile("/home/bin/ls", []byte("ls-home"))
+
+	// bind -a $home/bin /bin, as in the paper's profile: /bin now unions.
+	if err := fs.Bind("/home/bin", "/bin", After); err != nil {
+		t.Fatal(err)
+	}
+	// Original /bin entry wins for ls.
+	if got, _ := fs.ReadFile("/bin/ls"); string(got) != "ls-main" {
+		t.Errorf("ls = %q", got)
+	}
+	// rc falls through to the after-member.
+	if got, _ := fs.ReadFile("/bin/rc"); string(got) != "rc-home" {
+		t.Errorf("rc = %q", got)
+	}
+	// Union ReadDir merges.
+	ents, _ := fs.ReadDir("/bin")
+	if len(ents) != 2 {
+		t.Errorf("union dir entries = %v", ents)
+	}
+}
+
+func TestBindBefore(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/bin")
+	fs.WriteFile("/bin/ls", []byte("ls-main"))
+	fs.MkdirAll("/override")
+	fs.WriteFile("/override/ls", []byte("ls-override"))
+	fs.Bind("/override", "/bin", Before)
+	if got, _ := fs.ReadFile("/bin/ls"); string(got) != "ls-override" {
+		t.Errorf("ls = %q", got)
+	}
+}
+
+func TestBindMissingSource(t *testing.T) {
+	fs := New()
+	if err := fs.Bind("/nope", "/mnt", Replace); !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/real")
+	fs.WriteFile("/real/f", []byte("x"))
+	fs.MkdirAll("/mnt")
+	fs.Bind("/real", "/mnt", Replace)
+	if !fs.Exists("/mnt/f") {
+		t.Fatal("bind not effective")
+	}
+	fs.Unbind("/mnt")
+	if fs.Exists("/mnt/f") {
+		t.Error("unbind not effective")
+	}
+}
+
+func TestOpenReadWrite(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", []byte("abcdef"))
+	f, err := fs.Open("/t/f", OREAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	n, _ := f.Read(buf)
+	if n != 3 || string(buf) != "abc" {
+		t.Errorf("read1 = %d %q", n, buf)
+	}
+	n, _ = f.Read(buf)
+	if n != 3 || string(buf) != "def" {
+		t.Errorf("read2 = %d %q", n, buf)
+	}
+	if _, err := f.Read(buf); err != io.EOF {
+		t.Errorf("read3 err = %v", err)
+	}
+	// Read-only handle rejects writes.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPerm) {
+		t.Errorf("write on OREAD = %v", err)
+	}
+	f.Close()
+}
+
+func TestOpenTruncAppend(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", []byte("old"))
+	f, _ := fs.Open("/t/f", OWRITE|OTRUNC)
+	f.Write([]byte("new"))
+	f.Close()
+	if got, _ := fs.ReadFile("/t/f"); string(got) != "new" {
+		t.Errorf("after trunc write = %q", got)
+	}
+	f, _ = fs.Open("/t/f", OWRITE|OAPPEND)
+	f.Write([]byte("+more"))
+	f.Close()
+	if got, _ := fs.ReadFile("/t/f"); string(got) != "new+more" {
+		t.Errorf("after append = %q", got)
+	}
+}
+
+func TestOpenDirectoryListing(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d/sub")
+	fs.WriteFile("/d/file.c", []byte("x"))
+	f, err := fs.Open("/d", OREAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(f)
+	want := "file.c\nsub/\n"
+	if string(data) != want {
+		t.Errorf("listing = %q, want %q", data, want)
+	}
+	// Directories cannot be opened for writing.
+	if _, err := fs.Open("/d", OWRITE); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir for write = %v", err)
+	}
+}
+
+func TestCreate(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	f, err := fs.Create("/t/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("z"))
+	f.Close()
+	if got, _ := fs.ReadFile("/t/new"); string(got) != "z" {
+		t.Errorf("created = %q", got)
+	}
+	// Create truncates existing files.
+	f, _ = fs.Create("/t/new")
+	f.Close()
+	if got, _ := fs.ReadFile("/t/new"); len(got) != 0 {
+		t.Errorf("after re-create = %q", got)
+	}
+	if _, err := fs.Create("/t"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("create over dir = %v", err)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", []byte("0123456789"))
+	f, _ := fs.Open("/t/f", ORDWR)
+	if n, _ := f.Seek(4, io.SeekStart); n != 4 {
+		t.Errorf("seek = %d", n)
+	}
+	buf := make([]byte, 2)
+	f.Read(buf)
+	if string(buf) != "45" {
+		t.Errorf("after seek = %q", buf)
+	}
+	if n, _ := f.Seek(-2, io.SeekEnd); n != 8 {
+		t.Errorf("seek end = %d", n)
+	}
+	if _, err := f.Seek(-99, io.SeekStart); err == nil {
+		t.Error("negative seek should fail")
+	}
+	if _, err := f.Seek(0, 42); err == nil {
+		t.Error("bad whence should fail")
+	}
+}
+
+func TestWriteExtends(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", []byte("ab"))
+	f, _ := fs.Open("/t/f", ORDWR)
+	f.Seek(4, io.SeekStart)
+	f.Write([]byte("z"))
+	f.Close()
+	got, _ := fs.ReadFile("/t/f")
+	if len(got) != 5 || got[4] != 'z' {
+		t.Errorf("extended = %q", got)
+	}
+}
+
+func TestClosedFile(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", []byte("x"))
+	f, _ := fs.Open("/t/f", ORDWR)
+	f.Close()
+	if _, err := f.Read(make([]byte, 1)); err == nil {
+		t.Error("read after close should fail")
+	}
+	if _, err := f.Write([]byte("y")); err == nil {
+		t.Error("write after close should fail")
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestBadOpenMode(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	fs.WriteFile("/t/f", nil)
+	if _, err := fs.Open("/t/f", 7); !errors.Is(err, ErrBadMode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// testDevice implements Device, counting opens and echoing writes.
+type testDevice struct {
+	opens int
+	last  []byte
+	reply string
+}
+
+type testHandle struct{ d *testDevice }
+
+func (d *testDevice) OpenDevice(mode int) (DeviceFile, error) {
+	d.opens++
+	return &testHandle{d}, nil
+}
+
+func (h *testHandle) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(h.d.reply)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.d.reply[off:])
+	return n, io.EOF
+}
+
+func (h *testHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.d.last = append([]byte(nil), p...)
+	return len(p), nil
+}
+
+func (h *testHandle) Close() error { return nil }
+
+func TestDeviceFile(t *testing.T) {
+	fs := New()
+	dev := &testDevice{reply: "window 7"}
+	if err := fs.RegisterDevice("/mnt/help/new/ctl", dev); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/mnt/help/new/ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "window 7" {
+		t.Errorf("device read = %q", data)
+	}
+	if dev.opens != 1 {
+		t.Errorf("opens = %d", dev.opens)
+	}
+	// Writing through the plain WriteFile API reaches the device.
+	if err := fs.WriteFile("/mnt/help/new/ctl", []byte("cmd")); err != nil {
+		t.Fatal(err)
+	}
+	if string(dev.last) != "cmd" {
+		t.Errorf("device write = %q", dev.last)
+	}
+	// Each Open creates a fresh handle.
+	f, _ := fs.Open("/mnt/help/new/ctl", OREAD)
+	f.Close()
+	if dev.opens != 3 {
+		t.Errorf("opens = %d", dev.opens)
+	}
+}
+
+func TestGlob(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/src/help")
+	for _, f := range []string{"help.c", "exec.c", "dat.h", "mk"} {
+		fs.WriteFile("/src/help/"+f, []byte("x"))
+	}
+	got := fs.Glob("/src/help/*.c")
+	want := []string{"/src/help/exec.c", "/src/help/help.c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("glob = %v", got)
+	}
+	// Literal pattern: returns itself if present.
+	if got := fs.Glob("/src/help/mk"); !reflect.DeepEqual(got, []string{"/src/help/mk"}) {
+		t.Errorf("literal glob = %v", got)
+	}
+	if got := fs.Glob("/src/help/ghost"); got != nil {
+		t.Errorf("missing literal glob = %v", got)
+	}
+	// Directory wildcards.
+	fs.MkdirAll("/src/other")
+	fs.WriteFile("/src/other/main.c", []byte("y"))
+	got = fs.Glob("/src/*/*.c")
+	if len(got) != 3 {
+		t.Errorf("two-level glob = %v", got)
+	}
+}
+
+func TestCleanPaths(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/a/b")
+	fs.WriteFile("/a/b/f", []byte("1"))
+	for _, p := range []string{"/a/b/f", "/a//b/f", "/a/./b/f", "/a/b/../b/f", "a/b/f"} {
+		if !fs.Exists(p) {
+			t.Errorf("Exists(%q) = false", p)
+		}
+	}
+}
+
+func TestIsDir(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/f", nil)
+	if !fs.IsDir("/d") || fs.IsDir("/d/f") || fs.IsDir("/nope") {
+		t.Error("IsDir misclassifies")
+	}
+}
+
+// Property: WriteFile then ReadFile round-trips arbitrary bytes.
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/t")
+	f := func(data []byte) bool {
+		if err := fs.WriteFile("/t/f", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("/t/f")
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after MkdirAll(p), every prefix of p is a directory.
+func TestMkdirAllPrefixes(t *testing.T) {
+	f := func(parts []string) bool {
+		fs := New()
+		var clean []string
+		for _, p := range parts {
+			p = strings.Map(func(r rune) rune {
+				if r == '/' || r == 0 || r == '.' {
+					return 'x'
+				}
+				return r
+			}, p)
+			if p != "" {
+				clean = append(clean, p)
+			}
+			if len(clean) == 4 {
+				break
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		full := "/" + strings.Join(clean, "/")
+		if err := fs.MkdirAll(full); err != nil {
+			return false
+		}
+		for i := 1; i <= len(clean); i++ {
+			if !fs.IsDir("/" + strings.Join(clean[:i], "/")) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWalkDeep(b *testing.B) {
+	fs := New()
+	p := "/a/b/c/d/e/f/g/h"
+	fs.MkdirAll(p)
+	fs.WriteFile(p+"/file", []byte("x"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile(p + "/file"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlob(b *testing.B) {
+	fs := New()
+	fs.MkdirAll("/src")
+	for i := 0; i < 100; i++ {
+		name := "/src/file" + string(rune('a'+i%26)) + ".c"
+		fs.WriteFile(name, []byte("x"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Glob("/src/*.c")
+	}
+}
+
+func BenchmarkUnionLookup(b *testing.B) {
+	fs := New()
+	fs.MkdirAll("/bin")
+	fs.MkdirAll("/home/bin")
+	fs.WriteFile("/home/bin/tool", []byte("x"))
+	fs.Bind("/home/bin", "/bin", After)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile("/bin/tool"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

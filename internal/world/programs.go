@@ -1,0 +1,119 @@
+package world
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/helptool"
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// parseProgram is /bin/help/parse: it examines $helpsel and prints shell
+// assignments describing what the user is pointing at, for consumption by
+// "eval `{help/parse}". Output:
+//
+//	file=exec.c id=n line=213 dir=/usr/rob/src/help files=(dat.h ... xtrn.c)
+//
+// file is the window's file name relative to dir; id is the selected text
+// (a null selection expands to the surrounding identifier); line is the
+// 1-based line of the selection; files lists the C sources and headers in
+// dir, the browser's input.
+func parseProgram(ctx *shell.Context, args []string) int {
+	sel, err := helptool.ParseHelpsel(ctx)
+	if err != nil {
+		ctx.Errorf("%v", err)
+		return 1
+	}
+	name, err := helptool.TagFileName(ctx, helptool.DefaultRoot, sel.Win)
+	if err != nil {
+		ctx.Errorf("help/parse: %v", err)
+		return 1
+	}
+	body, err := helptool.ReadBody(ctx, helptool.DefaultRoot, sel.Win)
+	if err != nil {
+		ctx.Errorf("help/parse: %v", err)
+		return 1
+	}
+	dir, file := splitDir(name)
+	line, _ := helptool.LineAt(body, sel.Q0)
+	id := selectedText(body, sel)
+
+	var files []string
+	if ents, err := ctx.FS.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name, ".c") || strings.HasSuffix(e.Name, ".h") {
+				files = append(files, e.Name)
+			}
+		}
+	}
+	sort.Strings(files)
+	fmt.Fprintf(ctx.Stdout, "file=%s id=%s line=%d dir=%s files=(%s)\n",
+		file, id, line, dir, strings.Join(files, " "))
+	return 0
+}
+
+// splitDir splits a window file name into its directory context and the
+// relative file name. A directory window is its own context.
+func splitDir(name string) (dir, file string) {
+	if name == "" {
+		return "/", ""
+	}
+	if strings.HasSuffix(name, "/") {
+		return vfs.Clean(name), ""
+	}
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return vfs.Clean(name[:i+1]), name[i+1:]
+	}
+	return "/", name
+}
+
+// selectedText returns the selection's text, expanding a null selection to
+// the surrounding identifier — the paper's automation rule applied on the
+// application side.
+func selectedText(body string, sel helptool.Sel) string {
+	if sel.Q1 > sel.Q0 {
+		runes := []rune(body)
+		q0, q1 := sel.Q0, sel.Q1
+		if q0 > len(runes) {
+			q0 = len(runes)
+		}
+		if q1 > len(runes) {
+			q1 = len(runes)
+		}
+		return string(runes[q0:q1])
+	}
+	return helptool.WordAt(body, sel.Q0)
+}
+
+// selProgram is /bin/help/sel: it prints the selected text (expanding a
+// null selection to the surrounding word), the one-line helper the
+// debugger scripts use to pick up the process number the user points at.
+func selProgram(ctx *shell.Context, args []string) int {
+	sel, body, err := helptool.SelWindowBody(ctx, helptool.DefaultRoot)
+	if err != nil {
+		ctx.Errorf("%v", err)
+		return 1
+	}
+	s := selectedText(body, sel)
+	if s == "" {
+		return 1
+	}
+	fmt.Fprintln(ctx.Stdout, s)
+	return 0
+}
+
+// bufProgram is /bin/help/buf: it copies standard input to standard
+// output in one gulp, so pipelines writing window files deliver their
+// text in a single write.
+func bufProgram(ctx *shell.Context, args []string) int {
+	data, err := io.ReadAll(ctx.Stdin)
+	if err != nil {
+		ctx.Errorf("help/buf: %v", err)
+		return 1
+	}
+	ctx.Stdout.Write(data)
+	return 0
+}

@@ -1,0 +1,1208 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// srcBuilder assembles a source file line by line with padding so that the
+// coordinates the paper's figures rely on land exactly: dat.h:136 declares
+// the global n, help.c:35 initializes it, exec.c:213 is Xdie1's fatal
+// clear, exec.c:252 is Xdie2's errs(n) call, text.c:32 is the strlen call
+// that crashed, and so on.
+type srcBuilder struct {
+	lines []string
+}
+
+func (b *srcBuilder) add(lines ...string) {
+	b.lines = append(b.lines, lines...)
+}
+
+// padTo appends filler comment lines until the next added line will be
+// the given 1-based line number.
+func (b *srcBuilder) padTo(target int) {
+	for len(b.lines) < target-1 {
+		b.lines = append(b.lines, fmt.Sprintf("/* %d */", len(b.lines)+1))
+	}
+	if len(b.lines) != target-1 {
+		panic(fmt.Sprintf("world: padTo(%d) but already at line %d", target, len(b.lines)+1))
+	}
+}
+
+func (b *srcBuilder) String() string {
+	return strings.Join(b.lines, "\n") + "\n"
+}
+
+// SrcDir is where the help source tree lives, as in the paper.
+const SrcDir = "/usr/rob/src/help"
+
+// sourceFiles returns the complete help source tree, keyed by file name.
+func sourceFiles() map[string]string {
+	return map[string]string{
+		"dat.h":  datH(),
+		"fns.h":  fnsH(),
+		"help.c": helpC(),
+		"exec.c": execC(),
+		"text.c": textC(),
+		"errs.c": errsC(),
+		"ctrl.c": ctrlC(),
+		"clik.c": clikC(),
+		"dat.c":  datC(),
+		"file.c": fileC(),
+		"page.c": pageC(),
+		"pick.c": pickC(),
+		"proc.c": procC(),
+		"scrl.c": scrlC(),
+		"util.c": utilC(),
+		"xtrn.c": xtrnC(),
+		"mkfile": mkfileText(),
+	}
+}
+
+// installSources writes the tree under SrcDir.
+func installSources(fs *vfs.FS) error {
+	if err := fs.MkdirAll(SrcDir); err != nil {
+		return err
+	}
+	for name, content := range sourceFiles() {
+		if err := fs.WriteFile(SrcDir+"/"+name, []byte(content)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// datH builds dat.h: the typedefs shown in Figure 3 and the global
+// declarations, with "uchar *n;" landing on line 136 (Figure 10's
+// ./dat.h:136).
+func datH() string {
+	var b srcBuilder
+	b.add(
+		"/*",
+		" * help: central data structures.",
+		" */",
+		"",
+		"typedef struct Addr\tAddr;",
+		"typedef struct Client\tClient;",
+		"typedef struct Page\tPage;",
+		"typedef struct Proc\tProc;",
+		"typedef struct String\tString;",
+		"typedef struct Text\tText;",
+		"typedef struct Dir\tDir;",
+		"typedef struct Rectangle\tRectangle;",
+		"",
+		"enum",
+		"{",
+		"\tNCOL\t= 2,",
+		"\tTAGH\t= 1,",
+		"\tMAXSNARF = 32*1024,",
+		"};",
+		"",
+		"struct Addr",
+		"{",
+		"\tint\ttype;",
+		"\tint\tpos;",
+		"\tAddr\t*next;",
+		"};",
+		"",
+		"struct String",
+		"{",
+		"\tuchar\t*s;",
+		"\tint\tn;",
+		"\tint\tsize;",
+		"};",
+		"",
+		"struct Text",
+		"{",
+		"\tuchar\t*base;",
+		"\tint\tnchars;",
+		"\tint\torg;",
+		"\tint\tq0;",
+		"\tint\tq1;",
+		"\tPage\t*page;",
+		"\tText\t*next;",
+		"};",
+		"",
+		"struct Page",
+		"{",
+		"\tint\tid;",
+		"\tText\ttag;",
+		"\tText\tbody;",
+		"\tPage\t*next;",
+		"\tint\ttop;",
+		"\tint\thidden;",
+		"};",
+		"",
+		"struct Client",
+		"{",
+		"\tint\tfid;",
+		"\tPage\t*page;",
+		"\tClient\t*next;",
+		"};",
+		"",
+		"struct Proc",
+		"{",
+		"\tint\tpid;",
+		"\tchar\t*cmd;",
+		"\tProc\t*next;",
+		"};",
+		"",
+		"/*",
+		" * Address types for the general location syntax: a line number,",
+		" * a character offset, or a literal pattern.",
+		" */",
+		"enum",
+		"{",
+		"\tALINE\t= 0,",
+		"\tACHAR\t= 1,",
+		"\tAPATT\t= 2,",
+		"};",
+		"",
+		"enum",
+		"{",
+		"\tBLEFT\t= 1,",
+		"\tBMIDDLE\t= 2,",
+		"\tBRIGHT\t= 4,",
+		"};",
+		"",
+		"enum",
+		"{",
+		"\tTABWIDTH = 4,",
+		"\tMINVIS\t= 3,",
+		"\tMAXTAG\t= 256,",
+		"};",
+	)
+	b.padTo(128)
+	b.add(
+		"/*",
+		" * Globals. The error-report string n is shared by the X command",
+		" * handlers in exec.c; see errs.c for how it reaches the screen.",
+		" */",
+		"extern Page\t*pages;",
+		"extern Client\t*clients;",
+		"extern int\tnpage;",
+	)
+	// Line 136 exactly: the global the whole debugging demo revolves on.
+	b.padTo(136)
+	b.add("uchar *n;")
+	b.add(
+		"extern int\tfn;",
+		"extern char\t*snarf;",
+	)
+	return b.String()
+}
+
+// fnsH declares the cross-file functions.
+func fnsH() string {
+	var b srcBuilder
+	b.add(
+		"/*",
+		" * help: function prototypes.",
+		" */",
+		"void\terrs(uchar*);",
+		"void\ttextinsert(int, Text*, uchar*, int, int);",
+		"void\tstrinsert(Text*, uchar*, int, int);",
+		"void\tnewsel(Text*);",
+		"void\tfrinsert(Text*, uchar**, int);",
+		"void\tcontrol(void);",
+		"int\texecute(Text*, int, int);",
+		"int\tlookup(String*);",
+		"Page*\tfindopen1(Page*, char*);",
+		"Page*\tnewpage(void);",
+		"void\tscrollto(Text*, int);",
+		"int\tpick(Text*, int);",
+		"void\tutilinit(void);",
+		"int\txtrn(String*);",
+	)
+	return b.String()
+}
+
+// helpC builds help.c: the includes of Figure 3 and main() with the
+// initialization "n = \"a test string\";" on line 35 (Figure 11's
+// help.c:35).
+func helpC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"int\tmouseslave;",
+		"int\tkbdslave;",
+		"int\tfn;",
+		"char\t*snarf;",
+		"Page\t*pages;",
+		"Client\t*clients;",
+		"int\tnpage;",
+		"",
+		"void",
+		"usage(void)",
+		"{",
+		"\tfprint(2, \"usage: help [-f font]\\n\");",
+		"\texits(\"usage\");",
+		"}",
+		"",
+	)
+	b.padTo(28)
+	b.add(
+		"void",
+		"main(int argc, char *argv[])",
+		"{",
+		"\tDir d;",
+		"\tRectangle r;",
+		"",
+	)
+	// Line 35 exactly: the initialization the uses query surfaces.
+	b.padTo(35)
+	b.add(
+		"\tn = \"a test string\";",
+		"\tif(access(\"/mnt/help/new\", 0) == 0){",
+		"\t\tfprint(2, \"help: already running\\n\");",
+		"\t\texits(\"running\");",
+		"\t}",
+		"\tfn = 0;",
+		"\tARGBEGIN{",
+		"\tcase 'f':",
+		"\t\tfn = 1;",
+		"\t\tbreak;",
+		"\tdefault:",
+		"\t\tusage();",
+		"\t}ARGEND",
+		"\tutilinit();",
+		"\tcontrol();",
+		"}",
+	)
+	return b.String()
+}
+
+// execC builds exec.c: lookup ending at line 101 (the Xdie2 dispatch),
+// execute calling lookup at line 207, Xdie1 clearing n at line 213, Xdie2
+// passing n to errs at line 252, and findopen1 with its Again: label
+// (Figure 9).
+func execC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Command dispatch: built-in names bind to X* handlers; anything",
+		" * else is passed to the external command machinery in xtrn.c.",
+		" */",
+		"",
+		"void\tXcut(int, char**, Page*, Text*);",
+		"void\tXpaste(int, char**, Page*, Text*);",
+		"void\tXopen(int, char**, Page*, Text*);",
+		"void\tXdie1(int, char**, Page*, Text*);",
+		"void\tXdie2(int, char**, Page*, Text*);",
+		"",
+		"struct Cmd",
+		"{",
+		"\tchar\t*name;",
+		"\tvoid\t(*fn)(int, char**, Page*, Text*);",
+		"};",
+		"",
+		"struct Cmd cmdtab[] = {",
+		"\t{ \"Cut\",\tXcut },",
+		"\t{ \"Paste\",\tXpaste },",
+		"\t{ \"Open\",\tXopen },",
+		"\t{ \"Die1\",\tXdie1 },",
+		"\t{ \"Die2\",\tXdie2 },",
+		"\t{ 0,\t0 },",
+		"};",
+		"",
+		"/*",
+		" * Split the executed text into fields, in place.",
+		" */",
+		"int",
+		"fields(uchar *s, uchar **argv, int maxargs)",
+		"{",
+		"\tint argc;",
+		"",
+		"\targc = 0;",
+		"\twhile(*s && argc < maxargs){",
+		"\t\twhile(*s == ' ' || *s == '\\t')",
+		"\t\t\t*s++ = 0;",
+		"\t\tif(*s == 0)",
+		"\t\t\tbreak;",
+		"\t\targv[argc] = s;",
+		"\t\targc = argc + 1;",
+		"\t\twhile(*s && *s != ' ' && *s != '\\t')",
+		"\t\t\ts++;",
+		"\t}",
+		"\treturn argc;",
+		"}",
+		"",
+		"/*",
+		" * Is the word a built-in? By convention capitalized commands",
+		" * are built-in functions.",
+		" */",
+		"int",
+		"isbuiltin(uchar *s)",
+		"{",
+		"\tif(*s >= 'A' && *s <= 'Z')",
+		"\t\treturn 1;",
+		"\treturn 0;",
+		"}",
+		"",
+		"/*",
+		" * Window operations end in an exclamation mark and take no",
+		" * arguments.",
+		" */",
+		"int",
+		"iswinop(uchar *s)",
+		"{",
+		"\twhile(*s)",
+		"\t\ts++;",
+		"\treturn s[-1] == '!';",
+		"}",
+		"",
+	)
+	b.padTo(91)
+	b.add(
+		"int",
+		"lookup(String *s)",
+		"{",
+		"\tstruct Cmd *c;",
+		"",
+		"\tfor(c = cmdtab; c->name; c++)",
+		"\t\tif(strcmp(c->name, (char*)s->s) == 0){",
+	)
+	// Line 101 is the dispatch call per the stack trace:
+	// "Xdie2() called from lookup+0xc4 exec.c:101".
+	b.padTo(101)
+	b.add(
+		"\t\t\tc->fn(0, 0, 0, 0);",
+		"\t\t\treturn 1;",
+		"\t\t}",
+		"\treturn 0;",
+		"}",
+		"",
+		"/*",
+		" * The context rules: a command that does not begin with a slash",
+		" * runs in the directory taken from the tag line of the window",
+		" * containing it; if it cannot be found there, the standard",
+		" * directory of program binaries is searched.",
+		" */",
+		"static char*",
+		"dirof(Page *p)",
+		"{",
+		"\tchar *s;",
+		"\tchar *slash;",
+		"",
+		"\ts = (char*)p->tag.base;",
+		"\tslash = 0;",
+		"\twhile(*s && *s != ' ' && *s != '\\t'){",
+		"\t\tif(*s == '/')",
+		"\t\t\tslash = s;",
+		"\t\ts++;",
+		"\t}",
+		"\tif(slash == 0)",
+		"\t\treturn \"/\";",
+		"\treturn slash;",
+		"}",
+		"",
+		"static int",
+		"absolute(char *name)",
+		"{",
+		"\treturn name[0] == '/';",
+		"}",
+		"",
+		"/*",
+		" * Expand a null selection to the word around it; a non-null",
+		" * selection is always taken literally.",
+		" */",
+		"static int",
+		"expand(Text *t, int q0, int q1, int *p0, int *p1)",
+		"{",
+		"\tif(q1 > q0){",
+		"\t\t*p0 = q0;",
+		"\t\t*p1 = q1;",
+		"\t\treturn 0;",
+		"\t}",
+		"\treturn clickexpand(t, q0, p0, p1);",
+		"}",
+		"",
+		"int\tclickexpand(Text*, int, int*, int*);",
+		"",
+	)
+	b.padTo(195)
+	b.add(
+		"int",                              // 195
+		"execute(Text *t, int p0, int p1)", // 196
+		"{",                                // 197
+		"\tString cmd;",                    // 198
+		"\tint i;",                         // 199
+		"\tint n;",                         // 200
+		"",                                 // 201
+		"\ti = 0;",                         // 202
+		"\tn = i;",                         // 203
+		"\tcmd.s = t->base + p0;",          // 204
+		"\tcmd.n = p1 - p0;",               // 205
+		"\tUSED(n);",                       // 206
+		"\tif(lookup(&cmd))",               // 207: the call in the trace
+		"\t\treturn 1;",                    // 208
+		"}",                                // 209
+		"void",                             // 210
+		"Xdie1(int argc, char *argv[], Page *page, Text *curt)", // 211
+		"{",        // 212
+		"\tn = 0;", // 213: the fatal clear the uses query uncovers
+		"}",        // 214
+		"",         // 215
+	)
+	if got := len(b.lines); got != 215 {
+		panic(fmt.Sprintf("exec.c: Xdie1 block ends at line %d, want 215", got))
+	}
+	b.padTo(249)
+	b.add(
+		"void",
+		"Xdie2(int argc, char *argv[], Page *page, Text *curt)",
+		"{",
+	)
+	// line 252: the read that crashed.
+	b.add("\terrs((uchar*)n);")
+	b.add(
+		"}",
+		"",
+		"/*",
+		" * Exact match",
+		" */",
+		"Page*",
+		"findopen1(Page *p, char *name)",
+		"{",
+		"\tchar *s;",
+		"\tint n;",
+		"\tPage *q;",
+		"",
+		"Again:",
+		"\tif(p == 0)",
+		"\t\treturn p;",
+		"\ts = (char*)p->tag.base;",
+		"\tn = p->tag.nchars;",
+		"\tif(n > 0 && strncmp(s, name, n) == 0)",
+		"\t\treturn p;",
+		"\tq = p->next;",
+		"\tp = q;",
+		"\tgoto Again;",
+		"}",
+	)
+	return b.String()
+}
+
+// textC builds text.c: textinsert with the crashing strlen call on line
+// 32 (Figure 8), operating on a local n that shadows the global — which
+// is exactly why uses shows four coordinates and not five.
+func textC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Body text management: insertion, selection, and redisplay.",
+		" */",
+		"",
+		"void",
+		"newsel(Text *t)",
+		"{",
+		"\tt->q1 = t->q0;",
+		"}",
+		"",
+	)
+	b.padTo(24)
+	b.add(
+		"void",
+		"textinsert(int sel, Text *t, uchar *s, int q0, int full)",
+		"{",
+		"\tint n;",
+		"\tint p0;",
+		"",
+		"\tif(sel)",
+		"\t\tnewsel(t);",
+	)
+	// Line 32: "n = strlen((char*)s);" — strlen(s=0x0) is the crash.
+	b.padTo(32)
+	b.add(
+		"\tn = strlen((char*)s);",
+		"\tstrinsert(t, s, n, q0);",
+		"\tp0 = q0-t->org;",
+		"\tif(p0 < 0)",
+		"\t\tt->org += n;",
+		"\telse if(p0 <= t->nchars)",
+		"\t\tfrinsert(t, &s, p0);",
+		"\tt->q0 = q0;",
+		"\tif(!full)",
+		"\t\tscrollto(t, q0);",
+		"}",
+		"",
+		"void",
+		"strinsert(Text *t, uchar *s, int count, int q0)",
+		"{",
+		"\tUSED(s);",
+		"\tt->nchars += count;",
+		"\tt->q0 = q0 + count;",
+		"}",
+		"",
+		"void",
+		"frinsert(Text *t, uchar **s, int p0)",
+		"{",
+		"\tUSED(s);",
+		"\tt->org = p0;",
+		"}",
+	)
+	return b.String()
+}
+
+// errsC builds errs.c: the error reporter whose textinsert call at line
+// 34 appears in the stack trace ("called from errs+0xe8 errs.c:34").
+func errsC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Route diagnostics to the Errors page, creating it on demand.",
+		" */",
+		"",
+		"static Page *errpage;",
+		"",
+		"static Page*",
+		"geterrpage(void)",
+		"{",
+		"\tif(errpage == 0)",
+		"\t\terrpage = newpage();",
+		"\treturn errpage;",
+		"}",
+		"",
+	)
+	b.padTo(27)
+	b.add(
+		"void",
+		"errs(uchar *s)",
+		"{",
+		"\tPage *p;",
+		"",
+		"\tp = geterrpage();",
+	)
+	b.padTo(34)
+	b.add(
+		"\ttextinsert(1, &p->body, s, p->body.nchars, 1);",
+		"}",
+	)
+	return b.String()
+}
+
+// ctrlC builds ctrl.c: the main event loop, with control's loop head at
+// line 320 and the execute call at line 331, matching the stack's
+// "execute(t=0x3ebbc,p0=0x2,p1=0x2) called from control+0x430 ctrl.c:331".
+func ctrlC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * The control loop: read mouse and keyboard, maintain selections,",
+		" * and hand middle-button sweeps to execute().",
+		" */",
+		"",
+		"static int\tobut;",
+		"static int\tdclick;",
+		"static int\tmx;",
+		"static int\tmy;",
+		"",
+		"/*",
+		" * The rules the interface follows: brevity (no wasted gestures),",
+		" * no retyping (text on the screen is input), automation (the",
+		" * machine fills in the details), defaults (the smallest action",
+		" * does the most useful thing).",
+		" */",
+		"",
+		"enum",
+		"{",
+		"\tSELNONE\t= 0,",
+		"\tSELECTING = 1,",
+		"\tEXECUTING = 2,",
+		"\tDRAGGING = 3,",
+		"};",
+		"",
+		"static int\tmstate;",
+		"",
+		"/*",
+		" * Track a left-button sweep: the selection is the text between",
+		" * the point where the button is pressed and where it is released.",
+		" */",
+		"static void",
+		"track(Text *t, int q0)",
+		"{",
+		"\tt->q0 = q0;",
+		"\tt->q1 = q0;",
+		"\tmstate = SELECTING;",
+		"}",
+		"",
+		"static void",
+		"extend(Text *t, int q)",
+		"{",
+		"\tif(q < t->q0)",
+		"\t\tt->q0 = q;",
+		"\telse",
+		"\t\tt->q1 = q;",
+		"}",
+		"",
+		"/*",
+		" * Chords: while the left button is held, clicking the middle",
+		" * executes Cut and clicking the right executes Paste. These are",
+		" * the most common editing commands and it is convenient not to",
+		" * move the mouse to execute them.",
+		" */",
+		"static void",
+		"chord(Text *t, int buttons)",
+		"{",
+		"\tif(buttons & BMIDDLE)",
+		"\t\tcutsel(t);",
+		"\tif(buttons & BRIGHT)",
+		"\t\tpastesel(t);",
+		"}",
+		"",
+		"void",
+		"cutsel(Text *t)",
+		"{",
+		"\tint len;",
+		"",
+		"\tlen = t->q1 - t->q0;",
+		"\tif(len <= 0)",
+		"\t\treturn;",
+		"\tif(len >= MAXSNARF)",
+		"\t\tlen = MAXSNARF - 1;",
+		"\tmemmove(snarf, t->base + t->q0, len);",
+		"\tsnarf[len] = 0;",
+		"\tstrdelete(t, t->q0, t->q1);",
+		"}",
+		"",
+		"void",
+		"pastesel(Text *t)",
+		"{",
+		"\tint len;",
+		"",
+		"\tlen = strlen(snarf);",
+		"\tstrdelete(t, t->q0, t->q1);",
+		"\tstrinsert(t, (uchar*)snarf, len, t->q0);",
+		"}",
+		"",
+		"void",
+		"strdelete(Text *t, int q0, int q1)",
+		"{",
+		"\tif(q1 <= q0)",
+		"\t\treturn;",
+		"\tmemmove(t->base + q0, t->base + q1, t->nchars - q1);",
+		"\tt->nchars -= q1 - q0;",
+		"\tt->q1 = q0;",
+		"\tt->q0 = q0;",
+		"}",
+		"",
+		"/*",
+		" * The tower of small black squares along the left edge of each",
+		" * column: clicking one makes the corresponding window fully",
+		" * visible, from the tag to the bottom of the column.",
+		" */",
+		"static void",
+		"tabhit(int y)",
+		"{",
+		"\tPage *p;",
+		"\tint i;",
+		"",
+		"\ti = 0;",
+		"\tfor(p = pages; p; p = p->next){",
+		"\t\tif(i == y){",
+		"\t\t\treveal(p);",
+		"\t\t\treturn;",
+		"\t\t}",
+		"\t\ti++;",
+		"\t}",
+		"}",
+		"",
+		"void",
+		"reveal(Page *p)",
+		"{",
+		"\tPage *q;",
+		"",
+		"\tp->hidden = 0;",
+		"\tfor(q = pages; q; q = q->next)",
+		"\t\tif(q != p && q->top >= p->top)",
+		"\t\t\tq->hidden = 1;",
+		"}",
+		"",
+		"/*",
+		" * Drag a window by its tag with the right button; help then does",
+		" * whatever local rearrangement is necessary to drop the window to",
+		" * its new location, keeping at least the tag visible or covering",
+		" * the window completely.",
+		" */",
+		"static void",
+		"drag(Page *p, int y)",
+		"{",
+		"\tPage *q;",
+		"",
+		"\tp->top = y;",
+		"\tp->hidden = 0;",
+		"\tfor(q = pages; q; q = q->next){",
+		"\t\tif(q == p)",
+		"\t\t\tcontinue;",
+		"\t\tif(q->top == y)",
+		"\t\t\tq->top = y + 1;",
+		"\t}",
+		"}",
+		"",
+		"/*",
+		" * Typing: typed text replaces the selection in the subwindow",
+		" * under the mouse. Typing does not execute commands; newline is",
+		" * just a character.",
+		" */",
+		"static void",
+		"key(Text *t, int c)",
+		"{",
+		"\tuchar buf[2];",
+		"",
+		"\tstrdelete(t, t->q0, t->q1);",
+		"\tbuf[0] = c;",
+		"\tbuf[1] = 0;",
+		"\tstrinsert(t, buf, 1, t->q0);",
+		"\tt->q0++;",
+		"\tt->q1 = t->q0;",
+		"}",
+		"",
+		"static int",
+		"mousehit(int x, int y)",
+		"{",
+		"\tmx = x;",
+		"\tmy = y;",
+		"\treturn pick(0, y);",
+		"}",
+		"",
+	)
+	b.padTo(310)
+	b.add(
+		"void",
+		"control(void)",
+		"{",
+		"\tText *t;",
+		"\tint op;",
+		"\tint n;",
+		"\tint p;",
+		"\tint p0;",
+		"\tint p1;",
+		"",
+	)
+	b.padTo(320)
+	b.add(
+		"\tfor(;;){",
+		"\t\tt = pick(0, 0) ? 0 : 0;",
+		"\t\top = 0;",
+		"\t\tn = 0;",
+		"\t\tp = 0;",
+		"\t\tp0 = 0;",
+		"\t\tp1 = 0;",
+		"\t\tif(op == obut)",
+		"\t\t\tcontinue;",
+		"\t\tif(dclick)",
+		"\t\t\tp1 = p0;",
+	)
+	b.padTo(331)
+	b.add(
+		"\t\texecute(t, p0, p1);",
+		"\t}",
+		"}",
+	)
+	return b.String()
+}
+
+// clikC builds clik.c: click and double-click resolution.
+func clikC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Click expansion: a null selection grows to the word around it.",
+		" */",
+		"",
+		"static int",
+		"alnum(int c)",
+		"{",
+		"\tif(c >= 'a' && c <= 'z')",
+		"\t\treturn 1;",
+		"\tif(c >= 'A' && c <= 'Z')",
+		"\t\treturn 1;",
+		"\tif(c >= '0' && c <= '9')",
+		"\t\treturn 1;",
+		"\treturn c == '_';",
+		"}",
+		"",
+		"int",
+		"clickexpand(Text *t, int q0, int *p0, int *p1)",
+		"{",
+		"\tint a;",
+		"\tint b;",
+		"",
+		"\ta = q0;",
+		"\tb = q0;",
+		"\twhile(a > 0 && alnum(t->base[a-1]))",
+		"\t\ta--;",
+		"\twhile(b < t->nchars && alnum(t->base[b]))",
+		"\t\tb++;",
+		"\t*p0 = a;",
+		"\t*p1 = b;",
+		"\treturn b > a;",
+		"}",
+	)
+	return b.String()
+}
+
+// datC builds dat.c: shared tables.
+func datC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Shared tables: built-in command names shown in tags, and the",
+		" * characters accepted in a file name expansion.",
+		" */",
+		"",
+		"char *tagcmds[] = {",
+		"\t\"Close!\",",
+		"\t\"Put!\",",
+		"\t\"Get!\",",
+		"\t0,",
+		"};",
+		"",
+		"char fnamechars[] = \"abcdefghijklmnopqrstuvwxyz\"",
+		"\t\"ABCDEFGHIJKLMNOPQRSTUVWXYZ\"",
+		"\t\"0123456789._-+/:#\";",
+	)
+	return b.String()
+}
+
+// fileC builds file.c: the string routines window of Figure 1.
+func fileC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" *	string routines",
+		" */",
+		"",
+		"String*",
+		"strnew(int size)",
+		"{",
+		"\tString *s;",
+		"",
+		"\ts = malloc(sizeof(String));",
+		"\ts->s = malloc(size);",
+		"\ts->n = 0;",
+		"\ts->size = size;",
+		"\treturn s;",
+		"}",
+		"",
+		"void",
+		"strgrow(String *s, int delta)",
+		"{",
+		"\ts->size += delta;",
+		"\ts->s = realloc(s->s, s->size);",
+		"}",
+		"",
+		"void",
+		"strfree(String *s)",
+		"{",
+		"\tfree(s->s);",
+		"\tfree(s);",
+		"}",
+	)
+	return b.String()
+}
+
+// pageC builds page.c: window creation and the placement heuristic.
+func pageC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Page (window) management: creation and automatic placement.",
+		" * The rule: tag goes below the lowest visible text; else cover",
+		" * half the lowest page; else take the bottom quarter of the",
+		" * column, hiding what no longer fits.",
+		" */",
+		"",
+		"Page*",
+		"newpage(void)",
+		"{",
+		"\tPage *p;",
+		"",
+		"\tp = malloc(sizeof(Page));",
+		"\tp->id = ++npage;",
+		"\tp->next = pages;",
+		"\tp->hidden = 0;",
+		"\tpages = p;",
+		"\treturn p;",
+		"}",
+		"",
+		"int",
+		"lowestused(Page *col)",
+		"{",
+		"\tPage *p;",
+		"\tint low;",
+		"",
+		"\tlow = 0;",
+		"\tfor(p = col; p; p = p->next)",
+		"\t\tif(!p->hidden && p->top > low)",
+		"\t\t\tlow = p->top;",
+		"\treturn low;",
+		"}",
+	)
+	return b.String()
+}
+
+// pickC builds pick.c: hit testing.
+func pickC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Locate the page and subwindow under the mouse.",
+		" */",
+		"",
+		"int",
+		"pick(Text *t, int y)",
+		"{",
+		"\tPage *p;",
+		"",
+		"\tUSED(t);",
+		"\tfor(p = pages; p; p = p->next){",
+		"\t\tif(p->hidden)",
+		"\t\t\tcontinue;",
+		"\t\tif(y >= p->top)",
+		"\t\t\treturn p->id;",
+		"\t}",
+		"\treturn 0;",
+		"}",
+	)
+	return b.String()
+}
+
+// procC builds proc.c: client process bookkeeping.
+func procC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Track the processes serving the help file interface.",
+		" */",
+		"",
+		"static Proc *procs;",
+		"",
+		"void",
+		"procadd(int pid, char *cmd)",
+		"{",
+		"\tProc *p;",
+		"",
+		"\tp = malloc(sizeof(Proc));",
+		"\tp->pid = pid;",
+		"\tp->cmd = cmd;",
+		"\tp->next = procs;",
+		"\tprocs = p;",
+		"}",
+		"",
+		"int",
+		"procdead(int pid)",
+		"{",
+		"\tProc *p;",
+		"",
+		"\tfor(p = procs; p; p = p->next)",
+		"\t\tif(p->pid == pid)",
+		"\t\t\treturn 0;",
+		"\treturn 1;",
+		"}",
+	)
+	return b.String()
+}
+
+// scrlC builds scrl.c: scrolling.
+func scrlC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Scrolling: keep the selection visible with a third of the",
+		" * window as context above it.",
+		" */",
+		"",
+		"void",
+		"scrollto(Text *t, int q)",
+		"{",
+		"\tint third;",
+		"",
+		"\tthird = t->nchars/3;",
+		"\tif(q < t->org || q > t->org + t->nchars)",
+		"\t\tt->org = q - third;",
+		"\tif(t->org < 0)",
+		"\t\tt->org = 0;",
+		"}",
+	)
+	return b.String()
+}
+
+// utilC builds util.c.
+func utilC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Small utilities shared across the program.",
+		" */",
+		"",
+		"void",
+		"utilinit(void)",
+		"{",
+		"\tsnarf = malloc(MAXSNARF);",
+		"\tsnarf[0] = 0;",
+		"}",
+		"",
+		"int",
+		"max(int a, int b)",
+		"{",
+		"\tif(a > b)",
+		"\t\treturn a;",
+		"\treturn b;",
+		"}",
+		"",
+		"int",
+		"min(int a, int b)",
+		"{",
+		"\tif(a < b)",
+		"\t\treturn a;",
+		"\treturn b;",
+		"}",
+	)
+	return b.String()
+}
+
+// xtrnC builds xtrn.c: external command execution.
+func xtrnC() string {
+	var b srcBuilder
+	b.add(
+		"#include <u.h>",
+		"#include <libc.h>",
+		"#include <libg.h>",
+		"#include <libframe.h>",
+		"#include \"dat.h\"",
+		"#include \"fns.h\"",
+		"",
+		"/*",
+		" * Run an external command: prepend the window's directory when",
+		" * the name is relative, else fall back to /bin; wire standard",
+		" * output and error to the Errors page.",
+		" */",
+		"",
+		"int",
+		"xtrn(String *cmd)",
+		"{",
+		"\tchar *dir;",
+		"\tchar *name;",
+		"",
+		"\tname = (char*)cmd->s;",
+		"\tdir = \"/\";",
+		"\tif(name[0] != '/')",
+		"\t\tdir = name;",
+		"\tUSED(dir);",
+		"\treturn 0;",
+		"}",
+	)
+	return b.String()
+}
+
+// mkfileText builds the mkfile whose run appears in Figure 12: editing
+// exec.c and executing mk recompiles just exec.v and relinks.
+func mkfileText() string {
+	objs := []string{
+		"help.v", "clik.v", "ctrl.v", "dat.v", "errs.v", "exec.v", "file.v",
+		"page.v", "pick.v", "proc.v", "scrl.v", "text.v", "util.v", "xtrn.v",
+	}
+	var b strings.Builder
+	b.WriteString("OFILES=" + strings.Join(objs, " ") + "\n\n")
+	b.WriteString("v.out: $OFILES\n")
+	b.WriteString("\tvl $OFILES /mips/lib/libframe.a -lg -lregexp -ldmalloc\n\n")
+	for _, o := range objs {
+		src := strings.TrimSuffix(o, ".v") + ".c"
+		b.WriteString(o + ": " + src + " dat.h fns.h\n")
+		b.WriteString("\tvc -w " + src + "\n\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,492 @@
+// Package world constructs the complete environment of the paper's
+// session: the help source tree at /usr/rob/src/help (with every source
+// coordinate the figures cite), the tool directories /help/edit, /help/cbr,
+// /help/db and /help/mail, the helper programs under /bin/help, the
+// crashed help process 176153 that Sean's mail reports, the mailbox, and
+// the user's profile — then boots a help instance over it all.
+package world
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/adb"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/helpfs"
+	"repro/internal/mail"
+	"repro/internal/proc"
+	"repro/internal/shell"
+	"repro/internal/userland"
+	"repro/internal/vfs"
+)
+
+// Paths of the demo world.
+const (
+	MboxPath  = "/mail/box/rob/mbox"
+	MountRoot = "/mnt/help"
+	Profile   = "/usr/rob/lib/profile"
+)
+
+// World is a fully provisioned help environment.
+type World struct {
+	FS    *vfs.FS
+	Shell *shell.Shell
+	Help  *core.Help
+	Procs *proc.Table
+	Svc   *helpfs.Service
+}
+
+// Build provisions the namespace, the substrate services, and a help
+// instance on a w x h screen. Call Boot to open the initial windows.
+func Build(w, h int) (*World, error) {
+	fs := vfs.New()
+	sh := shell.New(fs)
+	userland.Install(sh)
+	cc.Install(sh)
+
+	for _, dir := range []string{
+		"/bin/help", "/tmp", "/lib", "/usr/rob/lib", "/usr/rob/tmp",
+		"/usr/rob/bin/rc", "/usr/rob/bin/mips",
+		"/help/edit", "/help/cbr", "/help/db", "/help/mail",
+		"/mail/box/rob", "/sys/src/libc/mips", "/sys/src/libc/port",
+		"/net/dk", "/mnt/term/mnt/8.5", "/dev",
+	} {
+		if err := fs.MkdirAll(dir); err != nil {
+			return nil, err
+		}
+	}
+	if err := installSources(fs); err != nil {
+		return nil, err
+	}
+	if err := installLibc(fs); err != nil {
+		return nil, err
+	}
+	if err := installEtc(fs); err != nil {
+		return nil, err
+	}
+	if err := installMbox(fs); err != nil {
+		return nil, err
+	}
+
+	table := installProcs(fs)
+	adb.Install(sh, table)
+	installCompilers(sh)
+
+	// Ship the tree pre-built: the crashed help binary the demo examines
+	// was obviously compiled once, and Figure 12's mk then recompiles
+	// only the edited exec.c.
+	var mkOut bytes.Buffer
+	mkCtx := sh.NewContext(&mkOut, &mkOut)
+	mkCtx.Dir = SrcDir
+	if status := userland.Mk(mkCtx, []string{"mk"}); status != 0 {
+		return nil, fmt.Errorf("world: initial build failed: %s", mkOut.String())
+	}
+
+	hlp := core.New(fs, sh, w, h)
+	svc, err := helpfs.Attach(hlp, fs, MountRoot)
+	if err != nil {
+		return nil, err
+	}
+	if err := installTools(sh); err != nil {
+		return nil, err
+	}
+	if err := mail.Install(sh, MboxPath, MountRoot); err != nil {
+		return nil, err
+	}
+	return &World{FS: fs, Shell: sh, Help: hlp, Procs: table, Svc: svc}, nil
+}
+
+// Boot opens the initial screen of Figure 4: the Boot window in the left
+// column and the tool files loaded "into the right hand column of its
+// initially two-column screen".
+func (w *World) Boot() error {
+	boot := w.Help.NewWindowIn(0)
+	boot.Tag.SetString("help/Boot\tExit")
+	boot.Tag.SetClean()
+
+	for _, tool := range []string{
+		"/help/edit/stf", "/help/cbr/stf", "/help/db/stf", "/help/mail/stf",
+	} {
+		win, err := w.Help.OpenFile(tool, "")
+		if err != nil {
+			return err
+		}
+		w.Help.MoveWindowToColumn(win, 1)
+	}
+	w.Help.Render()
+	return nil
+}
+
+// installLibc writes the two libc sources the crash traceback points into.
+func installLibc(fs *vfs.FS) error {
+	strchr := `/*
+ * strchr for the MIPS: scan words when aligned.
+ */
+TEXT	strchr(SB), $0
+	MOVW	c+4(FP), R4
+	MOVW	s+0(FP), R3
+	BEQ	R4, _null
+	AND	$3, R3, R5
+	BNE	R5, _unaligned
+_aligned:
+	MOVW	$0xff000000, R6
+	MOVW	$0x00ff0000, R7
+_loop:
+	/* fetch the next word of the string */
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	NOOP
+	MOVW	0(R3), R5
+	BEQ	R5, _out
+	JMP	_loop
+_out:
+	RET
+`
+	if err := fs.WriteFile("/sys/src/libc/mips/strchr.s", []byte(strchr)); err != nil {
+		return err
+	}
+	strlen := `#include <u.h>
+#include <libc.h>
+
+long
+strlen(char *s)
+{
+	return strchr(s, 0) - s;
+}
+`
+	return fs.WriteFile("/sys/src/libc/port/strlen.c", []byte(strlen))
+}
+
+// installEtc writes the profile of Figure 1 and the library files.
+func installEtc(fs *vfs.FS) error {
+	profile := `bind -e $home/tmp /tmp
+bind -a $home/bin/rc /bin
+bind -a $home/bin/$cputype /bin
+fn x { if(! ~ $#* 0) $* }
+switch($service){
+case terminal
+	bind -a /net/dk /net
+	prompt=('% ' '	')
+	site=plan9
+case cpu
+	bind -a /net/dk /net
+	bind -b /mnt/term/mnt/8.5 /dev
+	news
+}
+fortune
+`
+	if err := fs.WriteFile(Profile, []byte(profile)); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/lib/fortunes",
+		[]byte("Simplicity does not precede complexity, but follows it.\n")); err != nil {
+		return err
+	}
+	return fs.WriteFile("/lib/news", []byte("help file server now at /mnt/help\n"))
+}
+
+// installMbox writes the seven-message mailbox of Figure 5. Sean's report
+// quotes the exact crash banner of process 176153.
+func installMbox(fs *vfs.FS) error {
+	msgs := []mail.Message{
+		{From: "chk@alias.com", Date: "Tue Apr 16 19:30 EDT",
+			Body: "rob,\nany chance of a help paper preprint?\n"},
+		{From: "sean", Date: "Tue Apr 16 19:26 EDT",
+			Body: "i tried your new help and got this:\n" +
+				"help 176153: user TLB miss (load or fetch) badvaddr=0x0\n" +
+				"help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n"},
+		{From: "attunix!rrg", Date: "Tue Apr 16 19:03 EDT 1991",
+			Body: "Subject: UNIX in song & verse\n\nRob,\nThe UKUUG are collecting old-time\nverses about UNIX before they\ndisappear from the minds of those\nwho know them.\n"},
+		{From: "knight%MRCO.CARLETON.CA@mitvma.mit.edu", Date: "Tue Apr 16 19:01 EDT",
+			Body: "please add me to the sam mailing list\n"},
+		{From: "deutsch%PARCPLACE.COM@mitvma.mit.edu", Date: "Tue Apr 16 18:54 EDT",
+			Body: "re: window system performance\n"},
+		{From: "howard", Date: "Tue Apr 16 15:02 EDT",
+			Body: "lunch tomorrow?\n"},
+		{From: "deutsch%PARCPLACE.COM@mitvma.mit.edu", Date: "Tue Apr 16 12:52 EDT",
+			Body: "window system performance numbers attached\n"},
+	}
+	return fs.WriteFile(MboxPath, []byte(mail.FormatMbox(msgs)))
+}
+
+// installProcs builds the process table with the crashed help 176153,
+// carrying the exact stack of Figure 7, and mounts /proc.
+func installProcs(fs *vfs.FS) *proc.Table {
+	table := proc.NewTable()
+	table.Add(&proc.Proc{PID: 1, Cmd: "init", State: proc.StateSleep})
+	table.Add(&proc.Proc{PID: 92, Cmd: "rc", State: proc.StateSleep})
+	crashed := table.Add(&proc.Proc{PID: 176153, Cmd: "help", SrcDir: SrcDir})
+	crashed.Crash(
+		proc.Fault{
+			Note:  "user TLB miss (load or fetch)",
+			File:  "/sys/src/libc/mips/strchr.s",
+			Line:  34,
+			Func:  "strchr",
+			Off:   0x68,
+			Instr: "MOVW 0(R3),R5",
+		},
+		proc.Regs{PC: 0x18df4, SP: 0x3f4e8, Status: 0xfb0c, BadVAddr: 0},
+		paperStack(),
+	)
+	table.Mount(fs)
+	return table
+}
+
+// paperStack reproduces Figure 7's traceback frame by frame.
+func paperStack() []proc.Frame {
+	v := func(name string, val uint64) proc.Var { return proc.Var{Name: name, Value: val} }
+	return []proc.Frame{
+		{Func: "strchr", Args: []proc.Var{v("c", 0x3c), v("s", 0)},
+			CallerSym: "strlen", CallerOff: 0x1c,
+			File: "/sys/src/libc/port/strlen.c", Line: 7},
+		{Func: "strlen", Args: []proc.Var{v("s", 0)},
+			CallerSym: "textinsert", CallerOff: 0x30,
+			File: "text.c", Line: 32},
+		{Func: "textinsert",
+			Args:      []proc.Var{v("sel", 1), v("t", 0x40e60), v("s", 0), v("q0", 0xd), v("full", 1)},
+			CallerSym: "errs", CallerOff: 0xe8,
+			File: "errs.c", Line: 34,
+			Locals: []proc.Var{v("n", 0x3d7cc)}},
+		{Func: "errs", Args: []proc.Var{v("s", 0)},
+			CallerSym: "Xdie2", CallerOff: 0x14,
+			File: "exec.c", Line: 252,
+			Locals: []proc.Var{v("p", 0x40d88)}},
+		{Func: "Xdie2",
+			CallerSym: "lookup", CallerOff: 0xc4,
+			File: "exec.c", Line: 101},
+		{Func: "lookup", Args: []proc.Var{v("s", 0x40be8)},
+			CallerSym: "execute", CallerOff: 0x50,
+			File: "exec.c", Line: 207,
+			Locals: []proc.Var{v("i", 0x1f), v("n", 0x4c5bf)}},
+		{Func: "execute", Args: []proc.Var{v("t", 0x3ebbc), v("p0", 2), v("p1", 2)},
+			CallerSym: "control", CallerOff: 0x430,
+			File: "ctrl.c", Line: 331},
+		{Func: "control",
+			CallerSym: "control", CallerOff: 0,
+			File: "ctrl.c", Line: 320,
+			Locals: []proc.Var{
+				v("t", 0x3ebbc), v("op", 0), v("n", 0x10), v("p", 0x10),
+				v("dclick", 0x10), v("p0", 2), v("obut", 0),
+			}},
+	}
+}
+
+// installCompilers registers the Plan 9 compiler drivers the mkfile runs:
+// vc compiles foo.c to foo.v (object text derived from the source so
+// rebuilds are observable), vl links objects into v.out.
+func installCompilers(sh *shell.Shell) {
+	sh.Register("vc", func(ctx *shell.Context, args []string) int {
+		status := 0
+		for _, a := range args[1:] {
+			if strings.HasPrefix(a, "-") || !strings.HasSuffix(a, ".c") {
+				continue
+			}
+			src := a
+			if !strings.HasPrefix(src, "/") {
+				src = vfs.Clean(ctx.Dir + "/" + src)
+			}
+			data, err := ctx.FS.ReadFile(src)
+			if err != nil {
+				ctx.Errorf("vc: %v", err)
+				status = 1
+				continue
+			}
+			obj := strings.TrimSuffix(src, ".c") + ".v"
+			body := fmt.Sprintf("object %s (%d bytes of source)\n", a, len(data))
+			if err := ctx.FS.WriteFile(obj, []byte(body)); err != nil {
+				ctx.Errorf("vc: %v", err)
+				status = 1
+			}
+		}
+		return status
+	})
+	sh.Register("vl", func(ctx *shell.Context, args []string) int {
+		var objs []string
+		for _, a := range args[1:] {
+			if strings.HasPrefix(a, "-") || !strings.HasSuffix(a, ".v") {
+				continue
+			}
+			objs = append(objs, a)
+		}
+		var b strings.Builder
+		b.WriteString("v.out: linked from " + strings.Join(objs, " ") + "\n")
+		for _, o := range objs {
+			p := o
+			if !strings.HasPrefix(p, "/") {
+				p = vfs.Clean(ctx.Dir + "/" + p)
+			}
+			data, err := ctx.FS.ReadFile(p)
+			if err != nil {
+				ctx.Errorf("vl: %v", err)
+				return 1
+			}
+			b.Write(data)
+		}
+		out := vfs.Clean(ctx.Dir + "/v.out")
+		if err := ctx.FS.WriteFile(out, []byte(b.String())); err != nil {
+			ctx.Errorf("vl: %v", err)
+			return 1
+		}
+		return 0
+	})
+}
+
+// installTools writes the tool files of Figure 4 and the scripts behind
+// them, plus the /bin/help helper programs (parse, sel, buf) that let a
+// dozen-line script become a browser command.
+func installTools(sh *shell.Shell) error {
+	fs := sh.FS()
+
+	// The edit tool: builtins listed as plain text; executing any word
+	// runs the built-in of that name.
+	if err := fs.WriteFile("/help/edit/stf", []byte(
+		"Open\nPattern \"\nText ' '\nCut Paste Snarf\nWrite New\nUndo Redo\nSend Clone!\n")); err != nil {
+		return err
+	}
+	// The C browser tool. godecl is the paper's planned refinement of
+	// decl: it opens the declaration directly ("a future change to help
+	// will be to close this loop so the Open operation also happens
+	// automatically").
+	if err := fs.WriteFile("/help/cbr/stf", []byte(
+		"Open mk src decl godecl uses *.c\n")); err != nil {
+		return err
+	}
+	// The debugger tool.
+	if err := fs.WriteFile("/help/db/stf", []byte(
+		"ps pc regs broke\nstack kstack nextkstack\n")); err != nil {
+		return err
+	}
+
+	// help/parse: examines $helpsel and emits variable assignments for
+	// eval, exactly the paper's "help/parse ... establishes another set
+	// of environment variables, file, id, and line, describing what the
+	// user is pointing at" — plus dir and the dir's source list, which
+	// the original got from its build context.
+	if err := sh.RegisterProgram("/bin/help/parse", parseProgram); err != nil {
+		return err
+	}
+	// help/sel: prints the selected text (or the word at the selection).
+	if err := sh.RegisterProgram("/bin/help/sel", selProgram); err != nil {
+		return err
+	}
+	// help/buf: buffers stdin to stdout, keeping pipelines to window
+	// files from interleaving.
+	if err := sh.RegisterProgram("/bin/help/buf", bufProgram); err != nil {
+		return err
+	}
+	// help/rcc: the stripped compiler, reachable by the path the paper's
+	// scripts use; it forwards to the rcc builtin from the cc package.
+	if err := sh.RegisterProgram("/bin/help/rcc", func(ctx *shell.Context, args []string) int {
+		return ctx.Sh.RunCommand(ctx, append([]string{"rcc"}, args[1:]...))
+	}); err != nil {
+		return err
+	}
+
+	// The C browser scripts, each following the decl script in the paper:
+	// parse the selection, make a window, run the stripped compiler.
+	declScript := `eval ` + "`" + `{help/parse}
+x=` + "`" + `{cat /mnt/help/new/ctl}
+echo name $dir/decl > /mnt/help/$x/ctl
+cpp $cppflags $dir/$file |
+help/rcc -w -g -d -D$dir -i$id -n$line -f$file $files |
+sed 1q > /mnt/help/$x/bodyapp
+`
+	if err := fs.WriteFile("/help/cbr/decl", []byte(declScript)); err != nil {
+		return err
+	}
+	usesScript := `eval ` + "`" + `{help/parse}
+x=` + "`" + `{cat /mnt/help/new/ctl}
+echo name $dir/uses > /mnt/help/$x/ctl
+cpp $cppflags $dir/$file |
+help/rcc -w -g -u -D$dir -i$id -n$line -f$file $files > /mnt/help/$x/bodyapp
+`
+	if err := fs.WriteFile("/help/cbr/uses", []byte(usesScript)); err != nil {
+		return err
+	}
+	srcScript := `eval ` + "`" + `{help/parse}
+x=` + "`" + `{cat /mnt/help/new/ctl}
+echo name $dir/src > /mnt/help/$x/ctl
+help/rcc -w -g -s -D$dir -i$id $files > /mnt/help/$x/bodyapp
+`
+	if err := fs.WriteFile("/help/cbr/src", []byte(srcScript)); err != nil {
+		return err
+	}
+	godeclScript := `eval ` + "`" + `{help/parse}
+coord=` + "`" + `{cpp $cppflags $dir/$file | help/rcc -w -g -d -D$dir -i$id -n$line -f$file $files | sed 1q}
+echo open $dir/$coord > /mnt/help/ctl
+`
+	if err := fs.WriteFile("/help/cbr/godecl", []byte(godeclScript)); err != nil {
+		return err
+	}
+	mkScript := `eval ` + "`" + `{help/parse}
+x=` + "`" + `{cat /mnt/help/new/ctl}
+echo name $dir/mk > /mnt/help/$x/ctl
+help/mkin $dir > /mnt/help/$x/bodyapp
+`
+	if err := fs.WriteFile("/help/cbr/mk", []byte(mkScript)); err != nil {
+		return err
+	}
+	// help/mkin dir: run mk with the named directory as context.
+	if err := sh.RegisterProgram("/bin/help/mkin", func(ctx *shell.Context, args []string) int {
+		if len(args) < 2 {
+			ctx.Errorf("usage: help/mkin dir [target]")
+			return 1
+		}
+		sub := ctx.Clone()
+		sub.Dir = args[1]
+		return userland.Mk(sub, append([]string{"mk"}, args[2:]...))
+	}); err != nil {
+		return err
+	}
+
+	// The debugger scripts: "the commands in /help/db package the most
+	// important functions of adb as easy-to-use operations."
+	dbWindowed := func(name, req string) string {
+		return `pid=` + "`" + `{help/sel}
+if(~ $#pid 0) pid=$1
+x=` + "`" + `{cat /mnt/help/new/ctl}
+srcdir=` + "`" + `{adb $pid src}
+echo tag $srcdir/'	'$pid' ` + name + `	Close!' > /mnt/help/$x/ctl
+adb $pid '` + req + `' > /mnt/help/$x/bodyapp
+`
+	}
+	if err := fs.WriteFile("/help/db/stack", []byte(dbWindowed("stack", "$c"))); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/help/db/kstack", []byte(dbWindowed("kstack", "$c"))); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/help/db/regs", []byte(dbWindowed("regs", "$r"))); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/help/db/pc", []byte(dbWindowed("pc", "$p"))); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("/help/db/nextkstack", []byte("broke | sed 1q\n")); err != nil {
+		return err
+	}
+	// ps and broke are adb-table builtins already; the script names just
+	// forward so the words in the stf file resolve in the tool directory.
+	if err := fs.WriteFile("/help/db/ps", []byte("ps\n")); err != nil {
+		return err
+	}
+	return fs.WriteFile("/help/db/broke", []byte("broke\n"))
+}
