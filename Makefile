@@ -6,8 +6,10 @@ GO ?= go
 
 all: test
 
+# Tier-1: build, vet, plain tests, then a race-checked pass so the
+# concurrent srvnet/faultnet paths are exercised on every PR.
 test:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...

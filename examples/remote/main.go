@@ -3,14 +3,26 @@
 // server"): help and its namespace live on one side of a TCP connection;
 // a client process on the other side drives the user interface purely
 // through file operations on /mnt/help.
+//
+// The call stays invisible only while the network cooperates, so this
+// example also exercises the hardened transport: the client is a
+// srvnet.ReconnectingClient that survives an injected fault (the first
+// connection drops a response frame) by redialing transparently, and
+// when the server is shut down for good, it degrades with a typed
+// ErrDegraded that help reports in its Errors window — the UI tells the
+// user the CPU server died instead of freezing.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"strings"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/srvnet"
 	"repro/internal/world"
 )
@@ -28,26 +40,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
-	go srvnet.NewServer(w.FS).Serve(l)
-	fmt.Println("terminal: namespace served on", l.Addr())
+	// A flaky network: the first connection drops the first response
+	// frame on the floor. Everything after is clean.
+	fl := faultnet.WrapListener(l, func(i int) *faultnet.Script {
+		if i == 0 {
+			return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Drop})
+		}
+		return nil
+	})
+	srv := srvnet.NewServer(w.FS)
+	go srv.Serve(fl)
+	fmt.Println("terminal: namespace served on", l.Addr(), "(first response will be dropped)")
 
-	// The "CPU server": a client that has never linked against any UI
-	// code, working the window system over the wire.
-	c, err := srvnet.Dial(l.Addr().String())
-	if err != nil {
-		log.Fatal(err)
+	// The "CPU server": a reconnecting client that has never linked
+	// against any UI code, working the window system over the wire.
+	// Its health transitions land in help's Errors window.
+	c := srvnet.NewReconnectingClient(l.Addr().String())
+	c.OpTimeout = 250 * time.Millisecond
+	c.BackoffBase = 5 * time.Millisecond
+	c.BackoffCap = 50 * time.Millisecond
+	c.OnStateChange = func(s srvnet.State, err error) {
+		w.Help.ReportFault("remote ("+s.String()+")", err)
 	}
 	defer c.Close()
 
 	// Create a window (one read of new/ctl), name it, and fill it with a
 	// computation done remotely: the list of C sources in the help tree.
+	// The dropped response forces a timeout, a redial, and a retry — all
+	// invisible here.
 	idRaw, err := c.ReadFile(world.MountRoot + "/new/ctl")
 	if err != nil {
 		log.Fatal(err)
 	}
 	id := strings.TrimSpace(string(idRaw))
-	fmt.Println("cpu server: created window", id)
+	fmt.Println("cpu server: created window", id, "(after surviving the dropped frame)")
 
 	if err := c.WriteFile(world.MountRoot+"/"+id+"/ctl",
 		[]byte("name /remote/sources\n")); err != nil {
@@ -82,4 +108,23 @@ func main() {
 	idx, _ := c.ReadFile(world.MountRoot + "/index")
 	fmt.Println("cpu server sees the index:")
 	fmt.Print(string(idx))
+
+	// Now the CPU server's machine goes away: graceful shutdown drains
+	// in-flight requests, then the next remote operation degrades with
+	// a typed error instead of hanging, and help's Errors window says so.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal("shutdown:", err)
+	}
+	l.Close()
+	fmt.Println("\nterminal: server shut down; cpu server tries one more call...")
+	if _, err := c.ReadFile(world.MountRoot + "/index"); errors.Is(err, srvnet.ErrDegraded) {
+		fmt.Println("cpu server: degraded as expected:", err)
+	} else {
+		log.Fatal("expected ErrDegraded, got:", err)
+	}
+	w.Help.Render()
+	fmt.Println("\nhelp's Errors window reports:")
+	fmt.Print(w.Help.Errors().Body.String())
 }

@@ -461,6 +461,19 @@ func (h *Help) AppendErrors(s string) {
 	w.scrollTo(w.Body.Len())
 }
 
+// ReportFault surfaces a background-service failure in the Errors
+// window — the paper's channel for asynchronous trouble — so a dead CPU
+// server or a failing mount degrades visibly instead of silently. The
+// source names the service ("remote", "mail"); the error is printed
+// after it.
+func (h *Help) ReportFault(source string, err error) {
+	if err == nil {
+		h.AppendErrors(fmt.Sprintf("%s: ok\n", source))
+		return
+	}
+	h.AppendErrors(fmt.Sprintf("%s: %v\n", source, err))
+}
+
 // OpenFile opens name (already absolute) in a window, reusing an existing
 // window for the same file. addr optionally positions the view
 // ("help.c:27"). It returns the window.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -700,5 +701,18 @@ func TestSendEmpty(t *testing.T) {
 	h.Execute(w, "Send")
 	if !strings.Contains(h.Errors().Body.String(), "Send:") {
 		t.Errorf("errors = %q", h.Errors().Body.String())
+	}
+}
+
+func TestReportFault(t *testing.T) {
+	h, _ := world(t)
+	h.ReportFault("remote (degraded)", errors.New("server gone"))
+	h.ReportFault("remote (connected)", nil)
+	body := h.Errors().Body.String()
+	if !strings.Contains(body, "remote (degraded): server gone\n") {
+		t.Errorf("errors = %q", body)
+	}
+	if !strings.Contains(body, "remote (connected): ok\n") {
+		t.Errorf("errors = %q", body)
 	}
 }

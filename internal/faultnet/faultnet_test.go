@@ -1,0 +1,220 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection, with the
+// script applied to side a.
+func pipePair(s *Script) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, s), b
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	a, b := pipePair(NewScript())
+	go func() {
+		a.Write([]byte("hello"))
+		a.Close()
+	}()
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read %q err %v", buf[:n], err)
+	}
+}
+
+func TestDropWrite(t *testing.T) {
+	a, b := pipePair(NewScript(Fault{Op: "write", After: 0, Kind: Drop}))
+	n, err := a.Write([]byte("gone"))
+	if err != nil || n != 4 {
+		t.Fatalf("dropped write reported n=%d err=%v", n, err)
+	}
+	// The second write passes through.
+	go a.Write([]byte("kept"))
+	buf := make([]byte, 16)
+	k, err := b.Read(buf)
+	if err != nil || string(buf[:k]) != "kept" {
+		t.Fatalf("read %q err %v", buf[:k], err)
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	a, _ := pipePair(NewScript(Fault{Op: "write", After: 0, Kind: Stall}))
+	a.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := a.Write([]byte("x"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("stall ignored the deadline")
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	a, _ := pipePair(NewScript(Fault{Op: "read", After: 0, Kind: Stall}))
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read never released")
+	}
+}
+
+func TestCorruptFlipsFirstByte(t *testing.T) {
+	a, b := pipePair(NewScript(Fault{Op: "write", After: 0, Kind: Corrupt}))
+	go a.Write([]byte("{ok}"))
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != '{'^0xff || !bytes.Equal(buf[1:n], []byte("ok}")) {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestPartialWriteCloses(t *testing.T) {
+	a, b := pipePair(NewScript(Fault{Op: "write", After: 0, Kind: Partial}))
+	got := make(chan []byte, 1)
+	go func() {
+		var all []byte
+		buf := make([]byte, 16)
+		for {
+			n, err := b.Read(buf)
+			all = append(all, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		got <- all
+	}()
+	n, err := a.Write([]byte("123456"))
+	if err == nil {
+		t.Fatal("partial write should error")
+	}
+	if n != 3 {
+		t.Fatalf("partial write n = %d", n)
+	}
+	if all := <-got; string(all) != "123" {
+		t.Fatalf("receiver saw %q", all)
+	}
+}
+
+func TestCloseFault(t *testing.T) {
+	a, _ := pipePair(NewScript(Fault{Op: "write", After: 0, Kind: Close}))
+	if _, err := a.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatal("write after close should fail")
+	}
+}
+
+func TestFaultFiresOnce(t *testing.T) {
+	s := NewScript(Fault{Op: "write", After: 1, Kind: Drop})
+	if _, ok := s.next("write"); ok {
+		t.Fatal("fault fired early")
+	}
+	if f, ok := s.next("write"); !ok || f.Kind != Drop {
+		t.Fatal("fault did not fire")
+	}
+	if _, ok := s.next("write"); ok {
+		t.Fatal("fault fired twice")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+func TestAnyOpCountsTotals(t *testing.T) {
+	s := NewScript(Fault{Op: "", After: 2, Kind: Close})
+	s.next("read")
+	s.next("write")
+	if f, ok := s.next("read"); !ok || f.Kind != Close {
+		t.Fatal("third operation should fault")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 5, 10)
+	b := Generate(42, 5, 10)
+	if len(a.faults) != 5 || len(b.faults) != 5 {
+		t.Fatal("wrong length")
+	}
+	for i := range a.faults {
+		if a.faults[i] != b.faults[i] {
+			t.Fatalf("fault %d differs: %v vs %v", i, a.faults[i], b.faults[i])
+		}
+	}
+	c := Generate(43, 5, 10)
+	same := true
+	for i := range a.faults {
+		if a.faults[i] != c.faults[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestListenerWrapsPerConnection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fl := WrapListener(l, func(i int) *Script {
+		if i == 0 {
+			return NewScript(Fault{Op: "read", After: 0, Kind: Close})
+		}
+		return nil // later connections are clean
+	})
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	c1, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	s1 := <-accepted
+	if _, err := s1.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("first conn read err = %v", err)
+	}
+	c2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	s2 := <-accepted
+	go c2.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := s2.Read(buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("second conn read %q err %v", buf, err)
+	}
+	s2.Close()
+}

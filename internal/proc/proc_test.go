@@ -1,6 +1,7 @@
 package proc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -161,5 +162,88 @@ func TestMountRefreshesState(t *testing.T) {
 	data, _ = fs.ReadFile("/proc/7/status")
 	if !strings.Contains(string(data), "Sleep") {
 		t.Errorf("refreshed status = %q", data)
+	}
+}
+
+// TestMountWriteFailurePropagates: when the namespace refuses the
+// materialization (here /proc is occupied by a regular file), Mount
+// must report the error, not swallow it.
+func TestMountWriteFailurePropagates(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/proc", []byte("in the way")); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable()
+	tb.Add(&Proc{PID: 9, Cmd: "help"})
+	err := tb.Mount(fs)
+	if err == nil {
+		t.Fatal("Mount over a file succeeded")
+	}
+	if !errors.Is(err, vfs.ErrNotDir) {
+		t.Errorf("err = %v, want ErrNotDir", err)
+	}
+}
+
+// TestMountClearsStaleNote: a process that recovers (fault cleared)
+// loses its /proc note on remount; re-materialization never leaves
+// stale files behind.
+func TestMountClearsStaleNote(t *testing.T) {
+	fs := vfs.New()
+	tb := NewTable()
+	p := tb.Add(&Proc{PID: 8, Cmd: "help"})
+	p.Crash(Fault{Note: "sys: trap"}, Regs{}, nil)
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/proc/8/note") {
+		t.Fatal("note not materialized")
+	}
+	p.Fault = nil
+	p.State = StateReady
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/proc/8/note") {
+		t.Error("stale note survives remount")
+	}
+	data, _ := fs.ReadFile("/proc/8/status")
+	if !strings.Contains(string(data), "Ready") {
+		t.Errorf("status = %q", data)
+	}
+}
+
+// TestMountManyRemovalsRematerialize: /proc tracks the table exactly
+// across adds and removals.
+func TestMountManyRemovalsRematerialize(t *testing.T) {
+	fs := vfs.New()
+	tb := NewTable()
+	for pid := 1; pid <= 5; pid++ {
+		tb.Add(&Proc{PID: pid, Cmd: "w"})
+	}
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	tb.Remove(2)
+	tb.Remove(4)
+	tb.Add(&Proc{PID: 6, Cmd: "w"})
+	if err := tb.Mount(fs); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	want := []string{"1", "3", "5", "6"}
+	if len(names) != len(want) {
+		t.Fatalf("entries = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("entries = %v, want %v", names, want)
+		}
 	}
 }

@@ -1,0 +1,187 @@
+package srvnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/vfs"
+)
+
+// The fault matrix: for every scripted faultnet scenario, the
+// ReconnectingClient must either return the correct result after
+// bounded retries or a typed ErrDegraded within its deadline — never a
+// hang, never a goroutine leak. Run under -race via `make test`.
+
+// matrixWorld serves a small namespace through a faulty listener and
+// returns a tuned reconnecting client plus the server for cleanup.
+func matrixWorld(t *testing.T, newScript func(i int) *faultnet.Script) (*ReconnectingClient, *Server, net.Listener) {
+	t.Helper()
+	fs := vfs.New()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/f", []byte("the payload"))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faultnet.WrapListener(l, newScript)
+	srv := NewServer(fs)
+	srv.IdleTimeout = 500 * time.Millisecond
+	srv.WriteTimeout = 200 * time.Millisecond
+	go srv.Serve(fl)
+	rc := NewReconnectingClient(l.Addr().String())
+	rc.OpTimeout = 150 * time.Millisecond
+	rc.BackoffBase = time.Millisecond
+	rc.BackoffCap = 10 * time.Millisecond
+	return rc, srv, l
+}
+
+// matrixScenarios are the scripted failures of the acceptance criteria,
+// injected into the server's first connection.
+var matrixScenarios = []struct {
+	name   string
+	script func() *faultnet.Script
+}{
+	{"drop-response", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Drop})
+	}},
+	{"stall-response", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Stall})
+	}},
+	{"partial-response", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Partial})
+	}},
+	{"corrupt-frame", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Corrupt})
+	}},
+	{"close-mid-response", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Close})
+	}},
+	{"stall-request-read", func() *faultnet.Script {
+		return faultnet.NewScript(faultnet.Fault{Op: "read", After: 0, Kind: faultnet.Stall})
+	}},
+	{"drop-then-corrupt", func() *faultnet.Script {
+		return faultnet.NewScript(
+			faultnet.Fault{Op: "write", After: 0, Kind: faultnet.Drop},
+			faultnet.Fault{Op: "write", After: 1, Kind: faultnet.Corrupt})
+	}},
+}
+
+// TestFaultMatrixRecovers: only the first connection is faulty, so every
+// scenario must end with the correct result after redial.
+func TestFaultMatrixRecovers(t *testing.T) {
+	for _, sc := range matrixScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			rc, srv, l := matrixWorld(t, func(i int) *faultnet.Script {
+				if i == 0 {
+					return sc.script()
+				}
+				return nil
+			})
+			defer l.Close()
+
+			start := time.Now()
+			data, err := rc.ReadFile("/d/f")
+			if err != nil {
+				t.Fatalf("err = %v", err)
+			}
+			if string(data) != "the payload" {
+				t.Fatalf("data = %q", data)
+			}
+			if elapsed := time.Since(start); elapsed > 3*time.Second {
+				t.Errorf("took %v", elapsed)
+			}
+			// The other idempotent ops work on the healthy connection.
+			if ents, err := rc.ReadDir("/d"); err != nil || len(ents) != 1 {
+				t.Errorf("readdir: %v %v", ents, err)
+			}
+			if _, err := rc.Stat("/d/f"); err != nil {
+				t.Errorf("stat: %v", err)
+			}
+			rc.Close()
+			l.Close()
+			srv.Shutdown(shutdownCtx(t))
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestFaultMatrixDegrades: every connection is faulty, so every scenario
+// must end with a typed ErrDegraded within the deadline — not a hang.
+func TestFaultMatrixDegrades(t *testing.T) {
+	for _, sc := range matrixScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			proto := sc.script().Faults()[0]
+			rc, srv, l := matrixWorld(t, func(i int) *faultnet.Script {
+				// Enough repeated faults to outlast the retry budget.
+				var faults []faultnet.Fault
+				for k := 0; k < 8; k++ {
+					f := proto
+					f.After = k
+					faults = append(faults, f)
+				}
+				return faultnet.NewScript(faults...)
+			})
+			defer l.Close()
+
+			start := time.Now()
+			_, err := rc.ReadFile("/d/f")
+			if !errors.Is(err, ErrDegraded) {
+				t.Fatalf("err = %v, want ErrDegraded", err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("degradation took %v", elapsed)
+			}
+			rc.Close()
+			l.Close()
+			srv.Shutdown(shutdownCtx(t))
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// shutdownCtx bounds a test's server shutdown.
+func shutdownCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestFaultMatrixGenerated sweeps pseudo-random scripts across seeds:
+// whatever the script does, each operation must finish quickly with
+// either the right answer or an error — and the namespace server must
+// survive to serve a clean connection afterward.
+func TestFaultMatrixGenerated(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		base := runtime.NumGoroutine()
+		rc, srv, l := matrixWorld(t, func(i int) *faultnet.Script {
+			return faultnet.Generate(seed*100+int64(i), 3, 6)
+		})
+
+		for op := 0; op < 6; op++ {
+			start := time.Now()
+			data, err := rc.ReadFile("/d/f")
+			if err == nil && string(data) != "the payload" {
+				t.Fatalf("seed %d op %d: wrong data %q with nil error", seed, op, data)
+			}
+			if err != nil && !errors.Is(err, ErrDegraded) && !retryable(err) {
+				t.Fatalf("seed %d op %d: untyped terminal error %v", seed, op, err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("seed %d op %d: took %v", seed, op, elapsed)
+			}
+		}
+		rc.Close()
+		l.Close()
+		srv.Shutdown(shutdownCtx(t))
+		waitGoroutines(t, base)
+	}
+}

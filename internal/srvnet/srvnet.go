@@ -6,9 +6,26 @@
 //
 // The protocol is a minimal file service in the spirit of 9P, carried as
 // newline-delimited JSON messages: each request names an operation and a
-// path; each response carries data, directory entries, or an error. One
-// request is served at a time per server (a mutex serializes namespace
-// access), which matches help's single-threaded discipline.
+// path and carries a sequence number; each response echoes the sequence
+// number and carries data, directory entries, or an error. One request
+// is served at a time per server (a mutex serializes namespace access),
+// which matches help's single-threaded discipline.
+//
+// The call is only "invisible" if the protocol survives a flaky network,
+// so the transport is hardened end to end:
+//
+//   - the server bounds idle connections and response writes with
+//     deadlines, tracks every connection in a registry, replies with an
+//     explicit protocol error to malformed frames instead of silently
+//     disconnecting, and drains in-flight requests on Shutdown;
+//   - error replies carry a machine-readable code, so vfs sentinel
+//     errors survive the wire and errors.Is works remotely;
+//   - Client bounds each round trip with a deadline and verifies the
+//     response sequence number;
+//   - ReconnectingClient (reconnect.go) adds automatic redial with
+//     capped, jittered exponential backoff for idempotent operations,
+//     degrading to a typed ErrDegraded instead of hanging when the
+//     remote side is gone.
 //
 // With a Server wrapped around the world's namespace, a Client on
 // another machine can drive the entire user interface through
@@ -18,17 +35,41 @@ package srvnet
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/vfs"
 )
 
+// Typed protocol-level errors. Test with errors.Is.
+var (
+	// ErrProto marks a protocol violation: a malformed frame reported
+	// by the peer, or an out-of-sequence response. The connection is
+	// not usable afterward.
+	ErrProto = errors.New("srvnet: protocol error")
+	// ErrBusy is the reply to a connection the server cannot take on:
+	// the registry is full or the server is shutting down.
+	ErrBusy = errors.New("srvnet: server busy")
+	// ErrClientClosed is returned by operations on a closed Client.
+	ErrClientClosed = errors.New("srvnet: client closed")
+)
+
+// Server tuning defaults.
+const (
+	DefaultIdleTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultMaxConns     = 64
+)
+
 // request is one wire operation.
 type request struct {
+	Seq     uint64 `json:"seq"`
 	Op      string `json:"op"`
 	Path    string `json:"path,omitempty"`
 	Data    []byte `json:"data,omitempty"`
@@ -44,26 +85,114 @@ type entry struct {
 	ModTime int64  `json:"modTime"`
 }
 
-// response is one wire reply.
+// response is one wire reply. Seq echoes the request's sequence number;
+// a response the server cannot attribute to a request (a malformed
+// frame, a busy rejection) carries Seq 0 and a Code of "proto" or
+// "busy".
 type response struct {
+	Seq     uint64   `json:"seq"`
 	Err     string   `json:"err,omitempty"`
+	Code    string   `json:"code,omitempty"`
 	Data    []byte   `json:"data,omitempty"`
 	Entries []entry  `json:"entries,omitempty"`
 	Names   []string `json:"names,omitempty"`
 	Info    *entry   `json:"info,omitempty"`
 }
 
-// Server exports one namespace.
+// Wire error codes, mapping vfs sentinels (and protocol conditions)
+// across the connection so clients can classify failures with errors.Is.
+const (
+	codeNotExist = "not-exist"
+	codeExist    = "exist"
+	codeIsDir    = "is-dir"
+	codeNotDir   = "not-dir"
+	codePerm     = "perm"
+	codeBadMode  = "bad-mode"
+	codeProto    = "proto"
+	codeBusy     = "busy"
+)
+
+var codeToErr = map[string]error{
+	codeNotExist: vfs.ErrNotExist,
+	codeExist:    vfs.ErrExist,
+	codeIsDir:    vfs.ErrIsDir,
+	codeNotDir:   vfs.ErrNotDir,
+	codePerm:     vfs.ErrPerm,
+	codeBadMode:  vfs.ErrBadMode,
+	codeProto:    ErrProto,
+	codeBusy:     ErrBusy,
+}
+
+// codeOf maps a server-side error to its wire code; "" if none applies.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, vfs.ErrNotExist):
+		return codeNotExist
+	case errors.Is(err, vfs.ErrExist):
+		return codeExist
+	case errors.Is(err, vfs.ErrIsDir):
+		return codeIsDir
+	case errors.Is(err, vfs.ErrNotDir):
+		return codeNotDir
+	case errors.Is(err, vfs.ErrPerm):
+		return codePerm
+	case errors.Is(err, vfs.ErrBadMode):
+		return codeBadMode
+	}
+	return ""
+}
+
+// wireError reconstructs a remote error on the client: the message is
+// the server's, Unwrap restores the sentinel named by the wire code.
+type wireError struct {
+	msg  string
+	base error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.base }
+
+// errFromWire turns an error reply into a client-side error that keeps
+// both the remote message and, when the code is known, the sentinel.
+func errFromWire(msg, code string) error {
+	if base, ok := codeToErr[code]; ok {
+		return &wireError{msg: msg, base: base}
+	}
+	return errors.New(msg)
+}
+
+// Server exports one namespace. The zero-value timeouts and limits are
+// replaced by the Default* constants; set the fields before Serve to
+// override them.
 type Server struct {
 	fs *vfs.FS
 	mu sync.Mutex
+
+	// IdleTimeout bounds how long a connection may sit between
+	// requests before the server closes it.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write.
+	WriteTimeout time.Duration
+	// MaxConns bounds concurrently served connections; connections
+	// beyond it receive an ErrBusy reply and are closed.
+	MaxConns int
+
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+	wg        sync.WaitGroup
+	draining  bool
 }
 
 // NewServer wraps fs for serving. The mutex serializes all requests, so
 // the namespace needs no locking of its own; anything else touching the
 // same namespace concurrently must coordinate through Locker.
 func NewServer(fs *vfs.FS) *Server {
-	return &Server{fs: fs}
+	return &Server{
+		fs:        fs,
+		conns:     map[net.Conn]struct{}{},
+		listeners: map[net.Listener]struct{}{},
+	}
 }
 
 // Locker exposes the serialization lock so a host embedding the server
@@ -71,11 +200,91 @@ func NewServer(fs *vfs.FS) *Server {
 // access.
 func (s *Server) Locker() sync.Locker { return &s.mu }
 
-// Serve accepts connections until the listener closes.
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return DefaultWriteTimeout
+}
+
+func (s *Server) maxConns() int {
+	if s.MaxConns > 0 {
+		return s.MaxConns
+	}
+	return DefaultMaxConns
+}
+
+// register adds conn to the registry and reserves a goroutine slot. It
+// reports false when the server is draining or full.
+func (s *Server) register(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining || len(s.conns) >= s.maxConns() {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+// unregister removes conn, closes it, and releases its slot.
+func (s *Server) unregister(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+// closeConns force-closes every live connection.
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ConnCount reports the number of live registered connections.
+func (s *Server) ConnCount() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+// Serve accepts connections until the listener closes. When it does,
+// Serve closes every connection it accepted and waits for their
+// goroutines to finish before returning, so no goroutine outlives the
+// listener.
 func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.draining {
+		s.connMu.Unlock()
+		return ErrBusy
+	}
+	s.listeners[l] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.listeners, l)
+		s.connMu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.closeConns()
+			s.wg.Wait()
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
@@ -85,20 +294,86 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// ServeConn handles one connection until EOF.
+// ServeConn handles one connection until EOF, idle timeout, protocol
+// error, or server shutdown. A connection the server cannot take on
+// (registry full, draining) receives one busy reply and is closed.
 func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
+	if !s.register(conn) {
+		enc := json.NewEncoder(conn)
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		enc.Encode(response{Err: ErrBusy.Error(), Code: codeBusy})
+		conn.Close()
+		return
+	}
+	defer s.unregister(conn)
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			// EOF, a closed or timed-out connection: nothing to say.
+			var ne net.Error
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, net.ErrClosed) || (errors.As(err, &ne) && ne.Timeout()) {
+				return
+			}
+			// A malformed frame deserves an explicit reply before the
+			// connection closes: the JSON stream cannot be resynced, but
+			// the client learns why instead of seeing a silent hangup.
+			s.reply(conn, enc, response{
+				Err:  fmt.Sprintf("srvnet: malformed request: %v", err),
+				Code: codeProto,
+			})
 			return
 		}
 		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
+		resp.Seq = req.Seq
+		if err := s.reply(conn, enc, resp); err != nil {
 			return
 		}
+	}
+}
+
+// reply writes one response under the write deadline.
+func (s *Server) reply(conn net.Conn, enc *json.Encoder, r response) error {
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+	return enc.Encode(r)
+}
+
+// Shutdown gracefully stops the server: it closes the listeners handed
+// to Serve, stops accepting new connections, lets requests already in
+// flight complete, and then closes their connections. If ctx expires
+// first, remaining connections are force-closed and ctx's error is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.connMu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Nudge idle connections: an immediate read deadline makes their
+	// blocked Decode return, while a request currently being handled
+	// still gets its response written before the loop exits.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close without waiting: a handler blocked on the host's
+		// namespace lock (Locker) must not deadlock Shutdown; it exits
+		// when its next conn operation fails.
+		s.closeConns()
+		return ctx.Err()
 	}
 }
 
@@ -106,7 +381,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 func (s *Server) handle(req request) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fail := func(err error) response { return response{Err: err.Error()} }
+	fail := func(err error) response { return response{Err: err.Error(), Code: codeOf(err)} }
 	switch req.Op {
 	case "read":
 		data, err := s.fs.ReadFile(req.Path)
@@ -154,28 +429,40 @@ func (s *Server) handle(req request) response {
 		}
 		return response{}
 	}
-	return response{Err: fmt.Sprintf("srvnet: unknown op %q", req.Op)}
+	return response{Err: fmt.Sprintf("srvnet: unknown op %q", req.Op), Code: codeProto}
 }
 
-// Client is a remote namespace handle. It is safe for one goroutine; the
-// underlying connection carries one request at a time.
+// Client is a remote namespace handle over one connection. Methods are
+// safe for concurrent use; the mutex serializes round trips, and Close
+// during a round trip waits for it to finish (the per-op Timeout bounds
+// the wait).
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
-	mu   sync.Mutex
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
+	seq    uint64
+	closed bool
+
+	// Timeout bounds each round trip (write plus read). Zero means no
+	// deadline — a dead server then hangs the call, so remote users
+	// should set it (Dial does; ReconnectingClient always does).
+	Timeout time.Duration
 }
 
-// Dial connects to a Server at addr.
+// Dial connects to a Server at addr with the default round-trip timeout.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.Timeout = DefaultWriteTimeout
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. No round-trip timeout is
+// set; callers owning exotic transports set Timeout themselves.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
@@ -184,24 +471,67 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. It takes the client mutex, so a Close
+// racing an in-flight round trip waits for the round trip to finish
+// rather than interleaving on the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
 
-// rpc performs one round trip.
+// rpc performs one round trip: encode the request, decode the response,
+// verify the echoed sequence number. A protocol-level failure (decode
+// error, out-of-sequence or unattributable reply) poisons the
+// connection: it is closed and further calls return ErrClientClosed.
 func (c *Client) rpc(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return response{}, ErrClientClosed
+	}
+	c.seq++
+	req.Seq = c.seq
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return response{}, err
+		c.poison()
+		return response{}, fmt.Errorf("srvnet: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, err
+		c.poison()
+		return response{}, fmt.Errorf("srvnet: receive: %w", err)
+	}
+	if resp.Seq != req.Seq {
+		// A Seq-0 error reply is the server refusing the frame itself
+		// (malformed, busy): surface its message. Anything else is an
+		// out-of-sequence response. Both end the connection.
+		c.poison()
+		if resp.Seq == 0 && resp.Err != "" {
+			return response{}, errFromWire(resp.Err, resp.Code)
+		}
+		return response{}, fmt.Errorf("%w: response out of sequence (got %d, want %d)",
+			ErrProto, resp.Seq, req.Seq)
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, errFromWire(resp.Err, resp.Code)
 	}
 	return resp, nil
+}
+
+// poison closes the connection after a transport-level failure. Caller
+// holds c.mu.
+func (c *Client) poison() {
+	if !c.closed {
+		c.closed = true
+		c.conn.Close()
+	}
 }
 
 // ReadFile reads a remote file.

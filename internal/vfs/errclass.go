@@ -1,0 +1,51 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// Error classification for remote namespace clients. A file protocol
+// carrying this namespace over a network (internal/srvnet) needs to
+// distinguish errors the namespace itself produced — which name a
+// property of the tree and will recur on retry — from transport
+// failures, which a reconnect may cure.
+
+// IsPermanent reports whether err names a namespace condition that
+// retrying the same operation cannot fix: a missing file, an existing
+// file, a directory where a file was wanted, and so on.
+func IsPermanent(err error) bool {
+	for _, sentinel := range []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrPerm, ErrBadMode} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsRetryable reports whether err looks transient — a timeout, a closed
+// or reset connection, a truncated frame — so that a client holding an
+// idempotent operation may redial and try again. Errors that are
+// neither permanent nor recognizably transient report false from both
+// predicates; callers choose their own policy for those.
+func IsRetryable(err error) bool {
+	if err == nil || IsPermanent(err) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, transient := range []error{
+		io.EOF, io.ErrUnexpectedEOF, io.ErrClosedPipe, net.ErrClosed,
+		os.ErrDeadlineExceeded, syscall.ECONNRESET, syscall.ECONNREFUSED, syscall.EPIPE,
+	} {
+		if errors.Is(err, transient) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestIsPermanent(t *testing.T) {
+	fs := New()
+	_, err := fs.ReadFile("/nope")
+	if !IsPermanent(err) {
+		t.Errorf("ReadFile missing: IsPermanent(%v) = false", err)
+	}
+	fs.MkdirAll("/d")
+	if err := fs.WriteFile("/d", nil); !IsPermanent(err) {
+		t.Errorf("write over dir: IsPermanent(%v) = false", err)
+	}
+	for _, sentinel := range []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrPerm, ErrBadMode} {
+		wrapped := fmt.Errorf("/x: %w", sentinel)
+		if !IsPermanent(wrapped) {
+			t.Errorf("IsPermanent(%v) = false", wrapped)
+		}
+		if IsRetryable(wrapped) {
+			t.Errorf("IsRetryable(%v) = true", wrapped)
+		}
+	}
+	if IsPermanent(nil) || IsPermanent(errors.New("weird")) {
+		t.Error("nil/unknown classified permanent")
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	transients := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		net.ErrClosed,
+		os.ErrDeadlineExceeded,
+		syscall.ECONNRESET,
+		syscall.ECONNREFUSED,
+		fmt.Errorf("rpc: %w", io.EOF),
+	}
+	for _, err := range transients {
+		if !IsRetryable(err) {
+			t.Errorf("IsRetryable(%v) = false", err)
+		}
+		if IsPermanent(err) {
+			t.Errorf("IsPermanent(%v) = true", err)
+		}
+	}
+	if IsRetryable(nil) {
+		t.Error("nil classified retryable")
+	}
+	if IsRetryable(errors.New("weird")) {
+		t.Error("unknown error classified retryable")
+	}
+}
+
+// timeoutErr exercises the net.Error timeout path.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "fake timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestIsRetryableTimeoutInterface(t *testing.T) {
+	if !IsRetryable(timeoutErr{}) {
+		t.Error("net.Error timeout not retryable")
+	}
+	if !IsRetryable(fmt.Errorf("op: %w", timeoutErr{})) {
+		t.Error("wrapped net.Error timeout not retryable")
+	}
+}

@@ -1,0 +1,79 @@
+package world
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/srvnet"
+)
+
+// TestRemoteDegradationReachesErrorsWindow is the graceful-degradation
+// flow of examples/remote: a reconnecting client drives help over the
+// wire; when the CPU server dies, the client degrades with a typed
+// error and the failure is reported in help's Errors window instead of
+// freezing the UI.
+func TestRemoteDegradationReachesErrorsWindow(t *testing.T) {
+	w, err := Build(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := srvnet.NewServer(w.FS)
+	go srv.Serve(l)
+
+	rc := srvnet.NewReconnectingClient(l.Addr().String())
+	rc.OpTimeout = 100 * time.Millisecond
+	rc.BackoffBase = time.Millisecond
+	rc.BackoffCap = 10 * time.Millisecond
+	rc.MaxRetries = 2
+	// The wiring of examples/remote: client health lands in the Errors
+	// window through core's fault reporting.
+	rc.OnStateChange = func(s srvnet.State, err error) {
+		w.Help.ReportFault("remote ("+s.String()+")", err)
+	}
+	defer rc.Close()
+
+	// Healthy: drive the UI over the wire, as in the paper's scenario.
+	data, err := rc.ReadFile(MountRoot + "/new/ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(string(data))
+	if err := rc.WriteFile(MountRoot+"/"+id+"/ctl", []byte("name /remote/x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Help.WindowByName("/remote/x") == nil {
+		t.Fatal("remote window not created")
+	}
+
+	// The CPU server dies.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// The client degrades instead of hanging...
+	start := time.Now()
+	_, err = rc.ReadFile(MountRoot + "/index")
+	if !errors.Is(err, srvnet.ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("degradation took %v", elapsed)
+	}
+	// ...and the degraded state is visible in the Errors window.
+	errs := w.Help.Errors().Body.String()
+	if !strings.Contains(errs, "remote (degraded)") ||
+		!strings.Contains(errs, "degraded") {
+		t.Errorf("Errors window = %q", errs)
+	}
+}

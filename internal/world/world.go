@@ -70,7 +70,10 @@ func Build(w, h int) (*World, error) {
 		return nil, err
 	}
 
-	table := installProcs(fs)
+	table, err := installProcs(fs)
+	if err != nil {
+		return nil, err
+	}
 	adb.Install(sh, table)
 	installCompilers(sh)
 
@@ -229,7 +232,7 @@ func installMbox(fs *vfs.FS) error {
 
 // installProcs builds the process table with the crashed help 176153,
 // carrying the exact stack of Figure 7, and mounts /proc.
-func installProcs(fs *vfs.FS) *proc.Table {
+func installProcs(fs *vfs.FS) (*proc.Table, error) {
 	table := proc.NewTable()
 	table.Add(&proc.Proc{PID: 1, Cmd: "init", State: proc.StateSleep})
 	table.Add(&proc.Proc{PID: 92, Cmd: "rc", State: proc.StateSleep})
@@ -246,8 +249,10 @@ func installProcs(fs *vfs.FS) *proc.Table {
 		proc.Regs{PC: 0x18df4, SP: 0x3f4e8, Status: 0xfb0c, BadVAddr: 0},
 		paperStack(),
 	)
-	table.Mount(fs)
-	return table
+	if err := table.Mount(fs); err != nil {
+		return nil, fmt.Errorf("world: mounting /proc: %w", err)
+	}
+	return table, nil
 }
 
 // paperStack reproduces Figure 7's traceback frame by frame.
