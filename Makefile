@@ -14,8 +14,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Bench evidence loop: run the suite, record BENCH_PR2.json, and fail if
+# anything regressed >20% on ns/op or allocs/op against the checked-in
+# pre-PR baseline (see docs/ARCHITECTURE.md, "Performance model").
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_BASELINE.json -o BENCH_PR2.json
 
 figs:
 	$(GO) run ./cmd/helpfigs -o figures
@@ -28,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzParseFile$$' -fuzztime=30s ./internal/cc
 	$(GO) test -fuzz='FuzzAddress$$' -fuzztime=30s ./internal/text
 	$(GO) test -fuzz='FuzzEditSequence$$' -fuzztime=30s ./internal/text
+	$(GO) test -fuzz='FuzzLineIndex$$' -fuzztime=30s ./internal/text
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

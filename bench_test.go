@@ -197,6 +197,32 @@ func BenchmarkRenderScreen(b *testing.B) {
 	}
 }
 
+// BenchmarkRenderScreenDamaged measures a redraw after a one-rune edit:
+// the incremental path repaints only the damaged column, so this sits
+// between the all-clean fast path and a full repaint.
+func BenchmarkRenderScreenDamaged(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	var win *core.Window
+	for _, f := range []string{"help.c", "exec.c", "text.c"} {
+		if win, err = w.Help.OpenFile(world.SrcDir+"/"+f, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Help.Render()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win.Body.Insert(0, "x")
+		win.Body.Delete(0, 1)
+		w.Help.Render()
+	}
+}
+
 // BenchmarkOpenFile measures Open (window creation + placement + read).
 func BenchmarkOpenFile(b *testing.B) {
 	w, err := world.Build(120, 60)

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	helpbench [-table name] [-w cols] [-h rows] [-src dir]
+//	helpbench -benchjson file|- [-baseline file.json] [-o out.json]
 //
 // Tables: clicks, interaction, usesgrep, size, placement, connectivity,
-// all (default).
+// all (default). The second form parses `go test -bench -benchmem`
+// output into JSON and exits nonzero if any benchmark regressed >20%
+// against the baseline (see bench.go).
 package main
 
 import (
@@ -25,7 +28,15 @@ func main() {
 	width := flag.Int("w", 120, "screen width")
 	height := flag.Int("h", 60, "screen height")
 	srcRoot := flag.String("src", ".", "repository root for the size table")
+	benchJSON := flag.String("benchjson", "", "parse `go test -bench` output from this file (- for stdin) instead of printing tables")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against (with -benchjson)")
+	outJSON := flag.String("o", "", "write bench JSON here (with -benchjson; default stdout)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBenchMode(*benchJSON, *baseline, *outJSON)
+		return
+	}
 
 	run := func(name string, fn func(io.Writer) error) {
 		if *table != "all" && *table != name {

@@ -130,6 +130,11 @@ type Help struct {
 	// sweepExec is the live middle-button sweep, painted underlined.
 	sweepExec *execSweep
 
+	// lastColSigs holds each column's signature from the previous
+	// Render; a column whose signature is unchanged is not repainted.
+	lastColSigs []colSig
+	rendered    bool // a full render has happened at least once
+
 	// OnWindowCreated and OnWindowClosed notify observers (the helpfs
 	// file service) when windows come and go.
 	OnWindowCreated func(*Window)

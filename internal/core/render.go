@@ -6,19 +6,126 @@ import (
 	"repro/internal/draw"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/text"
 )
+
+// winSig captures everything renderWindow reads for one window. Two equal
+// signatures guarantee the window would paint identically, so comparing
+// them is a sound damage check.
+type winSig struct {
+	id        int
+	top       int
+	span      int
+	tag, body *text.Buffer // buffers can be swapped wholesale (OpenFile)
+	tagGen    uint64
+	bodyGen   uint64
+	bodyOrg   int
+	selTag    Selection
+	selBody   Selection
+	cur       int // current subwindow if this window owns the selection, else -1
+	sweep     Selection
+	sweepSub  int // subwindow of a live exec sweep in this window, else -1
+}
+
+// colSig is one column's damage signature: its rectangle, tab tower, and
+// the signatures of its displayed windows in paint order.
+type colSig struct {
+	r     geom.Rect
+	nWins int
+	wins  []winSig
+}
+
+func (a colSig) equal(b colSig) bool {
+	if a.r != b.r || a.nWins != b.nWins || len(a.wins) != len(b.wins) {
+		return false
+	}
+	for i := range a.wins {
+		if a.wins[i] != b.wins[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// colSignature computes col's current signature.
+func (h *Help) colSignature(col *Column) colSig {
+	sig := colSig{r: col.r, nWins: len(col.wins)}
+	for _, w := range col.displayed() {
+		ws := winSig{
+			id:       w.ID,
+			top:      w.top,
+			span:     col.visibleSpan(w),
+			tag:      w.Tag,
+			body:     w.Body,
+			tagGen:   w.Tag.Gen(),
+			bodyGen:  w.Body.Gen(),
+			bodyOrg:  w.bodyOrg,
+			selTag:   w.Sel[SubTag],
+			selBody:  w.Sel[SubBody],
+			cur:      -1,
+			sweepSub: -1,
+		}
+		if h.curWin == w {
+			ws.cur = h.curSub
+		}
+		if sw := h.sweepExec; sw != nil && sw.win == w {
+			ws.sweep = Selection{sw.q0, sw.q1}
+			ws.sweepSub = sw.sub
+		}
+		sig.wins = append(sig.wins, ws)
+	}
+	return sig
+}
 
 // Render paints the whole screen: the column tab row, each column's tab
 // tower, and every displayed window (tag line, scroll bar, body). The
 // current selection paints in reverse video; selections in other
 // subwindows paint in outline, as the paper specifies.
+//
+// Rendering is incremental: each column's signature (geometry, window
+// list, buffer generations, origins, selections, sweep state) is compared
+// against the previous render, and only columns whose signature changed
+// are repainted. A column layout change (resize, first render) forces a
+// full repaint so the tab row and any vacated cells are refreshed.
 func (h *Help) Render() {
-	h.screen.Clear()
-	h.renderColumnTabRow()
-	for _, col := range h.cols {
-		h.renderColumn(col)
+	sigs := make([]colSig, len(h.cols))
+	for i, col := range h.cols {
+		sigs[i] = h.colSignature(col)
 	}
-	h.renderExecSweep()
+	full := !h.rendered || len(sigs) != len(h.lastColSigs)
+	if !full {
+		for i := range sigs {
+			if sigs[i].r != h.lastColSigs[i].r {
+				full = true
+				break
+			}
+		}
+	}
+	if full {
+		h.screen.Clear()
+		h.renderColumnTabRow()
+		for _, col := range h.cols {
+			h.renderColumn(col)
+		}
+		h.renderExecSweep()
+	} else {
+		damaged := false
+		for i, col := range h.cols {
+			if sigs[i].equal(h.lastColSigs[i]) {
+				continue
+			}
+			damaged = true
+			h.screen.Fill(col.r, ' ', draw.Plain)
+			h.renderColumn(col)
+		}
+		if damaged {
+			// Re-applying the sweep underline is idempotent for columns
+			// that were not repainted.
+			h.renderExecSweep()
+		}
+	}
+	h.lastColSigs = sigs
+	h.rendered = true
 }
 
 // renderExecSweep underlines the text currently being swept with the
@@ -78,7 +185,7 @@ func (h *Help) renderWindow(col *Column, w *Window) {
 	tagRect := geom.Rt(area.Min.X, w.top, area.Max.X, w.top+1)
 	// Tag line: background tint, then laid-out tag text with selection.
 	h.screen.Fill(tagRect, ' ', draw.Tag)
-	w.tagFrame = frame.New(w.Tag, tagRect, 0)
+	w.tagFrame = frame.Reuse(w.tagFrame, w.Tag, tagRect, 0)
 	h.renderSub(w, SubTag, w.tagFrame, draw.Tag)
 
 	if span == 1 {
@@ -90,7 +197,7 @@ func (h *Help) renderWindow(col *Column, w *Window) {
 	if w.bodyOrg > w.Body.Len() {
 		w.bodyOrg = w.Body.Len()
 	}
-	w.bodyFrame = frame.New(w.Body, bodyRect, w.bodyOrg)
+	w.bodyFrame = frame.Reuse(w.bodyFrame, w.Body, bodyRect, w.bodyOrg)
 	h.renderSub(w, SubBody, w.bodyFrame, draw.Plain)
 	h.renderScrollBar(w, barRect)
 }
@@ -131,11 +238,25 @@ func (h *Help) renderScrollBar(w *Window, r geom.Rect) {
 		total = 1
 	}
 	topLine := w.Body.LineAt(w.bodyOrg) - 1
-	visible := rows
+	// The bar's extent is the fraction of the buffer on screen, computed
+	// from the count of visible lines (the lines from the origin to the
+	// end of the buffer or the gutter, whichever is nearer). Using rows
+	// as the visible count made the extent rows²/total, which overflows
+	// the gutter for short buffers and then mis-pins the bar position.
+	visible := total - topLine
+	if visible < 0 {
+		visible = 0
+	}
+	if visible > rows {
+		visible = rows
+	}
 	barTop := topLine * rows / total
 	barLen := visible * rows / total
 	if barLen < 1 {
 		barLen = 1
+	}
+	if barLen > rows {
+		barLen = rows
 	}
 	if barTop+barLen > rows {
 		barTop = rows - barLen

@@ -181,6 +181,12 @@ func (w *Window) scrollTo(q int) {
 		lines = 3
 	}
 	ln := w.Body.LineAt(q)
+	// The end of a newline-terminated buffer resolves to the phantom
+	// line after the last newline; clamp so addressing past EOF
+	// (file.c:9999) cannot scroll beyond the last real line.
+	if max := w.Body.NLines(); ln > max {
+		ln = max
+	}
 	top := ln - lines/3
 	if top < 1 {
 		top = 1

@@ -30,15 +30,41 @@ type Frame struct {
 	// offAt[row][col] is the rune offset whose glyph (or tab/newline
 	// expansion) occupies that cell, or -1 for cells past end of text.
 	offAt   [][]int
+	cells   []int // backing storage for offAt rows
 	lineEnd []int // offset one past the last rune shown on each row
 	maxOff  int   // one past the last offset laid out
 	full    bool  // true if text continues past the bottom of the frame
+
+	// gen is the buffer generation the layout was computed from; Reuse
+	// compares it against the buffer's current generation to decide
+	// whether the layout is still valid.
+	gen uint64
 }
 
 // New returns a frame over buf occupying rect, showing text from offset
 // org. The frame is laid out immediately.
 func New(buf *text.Buffer, rect geom.Rect, org int) *Frame {
 	f := &Frame{buf: buf, rect: rect, org: org, tabWidth: DefaultTabWidth}
+	f.Reflow()
+	return f
+}
+
+// Reuse returns a frame over buf occupying rect from origin org,
+// recycling f when possible. If f already shows exactly that view of an
+// unedited buffer — same buffer, rect, origin, and edit generation — it is
+// returned untouched, skipping the relayout entirely; otherwise f (or a
+// fresh frame, if f is nil or views another buffer) is reflowed in place,
+// reusing its layout arrays. This is the damage check that lets a redraw
+// cost nothing for windows whose view did not change.
+func Reuse(f *Frame, buf *text.Buffer, rect geom.Rect, org int) *Frame {
+	if f == nil || f.buf != buf {
+		return New(buf, rect, org)
+	}
+	if f.rect == rect && f.org == org && f.gen == buf.Gen() {
+		return f
+	}
+	f.rect = rect
+	f.org = org
 	f.Reflow()
 	return f
 }
@@ -65,10 +91,9 @@ func (f *Frame) SetOrg(org int) {
 	if org > f.buf.Len() {
 		org = f.buf.Len()
 	}
-	// Snap to the start of the containing line.
-	for org > 0 && f.buf.At(org-1) != '\n' {
-		org--
-	}
+	// Snap to the start of the containing line, via the buffer's line
+	// index rather than a rune-by-rune walk backwards.
+	org = f.buf.LineStart(f.buf.LineAt(org))
 	f.org = org
 	f.Reflow()
 }
@@ -94,6 +119,13 @@ func (f *Frame) ShowOffset(off int) {
 		return
 	}
 	ln := f.buf.LineAt(off)
+	// Clamp against the real line count: offsets at the end of a buffer
+	// with a trailing newline resolve to the phantom line after it, and
+	// scrolling there (an address past EOF, like file.c:9999) would show
+	// an empty frame beyond the last line.
+	if max := f.buf.NLines(); ln > max {
+		ln = max
+	}
 	top := ln - f.rect.Dy()/3
 	if top < 1 {
 		top = 1
@@ -119,17 +151,26 @@ func (f *Frame) Visible(off int) bool {
 	return off == f.maxOff && !f.full
 }
 
-// Reflow recomputes the layout from the current buffer contents.
+// Reflow recomputes the layout from the current buffer contents. The
+// layout arrays are reused across reflows of the same geometry, so a
+// relayout allocates only when the frame grows.
 func (f *Frame) Reflow() {
 	w, h := f.rect.Dx(), f.rect.Dy()
-	f.offAt = make([][]int, h)
-	f.lineEnd = make([]int, h)
-	for i := range f.offAt {
-		f.offAt[i] = make([]int, w)
-		for j := range f.offAt[i] {
-			f.offAt[i][j] = -1
+	if len(f.cells) != w*h || len(f.offAt) != h {
+		f.cells = make([]int, w*h)
+		f.offAt = make([][]int, h)
+		for i := range f.offAt {
+			f.offAt[i] = f.cells[i*w : (i+1)*w]
 		}
+		f.lineEnd = make([]int, h)
 	}
+	for i := range f.cells {
+		f.cells[i] = -1
+	}
+	for i := range f.lineEnd {
+		f.lineEnd[i] = 0
+	}
+	f.gen = f.buf.Gen()
 	if w <= 0 || h <= 0 {
 		f.maxOff = f.org
 		f.full = true

@@ -317,3 +317,95 @@ func BenchmarkOffsetOf(b *testing.B) {
 		f.OffsetOf(geom.Pt(i%80, i%40))
 	}
 }
+
+// Reuse must hand back the same frame untouched when nothing it depends
+// on (buffer contents, rect, origin) has changed, and reflow in place —
+// same pointer, fresh layout — when something has.
+func TestReuseIdentity(t *testing.T) {
+	b := text.NewBuffer("one\ntwo\nthree\nfour\n")
+	f := Reuse(nil, b, geom.Rt(0, 0, 10, 3), 0)
+	if f == nil {
+		t.Fatal("Reuse(nil) returned nil")
+	}
+	if g := Reuse(f, b, geom.Rt(0, 0, 10, 3), 0); g != f {
+		t.Error("unchanged buffer/rect/org: Reuse returned a new frame")
+	}
+
+	b.Insert(0, "zero\n")
+	g := Reuse(f, b, geom.Rt(0, 0, 10, 3), 0)
+	if g != f {
+		t.Error("edited buffer: Reuse should reflow in place, not reallocate")
+	}
+	if off := g.OffsetOf(geom.Pt(0, 0)); off != 0 {
+		t.Errorf("after reflow row 0 starts at %d, want 0", off)
+	}
+	if _, ok := g.PointOf(b.LineStart(2)); !ok {
+		t.Error("line 2 ('one') not visible after reflow")
+	}
+
+	// Origin change relays out even when the buffer is untouched.
+	org := b.LineStart(2)
+	g = Reuse(f, b, geom.Rt(0, 0, 10, 3), org)
+	if g.Org() != org {
+		t.Errorf("Org = %d, want %d", g.Org(), org)
+	}
+	if got := g.OffsetOf(geom.Pt(0, 0)); got != org {
+		t.Errorf("top-left offset %d, want new org %d", got, org)
+	}
+
+	// Rect change relays out too.
+	g = Reuse(g, b, geom.Rt(0, 0, 3, 3), org)
+	if g.Rect() != geom.Rt(0, 0, 3, 3) {
+		t.Errorf("rect not updated: %v", g.Rect())
+	}
+
+	// A different buffer gets a fresh frame: cached layout is meaningless.
+	b2 := text.NewBuffer("other\n")
+	h := Reuse(g, b2, geom.Rt(0, 0, 10, 3), 0)
+	if h == g {
+		t.Error("different buffer must get a fresh frame")
+	}
+}
+
+// Reuse after an edit must agree cell-for-cell with a frame built from
+// scratch over the same state.
+func TestReuseMatchesFresh(t *testing.T) {
+	b := text.NewBuffer(strings.Repeat("alpha beta gamma\n", 8))
+	f := Reuse(nil, b, geom.Rt(0, 0, 12, 5), 0)
+	for i, edit := range []func(){
+		func() { b.Insert(0, "INS ") },
+		func() { b.Delete(5, 7) },
+		func() { b.Insert(b.Len(), "\ntail line") },
+		func() { b.Undo() },
+	} {
+		edit()
+		f = Reuse(f, b, geom.Rt(0, 0, 12, 5), 0)
+		fresh := New(b, geom.Rt(0, 0, 12, 5), 0)
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 12; x++ {
+				got := f.OffsetOf(geom.Pt(x, y))
+				want := fresh.OffsetOf(geom.Pt(x, y))
+				if got != want {
+					t.Fatalf("edit %d: cell (%d,%d) offset %d, fresh frame says %d", i, x, y, got, want)
+				}
+			}
+		}
+		if f.MaxOff() != fresh.MaxOff() {
+			t.Fatalf("edit %d: MaxOff %d vs fresh %d", i, f.MaxOff(), fresh.MaxOff())
+		}
+	}
+}
+
+// ShowOffset clamps phantom line addresses (file.c:9999) to the last
+// real line instead of scrolling into empty space.
+func TestShowOffsetPastEOFClamps(t *testing.T) {
+	b := text.NewBuffer(strings.Repeat("line\n", 40))
+	f := New(b, geom.Rt(0, 0, 10, 5), 0)
+	f.ShowOffset(b.Len())
+	if f.Org() >= b.Len() {
+		t.Errorf("org %d scrolled past the last line (len %d)", f.Org(), b.Len())
+	}
+	if !f.Visible(b.LineStart(40)) {
+		t.Error("last real line not visible after addressing EOF")
+	}
+}

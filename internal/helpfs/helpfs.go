@@ -190,7 +190,13 @@ func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	if rw != vfs.OREAD {
 		h.writable = true
 	}
-	h.snapshot = w.Buffer(d.sub).String()
+	// A write-only open never reads, so skip the snapshot: appenders
+	// (bodyapp, the path every tool's output takes) must not pay a copy
+	// of the whole buffer per write.
+	if rw != vfs.OWRITE {
+		h.readable = true
+		h.snapshot = w.Buffer(d.sub).String()
+	}
 	return h, nil
 }
 
@@ -198,12 +204,16 @@ type bufHandle struct {
 	d        *bufDevice
 	w        *core.Window
 	snapshot string
+	readable bool
 	writable bool
 	wrote    bool
 	pending  []byte
 }
 
 func (h *bufHandle) ReadAt(p []byte, off int64) (int, error) {
+	if !h.readable {
+		return 0, fmt.Errorf("helpfs: not opened for reading")
+	}
 	if off >= int64(len(h.snapshot)) {
 		return 0, io.EOF
 	}

@@ -12,6 +12,7 @@ package text
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -26,11 +27,30 @@ type Buffer struct {
 	gapStart int
 	gapEnd   int
 
-	undo     []change
-	redo     []change
-	seq      int  // current transaction sequence number
-	noUndo   bool // true while replaying undo/redo
-	modified bool
+	// newlines is the line index: the offset of every '\n' in the text,
+	// ascending. primInsert/primDelete maintain it incrementally, so the
+	// line queries (LineStart, LineEnd, LineAt, NLines) are binary
+	// searches or direct lookups instead of full buffer scans.
+	newlines []int
+
+	// gen counts primitive edits (including undo/redo replay). Frames
+	// compare it against the generation they laid out to decide whether
+	// a relayout is needed.
+	gen uint64
+
+	undo   []change
+	redo   []change
+	seq    int  // current transaction sequence number
+	noUndo bool // true while replaying undo/redo
+
+	// Clean-state tracking for Modified: cleanLen is the undo-log length
+	// at the last SetClean (or creation); cleanGone is set once that
+	// state becomes unreachable — the redo history holding it was
+	// truncated by a fresh edit, or SetDirty forced the buffer dirty.
+	// Undoing back to exactly cleanLen entries restores Modified()==false.
+	cleanLen  int
+	cleanGone bool
+	modified  bool
 }
 
 // change records one primitive edit for the undo log.
@@ -53,17 +73,41 @@ func NewBuffer(s string) *Buffer {
 // Len returns the number of runes in the buffer.
 func (b *Buffer) Len() int { return len(b.runes) - (b.gapEnd - b.gapStart) }
 
-// Modified reports whether the buffer has been edited since the last call
-// to SetClean. The help Put!/Get! commands use this to decide whether to
-// show "Put!" in a window's tag.
+// Modified reports whether the buffer differs from its state at the last
+// call to SetClean. The help Put!/Get! commands use this to decide whether
+// to show "Put!" in a window's tag; undoing every edit back to the clean
+// state clears it again.
 func (b *Buffer) Modified() bool { return b.modified }
 
-// SetClean marks the buffer unmodified, as after a Put! or Get!.
-func (b *Buffer) SetClean() { b.modified = false }
+// SetClean marks the buffer unmodified, as after a Put! or Get!. The
+// current undo position becomes the clean state: Undo/Redo landing back on
+// it restore Modified() == false.
+func (b *Buffer) SetClean() {
+	b.cleanLen = len(b.undo)
+	b.cleanGone = false
+	b.modified = false
+}
 
 // SetDirty marks the buffer modified without editing it, used by the file
-// interface's "dirty" control message.
-func (b *Buffer) SetDirty() { b.modified = true }
+// interface's "dirty" control message. No undo position counts as clean
+// afterwards, until the next SetClean.
+func (b *Buffer) SetDirty() {
+	b.cleanGone = true
+	b.modified = true
+}
+
+// recomputeModified derives the modified flag from the undo position: the
+// buffer is clean exactly when the undo log is back at the length recorded
+// by SetClean and that state is still reachable.
+func (b *Buffer) recomputeModified() {
+	b.modified = b.cleanGone || len(b.undo) != b.cleanLen
+}
+
+// Gen returns the buffer's edit generation: a counter bumped by every
+// primitive edit, including undo/redo replay. Equal generations imply
+// identical contents since the earlier observation, which is what frame
+// damage checks rely on.
+func (b *Buffer) Gen() uint64 { return b.gen }
 
 // moveGap positions the gap at rune offset off.
 func (b *Buffer) moveGap(off int) {
@@ -107,6 +151,8 @@ func (b *Buffer) primInsert(off int, rs []rune) {
 	b.moveGap(off)
 	copy(b.runes[b.gapStart:], rs)
 	b.gapStart += len(rs)
+	b.indexInsert(off, rs)
+	b.gen++
 }
 
 // primDelete deletes without recording undo and returns the removed runes.
@@ -118,7 +164,55 @@ func (b *Buffer) primDelete(off, n int) []rune {
 	removed := make([]rune, n)
 	copy(removed, b.runes[b.gapEnd:b.gapEnd+n])
 	b.gapEnd += n
+	b.indexDelete(off, n)
+	b.gen++
 	return removed
+}
+
+// indexInsert splices rs's newlines into the line index and shifts every
+// later newline by len(rs). The shift is a bulk pass over the tail of the
+// index, so an append to the end of the buffer costs only the scan of rs.
+func (b *Buffer) indexInsert(off int, rs []rune) {
+	count := 0
+	for _, r := range rs {
+		if r == '\n' {
+			count++
+		}
+	}
+	i := sort.SearchInts(b.newlines, off)
+	if count > 0 {
+		old := len(b.newlines)
+		for len(b.newlines) < old+count {
+			// Amortized growth; no temporary slice of the added offsets.
+			b.newlines = append(b.newlines, 0)
+		}
+		copy(b.newlines[i+count:], b.newlines[i:old])
+		idx := i
+		for j, r := range rs {
+			if r == '\n' {
+				b.newlines[idx] = off + j
+				idx++
+			}
+		}
+		i += count
+	}
+	for k := i; k < len(b.newlines); k++ {
+		b.newlines[k] += len(rs)
+	}
+}
+
+// indexDelete drops newlines inside the deleted range [off, off+n) and
+// shifts every later newline down by n.
+func (b *Buffer) indexDelete(off, n int) {
+	i := sort.SearchInts(b.newlines, off)
+	j := sort.SearchInts(b.newlines, off+n)
+	if i != j {
+		copy(b.newlines[i:], b.newlines[j:])
+		b.newlines = b.newlines[:len(b.newlines)-(j-i)]
+	}
+	for k := i; k < len(b.newlines); k++ {
+		b.newlines[k] -= n
+	}
 }
 
 // Insert inserts s at rune offset off.
@@ -128,11 +222,16 @@ func (b *Buffer) Insert(off int, s string) {
 		return
 	}
 	b.primInsert(off, rs)
-	b.modified = true
 	if !b.noUndo {
+		if b.cleanLen > len(b.undo) {
+			// The clean state lived in the redo history about to be
+			// truncated; it is no longer reachable by Undo/Redo.
+			b.cleanGone = true
+		}
 		b.undo = append(b.undo, change{seq: b.seq, insert: true, off: off, text: rs})
 		b.redo = nil
 	}
+	b.recomputeModified()
 }
 
 // Delete removes n runes starting at off and returns them as a string.
@@ -141,11 +240,14 @@ func (b *Buffer) Delete(off, n int) string {
 		return ""
 	}
 	removed := b.primDelete(off, n)
-	b.modified = true
 	if !b.noUndo {
+		if b.cleanLen > len(b.undo) {
+			b.cleanGone = true
+		}
 		b.undo = append(b.undo, change{seq: b.seq, insert: false, off: off, text: removed})
 		b.redo = nil
 	}
+	b.recomputeModified()
 	return string(removed)
 }
 
@@ -180,7 +282,7 @@ func (b *Buffer) Undo() bool {
 		}
 		b.redo = append(b.redo, c)
 	}
-	b.modified = true
+	b.recomputeModified()
 	return true
 }
 
@@ -203,7 +305,7 @@ func (b *Buffer) Redo() bool {
 		}
 		b.undo = append(b.undo, c)
 	}
-	b.modified = true
+	b.recomputeModified()
 	return true
 }
 
@@ -240,9 +342,18 @@ func (b *Buffer) Slice(off, n int) string {
 	if n <= 0 {
 		return ""
 	}
+	// Bulk path: at most two copies, the parts before and after the gap,
+	// instead of a bounds-checked At call per rune.
 	out := make([]rune, n)
-	for i := 0; i < n; i++ {
-		out[i] = b.At(off + i)
+	gap := b.gapEnd - b.gapStart
+	switch end := off + n; {
+	case end <= b.gapStart:
+		copy(out, b.runes[off:end])
+	case off >= b.gapStart:
+		copy(out, b.runes[off+gap:end+gap])
+	default:
+		m := copy(out, b.runes[off:b.gapStart])
+		copy(out[m:], b.runes[b.gapEnd:end+gap])
 	}
 	return string(out)
 }
@@ -257,60 +368,49 @@ func (b *Buffer) SetString(s string) {
 }
 
 // LineStart returns the offset of the first rune of 1-based line number ln.
-// Lines past the end resolve to the buffer length.
+// Lines past the end resolve to the buffer length. Line ln starts just
+// after the (ln-1)th newline, so this is a direct index lookup.
 func (b *Buffer) LineStart(ln int) int {
 	if ln <= 1 {
 		return 0
 	}
-	line := 1
-	for off := 0; off < b.Len(); off++ {
-		if b.At(off) == '\n' {
-			line++
-			if line == ln {
-				return off + 1
-			}
-		}
+	if ln-2 < len(b.newlines) {
+		return b.newlines[ln-2] + 1
 	}
 	return b.Len()
 }
 
 // LineEnd returns the offset just past the last rune of line ln, excluding
-// the newline itself.
+// the newline itself: the first newline at or after the line's start.
 func (b *Buffer) LineEnd(ln int) int {
 	off := b.LineStart(ln)
-	for off < b.Len() && b.At(off) != '\n' {
-		off++
+	if i := sort.SearchInts(b.newlines, off); i < len(b.newlines) {
+		return b.newlines[i]
 	}
-	return off
+	return b.Len()
 }
 
-// LineAt returns the 1-based line number containing offset off.
+// LineAt returns the 1-based line number containing offset off: one more
+// than the number of newlines strictly before it.
 func (b *Buffer) LineAt(off int) int {
 	if off > b.Len() {
 		off = b.Len()
 	}
-	line := 1
-	for i := 0; i < off; i++ {
-		if b.At(i) == '\n' {
-			line++
-		}
-	}
-	return line
+	return sort.SearchInts(b.newlines, off) + 1
 }
 
 // NLines returns the number of lines in the buffer. An empty buffer has
 // one (empty) line; a trailing newline does not start a new line.
 func (b *Buffer) NLines() int {
-	if b.Len() == 0 {
+	n := b.Len()
+	if n == 0 {
 		return 1
 	}
-	n := 1
-	for i := 0; i < b.Len(); i++ {
-		if b.At(i) == '\n' && i != b.Len()-1 {
-			n++
-		}
+	k := len(b.newlines)
+	if k > 0 && b.newlines[k-1] == n-1 {
+		return k // trailing newline: no extra line after it
 	}
-	return n
+	return k + 1
 }
 
 // ErrNoMatch is returned by Address when a pattern search fails.

@@ -317,6 +317,146 @@ func TestSetCleanModified(t *testing.T) {
 	}
 }
 
+// Undoing every edit back to the last-clean state must restore
+// Modified() == false, so the tag stops offering Put! for an unchanged
+// file; redoing forward to the clean state must do the same.
+func TestUndoToCleanRestoresUnmodified(t *testing.T) {
+	b := NewBuffer("base")
+	b.Insert(4, " one")
+	b.Commit()
+	b.SetClean() // as after a Put!
+	b.Insert(8, " two")
+	b.Commit()
+	if !b.Modified() {
+		t.Fatal("edit after SetClean must modify")
+	}
+	if !b.Undo() {
+		t.Fatal("undo failed")
+	}
+	if b.Modified() {
+		t.Errorf("undo back to clean state: Modified() = true, body %q", b.String())
+	}
+	if !b.Redo() {
+		t.Fatal("redo failed")
+	}
+	if !b.Modified() {
+		t.Error("redo past clean state must re-modify")
+	}
+	if !b.Undo() {
+		t.Fatal("second undo failed")
+	}
+	if b.Modified() {
+		t.Error("undo to clean a second time must be clean again")
+	}
+	// Undo past the clean state: older contents are modified too.
+	if !b.Undo() {
+		t.Fatal("undo past clean failed")
+	}
+	if !b.Modified() {
+		t.Error("undo past the clean state must be modified")
+	}
+	// Redo forward onto the clean state again.
+	if !b.Redo() {
+		t.Fatal("redo to clean failed")
+	}
+	if b.Modified() {
+		t.Error("redo forward to clean state must be clean")
+	}
+}
+
+// A fresh edit truncates the redo history; if the clean state lived
+// there, no undo position is clean any more.
+func TestCleanStateLostByTruncatedRedo(t *testing.T) {
+	b := NewBuffer("x")
+	b.Insert(1, "a")
+	b.Commit()
+	b.Insert(2, "b")
+	b.Commit()
+	b.SetClean() // clean at "xab"
+	b.Undo()     // back to "xa"; clean state now in redo
+	b.Insert(2, "c")
+	b.Commit() // redo truncated: "xab" unreachable
+	for b.Undo() {
+	}
+	if !b.Modified() {
+		t.Error("clean state was truncated; no undo position may be clean")
+	}
+	for b.Redo() {
+	}
+	if !b.Modified() {
+		t.Error("clean state was truncated; no redo position may be clean")
+	}
+}
+
+// SetDirty forces modified without an edit; undo cannot clean it.
+func TestSetDirtySticksAcrossUndo(t *testing.T) {
+	b := NewBuffer("x")
+	b.Insert(1, "y")
+	b.Commit()
+	b.SetClean()
+	b.SetDirty()
+	if !b.Modified() {
+		t.Fatal("SetDirty must modify")
+	}
+	b.Undo()
+	if !b.Modified() {
+		t.Error("undo must not clear a forced dirty state")
+	}
+	b.SetClean()
+	if b.Modified() {
+		t.Error("SetClean must clear a forced dirty state")
+	}
+}
+
+// Gen must change whenever contents change, including via undo/redo, and
+// hold still across queries: frames rely on it as a damage check.
+func TestGenTracksEdits(t *testing.T) {
+	b := NewBuffer("hello\nworld")
+	g0 := b.Gen()
+	_ = b.String()
+	_ = b.NLines()
+	_ = b.LineStart(2)
+	if b.Gen() != g0 {
+		t.Fatal("queries must not bump Gen")
+	}
+	b.Insert(0, "a")
+	g1 := b.Gen()
+	if g1 == g0 {
+		t.Fatal("Insert must bump Gen")
+	}
+	b.Delete(0, 1)
+	g2 := b.Gen()
+	if g2 == g1 {
+		t.Fatal("Delete must bump Gen")
+	}
+	b.Undo()
+	if b.Gen() == g2 {
+		t.Fatal("Undo must bump Gen")
+	}
+}
+
+// Slice's bulk fast path must behave identically with the gap in every
+// position relative to the requested range.
+func TestSliceAcrossGap(t *testing.T) {
+	const content = "0123456789"
+	for gapAt := 0; gapAt <= len(content); gapAt++ {
+		b := NewBuffer(content)
+		// Position the gap by inserting and deleting at gapAt.
+		b.Insert(gapAt, "X")
+		b.Delete(gapAt, 1)
+		if b.String() != content {
+			t.Fatalf("setup: %q", b.String())
+		}
+		for off := 0; off <= len(content); off++ {
+			for n := 0; n <= len(content)-off; n++ {
+				if got, want := b.Slice(off, n), content[off:off+n]; got != want {
+					t.Fatalf("gap@%d Slice(%d,%d) = %q, want %q", gapAt, off, n, got, want)
+				}
+			}
+		}
+	}
+}
+
 // Gap-buffer stress: random edits must match a reference []rune model.
 func TestGapBufferAgainstModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))

@@ -1,6 +1,127 @@
 package text
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkLineIndex asserts that every line query answered from the
+// incremental newline index agrees with a naive rescan of the contents.
+func checkLineIndex(t *testing.T, b *Buffer) {
+	t.Helper()
+	s := []rune(b.String())
+	var nl []int
+	for i, r := range s {
+		if r == '\n' {
+			nl = append(nl, i)
+		}
+	}
+	// NLines: count of lines, a trailing newline not starting a new one.
+	wantN := 1
+	if len(s) > 0 {
+		wantN = len(nl) + 1
+		if nl != nil && nl[len(nl)-1] == len(s)-1 {
+			wantN = len(nl)
+		}
+	}
+	if got := b.NLines(); got != wantN {
+		t.Fatalf("NLines = %d, naive rescan says %d (%q)", got, wantN, string(s))
+	}
+	// LineAt: one more than the newlines strictly before the offset.
+	line := 1
+	for off := 0; off <= len(s); off++ {
+		if got := b.LineAt(off); got != line {
+			t.Fatalf("LineAt(%d) = %d, naive rescan says %d (%q)", off, got, line, string(s))
+		}
+		if off < len(s) && s[off] == '\n' {
+			line++
+		}
+	}
+	// LineStart / LineEnd for every line, plus addresses past the end.
+	for ln := 1; ln <= line+2; ln++ {
+		wantStart := len(s)
+		if ln <= 1 {
+			wantStart = 0
+		} else if ln-2 < len(nl) {
+			wantStart = nl[ln-2] + 1
+		}
+		if got := b.LineStart(ln); got != wantStart {
+			t.Fatalf("LineStart(%d) = %d, naive rescan says %d (%q)", ln, got, wantStart, string(s))
+		}
+		wantEnd := wantStart
+		for wantEnd < len(s) && s[wantEnd] != '\n' {
+			wantEnd++
+		}
+		if got := b.LineEnd(ln); got != wantEnd {
+			t.Fatalf("LineEnd(%d) = %d, naive rescan says %d (%q)", ln, got, wantEnd, string(s))
+		}
+	}
+}
+
+// applyIndexScript drives b through a byte-coded edit sequence, verifying
+// the line index against a naive rescan after every operation.
+func applyIndexScript(t *testing.T, b *Buffer, script []byte) {
+	t.Helper()
+	checkLineIndex(t, b)
+	for i := 0; i+1 < len(script); i += 2 {
+		op, arg := script[i]%6, int(script[i+1])
+		switch op {
+		case 0:
+			b.Insert(arg%(b.Len()+1), "ab\ncd\n")
+		case 1:
+			b.Insert(arg%(b.Len()+1), "xyz")
+		case 2:
+			b.Insert(arg%(b.Len()+1), "\n")
+		case 3:
+			if b.Len() > 0 {
+				off := arg % b.Len()
+				b.Delete(off, arg%(b.Len()-off+1))
+			}
+		case 4:
+			if !b.Undo() {
+				b.Commit()
+			}
+		case 5:
+			if !b.Redo() {
+				b.Commit()
+			}
+		}
+		checkLineIndex(t, b)
+	}
+}
+
+// TestLineIndexProperty is the deterministic slice of the fuzz target: a
+// seeded random walk of edits with the index checked after every step.
+func TestLineIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		script := make([]byte, 60)
+		rng.Read(script)
+		initial := ""
+		for i := 0; i < rng.Intn(100); i++ {
+			initial += string(rune("a\nb\nc"[rng.Intn(5)]))
+		}
+		b := NewBuffer(initial)
+		applyIndexScript(t, b, script)
+	}
+}
+
+// FuzzLineIndex applies arbitrary edit scripts and asserts the incremental
+// line index always agrees with a naive rescan: the equivalence proof for
+// the cached answers.
+func FuzzLineIndex(f *testing.F) {
+	f.Add("line1\nline2\n", []byte{0, 3, 3, 7, 4, 0})
+	f.Add("", []byte{2, 0, 2, 1, 3, 2})
+	f.Add("no newline at all", []byte{1, 9, 3, 4, 5, 0})
+	f.Add("\n\n\n", []byte{3, 1, 0, 0, 4, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, initial string, script []byte) {
+		if len(initial) > 2048 || len(script) > 128 {
+			return
+		}
+		b := NewBuffer(initial)
+		applyIndexScript(t, b, script)
+	})
+}
 
 // FuzzAddress resolves arbitrary address strings against arbitrary
 // buffers; malformed addresses must error, never panic, and results must

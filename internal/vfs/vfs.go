@@ -138,10 +138,19 @@ func split(p string) []string {
 	return strings.Split(p[1:], "/")
 }
 
-// lookup finds the node at real path p, without bind translation.
+// lookup finds the node at real path p, without bind translation. The
+// path is walked segment by segment in place: this sits under every file
+// operation, so it must not allocate.
 func (fs *FS) lookup(p string) (*node, error) {
+	p = Clean(p)
 	n := fs.root
-	for _, elem := range split(p) {
+	for i := 1; i < len(p); {
+		end := len(p)
+		if j := strings.IndexByte(p[i:], '/'); j >= 0 {
+			end = i + j
+		}
+		elem := p[i:end]
+		i = end + 1
 		if !n.dir {
 			return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
 		}
@@ -161,30 +170,36 @@ func (fs *FS) lookup(p string) (*node, error) {
 // case) terminates rather than re-expanding.
 func (fs *FS) resolve(p string) []string {
 	var out []string
-	fs.resolveInto(Clean(p), 0, &out, map[string]bool{})
+	fs.resolveInto(Clean(p), 0, &out)
 	return out
 }
 
-func (fs *FS) resolveInto(p string, depth int, out *[]string, seen map[string]bool) {
+// appendUnique adds p to out unless already present. The candidate list is
+// tiny (bounded by union fan-out times bind depth), so a linear scan
+// replaces the dedup map the resolver used to allocate per call.
+func appendUnique(out *[]string, p string) {
+	for _, q := range *out {
+		if q == p {
+			return
+		}
+	}
+	*out = append(*out, p)
+}
+
+func (fs *FS) resolveInto(p string, depth int, out *[]string) {
 	prefix, sources := fs.longestBind(p)
 	if prefix == "" || depth >= 8 {
-		if !seen[p] {
-			seen[p] = true
-			*out = append(*out, p)
-		}
+		appendUnique(out, p)
 		return
 	}
 	rest := strings.TrimPrefix(p, prefix)
 	for _, src := range sources {
 		np := Clean(src + rest)
 		if np == p {
-			if !seen[np] {
-				seen[np] = true
-				*out = append(*out, np)
-			}
+			appendUnique(out, np)
 			continue
 		}
-		fs.resolveInto(np, depth+1, out, seen)
+		fs.resolveInto(np, depth+1, out)
 	}
 }
 
@@ -211,6 +226,11 @@ func (fs *FS) longestBind(p string) (string, []string) {
 
 // find locates the first existing node for path p after bind translation.
 func (fs *FS) find(p string) (*node, error) {
+	p = Clean(p)
+	if prefix, _ := fs.longestBind(p); prefix == "" {
+		// No bind covers p: skip building the candidate list.
+		return fs.lookup(p)
+	}
 	var firstErr error
 	for _, c := range fs.resolve(p) {
 		n, err := fs.lookup(c)
