@@ -14,12 +14,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Bench evidence loop: run the suite, record BENCH_PR2.json, and fail if
-# anything regressed >20% on ns/op or allocs/op against the checked-in
-# pre-PR baseline (see docs/ARCHITECTURE.md, "Performance model").
+vet:
+	$(GO) vet ./...
+
+# Bench evidence loop: run the suite serially three times (separate
+# passes, minutes apart, so a noisy-neighbor phase can't taint every
+# sample of a benchmark — helpbench keeps each benchmark's best run),
+# record BENCH_PR3.json, and fail if anything regressed >20% on ns/op
+# or allocs/op against the checked-in pre-PR baseline (see
+# docs/ARCHITECTURE.md, "Performance model").
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
-	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_BASELINE.json -o BENCH_PR2.json
+	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
+	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
+	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR2.json -o BENCH_PR3.json
 
 figs:
 	$(GO) run ./cmd/helpfigs -o figures

@@ -353,3 +353,38 @@ func BenchmarkSrvnetRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the hottest path, the damaged-screen redraw: "on" is the default
+// (registry attached, every render counted, timed, and bucketed), "off"
+// detaches the registry with SetObs(nil), which removes even the clock
+// reads. The acceptance budget for on vs off is <5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		b.Run(mode, func(b *testing.B) {
+			w, err := world.Build(120, 60)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			if mode == "off" {
+				w.Help.SetObs(nil)
+			}
+			var win *core.Window
+			for _, f := range []string{"help.c", "exec.c", "text.c"} {
+				if win, err = w.Help.OpenFile(world.SrcDir+"/"+f, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			w.Help.Render()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				win.Body.Insert(0, "x")
+				win.Body.Delete(0, 1)
+				w.Help.Render()
+			}
+		})
+	}
+}

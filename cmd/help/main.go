@@ -6,13 +6,17 @@
 // Flags: -w/-h set the screen size; -session replays the paper's session
 // and exits; -boot prints the boot screen and exits; -listen serves the
 // namespace over TCP so remote processes can drive the UI through
-// /mnt/help.
+// /mnt/help; -debug serves expvar (the stats registry under "help") and
+// net/http/pprof on an HTTP address.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/repl"
@@ -27,6 +31,7 @@ func main() {
 	runSession := flag.Bool("session", false, "replay the paper's debugging session and exit")
 	bootOnly := flag.Bool("boot", false, "print the boot screen and exit")
 	listen := flag.String("listen", "", "serve the namespace (including /mnt/help) on this TCP address")
+	debug := flag.String("debug", "", "serve expvar and pprof on this HTTP address")
 	flag.Parse()
 
 	if *runSession {
@@ -46,6 +51,17 @@ func main() {
 	exitOn(err)
 	exitOn(w.Boot())
 	fmt.Print(w.Help.Screen().String())
+
+	if *debug != "" {
+		// The same registry /mnt/help/stats serves, as expvar JSON under
+		// "help", plus the stock net/http/pprof endpoints.
+		reg := w.Help.Obs
+		expvar.Publish("help", expvar.Func(func() any { return reg.StatsMap() }))
+		dl, err := net.Listen("tcp", *debug)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "help: debug (expvar, pprof) served on http://%s/debug/\n", dl.Addr())
+		go http.Serve(dl, nil)
+	}
 
 	if *listen != "" {
 		// Export the namespace: remote processes drive the UI through

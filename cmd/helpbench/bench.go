@@ -37,7 +37,10 @@ const regressionSlack = 1.20
 // parseBench reads `go test -bench` text output. Only Benchmark result
 // lines are parsed; everything else (pkg headers, PASS/ok, logs) is
 // skipped. The trailing -N GOMAXPROCS suffix is stripped so names stay
-// stable across machines.
+// stable across machines. When a benchmark appears more than once
+// (`-count N`), the run with the lowest ns/op wins: the minimum is the
+// noise-robust estimator on a shared machine — every source of
+// interference only ever makes a run slower.
 func parseBench(r io.Reader) (map[string]benchEntry, error) {
 	out := map[string]benchEntry{}
 	sc := bufio.NewScanner(r)
@@ -70,7 +73,9 @@ func parseBench(r io.Reader) (map[string]benchEntry, error) {
 			}
 		}
 		if e.NsPerOp > 0 {
-			out[name] = e
+			if prev, ok := out[name]; !ok || e.NsPerOp < prev.NsPerOp {
+				out[name] = e
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

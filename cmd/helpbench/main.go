@@ -9,7 +9,7 @@
 //	helpbench -benchjson file|- [-baseline file.json] [-o out.json]
 //
 // Tables: clicks, interaction, usesgrep, size, placement, connectivity,
-// all (default). The second form parses `go test -bench -benchmem`
+// stats, all (default). The second form parses `go test -bench -benchmem`
 // output into JSON and exits nonzero if any benchmark regressed >20%
 // against the baseline (see bench.go).
 package main
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: clicks|interaction|usesgrep|size|placement|connectivity|all")
+	table := flag.String("table", "all", "table to print: clicks|interaction|usesgrep|size|placement|connectivity|stats|all")
 	width := flag.Int("w", 120, "screen width")
 	height := flag.Int("h", 60, "screen height")
 	srcRoot := flag.String("src", ".", "repository root for the size table")
@@ -55,4 +55,5 @@ func main() {
 	run("size", func(w io.Writer) error { return report.Size(w, *srcRoot) })
 	run("placement", report.Placement)
 	run("connectivity", func(w io.Writer) error { return report.Connectivity(w, *width, *height) })
+	run("stats", func(w io.Writer) error { return report.Stats(w, *width, *height) })
 }

@@ -1,0 +1,57 @@
+// Observe: the system watching itself through its own file interface.
+// Boot the demo world, generate some activity, then run observe.rc — a
+// plain shell script that cats /mnt/help/stats, a latency histogram,
+// and the span trace. No metrics API, no debugger: the instruments are
+// files, so the ordinary file tools read them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/world"
+)
+
+func main() {
+	w, err := world.Build(100, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	h := w.Help
+
+	// Generate activity worth measuring: open a file, execute a command,
+	// type a little, render.
+	if _, err := h.OpenFile("/usr/rob/lib/profile", ""); err != nil {
+		log.Fatal(err)
+	}
+	scratch := h.NewWindowIn(0)
+	scratch.Body.SetString("echo measured")
+	h.Render()
+	from, _ := h.FindBody(scratch, "echo")
+	to, _ := h.FindBody(scratch, "measured")
+	to.X += len("measured")
+	h.HandleAll(event.Sweep(event.Middle, from, to))
+	h.Render()
+
+	// The demonstration: a shell script, run by the world's own shell,
+	// reads every instrument purely through file reads on /mnt/help.
+	script, err := os.ReadFile("observe.rc")
+	if err != nil {
+		script, err = os.ReadFile("examples/observe/observe.rc")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out strings.Builder
+	ctx := w.Shell.NewContext(&out, &out)
+	if status := w.Shell.Run(ctx, string(script)); status != 0 {
+		log.Fatalf("observe.rc status=%d\n%s", status, out.String())
+	}
+	fmt.Print(out.String())
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/text"
 	"repro/internal/vfs"
@@ -120,10 +121,26 @@ type Help struct {
 
 	snarf string
 
-	machine    event.Machine
-	keystrokes int
-	commands   int
-	mousePt    geom.Point // last pointer position, for typing dispatch
+	machine event.Machine
+	mousePt geom.Point // last pointer position, for typing dispatch
+
+	// Obs is the observability registry: counters, latency histograms,
+	// and the trace ring served by helpfs under /mnt/help. New installs
+	// one by default; SetObs replaces or disables it.
+	Obs *obs.Registry
+	ins instruments
+
+	// Interaction accounting mirrors into atomics after every event so
+	// Metrics() is a consistent snapshot from any goroutine while the
+	// event loop runs.
+	mPresses    obs.Counter
+	mTravel     obs.Counter
+	mKeystrokes obs.Counter
+	mCommands   obs.Counter
+
+	// statsPath is where helpfs serves the flat stats file, for the
+	// Metrics built-in.
+	statsPath string
 
 	errors *Window // the Errors window, created on demand
 
@@ -159,6 +176,7 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 		{r: geom.Rt(0, 1, mid, h)},
 		{r: geom.Rt(mid, 1, w, h)},
 	}
+	h9.SetObs(obs.New())
 	return h9
 }
 
@@ -168,13 +186,15 @@ func (h *Help) Screen() *draw.Screen { return h.screen }
 // Exited reports whether Exit has been executed.
 func (h *Help) Exited() bool { return h.exited }
 
-// Metrics returns the current interaction accounting.
+// Metrics returns the current interaction accounting. It reads only
+// atomics mirrored after each event, so it is safe to call from any
+// goroutine while the event loop runs.
 func (h *Help) Metrics() Metrics {
 	return Metrics{
-		Presses:    h.machine.Presses,
-		Travel:     h.machine.Travel,
-		Keystrokes: h.keystrokes,
-		Commands:   h.commands,
+		Presses:    int(h.mPresses.Load()),
+		Travel:     int(h.mTravel.Load()),
+		Keystrokes: int(h.mKeystrokes.Load()),
+		Commands:   int(h.mCommands.Load()),
 	}
 }
 
@@ -473,9 +493,11 @@ func (h *Help) AppendErrors(s string) {
 // after it.
 func (h *Help) ReportFault(source string, err error) {
 	if err == nil {
+		h.Obs.Event("fault", source+": ok")
 		h.AppendErrors(fmt.Sprintf("%s: ok\n", source))
 		return
 	}
+	h.Obs.Event("fault", fmt.Sprintf("%s: %v", source, err))
 	h.AppendErrors(fmt.Sprintf("%s: %v\n", source, err))
 }
 

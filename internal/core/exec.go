@@ -6,6 +6,7 @@ import (
 	"strings"
 	"unicode"
 
+	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/text"
 	"repro/internal/vfs"
@@ -34,7 +35,12 @@ func (h *Help) Execute(w *Window, cmd string) {
 	if len(fields) == 0 {
 		return
 	}
-	h.commands++
+	h.mCommands.Inc()
+	var sp *obs.ActiveSpan
+	if h.ins.on {
+		sp = h.Obs.StartSpan("exec", fields[0])
+	}
+	builtin := true
 	switch fields[0] {
 	case "Cut":
 		h.Cut()
@@ -106,9 +112,20 @@ func (h *Help) Execute(w *Window, cmd string) {
 		// windows per file"): a second window on the same file, sharing
 		// nothing but the name, so two regions can be viewed at once.
 		h.cloneCmd(w)
+	case "Metrics":
+		// Observability through the same interface as everything else:
+		// open the stats file helpfs serves, reloaded on each execution.
+		h.metricsCmd()
 	default:
+		builtin = false
 		h.runExternal(w, cmd, fields)
 	}
+	if builtin {
+		h.ins.execBuiltin.Inc()
+	} else {
+		h.ins.execExternal.Inc()
+	}
+	h.ins.execHist.Observe(sp.End())
 }
 
 // sendCmd implements the Send builtin: the shell-window behaviour.

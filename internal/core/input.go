@@ -22,7 +22,12 @@ func (h *Help) Handle(e event.Event) {
 		return
 	}
 	h.mousePt = e.Mouse.Pt
-	if g, done := h.machine.Put(*e.Mouse); done {
+	g, done := h.machine.Put(*e.Mouse)
+	// Mirror the machine's event-loop-owned tallies into atomics so
+	// Metrics() stays consistent from other goroutines.
+	h.mPresses.Store(int64(h.machine.Presses))
+	h.mTravel.Store(int64(h.machine.Travel))
+	if done {
 		h.sweepExec = nil
 		h.dispatch(g)
 		return
@@ -80,6 +85,11 @@ func (h *Help) Run(s *event.Stream) {
 
 // dispatch interprets one completed gesture.
 func (h *Help) dispatch(g event.Gesture) {
+	h.ins.gestures.Inc()
+	if h.ins.on && h.ins.sampleGesture() {
+		sp := h.Obs.StartSpan("gesture", event.ButtonName(g.Button))
+		defer func() { h.ins.gestureHist.Observe(sp.End()) }()
+	}
 	// Frames must reflect current layout before translating the mouse.
 	h.Render()
 	ht := h.hitTest(g.Start)
@@ -171,7 +181,7 @@ func (h *Help) windowGesture(ht hit, g event.Gesture) {
 // typeRune types one rune into the subwindow under the mouse. Backspace
 // (BS or DEL) deletes the selection, or the rune before a null selection.
 func (h *Help) typeRune(r rune) {
-	h.keystrokes++
+	h.mKeystrokes.Inc()
 	h.Render()
 	ht := h.hitTest(h.mousePt)
 	if ht.kind != hitWindow {

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// instruments holds the pre-resolved observability handles the hot
+// paths touch. Name lookup happens once, in SetObs; after that a
+// counter bump is a single atomic add and, with observability off,
+// every handle is nil (a no-op) and `on` gates the clock reads, so
+// the uninstrumented paths pay nothing.
+type instruments struct {
+	on bool
+
+	gestures      *obs.Counter
+	execBuiltin   *obs.Counter
+	execExternal  *obs.Counter
+	renders       *obs.Counter
+	rendersFull   *obs.Counter
+	colsRepainted *obs.Counter
+	colsReused    *obs.Counter
+	cellsTouched  *obs.Counter
+
+	gestureHist *obs.Histogram
+	execHist    *obs.Histogram
+	renderHist  *obs.Histogram
+
+	gestureTick uint
+	renderTick  uint
+}
+
+// sampleEvery is the hot-path timing sample rate. Counters count every
+// event; the clock reads and span allocation behind the gesture and
+// render histograms happen for one event in sampleEvery, because at
+// ~1µs per gesture two time.Now calls are a measurable fraction of the
+// thing being measured. The ticks live on the event loop, so sampling
+// is deterministic, and the first event is always sampled — a single
+// gesture still leaves a span in the trace.
+const sampleEvery = 8
+
+func (ins *instruments) sampleGesture() bool {
+	ins.gestureTick++
+	return ins.gestureTick%sampleEvery == 1
+}
+
+func (ins *instruments) sampleRender() bool {
+	ins.renderTick++
+	return ins.renderTick%sampleEvery == 1
+}
+
+// SetObs installs (or, with nil, removes) the observability registry:
+// gesture/exec/render spans and histograms, damage accounting, and the
+// interaction gauges, propagated to the namespace's lookup/bind
+// counters as well. New installs a fresh registry by default; SetObs
+// exists so benchmarks and embedders can swap or disable it.
+func (h *Help) SetObs(r *obs.Registry) {
+	h.Obs = r
+	if h.FS != nil {
+		h.FS.SetObs(r)
+	}
+	if r == nil {
+		h.ins = instruments{}
+		return
+	}
+	h.ins = instruments{
+		on:            true,
+		gestures:      r.Counter("core.gestures"),
+		execBuiltin:   r.Counter("core.exec.builtin"),
+		execExternal:  r.Counter("core.exec.external"),
+		renders:       r.Counter("core.renders"),
+		rendersFull:   r.Counter("core.renders.full"),
+		colsRepainted: r.Counter("core.render.cols_repainted"),
+		colsReused:    r.Counter("core.render.cols_reused"),
+		cellsTouched:  r.Counter("core.render.cells"),
+		gestureHist:   r.Histogram("gesture"),
+		execHist:      r.Histogram("exec"),
+		renderHist:    r.Histogram("render"),
+	}
+	// The interaction metrics live on Help as always-on atomics (so
+	// Metrics() is a consistent snapshot regardless of registry state);
+	// gauges expose them in /mnt/help/stats without double counting.
+	r.Gauge("core.presses", h.mPresses.Load)
+	r.Gauge("core.travel", h.mTravel.Load)
+	r.Gauge("core.keystrokes", h.mKeystrokes.Load)
+	r.Gauge("core.commands", h.mCommands.Load)
+}
+
+// SetStatsPath records where helpfs mounted the stats file, so the
+// Metrics built-in can open it as a window.
+func (h *Help) SetStatsPath(p string) { h.statsPath = p }
+
+// metricsCmd implements the Metrics built-in: open (or reveal) the
+// mounted stats file in a window and reload it, so each execution
+// shows live numbers.
+func (h *Help) metricsCmd() {
+	if h.statsPath == "" {
+		h.AppendErrors("Metrics: no stats file mounted\n")
+		return
+	}
+	w, err := h.OpenFile(h.statsPath, "")
+	if err != nil {
+		h.AppendErrors(fmt.Sprintf("Metrics: %v\n", err))
+		return
+	}
+	if err := h.Get(w); err != nil {
+		h.AppendErrors(fmt.Sprintf("Metrics: %v\n", err))
+	}
+}

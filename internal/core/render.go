@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/draw"
 	"repro/internal/frame"
@@ -88,6 +89,11 @@ func (h *Help) colSignature(col *Column) colSig {
 // are repainted. A column layout change (resize, first render) forces a
 // full repaint so the tab row and any vacated cells are refreshed.
 func (h *Help) Render() {
+	var t0 time.Time
+	timed := h.ins.on && h.ins.sampleRender()
+	if timed {
+		t0 = time.Now()
+	}
 	sigs := make([]colSig, len(h.cols))
 	for i, col := range h.cols {
 		sigs[i] = h.colSignature(col)
@@ -108,24 +114,46 @@ func (h *Help) Render() {
 			h.renderColumn(col)
 		}
 		h.renderExecSweep()
+		if h.ins.on {
+			h.ins.rendersFull.Inc()
+			h.ins.colsRepainted.Add(int64(len(h.cols)))
+			b := h.screen.Bounds()
+			h.ins.cellsTouched.Add(int64(b.Dx() * b.Dy()))
+		}
 	} else {
-		damaged := false
+		repainted, cells := 0, 0
 		for i, col := range h.cols {
 			if sigs[i].equal(h.lastColSigs[i]) {
 				continue
 			}
-			damaged = true
+			repainted++
+			cells += col.r.Dx() * col.r.Dy()
 			h.screen.Fill(col.r, ' ', draw.Plain)
 			h.renderColumn(col)
 		}
-		if damaged {
+		if repainted > 0 {
 			// Re-applying the sweep underline is idempotent for columns
 			// that were not repainted.
 			h.renderExecSweep()
 		}
+		if h.ins.on {
+			// The all-clean render is the hottest case of all; keep it to
+			// the two meters that actually move.
+			if repainted > 0 {
+				h.ins.colsRepainted.Add(int64(repainted))
+				h.ins.cellsTouched.Add(int64(cells))
+			}
+			h.ins.colsReused.Add(int64(len(h.cols) - repainted))
+		}
 	}
 	h.lastColSigs = sigs
 	h.rendered = true
+	if h.ins.on {
+		h.ins.renders.Inc()
+		if timed {
+			h.ins.renderHist.Observe(time.Since(t0))
+		}
+	}
 }
 
 // renderExecSweep underlines the text currently being swept with the

@@ -34,6 +34,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/vfs"
@@ -44,16 +45,23 @@ type Service struct {
 	h    *core.Help
 	fs   *vfs.FS
 	root string
+	// kinds maps a served file kind (tag, body, ...) to its
+	// instruments; histos tracks which histogram files are registered.
+	kinds  map[string]*kindObs
+	histos map[string]bool
 }
 
 // Attach mounts the service for h at root (normally "/mnt/help") in fs and
-// keeps it in sync as windows come and go.
+// keeps it in sync as windows come and go. Alongside the window files it
+// serves the observability files (stats, trace, histo/<name>) when h
+// carries a registry.
 func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
 	s := &Service{h: h, fs: fs, root: vfs.Clean(root)}
+	s.initObs()
 	if err := fs.MkdirAll(s.root); err != nil {
 		return nil, err
 	}
-	if err := fs.RegisterDevice(s.root+"/index", readDevice(s.index)); err != nil {
+	if err := fs.RegisterDevice(s.root+"/index", readDevice{content: s.index, k: s.kinds["index"]}); err != nil {
 		return nil, err
 	}
 	if err := fs.RegisterDevice(s.root+"/new/ctl", &newCtlDevice{s: s}); err != nil {
@@ -62,6 +70,10 @@ func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
 	if err := fs.RegisterDevice(s.root+"/ctl", &rootCtlDevice{s: s}); err != nil {
 		return nil, err
 	}
+	if err := s.registerObsFiles(); err != nil {
+		return nil, err
+	}
+	h.SetStatsPath(s.root + "/stats")
 	for _, w := range h.Windows() {
 		if err := s.addWindow(w); err != nil {
 			return nil, err
@@ -108,16 +120,16 @@ func (s *Service) winDir(id int) string {
 func (s *Service) addWindow(w *core.Window) error {
 	dir := s.winDir(w.ID)
 	id := w.ID
-	if err := s.fs.RegisterDevice(dir+"/tag", &bufDevice{s: s, id: id, sub: core.SubTag}); err != nil {
+	if err := s.fs.RegisterDevice(dir+"/tag", &bufDevice{s: s, id: id, sub: core.SubTag, k: s.kinds["tag"]}); err != nil {
 		return err
 	}
-	if err := s.fs.RegisterDevice(dir+"/body", &bufDevice{s: s, id: id, sub: core.SubBody}); err != nil {
+	if err := s.fs.RegisterDevice(dir+"/body", &bufDevice{s: s, id: id, sub: core.SubBody, k: s.kinds["body"]}); err != nil {
 		return err
 	}
-	if err := s.fs.RegisterDevice(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true}); err != nil {
+	if err := s.fs.RegisterDevice(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true, k: s.kinds["bodyapp"]}); err != nil {
 		return err
 	}
-	return s.fs.RegisterDevice(dir+"/ctl", &ctlDevice{s: s, id: id})
+	return s.fs.RegisterDevice(dir+"/ctl", &ctlDevice{s: s, id: id, k: s.kinds["ctl"]})
 }
 
 // removeWindow tears down the numbered directory.
@@ -141,18 +153,25 @@ func (s *Service) window(id int) (*core.Window, error) {
 // ---- devices ----------------------------------------------------------------
 
 // readDevice adapts a content function to a read-only device whose
-// contents are computed once per open.
-type readDevice func() string
+// contents are computed once per open. The stats/trace/histo files
+// use it uninstrumented (k nil): reading the meter must not move it.
+type readDevice struct {
+	content func() string
+	k       *kindObs
+}
 
-func (f readDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
-	return &stringHandle{content: f()}, nil
+func (d readDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	return &stringHandle{content: d.content(), k: d.k, t0: d.k.open()}, nil
 }
 
 type stringHandle struct {
 	content string
+	k       *kindObs
+	t0      time.Time
 }
 
 func (h *stringHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.k.read()
 	if off >= int64(len(h.content)) {
 		return 0, io.EOF
 	}
@@ -167,7 +186,10 @@ func (h *stringHandle) WriteAt(p []byte, off int64) (int, error) {
 	return 0, fmt.Errorf("helpfs: read-only file")
 }
 
-func (h *stringHandle) Close() error { return nil }
+func (h *stringHandle) Close() error {
+	h.k.close(h.t0)
+	return nil
+}
 
 // bufDevice serves a subwindow's buffer. Reads snapshot the contents at
 // open; a plain write replaces the buffer (the paper's body semantics),
@@ -178,6 +200,7 @@ type bufDevice struct {
 	id         int
 	sub        int
 	appendOnly bool
+	k          *kindObs
 }
 
 func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
@@ -185,7 +208,7 @@ func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &bufHandle{d: d, w: w}
+	h := &bufHandle{d: d, w: w, k: d.k, t0: d.k.open()}
 	rw := mode &^ (vfs.OTRUNC | vfs.OAPPEND)
 	if rw != vfs.OREAD {
 		h.writable = true
@@ -208,12 +231,15 @@ type bufHandle struct {
 	writable bool
 	wrote    bool
 	pending  []byte
+	k        *kindObs
+	t0       time.Time
 }
 
 func (h *bufHandle) ReadAt(p []byte, off int64) (int, error) {
 	if !h.readable {
 		return 0, fmt.Errorf("helpfs: not opened for reading")
 	}
+	h.k.read()
 	if off >= int64(len(h.snapshot)) {
 		return 0, io.EOF
 	}
@@ -228,6 +254,7 @@ func (h *bufHandle) WriteAt(p []byte, off int64) (int, error) {
 	if !h.writable {
 		return 0, fmt.Errorf("helpfs: not opened for writing")
 	}
+	h.k.write()
 	h.wrote = true
 	h.pending = append(h.pending, p...)
 	return len(p), nil
@@ -235,6 +262,7 @@ func (h *bufHandle) WriteAt(p []byte, off int64) (int, error) {
 
 // Close applies buffered writes: bodyapp appends, tag/body replace.
 func (h *bufHandle) Close() error {
+	defer h.k.close(h.t0)
 	if !h.wrote {
 		return nil
 	}
@@ -264,8 +292,10 @@ type newCtlDevice struct {
 }
 
 func (d *newCtlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	k := d.s.kinds["ctl"]
+	t0 := k.open()
 	w := d.s.h.NewWindow()
-	return &newCtlHandle{s: d.s, id: w.ID, name: strconv.Itoa(w.ID) + "\n"}, nil
+	return &newCtlHandle{s: d.s, id: w.ID, name: strconv.Itoa(w.ID) + "\n", k: k, t0: t0}, nil
 }
 
 type newCtlHandle struct {
@@ -273,9 +303,12 @@ type newCtlHandle struct {
 	id   int
 	name string
 	ctl  ctlHandle
+	k    *kindObs
+	t0   time.Time
 }
 
 func (h *newCtlHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.k.read()
 	if off >= int64(len(h.name)) {
 		return 0, io.EOF
 	}
@@ -286,11 +319,15 @@ func (h *newCtlHandle) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt forwards control messages, so a script can create and configure
 // a window through the single open file.
 func (h *newCtlHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.k.write()
 	h.ctl = ctlHandle{s: h.s, id: h.id}
 	return h.ctl.WriteAt(p, off)
 }
 
-func (h *newCtlHandle) Close() error { return nil }
+func (h *newCtlHandle) Close() error {
+	h.k.close(h.t0)
+	return nil
+}
 
 // rootCtlDevice accepts service-wide control messages:
 //
@@ -304,11 +341,14 @@ type rootCtlDevice struct {
 }
 
 func (d *rootCtlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
-	return &rootCtlHandle{s: d.s}, nil
+	k := d.s.kinds["ctl"]
+	return &rootCtlHandle{s: d.s, k: k, t0: k.open()}, nil
 }
 
 type rootCtlHandle struct {
-	s *Service
+	s  *Service
+	k  *kindObs
+	t0 time.Time
 }
 
 func (h *rootCtlHandle) ReadAt(p []byte, off int64) (int, error) {
@@ -316,6 +356,7 @@ func (h *rootCtlHandle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (h *rootCtlHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.k.write()
 	for _, line := range strings.Split(string(p), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -338,24 +379,31 @@ func (h *rootCtlHandle) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-func (h *rootCtlHandle) Close() error { return nil }
+func (h *rootCtlHandle) Close() error {
+	h.k.close(h.t0)
+	return nil
+}
 
 // ctlDevice accepts control messages for one window.
 type ctlDevice struct {
 	s  *Service
 	id int
+	k  *kindObs
 }
 
 func (d *ctlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
-	return &ctlHandle{s: d.s, id: d.id}, nil
+	return &ctlHandle{s: d.s, id: d.id, k: d.k, t0: d.k.open()}, nil
 }
 
 type ctlHandle struct {
 	s  *Service
 	id int
+	k  *kindObs
+	t0 time.Time
 }
 
 func (h *ctlHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.k.read()
 	// Reading ctl reports the window id, handy for scripts.
 	msg := strconv.Itoa(h.id) + "\n"
 	if off >= int64(len(msg)) {
@@ -366,6 +414,7 @@ func (h *ctlHandle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (h *ctlHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.k.write()
 	w, err := h.s.window(h.id)
 	if err != nil {
 		return 0, err
@@ -382,7 +431,10 @@ func (h *ctlHandle) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-func (h *ctlHandle) Close() error { return nil }
+func (h *ctlHandle) Close() error {
+	h.k.close(h.t0)
+	return nil
+}
 
 // ctlMessage interprets one control line.
 func (s *Service) ctlMessage(w *core.Window, line string) error {

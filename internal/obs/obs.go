@@ -1,0 +1,435 @@
+// Package obs is the self-observation substrate: lock-cheap counters,
+// fixed-bucket latency histograms, and a bounded concurrent span ring,
+// collected in a Registry that renders itself as flat text so helpfs
+// can serve it as files under /mnt/help (stats, trace, histo/<name>).
+//
+// Everything is nil-safe: a nil *Counter, *Histogram, *Registry, or
+// *ActiveSpan is a no-op, so instrumented code never branches on
+// "is observability enabled" — it just calls through.
+//
+// The hot-path discipline mirrors the render path's: counters are a
+// single atomic add, histograms are three atomic adds plus a CAS for
+// the max, and spans touch one ring slot with a newest-wins CAS so
+// concurrent writers (srvnet runs off the event loop) never block and
+// never lose a newer span to an older delayed one.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted atomic value. The zero value is
+// ready to use; a nil Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+func (c *Counter) Inc() { c.Add(1) }
+
+// Store overwrites the value; used to mirror event-loop-owned plain
+// ints (event.Machine presses/travel) into something readable from
+// other goroutines.
+func (c *Counter) Store(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations with ceil(d) <= 1<<i microseconds, i = 0..17,
+// spanning 1µs to ~131ms; slower observations land in the overflow
+// bucket. Eighteen buckets cover everything from a vfs lookup to a
+// stalled srvnet RPC without per-histogram configuration.
+const histBuckets = 18
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use; a nil Histogram ignores observations.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // smallest i with 1<<i >= us
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		max := h.maxNS.Load()
+		if int64(d) <= max || h.maxNS.CompareAndSwap(max, int64(d)) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) SumMicros() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNS.Load() / 1e3
+}
+
+func (h *Histogram) MaxMicros() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.maxNS.Load() / 1e3
+}
+
+// Text renders the histogram as flat `key value` lines: count, sum_us,
+// max_us, then one cumulative-bound `le_us <bound> <count>` line per
+// occupied bucket (le_us inf for the overflow bucket). This is the
+// byte content of /mnt/help/histo/<name>.
+func (h *Histogram) Text() string {
+	var b strings.Builder
+	if h == nil {
+		return ""
+	}
+	fmt.Fprintf(&b, "count %d\n", h.count.Load())
+	fmt.Fprintf(&b, "sum_us %d\n", h.sumNS.Load()/1e3)
+	fmt.Fprintf(&b, "max_us %d\n", h.maxNS.Load()/1e3)
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			fmt.Fprintf(&b, "le_us %d %d\n", uint64(1)<<i, n)
+		}
+	}
+	if n := h.buckets[histBuckets].Load(); n > 0 {
+		fmt.Fprintf(&b, "le_us inf %d\n", n)
+	}
+	return b.String()
+}
+
+// Span is one completed trace span (or an instantaneous event, with
+// Dur zero). Spans are values once published; readers never see a span
+// mid-mutation.
+type Span struct {
+	Seq   uint64
+	Name  string
+	Attrs string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Line renders a span as one trace line: seq, name, duration in
+// microseconds, then attrs. The format is stable for scripts.
+func (sp Span) Line() string {
+	if sp.Attrs == "" {
+		return fmt.Sprintf("%d %s %dus", sp.Seq, sp.Name, sp.Dur.Microseconds())
+	}
+	return fmt.Sprintf("%d %s %dus %s", sp.Seq, sp.Name, sp.Dur.Microseconds(), sp.Attrs)
+}
+
+// spanRing is a bounded lock-free ring of the last-N published spans.
+// Each slot holds an immutable *Span; writers claim a sequence number
+// with one atomic add and install with a CAS that only ever replaces
+// an older span, so a delayed writer can't clobber a newer one that
+// lapped it.
+type spanRing struct {
+	slots []atomic.Pointer[Span]
+	seq   atomic.Uint64
+}
+
+func (r *spanRing) put(sp *Span) {
+	sp.Seq = r.seq.Add(1)
+	slot := &r.slots[(sp.Seq-1)%uint64(len(r.slots))]
+	for {
+		old := slot.Load()
+		if old != nil && old.Seq > sp.Seq {
+			return // a newer span already lapped this slot
+		}
+		if slot.CompareAndSwap(old, sp) {
+			return
+		}
+	}
+}
+
+func (r *spanRing) spans() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		if sp := r.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Sink receives every published span, for streaming trace output
+// beyond the bounded ring (a file, a network feed, a test recorder).
+type Sink interface {
+	Emit(Span)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Span)
+
+func (f FuncSink) Emit(sp Span) { f(sp) }
+
+// DefaultSpanCap is the trace ring size used by New: enough to hold a
+// whole interactive burst (a gesture storm plus the execs and faults
+// it triggers) without growing unbounded.
+const DefaultSpanCap = 256
+
+// Registry owns a process's named counters, histograms, gauges, and
+// the span ring. All methods are safe for concurrent use; name lookup
+// takes a mutex but instrumented code resolves names once and then
+// touches only atomics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	histos   map[string]*Histogram
+	gauges   map[string]func() int64
+	ring     spanRing
+	sink     atomic.Pointer[Sink]
+}
+
+// New returns a Registry with the default trace ring capacity.
+func New() *Registry { return NewSized(DefaultSpanCap) }
+
+// NewSized returns a Registry whose trace ring holds spanCap spans.
+func NewSized(spanCap int) *Registry {
+	if spanCap < 1 {
+		spanCap = 1
+	}
+	return &Registry{
+		counters: map[string]*Counter{},
+		histos:   map[string]*Histogram{},
+		gauges:   map[string]func() int64{},
+		ring:     spanRing{slots: make([]atomic.Pointer[Span], spanCap)},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a
+// nil Registry it returns nil, which is itself a valid no-op Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histos[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histos[name] = h
+	}
+	return h
+}
+
+// Gauge registers a named read-on-demand value; fn must be safe to
+// call from any goroutine.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// HistogramNames returns the sorted names of all histograms created so
+// far; helpfs uses it to materialize /mnt/help/histo/<name> files.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histos))
+	for name := range r.histos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetSink installs a streaming receiver for published spans (nil to
+// remove). The ring keeps working either way.
+func (r *Registry) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&s)
+}
+
+func (r *Registry) publish(sp *Span) {
+	r.ring.put(sp)
+	if s := r.sink.Load(); s != nil {
+		(*s).Emit(*sp)
+	}
+}
+
+// ActiveSpan is a span in progress; End publishes it. A nil ActiveSpan
+// (from a nil Registry) is a no-op.
+type ActiveSpan struct {
+	r     *Registry
+	name  string
+	attrs string
+	start time.Time
+}
+
+// StartSpan begins a span; the caller must End it to publish.
+func (r *Registry) StartSpan(name, attrs string) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return &ActiveSpan{r: r, name: name, attrs: attrs, start: time.Now()}
+}
+
+// End publishes the span and returns its duration (zero on a nil
+// span), so callers can feed a latency histogram without reading the
+// clock twice.
+func (a *ActiveSpan) End() time.Duration {
+	if a == nil {
+		return 0
+	}
+	d := time.Since(a.start)
+	a.r.publish(&Span{Name: a.name, Attrs: a.attrs, Start: a.start, Dur: d})
+	return d
+}
+
+// Event publishes an instantaneous zero-duration span, used for
+// discrete occurrences like fault reports and degradation transitions.
+func (r *Registry) Event(name, attrs string) {
+	if r == nil {
+		return
+	}
+	r.publish(&Span{Name: name, Attrs: attrs, Start: time.Now()})
+}
+
+// Spans returns the ring contents in ascending sequence order.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.ring.spans()
+}
+
+// TraceText renders the ring as one span per line, oldest first: the
+// byte content of /mnt/help/trace.
+func (r *Registry) TraceText() string {
+	var b strings.Builder
+	for _, sp := range r.Spans() {
+		b.WriteString(sp.Line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StatsMap returns every counter, gauge, and histogram summary as a
+// flat name→value map. Histograms contribute <name>.count, .sum_us,
+// and .max_us so a flat reader still sees latency totals.
+func (r *Registry) StatsMap() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	histos := make(map[string]*Histogram, len(r.histos))
+	for name, h := range r.histos {
+		histos[name] = h
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]int64, len(counters)+len(gauges)+3*len(histos))
+	for name, c := range counters {
+		out[name] = c.Load()
+	}
+	for name, fn := range gauges {
+		out[name] = fn()
+	}
+	for name, h := range histos {
+		out[name+".count"] = h.Count()
+		out[name+".sum_us"] = h.SumMicros()
+		out[name+".max_us"] = h.MaxMicros()
+	}
+	return out
+}
+
+// StatsText renders StatsMap as sorted `key value` lines: the byte
+// content of /mnt/help/stats.
+func (r *Registry) StatsText() string {
+	m := r.StatsMap()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, m[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	c.Store(9)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	var r *Registry
+	if r.Counter("x") != nil {
+		t.Fatal("nil registry should hand out nil counters")
+	}
+	r.Histogram("x").Observe(time.Millisecond)
+	r.Event("e", "")
+	r.StartSpan("s", "").End()
+	if r.StatsText() != "" || r.TraceText() != "" {
+		t.Fatal("nil registry should render empty")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("core.keystrokes")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+	if r.Counter("core.keystrokes") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	c.Store(11)
+	if got := c.Load(); got != 11 {
+		t.Fatalf("after Store, Load = %d, want 11", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{128 * time.Microsecond, 7},
+		{129 * time.Microsecond, 8},
+		{131072 * time.Microsecond, 17},
+		{131073 * time.Microsecond, histBuckets},
+		{time.Hour, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("render")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(time.Second) // overflow
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.MaxMicros(); got != 1e6 {
+		t.Fatalf("MaxMicros = %d, want 1000000", got)
+	}
+	text := h.Text()
+	for _, want := range []string{"count 4\n", "le_us 4 2\n", "le_us 128 1\n", "le_us inf 1\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStatsText(t *testing.T) {
+	r := New()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("c.windows", func() int64 { return 7 })
+	r.Histogram("exec").Observe(5 * time.Microsecond)
+	text := r.StatsText()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	want := []string{
+		"a.first 1",
+		"b.second 2",
+		"c.windows 7",
+		"exec.count 1",
+		"exec.max_us 5",
+		"exec.sum_us 5",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), text)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestSpansAndTrace(t *testing.T) {
+	r := NewSized(4)
+	sp := r.StartSpan("exec", "cmd=date")
+	sp.End()
+	r.Event("fault", "remote (degraded): connection refused")
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "exec" || spans[0].Attrs != "cmd=date" {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Seq >= spans[1].Seq {
+		t.Fatalf("sequence not ascending: %d then %d", spans[0].Seq, spans[1].Seq)
+	}
+	trace := r.TraceText()
+	if !strings.Contains(trace, "exec") || !strings.Contains(trace, "remote (degraded)") {
+		t.Fatalf("trace missing spans:\n%s", trace)
+	}
+	// Wrap: only the newest 4 survive, still in order.
+	for i := 0; i < 10; i++ {
+		r.Event("tick", "")
+	}
+	spans = r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("after wrap got %d spans, want 4", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq != spans[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs after wrap: %v then %v", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+	if spans[3].Seq != 12 {
+		t.Fatalf("newest seq = %d, want 12", spans[3].Seq)
+	}
+}
+
+func TestSink(t *testing.T) {
+	r := New()
+	var mu sync.Mutex
+	var got []string
+	r.SetSink(FuncSink(func(sp Span) {
+		mu.Lock()
+		got = append(got, sp.Name)
+		mu.Unlock()
+	}))
+	r.Event("a", "")
+	r.StartSpan("b", "").End()
+	r.SetSink(nil)
+	r.Event("c", "")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("sink saw %v, want [a b]", got)
+	}
+}
+
+// TestSpanRingConcurrent hammers a small ring from several writers
+// while a reader snapshots mid-wrap, then asserts the ring holds
+// exactly the newest spans with unique, ascending sequence numbers —
+// no lost update, no stale span surviving a lap. Run under -race.
+func TestSpanRingConcurrent(t *testing.T) {
+	const (
+		ringCap = 64
+		writers = 8
+		perG    = 500
+	)
+	r := NewSized(ringCap)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	// Reader: every snapshot, even mid-wrap, must be strictly
+	// ascending with unique seqs.
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spans := r.Spans()
+			for i := 1; i < len(spans); i++ {
+				if spans[i].Seq <= spans[i-1].Seq {
+					t.Errorf("reader saw non-ascending seqs: %d then %d",
+						spans[i-1].Seq, spans[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				r.Event("w", "")
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	reader.Wait()
+
+	spans := r.Spans()
+	if len(spans) != ringCap {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), ringCap)
+	}
+	const total = writers * perG
+	// Every slot must hold one of the newest ringCap seqs: a slot kept
+	// by an older lapped writer would show up as a gap here.
+	seen := map[uint64]bool{}
+	for _, sp := range spans {
+		if sp.Seq <= total-ringCap || sp.Seq > total {
+			t.Fatalf("stale span survived wrap: seq %d (total %d, cap %d)",
+				sp.Seq, total, ringCap)
+		}
+		if seen[sp.Seq] {
+			t.Fatalf("duplicate seq %d", sp.Seq)
+		}
+		seen[sp.Seq] = true
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq != spans[i-1].Seq+1 {
+			t.Fatalf("lost update: seq gap %d -> %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+}

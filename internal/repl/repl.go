@@ -27,7 +27,7 @@ const Usage = `commands:
   tag ID WORD            middle-click WORD in window ID's tag
   type TEXT              type TEXT at the mouse position
   tab ID                 click window ID's tab (reveal)
-  metrics                show interaction counters
+  metrics                show interaction counters and the stats registry
   help                   this message
   quit`
 
@@ -109,6 +109,8 @@ func (r *REPL) Command(line string) error {
 		m := h.Metrics()
 		fmt.Fprintf(r.Out, "presses=%d keystrokes=%d travel=%d commands=%d\n",
 			m.Presses, m.Keystrokes, m.Travel, m.Commands)
+		// The full registry — the same flat text /mnt/help/stats serves.
+		fmt.Fprint(r.Out, h.Obs.StatsText())
 	case "open":
 		if len(fields) < 2 {
 			return fmt.Errorf("usage: open PATH[:ADDR]")

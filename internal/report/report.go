@@ -219,3 +219,24 @@ func CountTokens(screen string) int {
 	}
 	return n
 }
+
+// Stats (T8) replays the debugging session and snapshots the
+// observability registry — the same flat text a script reads from
+// /mnt/help/stats — so a bench run records what the system did, not
+// just how long it took.
+func Stats(w io.Writer, scrW, scrH int) error {
+	fmt.Fprintln(w, "T8. Observability snapshot after the debugging session")
+	fmt.Fprintln(w, "    (the contents of /mnt/help/stats; histograms under /mnt/help/histo)")
+	fmt.Fprintln(w)
+	s, err := session.New(scrW, scrH)
+	if err != nil {
+		return err
+	}
+	if err := s.RunDebugSession(); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(strings.TrimSpace(s.H.Obs.StatsText()), "\n") {
+		fmt.Fprintf(w, "    %s\n", line)
+	}
+	return nil
+}

@@ -2,8 +2,10 @@ package session
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -70,5 +72,40 @@ func TestFigureGoldens(t *testing.T) {
 		if got != string(want) {
 			t.Errorf("%s drifted from golden; run with -update if intentional", name)
 		}
+	}
+}
+
+// TestMetricsDeltaGolden locks the per-step interaction accounting of
+// the full debugging session. The event pipeline is deterministic, so
+// any drift in a step's presses/travel/keystrokes/commands delta is an
+// accounting regression (double count, lost mirror into the atomics),
+// caught at the exact step that moved.
+func TestMetricsDeltaGolden(t *testing.T) {
+	s, err := New(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunDebugSession(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, "%s presses=%d travel=%d keystrokes=%d commands=%d\n",
+			st.Name, st.Delta.Presses, st.Delta.Travel, st.Delta.Keystrokes, st.Delta.Commands)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("per-step metrics drifted from golden; run with -update if intentional.\ngot:\n%s", got)
 	}
 }

@@ -26,6 +26,11 @@ type Step struct {
 	Screen  string       // rendered screenshot after the step
 	Attrs   string       // the attribute plane (selection/underline codes)
 	Metrics core.Metrics // cumulative interaction metrics
+	// Delta is the interaction cost of this step alone (Metrics minus
+	// the previous step's), so golden tests pin per-step accounting —
+	// a regression that double counts a press shows up in the exact
+	// step that regressed.
+	Delta core.Metrics
 }
 
 // Session drives a help world by mouse.
@@ -50,15 +55,27 @@ func New(w, h int) (*Session, error) {
 	return s, nil
 }
 
-// Snapshot records the current screen and metrics.
+// Snapshot records the current screen, the cumulative metrics, and the
+// per-step delta against the previous snapshot.
 func (s *Session) Snapshot(name, desc string) {
 	s.H.Render()
+	m := s.H.Metrics()
+	var prev core.Metrics
+	if len(s.Steps) > 0 {
+		prev = s.Steps[len(s.Steps)-1].Metrics
+	}
 	s.Steps = append(s.Steps, Step{
 		Name:    name,
 		Desc:    desc,
 		Screen:  s.H.Screen().String(),
 		Attrs:   s.H.Screen().AttrString(),
-		Metrics: s.H.Metrics(),
+		Metrics: m,
+		Delta: core.Metrics{
+			Presses:    m.Presses - prev.Presses,
+			Travel:     m.Travel - prev.Travel,
+			Keystrokes: m.Keystrokes - prev.Keystrokes,
+			Commands:   m.Commands - prev.Commands,
+		},
 	})
 }
 

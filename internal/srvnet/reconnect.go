@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -80,10 +81,17 @@ type ReconnectingClient struct {
 	// StateConnected). Called from the operation's goroutine.
 	OnStateChange func(State, error)
 
-	mu    sync.Mutex
-	c     *Client
-	rng   *rand.Rand
-	state State
+	// Obs, when set before the first operation, records retry counts
+	// (srvnet.retries), redials (srvnet.redials), degradation entries
+	// (srvnet.degraded), a trace event per health transition, and —
+	// propagated into each dialed Client — per-RPC latency histograms.
+	Obs *obs.Registry
+
+	mu     sync.Mutex
+	c      *Client
+	rng    *rand.Rand
+	state  State
+	dialed bool // a connection has been established at least once
 }
 
 // NewReconnectingClient returns a client for the server at addr with
@@ -123,8 +131,14 @@ func (r *ReconnectingClient) setState(s State, err error) {
 	r.state = s
 	notify := r.OnStateChange
 	r.mu.Unlock()
-	if changed && notify != nil {
-		notify(s, err)
+	if changed {
+		if s == StateDegraded {
+			r.Obs.Counter("srvnet.degraded").Inc()
+		}
+		r.Obs.Event("srvnet.state", s.String())
+		if notify != nil {
+			notify(s, err)
+		}
 	}
 }
 
@@ -145,6 +159,11 @@ func (r *ReconnectingClient) client() (*Client, error) {
 		return nil, err
 	}
 	c.Timeout = r.opTimeout()
+	c.Obs = r.Obs
+	if r.dialed {
+		r.Obs.Counter("srvnet.redials").Inc()
+	}
+	r.dialed = true
 	r.c = c
 	return c, nil
 }
@@ -220,6 +239,7 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			r.Obs.Counter("srvnet.retries").Inc()
 			time.Sleep(r.backoff(i))
 		}
 		c, err := r.client()

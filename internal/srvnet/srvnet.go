@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -448,6 +449,11 @@ type Client struct {
 	// deadline — a dead server then hangs the call, so remote users
 	// should set it (Dial does; ReconnectingClient always does).
 	Timeout time.Duration
+
+	// Obs, when set before first use, records a per-op round-trip
+	// latency histogram (srvnet.read, srvnet.write, ...) in the
+	// registry. ReconnectingClient propagates its own.
+	Obs *obs.Registry
 }
 
 // Dial connects to a Server at addr with the default round-trip timeout.
@@ -493,6 +499,13 @@ func (c *Client) rpc(req request) (response, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return response{}, ErrClientClosed
+	}
+	if c.Obs != nil {
+		// Failed round trips are observed too: a latency histogram that
+		// hides the slow failures would understate what remote users pay.
+		defer func(t0 time.Time, op string) {
+			c.Obs.Histogram("srvnet." + op).Observe(time.Since(t0))
+		}(time.Now(), req.Op)
 	}
 	c.seq++
 	req.Seq = c.seq

@@ -27,6 +27,8 @@ import (
 	"path"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by namespace operations. They are wrapped with the
@@ -102,6 +104,22 @@ type FS struct {
 	binds map[string][]string
 	// clock is the logical time source for modification stamps.
 	clock int64
+	// lookups and bindsCtr count namespace traffic when an obs registry
+	// is installed; nil counters are no-ops, keeping lookup alloc-free.
+	lookups  *obs.Counter
+	bindsCtr *obs.Counter
+}
+
+// SetObs installs (or, with nil, removes) observability counters for
+// the namespace: vfs.lookup, the path walk under every operation, and
+// vfs.bind.
+func (fs *FS) SetObs(r *obs.Registry) {
+	if r == nil {
+		fs.lookups, fs.bindsCtr = nil, nil
+		return
+	}
+	fs.lookups = r.Counter("vfs.lookup")
+	fs.bindsCtr = r.Counter("vfs.bind")
 }
 
 // tick advances and returns the logical clock.
@@ -142,6 +160,7 @@ func split(p string) []string {
 // path is walked segment by segment in place: this sits under every file
 // operation, so it must not allocate.
 func (fs *FS) lookup(p string) (*node, error) {
+	fs.lookups.Inc()
 	p = Clean(p)
 	n := fs.root
 	for i := 1; i < len(p); {
@@ -251,6 +270,7 @@ func (fs *FS) find(p string) (*node, error) {
 // Replace, lookups of mp resolve only in src. With Before/After, src is
 // unioned with the existing resolution order.
 func (fs *FS) Bind(src, mp string, flag BindFlag) error {
+	fs.bindsCtr.Inc()
 	src, mp = Clean(src), Clean(mp)
 	if _, err := fs.find(src); err != nil {
 		return fmt.Errorf("bind %s: %w", src, err)

@@ -1,0 +1,217 @@
+package world
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/srvnet"
+)
+
+// TestObserveScriptReadsInstruments is the acceptance demonstration for
+// the observability layer: a plain shell script — the checked-in
+// examples/observe/observe.rc, no Go, no metrics API — reads operation
+// counts, a latency histogram, and the span trace purely through file
+// reads on /mnt/help.
+func TestObserveScriptReadsInstruments(t *testing.T) {
+	w := build(t)
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Help
+
+	// Generate activity on every instrumented layer: a file open (body
+	// reads), an executed command (exec span + histogram), typed text,
+	// and renders.
+	if _, err := h.OpenFile(Profile, ""); err != nil {
+		t.Fatal(err)
+	}
+	scratch := h.NewWindowIn(0)
+	scratch.Body.SetString("echo measured")
+	h.Render()
+	from, _ := h.FindBody(scratch, "echo")
+	to, _ := h.FindBody(scratch, "measured")
+	to.X += len("measured")
+	h.HandleAll(event.Sweep(event.Middle, from, to))
+	h.HandleAll(event.Type("x"))
+	h.Render()
+
+	script, err := os.ReadFile("../../examples/observe/observe.rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ctx := w.Shell.NewContext(&out, &out)
+	if status := w.Shell.Run(ctx, string(script)); status != 0 {
+		t.Fatalf("observe.rc status=%d\n%s", status, out.String())
+	}
+	got := out.String()
+
+	// Op counts from the stats file: every layer reports.
+	for _, want := range []string{
+		"core.gestures", "core.renders", "core.exec.external",
+		"core.presses", "core.keystrokes",
+		"helpfs.body.opens", "helpfs.body.reads", "helpfs.ctl.writes",
+		"vfs.lookup",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+	// The render histogram: bucket lines in the le_us scheme.
+	if !strings.Contains(got, "== render histogram ==") ||
+		!strings.Contains(got, "le_us") ||
+		!strings.Contains(got, "count") {
+		t.Errorf("histogram section missing or empty:\n%s", got)
+	}
+	// The trace: at least the exec span for "echo measured".
+	trace := got[strings.Index(got, "== trace =="):]
+	if !strings.Contains(trace, "exec") {
+		t.Errorf("trace section has no exec span:\n%s", trace)
+	}
+	if t.Failed() {
+		t.Logf("full output:\n%s", got)
+	}
+}
+
+// TestFaultsLandInTrace wires srvnet's fault reporting through the span
+// log: when the remote server dies and the reconnecting client degrades,
+// the state transitions and the reported fault must be readable as span
+// lines in /mnt/help/trace — the post-mortem is a file, like everything
+// else.
+func TestFaultsLandInTrace(t *testing.T) {
+	w := build(t)
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := srvnet.NewServer(w.FS)
+	go srv.Serve(l)
+
+	rc := srvnet.NewReconnectingClient(l.Addr().String())
+	rc.OpTimeout = 100 * time.Millisecond
+	rc.BackoffBase = time.Millisecond
+	rc.BackoffCap = 10 * time.Millisecond
+	rc.MaxRetries = 2
+	rc.Obs = w.Help.Obs
+	rc.OnStateChange = func(s srvnet.State, err error) {
+		w.Help.ReportFault("remote ("+s.String()+")", err)
+	}
+	defer rc.Close()
+
+	// Healthy traffic first, so the per-RPC histogram has samples.
+	if _, err := rc.ReadFile(MountRoot + "/index"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server dies; the client degrades.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := rc.ReadFile(MountRoot + "/index"); !errors.Is(err, srvnet.ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+
+	// The whole story is in the trace file: the state machine's
+	// transitions and the fault core reported, as span lines.
+	data, err := w.FS.ReadFile(MountRoot + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := string(data)
+	for _, want := range []string{"srvnet.state", "degraded", "fault", "remote (degraded)"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+
+	// The per-RPC histograms were created after attach; a resync makes
+	// them readable as files too.
+	if err := w.Svc.SyncHistograms(); err != nil {
+		t.Fatal(err)
+	}
+	histo, err := w.FS.ReadFile(MountRoot + "/histo/srvnet.read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(histo), "count") {
+		t.Errorf("srvnet.read histogram = %q", histo)
+	}
+
+	// Degradation counters moved.
+	stats, err := w.FS.ReadFile(MountRoot + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "srvnet.degraded 1") {
+		t.Errorf("stats missing srvnet.degraded 1:\n%s", stats)
+	}
+}
+
+// TestMetricsConcurrentWithEventLoop reads Metrics and the stats
+// registry from other goroutines while the event loop runs — the
+// situation of a remote process catting /mnt/help/stats mid-session.
+// Under -race this pins the satellite fix: interaction counters are
+// atomics, not plain ints.
+func TestMetricsConcurrentWithEventLoop(t *testing.T) {
+	w := build(t)
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Help
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := h.Metrics()
+				if m.Presses < 0 || m.Keystrokes < 0 {
+					t.Error("negative metrics")
+					return
+				}
+				_ = h.Obs.StatsText()
+			}
+		}()
+	}
+
+	scratch := h.NewWindowIn(0)
+	scratch.Body.SetString("date")
+	h.Render()
+	for i := 0; i < 25; i++ {
+		p, ok := h.FindBody(scratch, "date")
+		if !ok {
+			t.Fatal("date not visible")
+		}
+		h.HandleAll(event.Click(event.Middle, p))
+		h.HandleAll(event.Type("x"))
+		h.Render()
+	}
+	close(stop)
+	wg.Wait()
+
+	m := h.Metrics()
+	if m.Presses == 0 || m.Keystrokes == 0 || m.Commands == 0 {
+		t.Errorf("metrics did not advance: %+v", m)
+	}
+}
