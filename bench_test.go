@@ -14,6 +14,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/journal"
 	"repro/internal/session"
 	"repro/internal/srvnet"
 	"repro/internal/vfs"
@@ -351,6 +352,134 @@ func BenchmarkSrvnetRoundTrip(b *testing.B) {
 		if _, err := c.ReadFile("/d/f"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkJournalAppend measures the cost of journaling one operation:
+// encode, enqueue, and the amortized group-commit write. This is the
+// per-mutation tax the event loop pays while a session is journaled.
+func BenchmarkJournalAppend(b *testing.B) {
+	b.ReportAllocs()
+	mem := journal.NewMemFS()
+	jw, err := journal.Open(mem, journal.Config{Fsync: journal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jw.Close()
+	op := &journal.Op{Kind: journal.OpSplice, Win: 3, Sub: 1, P0: 120, P1: 4, Str1: "inserted text line\n"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jw.Append(op)
+	}
+	b.StopTimer()
+	if err := jw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecoveryReplay measures bringing a crashed session back:
+// load the journal, restore the checkpoint, replay the op tail into a
+// freshly booted world.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	// Record a representative session to replay.
+	mem := journal.NewMemFS()
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	jw, err := journal.Open(mem, journal.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Help.AttachJournal(jw, 1<<20)
+	for _, f := range []string{"help.c", "exec.c", "text.c"} {
+		win, err := w.Help.OpenFile(world.SrcDir+"/"+f, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Help.Execute(win, "Snarf")
+		w.Help.Execute(win, "echo bench")
+		win.Body.Insert(0, "edited ")
+		win.Body.Commit()
+	}
+	if err := jw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w2, err := world.Build(120, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w2.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.RecoverSession(w2.Help, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalOverhead prices journaling on the two hot paths the
+// acceptance budget names: the damaged-screen redraw and the bodyapp
+// append. "on" journals into an in-memory medium with the default
+// group-commit policy; "off" is the unjournaled baseline. Budget: <5%.
+func BenchmarkJournalOverhead(b *testing.B) {
+	for _, mode := range []string{"render-off", "render-on", "append-off", "append-on"} {
+		b.Run(mode, func(b *testing.B) {
+			w, err := world.Build(120, 60)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			journaled := strings.HasSuffix(mode, "-on")
+			if journaled {
+				jw, err := journal.Open(journal.NewMemFS(), journal.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer jw.Close()
+				w.Help.AttachJournal(jw, 1<<20)
+			}
+			if strings.HasPrefix(mode, "render") {
+				var win *core.Window
+				for _, f := range []string{"help.c", "exec.c", "text.c"} {
+					if win, err = w.Help.OpenFile(world.SrcDir+"/"+f, ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				w.Help.Render()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					win.Body.Insert(0, "x")
+					win.Body.Delete(0, 1)
+					w.Help.Render()
+				}
+				return
+			}
+			win := w.Help.NewWindow()
+			path := fmt.Sprintf("%s/%d/bodyapp", world.MountRoot, win.ID)
+			line := []byte("appended output line\n")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := w.FS.Open(path, vfs.OWRITE)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Write(line)
+				f.Close()
+				if win.Body.Len() > 1<<20 {
+					win.Body.SetString("")
+				}
+			}
+		})
 	}
 }
 

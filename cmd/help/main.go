@@ -7,7 +7,9 @@
 // and exits; -boot prints the boot screen and exits; -listen serves the
 // namespace over TCP so remote processes can drive the UI through
 // /mnt/help; -debug serves expvar (the stats registry under "help") and
-// net/http/pprof on an HTTP address.
+// net/http/pprof on an HTTP address; -journal keeps a write-ahead log of
+// the session in a directory, -recover restores the session from it, and
+// -journal-fsync picks the durability/throughput trade-off.
 package main
 
 import (
@@ -18,7 +20,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/repl"
 	"repro/internal/session"
 	"repro/internal/srvnet"
@@ -32,7 +37,14 @@ func main() {
 	bootOnly := flag.Bool("boot", false, "print the boot screen and exit")
 	listen := flag.String("listen", "", "serve the namespace (including /mnt/help) on this TCP address")
 	debug := flag.String("debug", "", "serve expvar and pprof on this HTTP address")
+	journalDir := flag.String("journal", "", "keep a crash-safe session journal in this directory")
+	recoverFlag := flag.Bool("recover", false, "restore the session from the -journal directory before starting")
+	journalFsync := flag.String("journal-fsync", "batch", "journal fsync policy: batch, always, or never")
 	flag.Parse()
+
+	if *recoverFlag && *journalDir == "" {
+		exitOn(fmt.Errorf("-recover requires -journal <dir>"))
+	}
 
 	if *runSession {
 		s, err := session.New(*width, *height)
@@ -50,6 +62,33 @@ func main() {
 	w, err := world.Build(*width, *height)
 	exitOn(err)
 	exitOn(w.Boot())
+
+	if *journalDir != "" {
+		policy, err := journal.ParsePolicy(*journalFsync)
+		exitOn(err)
+		jfs, err := journal.DirFS(*journalDir)
+		exitOn(err)
+		if *recoverFlag {
+			// Recovery runs before the journal is attached: replay must
+			// not be re-journaled.
+			res, err := core.RecoverSession(w.Help, jfs)
+			exitOn(err)
+			fmt.Fprintf(os.Stderr, "help: recovered session: checkpoint gen %d + %d ops in %v",
+				res.CkptGen, res.Ops, res.Elapsed.Round(time.Microsecond))
+			if res.Torn {
+				fmt.Fprintf(os.Stderr, " (discarded torn tail: %s)", res.TornReason)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		jw, err := journal.Open(jfs, journal.Config{Fsync: policy})
+		exitOn(err)
+		jw.OnError = func(err error) {
+			w.Help.ReportFault("journal (degraded)", err)
+		}
+		w.Help.AttachJournal(jw, 0)
+		defer jw.Close()
+	}
+
 	fmt.Print(w.Help.Screen().String())
 
 	if *debug != "" {

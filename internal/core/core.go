@@ -11,7 +11,6 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/shell"
-	"repro/internal/text"
 	"repro/internal/vfs"
 )
 
@@ -156,6 +155,16 @@ type Help struct {
 	// file service) when windows come and go.
 	OnWindowCreated func(*Window)
 	OnWindowClosed  func(*Window)
+
+	// rec is the session journal recorder, nil unless AttachJournal
+	// has connected one; panicCount tallies panics the event-loop and
+	// executor guards have recovered.
+	rec        *Recorder
+	panicCount int
+
+	// exitPending arms the two-step Exit: set when Exit was refused
+	// over unsaved windows, cleared by any other command.
+	exitPending bool
 
 	exited bool
 }
@@ -474,7 +483,13 @@ func (h *Help) Errors() *Window {
 	return w
 }
 
-// AppendErrors appends text to the Errors window.
+// errorsCap bounds the Errors window body (in runes): a chatty failing
+// command trims old output from the front instead of eating memory.
+const errorsCap = 64 * 1024
+
+// AppendErrors appends text to the Errors window, trimming from the
+// front — at a line boundary when possible — once the body exceeds
+// errorsCap.
 func (h *Help) AppendErrors(s string) {
 	if s == "" {
 		return
@@ -482,6 +497,26 @@ func (h *Help) AppendErrors(s string) {
 	w := h.Errors()
 	w.Body.Insert(w.Body.Len(), s)
 	w.Body.Commit()
+	if over := w.Body.Len() - errorsCap; over > 0 {
+		cut := over
+		// Round the cut up to the next line start so the window never
+		// opens mid-line; one huge line falls back to an exact trim.
+		ln := w.Body.LineAt(cut)
+		if ls := w.Body.LineStart(ln); ls < cut {
+			if next := w.Body.LineStart(ln + 1); next < w.Body.Len() {
+				cut = next
+			}
+		}
+		w.Body.Delete(0, cut)
+		w.Body.Commit()
+		sel := w.Sel[SubBody]
+		w.Sel[SubBody] = clampSel(Selection{sel.Q0 - cut, sel.Q1 - cut}, w.Body.Len())
+		if w.bodyOrg > cut {
+			w.bodyOrg -= cut
+		} else {
+			w.bodyOrg = 0
+		}
+	}
 	// Keep the tail visible, like a log.
 	w.scrollTo(w.Body.Len())
 }
@@ -505,6 +540,9 @@ func (h *Help) ReportFault(source string, err error) {
 // window for the same file. addr optionally positions the view
 // ("help.c:27"). It returns the window.
 func (h *Help) OpenFile(name, addr string) (*Window, error) {
+	// Callers outside the event loop (the repl, helpfs) reach OpenFile
+	// directly, so it sweeps the journal itself.
+	defer h.JournalSweep()
 	name = vfs.Clean(name)
 	if w := h.WindowByName(name); w != nil {
 		h.Reveal(w)
@@ -530,7 +568,9 @@ func (h *Help) OpenFile(name, addr string) (*Window, error) {
 			return nil, err
 		}
 		w.IsDir = true
-		w.Body = text.NewBuffer(listing)
+		// Load, not a fresh buffer: the journal's splice hook (and any
+		// other observer) must survive adopting the contents.
+		w.Body.Load(listing)
 		w.SetNameTag(name + "/")
 		return w, nil
 	}
@@ -539,7 +579,7 @@ func (h *Help) OpenFile(name, addr string) (*Window, error) {
 		h.CloseWindow(w)
 		return nil, err
 	}
-	w.Body = text.NewBuffer(string(data))
+	w.Body.Load(string(data))
 	w.SetNameTag(name)
 	if addr != "" {
 		if err := w.ShowAddr(addr); err != nil {

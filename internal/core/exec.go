@@ -35,6 +35,16 @@ func (h *Help) Execute(w *Window, cmd string) {
 	if len(fields) == 0 {
 		return
 	}
+	// A panicking command (or tool) must not take the session down:
+	// recover, journal what we know, report the fault. The sweep runs
+	// after the recovery so whatever state the command did reach is
+	// journaled consistently.
+	defer h.JournalSweep()
+	defer h.recoverPanic("exec " + fields[0])
+	if fields[0] != "Exit" {
+		// Any other command disarms a pending two-step Exit.
+		h.exitPending = false
+	}
 	h.mCommands.Inc()
 	var sp *obs.ActiveSpan
 	if h.ins.on {
@@ -51,7 +61,7 @@ func (h *Help) Execute(w *Window, cmd string) {
 	case "New":
 		h.NewWindow()
 	case "Exit":
-		h.exited = true
+		h.exitCmd()
 	case "Open":
 		h.openCmd(w, fields[1:])
 	case "Write":
@@ -126,6 +136,34 @@ func (h *Help) Execute(w *Window, cmd string) {
 		h.ins.execExternal.Inc()
 	}
 	h.ins.execHist.Observe(sp.End())
+}
+
+// exitCmd implements Exit with a guard for unsaved work: if any named
+// file window is Modified, the first Exit refuses and lists the dirty
+// windows in Errors; an immediately repeated Exit proceeds anyway.
+// Scratch (unnamed) windows, directory listings, and the Errors window
+// itself have nothing a Put! could save, so they never block exit.
+func (h *Help) exitCmd() {
+	var dirty []*Window
+	for _, w := range h.Windows() {
+		if w.IsDir || w == h.errors || w.FileName() == "" {
+			continue
+		}
+		if w.Body.Modified() {
+			dirty = append(dirty, w)
+		}
+	}
+	if len(dirty) == 0 || h.exitPending {
+		h.exited = true
+		return
+	}
+	h.exitPending = true
+	var b strings.Builder
+	b.WriteString("Exit: unsaved changes; Exit again to discard:\n")
+	for _, w := range dirty {
+		fmt.Fprintf(&b, "\t%s\n", w.FileName())
+	}
+	h.AppendErrors(b.String())
 }
 
 // sendCmd implements the Send builtin: the shell-window behaviour.

@@ -14,6 +14,11 @@ func (h *Help) Handle(e event.Event) {
 	if h.exited {
 		return
 	}
+	// Panic recovery before the journal sweep (defers run last-first):
+	// a panic mid-gesture is caught, reported, and then whatever state
+	// the event did reach is still swept into the journal.
+	defer h.JournalSweep()
+	defer h.recoverPanic("event loop")
 	if e.Kbd != nil {
 		h.typeRune(e.Kbd.R)
 		return

@@ -96,6 +96,10 @@ func TestRandomEventStormNoPanic(t *testing.T) {
 	// Make sure the machine is not stuck mid-gesture forever: release.
 	h.Handle(event.MouseEvent(event.Mouse{Pt: geom.Pt(0, 0), Buttons: 0}))
 	checkInvariants(t, h)
+	// The event-loop panic guard must not have been masking failures.
+	if n := h.PanicCount(); n != 0 {
+		t.Fatalf("panic guard recovered %d panics during the storm", n)
+	}
 }
 
 // TestRandomCommandStormNoPanic executes random command strings — words
@@ -134,6 +138,9 @@ func TestRandomCommandStormNoPanic(t *testing.T) {
 		}
 	}
 	_ = w1
+	if n := h.PanicCount(); n != 0 {
+		t.Fatalf("panic guard recovered %d panics during the storm", n)
+	}
 }
 
 // TestPlacementInvariantProperty opens random batches of windows with

@@ -1,0 +1,292 @@
+// Package faultfile wraps a journal.Fsys with scripted fault
+// injection, the storage-side sibling of internal/faultnet. A
+// crash-safe journal is only crash-safe if it survives the ways disks
+// actually fail: short writes, fsync errors, and — the important one —
+// torn writes, where a power cut persists an arbitrary prefix of the
+// last append while the process believed it succeeded. This package
+// makes those failures reproducible and deterministic.
+//
+// Two modes:
+//
+//   - A Script of Faults (same idiom as faultnet: the After'th
+//     operation matching Op misbehaves per Kind), hand-written or
+//     derived from a seed with Generate.
+//   - CrashAfterBytes(n): a simulated power cut after the n'th written
+//     byte. Writes up to the limit are persisted, the write that
+//     crosses it is torn mid-buffer, and everything after vanishes —
+//     all while reporting success to the writer, exactly like a dying
+//     machine with a volatile write cache.
+package faultfile
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// Kind enumerates the sabotage a Fault applies.
+type Kind int
+
+const (
+	// WriteErr fails the write with an error; nothing is persisted.
+	WriteErr Kind = iota
+	// ShortWrite persists half the buffer and reports an error with
+	// the short count, like a disk-full mid-write.
+	ShortWrite
+	// TornWrite persists half the buffer but reports success: a lying
+	// write cache ahead of a crash.
+	TornWrite
+	// SyncErr fails the fsync, persisting nothing extra.
+	SyncErr
+)
+
+// String names the kind for test output.
+func (k Kind) String() string {
+	switch k {
+	case WriteErr:
+		return "writeerr"
+	case ShortWrite:
+		return "shortwrite"
+	case TornWrite:
+		return "tornwrite"
+	case SyncErr:
+		return "syncerr"
+	}
+	return "unknown"
+}
+
+// Fault is one scripted failure: the After'th operation matching Op
+// misbehaves per Kind. Op is "write", "sync", or "" for either.
+type Fault struct {
+	Op    string
+	After int
+	Kind  Kind
+}
+
+// Script is a consumable fault plan, safe for concurrent use (the
+// journal's writer goroutine is the usual caller).
+type Script struct {
+	mu     sync.Mutex
+	faults []Fault
+	used   []bool
+	writes int
+	syncs  int
+	total  int
+	fired  int
+}
+
+// NewScript builds a script from explicit faults.
+func NewScript(faults ...Fault) *Script {
+	return &Script{faults: faults, used: make([]bool, len(faults))}
+}
+
+// Generate derives a reproducible script from a seed: n faults spread
+// over roughly span operations.
+func Generate(seed int64, n, span int) *Script {
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	ops := []string{"write", "sync", ""}
+	for i := range faults {
+		faults[i] = Fault{
+			Op:    ops[rng.Intn(len(ops))],
+			After: rng.Intn(span),
+			Kind:  Kind(rng.Intn(4)),
+		}
+	}
+	return NewScript(faults...)
+}
+
+// Fired reports how many faults have fired so far.
+func (s *Script) Fired() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// next consumes the first unfired fault matching op at the current
+// operation count, if any.
+func (s *Script) next(op string) (Fault, bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var idx int
+	switch op {
+	case "write":
+		idx = s.writes
+		s.writes++
+	case "sync":
+		idx = s.syncs
+		s.syncs++
+	}
+	anyIdx := s.total
+	s.total++
+	for i, f := range s.faults {
+		if s.used[i] {
+			continue
+		}
+		if (f.Op == op && f.After == idx) || (f.Op == "" && f.After == anyIdx) {
+			s.used[i] = true
+			s.fired++
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// FS wraps a journal.Fsys, applying a Script and/or a byte-limit
+// crash to every file opened through it.
+type FS struct {
+	inner  journal.Fsys
+	script *Script
+
+	mu      sync.Mutex
+	limit   int64 // -1: no limit
+	written int64
+	crashed bool
+}
+
+// Wrap applies script to every write/sync through inner.
+func Wrap(inner journal.Fsys, script *Script) *FS {
+	return &FS{inner: inner, script: script, limit: -1}
+}
+
+// CrashAfterBytes simulates a power cut after n bytes have been
+// written through the wrapper (across all files): the crossing write
+// is torn, subsequent writes and syncs silently vanish. Reads pass
+// through, so the same wrapper can serve recovery assertions.
+func CrashAfterBytes(inner journal.Fsys, n int64) *FS {
+	return &FS{inner: inner, limit: n}
+}
+
+// Crashed reports whether the byte-limit crash has triggered.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+func (fs *FS) Create(name string) (journal.File, error) {
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		// After the "power cut" the file never reaches the medium, but
+		// the process sees success.
+		return deadFile{}, nil
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, inner: f}, nil
+}
+
+func (fs *FS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+
+func (fs *FS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		return nil
+	}
+	return fs.inner.Rename(oldname, newname)
+}
+
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		return nil
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *FS) List() ([]string, error) { return fs.inner.List() }
+
+type faultFile struct {
+	fs    *FS
+	inner journal.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return len(p), nil
+	}
+	if fs.limit >= 0 {
+		remain := fs.limit - fs.written
+		if remain < int64(len(p)) {
+			// The crossing write: persist the prefix, lose the rest,
+			// report success. This is the torn final record.
+			fs.crashed = true
+			fs.written = fs.limit
+			fs.mu.Unlock()
+			if remain > 0 {
+				f.inner.Write(p[:remain])
+			}
+			return len(p), nil
+		}
+		fs.written += int64(len(p))
+	}
+	fs.mu.Unlock()
+
+	if fault, ok := fs.script.next("write"); ok {
+		switch fault.Kind {
+		case WriteErr:
+			return 0, fmt.Errorf("faultfile: injected write error")
+		case ShortWrite:
+			n, _ := f.inner.Write(p[:len(p)/2])
+			return n, fmt.Errorf("faultfile: injected short write (%d of %d)", n, len(p))
+		case TornWrite:
+			f.inner.Write(p[:len(p)/2])
+			return len(p), nil
+		case SyncErr:
+			// A sync fault landing on a write slot: apply on the next
+			// sync instead by re-arming is overkill; treat as no-op.
+		}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		return nil
+	}
+	if fault, ok := fs.script.next("sync"); ok && fault.Kind == SyncErr {
+		return fmt.Errorf("faultfile: injected fsync error")
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	fs := f.fs
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		return nil
+	}
+	return f.inner.Close()
+}
+
+// deadFile swallows everything after the crash point.
+type deadFile struct{}
+
+func (deadFile) Write(p []byte) (int, error) { return len(p), nil }
+func (deadFile) Sync() error                 { return nil }
+func (deadFile) Close() error                { return nil }

@@ -1,0 +1,194 @@
+package faultfile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func TestScriptedWriteErr(t *testing.T) {
+	mem := journal.NewMemFS()
+	fs := Wrap(mem, NewScript(Fault{Op: "write", After: 1, Kind: WriteErr}))
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write 0 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); err == nil {
+		t.Fatal("write 1 should fail")
+	}
+	if fs.script.Fired() != 1 {
+		t.Fatalf("fired %d, want 1", fs.script.Fired())
+	}
+	b, _ := mem.ReadFile("x")
+	if string(b) != "first" {
+		t.Fatalf("persisted %q", b)
+	}
+}
+
+func TestScriptedShortAndTorn(t *testing.T) {
+	mem := journal.NewMemFS()
+	fs := Wrap(mem, NewScript(
+		Fault{Op: "write", After: 0, Kind: ShortWrite},
+		Fault{Op: "write", After: 1, Kind: TornWrite},
+	))
+	f, _ := fs.Create("x")
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil || n != 4 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	n, err = f.Write([]byte("ijklmnop"))
+	if err != nil || n != 8 {
+		t.Fatalf("torn write must report success: n=%d err=%v", n, err)
+	}
+	b, _ := mem.ReadFile("x")
+	if string(b) != "abcd"+"ijkl" {
+		t.Fatalf("persisted %q", b)
+	}
+}
+
+func TestScriptedSyncErr(t *testing.T) {
+	mem := journal.NewMemFS()
+	fs := Wrap(mem, NewScript(Fault{Op: "sync", After: 0, Kind: SyncErr}))
+	f, _ := fs.Create("x")
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync 0 should fail")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+}
+
+func TestCrashAfterBytes(t *testing.T) {
+	mem := journal.NewMemFS()
+	fs := CrashAfterBytes(mem, 10)
+	f, _ := fs.Create("x")
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-crash write: n=%d err=%v", n, err)
+	}
+	// This write crosses the limit at byte 10: 2 bytes land, the rest
+	// vanish, and the caller is told everything succeeded.
+	if n, err := f.Write([]byte("abcdefgh")); n != 8 || err != nil {
+		t.Fatalf("crossing write must lie: n=%d err=%v", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash not triggered")
+	}
+	// Post-crash: everything reports success, nothing persists.
+	if n, err := f.Write([]byte("MORE")); n != 4 || err != nil {
+		t.Fatalf("post-crash write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	g, err := fs.Create("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := g.Write([]byte("ghost")); n != 5 || err != nil {
+		t.Fatalf("post-crash create+write: n=%d err=%v", n, err)
+	}
+	if err := fs.Rename("x", "z"); err != nil {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+
+	b, _ := mem.ReadFile("x")
+	if string(b) != "12345678ab" {
+		t.Fatalf("persisted %q, want the first 10 bytes", b)
+	}
+	if _, err := mem.ReadFile("y"); err == nil {
+		t.Fatal("ghost file reached the medium")
+	}
+	if _, err := mem.ReadFile("z"); err == nil {
+		t.Fatal("post-crash rename reached the medium")
+	}
+}
+
+// The injector must compose with a real Writer: a journal written
+// through CrashAfterBytes loads as a clean prefix of the full journal.
+func TestWriterThroughCrash(t *testing.T) {
+	// First, a full run to learn the total size.
+	full := journal.NewMemFS()
+	w, err := journal.Open(full, journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w.Append(&journal.Op{Kind: journal.OpSplice, Win: 1, Sub: 1, P0: i, Str1: strings.Repeat("x", i)})
+	}
+	w.Flush()
+	w.Close()
+	seg, err := full.ReadFile("wal-00000000000000000000.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int64{0, 1, 16, 17, int64(len(seg)) / 2, int64(len(seg)) - 1} {
+		mem := journal.NewMemFS()
+		ffs := CrashAfterBytes(mem, cut)
+		w, err := journal.Open(ffs, journal.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			w.Append(&journal.Op{Kind: journal.OpSplice, Win: 1, Sub: 1, P0: i, Str1: strings.Repeat("x", i)})
+		}
+		w.Flush()
+		w.Close()
+
+		st, err := journal.Load(mem)
+		if cut < 16 {
+			// Not even the segment header landed.
+			if err == nil && len(st.Ops) != 0 {
+				t.Fatalf("cut %d: ops from a headerless journal", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Prefix consistency: ops 0..k replayed in order, none invented.
+		for i, op := range st.Ops {
+			if op.P0 != i || op.Str1 != strings.Repeat("x", i) {
+				t.Fatalf("cut %d: op %d is %+v, not the %d'th written", cut, i, op, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 5, 100)
+	b := Generate(42, 5, 100)
+	if len(a.faults) != 5 || len(b.faults) != 5 {
+		t.Fatal("wrong fault count")
+	}
+	for i := range a.faults {
+		if a.faults[i] != b.faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.faults[i], b.faults[i])
+		}
+	}
+}
+
+// A Writer over a scripted-fault FS must degrade, not wedge or panic.
+func TestWriterDegradesUnderScript(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		mem := journal.NewMemFS()
+		ffs := Wrap(mem, Generate(seed, 3, 10))
+		w, err := journal.Open(ffs, journal.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			w.Append(&journal.Op{Kind: journal.OpScroll, Win: 1, P0: i})
+		}
+		w.Flush()
+		w.Close()
+		// Whatever happened, Load must not panic; errors are fine (a
+		// scripted mid-file torn write is indistinguishable from real
+		// corruption, which is exactly what Load must refuse).
+		journal.Load(mem)
+	}
+}

@@ -1,0 +1,98 @@
+package helpfs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// guardDevice isolates the file service from bugs in the handlers it
+// wraps: a panic while serving a client becomes an I/O error on that
+// client's file descriptor, reported through Help.PanicReport (which
+// flushes the journal and writes a crash report) — it never takes the
+// whole session down. The mutating entry points also sweep the journal
+// afterwards, so state changed through /mnt/help is as durable as state
+// changed by a gesture.
+type guardDevice struct {
+	s    *Service
+	name string
+	dev  vfs.Device
+}
+
+// guardFiles are pooled: opens on the hot path (bodyapp, ctl) would
+// otherwise pay one allocation each just to box the wrapper. Close
+// returns the wrapper; a file used after Close was already broken, and
+// now additionally sees a zeroed wrapper rather than its old handler.
+var guardFilePool = sync.Pool{New: func() any { return new(guardFile) }}
+
+func (g guardDevice) OpenDevice(mode int) (f vfs.DeviceFile, err error) {
+	// finish recovers first, then sweeps: opening new/ctl creates a
+	// window, and the creation must be journaled even when a later
+	// handler panics.
+	defer g.s.finish("open", g.name, &err)
+	inner, err := g.dev.OpenDevice(mode)
+	if err != nil {
+		return nil, err
+	}
+	gf := guardFilePool.Get().(*guardFile)
+	gf.s, gf.name, gf.f = g.s, g.name, inner
+	return gf, nil
+}
+
+type guardFile struct {
+	s    *Service
+	name string
+	f    vfs.DeviceFile
+}
+
+func (g *guardFile) ReadAt(p []byte, off int64) (n int, err error) {
+	defer g.s.guard("read", g.name, &err)
+	return g.f.ReadAt(p, off)
+}
+
+func (g *guardFile) WriteAt(p []byte, off int64) (n int, err error) {
+	defer g.s.finish("write", g.name, &err)
+	return g.f.WriteAt(p, off)
+}
+
+// Close sweeps too: buffer handles apply their buffered writes here, so
+// this is where a body replacement or bodyapp append actually lands.
+func (g *guardFile) Close() (err error) {
+	defer g.s.finish("close", g.name, &err)
+	inner := g.f
+	g.s, g.name, g.f = nil, "", nil
+	guardFilePool.Put(g)
+	return inner.Close()
+}
+
+// guard converts an in-flight panic into an error on the operation that
+// triggered it, reporting through the session's crash machinery. The
+// happy path must stay allocation-free: anything string-built here
+// (operation labels, reports) is assembled only inside the recover
+// branch.
+func (s *Service) guard(verb, name string, err *error) {
+	if r := recover(); r != nil {
+		op := verb + " " + name
+		s.h.PanicReport("helpfs "+op, r, debug.Stack())
+		*err = fmt.Errorf("helpfs: %s: internal error: %v", op, r)
+	}
+}
+
+// finish is the one deferred call on each mutating entry point: recover
+// any panic, then sweep the journal. One defer instead of two keeps the
+// guard cheap enough to leave on unconditionally.
+func (s *Service) finish(verb, name string, err *error) {
+	if r := recover(); r != nil {
+		op := verb + " " + name
+		s.h.PanicReport("helpfs "+op, r, debug.Stack())
+		*err = fmt.Errorf("helpfs: %s: internal error: %v", op, r)
+	}
+	s.h.JournalSweep()
+}
+
+// register installs a device behind the panic guard.
+func (s *Service) register(path string, d vfs.Device) error {
+	return s.fs.RegisterDevice(path, guardDevice{s: s, name: path, dev: d})
+}

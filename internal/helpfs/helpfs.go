@@ -61,13 +61,13 @@ func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
 	if err := fs.MkdirAll(s.root); err != nil {
 		return nil, err
 	}
-	if err := fs.RegisterDevice(s.root+"/index", readDevice{content: s.index, k: s.kinds["index"]}); err != nil {
+	if err := s.register(s.root+"/index", readDevice{content: s.index, k: s.kinds["index"]}); err != nil {
 		return nil, err
 	}
-	if err := fs.RegisterDevice(s.root+"/new/ctl", &newCtlDevice{s: s}); err != nil {
+	if err := s.register(s.root+"/new/ctl", &newCtlDevice{s: s}); err != nil {
 		return nil, err
 	}
-	if err := fs.RegisterDevice(s.root+"/ctl", &rootCtlDevice{s: s}); err != nil {
+	if err := s.register(s.root+"/ctl", &rootCtlDevice{s: s}); err != nil {
 		return nil, err
 	}
 	if err := s.registerObsFiles(); err != nil {
@@ -120,16 +120,16 @@ func (s *Service) winDir(id int) string {
 func (s *Service) addWindow(w *core.Window) error {
 	dir := s.winDir(w.ID)
 	id := w.ID
-	if err := s.fs.RegisterDevice(dir+"/tag", &bufDevice{s: s, id: id, sub: core.SubTag, k: s.kinds["tag"]}); err != nil {
+	if err := s.register(dir+"/tag", &bufDevice{s: s, id: id, sub: core.SubTag, k: s.kinds["tag"]}); err != nil {
 		return err
 	}
-	if err := s.fs.RegisterDevice(dir+"/body", &bufDevice{s: s, id: id, sub: core.SubBody, k: s.kinds["body"]}); err != nil {
+	if err := s.register(dir+"/body", &bufDevice{s: s, id: id, sub: core.SubBody, k: s.kinds["body"]}); err != nil {
 		return err
 	}
-	if err := s.fs.RegisterDevice(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true, k: s.kinds["bodyapp"]}); err != nil {
+	if err := s.register(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true, k: s.kinds["bodyapp"]}); err != nil {
 		return err
 	}
-	return s.fs.RegisterDevice(dir+"/ctl", &ctlDevice{s: s, id: id, k: s.kinds["ctl"]})
+	return s.register(dir+"/ctl", &ctlDevice{s: s, id: id, k: s.kinds["ctl"]})
 }
 
 // removeWindow tears down the numbered directory.

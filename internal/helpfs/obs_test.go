@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/vfs"
 )
@@ -182,5 +183,30 @@ func TestNilRegistryService(t *testing.T) {
 	var r *obs.Registry
 	if r.StatsText() != "" || r.TraceText() != "" {
 		t.Error("nil registry text not empty")
+	}
+}
+
+// The journal shows up in /mnt/help/stats like any other subsystem:
+// appends, bytes, batches move as the session mutates.
+func TestStatsShowJournal(t *testing.T) {
+	h, fs, _ := attach(t)
+	jw, err := journal.Open(journal.NewMemFS(), journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw.Close()
+	h.AttachJournal(jw, 1<<20)
+
+	w := h.NewWindow()
+	w.Body.SetString("journaled text")
+	h.JournalSweep()
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{"journal.appends", "journal.bytes", "journal.batches"} {
+		if got := statVal(t, fs, key); got == "" || got == "0" {
+			t.Errorf("%s = %q, want > 0", key, got)
+		}
 	}
 }

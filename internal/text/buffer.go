@@ -51,6 +51,13 @@ type Buffer struct {
 	cleanLen  int
 	cleanGone bool
 	modified  bool
+
+	// onSplice, when set, observes every primitive mutation — including
+	// undo/redo replay and SetString — after it has been applied. The
+	// session journal hangs off this hook: primInsert/primDelete are the
+	// single choke point all edits funnel through, so one callback
+	// captures every way a buffer can change.
+	onSplice func(off, ndel int, ins string)
 }
 
 // change records one primitive edit for the undo log.
@@ -153,6 +160,9 @@ func (b *Buffer) primInsert(off int, rs []rune) {
 	b.gapStart += len(rs)
 	b.indexInsert(off, rs)
 	b.gen++
+	if b.onSplice != nil {
+		b.onSplice(off, 0, string(rs))
+	}
 }
 
 // primDelete deletes without recording undo and returns the removed runes.
@@ -166,6 +176,9 @@ func (b *Buffer) primDelete(off, n int) []rune {
 	b.gapEnd += n
 	b.indexDelete(off, n)
 	b.gen++
+	if b.onSplice != nil {
+		b.onSplice(off, n, "")
+	}
 	return removed
 }
 
@@ -365,6 +378,51 @@ func (b *Buffer) String() string { return b.Slice(0, b.Len()) }
 // as the Get! command does.
 func (b *Buffer) SetString(s string) {
 	b.Replace(0, b.Len(), s)
+}
+
+// SetOnSplice installs (or, with nil, removes) the splice observer: a
+// callback invoked after every primitive mutation with the rune offset,
+// the number of runes deleted there, and the runes inserted. Exactly one
+// of ndel/ins is non-zero per call. The callback must not mutate the
+// buffer.
+func (b *Buffer) SetOnSplice(fn func(off, ndel int, ins string)) {
+	b.onSplice = fn
+}
+
+// Load replaces the entire contents without recording undo and marks the
+// buffer clean, as when a window adopts a file's contents wholesale. The
+// undo and redo histories are discarded; the splice observer, if any,
+// stays installed and sees the replacement as a delete plus an insert.
+func (b *Buffer) Load(s string) {
+	b.noUndo = true
+	if n := b.Len(); n > 0 {
+		b.primDelete(0, n)
+	}
+	if rs := []rune(s); len(rs) > 0 {
+		b.primInsert(0, rs)
+	}
+	b.noUndo = false
+	b.undo = nil
+	b.redo = nil
+	b.SetClean()
+}
+
+// ApplySplice applies a journaled primitive mutation: delete ndel runes
+// at off, then insert ins there. It bypasses the undo log and does not
+// touch the modified flag — recovery replays clean-state transitions as
+// separate records — and returns an error instead of panicking on an
+// out-of-range splice, because a journal's word is not to be trusted.
+func (b *Buffer) ApplySplice(off, ndel int, ins string) error {
+	if off < 0 || ndel < 0 || off+ndel > b.Len() {
+		return fmt.Errorf("text: splice [%d,%d) out of range [0,%d]", off, off+ndel, b.Len())
+	}
+	if ndel > 0 {
+		b.primDelete(off, ndel)
+	}
+	if rs := []rune(ins); len(rs) > 0 {
+		b.primInsert(off, rs)
+	}
+	return nil
 }
 
 // LineStart returns the offset of the first rune of 1-based line number ln.

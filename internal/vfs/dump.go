@@ -1,0 +1,131 @@
+package vfs
+
+import (
+	"path"
+	"sort"
+)
+
+// MutKind enumerates the namespace mutations the journal hook observes.
+type MutKind int
+
+const (
+	MutWrite MutKind = iota
+	MutAppend
+	MutRemove
+	MutMkdir
+	MutBind
+)
+
+// SetOnMutate installs (or, with nil, removes) the mutation observer: a
+// callback invoked after every successful non-device namespace mutation.
+// For MutWrite/MutAppend, data is the written bytes; for MutBind, aux is
+// the mountpoint and flag the bind flag. Device writes are excluded —
+// they are messages to live services (window bodies, ctl files), not
+// state the namespace owns, and replaying them would double-apply.
+func (fs *FS) SetOnMutate(fn func(kind MutKind, p string, data []byte, aux string, flag int)) {
+	fs.onMutate = fn
+}
+
+func (fs *FS) mutated(kind MutKind, p string, data []byte, aux string, flag int) {
+	if fs.onMutate != nil {
+		fs.onMutate(kind, Clean(p), data, aux, flag)
+	}
+}
+
+// DumpEntry is one file or directory in a namespace snapshot.
+type DumpEntry struct {
+	Path string
+	Dir  bool
+	Data []byte // file contents; nil for directories
+}
+
+// Dump snapshots every non-device file and directory plus the bind
+// table, in sorted path order. Devices are skipped: they are live
+// endpoints re-registered by whoever owns them, not persistable state.
+func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
+	var entries []DumpEntry
+	var walk func(p string, n *node)
+	walk = func(p string, n *node) {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := n.children[name]
+			cp := path.Join(p, name)
+			switch {
+			case c.device != nil:
+				// skip
+			case c.dir:
+				entries = append(entries, DumpEntry{Path: cp, Dir: true})
+				walk(cp, c)
+			default:
+				entries = append(entries, DumpEntry{Path: cp, Data: append([]byte(nil), c.data...)})
+			}
+		}
+	}
+	walk("/", fs.root)
+	binds := make(map[string][]string, len(fs.binds))
+	for mp, srcs := range fs.binds {
+		binds[mp] = append([]string(nil), srcs...)
+	}
+	return entries, binds
+}
+
+// RestoreDump makes the namespace's non-device contents and bind table
+// match a Dump: files and empty directories absent from the snapshot
+// are removed, snapshot entries are (re)created, and the bind table is
+// replaced wholesale. Device nodes — and the directories that shelter
+// them — are left alone, for the same reason Dump skips them. The
+// mutation observer is suppressed for the duration.
+func (fs *FS) RestoreDump(entries []DumpEntry, binds map[string][]string) error {
+	saved := fs.onMutate
+	fs.onMutate = nil
+	defer func() { fs.onMutate = saved }()
+
+	keep := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		keep[e.Path] = true
+	}
+	// Remove files the snapshot doesn't have, then repeatedly remove
+	// newly empty directories (bottom-up via path-length sort).
+	var prune func(p string, n *node)
+	prune = func(p string, n *node) {
+		for name, c := range n.children {
+			cp := path.Join(p, name)
+			if c.device != nil {
+				continue
+			}
+			if c.dir {
+				prune(cp, c)
+				if len(c.children) == 0 && !keep[cp] {
+					delete(n.children, name)
+				}
+			} else if !keep[cp] {
+				delete(n.children, name)
+			}
+		}
+	}
+	prune("/", fs.root)
+
+	for _, e := range entries {
+		if e.Dir {
+			if err := fs.MkdirAll(e.Path); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range entries {
+		if !e.Dir {
+			if err := fs.WriteFile(e.Path, e.Data); err != nil {
+				return err
+			}
+		}
+	}
+	fs.binds = make(map[string][]string, len(binds))
+	for mp, srcs := range binds {
+		fs.binds[mp] = append([]string(nil), srcs...)
+	}
+	return nil
+}

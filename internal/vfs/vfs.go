@@ -108,6 +108,9 @@ type FS struct {
 	// is installed; nil counters are no-ops, keeping lookup alloc-free.
 	lookups  *obs.Counter
 	bindsCtr *obs.Counter
+	// onMutate, when set, observes successful non-device mutations;
+	// see SetOnMutate in dump.go.
+	onMutate func(kind MutKind, p string, data []byte, aux string, flag int)
 }
 
 // SetObs installs (or, with nil, removes) observability counters for
@@ -293,6 +296,7 @@ func (fs *FS) Bind(src, mp string, flag BindFlag) error {
 	default:
 		return fmt.Errorf("bind: bad flag %d", flag)
 	}
+	fs.mutated(MutBind, src, nil, mp, int(flag))
 	return nil
 }
 
@@ -305,15 +309,20 @@ func (fs *FS) Unbind(mp string) {
 // already exists as a directory.
 func (fs *FS) MkdirAll(p string) error {
 	n := fs.root
+	made := false
 	for _, elem := range split(p) {
 		child, ok := n.children[elem]
 		if !ok {
 			child = &node{name: elem, dir: true, children: map[string]*node{}}
 			n.children[elem] = child
+			made = true
 		} else if !child.dir {
 			return fmt.Errorf("%s: %w", p, ErrNotDir)
 		}
 		n = child
+	}
+	if made {
+		fs.mutated(MutMkdir, p, nil, "", 0)
 	}
 	return nil
 }
@@ -360,9 +369,11 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 		}
 		child.data = append(child.data[:0], data...)
 		child.mtime = fs.tick()
+		fs.mutated(MutWrite, p, data, "", 0)
 		return nil
 	}
 	parent.children[base] = &node{name: base, data: append([]byte(nil), data...), mtime: fs.tick()}
+	fs.mutated(MutWrite, p, data, "", 0)
 	return nil
 }
 
@@ -439,6 +450,7 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 	}
 	n.data = append(n.data, data...)
 	n.mtime = fs.tick()
+	fs.mutated(MutAppend, p, data, "", 0)
 	return nil
 }
 
@@ -542,7 +554,11 @@ func (fs *FS) Remove(p string) error {
 		if child.dir && len(child.children) > 0 {
 			return fmt.Errorf("%s: directory not empty", p)
 		}
+		wasDevice := child.device != nil
 		delete(parent.children, base)
+		if !wasDevice {
+			fs.mutated(MutRemove, p, nil, "", 0)
+		}
 		return nil
 	}
 	return firstErr
