@@ -240,9 +240,13 @@ func BenchmarkOpenFile(b *testing.B) {
 	}
 }
 
-// BenchmarkExecuteExternal measures a full external-command round trip:
-// context rules, shell, output to the Errors window.
-func BenchmarkExecuteExternal(b *testing.B) {
+// BenchmarkExecuteExternalRoundTrip measures a synchronous Execute of an
+// external command. Renamed from BenchmarkExecuteExternal when the core
+// became an actor: an external command now runs in its own goroutine and
+// Execute waits for launch, queue drain, and reap, so the number measures
+// a scheduler round trip, not the old in-loop call, and is not comparable
+// against the pre-actor baseline.
+func BenchmarkExecuteExternalRoundTrip(b *testing.B) {
 	w, err := world.Build(120, 60)
 	if err != nil {
 		b.Fatal(err)
@@ -516,4 +520,47 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConcurrentServe measures the file interface under contention:
+// parallel readers of /mnt/help/index while a live external command is
+// registered — the "core off the critical path" number. Before the actor
+// refactor this workload was impossible: a running command held the whole
+// session.
+func BenchmarkConcurrentServe(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win, err := w.Help.OpenFile(world.SrcDir+"/exec.c", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Help.Start(win, "sleep 600")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := w.FS.ReadFile(world.MountRoot + "/index"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	w.Help.Execute(win, "Kill")
+	w.Help.WaitIdle()
+}
+
+// BenchmarkQueueThroughput measures the apply queue itself: the cost of
+// pushing a mutation from a command goroutine through the drainer,
+// amortized over drain batches.
+func BenchmarkQueueThroughput(b *testing.B) {
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Help.Apply(func() {})
+	}
+	w.Help.WaitIdle()
 }

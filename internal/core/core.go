@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/draw"
 	"repro/internal/event"
@@ -103,11 +105,36 @@ type Metrics struct {
 
 // Help is the program: the screen, the namespace, the shell, the columns
 // of windows, and the single snarf buffer.
+//
+// Help is an actor: every mutation happens while holding mu, the actor
+// lock. Exported methods take the lock at the boundary and delegate to
+// unexported twins; internal code and device handlers (which already run
+// under the lock, via the serialized vfs view from SafeFS) call the twins
+// directly. Commands run in their own goroutines and feed output back as
+// closures on the apply queue, drained under the lock in FIFO order.
 type Help struct {
+	// mu is the actor lock serializing all state mutation. FS is the raw
+	// namespace view, only ever used while holding mu; safeFS is the
+	// locking view handed to off-loop code (commands, srvnet, the repl).
+	mu     sync.Mutex
+	safeFS *vfs.FS
+
 	FS     *vfs.FS
 	Shell  *shell.Shell
 	screen *draw.Screen
 	cols   []*Column
+
+	// applyq is the apply queue: mutations enqueued by command goroutines
+	// (output chunks, reaps), drained under mu by a lazily started
+	// drainer. loopActive is its run state (0 idle, 1 draining).
+	applyq     chan func()
+	loopActive atomic.Int32
+
+	// procs is the registry of live external commands; procIdle is
+	// broadcast on every reap so WaitIdle can wait for quiescence.
+	procs    map[int]*proc
+	procSeq  int
+	procIdle *sync.Cond
 
 	byID   map[int]*Window
 	nextID int
@@ -137,6 +164,10 @@ type Help struct {
 	mKeystrokes obs.Counter
 	mCommands   obs.Counter
 
+	// mProcsLive mirrors len(h.procs) as an always-on atomic so the
+	// stats goroutine's running-command gauge never needs the lock.
+	mProcsLive obs.Counter
+
 	// statsPath is where helpfs serves the flat stats file, for the
 	// Metrics built-in.
 	statsPath string
@@ -163,10 +194,10 @@ type Help struct {
 	panicCount int
 
 	// exitPending arms the two-step Exit: set when Exit was refused
-	// over unsaved windows, cleared by any other command.
+	// over unsaved windows or live commands, cleared by any other command.
 	exitPending bool
 
-	exited bool
+	exited atomic.Bool
 }
 
 // New creates a help instance on a w x h cell screen over the given
@@ -178,7 +209,11 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 		screen: draw.NewScreen(w, h),
 		byID:   map[int]*Window{},
 		nextID: 1,
+		applyq: make(chan func(), 256),
+		procs:  map[int]*proc{},
 	}
+	h9.safeFS = fs.Serialized(&h9.mu)
+	h9.procIdle = sync.NewCond(&h9.mu)
 	// Row 0 is the column tab row; columns split the rest side by side.
 	mid := w / 2
 	h9.cols = []*Column{
@@ -192,8 +227,13 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 // Screen returns the display, rendered by Render.
 func (h *Help) Screen() *draw.Screen { return h.screen }
 
-// Exited reports whether Exit has been executed.
-func (h *Help) Exited() bool { return h.exited }
+// SafeFS returns the serialized namespace view: same tree as FS, but
+// every operation takes the actor lock. Off-loop code — commands, srvnet
+// servers, tests poking the namespace concurrently — must use this view.
+func (h *Help) SafeFS() *vfs.FS { return h.safeFS }
+
+// Exited reports whether Exit has been executed. Lock-free.
+func (h *Help) Exited() bool { return h.exited.Load() }
 
 // Metrics returns the current interaction accounting. It reads only
 // atomics mirrored after each event, so it is safe to call from any
@@ -208,10 +248,20 @@ func (h *Help) Metrics() Metrics {
 }
 
 // Columns returns the number of columns.
-func (h *Help) Columns() int { return len(h.cols) }
+func (h *Help) Columns() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.cols)
+}
 
 // Windows returns all windows ordered by id.
 func (h *Help) Windows() []*Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.windows()
+}
+
+func (h *Help) windows() []*Window {
 	out := make([]*Window, 0, len(h.byID))
 	for _, w := range h.byID {
 		out = append(out, w)
@@ -221,14 +271,24 @@ func (h *Help) Windows() []*Window {
 }
 
 // Window returns the window with the given id, or nil.
-func (h *Help) Window(id int) *Window { return h.byID[id] }
+func (h *Help) Window(id int) *Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.byID[id]
+}
 
 // WindowByName returns the window whose tag names file, or nil. ("If the
 // file is already open, the command just guarantees that its window is
 // visible.")
 func (h *Help) WindowByName(name string) *Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.windowByName(name)
+}
+
+func (h *Help) windowByName(name string) *Window {
 	name = vfs.Clean(name)
-	for _, w := range h.Windows() {
+	for _, w := range h.windows() {
 		wn := w.FileName()
 		if wn == "" {
 			continue
@@ -241,15 +301,29 @@ func (h *Help) WindowByName(name string) *Window {
 }
 
 // Current returns the window and subwindow owning the current selection.
-func (h *Help) Current() (*Window, int) { return h.curWin, h.curSub }
+func (h *Help) Current() (*Window, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.curWin, h.curSub
+}
 
 // SetCurrent makes (w, sub) the owner of the current selection.
 func (h *Help) SetCurrent(w *Window, sub int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.setCurrent(w, sub)
+}
+
+func (h *Help) setCurrent(w *Window, sub int) {
 	h.curWin, h.curSub = w, sub
 }
 
 // Snarf returns the snarf (cut) buffer contents.
-func (h *Help) Snarf() string { return h.snarf }
+func (h *Help) Snarf() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snarf
+}
 
 // colAt returns the column containing point p, defaulting to the last.
 func (h *Help) colAt(p geom.Point) *Column {
@@ -281,11 +355,19 @@ func (h *Help) selectionColumn() *Column {
 // NewWindow creates an empty window placed by the heuristic in the column
 // of the current selection.
 func (h *Help) NewWindow() *Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.newWindowIn(h.selectionColumn())
 }
 
 // NewWindowIn creates an empty window in column index ci.
 func (h *Help) NewWindowIn(ci int) *Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.newWindowInCol(ci)
+}
+
+func (h *Help) newWindowInCol(ci int) *Window {
 	if ci < 0 || ci >= len(h.cols) {
 		ci = 0
 	}
@@ -349,6 +431,12 @@ func (h *Help) place(w *Window, col *Column) {
 // it is in", the action of clicking its tab: windows displayed below it
 // are covered entirely.
 func (h *Help) Reveal(w *Window) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reveal(w)
+}
+
+func (h *Help) reveal(w *Window) {
 	col := h.colOf(w)
 	w.hidden = false
 	if w.top >= col.r.Max.Y-1 {
@@ -370,6 +458,12 @@ func (h *Help) Reveal(w *Window) {
 // off the exact row, keeping the tag visible, or covering windows that no
 // longer fit.
 func (h *Help) MoveWindow(w *Window, p geom.Point) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.moveWindow(w, p)
+}
+
+func (h *Help) moveWindow(w *Window, p geom.Point) {
 	dst := h.colAt(p)
 	src := h.colOf(w)
 	if src != dst {
@@ -407,6 +501,12 @@ func (h *Help) MoveWindow(w *Window, p geom.Point) {
 // placement heuristic there; used when booting tools into the right-hand
 // column.
 func (h *Help) MoveWindowToColumn(w *Window, ci int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.moveWindowToColumn(w, ci)
+}
+
+func (h *Help) moveWindowToColumn(w *Window, ci int) {
 	if ci < 0 || ci >= len(h.cols) {
 		return
 	}
@@ -430,6 +530,12 @@ func (c *Column) removeWindow(w *Window) {
 
 // CloseWindow removes w from the screen and the window table.
 func (h *Help) CloseWindow(w *Window) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closeWindow(w)
+}
+
+func (h *Help) closeWindow(w *Window) {
 	if h.byID[w.ID] != w {
 		return // already closed
 	}
@@ -450,6 +556,12 @@ func (h *Help) CloseWindow(w *Window) {
 // of the tab row "across the top of the columns [that] allows the columns
 // to expand horizontally".
 func (h *Help) ExpandColumn(ci int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expandColumn(ci)
+}
+
+func (h *Help) expandColumn(ci int) {
 	if len(h.cols) != 2 || ci < 0 || ci > 1 {
 		return
 	}
@@ -473,10 +585,29 @@ type execSweep struct {
 // and error outputs are directed to a special window, called Errors, that
 // will be created automatically if needed."
 func (h *Help) Errors() *Window {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.errorsWin()
+}
+
+// ErrorsText snapshots the Errors window's body under the actor lock,
+// without creating the window. Observers polling a running command's
+// streamed output use it; reading the window pointer's buffer directly
+// would race with the command's enqueued appends.
+func (h *Help) ErrorsText() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.errors == nil || h.byID[h.errors.ID] == nil {
+		return ""
+	}
+	return h.errors.Body.String()
+}
+
+func (h *Help) errorsWin() *Window {
 	if h.errors != nil && h.byID[h.errors.ID] != nil {
 		return h.errors
 	}
-	w := h.NewWindow()
+	w := h.newWindowIn(h.selectionColumn())
 	w.Tag.SetString("Errors\tClose!")
 	w.Tag.SetClean()
 	h.errors = w
@@ -491,10 +622,16 @@ const errorsCap = 64 * 1024
 // front — at a line boundary when possible — once the body exceeds
 // errorsCap.
 func (h *Help) AppendErrors(s string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.appendErrors(s)
+}
+
+func (h *Help) appendErrors(s string) {
 	if s == "" {
 		return
 	}
-	w := h.Errors()
+	w := h.errorsWin()
 	w.Body.Insert(w.Body.Len(), s)
 	w.Body.Commit()
 	if over := w.Body.Len() - errorsCap; over > 0 {
@@ -527,25 +664,37 @@ func (h *Help) AppendErrors(s string) {
 // source names the service ("remote", "mail"); the error is printed
 // after it.
 func (h *Help) ReportFault(source string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reportFault(source, err)
+}
+
+func (h *Help) reportFault(source string, err error) {
 	if err == nil {
 		h.Obs.Event("fault", source+": ok")
-		h.AppendErrors(fmt.Sprintf("%s: ok\n", source))
+		h.appendErrors(fmt.Sprintf("%s: ok\n", source))
 		return
 	}
 	h.Obs.Event("fault", fmt.Sprintf("%s: %v", source, err))
-	h.AppendErrors(fmt.Sprintf("%s: %v\n", source, err))
+	h.appendErrors(fmt.Sprintf("%s: %v\n", source, err))
 }
 
 // OpenFile opens name (already absolute) in a window, reusing an existing
 // window for the same file. addr optionally positions the view
 // ("help.c:27"). It returns the window.
 func (h *Help) OpenFile(name, addr string) (*Window, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.openFile(name, addr)
+}
+
+func (h *Help) openFile(name, addr string) (*Window, error) {
 	// Callers outside the event loop (the repl, helpfs) reach OpenFile
 	// directly, so it sweeps the journal itself.
 	defer h.JournalSweep()
 	name = vfs.Clean(name)
-	if w := h.WindowByName(name); w != nil {
-		h.Reveal(w)
+	if w := h.windowByName(name); w != nil {
+		h.reveal(w)
 		if addr != "" {
 			if err := w.ShowAddr(addr); err != nil {
 				return w, err
@@ -557,14 +706,14 @@ func (h *Help) OpenFile(name, addr string) (*Window, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := h.NewWindow()
+	w := h.newWindowIn(h.selectionColumn())
 	if info.IsDir {
 		// "When a directory is Opened, help puts its name, including a
 		// final slash, in the tag and just lists the contents in the
 		// body."
 		listing, err := h.dirListing(name)
 		if err != nil {
-			h.CloseWindow(w)
+			h.closeWindow(w)
 			return nil, err
 		}
 		w.IsDir = true
@@ -576,7 +725,7 @@ func (h *Help) OpenFile(name, addr string) (*Window, error) {
 	}
 	data, err := h.FS.ReadFile(name)
 	if err != nil {
-		h.CloseWindow(w)
+		h.closeWindow(w)
 		return nil, err
 	}
 	w.Body.Load(string(data))
@@ -604,6 +753,12 @@ func (h *Help) dirListing(name string) (string, error) {
 
 // Get reloads w's body from its file, discarding edits.
 func (h *Help) Get(w *Window) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.get(w)
+}
+
+func (h *Help) get(w *Window) error {
 	name := w.FileName()
 	if name == "" {
 		return fmt.Errorf("window %d has no file name", w.ID)
@@ -633,6 +788,12 @@ func (h *Help) Get(w *Window) error {
 // Put writes w's body to its file (or to name if given) and marks the
 // window clean, removing Put! from the tag.
 func (h *Help) Put(w *Window, name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.put(w, name)
+}
+
+func (h *Help) put(w *Window, name string) error {
 	if name == "" {
 		name = w.FileName()
 	}

@@ -18,22 +18,56 @@ import (
 // click anywhere in a word [is] a selection of the whole word"); a
 // non-null selection "is always taken literally".
 func (h *Help) ExecuteAt(w *Window, sub int, q0, q1 int) {
+	h.mu.Lock()
+	p := h.executeAt(w, sub, q0, q1)
+	h.mu.Unlock()
+	if p != nil {
+		<-p.done
+	}
+}
+
+func (h *Help) executeAt(w *Window, sub int, q0, q1 int) *proc {
 	buf := w.Buffer(sub)
 	if q0 == q1 {
 		q0, q1 = expandWord(buf, q0)
 	}
 	cmd := buf.Slice(q0, q1-q0)
-	h.Execute(w, cmd)
+	return h.execute(w, cmd)
 }
 
 // Execute runs a command string in the context of window w: built-ins by
 // name (capitalized by convention; names ending in ! are window operations
 // taking no arguments), anything else as an external command under the
 // context rules.
+//
+// Execute is synchronous: an external command runs in its own goroutine,
+// but Execute waits for it to finish and for its output to land in
+// Errors, so scripted sessions and tests stay deterministic. Start is
+// the fire-and-forget variant; gesture dispatch is asynchronous too.
 func (h *Help) Execute(w *Window, cmd string) {
+	h.mu.Lock()
+	p := h.execute(w, cmd)
+	h.mu.Unlock()
+	if p != nil {
+		<-p.done
+	}
+}
+
+// Start launches cmd in window w's context without waiting for it to
+// finish. Its output streams into Errors as it is produced.
+func (h *Help) Start(w *Window, cmd string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.execute(w, cmd)
+}
+
+// execute is the under-lock twin of Execute. It returns the launched
+// proc for external commands, nil for builtins, so wrappers can decide
+// whether to wait.
+func (h *Help) execute(w *Window, cmd string) *proc {
 	fields := strings.Fields(cmd)
 	if len(fields) == 0 {
-		return
+		return nil
 	}
 	// A panicking command (or tool) must not take the session down:
 	// recover, journal what we know, report the fault. The sweep runs
@@ -51,17 +85,20 @@ func (h *Help) Execute(w *Window, cmd string) {
 		sp = h.Obs.StartSpan("exec", fields[0])
 	}
 	builtin := true
+	var p *proc
 	switch fields[0] {
 	case "Cut":
-		h.Cut()
+		h.cut()
 	case "Paste":
-		h.Paste()
+		h.paste()
 	case "Snarf":
-		h.SnarfSel()
+		h.snarfSel()
 	case "New":
-		h.NewWindow()
+		h.newWindowIn(h.selectionColumn())
 	case "Exit":
 		h.exitCmd()
+	case "Kill":
+		h.killCmd(fields[1:])
 	case "Open":
 		h.openCmd(w, fields[1:])
 	case "Write":
@@ -70,11 +107,11 @@ func (h *Help) Execute(w *Window, cmd string) {
 			name = h.absPath(w, fields[1])
 		}
 		target := w
-		if cw, _ := h.Current(); name == "" && cw != nil {
+		if cw, _ := h.current(); name == "" && cw != nil {
 			target = cw
 		}
-		if err := h.Put(target, name); err != nil {
-			h.AppendErrors(fmt.Sprintf("Write: %v\n", err))
+		if err := h.put(target, name); err != nil {
+			h.appendErrors(fmt.Sprintf("Write: %v\n", err))
 		}
 	case "Pattern":
 		h.patternCmd(fields[1:])
@@ -86,13 +123,13 @@ func (h *Help) Execute(w *Window, cmd string) {
 		h.textCmd(rest)
 	case "Undo":
 		// An extension the paper lists as overdue future work.
-		if cw, _ := h.Current(); cw != nil {
+		if cw, _ := h.current(); cw != nil {
 			cw.Body.Undo()
 			cw.Sel[SubBody] = clampSel(cw.Sel[SubBody], cw.Body.Len())
 			cw.RefreshTag()
 		}
 	case "Redo":
-		if cw, _ := h.Current(); cw != nil {
+		if cw, _ := h.current(); cw != nil {
 			cw.Body.Redo()
 			cw.Sel[SubBody] = clampSel(cw.Sel[SubBody], cw.Body.Len())
 			cw.RefreshTag()
@@ -100,15 +137,17 @@ func (h *Help) Execute(w *Window, cmd string) {
 	case "Close!":
 		// "Commands ending in an exclamation mark take no arguments; they
 		// are window operations that apply to the window in which they
-		// are executed."
-		h.CloseWindow(w)
+		// are executed." Commands launched from the window are killed
+		// visibly first, so they don't stream into a vanished context.
+		h.killProcsForWindow(w)
+		h.closeWindow(w)
 	case "Get!":
-		if err := h.Get(w); err != nil {
-			h.AppendErrors(fmt.Sprintf("Get!: %v\n", err))
+		if err := h.get(w); err != nil {
+			h.appendErrors(fmt.Sprintf("Get!: %v\n", err))
 		}
 	case "Put!":
-		if err := h.Put(w, ""); err != nil {
-			h.AppendErrors(fmt.Sprintf("Put!: %v\n", err))
+		if err := h.put(w, ""); err != nil {
+			h.appendErrors(fmt.Sprintf("Put!: %v\n", err))
 		}
 	case "Send":
 		// Another future-work item ("support for traditional shell
@@ -128,7 +167,7 @@ func (h *Help) Execute(w *Window, cmd string) {
 		h.metricsCmd()
 	default:
 		builtin = false
-		h.runExternal(w, cmd, fields)
+		p = h.runExternal(w, cmd, fields)
 	}
 	if builtin {
 		h.ins.execBuiltin.Inc()
@@ -136,16 +175,18 @@ func (h *Help) Execute(w *Window, cmd string) {
 		h.ins.execExternal.Inc()
 	}
 	h.ins.execHist.Observe(sp.End())
+	return p
 }
 
-// exitCmd implements Exit with a guard for unsaved work: if any named
-// file window is Modified, the first Exit refuses and lists the dirty
-// windows in Errors; an immediately repeated Exit proceeds anyway.
-// Scratch (unnamed) windows, directory listings, and the Errors window
-// itself have nothing a Put! could save, so they never block exit.
+// exitCmd implements Exit with guards for work in flight: if any named
+// file window is Modified, or any external command is still running, the
+// first Exit refuses and lists them in Errors; an immediately repeated
+// Exit kills the commands visibly and proceeds anyway. Scratch (unnamed)
+// windows, directory listings, and the Errors window itself have nothing
+// a Put! could save, so they never block exit.
 func (h *Help) exitCmd() {
 	var dirty []*Window
-	for _, w := range h.Windows() {
+	for _, w := range h.windows() {
 		if w.IsDir || w == h.errors || w.FileName() == "" {
 			continue
 		}
@@ -153,23 +194,39 @@ func (h *Help) exitCmd() {
 			dirty = append(dirty, w)
 		}
 	}
-	if len(dirty) == 0 || h.exitPending {
-		h.exited = true
+	live := h.procsInfo()
+	if (len(dirty) == 0 && len(live) == 0) || h.exitPending {
+		if len(live) > 0 {
+			h.appendErrors(fmt.Sprintf("Exit: killing %d running command(s)\n", len(live)))
+			h.killAllProcs()
+		}
+		h.exited.Store(true)
 		return
 	}
 	h.exitPending = true
 	var b strings.Builder
-	b.WriteString("Exit: unsaved changes; Exit again to discard:\n")
-	for _, w := range dirty {
-		fmt.Fprintf(&b, "\t%s\n", w.FileName())
+	if len(dirty) > 0 {
+		b.WriteString("Exit: unsaved changes; Exit again to discard:\n")
+		for _, w := range dirty {
+			fmt.Fprintf(&b, "\t%s\n", w.FileName())
+		}
 	}
-	h.AppendErrors(b.String())
+	if len(live) > 0 {
+		b.WriteString("Exit: commands still running; Exit again to kill:\n")
+		for _, p := range live {
+			fmt.Fprintf(&b, "\t%s\n", p.Name)
+		}
+	}
+	h.appendErrors(b.String())
 }
 
-// sendCmd implements the Send builtin: the shell-window behaviour.
+// sendCmd implements the Send builtin: the shell-window behaviour. It
+// runs the command synchronously under the actor lock — output lands in
+// the window itself, not Errors, so there is nothing to stream — with
+// the raw namespace view (the serialized view would self-deadlock).
 func (h *Help) sendCmd(w *Window) {
 	line := ""
-	if cw, csub := h.Current(); cw != nil && csub == SubBody && !cw.Sel[SubBody].Empty() {
+	if cw, csub := h.current(); cw != nil && csub == SubBody && !cw.Sel[SubBody].Empty() {
 		w = cw
 		line = cw.SelectedText(SubBody)
 	} else {
@@ -177,11 +234,12 @@ func (h *Help) sendCmd(w *Window) {
 	}
 	line = strings.TrimSpace(line)
 	if line == "" {
-		h.AppendErrors("Send: nothing to send\n")
+		h.appendErrors("Send: nothing to send\n")
 		return
 	}
 	var out bytes.Buffer
 	ctx := h.Shell.NewContext(&out, &out)
+	ctx.FS = h.FS
 	ctx.Dir = w.Dir()
 	h.setHelpsel(ctx)
 	h.Shell.Run(ctx, line)
@@ -213,10 +271,10 @@ func lastNonEmptyLine(s string) string {
 func (h *Help) cloneCmd(w *Window) {
 	name := w.FileName()
 	if name == "" {
-		h.AppendErrors("Clone!: window has no file name\n")
+		h.appendErrors("Clone!: window has no file name\n")
 		return
 	}
-	nw := h.NewWindow()
+	nw := h.newWindowIn(h.selectionColumn())
 	nw.IsDir = w.IsDir
 	nw.Body.SetString(w.Body.String())
 	nw.Body.SetClean()
@@ -237,9 +295,9 @@ func (h *Help) cloneCmd(w *Window) {
 func (h *Help) openCmd(w *Window, args []string) {
 	ctxWin := w
 	if len(args) == 0 {
-		cw, csub := h.Current()
+		cw, csub := h.current()
 		if cw == nil {
-			h.AppendErrors("Open: no selection\n")
+			h.appendErrors("Open: no selection\n")
 			return
 		}
 		buf := cw.Buffer(csub)
@@ -253,7 +311,7 @@ func (h *Help) openCmd(w *Window, args []string) {
 		}
 		name = strings.TrimSpace(name)
 		if name == "" {
-			h.AppendErrors("Open: no file name at selection\n")
+			h.appendErrors("Open: no file name at selection\n")
 			return
 		}
 		args = []string{name}
@@ -262,8 +320,8 @@ func (h *Help) openCmd(w *Window, args []string) {
 	for _, arg := range args {
 		name, addr := SplitAddr(arg)
 		name = h.absPathIn(ctxWin, name)
-		if _, err := h.OpenFile(name, addr); err != nil {
-			h.AppendErrors(fmt.Sprintf("Open: %v\n", err))
+		if _, err := h.openFile(name, addr); err != nil {
+			h.appendErrors(fmt.Sprintf("Open: %v\n", err))
 		}
 	}
 }
@@ -272,9 +330,9 @@ func (h *Help) openCmd(w *Window, args []string) {
 // starting after the current selection and wrapping, then selects and
 // shows the match. With no argument the snarf buffer is the pattern.
 func (h *Help) patternCmd(args []string) {
-	cw, _ := h.Current()
+	cw, _ := h.current()
 	if cw == nil {
-		h.AppendErrors("Pattern: no current window\n")
+		h.appendErrors("Pattern: no current window\n")
 		return
 	}
 	pat := strings.Join(args, " ")
@@ -282,7 +340,7 @@ func (h *Help) patternCmd(args []string) {
 		pat = h.snarf
 	}
 	if pat == "" {
-		h.AppendErrors("Pattern: no pattern\n")
+		h.appendErrors("Pattern: no pattern\n")
 		return
 	}
 	body := cw.Body.String()
@@ -293,12 +351,12 @@ func (h *Help) patternCmd(args []string) {
 		idx = indexRunes(runes, []rune(pat), 0) // wrap
 	}
 	if idx < 0 {
-		h.AppendErrors(fmt.Sprintf("Pattern: %q not found\n", pat))
+		h.appendErrors(fmt.Sprintf("Pattern: %q not found\n", pat))
 		return
 	}
 	cw.Sel[SubBody] = Selection{idx, idx + len([]rune(pat))}
 	cw.scrollTo(idx)
-	h.SetCurrent(cw, SubBody)
+	h.setCurrent(cw, SubBody)
 }
 
 // indexRunes finds needle in hay at or after rune offset from.
@@ -324,7 +382,7 @@ func indexRunes(hay, needle []rune, from int) int {
 // textCmd types its argument over the current selection, leaving the
 // insertion selected, so text can be entered without the keyboard.
 func (h *Help) textCmd(s string) {
-	cw, csub := h.Current()
+	cw, csub := h.current()
 	if cw == nil {
 		return
 	}
@@ -342,29 +400,44 @@ func (h *Help) textCmd(s string) {
 	}
 }
 
-// runExternal executes an external command under the context rules: "if
+// runExternal launches an external command under the context rules: "if
 // the tag line of the window containing the command has a file name and
 // the command does not begin with a slash, the directory of the file will
 // be prepended to the command. If that command cannot be found locally, it
 // will be searched for in the standard directory of program binaries. The
 // standard input of the commands is connected to an empty file; the
 // standard and error outputs are directed to ... Errors."
-func (h *Help) runExternal(w *Window, cmd string, fields []string) {
+//
+// The command runs in its own goroutine; output streams into Errors
+// incrementally through the apply queue. $helpsel and any glob expansion
+// are resolved here, under the actor lock, so the command sees the
+// selection as it was at launch — a mid-command selection change cannot
+// race a tool reading $helpsel. Runs under the actor lock; returns the
+// registered proc.
+func (h *Help) runExternal(w *Window, cmd string, fields []string) *proc {
 	dir := w.Dir()
-	var out bytes.Buffer
-	ctx := h.Shell.NewContext(&out, &out)
+	out := procWriter{h}
+	ctx := h.Shell.NewContext(out, out)
+	// Name resolution and glob expansion below happen while holding the
+	// lock, so they must use the raw view; the context is switched to the
+	// serialized view before the goroutine starts.
+	ctx.FS = h.FS
 	ctx.Dir = dir
 	h.setHelpsel(ctx)
+	ctx.Kill = &shell.KillFlag{}
+	ctx.Spawn = h.spawnBg
 
 	// The paper lists "syntax for shell-like functionality such as I/O
 	// redirection" as overdue; we provide it: a command containing shell
-	// metacharacters (including quotes, so the paper's own example
-	// "grep '^main' /sys/src/cmd/help/*.c" parses properly) runs as an
-	// rc script in the window's directory context.
-	if strings.ContainsAny(cmd, "|><`;'$") {
-		h.Shell.Run(ctx, cmd)
-		h.AppendErrors(out.String())
-		return
+	// metacharacters (including both quote styles, so the paper's own
+	// example "grep '^main' /sys/src/cmd/help/*.c" parses properly, and
+	// &, so commands can background) runs as an rc script in the
+	// window's directory context.
+	if strings.ContainsAny(cmd, "|><`;'$\"&") {
+		ctx.FS = h.safeFS
+		return h.startProc(cmd, w.ID, ctx, func(c *shell.Context) int {
+			return h.Shell.Run(c, cmd)
+		})
 	}
 
 	name := fields[0]
@@ -378,22 +451,29 @@ func (h *Help) runExternal(w *Window, cmd string, fields []string) {
 	for _, a := range fields[1:] {
 		argv = append(argv, h.Shell.ExpandGlobArg(ctx, a)...)
 	}
-	h.Shell.RunCommand(ctx, argv)
-	h.AppendErrors(out.String())
+	ctx.FS = h.safeFS
+	return h.startProc(cmd, w.ID, ctx, func(c *shell.Context) int {
+		return h.Shell.RunCommand(c, argv)
+	})
 }
 
 // setHelpsel passes the current selection to the tool the way the paper
 // describes: "help passes to an application the file and character offset
 // of the mouse position ... through an environment variable, helpsel."
-// The format is "windowID:q0,q1".
+// The format is "windowID:q0,q1". Called under the actor lock at launch
+// time, so the value is a snapshot: later selection changes don't leak
+// into a running command.
 func (h *Help) setHelpsel(ctx *shell.Context) {
-	cw, csub := h.Current()
+	cw, csub := h.current()
 	if cw == nil {
 		return
 	}
 	sel := cw.Sel[csub]
 	ctx.Set("helpsel", []string{fmt.Sprintf("%d:%d,%d", cw.ID, sel.Q0, sel.Q1)})
 }
+
+// current is the under-lock twin of Current.
+func (h *Help) current() (*Window, int) { return h.curWin, h.curSub }
 
 // absPath resolves a possibly-relative file name against w's directory.
 func (h *Help) absPath(w *Window, name string) string {

@@ -11,7 +11,13 @@ import (
 // subwindow under the mouse"; "typing does not execute commands: newline
 // is just a character").
 func (h *Help) Handle(e event.Event) {
-	if h.exited {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handle(e)
+}
+
+func (h *Help) handle(e event.Event) {
+	if h.exited.Load() {
 		return
 	}
 	// Panic recovery before the journal sweep (defers run last-first):
@@ -49,7 +55,7 @@ func (h *Help) trackExecSweep() {
 		h.sweepExec = nil
 		return
 	}
-	h.Render() // frames must be current to translate the sweep
+	h.render() // frames must be current to translate the sweep
 	ht := h.hitTest(g.Start)
 	if ht.kind != hitWindow {
 		h.sweepExec = nil
@@ -70,22 +76,26 @@ func (h *Help) trackExecSweep() {
 
 // HandleAll feeds a batch of events.
 func (h *Help) HandleAll(evs []event.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, e := range evs {
-		h.Handle(e)
+		h.handle(e)
 	}
 }
 
 // Run drains an event stream until it is empty or Exit executes, rendering
 // once at the end.
 func (h *Help) Run(s *event.Stream) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for {
 		e, ok := s.Next()
-		if !ok || h.exited {
+		if !ok || h.exited.Load() {
 			break
 		}
-		h.Handle(e)
+		h.handle(e)
 	}
-	h.Render()
+	h.render()
 }
 
 // dispatch interprets one completed gesture.
@@ -96,23 +106,23 @@ func (h *Help) dispatch(g event.Gesture) {
 		defer func() { h.ins.gestureHist.Observe(sp.End()) }()
 	}
 	// Frames must reflect current layout before translating the mouse.
-	h.Render()
+	h.render()
 	ht := h.hitTest(g.Start)
 	switch ht.kind {
 	case hitColumnTab:
 		if g.Button == event.Left {
-			h.ExpandColumn(ht.col)
+			h.expandColumn(ht.col)
 		}
 	case hitWindowTab:
 		if g.Button == event.Left {
-			h.Reveal(ht.win)
+			h.reveal(ht.win)
 		}
 	case hitScrollBar:
 		h.scrollGesture(ht.win, g)
 	case hitWindow:
 		h.windowGesture(ht, g)
 	}
-	h.Render()
+	h.render()
 }
 
 // scrollGesture interprets a click in a window's scroll bar: the left
@@ -156,7 +166,7 @@ func (h *Help) windowGesture(ht hit, g event.Gesture) {
 		q0 := f.OffsetOf(g.Start)
 		q1 := f.OffsetOf(g.End)
 		w.SetSelection(sub, q0, q1)
-		h.SetCurrent(w, sub)
+		h.setCurrent(w, sub)
 		// Chorded editing: middle executes Cut, right executes Paste,
 		// in the order clicked ("one may even click the middle and then
 		// right buttons, while holding the left down, to execute a
@@ -164,9 +174,9 @@ func (h *Help) windowGesture(ht hit, g event.Gesture) {
 		for _, c := range g.Chords {
 			switch c.Button {
 			case event.Middle:
-				h.Cut()
+				h.cut()
 			case event.Right:
-				h.Paste()
+				h.paste()
 			}
 		}
 	case event.Middle:
@@ -175,10 +185,12 @@ func (h *Help) windowGesture(ht hit, g event.Gesture) {
 		if q1 < q0 {
 			q0, q1 = q1, q0
 		}
-		h.ExecuteAt(w, sub, q0, q1)
+		// Asynchronous: the gesture launches the command and the event
+		// loop moves on; output streams into Errors as it arrives.
+		h.executeAt(w, sub, q0, q1)
 	case event.Right:
 		if sub == SubTag {
-			h.MoveWindow(w, g.End)
+			h.moveWindow(w, g.End)
 		}
 	}
 }
@@ -187,7 +199,7 @@ func (h *Help) windowGesture(ht hit, g event.Gesture) {
 // (BS or DEL) deletes the selection, or the rune before a null selection.
 func (h *Help) typeRune(r rune) {
 	h.mKeystrokes.Inc()
-	h.Render()
+	h.render()
 	ht := h.hitTest(h.mousePt)
 	if ht.kind != hitWindow {
 		return
@@ -210,7 +222,7 @@ func (h *Help) typeRune(r rune) {
 		buf.Insert(sel.Q0, string(r))
 		w.Sel[sub] = Selection{sel.Q0 + 1, sel.Q0 + 1}
 	}
-	h.SetCurrent(w, sub)
+	h.setCurrent(w, sub)
 	if sub == SubBody && !w.IsDir {
 		w.RefreshTag()
 	}
@@ -235,6 +247,12 @@ func (h *Help) keepVisible(w *Window, sub int) {
 
 // Cut deletes the current selection into the snarf buffer.
 func (h *Help) Cut() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cut()
+}
+
+func (h *Help) cut() {
 	w, sub := h.curWin, h.curSub
 	if w == nil {
 		return
@@ -256,6 +274,12 @@ func (h *Help) Cut() {
 // SnarfSel copies the current selection into the snarf buffer without
 // deleting ("the cut text is remembered in a buffer").
 func (h *Help) SnarfSel() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snarfSel()
+}
+
+func (h *Help) snarfSel() {
 	w, sub := h.curWin, h.curSub
 	if w == nil {
 		return
@@ -270,6 +294,12 @@ func (h *Help) SnarfSel() {
 // Paste replaces the current selection with the snarf buffer and leaves
 // the pasted text selected.
 func (h *Help) Paste() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.paste()
+}
+
+func (h *Help) paste() {
 	w, sub := h.curWin, h.curSub
 	if w == nil {
 		return
@@ -292,6 +322,12 @@ func (h *Help) Paste() {
 // start, used by the file interface to place new windows "near the
 // current selected text".
 func (h *Help) PointOfSelection() (geom.Point, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pointOfSelection()
+}
+
+func (h *Help) pointOfSelection() (geom.Point, bool) {
 	w, sub := h.curWin, h.curSub
 	if w == nil {
 		return geom.Point{}, false

@@ -70,6 +70,8 @@ type winShadow struct {
 // bounds the replay tail: a new checkpoint plus compaction happens
 // after that many ops. Call RecoverSession first when resuming.
 func (h *Help) AttachJournal(jw *journal.Writer, checkpointEvery int) *Recorder {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if checkpointEvery <= 0 {
 		checkpointEvery = 2048
 	}
@@ -82,7 +84,7 @@ func (h *Help) AttachJournal(jw *journal.Writer, checkpointEvery int) *Recorder 
 	h.rec = rec
 	jw.SetObs(h.Obs)
 
-	for _, w := range h.Windows() {
+	for _, w := range h.windows() {
 		rec.hookBuffers(w)
 		rec.shadows[w.ID] = rec.shadowOf(w)
 		rec.insertOrder(w.ID)
@@ -249,7 +251,7 @@ func (rec *Recorder) sweep() {
 	if len(rec.shadows) != len(h.byID) {
 		// Shouldn't happen (creation and close are hooked), but journal
 		// the strays rather than lose them.
-		for _, w := range h.Windows() {
+		for _, w := range h.windows() {
 			if rec.shadows[w.ID] == nil {
 				rec.windowCreated(w)
 			}
@@ -314,8 +316,10 @@ func (h *Help) recoverPanic(where string) {
 
 // PanicReport handles a recovered panic: count it, flush the journal
 // (the record of how we got here must survive), write a crash report
-// next to the journal, and surface the fault through ReportFault.
-// Reporting must never re-panic.
+// next to the journal, and surface the fault through the Errors window.
+// Reporting must never re-panic. Like JournalSweep, it runs with the
+// actor lock already held: its callers are in-loop guards and device
+// handlers reached through the serialized namespace view.
 func (h *Help) PanicReport(where string, r any, stack []byte) {
 	h.panicCount++
 	defer func() { recover() }()
@@ -330,12 +334,16 @@ func (h *Help) PanicReport(where string, r any, stack []byte) {
 			detail = " (crash report " + name + ")"
 		}
 	}
-	h.ReportFault(where, fmt.Errorf("recovered panic: %v%s", r, detail))
+	h.reportFault(where, fmt.Errorf("recovered panic: %v%s", r, detail))
 }
 
 // PanicCount reports how many panics the guards have recovered; the
 // invariant tests assert it stays zero.
-func (h *Help) PanicCount() int { return h.panicCount }
+func (h *Help) PanicCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.panicCount
+}
 
 // ---------------------------------------------------------------------
 // Checkpoint snapshots.
@@ -408,7 +416,7 @@ func encodeSnapshot(h *Help) []byte {
 	}
 	b = appendInt(b, eid)
 
-	wins := h.Windows()
+	wins := h.windows()
 	b = appendInt(b, len(wins))
 	for _, w := range wins {
 		b = appendInt(b, w.ID)
@@ -618,6 +626,8 @@ type RecoverResult struct {
 // splice — aborts with an error; nothing in here panics, whatever the
 // journal contains.
 func RecoverSession(h *Help, fsys journal.Fsys) (res *RecoverResult, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.rec != nil {
 		return nil, errors.New("core: RecoverSession must run before AttachJournal")
 	}
@@ -651,7 +661,7 @@ func RecoverSession(h *Help, fsys journal.Fsys) (res *RecoverResult, err error) 
 			return nil, fmt.Errorf("core: replaying op %d (gen %d): %w", i, st.Ops[i].Gen, err)
 		}
 	}
-	h.Render()
+	h.render()
 	return &RecoverResult{
 		Ops:        len(st.Ops),
 		CkptGen:    st.CkptGen,
@@ -664,8 +674,8 @@ func RecoverSession(h *Help, fsys journal.Fsys) (res *RecoverResult, err error) 
 
 // restoreSnapshot replaces h's session state with the snapshot's.
 func restoreSnapshot(h *Help, snap *snapshot) error {
-	for _, w := range h.Windows() {
-		h.CloseWindow(w)
+	for _, w := range h.windows() {
+		h.closeWindow(w)
 	}
 	if len(h.cols) == 2 && snap.split > 0 {
 		h.cols[0].r.Max.X = snap.split
@@ -818,7 +828,7 @@ func applyOp(h *Help, op *journal.Op) error {
 		if err != nil {
 			return err
 		}
-		h.CloseWindow(w)
+		h.closeWindow(w)
 	case journal.OpPlace:
 		w, err := needWin()
 		if err != nil {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// The apply queue.
+//
+// Command goroutines never touch Help state directly: they enqueue
+// closures here, and a lazily started drainer applies them under the
+// actor lock in FIFO order. The drainer exits as soon as the queue is
+// empty, so an idle session has no background goroutine — tests that
+// assert goroutine quiescence keep passing — and a busy one batches
+// many mutations under a single lock acquisition.
+
+// enqueue adds a mutation to the apply queue and makes sure a drainer is
+// running. Must NOT be called while holding h.mu: the channel send could
+// block on a full queue whose drainer is waiting for the lock.
+func (h *Help) enqueue(fn func()) {
+	h.applyq <- fn
+	if h.loopActive.CompareAndSwap(0, 1) {
+		go h.drain()
+	}
+}
+
+// drain applies queued mutations in batches: take the lock, apply
+// everything currently queued, sweep the journal once for the batch,
+// release. When the queue stays empty it parks (returns); enqueue
+// restarts it.
+func (h *Help) drain() {
+	for {
+		h.mu.Lock()
+		n := 0
+	batch:
+		for {
+			select {
+			case fn := <-h.applyq:
+				fn()
+				n++
+			default:
+				break batch
+			}
+		}
+		if n > 0 {
+			h.JournalSweep()
+			if h.ins.on {
+				h.ins.applied.Add(int64(n))
+			}
+		}
+		h.mu.Unlock()
+		h.loopActive.Store(0)
+		// Recheck after going idle: a send that lost the CAS race relies
+		// on this drainer picking its item up before exiting.
+		if len(h.applyq) == 0 {
+			return
+		}
+		if !h.loopActive.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// flushQueue waits until every mutation enqueued before the call has
+// been applied, by riding a marker closure through the queue.
+func (h *Help) flushQueue() {
+	done := make(chan struct{})
+	h.enqueue(func() { close(done) })
+	<-done
+}
+
+// Apply runs fn on the apply queue — under the actor lock, in FIFO order
+// with command output — and returns without waiting for it. Exposed for
+// tools and benchmarks that need serialized access to core state.
+func (h *Help) Apply(fn func()) { h.enqueue(fn) }
+
+// WaitIdle blocks until the session is quiescent: no live external
+// commands and an empty apply queue. Deterministic tests and session
+// snapshots call it so that everything a command was going to say has
+// landed in Errors before state is examined.
+func (h *Help) WaitIdle() {
+	for {
+		h.mu.Lock()
+		for len(h.procs) > 0 {
+			h.procIdle.Wait()
+		}
+		h.mu.Unlock()
+		h.flushQueue()
+		h.mu.Lock()
+		idle := len(h.procs) == 0 && len(h.applyq) == 0
+		h.mu.Unlock()
+		if idle && h.loopActive.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// WaitIdleFor is WaitIdle with a deadline, for interactive callers (the
+// repl) that must not hang forever behind a runaway command. It reports
+// whether the session went idle within d.
+func (h *Help) WaitIdleFor(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		h.mu.Lock()
+		live := len(h.procs)
+		h.mu.Unlock()
+		if live == 0 {
+			h.flushQueue()
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

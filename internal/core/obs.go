@@ -23,9 +23,15 @@ type instruments struct {
 	colsReused    *obs.Counter
 	cellsTouched  *obs.Counter
 
+	// applied counts mutations drained off the apply queue;
+	// procsStarted counts external commands launched.
+	applied      *obs.Counter
+	procsStarted *obs.Counter
+
 	gestureHist *obs.Histogram
 	execHist    *obs.Histogram
 	renderHist  *obs.Histogram
+	procHist    *obs.Histogram // external command wall-clock duration
 
 	gestureTick uint
 	renderTick  uint
@@ -74,9 +80,12 @@ func (h *Help) SetObs(r *obs.Registry) {
 		colsRepainted: r.Counter("core.render.cols_repainted"),
 		colsReused:    r.Counter("core.render.cols_reused"),
 		cellsTouched:  r.Counter("core.render.cells"),
+		applied:       r.Counter("core.queue.applied"),
+		procsStarted:  r.Counter("core.procs.started"),
 		gestureHist:   r.Histogram("gesture"),
 		execHist:      r.Histogram("exec"),
 		renderHist:    r.Histogram("render"),
+		procHist:      r.Histogram("proc"),
 	}
 	// The interaction metrics live on Help as always-on atomics (so
 	// Metrics() is a consistent snapshot regardless of registry state);
@@ -85,6 +94,11 @@ func (h *Help) SetObs(r *obs.Registry) {
 	r.Gauge("core.travel", h.mTravel.Load)
 	r.Gauge("core.keystrokes", h.mKeystrokes.Load)
 	r.Gauge("core.commands", h.mCommands.Load)
+	// The running-command gauge reads an always-on atomic, and queue
+	// depth reads len() of the apply channel: both are safe from the
+	// stats goroutine without the actor lock.
+	r.Gauge("core.procs.running", h.mProcsLive.Load)
+	r.Gauge("core.queue.depth", func() int64 { return int64(len(h.applyq)) })
 }
 
 // SetStatsPath records where helpfs mounted the stats file, so the
@@ -93,18 +107,18 @@ func (h *Help) SetStatsPath(p string) { h.statsPath = p }
 
 // metricsCmd implements the Metrics built-in: open (or reveal) the
 // mounted stats file in a window and reload it, so each execution
-// shows live numbers.
+// shows live numbers. Runs under the actor lock.
 func (h *Help) metricsCmd() {
 	if h.statsPath == "" {
-		h.AppendErrors("Metrics: no stats file mounted\n")
+		h.appendErrors("Metrics: no stats file mounted\n")
 		return
 	}
-	w, err := h.OpenFile(h.statsPath, "")
+	w, err := h.openFile(h.statsPath, "")
 	if err != nil {
-		h.AppendErrors(fmt.Sprintf("Metrics: %v\n", err))
+		h.appendErrors(fmt.Sprintf("Metrics: %v\n", err))
 		return
 	}
-	if err := h.Get(w); err != nil {
-		h.AppendErrors(fmt.Sprintf("Metrics: %v\n", err))
+	if err := h.get(w); err != nil {
+		h.appendErrors(fmt.Sprintf("Metrics: %v\n", err))
 	}
 }

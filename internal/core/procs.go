@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/shell"
+)
+
+// proc is one live external command: a goroutine running a shell script
+// or program, streaming its output into Errors through the apply queue.
+type proc struct {
+	id    int
+	name  string // the command's source text, for listings
+	winID int    // window the command was executed in; 0 if none
+	start time.Time
+	kill  *shell.KillFlag
+	done  chan struct{} // closed when the reap has been applied
+
+	// killed is set under the actor lock when Kill selects this command,
+	// so the reap can report the termination in Errors.
+	killed bool
+}
+
+// ProcInfo is the external description of a live command, served through
+// /mnt/help/procs and the repl's procs command.
+type ProcInfo struct {
+	ID      int
+	Name    string
+	WinID   int
+	Runtime time.Duration
+	State   string // "running" or "killed"
+}
+
+// procWriter streams a command's output into the Errors window: each
+// Write becomes one enqueued mutation, so output appears incrementally
+// while the command runs instead of all at once when it exits.
+type procWriter struct{ h *Help }
+
+func (w procWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	chunk := string(p) // copy: the caller may reuse p
+	w.h.enqueue(func() { w.h.appendErrors(chunk) })
+	return len(p), nil
+}
+
+// startProc registers a command in the process table and launches its
+// goroutine. Called with the actor lock held; ctx must be fully prepared
+// (helpsel snapshot taken, serialized namespace view, kill flag and
+// streams attached).
+func (h *Help) startProc(name string, winID int, ctx *shell.Context, run func(*shell.Context) int) *proc {
+	h.procSeq++
+	p := &proc{
+		id:    h.procSeq,
+		name:  name,
+		winID: winID,
+		start: time.Now(),
+		kill:  ctx.Kill,
+		done:  make(chan struct{}),
+	}
+	h.procs[p.id] = p
+	h.mProcsLive.Add(1)
+	if h.ins.on {
+		h.ins.procsStarted.Inc()
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				h.enqueue(func() { h.PanicReport("exec "+name, r, stack) })
+			}
+			// The reap is enqueued from the same goroutine as every
+			// output chunk, so FIFO ordering guarantees all output has
+			// landed in Errors before done closes.
+			h.enqueue(func() { h.reapProc(p) })
+		}()
+		run(ctx)
+	}()
+	return p
+}
+
+// reapProc removes a finished command from the table. Runs under the
+// actor lock, applied from the queue.
+func (h *Help) reapProc(p *proc) {
+	if h.procs[p.id] != p {
+		return
+	}
+	delete(h.procs, p.id)
+	h.mProcsLive.Add(-1)
+	if h.ins.on {
+		h.ins.procHist.Observe(time.Since(p.start))
+	}
+	if p.killed {
+		h.appendErrors(fmt.Sprintf("%s: killed\n", p.name))
+	}
+	h.procIdle.Broadcast()
+	close(p.done)
+}
+
+// spawnBg is the shell's Spawn hook: a backgrounded command (cmd &)
+// becomes its own registry entry with its own kill flag. Called from a
+// command goroutine, never with the actor lock held.
+func (h *Help) spawnBg(label string, ctx *shell.Context, run func(*shell.Context) int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ctx.Kill = &shell.KillFlag{}
+	ctx.Spawn = h.spawnBg
+	h.startProc(label, 0, ctx, run)
+}
+
+// procsInfo snapshots the process table sorted by id. Runs under the
+// actor lock.
+func (h *Help) procsInfo() []ProcInfo {
+	out := make([]ProcInfo, 0, len(h.procs))
+	for _, p := range h.procs {
+		state := "running"
+		if p.killed {
+			state = "killed"
+		}
+		out = append(out, ProcInfo{
+			ID:      p.id,
+			Name:    p.name,
+			WinID:   p.winID,
+			Runtime: time.Since(p.start),
+			State:   state,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Procs returns the live command table.
+func (h *Help) Procs() []ProcInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.procsInfo()
+}
+
+// killCmd implements the Kill built-in: with no arguments every live
+// command is killed; otherwise arguments select commands by id or by
+// name substring. Runs under the actor lock.
+func (h *Help) killCmd(args []string) {
+	if len(h.procs) == 0 {
+		h.appendErrors("Kill: no commands running\n")
+		return
+	}
+	matched := 0
+	for _, p := range h.procs {
+		if len(args) > 0 && !procMatches(p, args) {
+			continue
+		}
+		if !p.killed {
+			p.kill.Kill()
+			p.killed = true
+		}
+		matched++
+	}
+	if matched == 0 {
+		h.appendErrors(fmt.Sprintf("Kill: no command matches %v\n", args))
+	}
+}
+
+// killProcsForWindow kills every live command launched from window w,
+// reporting each in Errors; Close! calls it so a window never vanishes
+// out from under its commands silently. Runs under the actor lock.
+func (h *Help) killProcsForWindow(w *Window) {
+	for _, p := range h.procs {
+		if p.winID == w.ID && !p.killed {
+			p.kill.Kill()
+			p.killed = true
+			h.appendErrors(fmt.Sprintf("Close!: killing %s\n", p.name))
+		}
+	}
+}
+
+// killAllProcs kills every live command (the second step of Exit over
+// running commands). Runs under the actor lock.
+func (h *Help) killAllProcs() {
+	for _, p := range h.procs {
+		if !p.killed {
+			p.kill.Kill()
+			p.killed = true
+		}
+	}
+}
+
+func procMatches(p *proc, args []string) bool {
+	for _, a := range args {
+		if id, err := strconv.Atoi(a); err == nil && id == p.id {
+			return true
+		}
+		if a == p.name || containsWord(p.name, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether name contains a as a blank-delimited word
+// (so `Kill sleep` matches "sleep 10" but not "sleeper 10").
+func containsWord(name, a string) bool {
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == ' ' || name[i] == '\t' {
+			if name[start:i] == a {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
+// View is the under-lock accessor helpfs device handlers use: handlers
+// run either from the event loop (lock already held) or through the
+// serialized vfs view (lock taken at the FS boundary), so they must call
+// twins, never the locking exported methods.
+type View struct{ h *Help }
+
+// View returns the under-lock accessor. Only call its methods while the
+// actor lock is held.
+func (h *Help) View() View { return View{h} }
+
+// Windows returns all windows ordered by id.
+func (v View) Windows() []*Window { return v.h.windows() }
+
+// Window returns the window with the given id, or nil.
+func (v View) Window(id int) *Window { return v.h.byID[id] }
+
+// NewWindow creates an empty window placed by the heuristic.
+func (v View) NewWindow() *Window { return v.h.newWindowIn(v.h.selectionColumn()) }
+
+// OpenFile opens name in a window, as the exported OpenFile does.
+func (v View) OpenFile(name, addr string) (*Window, error) { return v.h.openFile(name, addr) }
+
+// CloseWindow removes w.
+func (v View) CloseWindow(w *Window) { v.h.closeWindow(w) }
+
+// Procs snapshots the live command table.
+func (v View) Procs() []ProcInfo { return v.h.procsInfo() }

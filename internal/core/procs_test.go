@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Double quotes are shell metacharacters now: the quoted argument keeps
+// its interior blanks, where an unquoted pair would collapse them.
+func TestExternalQuotedArgs(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Execute(w, `echo "a  b"`)
+	if got := h.ErrorsText(); !strings.Contains(got, "a  b\n") {
+		t.Errorf("errors = %q, want quoted blanks preserved", got)
+	}
+	if got := h.ErrorsText(); strings.Contains(got, `"`) {
+		t.Errorf("errors = %q, quotes leaked into output", got)
+	}
+}
+
+// & backgrounds a command: the enclosing script finishes while the
+// backgrounded part stays live in the registry, listed and killable.
+func TestExternalBackground(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Execute(w, "sleep 30 & echo started")
+	if got := h.ErrorsText(); !strings.Contains(got, "started\n") {
+		t.Fatalf("errors = %q, want script output", got)
+	}
+	procs := h.Procs()
+	found := false
+	for _, p := range procs {
+		if p.Name == "sleep 30" && p.State == "running" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("procs = %+v, want live backgrounded sleep", procs)
+	}
+	h.Execute(w, "Kill sleep")
+	h.WaitIdle()
+	if procs := h.Procs(); len(procs) != 0 {
+		t.Errorf("procs after Kill = %+v", procs)
+	}
+	if got := h.ErrorsText(); !strings.Contains(got, "sleep 30: killed\n") {
+		t.Errorf("errors = %q, want kill report", got)
+	}
+}
+
+// $helpsel is a snapshot taken when the command launches: selection
+// changes made while the command runs don't leak into it.
+func TestHelpselSnapshotAtLaunch(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/src/help/help.c", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetSelection(SubBody, 1, 4)
+	h.SetCurrent(w, SubBody)
+	h.Start(w, "sleep 0.1; echo $helpsel")
+	// Move the selection while the command is still sleeping.
+	w.SetSelection(SubBody, 7, 9)
+	h.WaitIdle()
+	want := fmt.Sprintf("%d:1,4\n", w.ID)
+	if got := h.ErrorsText(); !strings.Contains(got, want) {
+		t.Errorf("errors = %q, want launch-time helpsel %q", got, want)
+	}
+}
+
+// Output of a running command lands in Errors incrementally, not in one
+// gulp when it exits.
+func TestOutputStreamsIncrementally(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(w, "echo one; sleep 30; echo two")
+	waitFor(t, "first chunk", func() bool { return strings.Contains(h.ErrorsText(), "one\n") })
+	if len(h.Procs()) != 1 {
+		t.Fatal("command finished before the mid-stream assertion")
+	}
+	if got := h.ErrorsText(); strings.Contains(got, "two\n") {
+		t.Fatalf("errors = %q, output was not streamed", got)
+	}
+	h.Execute(w, "Kill")
+	h.WaitIdle()
+	if got := h.ErrorsText(); strings.Contains(got, "two\n") {
+		t.Errorf("errors = %q, killed command still printed", got)
+	}
+}
+
+// Kill with no arguments kills everything; with an id it kills just the
+// matching command.
+func TestKillByID(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(w, "sleep 30")
+	h.Start(w, "sleep 40")
+	procs := h.Procs()
+	if len(procs) != 2 {
+		t.Fatalf("procs = %+v", procs)
+	}
+	h.Execute(w, fmt.Sprintf("Kill %d", procs[0].ID))
+	waitFor(t, "first kill", func() bool { return len(h.Procs()) == 1 })
+	if left := h.Procs(); left[0].ID != procs[1].ID {
+		t.Errorf("wrong command killed: %+v", left)
+	}
+	h.Execute(w, "Kill")
+	h.WaitIdle()
+	if left := h.Procs(); len(left) != 0 {
+		t.Errorf("procs after Kill = %+v", left)
+	}
+}
+
+// Exit refuses while commands run; a second Exit kills them and leaves.
+func TestExitRefusesLiveCommands(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(w, "sleep 30")
+	h.Execute(w, "Exit")
+	if h.Exited() {
+		t.Fatal("Exit succeeded over a running command")
+	}
+	if got := h.ErrorsText(); !strings.Contains(got, "Exit: commands still running; Exit again to kill:\n\tsleep 30\n") {
+		t.Errorf("errors = %q, want refusal listing the command", got)
+	}
+	h.Execute(w, "Exit")
+	if !h.Exited() {
+		t.Fatal("second Exit did not exit")
+	}
+	if got := h.ErrorsText(); !strings.Contains(got, "Exit: killing 1 running command(s)\n") {
+		t.Errorf("errors = %q, want kill notice", got)
+	}
+	h.WaitIdle()
+	if procs := h.Procs(); len(procs) != 0 {
+		t.Errorf("procs after Exit = %+v", procs)
+	}
+}
+
+// Close! kills the commands launched from the window it closes.
+func TestCloseKillsWindowCommands(t *testing.T) {
+	h, _ := world(t)
+	w, err := h.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(w, "sleep 30")
+	h.Execute(w, "Close!")
+	h.WaitIdle()
+	if procs := h.Procs(); len(procs) != 0 {
+		t.Errorf("procs after Close! = %+v", procs)
+	}
+	if got := h.ErrorsText(); !strings.Contains(got, "Close!: killing sleep 30\n") {
+		t.Errorf("errors = %q, want Close! kill report", got)
+	}
+}

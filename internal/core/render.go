@@ -89,6 +89,12 @@ func (h *Help) colSignature(col *Column) colSig {
 // are repainted. A column layout change (resize, first render) forces a
 // full repaint so the tab row and any vacated cells are refreshed.
 func (h *Help) Render() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.render()
+}
+
+func (h *Help) render() {
 	var t0 time.Time
 	timed := h.ins.on && h.ins.sampleRender()
 	if timed {
@@ -374,12 +380,16 @@ func (w *Window) frameFor(sub int) *frame.Frame {
 // FindBody returns the screen point of the first occurrence of substr in
 // w's body, if it is currently laid out on screen. Render must have run.
 func (h *Help) FindBody(w *Window, substr string) (geom.Point, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.findIn(w, SubBody, substr)
 }
 
 // FindTag returns the screen point of the first occurrence of substr in
 // w's tag. Render must have run.
 func (h *Help) FindTag(w *Window, substr string) (geom.Point, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.findIn(w, SubTag, substr)
 }
 
@@ -417,6 +427,8 @@ func indexFrom(s, substr string, from int) int {
 // TabPoint returns the screen point of w's tab in its column's tower, so
 // sessions can reveal covered windows with a genuine mouse click.
 func (h *Help) TabPoint(w *Window) (geom.Point, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	col := h.colOf(w)
 	for i, o := range col.wins {
 		if o == w {
@@ -432,6 +444,8 @@ func (h *Help) TabPoint(w *Window) (geom.Point, bool) {
 
 // VisibleSpan reports how many screen rows w currently shows.
 func (h *Help) VisibleSpan(w *Window) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.colOf(w).visibleSpan(w)
 }
 
@@ -446,6 +460,8 @@ func (w *Window) Top() int { return w.top }
 
 // ColumnRect returns the rectangle of column ci (including its tab strip).
 func (h *Help) ColumnRect(ci int) geom.Rect {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if ci < 0 || ci >= len(h.cols) {
 		return geom.Rect{}
 	}
@@ -454,6 +470,8 @@ func (h *Help) ColumnRect(ci int) geom.Rect {
 
 // ColumnIndexOf returns the index of the column holding w.
 func (h *Help) ColumnIndexOf(w *Window) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	col := h.colOf(w)
 	for i, c := range h.cols {
 		if c == col {

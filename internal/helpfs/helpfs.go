@@ -8,6 +8,7 @@
 // The service mounts (conventionally) at /mnt/help:
 //
 //	/mnt/help/index      window number, a tab, and the first line of the tag
+//	/mnt/help/procs      live external commands: id, window, runtime, state, name
 //	/mnt/help/ctl        service-wide messages: "open name[:addr]"
 //	/mnt/help/new/ctl    opening it creates a window placed automatically
 //	                     near the current selection; reading it returns the
@@ -64,6 +65,9 @@ func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
 	if err := s.register(s.root+"/index", readDevice{content: s.index, k: s.kinds["index"]}); err != nil {
 		return nil, err
 	}
+	if err := s.register(s.root+"/procs", readDevice{content: s.procsFile}); err != nil {
+		return nil, err
+	}
 	if err := s.register(s.root+"/new/ctl", &newCtlDevice{s: s}); err != nil {
 		return nil, err
 	}
@@ -100,9 +104,13 @@ func (s *Service) Root() string { return s.root }
 
 // index renders the index file: "Each line of this file is a window
 // number, a tab, and the first line of the tag."
+//
+// Device content functions run with the actor lock already held — the
+// namespace views that reach them serialize on it — so they use the
+// View accessor, never the locking exported methods.
 func (s *Service) index() string {
 	var b strings.Builder
-	for _, w := range s.h.Windows() {
+	for _, w := range s.h.View().Windows() {
 		tag := w.Tag.String()
 		if i := strings.IndexByte(tag, '\n'); i >= 0 {
 			tag = tag[:i]
@@ -141,9 +149,21 @@ func (s *Service) removeWindow(w *core.Window) {
 	s.fs.Remove(dir)
 }
 
+// procsFile renders /mnt/help/procs: one live command per line — id,
+// originating window (0 if none), runtime, state, and the command text,
+// tab-separated with the name last since it may contain blanks.
+func (s *Service) procsFile() string {
+	var b strings.Builder
+	for _, p := range s.h.View().Procs() {
+		fmt.Fprintf(&b, "%d\t%d\t%s\t%s\t%s\n",
+			p.ID, p.WinID, p.Runtime.Round(time.Millisecond), p.State, p.Name)
+	}
+	return b.String()
+}
+
 // window fetches a live window by id.
 func (s *Service) window(id int) (*core.Window, error) {
-	w := s.h.Window(id)
+	w := s.h.View().Window(id)
 	if w == nil {
 		return nil, fmt.Errorf("helpfs: no window %d", id)
 	}
@@ -294,7 +314,7 @@ type newCtlDevice struct {
 func (d *newCtlDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	k := d.s.kinds["ctl"]
 	t0 := k.open()
-	w := d.s.h.NewWindow()
+	w := d.s.h.View().NewWindow()
 	return &newCtlHandle{s: d.s, id: w.ID, name: strconv.Itoa(w.ID) + "\n", k: k, t0: t0}, nil
 }
 
@@ -369,7 +389,7 @@ func (h *rootCtlHandle) WriteAt(p []byte, off int64) (int, error) {
 		switch verb {
 		case "open":
 			name, addr := core.SplitAddr(arg)
-			if _, err := h.s.h.OpenFile(name, addr); err != nil {
+			if _, err := h.s.h.View().OpenFile(name, addr); err != nil {
 				return 0, err
 			}
 		default:
@@ -464,7 +484,7 @@ func (s *Service) ctlMessage(w *core.Window, line string) error {
 		}
 		w.SetSelection(core.SubBody, q0, q1)
 	case "delete":
-		s.h.CloseWindow(w)
+		s.h.View().CloseWindow(w)
 	default:
 		return fmt.Errorf("helpfs: unknown ctl message %q", verb)
 	}

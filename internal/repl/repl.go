@@ -10,6 +10,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -27,6 +28,8 @@ const Usage = `commands:
   tag ID WORD            middle-click WORD in window ID's tag
   type TEXT              type TEXT at the mouse position
   tab ID                 click window ID's tab (reveal)
+  procs                  list running external commands (id, window, runtime, state, name)
+  kill [ID|WORD]...      kill running commands (all of them with no argument)
   metrics                show interaction counters and the stats registry
   help                   this message
   quit`
@@ -87,6 +90,11 @@ func (r *REPL) Command(line string) error {
 		h.Render()
 		fmt.Fprint(r.Out, h.Screen().String())
 	}
+	// Middle-click execution is asynchronous; give quick commands a
+	// bounded chance to finish so the echoed screen shows their output,
+	// while a long-running command leaves the prompt responsive (see
+	// procs and kill).
+	settle := func() { h.WaitIdleFor(2 * time.Second) }
 
 	switch fields[0] {
 	case "quit", "exit":
@@ -158,6 +166,7 @@ func (r *REPL) Command(line string) error {
 			return err
 		}
 		h.HandleAll(event.Click(event.Middle, p))
+		settle()
 		show()
 	case "tag":
 		w, err := winArg(1)
@@ -171,6 +180,7 @@ func (r *REPL) Command(line string) error {
 		}
 		p.X++
 		h.HandleAll(event.Click(event.Middle, p))
+		settle()
 		show()
 	case "type":
 		text := strings.TrimPrefix(line, "type ")
@@ -186,6 +196,24 @@ func (r *REPL) Command(line string) error {
 			return fmt.Errorf("no tab for window %d", w.ID)
 		}
 		h.HandleAll(event.Click(event.Left, p))
+		show()
+	case "procs":
+		procs := h.Procs()
+		if len(procs) == 0 {
+			fmt.Fprintln(r.Out, "no commands running")
+			break
+		}
+		for _, p := range procs {
+			fmt.Fprintf(r.Out, "%3d win=%d %8s %-7s %s\n",
+				p.ID, p.WinID, p.Runtime.Round(time.Millisecond), p.State, p.Name)
+		}
+	case "kill":
+		ws := h.Windows()
+		if len(ws) == 0 {
+			return fmt.Errorf("no windows")
+		}
+		h.Execute(ws[0], strings.Join(append([]string{"Kill"}, fields[1:]...), " "))
+		settle()
 		show()
 	default:
 		return fmt.Errorf("unknown command %q (try help)", fields[0])

@@ -56,8 +56,11 @@ func New(w, h int) (*Session, error) {
 }
 
 // Snapshot records the current screen, the cumulative metrics, and the
-// per-step delta against the previous snapshot.
+// per-step delta against the previous snapshot. It waits for in-flight
+// commands first, so snapshots are deterministic even though gesture
+// execution is asynchronous.
 func (s *Session) Snapshot(name, desc string) {
+	s.H.WaitIdle()
 	s.H.Render()
 	m := s.H.Metrics()
 	var prev core.Metrics
@@ -162,6 +165,7 @@ func (s *Session) ExecWord(win *core.Window, substr string) error {
 	}
 	p.X++
 	s.H.HandleAll(event.Click(event.Middle, p))
+	s.H.WaitIdle()
 	return nil
 }
 
@@ -173,6 +177,7 @@ func (s *Session) ExecTagWord(win *core.Window, substr string) error {
 	}
 	p.X++
 	s.H.HandleAll(event.Click(event.Middle, p))
+	s.H.WaitIdle()
 	return nil
 }
 
@@ -191,6 +196,7 @@ func (s *Session) ExecSweep(win *core.Window, from, to string) error {
 	}
 	p1.X += len([]rune(to))
 	s.H.HandleAll(event.Sweep(event.Middle, p0, p1))
+	s.H.WaitIdle()
 	return nil
 }
 

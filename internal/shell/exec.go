@@ -14,6 +14,12 @@ const maxLoopIterations = 100000
 
 // exec evaluates a parsed node in ctx and returns its exit status.
 func (sh *Shell) exec(ctx *Context, n node) int {
+	// One kill check at the top covers every construct: loops, pipelines,
+	// sequences, and nested scripts all re-enter exec per node, so a
+	// killed command unwinds at the next command boundary.
+	if ctx.Killed() {
+		return 1
+	}
 	switch n := n.(type) {
 	case seqNode:
 		status := 0
@@ -105,7 +111,19 @@ func (sh *Shell) exec(ctx *Context, n node) int {
 		return status
 
 	case fnNode:
+		sh.fnMu.Lock()
 		sh.funcs[n.name] = n.body
+		sh.fnMu.Unlock()
+		return 0
+
+	case bgNode:
+		if ctx.Spawn == nil {
+			// No process registry attached (profiles, nested tools run
+			// inside the event loop): & degrades to synchronous execution.
+			return sh.exec(ctx, n.cmd)
+		}
+		child := ctx.Clone()
+		ctx.Spawn(n.label, child, func(c *Context) int { return sh.exec(c, n.cmd) })
 		return 0
 
 	case switchNode:
@@ -212,7 +230,7 @@ func (sh *Shell) applyRedirs(ctx *Context, redirs []redir) (restore func(), stat
 		}
 		switch r.kind {
 		case ">":
-			f, err := sh.fs.Create(path)
+			f, err := ctx.FS.Create(path)
 			if err != nil {
 				ctx.Errorf("rc: %v", err)
 				restore()
@@ -221,14 +239,14 @@ func (sh *Shell) applyRedirs(ctx *Context, redirs []redir) (restore func(), stat
 			opened = append(opened, f)
 			ctx.Stdout = f
 		case ">>":
-			if !sh.fs.Exists(path) {
-				if err := sh.fs.WriteFile(path, nil); err != nil {
+			if !ctx.FS.Exists(path) {
+				if err := ctx.FS.WriteFile(path, nil); err != nil {
 					ctx.Errorf("rc: %v", err)
 					restore()
 					return func() {}, 1
 				}
 			}
-			f, err := sh.fs.Open(path, vfs.OWRITE|vfs.OAPPEND)
+			f, err := ctx.FS.Open(path, vfs.OWRITE|vfs.OAPPEND)
 			if err != nil {
 				ctx.Errorf("rc: %v", err)
 				restore()
@@ -237,7 +255,7 @@ func (sh *Shell) applyRedirs(ctx *Context, redirs []redir) (restore func(), stat
 			opened = append(opened, f)
 			ctx.Stdout = f
 		case "<":
-			f, err := sh.fs.Open(path, vfs.OREAD)
+			f, err := ctx.FS.Open(path, vfs.OREAD)
 			if err != nil {
 				ctx.Errorf("rc: %v", err)
 				restore()

@@ -182,7 +182,7 @@ func (sh *Shell) globField(ctx *Context, pat string) []string {
 		full = vfs.Clean(ctx.Dir + "/" + pat)
 		rel = true
 	}
-	matches := sh.fs.Glob(full)
+	matches := ctx.FS.Glob(full)
 	if !rel {
 		return matches
 	}

@@ -54,6 +54,13 @@ type whileNode struct {
 // notNode is ! cmd.
 type notNode struct{ cmd node }
 
+// bgNode is cmd &: run the command in the background. label is the
+// command's source text, kept for process listings.
+type bgNode struct {
+	cmd   node
+	label string
+}
+
 // forNode is for(name in words) body.
 type forNode struct {
 	varName string
@@ -90,6 +97,7 @@ func (blockNode) isNode()  {}
 func (assignNode) isNode() {}
 func (ifNode) isNode()     {}
 func (notNode) isNode()    {}
+func (bgNode) isNode()     {}
 func (forNode) isNode()    {}
 func (fnNode) isNode()     {}
 
@@ -156,6 +164,7 @@ const (
 	tokGtGt   // >>
 	tokLt     // <
 	tokBang   // !
+	tokAmp    // &
 )
 
 type token struct {
@@ -233,6 +242,9 @@ func (l *lexer) next() (token, error) {
 	case '<':
 		l.pos++
 		return token{kind: tokLt, pos: start}, nil
+	case '&':
+		l.pos++
+		return token{kind: tokAmp, pos: start}, nil
 	case '!':
 		// ! is a word char inside a word (Close!), but a bare ! followed
 		// by whitespace is negation.
@@ -251,7 +263,7 @@ func (l *lexer) next() (token, error) {
 // isWordRune reports whether r can continue an unquoted word.
 func isWordRune(r rune) bool {
 	switch r {
-	case 0, ' ', '\t', '\r', '\n', ';', '|', '{', '}', '(', ')', '>', '<', '#', '\'', '$', '`':
+	case 0, ' ', '\t', '\r', '\n', ';', '|', '{', '}', '(', ')', '>', '<', '#', '\'', '"', '&', '$', '`':
 		return false
 	}
 	return true
@@ -266,6 +278,12 @@ func (l *lexer) lexWord() (word, error) {
 		switch {
 		case r == '\'':
 			text, err := l.lexQuote()
+			if err != nil {
+				return word{}, err
+			}
+			w.segs = append(w.segs, seg{kind: segQuote, text: text})
+		case r == '"':
+			text, err := l.lexDQuote()
 			if err != nil {
 				return word{}, err
 			}
@@ -310,6 +328,30 @@ func (l *lexer) lexQuote() (string, error) {
 		if r == '\'' {
 			if l.at(1) == '\'' {
 				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteRune(r)
+		l.pos++
+	}
+	return "", fmt.Errorf("unterminated quote")
+}
+
+// lexDQuote scans a "double-quoted" string where "" is a literal quote,
+// mirroring the single-quote rule. rc proper has no double quotes, but
+// commands typed into help tags use them, and before they were lexed the
+// quotes leaked into argv (echo "a b" ran with literal quote characters).
+func (l *lexer) lexDQuote() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == '"' {
+			if l.at(1) == '"' {
+				b.WriteRune('"')
 				l.pos += 2
 				continue
 			}
@@ -445,9 +487,19 @@ func (p *parser) parseSeq(until tokKind) node {
 		if p.tok.kind == until || p.tok.kind == tokEOF {
 			break
 		}
+		startPos := p.tok.pos
 		c := p.parseItem()
 		if p.err != nil {
 			break
+		}
+		// cmd &: wrap in a background node labeled with the command's
+		// source text, and treat & as a command separator like ;.
+		if p.tok.kind == tokAmp {
+			label := strings.TrimSpace(string(p.lex.src[startPos:p.tok.pos]))
+			c = bgNode{cmd: c, label: label}
+			p.advance()
+			cmds = append(cmds, c)
+			continue
 		}
 		cmds = append(cmds, c)
 		if p.tok.kind == tokSemi {

@@ -37,9 +37,23 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/vfs"
 )
+
+// KillFlag is a cooperative cancellation flag shared between a running
+// command and whoever launched it. The interpreter polls it at the top of
+// every node evaluation, so setting it stops a script at the next command
+// boundary — loops, pipelines, and nested scripts all observe it.
+type KillFlag struct{ v atomic.Bool }
+
+// Kill requests that the command carrying this flag stop.
+func (k *KillFlag) Kill() { k.v.Store(true) }
+
+// Killed reports whether Kill has been called.
+func (k *KillFlag) Killed() bool { return k.v.Load() }
 
 // Builtin is a command implemented in Go. It returns an exit status;
 // 0 means success.
@@ -56,6 +70,17 @@ type Context struct {
 	Stdin  io.Reader
 	Stdout io.Writer
 	Stderr io.Writer
+
+	// Kill, when non-nil, is polled by the interpreter before every node:
+	// once set the command unwinds with a failure status. It is a pointer
+	// so pipeline stages (which copy the context by value) share one flag.
+	Kill *KillFlag
+
+	// Spawn, when non-nil, runs a backgrounded command (cmd &) off-loop:
+	// it receives a display label, a cloned child context, and the thunk
+	// to run. When nil, & degrades to synchronous execution — correct for
+	// plain scripts and profiles that have no process registry attached.
+	Spawn func(label string, ctx *Context, run func(*Context) int)
 
 	// lastIfFailed supports rc's "if not": true when the immediately
 	// preceding if's condition failed.
@@ -93,6 +118,10 @@ func (c *Context) Set(name string, value []string) {
 	c.Vars[name] = value
 }
 
+// Killed reports whether this command has been asked to stop. Safe on a
+// context with no kill flag attached.
+func (c *Context) Killed() bool { return c.Kill != nil && c.Kill.Killed() }
+
 // Getenv returns a variable as a single space-joined string, the form
 // most tools want ($helpsel, $file, ...).
 func (c *Context) Getenv(name string) string {
@@ -106,10 +135,12 @@ func (c *Context) Errorf(format string, args ...any) {
 
 // Shell is an rc-subset interpreter bound to a namespace.
 type Shell struct {
-	fs       *vfs.FS
-	builtins map[string]Builtin
-	programs map[string]Builtin // vfs path -> compiled-in program
-	funcs    map[string]*blockNode
+	fs        *vfs.FS
+	contextFS *vfs.FS // namespace handed to new contexts; defaults to fs
+	builtins  map[string]Builtin
+	programs  map[string]Builtin // vfs path -> compiled-in program
+	fnMu      sync.RWMutex       // guards funcs: commands run concurrently
+	funcs     map[string]*blockNode
 	// SearchPath is the list of directories searched for bare command
 	// names, normally just /bin.
 	SearchPath []string
@@ -120,6 +151,7 @@ type Shell struct {
 func New(fs *vfs.FS) *Shell {
 	sh := &Shell{
 		fs:         fs,
+		contextFS:  fs,
 		builtins:   map[string]Builtin{},
 		programs:   map[string]Builtin{},
 		funcs:      map[string]*blockNode{},
@@ -131,6 +163,12 @@ func New(fs *vfs.FS) *Shell {
 
 // FS returns the namespace the shell runs against.
 func (sh *Shell) FS() *vfs.FS { return sh.fs }
+
+// SetContextFS changes the namespace view handed to contexts created by
+// NewContext. The core installs its serialized (locking) view here so
+// commands running in their own goroutines synchronize with the event
+// loop; setup-time registration keeps using the raw view.
+func (sh *Shell) SetContextFS(fs *vfs.FS) { sh.contextFS = fs }
 
 // Register installs a builtin command under a bare name.
 func (sh *Shell) Register(name string, fn Builtin) { sh.builtins[name] = fn }
@@ -163,7 +201,7 @@ func (sh *Shell) RegisterProgram(path string, fn Builtin) error {
 // NewContext returns a fresh context writing to the given streams.
 func (sh *Shell) NewContext(stdout, stderr io.Writer) *Context {
 	return &Context{
-		FS:     sh.fs,
+		FS:     sh.contextFS,
 		Sh:     sh,
 		Dir:    "/",
 		Vars:   map[string][]string{},
@@ -204,19 +242,22 @@ func (sh *Shell) invoke(ctx *Context, args []string) int {
 			return sh.runPath(ctx, name, args)
 		}
 		local := vfs.Clean(ctx.Dir + "/" + name)
-		if sh.fs.Exists(local) || sh.programs[local] != nil {
+		if ctx.FS.Exists(local) || sh.programs[local] != nil {
 			return sh.runPath(ctx, local, args)
 		}
 		for _, dir := range sh.SearchPath {
 			cand := vfs.Clean(dir + "/" + name)
-			if sh.fs.Exists(cand) || sh.programs[cand] != nil {
+			if ctx.FS.Exists(cand) || sh.programs[cand] != nil {
 				return sh.runPath(ctx, cand, args)
 			}
 		}
 		return sh.runPath(ctx, local, args) // report the local miss
 	}
 
-	if fn, ok := sh.funcs[name]; ok {
+	sh.fnMu.RLock()
+	fn, ok := sh.funcs[name]
+	sh.fnMu.RUnlock()
+	if ok {
 		return sh.runFunction(ctx, fn, args)
 	}
 	if b, ok := sh.builtins[name]; ok {
@@ -225,7 +266,7 @@ func (sh *Shell) invoke(ctx *Context, args []string) int {
 	// Search the standard directories of program binaries.
 	for _, dir := range sh.SearchPath {
 		path := vfs.Clean(dir + "/" + name)
-		if sh.fs.Exists(path) || sh.programs[path] != nil {
+		if ctx.FS.Exists(path) || sh.programs[path] != nil {
 			return sh.runPath(ctx, path, args)
 		}
 	}
@@ -239,7 +280,7 @@ func (sh *Shell) runPath(ctx *Context, path string, args []string) int {
 	if prog, ok := sh.programs[path]; ok {
 		return prog(ctx, args)
 	}
-	data, err := sh.fs.ReadFile(path)
+	data, err := ctx.FS.ReadFile(path)
 	if err != nil {
 		ctx.Errorf("rc: %s: %v", path, err)
 		return 127

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/shell"
 	"repro/internal/vfs"
@@ -40,6 +41,7 @@ func Install(sh *shell.Shell) {
 	sh.Register("rm", Rm)
 	sh.Register("mkdir", Mkdir)
 	sh.Register("date", Date)
+	sh.Register("sleep", Sleep)
 	sh.Register("mk", Mk)
 	sh.Register("mktouched", MkTouched)
 	sh.Register("fortune", Fortune)
@@ -488,6 +490,33 @@ func Date(ctx *shell.Context, args []string) int {
 		d = "Tue Apr 16 19:30:00 EDT 1991"
 	}
 	fmt.Fprintln(ctx.Stdout, d)
+	return 0
+}
+
+// Sleep pauses for the given number of seconds (fractions allowed),
+// waking early when the command is killed. It exists so tests and users
+// have a deliberately slow command that still answers Kill promptly.
+func Sleep(ctx *shell.Context, args []string) int {
+	if len(args) < 2 {
+		ctx.Errorf("usage: sleep seconds")
+		return 1
+	}
+	secs, err := strconv.ParseFloat(args[1], 64)
+	if err != nil || secs < 0 {
+		ctx.Errorf("sleep: bad interval %q", args[1])
+		return 1
+	}
+	deadline := time.Now().Add(time.Duration(secs * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		if ctx.Killed() {
+			return 1
+		}
+		remain := time.Until(deadline)
+		if remain > 5*time.Millisecond {
+			remain = 5 * time.Millisecond
+		}
+		time.Sleep(remain)
+	}
 	return 0
 }
 

@@ -23,12 +23,14 @@ const (
 // they are messages to live services (window bodies, ctl files), not
 // state the namespace owns, and replaying them would double-apply.
 func (fs *FS) SetOnMutate(fn func(kind MutKind, p string, data []byte, aux string, flag int)) {
-	fs.onMutate = fn
+	fs.lock()
+	defer fs.unlock()
+	fs.st.onMutate = fn
 }
 
 func (fs *FS) mutated(kind MutKind, p string, data []byte, aux string, flag int) {
-	if fs.onMutate != nil {
-		fs.onMutate(kind, Clean(p), data, aux, flag)
+	if fs.st.onMutate != nil {
+		fs.st.onMutate(kind, Clean(p), data, aux, flag)
 	}
 }
 
@@ -43,6 +45,8 @@ type DumpEntry struct {
 // table, in sorted path order. Devices are skipped: they are live
 // endpoints re-registered by whoever owns them, not persistable state.
 func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
+	fs.lock()
+	defer fs.unlock()
 	var entries []DumpEntry
 	var walk func(p string, n *node)
 	walk = func(p string, n *node) {
@@ -65,9 +69,9 @@ func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
 			}
 		}
 	}
-	walk("/", fs.root)
-	binds := make(map[string][]string, len(fs.binds))
-	for mp, srcs := range fs.binds {
+	walk("/", fs.st.root)
+	binds := make(map[string][]string, len(fs.st.binds))
+	for mp, srcs := range fs.st.binds {
 		binds[mp] = append([]string(nil), srcs...)
 	}
 	return entries, binds
@@ -80,9 +84,11 @@ func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
 // them — are left alone, for the same reason Dump skips them. The
 // mutation observer is suppressed for the duration.
 func (fs *FS) RestoreDump(entries []DumpEntry, binds map[string][]string) error {
-	saved := fs.onMutate
-	fs.onMutate = nil
-	defer func() { fs.onMutate = saved }()
+	fs.lock()
+	defer fs.unlock()
+	saved := fs.st.onMutate
+	fs.st.onMutate = nil
+	defer func() { fs.st.onMutate = saved }()
 
 	keep := make(map[string]bool, len(entries))
 	for _, e := range entries {
@@ -107,25 +113,25 @@ func (fs *FS) RestoreDump(entries []DumpEntry, binds map[string][]string) error 
 			}
 		}
 	}
-	prune("/", fs.root)
+	prune("/", fs.st.root)
 
 	for _, e := range entries {
 		if e.Dir {
-			if err := fs.MkdirAll(e.Path); err != nil {
+			if err := fs.mkdirAll(e.Path); err != nil {
 				return err
 			}
 		}
 	}
 	for _, e := range entries {
 		if !e.Dir {
-			if err := fs.WriteFile(e.Path, e.Data); err != nil {
+			if err := fs.writeFile(e.Path, e.Data); err != nil {
 				return err
 			}
 		}
 	}
-	fs.binds = make(map[string][]string, len(binds))
+	fs.st.binds = make(map[string][]string, len(binds))
 	for mp, srcs := range binds {
-		fs.binds[mp] = append([]string(nil), srcs...)
+		fs.st.binds[mp] = append([]string(nil), srcs...)
 	}
 	return nil
 }

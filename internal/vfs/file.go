@@ -26,6 +26,12 @@ type File struct {
 // only for reading; Read then returns the directory listing, one name per
 // line, the way help renders a directory window's body.
 func (fs *FS) Open(p string, mode int) (*File, error) {
+	fs.lock()
+	defer fs.unlock()
+	return fs.open(p, mode)
+}
+
+func (fs *FS) open(p string, mode int) (*File, error) {
 	n, err := fs.find(p)
 	if err != nil {
 		return nil, err
@@ -64,22 +70,24 @@ func (fs *FS) Open(p string, mode int) (*File, error) {
 
 // Create creates (or truncates) a regular file at p and opens it ORDWR.
 func (fs *FS) Create(p string) (*File, error) {
+	fs.lock()
+	defer fs.unlock()
 	if n, err := fs.find(p); err == nil {
 		if n.dir {
 			return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
 		}
-		return fs.Open(p, ORDWR|OTRUNC)
+		return fs.open(p, ORDWR|OTRUNC)
 	}
-	if err := fs.WriteFile(p, nil); err != nil {
+	if err := fs.writeFile(p, nil); err != nil {
 		return nil, err
 	}
-	return fs.Open(p, ORDWR)
+	return fs.open(p, ORDWR)
 }
 
 // dirListing renders a directory as text: one entry per line, directories
 // suffixed with a slash, exactly how help fills a directory window.
 func (fs *FS) dirListing(p string) ([]byte, error) {
-	ents, err := fs.ReadDir(p)
+	ents, err := fs.readDir(p)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +107,8 @@ func (f *File) Name() string { return f.name }
 
 // Read reads from the current offset.
 func (f *File) Read(p []byte) (int, error) {
+	f.fs.lock()
+	defer f.fs.unlock()
 	if f.closed {
 		return 0, errors.New("vfs: read of closed file")
 	}
@@ -118,6 +128,8 @@ func (f *File) Read(p []byte) (int, error) {
 // Write writes at the current offset, extending the file as needed. In
 // OAPPEND mode every write lands at the end regardless of offset.
 func (f *File) Write(p []byte) (int, error) {
+	f.fs.lock()
+	defer f.fs.unlock()
 	if f.closed {
 		return 0, errors.New("vfs: write of closed file")
 	}
@@ -153,6 +165,8 @@ func (f *File) Write(p []byte) (int, error) {
 // Seek sets the offset for the next Read or Write, interpreted per
 // io.SeekStart/Current/End.
 func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.fs.lock()
+	defer f.fs.unlock()
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -175,6 +189,8 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 // Close releases the handle. Closing a device file closes its per-open
 // handle, which is when devices with open-lifetime side effects clean up.
 func (f *File) Close() error {
+	f.fs.lock()
+	defer f.fs.unlock()
 	if f.closed {
 		return nil
 	}

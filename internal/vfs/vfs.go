@@ -15,9 +15,15 @@
 //   - the usual operations: open, create, read, write, stat, readdir,
 //     remove, plus glob expansion for the shell.
 //
-// Paths are slash-separated and absolute ("/usr/rob/src/help"). The
-// package is safe for use from a single goroutine; help serializes all
-// access through its event loop.
+// Paths are slash-separated and absolute ("/usr/rob/src/help").
+//
+// Concurrency: an FS returned by New is an unlocked view — safe from one
+// goroutine, or from many if the caller holds its own lock around every
+// operation. Serialized(lk) returns a second view of the same namespace
+// that takes lk around every operation, including device handler
+// invocations; help hands that view to command goroutines and remote
+// servers while the event loop keeps using the raw view under the same
+// lock.
 package vfs
 
 import (
@@ -27,6 +33,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -96,8 +103,10 @@ type node struct {
 	mtime    int64
 }
 
-// FS is an in-memory file system with a bind table.
-type FS struct {
+// fsState is the namespace itself, shared by every view of it. Keeping
+// the mutable fields behind one pointer is what makes views cheap and
+// coherent: a bind or clock tick through one view is visible through all.
+type fsState struct {
 	root *node
 	// binds maps a canonical mountpoint path to the ordered union of
 	// source paths searched there.
@@ -113,33 +122,68 @@ type FS struct {
 	onMutate func(kind MutKind, p string, data []byte, aux string, flag int)
 }
 
+// FS is a view onto an in-memory file system with a bind table. The view
+// from New is unlocked; Serialized derives a locking view of the same
+// state.
+type FS struct {
+	st *fsState
+	// lk, when non-nil, is held around every operation of this view.
+	lk sync.Locker
+}
+
+func (fs *FS) lock() {
+	if fs.lk != nil {
+		fs.lk.Lock()
+	}
+}
+
+func (fs *FS) unlock() {
+	if fs.lk != nil {
+		fs.lk.Unlock()
+	}
+}
+
+// Serialized returns a view of the same namespace whose every operation
+// — reads, writes, opens, and the device handler calls they trigger —
+// runs while holding lk. State is fully shared with fs: a mutation
+// through either view is immediately visible through the other.
+func (fs *FS) Serialized(lk sync.Locker) *FS {
+	return &FS{st: fs.st, lk: lk}
+}
+
 // SetObs installs (or, with nil, removes) observability counters for
 // the namespace: vfs.lookup, the path walk under every operation, and
 // vfs.bind.
 func (fs *FS) SetObs(r *obs.Registry) {
+	fs.lock()
+	defer fs.unlock()
 	if r == nil {
-		fs.lookups, fs.bindsCtr = nil, nil
+		fs.st.lookups, fs.st.bindsCtr = nil, nil
 		return
 	}
-	fs.lookups = r.Counter("vfs.lookup")
-	fs.bindsCtr = r.Counter("vfs.bind")
+	fs.st.lookups = r.Counter("vfs.lookup")
+	fs.st.bindsCtr = r.Counter("vfs.bind")
 }
 
 // tick advances and returns the logical clock.
 func (fs *FS) tick() int64 {
-	fs.clock++
-	return fs.clock
+	fs.st.clock++
+	return fs.st.clock
 }
 
 // Now returns the current logical time without advancing it.
-func (fs *FS) Now() int64 { return fs.clock }
+func (fs *FS) Now() int64 {
+	fs.lock()
+	defer fs.unlock()
+	return fs.st.clock
+}
 
 // New returns an empty file system containing only the root directory.
 func New() *FS {
-	return &FS{
+	return &FS{st: &fsState{
 		root:  &node{name: "/", dir: true, children: map[string]*node{}},
 		binds: map[string][]string{},
-	}
+	}}
 }
 
 // Clean canonicalizes p to an absolute, cleaned path.
@@ -163,9 +207,9 @@ func split(p string) []string {
 // path is walked segment by segment in place: this sits under every file
 // operation, so it must not allocate.
 func (fs *FS) lookup(p string) (*node, error) {
-	fs.lookups.Inc()
+	fs.st.lookups.Inc()
 	p = Clean(p)
-	n := fs.root
+	n := fs.st.root
 	for i := 1; i < len(p); {
 		end := len(p)
 		if j := strings.IndexByte(p[i:], '/'); j >= 0 {
@@ -228,7 +272,7 @@ func (fs *FS) resolveInto(p string, depth int, out *[]string) {
 // longestBind finds the longest mountpoint that is a prefix of p.
 func (fs *FS) longestBind(p string) (string, []string) {
 	best := ""
-	for mp := range fs.binds {
+	for mp := range fs.st.binds {
 		if mp == p || strings.HasPrefix(p, mp+"/") || (mp == "/" && p != "/") {
 			if len(mp) > len(best) {
 				best = mp
@@ -239,7 +283,7 @@ func (fs *FS) longestBind(p string) (string, []string) {
 		return "", nil
 	}
 	// Guard against the degenerate self-bind producing no progress.
-	srcs := fs.binds[best]
+	srcs := fs.st.binds[best]
 	if len(srcs) == 1 && srcs[0] == best {
 		return "", nil
 	}
@@ -273,26 +317,32 @@ func (fs *FS) find(p string) (*node, error) {
 // Replace, lookups of mp resolve only in src. With Before/After, src is
 // unioned with the existing resolution order.
 func (fs *FS) Bind(src, mp string, flag BindFlag) error {
-	fs.bindsCtr.Inc()
+	fs.lock()
+	defer fs.unlock()
+	return fs.bind(src, mp, flag)
+}
+
+func (fs *FS) bind(src, mp string, flag BindFlag) error {
+	fs.st.bindsCtr.Inc()
 	src, mp = Clean(src), Clean(mp)
 	if _, err := fs.find(src); err != nil {
 		return fmt.Errorf("bind %s: %w", src, err)
 	}
 	switch flag {
 	case Replace:
-		fs.binds[mp] = []string{src}
+		fs.st.binds[mp] = []string{src}
 	case Before:
-		cur := fs.binds[mp]
+		cur := fs.st.binds[mp]
 		if len(cur) == 0 {
 			cur = []string{mp}
 		}
-		fs.binds[mp] = append([]string{src}, cur...)
+		fs.st.binds[mp] = append([]string{src}, cur...)
 	case After:
-		cur := fs.binds[mp]
+		cur := fs.st.binds[mp]
 		if len(cur) == 0 {
 			cur = []string{mp}
 		}
-		fs.binds[mp] = append(cur, src)
+		fs.st.binds[mp] = append(cur, src)
 	default:
 		return fmt.Errorf("bind: bad flag %d", flag)
 	}
@@ -302,13 +352,21 @@ func (fs *FS) Bind(src, mp string, flag BindFlag) error {
 
 // Unbind removes all binds at mountpoint mp.
 func (fs *FS) Unbind(mp string) {
-	delete(fs.binds, Clean(mp))
+	fs.lock()
+	defer fs.unlock()
+	delete(fs.st.binds, Clean(mp))
 }
 
 // MkdirAll creates directory p and any missing parents. It is a no-op if p
 // already exists as a directory.
 func (fs *FS) MkdirAll(p string) error {
-	n := fs.root
+	fs.lock()
+	defer fs.unlock()
+	return fs.mkdirAll(p)
+}
+
+func (fs *FS) mkdirAll(p string) error {
+	n := fs.st.root
 	made := false
 	for _, elem := range split(p) {
 		child, ok := n.children[elem]
@@ -355,6 +413,12 @@ func (fs *FS) parentOf(p string) (*node, string, error) {
 
 // WriteFile creates or truncates the regular file at p with data.
 func (fs *FS) WriteFile(p string, data []byte) error {
+	fs.lock()
+	defer fs.unlock()
+	return fs.writeFile(p, data)
+}
+
+func (fs *FS) writeFile(p string, data []byte) error {
 	parent, base, err := fs.parentOf(p)
 	if err != nil {
 		return err
@@ -389,6 +453,12 @@ func (fs *FS) writeDevice(n *node, data []byte) error {
 
 // ReadFile returns the full contents of the file at p.
 func (fs *FS) ReadFile(p string) ([]byte, error) {
+	fs.lock()
+	defer fs.unlock()
+	return fs.readFile(p)
+}
+
+func (fs *FS) readFile(p string) ([]byte, error) {
 	n, err := fs.find(p)
 	if err != nil {
 		return nil, err
@@ -429,9 +499,11 @@ func (fs *FS) readDevice(n *node) ([]byte, error) {
 
 // AppendFile appends data to the file at p, creating it if necessary.
 func (fs *FS) AppendFile(p string, data []byte) error {
+	fs.lock()
+	defer fs.unlock()
 	n, err := fs.find(p)
 	if errors.Is(err, ErrNotExist) {
-		return fs.WriteFile(p, data)
+		return fs.writeFile(p, data)
 	}
 	if err != nil {
 		return err
@@ -457,8 +529,10 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 // RegisterDevice installs a synthetic file backed by dev at path p,
 // creating parent directories as needed.
 func (fs *FS) RegisterDevice(p string, dev Device) error {
+	fs.lock()
+	defer fs.unlock()
 	p = Clean(p)
-	if err := fs.MkdirAll(path.Dir(p)); err != nil {
+	if err := fs.mkdirAll(path.Dir(p)); err != nil {
 		return err
 	}
 	parent, base, err := fs.parentOf(p)
@@ -470,10 +544,16 @@ func (fs *FS) RegisterDevice(p string, dev Device) error {
 }
 
 // RemoveDevice removes the synthetic file at p if present.
-func (fs *FS) RemoveDevice(p string) { _ = fs.Remove(p) }
+func (fs *FS) RemoveDevice(p string) {
+	fs.lock()
+	defer fs.unlock()
+	_ = fs.remove(p)
+}
 
 // Stat describes the file at p.
 func (fs *FS) Stat(p string) (Info, error) {
+	fs.lock()
+	defer fs.unlock()
 	n, err := fs.find(p)
 	if err != nil {
 		return Info{}, err
@@ -484,12 +564,20 @@ func (fs *FS) Stat(p string) (Info, error) {
 
 // Exists reports whether p names an existing file or directory.
 func (fs *FS) Exists(p string) bool {
+	fs.lock()
+	defer fs.unlock()
+	return fs.exists(p)
+}
+
+func (fs *FS) exists(p string) bool {
 	_, err := fs.find(p)
 	return err == nil
 }
 
 // IsDir reports whether p names an existing directory.
 func (fs *FS) IsDir(p string) bool {
+	fs.lock()
+	defer fs.unlock()
 	n, err := fs.find(p)
 	return err == nil && n.dir
 }
@@ -498,6 +586,12 @@ func (fs *FS) IsDir(p string) bool {
 // mountpoints, entries from every member are merged; the first member
 // providing a name wins.
 func (fs *FS) ReadDir(p string) ([]Info, error) {
+	fs.lock()
+	defer fs.unlock()
+	return fs.readDir(p)
+}
+
+func (fs *FS) readDir(p string) ([]Info, error) {
 	seen := map[string]bool{}
 	var out []Info
 	found := false
@@ -534,6 +628,12 @@ func (fs *FS) ReadDir(p string) ([]Info, error) {
 
 // Remove deletes the file or empty directory at p.
 func (fs *FS) Remove(p string) error {
+	fs.lock()
+	defer fs.unlock()
+	return fs.remove(p)
+}
+
+func (fs *FS) remove(p string) error {
 	var firstErr error
 	for _, c := range fs.resolve(p) {
 		dir, base := path.Split(Clean(c))
@@ -569,9 +669,11 @@ func (fs *FS) Remove(p string) error {
 // with no metacharacters returns itself if it exists, nothing otherwise.
 // Results are sorted.
 func (fs *FS) Glob(pattern string) []string {
+	fs.lock()
+	defer fs.unlock()
 	pattern = Clean(pattern)
 	if !strings.ContainsAny(pattern, "*?[") {
-		if fs.Exists(pattern) {
+		if fs.exists(pattern) {
 			return []string{pattern}
 		}
 		return nil
@@ -582,12 +684,12 @@ func (fs *FS) Glob(pattern string) []string {
 		for _, m := range matches {
 			if !strings.ContainsAny(elem, "*?[") {
 				cand := Clean(m + "/" + elem)
-				if fs.Exists(cand) {
+				if fs.exists(cand) {
 					next = append(next, cand)
 				}
 				continue
 			}
-			ents, err := fs.ReadDir(m)
+			ents, err := fs.readDir(m)
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,144 @@
+package world
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/srvnet"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrencyMatrix is the whole-system check that the core really
+// is off the critical path: while a slow external command streams its
+// output, the file interface answers locally and over the wire, the
+// process table reports the command, and Kill terminates it — all
+// without the event loop blocking, and without leaking goroutines.
+func TestConcurrencyMatrix(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	w, err := Build(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := srvnet.NewServer(w.FS)
+	go srv.Serve(l)
+	client, err := srvnet.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	win, err := w.Help.OpenFile("/usr/rob/lib/profile", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A slow command that streams: first chunk immediately, the rest
+	// never (until killed).
+	w.Help.Start(win, "echo first chunk; sleep 600; echo second chunk")
+	waitUntil(t, "first chunk in Errors", func() bool {
+		return strings.Contains(w.Help.ErrorsText(), "first chunk\n")
+	})
+
+	// Mid-command: output is streaming, not buffered to completion.
+	if procs := w.Help.Procs(); len(procs) != 1 || procs[0].State != "running" {
+		t.Fatalf("procs mid-command = %+v", procs)
+	}
+	if got := w.Help.ErrorsText(); strings.Contains(got, "second chunk\n") {
+		t.Fatalf("errors = %q, output was not streamed", got)
+	}
+
+	// The local file interface answers while the command runs.
+	index, err := w.FS.ReadFile(MountRoot + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(index), "/usr/rob/lib/profile") {
+		t.Errorf("index = %q", index)
+	}
+	procsFile, err := w.FS.ReadFile(MountRoot + "/procs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(procsFile), "echo first chunk; sleep 600; echo second chunk") ||
+		!strings.Contains(string(procsFile), "running") {
+		t.Errorf("procs file = %q", procsFile)
+	}
+
+	// The remote namespace answers too: the same files over the wire.
+	remoteIndex, err := client.ReadFile(MountRoot + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(remoteIndex) != string(index) {
+		t.Errorf("remote index = %q, local = %q", remoteIndex, index)
+	}
+	if err := client.WriteFile(MountRoot+"/ctl", []byte("open /usr/rob/src/help/help.c\n")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Help.WindowByName("/usr/rob/src/help/help.c") == nil {
+		t.Fatal("remote open did not create a window")
+	}
+
+	// The event loop itself is live: a gesture-driven builtin runs to
+	// completion while the command sleeps.
+	w.Help.Execute(win, "New")
+
+	// Kill terminates the command and the registry drains.
+	w.Help.Execute(win, fmt.Sprintf("Kill %d", w.Help.Procs()[0].ID))
+	w.Help.WaitIdle()
+	if procs := w.Help.Procs(); len(procs) != 0 {
+		t.Fatalf("procs after Kill = %+v", procs)
+	}
+	got := w.Help.ErrorsText()
+	if !strings.Contains(got, "killed\n") {
+		t.Errorf("errors = %q, want kill report", got)
+	}
+	if strings.Contains(got, "second chunk\n") {
+		t.Errorf("errors = %q, killed command still printed", got)
+	}
+	procsFile, err = w.FS.ReadFile(MountRoot + "/procs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procsFile) != 0 {
+		t.Errorf("procs file after Kill = %q", procsFile)
+	}
+
+	client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// No goroutine leaks: the command goroutine, the queue drainer, and
+	// the server's connections must all have wound down.
+	waitUntil(t, "goroutines to drain", func() bool {
+		runtime.Gosched()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

@@ -98,7 +98,13 @@ func Build(w, h int) (*World, error) {
 	if err := mail.Install(sh, MboxPath, MountRoot); err != nil {
 		return nil, err
 	}
-	return &World{FS: fs, Shell: sh, Help: hlp, Procs: table, Svc: svc}, nil
+	// Everything outside the event loop — command goroutines, tests,
+	// srvnet exports — goes through the serialized namespace view so
+	// device handlers always run under the actor lock. The raw fs stays
+	// captured above only by setup-time code.
+	safe := hlp.SafeFS()
+	sh.SetContextFS(safe)
+	return &World{FS: safe, Shell: sh, Help: hlp, Procs: table, Svc: svc}, nil
 }
 
 // Boot opens the initial screen of Figure 4: the Boot window in the left
