@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench figs tables race stress fuzz cover clean
+.PHONY: all test vet bench figs tables race stress soak fuzz cover clean
 
 all: test
 
@@ -20,19 +20,26 @@ vet:
 # Bench evidence loop: run the suite serially three times (separate
 # passes, minutes apart, so a noisy-neighbor phase can't taint every
 # sample of a benchmark — helpbench keeps each benchmark's best run),
-# record BENCH_PR5.json, and fail if anything regressed >20% on ns/op
+# record BENCH_PR6.json, and fail if anything regressed >20% on ns/op
 # or allocs/op against the checked-in pre-PR baseline (see
 # docs/ARCHITECTURE.md, "Performance model").
 bench:
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
-	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR4.json -o BENCH_PR5.json
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR5.json -o BENCH_PR6.json
 
 # Stress the actor model: the whole-system concurrency matrix, repeated
 # under the race detector so queue/kill/streaming interleavings vary.
 stress:
 	$(GO) test -race -count=5 -run 'TestConcurrencyMatrix|TestOutputStreams|TestKill|TestExternalBackground|TestExit' ./internal/world ./internal/core
+
+# Soak the multi-session daemon: the full stack (Manager behind the mux
+# server on TCP) under session churn, random injected crashes, and
+# abrupt disconnects, race-checked, ending in a graceful drain and a
+# goroutine-leak check. SOAK_SECONDS stretches the run further.
+soak:
+	SOAK_SECONDS=$${SOAK_SECONDS:-20} $(GO) test -race -count=1 -v -run 'TestDaemonSoak' ./internal/sessiond
 
 figs:
 	$(GO) run ./cmd/helpfigs -o figures

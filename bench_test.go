@@ -6,16 +6,20 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/journal"
 	"repro/internal/session"
+	"repro/internal/sessiond"
 	"repro/internal/srvnet"
 	"repro/internal/vfs"
 	"repro/internal/world"
@@ -563,4 +567,97 @@ func BenchmarkQueueThroughput(b *testing.B) {
 		w.Help.Apply(func() {})
 	}
 	w.Help.WaitIdle()
+}
+
+// BenchmarkSessionChurn measures the daemon's full session lifecycle:
+// stamp a world from the shared template on first attach, serve one
+// namespace read, detach, and reap — the steady-state cost of a client
+// population that comes and goes (see docs/ARCHITECTURE.md,
+// "Multi-session daemon").
+func BenchmarkSessionChurn(b *testing.B) {
+	tmpl, err := world.NewTemplate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sessiond.NewManager(sessiond.Config{
+		Width:       40,
+		Height:      12,
+		MaxSessions: 16,
+		TTL:         time.Nanosecond,
+		Build: func(name string, w, h int) (*world.World, error) {
+			return tmpl.NewSession(w, h)
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, detach, err := m.AttachSession(fmt.Sprintf("churn-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.ReadFile(world.MountRoot + "/index"); err != nil {
+			b.Fatal(err)
+		}
+		detach()
+		// The background reaper may win the race for the reap; either
+		// way the table must be empty before the next spin.
+		for m.SessionCount() > 0 {
+			m.ReapIdle()
+		}
+	}
+}
+
+// BenchmarkManySessionsServe holds 1024 live sessions in one daemon and
+// measures namespace reads spread across all of them — the per-request
+// cost of a CPU server hosting a whole department, and the check that
+// the session table imposes no cross-session serialization.
+func BenchmarkManySessionsServe(b *testing.B) {
+	const sessions = 1024
+	tmpl, err := world.NewTemplate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sessiond.NewManager(sessiond.Config{
+		Width:       40,
+		Height:      12,
+		MaxSessions: sessions,
+		Build: func(name string, w, h int) (*world.World, error) {
+			return tmpl.NewSession(w, h)
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	}()
+	fss := make([]*vfs.FS, sessions)
+	detaches := make([]func(), sessions)
+	for i := range fss {
+		fs, detach, err := m.AttachSession(fmt.Sprintf("s%04d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fss[i], detaches[i] = fs, detach
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 37 // spread goroutines across the table
+		for pb.Next() {
+			if _, err := fss[i%sessions].ReadFile(world.MountRoot + "/index"); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	for _, d := range detaches {
+		d()
+	}
 }

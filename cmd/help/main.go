@@ -10,9 +10,18 @@
 // net/http/pprof on an HTTP address; -journal keeps a write-ahead log of
 // the session in a directory, -recover restores the session from it, and
 // -journal-fsync picks the durability/throughput trade-off.
+//
+// -daemon turns the process into a multi-session server: one listener
+// (-listen, required) multiplexes independent sessions spawned on first
+// attach, each with its own namespace and (under -journal) its own
+// lockfile-guarded journal directory; -max-sessions and -session-ttl
+// bound the table and reap idle sessions. SIGINT/SIGTERM drains
+// gracefully: attaches stop, commands are killed, every journal is
+// checkpointed and flushed.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -20,12 +29,16 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/session"
+	"repro/internal/sessiond"
 	"repro/internal/srvnet"
 	"repro/internal/world"
 )
@@ -40,10 +53,19 @@ func main() {
 	journalDir := flag.String("journal", "", "keep a crash-safe session journal in this directory")
 	recoverFlag := flag.Bool("recover", false, "restore the session from the -journal directory before starting")
 	journalFsync := flag.String("journal-fsync", "batch", "journal fsync policy: batch, always, or never")
+	daemon := flag.Bool("daemon", false, "host many sessions behind -listen, one per attach handshake")
+	maxSessions := flag.Int("max-sessions", sessiond.DefaultMaxSessions, "daemon: bound on live sessions")
+	sessionTTL := flag.Duration("session-ttl", 0, "daemon: reap sessions idle this long (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain after SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *recoverFlag && *journalDir == "" {
 		exitOn(fmt.Errorf("-recover requires -journal <dir>"))
+	}
+	if *daemon {
+		exitOn(runDaemon(*width, *height, *listen, *debug, *journalDir, *journalFsync,
+			*maxSessions, *sessionTTL, *drainTimeout))
+		return
 	}
 
 	if *runSession {
@@ -87,6 +109,20 @@ func main() {
 		}
 		w.Help.AttachJournal(jw, 0)
 		defer jw.Close()
+		// A SIGINT/SIGTERM must not lose the WAL tail: checkpoint and
+		// flush before exiting, the same guarantee the daemon's drain
+		// gives every session.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			if err := w.Help.SyncJournal(); err != nil {
+				fmt.Fprintf(os.Stderr, "help: journal flush on exit: %v\n", err)
+				os.Exit(1)
+			}
+			jw.Close()
+			os.Exit(0)
+		}()
 	}
 
 	fmt.Print(w.Help.Screen().String())
@@ -116,6 +152,80 @@ func main() {
 	}
 
 	repl.New(w.Help, os.Stdout).Run(os.Stdin)
+}
+
+// runDaemon hosts many sessions in one process: a world template is
+// built once, sessions are stamped from it on first attach, and one
+// mux listener serves them all. SIGINT/SIGTERM triggers a bounded
+// graceful drain — stop attaches, kill live commands, checkpoint and
+// flush every journal — before exit.
+func runDaemon(width, height int, listen, debug, journalRoot, fsync string,
+	maxSessions int, ttl, drainTimeout time.Duration) error {
+	if listen == "" {
+		return fmt.Errorf("-daemon requires -listen <addr>")
+	}
+	policy, err := journal.ParsePolicy(fsync)
+	if err != nil {
+		return err
+	}
+	tmpl, err := world.NewTemplate()
+	if err != nil {
+		return err
+	}
+	reg := obs.New()
+	mgr := sessiond.NewManager(sessiond.Config{
+		Width:       width,
+		Height:      height,
+		MaxSessions: maxSessions,
+		TTL:         ttl,
+		JournalRoot: journalRoot,
+		Fsync:       policy,
+		Obs:         reg,
+		Build: func(name string, w, h int) (*world.World, error) {
+			return tmpl.NewSession(w, h)
+		},
+	})
+
+	if debug != "" {
+		expvar.Publish("helpd", expvar.Func(func() any { return reg.StatsMap() }))
+		dl, err := net.Listen("tcp", debug)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "helpd: debug (expvar, pprof) served on http://%s/debug/\n", dl.Addr())
+		go http.Serve(dl, nil)
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := srvnet.NewMuxServer(mgr)
+	fmt.Fprintf(os.Stderr, "helpd: sessions served on %s\n", l.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "helpd: %v: draining (up to %v)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		// Stop the wire first so draining conns hear a typed error,
+		// then retire every session.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "helpd: connection drain: %v\n", err)
+		}
+		if err := mgr.Drain(ctx); err != nil {
+			return fmt.Errorf("session drain: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "helpd: drained cleanly")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
 }
 
 func exitOn(err error) {

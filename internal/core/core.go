@@ -168,6 +168,15 @@ type Help struct {
 	// stats goroutine's running-command gauge never needs the lock.
 	mProcsLive obs.Counter
 
+	// mWindows mirrors len(h.byID) the same way, so a session manager
+	// can list many sessions without taking every actor lock.
+	mWindows obs.Counter
+
+	// maxProcs and errorsCap are the per-session resource bounds
+	// installed by SetLimits; errorsCap is always positive.
+	maxProcs  int
+	errorsCap int
+
 	// statsPath is where helpfs serves the flat stats file, for the
 	// Metrics built-in.
 	statsPath string
@@ -186,6 +195,14 @@ type Help struct {
 	// file service) when windows come and go.
 	OnWindowCreated func(*Window)
 	OnWindowClosed  func(*Window)
+
+	// OnCrash, when set, is told about every recovered panic after the
+	// journal has been flushed and the crash report written. It runs
+	// with the actor lock held: implementations must not call back into
+	// locking methods of this Help, and must not block. The
+	// multi-session daemon uses it to mark the session crashed while
+	// the rest keep serving.
+	OnCrash func(where string, err error)
 
 	// rec is the session journal recorder, nil unless AttachJournal
 	// has connected one; panicCount tallies panics the event-loop and
@@ -212,6 +229,7 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 		applyq: make(chan func(), 256),
 		procs:  map[int]*proc{},
 	}
+	h9.errorsCap = defaultErrorsCap
 	h9.safeFS = fs.Serialized(&h9.mu)
 	h9.procIdle = sync.NewCond(&h9.mu)
 	// Row 0 is the column tab row; columns split the rest side by side.
@@ -378,6 +396,7 @@ func (h *Help) newWindowIn(col *Column) *Window {
 	w := newWindow(h.nextID)
 	h.nextID++
 	h.byID[w.ID] = w
+	h.mWindows.Add(1)
 	h.place(w, col)
 	if h.OnWindowCreated != nil {
 		h.OnWindowCreated(w)
@@ -541,6 +560,7 @@ func (h *Help) closeWindow(w *Window) {
 	}
 	h.colOf(w).removeWindow(w)
 	delete(h.byID, w.ID)
+	h.mWindows.Add(-1)
 	if h.curWin == w {
 		h.curWin = nil
 	}
@@ -614,9 +634,49 @@ func (h *Help) errorsWin() *Window {
 	return w
 }
 
-// errorsCap bounds the Errors window body (in runes): a chatty failing
-// command trims old output from the front instead of eating memory.
-const errorsCap = 64 * 1024
+// defaultErrorsCap bounds the Errors window body (in runes): a chatty
+// failing command trims old output from the front instead of eating
+// memory. SetLimits can lower it per session.
+const defaultErrorsCap = 64 * 1024
+
+// Limits are per-session resource bounds. A zero field keeps the
+// current value. They exist so one runaway session in a multi-session
+// process degrades visibly — refused commands, trimmed logs — instead
+// of eating the memory every other session runs in.
+type Limits struct {
+	// MaxProcs caps live external commands; further launches are
+	// refused with a line in Errors. Negative means unlimited.
+	MaxProcs int
+	// ErrorsCap caps the Errors window body, in runes.
+	ErrorsCap int
+	// QueueDepth resizes the apply queue. Only honored while the
+	// session is quiescent (no commands in flight); set it right after
+	// New, before serving.
+	QueueDepth int
+}
+
+// SetLimits installs per-session resource bounds.
+func (h *Help) SetLimits(l Limits) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if l.MaxProcs != 0 {
+		h.maxProcs = l.MaxProcs
+	}
+	if l.ErrorsCap > 0 {
+		h.errorsCap = l.ErrorsCap
+	}
+	if l.QueueDepth > 0 && l.QueueDepth != cap(h.applyq) &&
+		h.loopActive.Load() == 0 && len(h.applyq) == 0 && len(h.procs) == 0 {
+		h.applyq = make(chan func(), l.QueueDepth)
+	}
+}
+
+// WindowCount reports the number of windows without taking the actor
+// lock; it is maintained as an atomic alongside the window table.
+func (h *Help) WindowCount() int { return int(h.mWindows.Load()) }
+
+// ProcCount reports the number of live external commands, lock-free.
+func (h *Help) ProcCount() int { return int(h.mProcsLive.Load()) }
 
 // AppendErrors appends text to the Errors window, trimming from the
 // front — at a line boundary when possible — once the body exceeds
@@ -634,7 +694,7 @@ func (h *Help) appendErrors(s string) {
 	w := h.errorsWin()
 	w.Body.Insert(w.Body.Len(), s)
 	w.Body.Commit()
-	if over := w.Body.Len() - errorsCap; over > 0 {
+	if over := w.Body.Len() - h.errorsCap; over > 0 {
 		cut := over
 		// Round the cut up to the next line start so the window never
 		// opens mid-line; one huge line falls back to an exact trim.

@@ -108,12 +108,12 @@ func TestExitIgnoresUnsavableWindows(t *testing.T) {
 func TestAppendErrorsTrimsFront(t *testing.T) {
 	h, _ := world(t)
 	line := strings.Repeat("x", 127) + "\n"
-	for i := 0; i < errorsCap/len(line)+64; i++ {
+	for i := 0; i < defaultErrorsCap/len(line)+64; i++ {
 		h.AppendErrors(line)
 	}
 	w := h.Errors()
-	if n := w.Body.Len(); n > errorsCap {
-		t.Fatalf("Errors body %d runes, cap %d", n, errorsCap)
+	if n := w.Body.Len(); n > defaultErrorsCap {
+		t.Fatalf("Errors body %d runes, cap %d", n, defaultErrorsCap)
 	}
 	body := w.Body.String()
 	// The trim lands on a line boundary, so the window still starts
@@ -137,9 +137,9 @@ func TestAppendErrorsTrimsFront(t *testing.T) {
 // interior line boundary near the cap.
 func TestAppendErrorsOversizedBlob(t *testing.T) {
 	h, _ := world(t)
-	h.AppendErrors(strings.Repeat("y", errorsCap*2))
+	h.AppendErrors(strings.Repeat("y", defaultErrorsCap*2))
 	w := h.Errors()
-	if n := w.Body.Len(); n > errorsCap {
-		t.Fatalf("Errors body %d runes after blob, cap %d", n, errorsCap)
+	if n := w.Body.Len(); n > defaultErrorsCap {
+		t.Fatalf("Errors body %d runes after blob, cap %d", n, defaultErrorsCap)
 	}
 }

@@ -334,6 +334,9 @@ func (h *Help) PanicReport(where string, r any, stack []byte) {
 			detail = " (crash report " + name + ")"
 		}
 	}
+	if h.OnCrash != nil {
+		h.OnCrash(where, fmt.Errorf("recovered panic: %v", r))
+	}
 	h.reportFault(where, fmt.Errorf("recovered panic: %v%s", r, detail))
 }
 
@@ -343,6 +346,27 @@ func (h *Help) PanicCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.panicCount
+}
+
+// SyncJournal makes the journal durable right now: sweep any pending
+// state, write a checkpoint, and flush everything to the medium. It is
+// what signal handlers and the daemon's drain call before exiting, so
+// a SIGTERM never loses the WAL tail. With no journal attached it is a
+// no-op. It returns the first write error the journal has seen.
+func (h *Help) SyncJournal() error {
+	h.mu.Lock()
+	rec := h.rec
+	if rec == nil {
+		h.mu.Unlock()
+		return nil
+	}
+	h.JournalSweep()
+	snap := encodeSnapshot(h)
+	h.mu.Unlock()
+	// Enqueue outside the lock: a full journal queue must never stall
+	// the actor.
+	rec.w.Checkpoint(snap)
+	return rec.w.Flush()
 }
 
 // ---------------------------------------------------------------------
@@ -720,6 +744,7 @@ func restoreSnapshot(h *Help, snap *snapshot) error {
 func (h *Help) adoptWindow(id int) *Window {
 	w := newWindow(id)
 	h.byID[id] = w
+	h.mWindows.Add(1)
 	if id >= h.nextID {
 		h.nextID = id + 1
 	}

@@ -54,6 +54,17 @@ func (w procWriter) Write(p []byte) (int, error) {
 // (helpsel snapshot taken, serialized namespace view, kill flag and
 // streams attached).
 func (h *Help) startProc(name string, winID int, ctx *shell.Context, run func(*shell.Context) int) *proc {
+	if h.maxProcs > 0 && len(h.procs) >= h.maxProcs {
+		// The bound degrades visibly: the refusal lands in Errors where
+		// the user (or the session's operator) can see it, instead of
+		// the process quietly accumulating goroutines.
+		h.appendErrors(fmt.Sprintf("%s: refused: session limit of %d live commands reached (Kill one first)\n",
+			name, h.maxProcs))
+		if h.Obs != nil {
+			h.Obs.Event("limit", fmt.Sprintf("proc refused: %s", name))
+		}
+		return nil
+	}
 	h.procSeq++
 	p := &proc{
 		id:    h.procSeq,
@@ -176,6 +187,15 @@ func (h *Help) killProcsForWindow(w *Window) {
 			h.appendErrors(fmt.Sprintf("Close!: killing %s\n", p.name))
 		}
 	}
+}
+
+// KillAll kills every live command, the way Exit's second step does;
+// the daemon's drain and crash containment use it to stop a session's
+// work without going through the command language.
+func (h *Help) KillAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.killAllProcs()
 }
 
 // killAllProcs kills every live command (the second step of Exit over

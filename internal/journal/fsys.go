@@ -48,6 +48,10 @@ func (d dirFS) Create(name string) (File, error) {
 	return os.Create(filepath.Join(d.dir, name))
 }
 
+func (d dirFS) CreateExclusive(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+}
+
 func (d dirFS) ReadFile(name string) ([]byte, error) {
 	return os.ReadFile(filepath.Join(d.dir, name))
 }
@@ -97,6 +101,16 @@ type memFile struct {
 func (m *MemFS) Create(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) CreateExclusive(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; ok {
+		return nil, fmt.Errorf("journal: %s: %w", name, os.ErrExist)
+	}
 	m.files[name] = nil
 	return &memFile{fs: m, name: name}, nil
 }

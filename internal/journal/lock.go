@@ -1,0 +1,122 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// LockName is the lockfile guarding a journal directory. One holder at
+// a time: two daemons opening the same session state would interleave
+// segments and corrupt both.
+const LockName = "journal.lock"
+
+// ErrLocked reports that another live process holds the journal
+// directory. Test with errors.Is.
+var ErrLocked = errors.New("journal: directory locked")
+
+// ExclusiveFsys is implemented by backends whose Create can be atomic
+// with an existence check. Both DirFS (O_EXCL) and MemFS implement it;
+// a backend that does not gets a best-effort check-then-create.
+type ExclusiveFsys interface {
+	CreateExclusive(name string) (File, error)
+}
+
+// DirLock is a held journal-directory lock.
+type DirLock struct {
+	fsys Fsys
+	pid  int
+}
+
+// AcquireLock takes the directory lock, writing the holder's pid into
+// the lockfile. A lockfile whose recorded pid no longer names a live
+// process is stale — the previous daemon died without releasing — and
+// is stolen. A live holder (including this process, which covers two
+// managers opened over one directory) yields ErrLocked with the pid in
+// the message.
+func AcquireLock(fsys Fsys) (*DirLock, error) {
+	pid := os.Getpid()
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := createExclusive(fsys, LockName)
+		if err == nil {
+			if _, werr := f.Write([]byte(strconv.Itoa(pid) + "\n")); werr != nil {
+				f.Close()
+				fsys.Remove(LockName)
+				return nil, werr
+			}
+			f.Sync()
+			if cerr := f.Close(); cerr != nil {
+				fsys.Remove(LockName)
+				return nil, cerr
+			}
+			return &DirLock{fsys: fsys, pid: pid}, nil
+		}
+		holder, rerr := lockHolder(fsys)
+		if rerr != nil {
+			// Raced with a concurrent release; try again.
+			continue
+		}
+		if holder > 0 && holder != pid && !pidAlive(holder) {
+			fsys.Remove(LockName)
+			continue
+		}
+		return nil, fmt.Errorf("%w by pid %d", ErrLocked, holder)
+	}
+	return nil, ErrLocked
+}
+
+// Release gives the lock up. Safe to call more than once.
+func (l *DirLock) Release() error {
+	if l == nil || l.fsys == nil {
+		return nil
+	}
+	fsys := l.fsys
+	l.fsys = nil
+	if err := fsys.Remove(LockName); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+func createExclusive(fsys Fsys, name string) (File, error) {
+	if ex, ok := fsys.(ExclusiveFsys); ok {
+		return ex.CreateExclusive(name)
+	}
+	names, err := fsys.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if n == name {
+			return nil, fmt.Errorf("journal: %s: %w", name, os.ErrExist)
+		}
+	}
+	return fsys.Create(name)
+}
+
+func lockHolder(fsys Fsys) (int, error) {
+	b, err := fsys.ReadFile(LockName)
+	if err != nil {
+		return 0, err
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, nil // unreadable holder: treat as unknown but present
+	}
+	return pid, nil
+}
+
+// pidAlive reports whether pid names a live process: signal 0 probes
+// existence without delivering anything. EPERM means alive but owned
+// by someone else.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -14,12 +14,17 @@ import (
 // Figure 4: "headers messages delete reread send".
 func Install(sh *shell.Shell, mboxPath, root string) error {
 	fs := sh.FS()
-	if err := fs.MkdirAll("/help/mail"); err != nil {
-		return err
-	}
-	if err := fs.WriteFile("/help/mail/stf",
-		[]byte("headers messages delete reread send\n")); err != nil {
-		return err
+	// The tool file may already be present — e.g. provided by a sealed
+	// shared namespace in the multi-session daemon — in which case only
+	// the per-shell program registrations below are needed.
+	if !fs.Exists("/help/mail/stf") {
+		if err := fs.MkdirAll("/help/mail"); err != nil {
+			return err
+		}
+		if err := fs.WriteFile("/help/mail/stf",
+			[]byte("headers messages delete reread send\n")); err != nil {
+			return err
+		}
 	}
 	register := func(name string, fn shell.Builtin) error {
 		return sh.RegisterProgram("/help/mail/"+name, fn)

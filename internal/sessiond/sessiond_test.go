@@ -1,0 +1,529 @@
+package sessiond
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfile"
+	"repro/internal/journal"
+	"repro/internal/shell"
+	"repro/internal/srvnet"
+	"repro/internal/world"
+)
+
+// The template costs one full world build; every test stamps sessions
+// from the same one.
+var (
+	tmplOnce sync.Once
+	tmpl     *world.Template
+	tmplErr  error
+)
+
+func sharedTemplate(t *testing.T) *world.Template {
+	t.Helper()
+	tmplOnce.Do(func() { tmpl, tmplErr = world.NewTemplate() })
+	if tmplErr != nil {
+		t.Fatal(tmplErr)
+	}
+	return tmpl
+}
+
+// waitUntil polls cond with a deadline, the pattern the world
+// concurrency tests use.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// recorder captures the worlds a Manager builds, keyed by session
+// name, so tests can reach inside sessions the daemon API hides.
+type recorder struct {
+	mu     sync.Mutex
+	worlds map[string]*world.World
+}
+
+func (r *recorder) build(tmpl *world.Template) func(string, int, int) (*world.World, error) {
+	return func(name string, w, h int) (*world.World, error) {
+		ww, err := tmpl.NewSession(w, h)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.worlds[name] = ww
+		r.mu.Unlock()
+		return ww, nil
+	}
+}
+
+func (r *recorder) world(name string) *world.World {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.worlds[name]
+}
+
+// newManager builds a Manager over the shared template, recording
+// worlds, and drains it at cleanup so no goroutines leak.
+func newManager(t *testing.T, mod func(*Config)) (*Manager, *recorder) {
+	t.Helper()
+	rec := &recorder{worlds: map[string]*world.World{}}
+	cfg := Config{Width: 60, Height: 20, Build: rec.build(sharedTemplate(t))}
+	if mod != nil {
+		mod(&cfg)
+	}
+	m := NewManager(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return m, rec
+}
+
+// memJournals hands every session its own MemFS, retained for
+// post-drain inspection.
+type memJournals struct {
+	mu   sync.Mutex
+	dirs map[string]*journal.MemFS
+}
+
+func newMemJournals() *memJournals {
+	return &memJournals{dirs: map[string]*journal.MemFS{}}
+}
+
+func (j *memJournals) open(name string) (journal.Fsys, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if d, ok := j.dirs[name]; ok {
+		return d, nil
+	}
+	d := journal.NewMemFS()
+	j.dirs[name] = d
+	return d, nil
+}
+
+func (j *memJournals) dir(name string) *journal.MemFS {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dirs[name]
+}
+
+func TestAttachSpawnsIsolatedSessions(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m, _ := newManager(t, nil)
+
+	fsA, detachA, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsB, detachB, err := m.AttachSession("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionCount() != 2 {
+		t.Fatalf("SessionCount = %d, want 2", m.SessionCount())
+	}
+
+	// Private writes stay private.
+	if err := fsA.WriteFile("/tmp/only-a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if fsB.Exists("/tmp/only-a") {
+		t.Fatal("session a's write leaked into session b")
+	}
+	// Both sessions share the sealed userland.
+	if !fsB.Exists("/bin/help/parse") {
+		t.Fatal("session b is missing the shared userland")
+	}
+
+	// The sessions table is served inside every session's namespace,
+	// and reading it takes the session lock then the manager lock —
+	// the sanctioned order.
+	table, err := fsA.ReadFile(world.MountRoot + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a active attached=1", "b active attached=1"} {
+		if !strings.Contains(string(table), want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	// A second attach to a live session shares it.
+	fsA2, detachA2, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsA2.Exists("/tmp/only-a") {
+		t.Fatal("re-attach did not land in the same session")
+	}
+	if got := m.Attached("a"); got != 2 {
+		t.Fatalf("Attached(a) = %d, want 2", got)
+	}
+	detachA2()
+	detachA()
+	detachB()
+	if got := m.Attached("a"); got != 0 {
+		t.Fatalf("Attached(a) = %d after detach, want 0", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	waitUntil(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+func TestBadSessionNames(t *testing.T) {
+	m, _ := newManager(t, nil)
+	for _, name := range []string{"", ".", "..", "a/b", "a b", "x\n", strings.Repeat("z", 65)} {
+		if _, _, err := m.AttachSession(name); !errors.Is(err, ErrBadName) {
+			t.Fatalf("AttachSession(%q): err = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestMaxSessionsRefusedAsBusy(t *testing.T) {
+	m, _ := newManager(t, func(c *Config) { c.MaxSessions = 1 })
+	_, detach, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	_, _, err = m.AttachSession("b")
+	if !errors.Is(err, ErrMaxSessions) || !errors.Is(err, srvnet.ErrBusy) {
+		t.Fatalf("err = %v, want ErrMaxSessions wrapping srvnet.ErrBusy", err)
+	}
+}
+
+func TestReapIdleAndRespawn(t *testing.T) {
+	m, _ := newManager(t, func(c *Config) { c.TTL = 30 * time.Millisecond })
+	fs, detach, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/tmp/mark", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attached sessions are never reaped, however idle.
+	time.Sleep(50 * time.Millisecond)
+	if n := m.ReapIdle(); n != 0 {
+		t.Fatalf("reaped %d attached sessions", n)
+	}
+	detach()
+
+	waitUntil(t, "idle session to be reaped", func() bool { return m.SessionCount() == 0 })
+
+	// Re-attach spawns a fresh world: the old private state is gone.
+	fs2, detach2, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach2()
+	if fs2.Exists("/tmp/mark") {
+		t.Fatal("reaped session's state survived into the respawn")
+	}
+}
+
+// A panic inside one session is contained: that session is marked
+// crashed and refuses new attaches, every other session keeps serving.
+func TestCrashedSessionIsContained(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m, rec := newManager(t, nil)
+
+	_, detachA, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detachA()
+	fsB, detachB, err := m.AttachSession("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detachB()
+
+	wa := rec.world("a")
+	wa.Shell.Register("panicnow", func(ctx *shell.Context, args []string) int {
+		panic("injected session fault")
+	})
+	win := wa.Help.NewWindow()
+	wa.Help.Execute(win, "panicnow")
+
+	waitUntil(t, "session a to be marked crashed", func() bool {
+		return m.countState(stateCrashed) == 1
+	})
+
+	// Session b never noticed.
+	if err := fsB.WriteFile("/tmp/alive", []byte("x")); err != nil {
+		t.Fatalf("session b stopped serving: %v", err)
+	}
+	table, err := fsB.ReadFile(world.MountRoot + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(table), "a crashed") ||
+		!strings.Contains(string(table), "injected session fault") {
+		t.Fatalf("table does not show the crash:\n%s", table)
+	}
+	if !strings.Contains(string(table), "b active") {
+		t.Fatalf("table lost the healthy session:\n%s", table)
+	}
+
+	// New attaches to the crashed session are refused with the reason.
+	_, _, err = m.AttachSession("a")
+	if !errors.Is(err, ErrCrashed) || !strings.Contains(err.Error(), "injected session fault") {
+		t.Fatalf("attach to crashed session: err = %v, want ErrCrashed with reason", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain with a crashed session: %v", err)
+	}
+	waitUntil(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// A journal write error in one session crashes only that session.
+func TestJournalFaultCrashesOnlyItsSession(t *testing.T) {
+	mems := newMemJournals()
+	m, rec := newManager(t, func(c *Config) {
+		c.JournalFS = func(name string) (journal.Fsys, error) {
+			fsys, _ := mems.open(name)
+			if name == "a" {
+				// A journal write a few operations in fails; the writer
+				// degrades. (The lockfile and the attach checkpoint also
+				// count as writes, so the fault fires once the session
+				// is up and mutating.)
+				return faultfile.Wrap(fsys.(*journal.MemFS),
+					faultfile.NewScript(faultfile.Fault{Op: "write", After: 5, Kind: faultfile.WriteErr})), nil
+			}
+			return fsys, nil
+		}
+	})
+
+	_, detachA, err := m.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detachA()
+	fsB, detachB, err := m.AttachSession("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detachB()
+
+	// Journaled mutations eventually trip the scripted fault.
+	waitUntil(t, "journal fault to crash session a", func() bool {
+		rec.world("a").Help.NewWindow()
+		return m.countState(stateCrashed) == 1
+	})
+	if err := fsB.WriteFile("/tmp/alive", []byte("x")); err != nil {
+		t.Fatalf("session b stopped serving: %v", err)
+	}
+	table, _ := fsB.ReadFile(world.MountRoot + "/sessions")
+	if !strings.Contains(string(table), "a crashed") || !strings.Contains(string(table), "journal") {
+		t.Fatalf("table does not blame the journal:\n%s", table)
+	}
+}
+
+// fingerprint summarizes the session state a drain must preserve.
+// Rendering is explicit in core (and RecoverSession renders), so render
+// before comparing screens.
+func fingerprint(h *core.Help) string {
+	h.Render()
+	var b strings.Builder
+	for _, w := range h.Windows() {
+		b.WriteString(w.Tag.String())
+		b.WriteByte('\n')
+		b.WriteString(w.Body.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(h.Screen().String())
+	return b.String()
+}
+
+// Drain must leave every session's journal checkpointed, flushed,
+// unlocked, and recoverable byte for byte.
+func TestDrainCheckpointsEverySession(t *testing.T) {
+	mems := newMemJournals()
+	m, rec := newManager(t, func(c *Config) {
+		c.JournalFS = func(name string) (journal.Fsys, error) { return mems.open(name) }
+	})
+
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		_, detach, err := m.AttachSession(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer detach()
+		w := rec.world(n)
+		if _, err := w.Help.OpenFile("/usr/rob/lib/profile", ""); err != nil {
+			t.Fatal(err)
+		}
+		win := w.Help.NewWindow()
+		win.Body.SetString("state private to " + n)
+	}
+
+	want := map[string]string{}
+	for _, n := range names {
+		rec.world(n).Help.WaitIdle()
+		want[n] = fingerprint(rec.world(n).Help)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	for _, n := range names {
+		dir := mems.dir(n)
+		// The drain released the directory lock.
+		l, err := journal.AcquireLock(dir)
+		if err != nil {
+			t.Fatalf("%s: journal still locked after drain: %v", n, err)
+		}
+		l.Release()
+		// The journal recovers into an identical session.
+		fresh, err := sharedTemplate(t).NewSession(60, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.RecoverSession(fresh.Help, dir); err != nil {
+			t.Fatalf("%s: recovery after drain: %v", n, err)
+		}
+		if got := fingerprint(fresh.Help); got != want[n] {
+			t.Fatalf("%s: recovered state differs from pre-drain state:\n-- got --\n%s\n-- want --\n%s",
+				n, got, want[n])
+		}
+	}
+}
+
+func TestDrainRefusesNewAttaches(t *testing.T) {
+	m, _ := newManager(t, nil)
+	if _, detach, err := m.AttachSession("a"); err != nil {
+		t.Fatal(err)
+	} else {
+		detach()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := m.AttachSession("b")
+	if !errors.Is(err, ErrDraining) || !errors.Is(err, srvnet.ErrDraining) {
+		t.Fatalf("attach during drain: err = %v, want ErrDraining wrapping srvnet.ErrDraining", err)
+	}
+}
+
+// Two managers over one journal directory: the lockfile keeps the
+// second from opening the same session state.
+func TestSecondManagerLockedOut(t *testing.T) {
+	mems := newMemJournals()
+	jfs := func(name string) (journal.Fsys, error) { return mems.open(name) }
+	m1, _ := newManager(t, func(c *Config) { c.JournalFS = jfs })
+	m2, _ := newManager(t, func(c *Config) { c.JournalFS = jfs })
+
+	_, detach, err := m1.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	if _, _, err := m2.AttachSession("a"); !errors.Is(err, journal.ErrLocked) {
+		t.Fatalf("second manager attach: err = %v, want journal.ErrLocked", err)
+	}
+}
+
+// A new manager over a drained manager's journals recovers the
+// sessions on first attach.
+func TestSpawnRecoversFromPriorJournal(t *testing.T) {
+	mems := newMemJournals()
+	jfs := func(name string) (journal.Fsys, error) { return mems.open(name) }
+
+	m1, rec1 := newManager(t, func(c *Config) { c.JournalFS = jfs })
+	_, detach, err := m1.AttachSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := rec1.world("a")
+	win := w1.Help.NewWindow()
+	win.Body.SetString("survives the restart")
+	w1.Help.WaitIdle()
+	want := fingerprint(w1.Help)
+	detach()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rec2 := newManager(t, func(c *Config) { c.JournalFS = jfs })
+	_, detach2, err := m2.AttachSession("a")
+	if err != nil {
+		t.Fatalf("attach after restart: %v", err)
+	}
+	defer detach2()
+	if got := fingerprint(rec2.world("a").Help); got != want {
+		t.Fatalf("restarted session differs:\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// Concurrent attaches to the same new session build one world, not N.
+func TestConcurrentAttachSpawnsOnce(t *testing.T) {
+	var builds int32
+	m, _ := newManager(t, func(c *Config) {
+		inner := c.Build
+		c.Build = func(name string, w, h int) (*world.World, error) {
+			atomic.AddInt32(&builds, 1)
+			return inner(name, w, h)
+		}
+	})
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, detach, err := m.AttachSession("shared")
+			errs[i] = err
+			if err == nil {
+				detach()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Fatalf("spawned %d worlds for one session name", got)
+	}
+	if m.SessionCount() != 1 {
+		t.Fatalf("SessionCount = %d, want 1", m.SessionCount())
+	}
+}

@@ -1,0 +1,143 @@
+package sessiond
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/srvnet"
+	"repro/internal/world"
+)
+
+// soakDuration is short by default so the soak rides along with tier-1;
+// `make soak` stretches it via SOAK_SECONDS.
+func soakDuration() time.Duration {
+	if s := os.Getenv("SOAK_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 1500 * time.Millisecond
+}
+
+// TestDaemonSoak churns the full daemon stack — Manager behind the mux
+// server on a real TCP listener — with concurrent attach/detach cycles,
+// namespace traffic, injected session crashes, and abrupt disconnects,
+// while the reaper retires idle sessions underneath. At the end a
+// graceful drain must succeed and no goroutines may leak.
+func TestDaemonSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	jfs := newMemJournals()
+	m, _ := newManager(t, func(c *Config) {
+		c.TTL = 40 * time.Millisecond
+		c.JournalFS = jfs.open
+		c.MaxSessions = 64
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := srvnet.NewMuxServer(m)
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(l)
+	}()
+	addr := l.Addr().String()
+
+	var (
+		ops     atomic.Int64 // successful namespace operations
+		kills   atomic.Int64 // injected session crashes
+		stop    = make(chan struct{})
+		workers sync.WaitGroup
+	)
+	const nworkers = 8
+	for i := 0; i < nworkers; i++ {
+		workers.Add(1)
+		go func(seed int64) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("s%d", rng.Intn(10))
+				c, err := srvnet.Dial(addr)
+				if err != nil {
+					return // listener closed: drain has begun
+				}
+				// Attach may be refused (session crashed, server
+				// draining); the worker just moves on.
+				if err := c.Attach(name); err != nil {
+					c.Close()
+					continue
+				}
+				for j := 1 + rng.Intn(5); j > 0; j-- {
+					var err error
+					switch rng.Intn(4) {
+					case 0:
+						_, err = c.ReadFile(world.MountRoot + "/index")
+					case 1:
+						err = c.WriteFile("/tmp/soak", []byte(name))
+					case 2:
+						_, err = c.ReadFile(world.MountRoot + "/sessions")
+					case 3:
+						// Journaled mutation: opens a window.
+						err = c.WriteFile(world.MountRoot+"/ctl",
+							[]byte("open /usr/rob/src/help/help.c\n"))
+					}
+					if err == nil {
+						ops.Add(1)
+					}
+				}
+				if rng.Intn(12) == 0 && m.CrashSession(name, "soak: injected kill") {
+					kills.Add(1)
+				}
+				// Half the time hang up without a graceful goodbye; the
+				// server must treat it like any detach.
+				c.Close()
+			}
+		}(int64(i + 1))
+	}
+
+	time.Sleep(soakDuration())
+	close(stop)
+	workers.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after soak: %v", err)
+	}
+	<-serveDone
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain after soak: %v", err)
+	}
+
+	if ops.Load() == 0 {
+		t.Fatal("soak performed no successful operations")
+	}
+	t.Logf("soak: %d ops, %d injected kills, %d sessions at drain",
+		ops.Load(), kills.Load(), m.SessionCount())
+
+	waitUntil(t, "goroutines to settle after soak", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

@@ -76,6 +76,11 @@ type ReconnectingClient struct {
 	BackoffCap  time.Duration
 	// Seed makes the jitter deterministic. Zero means 1.
 	Seed int64
+	// Session, when set, names the session to attach to after every
+	// dial: against a multiplexing server (NewMuxServer), a redial
+	// transparently re-attaches, so reattach-after-disconnect needs no
+	// caller involvement.
+	Session string
 	// OnStateChange, when set, is called on every health transition
 	// with the state entered and the error that caused it (nil for
 	// StateConnected). Called from the operation's goroutine.
@@ -160,6 +165,12 @@ func (r *ReconnectingClient) client() (*Client, error) {
 	}
 	c.Timeout = r.opTimeout()
 	c.Obs = r.Obs
+	if r.Session != "" {
+		if err := c.Attach(r.Session); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("srvnet: attach %q: %w", r.Session, err)
+		}
+	}
 	if r.dialed {
 		r.Obs.Counter("srvnet.redials").Inc()
 	}
@@ -244,6 +255,13 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 		}
 		c, err := r.client()
 		if err != nil {
+			if errors.Is(err, ErrDraining) {
+				// The server is deliberately going away: redialing would
+				// just storm a host trying to shut down. Degrade now.
+				err = fmt.Errorf("%w: %w", ErrDegraded, err)
+				r.setState(StateDegraded, err)
+				return err
+			}
 			// Dial failure: nothing was sent, always retryable.
 			lastErr = err
 			r.setState(StateRetrying, err)
@@ -253,6 +271,12 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 		if err == nil {
 			r.setState(StateConnected, nil)
 			return nil
+		}
+		if errors.Is(err, ErrDraining) {
+			r.drop(c)
+			err = fmt.Errorf("%w: %w", ErrDegraded, err)
+			r.setState(StateDegraded, err)
+			return err
 		}
 		if !retryable(err) {
 			// The server answered: the connection is healthy, the

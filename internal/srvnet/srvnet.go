@@ -55,8 +55,15 @@ var (
 	// not usable afterward.
 	ErrProto = errors.New("srvnet: protocol error")
 	// ErrBusy is the reply to a connection the server cannot take on:
-	// the registry is full or the server is shutting down.
+	// the registry is full.
 	ErrBusy = errors.New("srvnet: server busy")
+	// ErrDraining is the reply once Shutdown has begun: the server is
+	// deliberately going away, so clients should degrade immediately
+	// instead of treating the condition as transient and redialing.
+	ErrDraining = errors.New("srvnet: server draining")
+	// ErrNoSession is the reply to an operation on a multiplexing server
+	// before the connection has attached to a session.
+	ErrNoSession = errors.New("srvnet: no session attached")
 	// ErrClientClosed is returned by operations on a closed Client.
 	ErrClientClosed = errors.New("srvnet: client closed")
 )
@@ -111,6 +118,8 @@ const (
 	codeBadMode  = "bad-mode"
 	codeProto    = "proto"
 	codeBusy     = "busy"
+	codeDraining = "draining"
+	codeNoSess   = "no-session"
 )
 
 var codeToErr = map[string]error{
@@ -122,6 +131,8 @@ var codeToErr = map[string]error{
 	codeBadMode:  vfs.ErrBadMode,
 	codeProto:    ErrProto,
 	codeBusy:     ErrBusy,
+	codeDraining: ErrDraining,
+	codeNoSess:   ErrNoSession,
 }
 
 // codeOf maps a server-side error to its wire code; "" if none applies.
@@ -139,6 +150,12 @@ func codeOf(err error) string {
 		return codePerm
 	case errors.Is(err, vfs.ErrBadMode):
 		return codeBadMode
+	case errors.Is(err, ErrDraining):
+		return codeDraining
+	case errors.Is(err, ErrBusy):
+		return codeBusy
+	case errors.Is(err, ErrNoSession):
+		return codeNoSess
 	}
 	return ""
 }
@@ -162,12 +179,24 @@ func errFromWire(msg, code string) error {
 	return errors.New(msg)
 }
 
-// Server exports one namespace. The zero-value timeouts and limits are
-// replaced by the Default* constants; set the fields before Serve to
-// override them.
+// Hub resolves attach handshakes for a server that multiplexes many
+// session namespaces over one listener (NewMuxServer). AttachSession
+// returns the session's namespace and a detach function the server
+// calls when the connection leaves the session (re-attach or close).
+// The returned namespace must be safe for concurrent use on its own —
+// the server does not serialize across sessions in mux mode — which a
+// core.Help SafeFS already is.
+type Hub interface {
+	AttachSession(name string) (fs *vfs.FS, detach func(), err error)
+}
+
+// Server exports one namespace, or — with a Hub — one namespace per
+// attached session. The zero-value timeouts and limits are replaced by
+// the Default* constants; set the fields before Serve to override them.
 type Server struct {
-	fs *vfs.FS
-	mu sync.Mutex
+	fs  *vfs.FS
+	hub Hub
+	mu  sync.Mutex
 
 	// IdleTimeout bounds how long a connection may sit between
 	// requests before the server closes it.
@@ -194,6 +223,16 @@ func NewServer(fs *vfs.FS) *Server {
 		conns:     map[net.Conn]struct{}{},
 		listeners: map[net.Listener]struct{}{},
 	}
+}
+
+// NewMuxServer wraps a session hub for serving. Connections carry no
+// namespace until they send an "attach" naming a session; the hub's
+// namespaces serialize themselves, so requests on different sessions
+// proceed in parallel.
+func NewMuxServer(hub Hub) *Server {
+	s := NewServer(nil)
+	s.hub = hub
+	return s
 }
 
 // Locker exposes the serialization lock so a host embedding the server
@@ -264,6 +303,13 @@ func (s *Server) ConnCount() int {
 	return len(s.conns)
 }
 
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.draining
+}
+
 // Serve accepts connections until the listener closes. When it does,
 // Serve closes every connection it accepted and waits for their
 // goroutines to finish before returning, so no goroutine outlives the
@@ -284,7 +330,14 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			s.closeConns()
+			// A listener closed out from under us takes its connections
+			// with it — but when Shutdown closed it, the drain owns the
+			// connections: they are being nudged so each can hear a typed
+			// draining reply before closing, and force-closing here would
+			// race that reply away.
+			if !s.isDraining() {
+				s.closeConns()
+			}
 			s.wg.Wait()
 			if errors.Is(err, net.ErrClosed) {
 				return nil
@@ -297,26 +350,46 @@ func (s *Server) Serve(l net.Listener) error {
 
 // ServeConn handles one connection until EOF, idle timeout, protocol
 // error, or server shutdown. A connection the server cannot take on
-// (registry full, draining) receives one busy reply and is closed.
+// receives one typed refusal — busy when the registry is full, draining
+// when Shutdown has begun — and is closed.
 func (s *Server) ServeConn(conn net.Conn) {
 	if !s.register(conn) {
+		refusal := response{Err: ErrBusy.Error(), Code: codeBusy}
+		if s.isDraining() {
+			refusal = response{Err: ErrDraining.Error(), Code: codeDraining}
+		}
 		enc := json.NewEncoder(conn)
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
-		enc.Encode(response{Err: ErrBusy.Error(), Code: codeBusy})
+		enc.Encode(refusal)
 		conn.Close()
 		return
 	}
 	defer s.unregister(conn)
+	// In mux mode the connection's namespace is chosen by its attach
+	// handshake; detach runs when the connection leaves the session.
+	fs := s.fs
+	var detach func()
+	defer func() {
+		if detach != nil {
+			detach()
+		}
+	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			// EOF, a closed or timed-out connection: nothing to say.
+			// EOF, a closed or timed-out connection: nothing to say —
+			// unless the server is draining, in which case the timeout is
+			// Shutdown's nudge and the client deserves to hear why its
+			// connection is going away instead of a silent hangup.
 			var ne net.Error
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 				errors.Is(err, net.ErrClosed) || (errors.As(err, &ne) && ne.Timeout()) {
+				if s.isDraining() {
+					s.reply(conn, enc, response{Err: ErrDraining.Error(), Code: codeDraining})
+				}
 				return
 			}
 			// A malformed frame deserves an explicit reply before the
@@ -328,7 +401,31 @@ func (s *Server) ServeConn(conn net.Conn) {
 			})
 			return
 		}
-		resp := s.handle(req)
+		if s.isDraining() {
+			// A request decoded after Shutdown began gets the typed
+			// refusal so the client degrades instead of redialing.
+			s.reply(conn, enc, response{Seq: req.Seq, Err: ErrDraining.Error(), Code: codeDraining})
+			return
+		}
+		if req.Op == "attach" {
+			resp := response{Seq: req.Seq}
+			if s.hub == nil {
+				resp.Err = "srvnet: server does not multiplex sessions"
+				resp.Code = codeProto
+			} else if nfs, ndetach, err := s.hub.AttachSession(req.Path); err != nil {
+				resp.Err, resp.Code = err.Error(), codeOf(err)
+			} else {
+				if detach != nil {
+					detach()
+				}
+				fs, detach = nfs, ndetach
+			}
+			if err := s.reply(conn, enc, resp); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.handle(req, fs)
 		resp.Seq = req.Seq
 		if err := s.reply(conn, enc, resp); err != nil {
 			return
@@ -378,14 +475,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// handle performs one operation under the lock.
-func (s *Server) handle(req request) response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// handle performs one operation on fs. In single-namespace mode the
+// server's mutex serializes all requests; in mux mode the per-session
+// namespaces serialize themselves, so requests on different sessions
+// proceed in parallel.
+func (s *Server) handle(req request, fs *vfs.FS) response {
+	if s.hub == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	if fs == nil {
+		return response{Err: ErrNoSession.Error(), Code: codeNoSess}
+	}
 	fail := func(err error) response { return response{Err: err.Error(), Code: codeOf(err)} }
 	switch req.Op {
 	case "read":
-		data, err := s.fs.ReadFile(req.Path)
+		data, err := fs.ReadFile(req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -393,16 +498,16 @@ func (s *Server) handle(req request) response {
 	case "write":
 		var err error
 		if req.Append {
-			err = s.fs.AppendFile(req.Path, req.Data)
+			err = fs.AppendFile(req.Path, req.Data)
 		} else {
-			err = s.fs.WriteFile(req.Path, req.Data)
+			err = fs.WriteFile(req.Path, req.Data)
 		}
 		if err != nil {
 			return fail(err)
 		}
 		return response{}
 	case "readdir":
-		ents, err := s.fs.ReadDir(req.Path)
+		ents, err := fs.ReadDir(req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -412,20 +517,20 @@ func (s *Server) handle(req request) response {
 		}
 		return response{Entries: out}
 	case "stat":
-		info, err := s.fs.Stat(req.Path)
+		info, err := fs.Stat(req.Path)
 		if err != nil {
 			return fail(err)
 		}
 		return response{Info: &entry{Name: info.Name, IsDir: info.IsDir, Size: info.Size, ModTime: info.ModTime}}
 	case "glob":
-		return response{Names: s.fs.Glob(req.Pattern)}
+		return response{Names: fs.Glob(req.Pattern)}
 	case "mkdir":
-		if err := s.fs.MkdirAll(req.Path); err != nil {
+		if err := fs.MkdirAll(req.Path); err != nil {
 			return fail(err)
 		}
 		return response{}
 	case "remove":
-		if err := s.fs.Remove(req.Path); err != nil {
+		if err := fs.Remove(req.Path); err != nil {
 			return fail(err)
 		}
 		return response{}
@@ -545,6 +650,15 @@ func (c *Client) poison() {
 		c.closed = true
 		c.conn.Close()
 	}
+}
+
+// Attach selects the session this connection's subsequent operations
+// apply to, on a server that multiplexes sessions (NewMuxServer). The
+// server spawns the session on first attach; re-attaching switches the
+// connection to another session.
+func (c *Client) Attach(session string) error {
+	_, err := c.rpc(request{Op: "attach", Path: session})
+	return err
 }
 
 // ReadFile reads a remote file.

@@ -44,6 +44,10 @@ type DumpEntry struct {
 // Dump snapshots every non-device file and directory plus the bind
 // table, in sorted path order. Devices are skipped: they are live
 // endpoints re-registered by whoever owns them, not persistable state.
+// Sealed subtrees are skipped too: they are immutable template state
+// grafted from elsewhere, reconstructed by whoever builds the
+// namespace, and persisting them would bloat every snapshot with data
+// that cannot have changed.
 func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
 	fs.lock()
 	defer fs.unlock()
@@ -59,7 +63,7 @@ func (fs *FS) Dump() ([]DumpEntry, map[string][]string) {
 			c := n.children[name]
 			cp := path.Join(p, name)
 			switch {
-			case c.device != nil:
+			case c.device != nil || c.sealed:
 				// skip
 			case c.dir:
 				entries = append(entries, DumpEntry{Path: cp, Dir: true})
@@ -100,7 +104,7 @@ func (fs *FS) RestoreDump(entries []DumpEntry, binds map[string][]string) error 
 	prune = func(p string, n *node) {
 		for name, c := range n.children {
 			cp := path.Join(p, name)
-			if c.device != nil {
+			if c.device != nil || c.sealed {
 				continue
 			}
 			if c.dir {

@@ -60,6 +60,9 @@ func (fs *FS) open(p string, mode int) (*File, error) {
 		return f, nil
 	}
 	if mode&OTRUNC != 0 && rw != OREAD {
+		if n.sealed {
+			return nil, sealErr(p)
+		}
 		n.data = n.data[:0]
 	}
 	if mode&OAPPEND != 0 {
@@ -146,6 +149,9 @@ func (f *File) Write(p []byte) (int, error) {
 			f.off += int64(k)
 		}
 		return k, err
+	}
+	if f.node.sealed {
+		return 0, sealErr(f.name)
 	}
 	if f.mode&OAPPEND != 0 {
 		f.off = int64(len(f.node.data))

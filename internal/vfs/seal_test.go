@@ -1,0 +1,111 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildShared(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	if err := fs.MkdirAll("/shared/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/shared/bin/tool", []byte("#!tool\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Seal("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSealRefusesMutation(t *testing.T) {
+	fs := buildShared(t)
+
+	wantPerm := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrPerm) {
+			t.Errorf("%s: err = %v, want ErrPerm", what, err)
+		}
+	}
+	wantPerm("overwrite", fs.WriteFile("/shared/bin/tool", []byte("x")))
+	wantPerm("create", fs.WriteFile("/shared/bin/new", []byte("x")))
+	wantPerm("mkdir", fs.MkdirAll("/shared/lib"))
+	wantPerm("append", fs.AppendFile("/shared/bin/tool", []byte("x")))
+	wantPerm("remove", fs.Remove("/shared/bin/tool"))
+	wantPerm("device", fs.RegisterDevice("/shared/bin/dev", nil))
+	_, err := fs.Create("/shared/bin/tool")
+	wantPerm("create-trunc", err)
+	_, err = fs.Open("/shared/bin/tool", OWRITE|OTRUNC)
+	wantPerm("open-trunc", err)
+	f, err := fs.Open("/shared/bin/tool", OWRITE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("x"))
+	wantPerm("file-write", err)
+	f.Close()
+
+	// Reads still work, and the content is untouched.
+	b, err := fs.ReadFile("/shared/bin/tool")
+	if err != nil || string(b) != "#!tool\n" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if ents, err := fs.ReadDir("/shared/bin"); err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestGraftSharesSealedSubtree(t *testing.T) {
+	shared := buildShared(t)
+
+	private := New()
+	if err := private.MkdirAll("/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := private.Graft("/shared/bin", shared, "/shared/bin"); err != nil {
+		t.Fatal(err)
+	}
+	// Union: private /bin shadows the shared toolchain behind it.
+	if err := private.Bind("/shared/bin", "/bin", After); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := private.ReadFile("/bin/tool")
+	if err != nil || string(b) != "#!tool\n" {
+		t.Fatalf("grafted read = %q, %v", b, err)
+	}
+	// Writes land in the private member, never the shared one.
+	if err := private.WriteFile("/bin/local", []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Exists("/shared/bin/local") {
+		t.Fatal("write leaked into the shared tree")
+	}
+	// Writing a shared name through the union shadows it in the private
+	// member; the shared tree is untouched.
+	if err := private.WriteFile("/bin/tool", []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := private.ReadFile("/bin/tool"); string(b) != "mine" {
+		t.Fatalf("shadowed read = %q", b)
+	}
+	if b, _ := shared.ReadFile("/shared/bin/tool"); string(b) != "#!tool\n" {
+		t.Fatalf("shared tree mutated: %q", b)
+	}
+	// Writing the grafted path directly (no private member in front) is
+	// refused.
+	if err := private.WriteFile("/shared/bin/tool", []byte("x")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("write to grafted file: err = %v, want ErrPerm", err)
+	}
+
+	// Grafting an unsealed subtree is a refused data race.
+	loose := New()
+	if err := loose.MkdirAll("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := private.Graft("/loose", loose, "/x"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("graft unsealed: err = %v, want ErrPerm", err)
+	}
+}

@@ -101,6 +101,10 @@ type node struct {
 	children map[string]*node
 	device   Device
 	mtime    int64
+	// sealed marks the node immutable. Sealed subtrees may be shared
+	// between namespaces (see Graft) whose views are serialized by
+	// different locks; immutability is what makes that safe.
+	sealed bool
 }
 
 // fsState is the namespace itself, shared by every view of it. Keeping
@@ -357,6 +361,71 @@ func (fs *FS) Unbind(mp string) {
 	delete(fs.st.binds, Clean(mp))
 }
 
+// sealErr is the uniform refusal for mutations under a seal: a wrapped
+// ErrPerm so callers that already degrade on permission errors (the
+// shell, the wire protocol) degrade visibly here too.
+func sealErr(p string) error {
+	return fmt.Errorf("%s: sealed: %w", p, ErrPerm)
+}
+
+// Seal marks the subtree rooted at p immutable: every write, create,
+// truncate, append, remove, or device registration under it fails with
+// a permission error. Sealing is how a namespace is prepared for
+// sharing — a sealed subtree can be grafted into many namespaces and
+// read concurrently without any lock coordination between them.
+// Sealing is permanent for the life of the tree.
+func (fs *FS) Seal(p string) error {
+	fs.lock()
+	defer fs.unlock()
+	n, err := fs.find(p)
+	if err != nil {
+		return err
+	}
+	sealTree(n)
+	return nil
+}
+
+func sealTree(n *node) {
+	n.sealed = true
+	for _, c := range n.children {
+		sealTree(c)
+	}
+}
+
+// Graft mounts the sealed subtree at srcPath in src's namespace at
+// mountpoint mp in this one, by reference: no copy is made, the two
+// namespaces share the nodes. The source subtree must already be
+// sealed — sharing mutable nodes between namespaces serialized by
+// different locks would be a data race. The mountpoint's parent is
+// created as needed; an existing file at mp is an error.
+func (fs *FS) Graft(mp string, src *FS, srcPath string) error {
+	fs.lock()
+	defer fs.unlock()
+	srcN, err := src.lookup(Clean(srcPath))
+	if err != nil {
+		return fmt.Errorf("graft %s: %w", srcPath, err)
+	}
+	if !srcN.sealed {
+		return fmt.Errorf("graft %s: source not sealed: %w", srcPath, ErrPerm)
+	}
+	mp = Clean(mp)
+	if err := fs.mkdirAll(path.Dir(mp)); err != nil {
+		return err
+	}
+	parent, base, err := fs.parentOf(mp)
+	if err != nil {
+		return err
+	}
+	if parent.sealed {
+		return sealErr(mp)
+	}
+	if _, ok := parent.children[base]; ok {
+		return fmt.Errorf("graft %s: %w", mp, ErrExist)
+	}
+	parent.children[base] = srcN
+	return nil
+}
+
 // MkdirAll creates directory p and any missing parents. It is a no-op if p
 // already exists as a directory.
 func (fs *FS) MkdirAll(p string) error {
@@ -371,6 +440,9 @@ func (fs *FS) mkdirAll(p string) error {
 	for _, elem := range split(p) {
 		child, ok := n.children[elem]
 		if !ok {
+			if n.sealed {
+				return sealErr(p)
+			}
 			child = &node{name: elem, dir: true, children: map[string]*node{}}
 			n.children[elem] = child
 			made = true
@@ -428,6 +500,9 @@ func (fs *FS) writeFile(p string, data []byte) error {
 		if child.dir {
 			return fmt.Errorf("%s: %w", p, ErrIsDir)
 		}
+		if child.sealed {
+			return sealErr(p)
+		}
 		if child.device != nil {
 			return fs.writeDevice(child, data)
 		}
@@ -435,6 +510,9 @@ func (fs *FS) writeFile(p string, data []byte) error {
 		child.mtime = fs.tick()
 		fs.mutated(MutWrite, p, data, "", 0)
 		return nil
+	}
+	if parent.sealed {
+		return sealErr(p)
 	}
 	parent.children[base] = &node{name: base, data: append([]byte(nil), data...), mtime: fs.tick()}
 	fs.mutated(MutWrite, p, data, "", 0)
@@ -520,6 +598,9 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 		_, err = h.WriteAt(data, -1)
 		return err
 	}
+	if n.sealed {
+		return sealErr(p)
+	}
 	n.data = append(n.data, data...)
 	n.mtime = fs.tick()
 	fs.mutated(MutAppend, p, data, "", 0)
@@ -538,6 +619,9 @@ func (fs *FS) RegisterDevice(p string, dev Device) error {
 	parent, base, err := fs.parentOf(p)
 	if err != nil {
 		return err
+	}
+	if parent.sealed {
+		return sealErr(p)
 	}
 	parent.children[base] = &node{name: base, device: dev}
 	return nil
@@ -653,6 +737,9 @@ func (fs *FS) remove(p string) error {
 		}
 		if child.dir && len(child.children) > 0 {
 			return fmt.Errorf("%s: directory not empty", p)
+		}
+		if parent.sealed || child.sealed {
+			return sealErr(p)
 		}
 		wasDevice := child.device != nil
 		delete(parent.children, base)

@@ -1,0 +1,101 @@
+package world
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfile"
+	"repro/internal/journal"
+)
+
+// The single-session signal handler's guarantee: after SyncJournal
+// returns, the journal on the medium is complete — a process killed at
+// that instant (simulated by discarding every later write with a
+// faultfile crash boundary) recovers the session byte for byte,
+// including mutations that were still in flight when the signal hit.
+func TestSignalExitFlushIsRecoverable(t *testing.T) {
+	mem := journal.NewMemFS()
+
+	w, err := Build(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	jw, err := journal.Open(mem, journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Help.AttachJournal(jw, 0)
+
+	// Mutations a signal could interrupt: no WaitIdle, no flush.
+	win, err := w.Help.OpenFile(SrcDir+"/help.c", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Help.Execute(win, "echo interrupted by SIGTERM")
+	w.Help.WaitIdle() // command output must land before the fingerprint
+	want := recoverFingerprint(w.Help)
+
+	// What the signal handler does before os.Exit.
+	if err := w.Help.SyncJournal(); err != nil {
+		t.Fatalf("SyncJournal: %v", err)
+	}
+
+	// The journal as the medium holds it at exit time: everything
+	// after the flush boundary would have been lost to the exit anyway.
+	frozen := mem.Clone()
+
+	fresh, err := Build(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RecoverSession(fresh.Help, frozen)
+	if err != nil {
+		t.Fatalf("recovery after signal flush: %v", err)
+	}
+	if res.Torn {
+		t.Fatalf("flushed journal recovered torn: %s", res.TornReason)
+	}
+	if got := recoverFingerprint(fresh.Help); got != want {
+		t.Fatalf("recovered state differs from state at signal time:\n-- got --\n%s\n-- want --\n%s",
+			got, want)
+	}
+	jw.Close()
+}
+
+// A signal landing while the journal is already degraded (disk gone
+// bad) must not hang or panic the handler: SyncJournal reports the
+// write error and the process can still exit.
+func TestSignalExitOnDegradedJournal(t *testing.T) {
+	mem := journal.NewMemFS()
+	// Every write fails from the start; the writer degrades on the
+	// attach checkpoint.
+	bad := faultfile.Wrap(mem, faultfile.NewScript(
+		faultfile.Fault{Op: "write", After: 0, Kind: faultfile.WriteErr},
+		faultfile.Fault{Op: "write", After: 1, Kind: faultfile.WriteErr},
+	))
+
+	w, err := Build(80, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, err := journal.Open(bad, journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := make(chan struct{})
+	jw.OnError = func(error) { close(degraded) }
+	w.Help.AttachJournal(jw, 0)
+
+	if _, err := w.Help.OpenFile(Profile, ""); err != nil {
+		t.Fatal(err)
+	}
+	<-degraded
+
+	if err := w.Help.SyncJournal(); err == nil {
+		t.Fatal("SyncJournal on a degraded journal reported success")
+	}
+	jw.Close()
+}

@@ -1,0 +1,135 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/helpfs"
+	"repro/internal/mail"
+	"repro/internal/shell"
+	"repro/internal/userland"
+	"repro/internal/vfs"
+
+	"repro/internal/adb"
+	"repro/internal/core"
+)
+
+// sharedRoots are the read-only parts of the world every session sees
+// identically: the tool binaries, libraries, system sources, network
+// stubs, and the /help tool tree. The template seals them once; each
+// session grafts the sealed subtrees (by reference, no copy) and
+// union-binds them behind a private member, so a session can shadow a
+// shared file locally but never mutate it.
+var sharedRoots = []string{"/bin", "/lib", "/sys", "/net", "/help"}
+
+// privateRoots are the mutable, per-session parts: the user's home and
+// source tree (pre-built, so sessions skip the initial mk), the
+// scratch space, the mailbox, and the device directory. The template
+// snapshots them once and replays the snapshot into every session.
+var privateRoots = []string{"/usr", "/tmp", "/mail", "/dev"}
+
+// Template is a pre-built world from which sessions are mass-produced:
+// one shared sealed namespace plus a snapshot of the private parts.
+// Building the template costs one full Build (sources, mailbox, the
+// initial mk); stamping a session out of it costs two orders of
+// magnitude less, which is what lets one daemon host thousands.
+type Template struct {
+	fs   *vfs.FS
+	priv []vfs.DumpEntry
+}
+
+// NewTemplate builds the master world and prepares it for sharing.
+func NewTemplate() (*Template, error) {
+	base, err := Build(80, 24)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range sharedRoots {
+		if err := base.FS.Seal(r); err != nil {
+			return nil, fmt.Errorf("template: seal %s: %w", r, err)
+		}
+	}
+	if err := base.FS.Seal("/mnt/term"); err != nil {
+		return nil, fmt.Errorf("template: seal /mnt/term: %w", err)
+	}
+	entries, _ := base.FS.Dump()
+	var priv []vfs.DumpEntry
+	for _, e := range entries {
+		for _, r := range privateRoots {
+			if e.Path == r || strings.HasPrefix(e.Path, r+"/") {
+				priv = append(priv, e)
+				break
+			}
+		}
+	}
+	return &Template{fs: base.FS, priv: priv}, nil
+}
+
+// NewSession stamps out an independent world on a w x h screen: a fresh
+// namespace with the template's shared subtrees grafted read-only and
+// its private subtrees replayed as session-owned copies, a fresh shell,
+// process table, help instance, and file service. Sessions share no
+// mutable state with each other or with the template; the sealed
+// shared nodes are safe to read from any number of sessions at once.
+func (t *Template) NewSession(w, h int) (*World, error) {
+	fs := vfs.New()
+	sh := shell.New(fs)
+	userland.Install(sh)
+	cc.Install(sh)
+
+	// Private overlay members first, so unions resolve (and creations
+	// land) there before falling through to the sealed template.
+	for _, r := range sharedRoots {
+		if err := fs.MkdirAll(r); err != nil {
+			return nil, err
+		}
+		shared := "/shared" + r
+		if err := fs.Graft(shared, t.fs, r); err != nil {
+			return nil, err
+		}
+		if err := fs.Bind(shared, r, vfs.After); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.MkdirAll("/mnt"); err != nil {
+		return nil, err
+	}
+	if err := fs.Graft("/mnt/term", t.fs, "/mnt/term"); err != nil {
+		return nil, err
+	}
+
+	for _, e := range t.priv {
+		if e.Dir {
+			if err := fs.MkdirAll(e.Path); err != nil {
+				return nil, err
+			}
+		} else if err := fs.WriteFile(e.Path, e.Data); err != nil {
+			return nil, err
+		}
+	}
+
+	table, err := installProcs(fs)
+	if err != nil {
+		return nil, err
+	}
+	adb.Install(sh, table)
+	installCompilers(sh)
+
+	hlp := core.New(fs, sh, w, h)
+	svc, err := helpfs.Attach(hlp, fs, MountRoot)
+	if err != nil {
+		return nil, err
+	}
+	// The tool files already exist in the shared tree; these calls only
+	// register the per-shell programs behind them.
+	if err := installTools(sh); err != nil {
+		return nil, err
+	}
+	if err := mail.Install(sh, MboxPath, MountRoot); err != nil {
+		return nil, err
+	}
+	safe := hlp.SafeFS()
+	sh.SetContextFS(safe)
+	return &World{FS: safe, Shell: sh, Help: hlp, Procs: table, Svc: svc}, nil
+}

@@ -1,0 +1,132 @@
+package world
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/vfs"
+)
+
+// TestTemplateSessionsAreIsolated stamps two sessions from one template
+// and checks they share the read-only world but nothing mutable.
+func TestTemplateSessionsAreIsolated(t *testing.T) {
+	tmpl, err := NewTemplate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tmpl.NewSession(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tmpl.NewSession(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both see the shared tool tree, through the union.
+	for _, s := range []*World{s1, s2} {
+		b, err := s.FS.ReadFile("/help/edit/stf")
+		if err != nil || !strings.Contains(string(b), "Cut Paste Snarf") {
+			t.Fatalf("shared read = %q, %v", b, err)
+		}
+	}
+
+	// Private mutations stay private.
+	if err := s1.FS.WriteFile("/usr/rob/tmp/note", []byte("session one")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.FS.Exists("/usr/rob/tmp/note") {
+		t.Fatal("private write visible in the other session")
+	}
+	win := s1.Help.Windows()[0]
+	s1.Help.Execute(win, "echo marker-one")
+	if strings.Contains(s2.Help.ErrorsText(), "marker-one") {
+		t.Fatal("command output leaked between sessions")
+	}
+
+	// The shared tree itself cannot be mutated through any session.
+	if err := s1.FS.WriteFile("/shared/bin/help/parse", []byte("x")); !errors.Is(err, vfs.ErrPerm) {
+		t.Fatalf("shared write: err = %v, want ErrPerm", err)
+	}
+	// But a session may shadow a shared name in its private member,
+	// once the private directory exists to receive the file...
+	if err := s1.FS.MkdirAll("/help/edit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.FS.WriteFile("/help/edit/stf", []byte("shadowed\n")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := s1.FS.ReadFile("/help/edit/stf"); string(b) != "shadowed\n" {
+		t.Fatalf("shadow read = %q", b)
+	}
+	// ...without the other session noticing.
+	if b, _ := s2.FS.ReadFile("/help/edit/stf"); !strings.Contains(string(b), "Cut Paste Snarf") {
+		t.Fatalf("s2 sees shadow: %q", b)
+	}
+
+	// The session's own tools work: the mail tool reads the private mbox.
+	s1.Help.Execute(win, "/help/mail/headers")
+	s1.Help.WaitIdle()
+	if s1.Help.WindowByName(MboxPath) == nil {
+		t.Fatal("mail headers did not open the mailbox window")
+	}
+}
+
+// TestTemplateSessionJournalRoundTrip journals a template-stamped
+// session and recovers it into a fresh one: snapshots must carry only
+// private state (the sealed graft is reconstructed by the template),
+// and the recovered session must match byte for byte.
+func TestTemplateSessionJournalRoundTrip(t *testing.T) {
+	tmpl, err := NewTemplate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tmpl.NewSession(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	mem := journal.NewMemFS()
+	jw, err := journal.Open(mem, journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Help.AttachJournal(jw, 1<<20)
+
+	win, err := s.Help.OpenFile(SrcDir+"/exec.c", "252")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Help.Execute(win, "Snarf")
+	s.Help.Execute(win, "echo journal drill")
+	s.Help.WaitIdle()
+	golden := recoverFingerprint(s.Help)
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := tmpl.NewSession(120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RecoverSession(s2.Help, mem); err != nil {
+		t.Fatal(err)
+	}
+	if got := recoverFingerprint(s2.Help); got != golden {
+		t.Fatalf("recovered session differs\n--- golden ---\n%s\n--- recovered ---\n%s", golden, got)
+	}
+}

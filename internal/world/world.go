@@ -365,10 +365,19 @@ func installCompilers(sh *shell.Shell) {
 // dozen-line script become a browser command.
 func installTools(sh *shell.Shell) error {
 	fs := sh.FS()
+	// Tool files may already be provided by a sealed shared namespace
+	// (the multi-session daemon grafts one template /help into every
+	// session); then only the per-shell program registrations matter.
+	write := func(p string, data []byte) error {
+		if fs.Exists(p) {
+			return nil
+		}
+		return fs.WriteFile(p, data)
+	}
 
 	// The edit tool: builtins listed as plain text; executing any word
 	// runs the built-in of that name.
-	if err := fs.WriteFile("/help/edit/stf", []byte(
+	if err := write("/help/edit/stf", []byte(
 		"Open\nPattern \"\nText ' '\nCut Paste Snarf\nWrite New\nUndo Redo\nSend Clone!\n")); err != nil {
 		return err
 	}
@@ -376,12 +385,12 @@ func installTools(sh *shell.Shell) error {
 	// decl: it opens the declaration directly ("a future change to help
 	// will be to close this loop so the Open operation also happens
 	// automatically").
-	if err := fs.WriteFile("/help/cbr/stf", []byte(
+	if err := write("/help/cbr/stf", []byte(
 		"Open mk src decl godecl uses *.c\n")); err != nil {
 		return err
 	}
 	// The debugger tool.
-	if err := fs.WriteFile("/help/db/stf", []byte(
+	if err := write("/help/db/stf", []byte(
 		"ps pc regs broke\nstack kstack nextkstack\n")); err != nil {
 		return err
 	}
@@ -420,7 +429,7 @@ cpp $cppflags $dir/$file |
 help/rcc -w -g -d -D$dir -i$id -n$line -f$file $files |
 sed 1q > /mnt/help/$x/bodyapp
 `
-	if err := fs.WriteFile("/help/cbr/decl", []byte(declScript)); err != nil {
+	if err := write("/help/cbr/decl", []byte(declScript)); err != nil {
 		return err
 	}
 	usesScript := `eval ` + "`" + `{help/parse}
@@ -429,7 +438,7 @@ echo name $dir/uses > /mnt/help/$x/ctl
 cpp $cppflags $dir/$file |
 help/rcc -w -g -u -D$dir -i$id -n$line -f$file $files > /mnt/help/$x/bodyapp
 `
-	if err := fs.WriteFile("/help/cbr/uses", []byte(usesScript)); err != nil {
+	if err := write("/help/cbr/uses", []byte(usesScript)); err != nil {
 		return err
 	}
 	srcScript := `eval ` + "`" + `{help/parse}
@@ -437,14 +446,14 @@ x=` + "`" + `{cat /mnt/help/new/ctl}
 echo name $dir/src > /mnt/help/$x/ctl
 help/rcc -w -g -s -D$dir -i$id $files > /mnt/help/$x/bodyapp
 `
-	if err := fs.WriteFile("/help/cbr/src", []byte(srcScript)); err != nil {
+	if err := write("/help/cbr/src", []byte(srcScript)); err != nil {
 		return err
 	}
 	godeclScript := `eval ` + "`" + `{help/parse}
 coord=` + "`" + `{cpp $cppflags $dir/$file | help/rcc -w -g -d -D$dir -i$id -n$line -f$file $files | sed 1q}
 echo open $dir/$coord > /mnt/help/ctl
 `
-	if err := fs.WriteFile("/help/cbr/godecl", []byte(godeclScript)); err != nil {
+	if err := write("/help/cbr/godecl", []byte(godeclScript)); err != nil {
 		return err
 	}
 	mkScript := `eval ` + "`" + `{help/parse}
@@ -452,7 +461,7 @@ x=` + "`" + `{cat /mnt/help/new/ctl}
 echo name $dir/mk > /mnt/help/$x/ctl
 help/mkin $dir > /mnt/help/$x/bodyapp
 `
-	if err := fs.WriteFile("/help/cbr/mk", []byte(mkScript)); err != nil {
+	if err := write("/help/cbr/mk", []byte(mkScript)); err != nil {
 		return err
 	}
 	// help/mkin dir: run mk with the named directory as context.
@@ -479,25 +488,25 @@ echo tag $srcdir/'	'$pid' ` + name + `	Close!' > /mnt/help/$x/ctl
 adb $pid '` + req + `' > /mnt/help/$x/bodyapp
 `
 	}
-	if err := fs.WriteFile("/help/db/stack", []byte(dbWindowed("stack", "$c"))); err != nil {
+	if err := write("/help/db/stack", []byte(dbWindowed("stack", "$c"))); err != nil {
 		return err
 	}
-	if err := fs.WriteFile("/help/db/kstack", []byte(dbWindowed("kstack", "$c"))); err != nil {
+	if err := write("/help/db/kstack", []byte(dbWindowed("kstack", "$c"))); err != nil {
 		return err
 	}
-	if err := fs.WriteFile("/help/db/regs", []byte(dbWindowed("regs", "$r"))); err != nil {
+	if err := write("/help/db/regs", []byte(dbWindowed("regs", "$r"))); err != nil {
 		return err
 	}
-	if err := fs.WriteFile("/help/db/pc", []byte(dbWindowed("pc", "$p"))); err != nil {
+	if err := write("/help/db/pc", []byte(dbWindowed("pc", "$p"))); err != nil {
 		return err
 	}
-	if err := fs.WriteFile("/help/db/nextkstack", []byte("broke | sed 1q\n")); err != nil {
+	if err := write("/help/db/nextkstack", []byte("broke | sed 1q\n")); err != nil {
 		return err
 	}
 	// ps and broke are adb-table builtins already; the script names just
 	// forward so the words in the stf file resolve in the tool directory.
-	if err := fs.WriteFile("/help/db/ps", []byte("ps\n")); err != nil {
+	if err := write("/help/db/ps", []byte("ps\n")); err != nil {
 		return err
 	}
-	return fs.WriteFile("/help/db/broke", []byte("broke\n"))
+	return write("/help/db/broke", []byte("broke\n"))
 }
