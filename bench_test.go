@@ -363,6 +363,87 @@ func BenchmarkSrvnetRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkWireThroughput measures remote read throughput in the three
+// regimes of the PR 7 wire path over TCP loopback: serial (one round
+// trip per op, the old protocol's ceiling), pipelined (batches of reads
+// in flight at once, matched by sequence number), and cached
+// (generation-keyed hits that never touch the wire). The acceptance bar
+// is pipelined ≥ 5x serial ops/sec.
+func BenchmarkWireThroughput(b *testing.B) {
+	setup := func(b *testing.B) *srvnet.Client {
+		b.Helper()
+		fs := vfs.New()
+		if err := fs.MkdirAll("/d"); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.WriteFile("/d/f", []byte(strings.Repeat("data ", 200))); err != nil {
+			b.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		go srvnet.NewServer(fs).Serve(l)
+		c, err := srvnet.Dial(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		c := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadFile("/d/f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("pipelined", func(b *testing.B) {
+		c := setup(b)
+		const window = 64
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := window
+			if rem := b.N - done; rem < n {
+				n = rem
+			}
+			batch := c.NewBatch()
+			futs := make([]*srvnet.Future, n)
+			for i := 0; i < n; i++ {
+				futs[i] = batch.ReadFile("/d/f")
+			}
+			if err := batch.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for _, f := range futs {
+				if _, err := f.Data(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			done += n
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		c := setup(b)
+		c.SetCache(true)
+		if _, err := c.ReadFile("/d/f"); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadFile("/d/f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkJournalAppend measures the cost of journaling one operation:
 // encode, enqueue, and the amortized group-commit write. This is the
 // per-mutation tax the event loop pays while a session is journaled.

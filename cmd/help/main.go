@@ -49,6 +49,7 @@ func main() {
 	runSession := flag.Bool("session", false, "replay the paper's debugging session and exit")
 	bootOnly := flag.Bool("boot", false, "print the boot screen and exit")
 	listen := flag.String("listen", "", "serve the namespace (including /mnt/help) on this TCP address")
+	remote := flag.String("remote", "", "attach a remote namespace at this TCP address (repl fetch)")
 	debug := flag.String("debug", "", "serve expvar and pprof on this HTTP address")
 	journalDir := flag.String("journal", "", "keep a crash-safe session journal in this directory")
 	recoverFlag := flag.Bool("recover", false, "restore the session from the -journal directory before starting")
@@ -144,14 +145,26 @@ func main() {
 		l, err := net.Listen("tcp", *listen)
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "help: namespace served on %s\n", l.Addr())
-		go srvnet.NewServer(w.FS).Serve(l)
+		srv := srvnet.NewServer(w.FS)
+		srv.Obs = w.Help.Obs
+		go srv.Serve(l)
 	}
 
 	if *bootOnly {
 		return
 	}
 
-	repl.New(w.Help, os.Stdout).Run(os.Stdin)
+	r := repl.New(w.Help, os.Stdout)
+	if *remote != "" {
+		// The paper's invisible call to the CPU server: a fault-tolerant,
+		// cached, pipelined connection to another machine's namespace.
+		rc := srvnet.NewReconnectingClient(*remote)
+		rc.CacheReads = true
+		rc.Obs = w.Help.Obs
+		defer rc.Close()
+		r.Remote = rc
+	}
+	r.Run(os.Stdin)
 }
 
 // runDaemon hosts many sessions in one process: a world template is
@@ -201,6 +214,7 @@ func runDaemon(width, height int, listen, debug, journalRoot, fsync string,
 		return err
 	}
 	srv := srvnet.NewMuxServer(mgr)
+	srv.Obs = reg
 	fmt.Fprintf(os.Stderr, "helpd: sessions served on %s\n", l.Addr())
 
 	sigc := make(chan os.Signal, 1)

@@ -27,6 +27,23 @@ type guardDevice struct {
 // now additionally sees a zeroed wrapper rather than its old handler.
 var guardFilePool = sync.Pool{New: func() any { return new(guardFile) }}
 
+// Gen forwards the inner device's edit generation (vfs.GenDevice), so
+// guarding a device does not hide its generation from srvnet's cache
+// plumbing. A panic while computing it degrades to "no generation"
+// rather than taking down the reader.
+func (g guardDevice) Gen() (gen uint64) {
+	gd, ok := g.dev.(vfs.GenDevice)
+	if !ok {
+		return 0
+	}
+	defer func() {
+		if recover() != nil {
+			gen = 0
+		}
+	}()
+	return gd.Gen()
+}
+
 func (g guardDevice) OpenDevice(mode int) (f vfs.DeviceFile, err error) {
 	// finish recovers first, then sweeps: opening new/ctl creates a
 	// window, and the creation must be journaled even when a later

@@ -223,6 +223,20 @@ type bufDevice struct {
 	k          *kindObs
 }
 
+// Gen reports the backing buffer's edit generation, offset by one so a
+// pristine buffer (text.Buffer.Gen 0) is still distinguishable from
+// vfs's "no generation" zero. It is called under the actor lock, like
+// every device operation, so the gen and the contents a concurrent read
+// observes are coherent. This is what lets srvnet clients cache body
+// and tag reads: an unchanged generation proves unchanged contents.
+func (d *bufDevice) Gen() uint64 {
+	w := d.s.h.View().Window(d.id)
+	if w == nil {
+		return 0
+	}
+	return w.Buffer(d.sub).Gen() + 1
+}
+
 func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	w, err := d.s.window(d.id)
 	if err != nil {

@@ -423,3 +423,40 @@ func TestRootCtlOpen(t *testing.T) {
 		t.Error("open of missing file should fail")
 	}
 }
+
+// Window buffers carry edit generations through the namespace: a body
+// edit must move the generation that Stat reports, since srvnet's
+// client cache revalidates against it.
+func TestBodyGenMovesOnEdit(t *testing.T) {
+	_, fs, _ := attach(t)
+	f, err := fs.Open("/mnt/help/new/ctl", vfs.OREAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	f.Close()
+	id := strings.TrimSpace(string(buf[:n]))
+	body := "/mnt/help/" + id + "/body"
+
+	info, err := fs.Stat(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a pristine buffer has a nonzero generation (offset by one),
+	// so "no generation" (0) stays distinguishable.
+	if info.Gen == 0 {
+		t.Fatal("body has no generation")
+	}
+	g1 := info.Gen
+	if err := fs.WriteFile(body, []byte("edited")); err != nil {
+		t.Fatal(err)
+	}
+	info, err = fs.Stat(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen == g1 {
+		t.Fatalf("body edit did not move the generation (still %d)", g1)
+	}
+}

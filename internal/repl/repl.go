@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/srvnet"
 )
 
 // Usage describes the command language, printed by the help command.
@@ -30,6 +31,7 @@ const Usage = `commands:
   tab ID                 click window ID's tab (reveal)
   procs                  list running external commands (id, window, runtime, state, name)
   kill [ID|WORD]...      kill running commands (all of them with no argument)
+  fetch PATH...          read remote files in one pipelined batch (needs -remote)
   metrics                show interaction counters and the stats registry
   help                   this message
   quit`
@@ -40,6 +42,9 @@ type REPL struct {
 	Out io.Writer
 	// Echo controls whether the screen renders after mutating commands.
 	Echo bool
+	// Remote, when set, is a connection to another machine's namespace
+	// (cmd/help -remote): the fetch command pipelines reads through it.
+	Remote *srvnet.ReconnectingClient
 }
 
 // New returns a REPL over h writing to out, echoing screens.
@@ -197,6 +202,25 @@ func (r *REPL) Command(line string) error {
 		}
 		h.HandleAll(event.Click(event.Left, p))
 		show()
+	case "fetch":
+		if r.Remote == nil {
+			return fmt.Errorf("fetch: no remote namespace (start with -remote ADDR)")
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: fetch PATH...")
+		}
+		paths := fields[1:]
+		datas, err := r.Remote.ReadFiles(paths)
+		if err != nil {
+			return err
+		}
+		for i, p := range paths {
+			fmt.Fprintf(r.Out, "== %s (%d bytes)\n", p, len(datas[i]))
+			fmt.Fprint(r.Out, string(datas[i]))
+			if len(datas[i]) > 0 && datas[i][len(datas[i])-1] != '\n' {
+				fmt.Fprintln(r.Out)
+			}
+		}
 	case "procs":
 		procs := h.Procs()
 		if len(procs) == 0 {

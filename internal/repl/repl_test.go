@@ -2,10 +2,13 @@ package repl
 
 import (
 	"bytes"
+	"net"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/srvnet"
+	"repro/internal/vfs"
 	"repro/internal/world"
 )
 
@@ -146,3 +149,38 @@ func TestRunUntilQuit(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// fetch pipelines reads through the remote namespace; without one it
+// reports a usable error instead of panicking.
+func TestFetchRemoteFiles(t *testing.T) {
+	r, out, _ := newREPL(t)
+	if err := r.Command("fetch /f"); err == nil || !strings.Contains(err.Error(), "no remote") {
+		t.Fatalf("fetch without remote: err = %v", err)
+	}
+
+	fs := vfs.New()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/a", []byte("alpha\n"))
+	fs.WriteFile("/d/b", []byte("beta\n"))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srvnet.NewServer(fs).Serve(l)
+
+	r.Remote = srvnet.NewReconnectingClient(l.Addr().String())
+	defer r.Remote.Close()
+	if err := r.Command("fetch /d/a /d/b"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"== /d/a (6 bytes)", "alpha", "== /d/b (5 bytes)", "beta"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("fetch output missing %q:\n%s", want, got)
+		}
+	}
+	if err := r.Command("fetch /d/missing"); err == nil {
+		t.Fatal("fetch of missing path succeeded")
+	}
+}

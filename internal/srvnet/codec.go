@@ -1,0 +1,519 @@
+package srvnet
+
+// Hand-rolled header codec. The wire format is unchanged — one JSON
+// object per line — but the hot path neither reflects nor allocates:
+// headers are emitted append-style into a reused scratch buffer and
+// parsed by a small scanner that knows the scalar fields. Anything the
+// fast path does not recognize (string escapes, nested values like
+// readdir entries, unknown keys, numbers with exponents) falls back to
+// encoding/json for the whole line, so handcrafted peers and future
+// fields keep working; the fallback is correctness-complete and merely
+// slower. Profiles before this codec showed encoding/json taking ~37%
+// of the pipelined round trip — more than the syscalls.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// maxHeader bounds one header line, so a peer that never sends a
+// newline cannot grow the accumulation buffer without limit.
+const maxHeader = 1 << 20
+
+var errHeaderTooLong = errors.New("srvnet: header line exceeds limit")
+
+// readLine returns one newline-terminated header line. The returned
+// slice usually aliases the bufio buffer and is only valid until the
+// next read. Bytes followed by EOF instead of a newline are a
+// truncated frame: io.ErrUnexpectedEOF, matching what a JSON decoder
+// would report mid-value.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil {
+		return line, nil
+	}
+	if err == bufio.ErrBufferFull {
+		// Header longer than the bufio buffer (a glob reply with many
+		// names, say): accumulate. Rare enough that the copy is fine.
+		buf := append([]byte(nil), line...)
+		for {
+			line, err = br.ReadSlice('\n')
+			buf = append(buf, line...)
+			if len(buf) > maxHeader {
+				return nil, errHeaderTooLong
+			}
+			if err == nil {
+				return buf, nil
+			}
+			if err != bufio.ErrBufferFull {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+		}
+	}
+	if err == io.EOF && len(line) > 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return nil, err
+}
+
+// ---- emit ----
+
+// plainString reports whether s can be emitted between bare quotes:
+// printable ASCII with nothing JSON makes us escape. Anything else
+// (control bytes, quotes, backslashes, non-ASCII that might not be
+// valid UTF-8) goes through encoding/json instead.
+func plainString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+func appendString(dst []byte, s string) []byte {
+	if plainString(s) {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	b, _ := json.Marshal(s) // marshaling a string cannot fail
+	return append(dst, b...)
+}
+
+// encodeReq emits req's header line (sans payload) onto dst, matching
+// the struct's JSON tags and omitempty behavior.
+func encodeReq(dst []byte, req *request) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, req.Seq, 10)
+	dst = append(dst, `,"op":`...)
+	dst = appendString(dst, req.Op)
+	if req.Path != "" {
+		dst = append(dst, `,"path":`...)
+		dst = appendString(dst, req.Path)
+	}
+	if req.Append {
+		dst = append(dst, `,"append":true`...)
+	}
+	if req.Pattern != "" {
+		dst = append(dst, `,"pattern":`...)
+		dst = appendString(dst, req.Pattern)
+	}
+	if req.Offset != 0 {
+		dst = append(dst, `,"off":`...)
+		dst = strconv.AppendInt(dst, req.Offset, 10)
+	}
+	if req.Count != 0 {
+		dst = append(dst, `,"count":`...)
+		dst = strconv.AppendInt(dst, req.Count, 10)
+	}
+	if req.N != 0 {
+		dst = append(dst, `,"n":`...)
+		dst = strconv.AppendInt(dst, req.N, 10)
+	}
+	if req.Sum != 0 {
+		dst = append(dst, `,"sum":`...)
+		dst = strconv.AppendUint(dst, uint64(req.Sum), 10)
+	}
+	return append(dst, '}', '\n')
+}
+
+// encodeResp emits resp's header line onto dst. Replies carrying
+// nested values (readdir entries, glob names, stat info) take the
+// encoding/json path — they are off the hot loop.
+func encodeResp(dst []byte, resp *response) ([]byte, error) {
+	if resp.Entries != nil || resp.Names != nil || resp.Info != nil {
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, b...)
+		return append(dst, '\n'), nil
+	}
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, resp.Seq, 10)
+	if resp.Err != "" {
+		dst = append(dst, `,"err":`...)
+		dst = appendString(dst, resp.Err)
+	}
+	if resp.Code != "" {
+		dst = append(dst, `,"code":`...)
+		dst = appendString(dst, resp.Code)
+	}
+	if resp.Gen != 0 {
+		dst = append(dst, `,"gen":`...)
+		dst = strconv.AppendUint(dst, resp.Gen, 10)
+	}
+	if resp.N != 0 {
+		dst = append(dst, `,"n":`...)
+		dst = strconv.AppendInt(dst, resp.N, 10)
+	}
+	if resp.Sum != 0 {
+		dst = append(dst, `,"sum":`...)
+		dst = strconv.AppendUint(dst, uint64(resp.Sum), 10)
+	}
+	return append(dst, '}', '\n'), nil
+}
+
+// ---- parse ----
+
+// scanner walks one header line. Failure of any step means "not the
+// simple shape the fast path handles", never "malformed": the caller
+// re-parses the line with encoding/json, which is the arbiter of
+// validity.
+type scanner struct {
+	b []byte
+	i int
+}
+
+func (s *scanner) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\r', '\n':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) eat(c byte) bool {
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// str scans a quoted string containing no escapes and returns its
+// contents (aliasing the line).
+func (s *scanner) str() ([]byte, bool) {
+	if !s.eat('"') {
+		return nil, false
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '"':
+			v := s.b[start:s.i]
+			s.i++
+			return v, true
+		case '\\':
+			return nil, false
+		}
+		s.i++
+	}
+	return nil, false
+}
+
+// num scans an integer literal. A '.', 'e', or 'E' at its end means a
+// float — fast path declines.
+func (s *scanner) num() (neg bool, v uint64, ok bool) {
+	neg = s.eat('-')
+	start := s.i
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		if c >= '0' && c <= '9' {
+			v = v*10 + uint64(c-'0')
+			s.i++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' {
+			return false, 0, false
+		}
+		break
+	}
+	n := s.i - start
+	// 19 digits always fit in a uint64; 20 may wrap silently.
+	if n == 0 || n > 19 {
+		return false, 0, false
+	}
+	return neg, v, true
+}
+
+func (s *scanner) lit(word string) bool {
+	if len(s.b)-s.i < len(word) || string(s.b[s.i:s.i+len(word)]) != word {
+		return false
+	}
+	s.i += len(word)
+	return true
+}
+
+// field scans one `"key": value` pair, returning the key and a tagged
+// value. kind is 's' (string, in sval), 'n' (number, in neg/num),
+// 'b' (bool, in neg as the value), or 0 for null.
+func (s *scanner) field() (key, sval []byte, kind byte, neg bool, num uint64, ok bool) {
+	key, ok = s.str()
+	if !ok {
+		return
+	}
+	s.ws()
+	if ok = s.eat(':'); !ok {
+		return
+	}
+	s.ws()
+	if s.i >= len(s.b) {
+		ok = false
+		return
+	}
+	switch c := s.b[s.i]; {
+	case c == '"':
+		sval, ok = s.str()
+		kind = 's'
+	case c == '-' || (c >= '0' && c <= '9'):
+		neg, num, ok = s.num()
+		kind = 'n'
+	case c == 't':
+		ok = s.lit("true")
+		kind, neg = 'b', true
+	case c == 'f':
+		ok = s.lit("false")
+		kind, neg = 'b', false
+	case c == 'n':
+		ok = s.lit("null")
+		kind = 0
+	default:
+		// '[' or '{': a nested value the fast path does not model.
+		ok = false
+	}
+	return
+}
+
+// object drives field over a whole header line, calling set for each
+// pair; set returns false for a key (or value shape) it cannot place,
+// sending the line to the fallback.
+func (s *scanner) object(set func(key, sval []byte, kind byte, neg bool, num uint64) bool) bool {
+	s.ws()
+	if !s.eat('{') {
+		return false
+	}
+	s.ws()
+	if s.eat('}') {
+		s.ws()
+		return s.i == len(s.b)
+	}
+	for {
+		s.ws()
+		key, sval, kind, neg, num, ok := s.field()
+		if !ok || !set(key, sval, kind, neg, num) {
+			return false
+		}
+		s.ws()
+		if s.eat(',') {
+			continue
+		}
+		if s.eat('}') {
+			s.ws()
+			return s.i == len(s.b)
+		}
+		return false
+	}
+}
+
+// internOp returns the shared spelling of a known op, avoiding a
+// per-request string allocation for the whole standard vocabulary.
+func internOp(b []byte) string {
+	switch string(b) {
+	case "read":
+		return "read"
+	case "readat":
+		return "readat"
+	case "write":
+		return "write"
+	case "readdir":
+		return "readdir"
+	case "stat":
+		return "stat"
+	case "glob":
+		return "glob"
+	case "mkdir":
+		return "mkdir"
+	case "remove":
+		return "remove"
+	case "attach":
+		return "attach"
+	}
+	return string(b)
+}
+
+// internCode is internOp for the response code vocabulary.
+func internCode(b []byte) string {
+	switch string(b) {
+	case codeNotExist:
+		return codeNotExist
+	case codeExist:
+		return codeExist
+	case codeIsDir:
+		return codeIsDir
+	case codeNotDir:
+		return codeNotDir
+	case codePerm:
+		return codePerm
+	case codeBadMode:
+		return codeBadMode
+	case codeProto:
+		return codeProto
+	case codeBusy:
+		return codeBusy
+	case codeDraining:
+		return codeDraining
+	case codeNoSess:
+		return codeNoSess
+	}
+	return string(b)
+}
+
+func toInt64(neg bool, num uint64) (int64, bool) {
+	if num > 1<<63-1 {
+		return 0, false
+	}
+	if neg {
+		return -int64(num), true
+	}
+	return int64(num), true
+}
+
+// parseReq fills req from a header line, reporting whether the fast
+// path handled it; on false the caller must json.Unmarshal the line.
+func parseReq(line []byte, req *request) bool {
+	s := scanner{b: line}
+	return s.object(func(key, sval []byte, kind byte, neg bool, num uint64) bool {
+		if kind == 0 {
+			return true // null: leave the zero value
+		}
+		switch string(key) {
+		case "seq":
+			if kind != 'n' || neg {
+				return false
+			}
+			req.Seq = num
+		case "op":
+			if kind != 's' {
+				return false
+			}
+			req.Op = internOp(sval)
+		case "path":
+			if kind != 's' {
+				return false
+			}
+			req.Path = string(sval)
+		case "append":
+			if kind != 'b' {
+				return false
+			}
+			req.Append = neg
+		case "pattern":
+			if kind != 's' {
+				return false
+			}
+			req.Pattern = string(sval)
+		case "off":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			req.Offset = v
+		case "count":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			req.Count = v
+		case "n":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			req.N = v
+		case "sum":
+			if kind != 'n' || neg || num > 1<<32-1 {
+				return false
+			}
+			req.Sum = uint32(num)
+		default:
+			return false
+		}
+		return true
+	})
+}
+
+// parseResp is parseReq for replies. Nested fields (entries, names,
+// info) never match the fast path and fall through to encoding/json.
+func parseResp(line []byte, resp *response) bool {
+	s := scanner{b: line}
+	return s.object(func(key, sval []byte, kind byte, neg bool, num uint64) bool {
+		if kind == 0 {
+			return true
+		}
+		switch string(key) {
+		case "seq":
+			if kind != 'n' || neg {
+				return false
+			}
+			resp.Seq = num
+		case "err":
+			if kind != 's' {
+				return false
+			}
+			resp.Err = string(sval)
+		case "code":
+			if kind != 's' {
+				return false
+			}
+			resp.Code = internCode(sval)
+		case "gen":
+			if kind != 'n' || neg {
+				return false
+			}
+			resp.Gen = num
+		case "n":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			resp.N = v
+		case "sum":
+			if kind != 'n' || neg || num > 1<<32-1 {
+				return false
+			}
+			resp.Sum = uint32(num)
+		default:
+			return false
+		}
+		return true
+	})
+}
+
+// decodeReq parses one header line into req (reset first), taking the
+// fast path when it fits and encoding/json when it does not.
+func decodeReq(line []byte, req *request) error {
+	*req = request{}
+	if parseReq(line, req) {
+		return nil
+	}
+	*req = request{}
+	if err := json.Unmarshal(line, req); err != nil {
+		return fmt.Errorf("srvnet: decode request: %w", err)
+	}
+	return nil
+}
+
+func decodeResp(line []byte, resp *response) error {
+	*resp = response{}
+	if parseResp(line, resp) {
+		return nil
+	}
+	*resp = response{}
+	if err := json.Unmarshal(line, resp); err != nil {
+		return fmt.Errorf("srvnet: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package srvnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The hand-rolled codec must be indistinguishable from encoding/json
+// on the wire: everything it emits must re-parse identically through
+// both paths, and anything it cannot fast-parse must land in the
+// fallback with the same result.
+
+func TestCodecRequestRoundTrip(t *testing.T) {
+	cases := []request{
+		{Seq: 1, Op: "read", Path: "/a/b"},
+		{Seq: 1<<63 + 7, Op: "readat", Path: "/big", Offset: 4096, Count: 65536},
+		{Seq: 2, Op: "write", Path: "/w", N: 9, Sum: 0xdeadbeef},
+		{Seq: 3, Op: "write", Path: "/w", Append: true},
+		{Seq: 4, Op: "glob", Pattern: "/d/*"},
+		{Seq: 5, Op: "attach", Path: "sess-1"},
+		{Seq: 6, Op: "custom-op", Path: ""},
+		{Seq: 7, Op: "read", Path: `/quote"and\slash`}, // forces escape fallback
+		{Seq: 8, Op: "read", Path: "/utf8/héllo"},      // non-ASCII goes through json.Marshal
+		{Seq: 9, Op: "readat", Path: "/x", Offset: -1},
+	}
+	for _, want := range cases {
+		line := encodeReq(nil, &want)
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("%+v: no trailing newline", want)
+		}
+		// The emitted header must be plain JSON to any decoder.
+		var viaJSON request
+		if err := json.Unmarshal(line, &viaJSON); err != nil {
+			t.Fatalf("%+v: emitted header is not JSON: %v\n%s", want, err, line)
+		}
+		if !reflect.DeepEqual(viaJSON, want) {
+			t.Fatalf("json path: got %+v want %+v", viaJSON, want)
+		}
+		// And the fast parser (or its fallback) must agree.
+		var got request
+		if err := decodeReq(line, &got); err != nil {
+			t.Fatalf("%+v: decodeReq: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fast path: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestCodecResponseRoundTrip(t *testing.T) {
+	cases := []response{
+		{Seq: 1},
+		{Seq: 2, Gen: 41, N: 1024, Sum: 7},
+		{Seq: 3, Err: "srvnet: no such file", Code: codeNotExist},
+		{Seq: 4, Names: []string{"/a", "/b"}},
+		{Seq: 5, Entries: []entry{{Name: "f", Size: 3, ModTime: 9, Gen: 2}}},
+		{Seq: 6, Info: &entry{Name: "x", IsDir: true}},
+		{Err: "busy", Code: codeBusy}, // Seq 0 refusal frame
+	}
+	for _, want := range cases {
+		line, err := encodeResp(nil, &want)
+		if err != nil {
+			t.Fatalf("%+v: encodeResp: %v", want, err)
+		}
+		var viaJSON response
+		if err := json.Unmarshal(line, &viaJSON); err != nil {
+			t.Fatalf("%+v: emitted header is not JSON: %v\n%s", want, err, line)
+		}
+		if !reflect.DeepEqual(viaJSON, want) {
+			t.Fatalf("json path: got %+v want %+v", viaJSON, want)
+		}
+		var got response
+		if err := decodeResp(line, &got); err != nil {
+			t.Fatalf("%+v: decodeResp: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fast path: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// TestCodecForeignHeaders feeds handcrafted frames a non-Go peer might
+// emit: reordered keys, extra whitespace, floats, escapes, unknown
+// fields. All must decode exactly as encoding/json would.
+func TestCodecForeignHeaders(t *testing.T) {
+	lines := []string{
+		`{"op":"read","seq":12,"path":"/z"}`,
+		`{ "seq" : 3 , "op" : "stat" , "path" : "/s" }`,
+		`{"seq":1,"op":"read","path":"/esc\"aped"}`,
+		`{"seq":1,"op":"read","future-field":true,"path":"/f"}`,
+		`{"seq":1,"op":"read","path":null}`,
+		`{"seq":1.0,"op":"read"}`,
+		`{}`,
+	}
+	for _, l := range lines {
+		var want, got request
+		wantErr := json.Unmarshal([]byte(l+"\n"), &want)
+		gotErr := decodeReq([]byte(l+"\n"), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: json=%v codec=%v", l, wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: got %+v want %+v", l, got, want)
+		}
+	}
+}
+
+func TestReadLine(t *testing.T) {
+	// A header longer than the bufio buffer accumulates across reads.
+	long := `{"pad":"` + strings.Repeat("x", 100) + `"}` + "\n"
+	br := bufio.NewReaderSize(strings.NewReader(long), 16)
+	line, err := readLine(br)
+	if err != nil || string(line) != long {
+		t.Fatalf("long line: err=%v len=%d want %d", err, len(line), len(long))
+	}
+
+	// Bytes followed by EOF instead of a newline are a truncated frame.
+	br = bufio.NewReader(strings.NewReader(`{"seq":1`))
+	if _, err := readLine(br); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated line: err=%v want ErrUnexpectedEOF", err)
+	}
+
+	// A newline-free flood is cut off at maxHeader, not buffered forever.
+	flood := io.MultiReader(
+		bytes.NewReader(bytes.Repeat([]byte("y"), maxHeader+2)),
+		strings.NewReader("\n"),
+	)
+	br = bufio.NewReaderSize(flood, 64)
+	if _, err := readLine(br); !errors.Is(err, errHeaderTooLong) {
+		t.Fatalf("flood: err=%v want errHeaderTooLong", err)
+	}
+}

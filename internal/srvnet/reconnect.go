@@ -85,6 +85,12 @@ type ReconnectingClient struct {
 	// with the state entered and the error that caused it (nil for
 	// StateConnected). Called from the operation's goroutine.
 	OnStateChange func(State, error)
+	// CacheReads enables the generation-keyed read cache (see
+	// Client.SetCache) on every dialed connection. Each redial starts
+	// cold: a reconnect may attach to a recovered session whose
+	// generations restart, so nothing cached survives the old
+	// connection.
+	CacheReads bool
 
 	// Obs, when set before the first operation, records retry counts
 	// (srvnet.retries), redials (srvnet.redials), degradation entries
@@ -97,6 +103,7 @@ type ReconnectingClient struct {
 	rng    *rand.Rand
 	state  State
 	dialed bool // a connection has been established at least once
+	closed bool // Close was called; operations fail with ErrClientClosed
 }
 
 // NewReconnectingClient returns a client for the server at addr with
@@ -151,6 +158,9 @@ func (r *ReconnectingClient) setState(s State, err error) {
 func (r *ReconnectingClient) client() (*Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClientClosed
+	}
 	if r.c != nil {
 		return r.c, nil
 	}
@@ -165,6 +175,9 @@ func (r *ReconnectingClient) client() (*Client, error) {
 	}
 	c.Timeout = r.opTimeout()
 	c.Obs = r.Obs
+	if r.CacheReads {
+		c.SetCache(true)
+	}
 	if r.Session != "" {
 		if err := c.Attach(r.Session); err != nil {
 			c.Close()
@@ -255,6 +268,11 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 		}
 		c, err := r.client()
 		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				// Closed deliberately: redialing would resurrect a client
+				// the caller already tore down.
+				return err
+			}
 			if errors.Is(err, ErrDraining) {
 				// The server is deliberately going away: redialing would
 				// just storm a host trying to shut down. Degrade now.
@@ -299,16 +317,52 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 	return err
 }
 
-// Close closes the underlying connection, if any.
+// Close closes the underlying connection, if any, and marks the client
+// closed: operations issued afterward fail with ErrClientClosed instead
+// of silently redialing a client the caller tore down.
 func (r *ReconnectingClient) Close() error {
 	r.mu.Lock()
 	c := r.c
 	r.c = nil
+	r.closed = true
 	r.mu.Unlock()
 	if c != nil {
 		return c.Close()
 	}
 	return nil
+}
+
+// ReadFiles reads several remote files in one pipelined batch: all the
+// requests go out in a single write (cache hits never leave the
+// machine), then the replies are collected. The result is positional;
+// the first failure is returned after every reply has been drained, so
+// the connection stays usable.
+func (r *ReconnectingClient) ReadFiles(paths []string) (datas [][]byte, err error) {
+	err = r.do(true, func(c *Client) error {
+		b := c.NewBatch()
+		futs := make([]*Future, len(paths))
+		for i, p := range paths {
+			futs[i] = b.ReadFile(p)
+		}
+		if err := b.Flush(); err != nil {
+			return err
+		}
+		out := make([][]byte, len(paths))
+		var first error
+		for i, f := range futs {
+			data, ferr := f.Data()
+			if ferr != nil && first == nil {
+				first = ferr
+			}
+			out[i] = data
+		}
+		if first != nil {
+			return first
+		}
+		datas = out
+		return nil
+	})
+	return datas, err
 }
 
 // ReadFile reads a remote file, retrying transport failures.

@@ -4,28 +4,52 @@
 // to the CPU server, sending requests to run applications to the remote
 // shell-like process."
 //
-// The protocol is a minimal file service in the spirit of 9P, carried as
-// newline-delimited JSON messages: each request names an operation and a
-// path and carries a sequence number; each response echoes the sequence
-// number and carries data, directory entries, or an error. One request
-// is served at a time per server (a mutex serializes namespace access),
-// which matches help's single-threaded discipline.
+// The protocol is a minimal file service in the spirit of 9P. Each
+// frame is one newline-terminated JSON header line — the request's
+// operation, path, and sequence number, or the response echoing that
+// sequence number with directory entries or an error — followed, when
+// the header's "n" field is nonzero, by n raw payload bytes whose
+// CRC-32 rides in "sum". Keeping file contents out of the JSON spares
+// the hot path both the base64 expansion and the byte-at-a-time string
+// scan, while header-only control frames stay plain one-line JSON that
+// any peer can speak; headers themselves go through a reflection-free
+// codec (codec.go) that emits and scans the same JSON by hand. The call
+// is only "invisible" if the wire path keeps up with the user
+// interface, so the transport is built for throughput as well as fault
+// tolerance:
 //
-// The call is only "invisible" if the protocol survives a flaky network,
-// so the transport is hardened end to end:
+//   - Requests are pipelined. The Client splits into a writer (callers
+//     encode under a write mutex) and one dedicated reader goroutine
+//     that matches replies to callers by sequence number, so any number
+//     of requests can be in flight on one connection at once and replies
+//     may arrive out of order. The Batch API queues several operations
+//     and pushes them onto the wire in a single buffered write.
+//   - The server decouples reading from execution: a per-connection
+//     reader goroutine queues decoded requests (up to pipelineDepth)
+//     while the executor runs earlier ones, and replies are coalesced
+//     into batched flushes — the write buffer is only pushed to the
+//     socket when the request queue momentarily drains.
+//   - Every reply that names a target file piggybacks the file's edit
+//     generation (vfs.Info.Gen, fed by text.Buffer.Gen for help
+//     windows). A client-side cache keyed on those generations turns a
+//     re-read of an unchanged file into a pure cache hit with zero wire
+//     traffic; see Client.SetCache for the coherence rules.
+//   - Sequential chunked reads ("readat") are served from a
+//     per-connection readahead slot: the first chunk snapshots the whole
+//     body once, later chunks slice it while the generation holds.
 //
-//   - the server bounds idle connections and response writes with
-//     deadlines, tracks every connection in a registry, replies with an
-//     explicit protocol error to malformed frames instead of silently
-//     disconnecting, and drains in-flight requests on Shutdown;
-//   - error replies carry a machine-readable code, so vfs sentinel
-//     errors survive the wire and errors.Is works remotely;
-//   - Client bounds each round trip with a deadline and verifies the
-//     response sequence number;
-//   - ReconnectingClient (reconnect.go) adds automatic redial with
-//     capped, jittered exponential backoff for idempotent operations,
-//     degrading to a typed ErrDegraded instead of hanging when the
-//     remote side is gone.
+// The transport is hardened end to end: the server bounds idle
+// connections and response writes with deadlines, tracks every
+// connection in a registry, replies with an explicit protocol error to
+// malformed frames, and drains in-flight requests on Shutdown; error
+// replies carry a machine-readable code so vfs sentinel errors survive
+// the wire and errors.Is works remotely; the Client bounds each round
+// trip with a deadline (a sane default applies when none is set) and a
+// Close during an in-flight call closes the connection out of band so
+// nothing waits behind a hung peer; ReconnectingClient (reconnect.go)
+// adds automatic redial with capped, jittered exponential backoff for
+// idempotent operations, degrading to a typed ErrDegraded instead of
+// hanging when the remote side is gone.
 //
 // With a Server wrapped around the world's namespace, a Client on
 // another machine can drive the entire user interface through
@@ -39,6 +63,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -73,16 +98,39 @@ const (
 	DefaultIdleTimeout  = 2 * time.Minute
 	DefaultWriteTimeout = 30 * time.Second
 	DefaultMaxConns     = 64
+	// DefaultRoundTrip bounds a Client round trip when the Timeout field
+	// is left zero, so a dead peer fails the call instead of hanging it
+	// forever.
+	DefaultRoundTrip = 30 * time.Second
+	// pipelineDepth is how many decoded requests may queue behind the
+	// executor on one server connection before the reader blocks.
+	pipelineDepth = 64
+	// defaultReadChunk is the "readat" chunk size when the request
+	// leaves Count zero.
+	defaultReadChunk = 64 * 1024
+	// wireBufSize sizes the bufio layers on both ends. Batched replies
+	// only amortize syscalls if the writer can hold a pipeline window's
+	// worth of frames before spilling; the stock 4 KiB buffer forces a
+	// write every few 1 KiB payloads.
+	wireBufSize = 64 * 1024
 )
 
-// request is one wire operation.
+// request is one wire operation. Data rides outside the JSON header as
+// a raw sidecar (see the framing helpers): N carries its length and Sum
+// its checksum.
 type request struct {
 	Seq     uint64 `json:"seq"`
 	Op      string `json:"op"`
 	Path    string `json:"path,omitempty"`
-	Data    []byte `json:"data,omitempty"`
+	Data    []byte `json:"-"`
 	Append  bool   `json:"append,omitempty"`
 	Pattern string `json:"pattern,omitempty"`
+	// Offset and Count address a "readat" chunk.
+	Offset int64 `json:"off,omitempty"`
+	Count  int64 `json:"count,omitempty"`
+	// N and Sum frame the payload sidecar.
+	N   int64  `json:"n,omitempty"`
+	Sum uint32 `json:"sum,omitempty"`
 }
 
 // entry mirrors vfs.Info on the wire.
@@ -91,20 +139,129 @@ type entry struct {
 	IsDir   bool   `json:"isDir"`
 	Size    int64  `json:"size"`
 	ModTime int64  `json:"modTime"`
+	Gen     uint64 `json:"gen,omitempty"`
 }
 
 // response is one wire reply. Seq echoes the request's sequence number;
 // a response the server cannot attribute to a request (a malformed
 // frame, a busy rejection) carries Seq 0 and a Code of "proto" or
-// "busy".
+// "busy". Gen, when nonzero, is the edit generation of the request's
+// target file observed while serving it — the client cache keys on it.
 type response struct {
 	Seq     uint64   `json:"seq"`
 	Err     string   `json:"err,omitempty"`
 	Code    string   `json:"code,omitempty"`
-	Data    []byte   `json:"data,omitempty"`
+	Data    []byte   `json:"-"`
 	Entries []entry  `json:"entries,omitempty"`
 	Names   []string `json:"names,omitempty"`
 	Info    *entry   `json:"info,omitempty"`
+	Gen     uint64   `json:"gen,omitempty"`
+	// N and Sum frame the payload sidecar.
+	N   int64  `json:"n,omitempty"`
+	Sum uint32 `json:"sum,omitempty"`
+}
+
+// Framing: each message is one JSON header line followed, when N > 0,
+// by N raw payload bytes. Keeping file contents out of the JSON saves
+// both the base64 expansion and the byte-at-a-time string scan on the
+// hot path — a read's payload costs a copy, not a parse — while the
+// header stays line-delimited JSON, so control frames (refusals, error
+// replies) remain plain one-line JSON messages. Sum is a CRC over the
+// payload: raw bytes have no syntax to break, so without it a fault
+// that flips a payload byte would deliver silently corrupted data.
+
+// maxPayload bounds a sidecar read, so a corrupted header cannot ask
+// the receiver to allocate gigabytes.
+const maxPayload = 1 << 28
+
+var errSum = errors.New("srvnet: payload checksum mismatch")
+
+// frameReq emits req's header line and payload sidecar into bw. hdr is
+// a reused scratch buffer for the header bytes; the (possibly regrown)
+// buffer is returned for the caller to keep.
+func frameReq(bw *bufio.Writer, hdr []byte, req *request) ([]byte, error) {
+	req.N = int64(len(req.Data))
+	req.Sum = 0
+	if req.N > 0 {
+		req.Sum = crc32.ChecksumIEEE(req.Data)
+	}
+	hdr = encodeReq(hdr[:0], req)
+	if _, err := bw.Write(hdr); err != nil {
+		return hdr, err
+	}
+	if req.N > 0 {
+		if _, err := bw.Write(req.Data); err != nil {
+			return hdr, err
+		}
+	}
+	return hdr, nil
+}
+
+func frameResp(bw *bufio.Writer, hdr []byte, resp *response) ([]byte, error) {
+	resp.N = int64(len(resp.Data))
+	resp.Sum = 0
+	if resp.N > 0 {
+		resp.Sum = crc32.ChecksumIEEE(resp.Data)
+	}
+	hdr, err := encodeResp(hdr[:0], resp)
+	if err != nil {
+		return hdr, err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return hdr, err
+	}
+	if resp.N > 0 {
+		if _, err := bw.Write(resp.Data); err != nil {
+			return hdr, err
+		}
+	}
+	return hdr, nil
+}
+
+// readPayload collects an N-byte sidecar and verifies its checksum.
+func readPayload(br *bufio.Reader, n int64, sum uint32) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > maxPayload {
+		return nil, fmt.Errorf("srvnet: payload length %d exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(data) != sum {
+		return nil, errSum
+	}
+	return data, nil
+}
+
+// readReq decodes one request frame: header line through the fast
+// codec (codec.go), payload straight off the bufio.Reader. req is
+// reset so a field absent from this header cannot inherit the previous
+// frame's value.
+func readReq(br *bufio.Reader, req *request) error {
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	if err := decodeReq(line, req); err != nil {
+		return err
+	}
+	req.Data, err = readPayload(br, req.N, req.Sum)
+	return err
+}
+
+func readResp(br *bufio.Reader, resp *response) error {
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	if err := decodeResp(line, resp); err != nil {
+		return err
+	}
+	resp.Data, err = readPayload(br, resp.N, resp.Sum)
+	return err
 }
 
 // Wire error codes, mapping vfs sentinels (and protocol conditions)
@@ -206,6 +363,11 @@ type Server struct {
 	// MaxConns bounds concurrently served connections; connections
 	// beyond it receive an ErrBusy reply and are closed.
 	MaxConns int
+	// Obs, when set before Serve, records wire-path counters:
+	// srvnet.readahead.hit / srvnet.readahead.miss for the sequential
+	// read slot and srvnet.reply.batched for replies coalesced into a
+	// later flush. Nil is a no-op.
+	Obs *obs.Registry
 
 	connMu    sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -348,10 +510,24 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// readItem is one unit from a connection's reader goroutine to its
+// executor: either a decoded request or the error that ended reading.
+type readItem struct {
+	req request
+	err error
+}
+
 // ServeConn handles one connection until EOF, idle timeout, protocol
 // error, or server shutdown. A connection the server cannot take on
 // receives one typed refusal — busy when the registry is full, draining
 // when Shutdown has begun — and is closed.
+//
+// The connection is served by two goroutines: this one executes
+// requests and writes replies, while a reader goroutine keeps decoding
+// ahead so up to pipelineDepth requests queue while earlier ones run.
+// Replies are encoded into a write buffer that is flushed only when the
+// request queue momentarily drains, so a pipelined burst is answered in
+// a few large writes instead of one write per reply.
 func (s *Server) ServeConn(conn net.Conn) {
 	if !s.register(conn) {
 		refusal := response{Err: ErrBusy.Error(), Code: codeBusy}
@@ -374,69 +550,136 @@ func (s *Server) ServeConn(conn net.Conn) {
 			detach()
 		}
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
+
+	reqCh := make(chan readItem, pipelineDepth)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		br := bufio.NewReaderSize(conn, wireBufSize)
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		for {
+			// The idle deadline bounds the gap between frames, so it only
+			// needs re-arming when the next read will actually touch the
+			// socket; buffered frames are the peer being anything but idle.
+			if br.Buffered() == 0 {
+				conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
+			}
+			if err := readReq(br, &req); err != nil {
+				select {
+				case reqCh <- readItem{err: err}:
+				case <-stop:
+				}
+				return
+			}
+			select {
+			case reqCh <- readItem{req: req}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// Join the reader before unregistering so no goroutine outlives the
+	// Serve loop's wait.
+	defer func() {
+		close(stop)
+		conn.Close()
+		<-readerDone
+	}()
+
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	flush := func() error {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		return bw.Flush()
+	}
+	// reply buffers one response, deferring the socket write while more
+	// requests are already queued: their replies will share the flush.
+	// out is the executor's scratch frame and hdr its header buffer,
+	// both reused across requests; only flush touches the socket, so
+	// the write deadline is set there.
+	var out response
+	var hdr []byte
+	emit := func() error {
+		var err error
+		hdr, err = frameResp(bw, hdr, &out)
+		return err
+	}
+	reply := func() error {
+		if err := emit(); err != nil {
+			return err
+		}
+		if len(reqCh) > 0 {
+			s.Obs.Counter("srvnet.reply.batched").Inc()
+			return nil
+		}
+		return flush()
+	}
+
+	ra := &readahead{}
+	for {
+		item := <-reqCh
+		if item.err != nil {
+			flush()
 			// EOF, a closed or timed-out connection: nothing to say —
 			// unless the server is draining, in which case the timeout is
 			// Shutdown's nudge and the client deserves to hear why its
 			// connection is going away instead of a silent hangup.
 			var ne net.Error
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-				errors.Is(err, net.ErrClosed) || (errors.As(err, &ne) && ne.Timeout()) {
+			if errors.Is(item.err, io.EOF) || errors.Is(item.err, io.ErrUnexpectedEOF) ||
+				errors.Is(item.err, net.ErrClosed) || (errors.As(item.err, &ne) && ne.Timeout()) {
 				if s.isDraining() {
-					s.reply(conn, enc, response{Err: ErrDraining.Error(), Code: codeDraining})
+					out = response{Err: ErrDraining.Error(), Code: codeDraining}
+					emit()
+					flush()
 				}
 				return
 			}
 			// A malformed frame deserves an explicit reply before the
 			// connection closes: the JSON stream cannot be resynced, but
 			// the client learns why instead of seeing a silent hangup.
-			s.reply(conn, enc, response{
-				Err:  fmt.Sprintf("srvnet: malformed request: %v", err),
+			out = response{
+				Err:  fmt.Sprintf("srvnet: malformed request: %v", item.err),
 				Code: codeProto,
-			})
+			}
+			emit()
+			flush()
 			return
 		}
+		req := item.req
 		if s.isDraining() {
 			// A request decoded after Shutdown began gets the typed
 			// refusal so the client degrades instead of redialing.
-			s.reply(conn, enc, response{Seq: req.Seq, Err: ErrDraining.Error(), Code: codeDraining})
+			out = response{Seq: req.Seq, Err: ErrDraining.Error(), Code: codeDraining}
+			emit()
+			flush()
 			return
 		}
 		if req.Op == "attach" {
-			resp := response{Seq: req.Seq}
+			out = response{Seq: req.Seq}
 			if s.hub == nil {
-				resp.Err = "srvnet: server does not multiplex sessions"
-				resp.Code = codeProto
+				out.Err = "srvnet: server does not multiplex sessions"
+				out.Code = codeProto
 			} else if nfs, ndetach, err := s.hub.AttachSession(req.Path); err != nil {
-				resp.Err, resp.Code = err.Error(), codeOf(err)
+				out.Err, out.Code = err.Error(), codeOf(err)
 			} else {
 				if detach != nil {
 					detach()
 				}
 				fs, detach = nfs, ndetach
+				// The readahead slot belongs to the old namespace.
+				*ra = readahead{}
 			}
-			if err := s.reply(conn, enc, resp); err != nil {
+			if err := reply(); err != nil {
 				return
 			}
 			continue
 		}
-		resp := s.handle(req, fs)
-		resp.Seq = req.Seq
-		if err := s.reply(conn, enc, resp); err != nil {
+		out = s.handle(req, fs, ra)
+		out.Seq = req.Seq
+		if err := reply(); err != nil {
 			return
 		}
 	}
-}
-
-// reply writes one response under the write deadline.
-func (s *Server) reply(conn net.Conn, enc *json.Encoder, r response) error {
-	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
-	return enc.Encode(r)
 }
 
 // Shutdown gracefully stops the server: it closes the listeners handed
@@ -475,11 +718,54 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// readahead is a per-connection slot for sequential chunked reads: the
+// first "readat" of a file snapshots the whole contents once (one
+// namespace visit, one device snapshot); later chunks slice the slot as
+// long as the file's generation has not moved. Files without a
+// generation cannot be validated and are re-read per chunk.
+type readahead struct {
+	path string
+	gen  uint64
+	data []byte
+}
+
+// readAt serves one chunk through the slot.
+func (ra *readahead) readAt(fs *vfs.FS, reg *obs.Registry, path string, off, count int64) ([]byte, uint64, error) {
+	if count <= 0 {
+		count = defaultReadChunk
+	}
+	if ra.path == path && ra.gen != 0 && fs.Gen(path) == ra.gen {
+		reg.Counter("srvnet.readahead.hit").Inc()
+	} else {
+		data, gen, err := fs.ReadFileGen(path)
+		if err != nil {
+			ra.path = ""
+			return nil, 0, err
+		}
+		ra.path, ra.gen, ra.data = path, gen, data
+		reg.Counter("srvnet.readahead.miss").Inc()
+	}
+	data := ra.data
+	if off < 0 {
+		off = 0
+	}
+	if off >= int64(len(data)) {
+		return nil, ra.gen, nil
+	}
+	data = data[off:]
+	if count < int64(len(data)) {
+		data = data[:count]
+	}
+	return data, ra.gen, nil
+}
+
 // handle performs one operation on fs. In single-namespace mode the
 // server's mutex serializes all requests; in mux mode the per-session
 // namespaces serialize themselves, so requests on different sessions
-// proceed in parallel.
-func (s *Server) handle(req request, fs *vfs.FS) response {
+// proceed in parallel. Replies for operations that name a target file
+// piggyback its edit generation, observed under the same lock as the
+// operation, so client caches stay coherent with what they were told.
+func (s *Server) handle(req request, fs *vfs.FS, ra *readahead) response {
 	if s.hub == nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -490,11 +776,17 @@ func (s *Server) handle(req request, fs *vfs.FS) response {
 	fail := func(err error) response { return response{Err: err.Error(), Code: codeOf(err)} }
 	switch req.Op {
 	case "read":
-		data, err := fs.ReadFile(req.Path)
+		data, gen, err := fs.ReadFileGen(req.Path)
 		if err != nil {
 			return fail(err)
 		}
-		return response{Data: data}
+		return response{Data: data, Gen: gen}
+	case "readat":
+		data, gen, err := ra.readAt(fs, s.Obs, req.Path, req.Offset, req.Count)
+		if err != nil {
+			return fail(err)
+		}
+		return response{Data: data, Gen: gen}
 	case "write":
 		var err error
 		if req.Append {
@@ -505,7 +797,7 @@ func (s *Server) handle(req request, fs *vfs.FS) response {
 		if err != nil {
 			return fail(err)
 		}
-		return response{}
+		return response{Gen: fs.Gen(req.Path)}
 	case "readdir":
 		ents, err := fs.ReadDir(req.Path)
 		if err != nil {
@@ -513,7 +805,7 @@ func (s *Server) handle(req request, fs *vfs.FS) response {
 		}
 		out := make([]entry, len(ents))
 		for i, e := range ents {
-			out[i] = entry{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime}
+			out[i] = entry{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime, Gen: e.Gen}
 		}
 		return response{Entries: out}
 	case "stat":
@@ -521,7 +813,10 @@ func (s *Server) handle(req request, fs *vfs.FS) response {
 		if err != nil {
 			return fail(err)
 		}
-		return response{Info: &entry{Name: info.Name, IsDir: info.IsDir, Size: info.Size, ModTime: info.ModTime}}
+		return response{
+			Info: &entry{Name: info.Name, IsDir: info.IsDir, Size: info.Size, ModTime: info.ModTime, Gen: info.Gen},
+			Gen:  info.Gen,
+		}
 	case "glob":
 		return response{Names: fs.Glob(req.Pattern)}
 	case "mkdir":
@@ -538,104 +833,405 @@ func (s *Server) handle(req request, fs *vfs.FS) response {
 	return response{Err: fmt.Sprintf("srvnet: unknown op %q", req.Op), Code: codeProto}
 }
 
-// Client is a remote namespace handle over one connection. Methods are
-// safe for concurrent use; the mutex serializes round trips, and Close
-// during a round trip waits for it to finish (the per-op Timeout bounds
-// the wait).
-type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	dec    *json.Decoder
-	enc    *json.Encoder
-	seq    uint64
-	closed bool
+// pendingCall is one in-flight request awaiting its reply. Exactly one
+// result is ever delivered per issued call — by the reader on a matched
+// reply, or by poisonAll/Close on failure — always after the call has
+// been removed from the pending map, so the buffered send never blocks
+// and a received call can be recycled.
+type pendingCall struct {
+	ch chan callResult
+}
 
-	// Timeout bounds each round trip (write plus read). Zero means no
-	// deadline — a dead server then hangs the call, so remote users
-	// should set it (Dial does; ReconnectingClient always does).
+type callResult struct {
+	resp response
+	err  error
+}
+
+// callPool recycles pendingCall structs (and their reply channels)
+// across round trips: one fewer allocation per RPC on the hot path.
+var callPool = sync.Pool{New: func() any { return &pendingCall{ch: make(chan callResult, 1)} }}
+
+// timerPool recycles round-trip timers: time.NewTimer costs several
+// allocations, paid otherwise on every call.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains t so the next getTimer cannot see a stale
+// firing.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// cacheEntry is one generation-keyed cached read.
+type cacheEntry struct {
+	gen  uint64
+	data []byte
+}
+
+// Client is a remote namespace handle over one connection. Methods are
+// safe for concurrent use, and — unlike a conventional RPC client — they
+// do not serialize: any number of calls may be in flight at once. Each
+// caller encodes its request under a write mutex and then parks on a
+// per-call channel; a single reader goroutine decodes replies and hands
+// each to its caller by sequence number, so replies may arrive in any
+// order. Batch (batch.go) queues several operations into one buffered
+// write for explicit pipelining.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes request encoding; bw buffers frames so a Batch
+	// goes out in one write, and hdr is the reused header scratch.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	hdr []byte
+
+	br *bufio.Reader // owned by the reader goroutine
+
+	pmu      sync.Mutex
+	pending  map[uint64]*pendingCall
+	seq      uint64
+	closed   bool
+	closeErr error // server refusal to report after poison; nil means ErrClientClosed
+
+	cmu   sync.Mutex
+	cache map[string]cacheEntry // nil when caching is off
+
+	// Timeout bounds each round trip (queueing, write, and reply). Zero
+	// means DefaultRoundTrip — a dead server fails the call instead of
+	// hanging it — and a negative value disables the bound for callers
+	// owning exotic transports. A timed-out call poisons the
+	// connection: the stream's state is unknown once a reply has been
+	// abandoned.
 	Timeout time.Duration
 
 	// Obs, when set before first use, records a per-op round-trip
-	// latency histogram (srvnet.read, srvnet.write, ...) in the
-	// registry. ReconnectingClient propagates its own.
+	// latency histogram (srvnet.read, srvnet.write, ...), cache traffic
+	// (srvnet.cache.hit / srvnet.cache.miss / srvnet.cache.inval), and
+	// the srvnet.inflight up/down counter. ReconnectingClient
+	// propagates its own.
 	Obs *obs.Registry
 }
 
-// Dial connects to a Server at addr with the default round-trip timeout.
+// Dial connects to a Server at addr.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := NewClient(conn)
-	c.Timeout = DefaultWriteTimeout
-	return c, nil
+	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection. No round-trip timeout is
-// set; callers owning exotic transports set Timeout themselves.
+// NewClient wraps an established connection and starts its reader
+// goroutine (it exits when the connection closes). Round trips are
+// bounded by DefaultRoundTrip until Timeout says otherwise.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, wireBufSize),
+		br:      bufio.NewReaderSize(conn, wireBufSize),
+		pending: map[uint64]*pendingCall{},
+	}
+	go c.reader()
+	return c
+}
+
+// timeout resolves the effective round-trip bound.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	if c.Timeout < 0 {
+		return 0
+	}
+	return DefaultRoundTrip
+}
+
+// SetCache enables (or, with false, disables and empties) the
+// generation-keyed read cache: a ReadFile whose cached generation still
+// stands is served locally with zero wire traffic.
+//
+// Coherence rules: an entry is trusted until this client learns its
+// generation moved — from the generation piggybacked on any later
+// reply that names the file (a Stat is therefore an explicit
+// revalidation), or from a mutation issued through this client, which
+// invalidates the entry before it is sent. The cache dies with the
+// connection: a ReconnectingClient starts every redial cold, because a
+// reconnect may attach to a recovered session whose generations restart.
+// Writes by other clients are only observed through those piggybacked
+// generations, so a strictly-fresh reader should Stat first; files with
+// no generation (gen 0) are never cached.
+func (c *Client) SetCache(on bool) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	if on {
+		if c.cache == nil {
+			c.cache = map[string]cacheEntry{}
+		}
+	} else {
+		c.cache = nil
 	}
 }
 
-// Close closes the connection. It takes the client mutex, so a Close
-// racing an in-flight round trip waits for the round trip to finish
-// rather than interleaving on the connection.
+// cacheGet returns a copy of the cached contents of path, if trusted.
+// A closed (or poisoned) client never serves from cache: its entries
+// belong to a connection that no longer exists, and the miss routes the
+// caller to the wire, where the failure surfaces and a
+// ReconnectingClient redials cold.
+func (c *Client) cacheGet(path string) ([]byte, bool) {
+	c.pmu.Lock()
+	closed := c.closed
+	c.pmu.Unlock()
+	if closed {
+		return nil, false
+	}
+	c.cmu.Lock()
+	ent, ok := c.cache[path]
+	c.cmu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), ent.data...), true
+}
+
+func (c *Client) cacheEnabled() bool {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.cache != nil
+}
+
+// cachePut stores a read observed at generation gen; gen 0 means the
+// file cannot be validated and is not cached.
+func (c *Client) cachePut(path string, gen uint64, data []byte) {
+	if gen == 0 {
+		return
+	}
+	c.cmu.Lock()
+	if c.cache != nil {
+		c.cache[path] = cacheEntry{gen: gen, data: append([]byte(nil), data...)}
+	}
+	c.cmu.Unlock()
+}
+
+// cacheNote reconciles a piggybacked generation for path: a moved
+// generation proves the cached entry stale.
+func (c *Client) cacheNote(path string, gen uint64) {
+	c.cmu.Lock()
+	if ent, ok := c.cache[path]; ok && ent.gen != gen {
+		delete(c.cache, path)
+		c.cmu.Unlock()
+		c.Obs.Counter("srvnet.cache.inval").Inc()
+		return
+	}
+	c.cmu.Unlock()
+}
+
+// cacheInvalidate drops path unconditionally (a mutation is being
+// issued through this client).
+func (c *Client) cacheInvalidate(path string) {
+	c.cmu.Lock()
+	_, had := c.cache[path]
+	if had {
+		delete(c.cache, path)
+	}
+	c.cmu.Unlock()
+	if had {
+		c.Obs.Counter("srvnet.cache.inval").Inc()
+	}
+}
+
+// cacheFlush empties the cache (the connection switched sessions).
+func (c *Client) cacheFlush() {
+	c.cmu.Lock()
+	if c.cache != nil {
+		c.cache = map[string]cacheEntry{}
+	}
+	c.cmu.Unlock()
+}
+
+// Close closes the connection out of band: it does not wait for
+// in-flight round trips, so a Close behind a hung peer still returns
+// promptly. Pending calls fail fast with ErrClientClosed as the closed
+// connection unblocks them, and the reader goroutine exits.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.pmu.Lock()
 	if c.closed {
+		c.pmu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	calls := c.pending
+	c.pending = map[uint64]*pendingCall{}
+	c.pmu.Unlock()
+	err := c.conn.Close()
+	for _, call := range calls {
+		call.ch <- callResult{err: ErrClientClosed}
+	}
+	return err
 }
 
-// rpc performs one round trip: encode the request, decode the response,
-// verify the echoed sequence number. A protocol-level failure (decode
-// error, out-of-sequence or unattributable reply) poisons the
-// connection: it is closed and further calls return ErrClientClosed.
-func (c *Client) rpc(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return response{}, ErrClientClosed
+// poisonAll ends the connection after a transport- or protocol-level
+// failure: every pending call fails with err, and — when the failure
+// was a typed server refusal (busy, draining) — closeErr is recorded so
+// later calls report the refusal instead of a bare ErrClientClosed.
+func (c *Client) poisonAll(err, closeErr error) {
+	c.pmu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.closeErr = closeErr
+		c.conn.Close()
 	}
-	if c.Obs != nil {
-		// Failed round trips are observed too: a latency histogram that
-		// hides the slow failures would understate what remote users pay.
-		defer func(t0 time.Time, op string) {
-			c.Obs.Histogram("srvnet." + op).Observe(time.Since(t0))
-		}(time.Now(), req.Op)
+	calls := c.pending
+	c.pending = map[uint64]*pendingCall{}
+	c.pmu.Unlock()
+	for _, call := range calls {
+		call.ch <- callResult{err: err}
+	}
+}
+
+// reader is the connection's single reply loop: it decodes responses
+// and hands each to the caller parked on its sequence number. A reply
+// that matches no pending call is a protocol violation (the old
+// one-reply-per-round-trip "out of sequence" condition, generalized to
+// pipelining) and poisons the connection; a Seq-0 reply is the server
+// refusing the connection itself and is delivered to every caller.
+func (c *Client) reader() {
+	var resp response
+	for {
+		if err := readResp(c.br, &resp); err != nil {
+			c.poisonAll(fmt.Errorf("srvnet: receive: %w", err), nil)
+			return
+		}
+		if resp.Seq == 0 {
+			var err error
+			if resp.Err != "" {
+				err = errFromWire(resp.Err, resp.Code)
+			} else {
+				err = fmt.Errorf("%w: unattributable reply", ErrProto)
+			}
+			c.poisonAll(err, err)
+			return
+		}
+		c.pmu.Lock()
+		call, ok := c.pending[resp.Seq]
+		if ok {
+			delete(c.pending, resp.Seq)
+		}
+		c.pmu.Unlock()
+		if !ok {
+			c.poisonAll(fmt.Errorf("%w: response out of sequence (unexpected seq %d)",
+				ErrProto, resp.Seq), nil)
+			return
+		}
+		call.ch <- callResult{resp: resp}
+	}
+}
+
+// start registers a call, assigns its sequence number, and encodes the
+// request — flushing it onto the wire unless the caller is batching.
+// On success the caller owns the returned pendingCall and must collect
+// its result through wait.
+func (c *Client) start(req *request, flush bool) (*pendingCall, error) {
+	call := callPool.Get().(*pendingCall)
+	c.wmu.Lock()
+	c.pmu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.pmu.Unlock()
+		c.wmu.Unlock()
+		callPool.Put(call)
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
 	}
 	c.seq++
 	req.Seq = c.seq
-	if c.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.Timeout))
-	}
-	if err := c.enc.Encode(req); err != nil {
-		c.poison()
-		return response{}, fmt.Errorf("srvnet: send: %w", err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.poison()
-		return response{}, fmt.Errorf("srvnet: receive: %w", err)
-	}
-	if resp.Seq != req.Seq {
-		// A Seq-0 error reply is the server refusing the frame itself
-		// (malformed, busy): surface its message. Anything else is an
-		// out-of-sequence response. Both end the connection.
-		c.poison()
-		if resp.Seq == 0 && resp.Err != "" {
-			return response{}, errFromWire(resp.Err, resp.Code)
+	c.pending[req.Seq] = call
+	c.pmu.Unlock()
+	c.Obs.Counter("srvnet.inflight").Add(1)
+	if flush {
+		// Batched frames skip the per-call deadline: the socket write
+		// happens at Batch.Flush (which sets it), and a write that hangs
+		// anyway is bounded by wait's timer poisoning the connection.
+		if to := c.timeout(); to > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(to))
 		}
-		return response{}, fmt.Errorf("%w: response out of sequence (got %d, want %d)",
-			ErrProto, resp.Seq, req.Seq)
+	}
+	var err error
+	c.hdr, err = frameReq(c.bw, c.hdr, req)
+	if err == nil && flush {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("srvnet: send: %w", err)
+		c.poisonAll(err, nil)
+		<-call.ch // poisonAll (ours or a concurrent one) delivered to every pending call
+		callPool.Put(call)
+		c.Obs.Counter("srvnet.inflight").Add(-1)
+		return nil, err
+	}
+	return call, nil
+}
+
+// wait collects the reply for a call started by start. A round trip
+// that outlives the timeout poisons the connection — an abandoned reply
+// leaves the stream state unknown — and fails every other in-flight
+// call with it.
+func (c *Client) wait(op string, call *pendingCall) (response, error) {
+	defer c.Obs.Counter("srvnet.inflight").Add(-1)
+	var res callResult
+	select {
+	case res = <-call.ch:
+		// Pipelined common case: the reply landed before the caller got
+		// here, so no timer is armed at all.
+		resp, err := res.resp, res.err
+		callPool.Put(call)
+		if err != nil {
+			return response{}, err
+		}
+		if resp.Err != "" {
+			return resp, errFromWire(resp.Err, resp.Code)
+		}
+		return resp, nil
+	default:
+	}
+	if to := c.timeout(); to > 0 {
+		timer := getTimer(to)
+		select {
+		case res = <-call.ch:
+			putTimer(timer)
+		case <-timer.C:
+			timerPool.Put(timer) // fired and drained: ready for reuse
+			err := fmt.Errorf("srvnet: %s: no reply within %v (peer dead or stalled)", op, to)
+			c.poisonAll(err, nil)
+			// The poison (ours, or a concurrent one that beat us to the
+			// pending map) delivered a result; drain it so the call can
+			// be recycled.
+			<-call.ch
+			callPool.Put(call)
+			return response{}, err
+		}
+	} else {
+		res = <-call.ch
+	}
+	resp, err := res.resp, res.err
+	callPool.Put(call)
+	if err != nil {
+		return response{}, err
 	}
 	if resp.Err != "" {
 		return resp, errFromWire(resp.Err, resp.Code)
@@ -643,62 +1239,115 @@ func (c *Client) rpc(req request) (response, error) {
 	return resp, nil
 }
 
-// poison closes the connection after a transport-level failure. Caller
-// holds c.mu.
-func (c *Client) poison() {
-	if !c.closed {
-		c.closed = true
-		c.conn.Close()
+// rpc performs one full round trip: pipelining-aware under the hood,
+// but synchronous for the caller.
+func (c *Client) rpc(req request) (response, error) {
+	if c.Obs != nil {
+		// Failed round trips are observed too: a latency histogram that
+		// hides the slow failures would understate what remote users pay.
+		defer func(t0 time.Time, op string) {
+			c.Obs.Histogram("srvnet." + op).Observe(time.Since(t0))
+		}(time.Now(), req.Op)
 	}
+	call, err := c.start(&req, true)
+	if err != nil {
+		return response{}, err
+	}
+	return c.wait(req.Op, call)
 }
 
 // Attach selects the session this connection's subsequent operations
 // apply to, on a server that multiplexes sessions (NewMuxServer). The
 // server spawns the session on first attach; re-attaching switches the
-// connection to another session.
+// connection to another session and empties the read cache, whose
+// generations belonged to the old one.
 func (c *Client) Attach(session string) error {
 	_, err := c.rpc(request{Op: "attach", Path: session})
+	if err == nil {
+		c.cacheFlush()
+	}
 	return err
 }
 
-// ReadFile reads a remote file.
+// ReadFile reads a remote file. With the cache enabled (SetCache), a
+// file whose generation has not moved since the last read is served
+// locally with zero wire traffic.
 func (c *Client) ReadFile(path string) ([]byte, error) {
+	cached := c.cacheEnabled()
+	if cached {
+		if data, ok := c.cacheGet(path); ok {
+			c.Obs.Counter("srvnet.cache.hit").Inc()
+			return data, nil
+		}
+		c.Obs.Counter("srvnet.cache.miss").Inc()
+	}
 	resp, err := c.rpc(request{Op: "read", Path: path})
+	if err != nil {
+		return resp.Data, err
+	}
+	if cached {
+		c.cachePut(path, resp.Gen, resp.Data)
+	}
+	return resp.Data, nil
+}
+
+// ReadFileAt reads up to count bytes of a remote file from byte offset
+// off (count <= 0 asks for the server's default chunk). A short or
+// empty result means end of file. Sequential chunks are served from the
+// server's per-connection readahead slot: the file is snapshotted once
+// and sliced while its generation holds, so walking a large body costs
+// one namespace visit, not one per chunk.
+func (c *Client) ReadFileAt(path string, off, count int64) ([]byte, error) {
+	resp, err := c.rpc(request{Op: "readat", Path: path, Offset: off, Count: count})
 	return resp.Data, err
 }
 
-// WriteFile writes (replacing) a remote file.
+// WriteFile writes (replacing) a remote file. The cached entry for the
+// path, if any, is invalidated.
 func (c *Client) WriteFile(path string, data []byte) error {
+	c.cacheInvalidate(path)
 	_, err := c.rpc(request{Op: "write", Path: path, Data: data})
 	return err
 }
 
-// AppendFile appends to a remote file.
+// AppendFile appends to a remote file, invalidating its cached entry.
 func (c *Client) AppendFile(path string, data []byte) error {
+	c.cacheInvalidate(path)
 	_, err := c.rpc(request{Op: "write", Path: path, Data: data, Append: true})
 	return err
 }
 
-// ReadDir lists a remote directory.
+// ReadDir lists a remote directory. Piggybacked entry generations
+// revalidate cached reads of the directory's files.
 func (c *Client) ReadDir(path string) ([]vfs.Info, error) {
 	resp, err := c.rpc(request{Op: "readdir", Path: path})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]vfs.Info, len(resp.Entries))
+	cached := c.cacheEnabled()
 	for i, e := range resp.Entries {
-		out[i] = vfs.Info{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime}
+		out[i] = vfs.Info{Name: e.Name, IsDir: e.IsDir, Size: e.Size, ModTime: e.ModTime, Gen: e.Gen}
+		if cached && !e.IsDir {
+			c.cacheNote(vfs.Clean(path+"/"+e.Name), e.Gen)
+		}
 	}
 	return out, nil
 }
 
-// Stat describes a remote file.
+// Stat describes a remote file. The reply's generation revalidates the
+// cached entry, so Stat-then-ReadFile is the strict-freshness idiom for
+// cached clients.
 func (c *Client) Stat(path string) (vfs.Info, error) {
 	resp, err := c.rpc(request{Op: "stat", Path: path})
 	if err != nil {
 		return vfs.Info{}, err
 	}
-	return vfs.Info{Name: resp.Info.Name, IsDir: resp.Info.IsDir, Size: resp.Info.Size, ModTime: resp.Info.ModTime}, nil
+	if c.cacheEnabled() {
+		c.cacheNote(path, resp.Gen)
+	}
+	return vfs.Info{Name: resp.Info.Name, IsDir: resp.Info.IsDir, Size: resp.Info.Size,
+		ModTime: resp.Info.ModTime, Gen: resp.Info.Gen}, nil
 }
 
 // Glob expands a pattern remotely.
@@ -713,8 +1362,10 @@ func (c *Client) MkdirAll(path string) error {
 	return err
 }
 
-// Remove deletes a remote file or empty directory.
+// Remove deletes a remote file or empty directory, invalidating its
+// cached entry.
 func (c *Client) Remove(path string) error {
+	c.cacheInvalidate(path)
 	_, err := c.rpc(request{Op: "remove", Path: path})
 	return err
 }

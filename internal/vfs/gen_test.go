@@ -1,0 +1,119 @@
+package vfs
+
+import "testing"
+
+// genDev is a device that reports its own edit generation.
+type genDev struct {
+	testDevice
+	gen uint64
+}
+
+func (d *genDev) Gen() uint64 { return d.gen }
+
+// Generations: every visible mutation of a regular file must move its
+// generation, and Stat/ReadDir/ReadFileGen must agree on the value —
+// this is what srvnet's client cache keys on.
+func TestGenMovesOnWrite(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d")
+	if err := fs.WriteFile("/d/f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen == 0 {
+		t.Fatal("regular file has no generation")
+	}
+	g1 := info.Gen
+	if got := fs.Gen("/d/f"); got != g1 {
+		t.Fatalf("Gen = %d, Stat.Gen = %d", got, g1)
+	}
+	data, g2, err := fs.ReadFileGen("/d/f")
+	if err != nil || string(data) != "v1" || g2 != g1 {
+		t.Fatalf("ReadFileGen = %q gen %d err %v, want v1 gen %d", data, g2, err, g1)
+	}
+
+	fs.WriteFile("/d/f", []byte("v2"))
+	if got := fs.Gen("/d/f"); got == g1 {
+		t.Fatal("write did not move the generation")
+	}
+	g3 := fs.Gen("/d/f")
+	fs.AppendFile("/d/f", []byte("+"))
+	if got := fs.Gen("/d/f"); got == g3 {
+		t.Fatal("append did not move the generation")
+	}
+
+	// ReadDir entries carry the same generations as Stat.
+	ents, err := fs.ReadDir("/d")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v %v", ents, err)
+	}
+	if want := fs.Gen("/d/f"); ents[0].Gen != want {
+		t.Fatalf("ReadDir gen = %d, want %d", ents[0].Gen, want)
+	}
+
+	// Directories and missing files have no generation.
+	if got := fs.Gen("/d"); got != 0 {
+		t.Fatalf("directory gen = %d, want 0", got)
+	}
+	if got := fs.Gen("/nope"); got != 0 {
+		t.Fatalf("missing file gen = %d, want 0", got)
+	}
+}
+
+// Devices only carry a generation when they implement GenDevice; a
+// plain device reads as gen 0, which srvnet treats as uncacheable.
+func TestGenDevice(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/dev")
+	plain := &testDevice{reply: "x"}
+	if err := fs.RegisterDevice("/dev/plain", plain); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Gen("/dev/plain"); got != 0 {
+		t.Fatalf("plain device gen = %d, want 0", got)
+	}
+	gd := &genDev{testDevice: testDevice{reply: "y"}, gen: 41}
+	if err := fs.RegisterDevice("/dev/gen", gd); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Gen("/dev/gen"); got != 41 {
+		t.Fatalf("gen device gen = %d, want 41", got)
+	}
+	data, g, err := fs.ReadFileGen("/dev/gen")
+	if err != nil || string(data) != "y" || g != 41 {
+		t.Fatalf("ReadFileGen = %q gen %d err %v", data, g, err)
+	}
+	gd.gen = 42
+	if got := fs.Gen("/dev/gen"); got != 42 {
+		t.Fatalf("gen device gen = %d after bump, want 42", got)
+	}
+}
+
+// ReadFileAt slices the file under the same generation as a full read.
+func TestReadFileAt(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/f", []byte("0123456789"))
+	want := fs.Gen("/d/f")
+
+	chunk, g, err := fs.ReadFileAt("/d/f", 2, 3)
+	if err != nil || string(chunk) != "234" || g != want {
+		t.Fatalf("ReadFileAt(2,3) = %q gen %d err %v", chunk, g, err)
+	}
+	// count <= 0 reads to the end; an offset at or past EOF is empty.
+	chunk, _, _ = fs.ReadFileAt("/d/f", 5, 0)
+	if string(chunk) != "56789" {
+		t.Fatalf("ReadFileAt(5,0) = %q", chunk)
+	}
+	chunk, _, _ = fs.ReadFileAt("/d/f", 10, 4)
+	if len(chunk) != 0 {
+		t.Fatalf("ReadFileAt(10,4) = %q, want empty", chunk)
+	}
+	chunk, _, _ = fs.ReadFileAt("/d/f", 8, 100)
+	if string(chunk) != "89" {
+		t.Fatalf("ReadFileAt(8,100) = %q", chunk)
+	}
+}

@@ -76,6 +76,14 @@ type Info struct {
 	// monotonic counter bumped on every mutation, which is all tools like
 	// mk need to order builds. Devices and directories report 0.
 	ModTime int64
+	// Gen is the file's edit generation: a per-file monotonic counter
+	// that moves exactly when the contents change. Regular files derive
+	// it from their mtime stamp; devices report it when their backing
+	// implements GenDevice (help windows expose text.Buffer.Gen this
+	// way). Zero means "no generation": the file cannot be cached by
+	// generation. srvnet piggybacks Gen on wire replies so remote
+	// clients can cache reads and skip round trips.
+	Gen uint64
 }
 
 // Device is the backing implementation of a synthetic file. Each Open of
@@ -91,6 +99,16 @@ type DeviceFile interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
 	Close() error
+}
+
+// GenDevice is an optional Device extension: a device that can report
+// an edit generation for its contents (a counter that moves exactly
+// when the contents change). Gen is called under the same lock as the
+// file operation that triggered it, so implementations may touch the
+// state their reads touch. A device that does not implement GenDevice
+// reports generation 0, meaning "uncacheable".
+type GenDevice interface {
+	Gen() uint64
 }
 
 // node is one entry in the real (pre-bind) tree.
@@ -529,26 +547,96 @@ func (fs *FS) writeDevice(n *node, data []byte) error {
 	return err
 }
 
+// genOf reports n's edit generation: the per-file mtime stamp for
+// regular files, the device's own counter for GenDevice-backed
+// synthetic files, 0 (uncacheable) for directories and plain devices.
+func genOf(n *node) uint64 {
+	if n.dir {
+		return 0
+	}
+	if n.device != nil {
+		if gd, ok := n.device.(GenDevice); ok {
+			return gd.Gen()
+		}
+		return 0
+	}
+	return uint64(n.mtime)
+}
+
+// Gen reports the edit generation of the file at p, 0 if the path does
+// not resolve or the file carries no generation.
+func (fs *FS) Gen(p string) uint64 {
+	fs.lock()
+	defer fs.unlock()
+	n, err := fs.find(p)
+	if err != nil {
+		return 0
+	}
+	return genOf(n)
+}
+
 // ReadFile returns the full contents of the file at p.
 func (fs *FS) ReadFile(p string) ([]byte, error) {
 	fs.lock()
 	defer fs.unlock()
-	return fs.readFile(p)
+	data, _, err := fs.readFileGen(p)
+	return data, err
 }
 
-func (fs *FS) readFile(p string) ([]byte, error) {
+// ReadFileGen returns the contents of the file at p together with its
+// edit generation, observed atomically under the namespace lock (a gen
+// of 0 means the file carries none). One lookup serves both, which is
+// what the wire server's gen piggybacking rides on.
+func (fs *FS) ReadFileGen(p string) ([]byte, uint64, error) {
+	fs.lock()
+	defer fs.unlock()
+	return fs.readFileGen(p)
+}
+
+func (fs *FS) readFileGen(p string) ([]byte, uint64, error) {
 	n, err := fs.find(p)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if n.dir {
-		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+		return nil, 0, fmt.Errorf("%s: %w", p, ErrIsDir)
 	}
+	gen := genOf(n)
 	if n.device != nil {
-		return fs.readDevice(n)
+		data, err := fs.readDevice(n)
+		return data, gen, err
 	}
-	return append([]byte(nil), n.data...), nil
+	return append([]byte(nil), n.data...), gen, nil
 }
+
+// ReadFileAt returns up to count bytes of the file at p starting at
+// byte offset off, plus the file's generation. A short (or empty)
+// result means the read reached end of file. count <= 0 reads to the
+// end. Devices are snapshotted whole per call, exactly like ReadFile —
+// chunked remote readers should sit behind srvnet's readahead, which
+// amortizes that snapshot across sequential chunks.
+func (fs *FS) ReadFileAt(p string, off, count int64) ([]byte, uint64, error) {
+	data, gen, err := fs.ReadFileGen(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off >= int64(len(data)) {
+		return nil, gen, nil
+	}
+	data = data[off:]
+	if count > 0 && count < int64(len(data)) {
+		data = data[:count]
+	}
+	return data, gen, nil
+}
+
+// chunkPool recycles the scratch buffer readDevice drains handles
+// through: device reads sit on the remote read hot path, and the chunk
+// never escapes, so reusing it cuts one allocation per device read.
+var chunkPool = sync.Pool{New: func() any { b := make([]byte, 4096); return &b }}
 
 func (fs *FS) readDevice(n *node) ([]byte, error) {
 	h, err := n.device.OpenDevice(OREAD)
@@ -557,7 +645,9 @@ func (fs *FS) readDevice(n *node) ([]byte, error) {
 	}
 	defer h.Close()
 	var out []byte
-	buf := make([]byte, 4096)
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
 	off := int64(0)
 	for {
 		k, err := h.ReadAt(buf, off)
@@ -643,7 +733,7 @@ func (fs *FS) Stat(p string) (Info, error) {
 		return Info{}, err
 	}
 	name := path.Base(Clean(p))
-	return Info{Name: name, IsDir: n.dir, Size: int64(len(n.data)), ModTime: n.mtime}, nil
+	return Info{Name: name, IsDir: n.dir, Size: int64(len(n.data)), ModTime: n.mtime, Gen: genOf(n)}, nil
 }
 
 // Exists reports whether p names an existing file or directory.
@@ -697,7 +787,7 @@ func (fs *FS) readDir(p string) ([]Info, error) {
 				continue
 			}
 			seen[name] = true
-			out = append(out, Info{Name: name, IsDir: child.dir, Size: int64(len(child.data)), ModTime: child.mtime})
+			out = append(out, Info{Name: name, IsDir: child.dir, Size: int64(len(child.data)), ModTime: child.mtime, Gen: genOf(child)})
 		}
 	}
 	if !found {
