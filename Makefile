@@ -20,14 +20,14 @@ vet:
 # Bench evidence loop: run the suite serially three times (separate
 # passes, minutes apart, so a noisy-neighbor phase can't taint every
 # sample of a benchmark — helpbench keeps each benchmark's best run),
-# record BENCH_PR7.json, and fail if anything regressed >20% on ns/op
+# record BENCH_PR8.json, and fail if anything regressed >20% on ns/op
 # or allocs/op against the checked-in pre-PR baseline (see
 # docs/ARCHITECTURE.md, "Performance model").
 bench:
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
-	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR6.json -o BENCH_PR7.json
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR7.json -o BENCH_PR8.json
 
 # Stress the actor model: the whole-system concurrency matrix, repeated
 # under the race detector so queue/kill/streaming interleavings vary.

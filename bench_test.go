@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/journal"
+	"repro/internal/notify"
 	"repro/internal/session"
 	"repro/internal/sessiond"
 	"repro/internal/srvnet"
@@ -741,4 +742,93 @@ func BenchmarkManySessionsServe(b *testing.B) {
 	for _, d := range detaches {
 		d()
 	}
+}
+
+// BenchmarkEventFanout measures the notify bus with a thousand parked
+// subscribers: the per-publish cost the core actor pays at a sweep
+// point. Rings overflow newest-wins, so a publish never blocks on a
+// reader — the number here is pure fan-out, not consumer speed.
+func BenchmarkEventFanout(b *testing.B) {
+	bus := notify.New()
+	subs := make([]*notify.Sub, 1000)
+	for i := range subs {
+		subs[i] = bus.Subscribe(0, 8, 0)
+	}
+	defer func() {
+		for _, s := range subs {
+			s.Close()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(1, "body", "gen 1")
+	}
+}
+
+// BenchmarkPushInvalidatedRead measures the PR 8 cache regime: reads
+// served from the generation-keyed cache while a push-invalidation
+// stream keeps it honest. cached-hit is the steady state (zero wire
+// traffic); invalidate-cycle is the full loop — a remote write, the
+// pushed invalidation, and the first fresh read — i.e. how stale a
+// push-invalidated cache can ever be.
+func BenchmarkPushInvalidatedRead(b *testing.B) {
+	w, err := world.Build(100, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := w.Help.NewWindow()
+	win.Body.SetString("v0")
+	body := world.MountRoot + "/1/body"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go srvnet.NewServer(w.FS).Serve(l)
+	reader, err := srvnet.Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reader.Close()
+	reader.SetCache(true)
+	stop := reader.StartPushInval(world.MountRoot)
+	defer stop()
+	writer, err := srvnet.Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer writer.Close()
+
+	b.Run("cached-hit", func(b *testing.B) {
+		if _, err := reader.ReadFile(body); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reader.ReadFile(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("invalidate-cycle", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			payload := []byte(fmt.Sprintf("v%d", i+1))
+			if err := writer.WriteFile(body, payload); err != nil {
+				b.Fatal(err)
+			}
+			for {
+				data, err := reader.ReadFile(body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bytes.Equal(data, payload) {
+					break
+				}
+			}
+		}
+	})
 }

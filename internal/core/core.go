@@ -11,6 +11,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/notify"
 	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/vfs"
@@ -156,6 +157,15 @@ type Help struct {
 	Obs *obs.Registry
 	ins instruments
 
+	// Notify is the session event bus: one line per observable state
+	// change (window create/close, body and tag edits, command
+	// execution), published from the choke points under the actor lock
+	// and consumed by the event files helpfs serves, the Watch built-in,
+	// and srvnet's readwait long polls. Publishing never blocks — a slow
+	// reader overflows its own ring, never the actor — so emission is
+	// safe on every hot path. New installs it; it is never nil.
+	Notify *notify.Bus
+
 	// Interaction accounting mirrors into atomics after every event so
 	// Metrics() is a consistent snapshot from any goroutine while the
 	// event loop runs.
@@ -228,6 +238,7 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 		nextID: 1,
 		applyq: make(chan func(), 256),
 		procs:  map[int]*proc{},
+		Notify: notify.New(),
 	}
 	h9.errorsCap = defaultErrorsCap
 	h9.safeFS = fs.Serialized(&h9.mu)
@@ -401,6 +412,9 @@ func (h *Help) newWindowIn(col *Column) *Window {
 	if h.OnWindowCreated != nil {
 		h.OnWindowCreated(w)
 	}
+	// After OnWindowCreated: by the time a subscriber reacts to the
+	// event, the window's files exist under /mnt/help/<n>/.
+	h.Notify.Publish(w.ID, "new", "")
 	return w
 }
 
@@ -570,6 +584,7 @@ func (h *Help) closeWindow(w *Window) {
 	if h.OnWindowClosed != nil {
 		h.OnWindowClosed(w)
 	}
+	h.Notify.Publish(w.ID, "del", w.FileName())
 }
 
 // ExpandColumn gives column ci two thirds of the screen width, the action

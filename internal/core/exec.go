@@ -80,6 +80,7 @@ func (h *Help) execute(w *Window, cmd string) *proc {
 		h.exitPending = false
 	}
 	h.mCommands.Inc()
+	h.Notify.Publish(winID(w), "exec", fields[0])
 	var sp *obs.ActiveSpan
 	if h.ins.on {
 		sp = h.Obs.StartSpan("exec", fields[0])
@@ -165,6 +166,9 @@ func (h *Help) execute(w *Window, cmd string) *proc {
 		// Observability through the same interface as everything else:
 		// open the stats file helpfs serves, reloaded on each execution.
 		h.metricsCmd()
+	case "Watch":
+		// Everything after the command word, spacing preserved.
+		h.watchCmd(w, strings.TrimPrefix(strings.TrimPrefix(strings.TrimLeft(cmd, " \t"), "Watch"), " "))
 	default:
 		builtin = false
 		p = h.runExternal(w, cmd, fields)

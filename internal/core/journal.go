@@ -221,11 +221,14 @@ func (rec *Recorder) fsMutated(kind vfs.MutKind, p string, data []byte, aux stri
 // quiescent sweep emits nothing. It must never take help down, so it
 // recovers its own panics.
 func (h *Help) JournalSweep() {
+	defer func() { recover() }()
+	// The notify sweep rides the same interaction boundary: whatever
+	// reached a sweep point is also what subscribers should hear about.
+	h.notifySweep()
 	rec := h.rec
 	if rec == nil {
 		return
 	}
-	defer func() { recover() }()
 	rec.sweep()
 }
 
@@ -338,6 +341,13 @@ func (h *Help) PanicReport(where string, r any, stack []byte) {
 		h.OnCrash(where, fmt.Errorf("recovered panic: %v", r))
 	}
 	h.reportFault(where, fmt.Errorf("recovered panic: %v%s", r, detail))
+}
+
+// ReportPanicAsync reports a panic recovered in code that runs WITHOUT
+// the actor lock (the blocking device reads vfs.ReadWait dispatches):
+// the report itself needs the lock, so it is applied through the queue.
+func (h *Help) ReportPanicAsync(where string, r any, stack []byte) {
+	h.enqueue(func() { h.PanicReport(where, r, stack) })
 }
 
 // PanicCount reports how many panics the guards have recovered; the

@@ -66,10 +66,15 @@ func (h *Help) SetObs(r *obs.Registry) {
 	if h.FS != nil {
 		h.FS.SetObs(r)
 	}
+	h.Notify.SetObs(r)
 	if r == nil {
 		h.ins = instruments{}
 		return
 	}
+	// The bus doubles as the registry's span sink: trace spans and
+	// fault/panic events stream into /mnt/help/log alongside the state
+	// changes, so one subscription observes everything.
+	r.SetSink(h.Notify.Sink())
 	h.ins = instruments{
 		on:            true,
 		gestures:      r.Counter("core.gestures"),

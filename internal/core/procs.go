@@ -23,6 +23,22 @@ type proc struct {
 	// killed is set under the actor lock when Kill selects this command,
 	// so the reap can report the termination in Errors.
 	killed bool
+
+	// onKill, when set, runs right after the kill flag is raised, still
+	// under the actor lock. It exists for commands that park on
+	// something other than the flag (the Watch built-in blocks on a
+	// notify subscription): it must wake them so they see the flag. It
+	// must not block and must be safe to call more than once.
+	onKill func()
+}
+
+// stopProc raises p's kill flag and wakes it. Runs under the actor lock.
+func stopProc(p *proc) {
+	p.kill.Kill()
+	p.killed = true
+	if p.onKill != nil {
+		p.onKill()
+	}
 }
 
 // ProcInfo is the external description of a live command, served through
@@ -166,8 +182,7 @@ func (h *Help) killCmd(args []string) {
 			continue
 		}
 		if !p.killed {
-			p.kill.Kill()
-			p.killed = true
+			stopProc(p)
 		}
 		matched++
 	}
@@ -182,8 +197,7 @@ func (h *Help) killCmd(args []string) {
 func (h *Help) killProcsForWindow(w *Window) {
 	for _, p := range h.procs {
 		if p.winID == w.ID && !p.killed {
-			p.kill.Kill()
-			p.killed = true
+			stopProc(p)
 			h.appendErrors(fmt.Sprintf("Close!: killing %s\n", p.name))
 		}
 	}
@@ -203,8 +217,7 @@ func (h *Help) KillAll() {
 func (h *Help) killAllProcs() {
 	for _, p := range h.procs {
 		if !p.killed {
-			p.kill.Kill()
-			p.killed = true
+			stopProc(p)
 		}
 	}
 }

@@ -56,6 +56,11 @@ type Window struct {
 	// IsDir marks directory windows, whose tag ends in a slash and whose
 	// body lists the directory.
 	IsDir bool
+
+	// notifiedBody and notifiedTag are the buffer generations the last
+	// notify sweep announced; see Help.notifySweep.
+	notifiedBody uint64
+	notifiedTag  uint64
 }
 
 // newWindow builds an empty window with the given id.

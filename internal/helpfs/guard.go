@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/vfs"
 )
@@ -42,6 +43,27 @@ func (g guardDevice) Gen() (gen uint64) {
 		}
 	}()
 	return gd.Gen()
+}
+
+// ReadWait forwards the blocking-read extension (vfs.WaitDevice) when
+// the inner device supports it; anything else reports ErrNotWaitable
+// and vfs degrades to a snapshot read. Unlike every other guarded op it
+// runs WITHOUT the actor lock — that is the extension's contract — so
+// the panic path must not call PanicReport directly (it expects the
+// lock held); it reports through the apply queue instead.
+func (g guardDevice) ReadWait(since uint64, stop <-chan struct{}, timeout time.Duration) (data []byte, next uint64, err error) {
+	wd, ok := g.dev.(vfs.WaitDevice)
+	if !ok {
+		return nil, 0, vfs.ErrNotWaitable
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			op := "readwait " + g.name
+			g.s.h.ReportPanicAsync("helpfs "+op, r, debug.Stack())
+			err = fmt.Errorf("helpfs: %s: internal error: %v", op, r)
+		}
+	}()
+	return wd.ReadWait(since, stop, timeout)
 }
 
 func (g guardDevice) OpenDevice(mode int) (f vfs.DeviceFile, err error) {

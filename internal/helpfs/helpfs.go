@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/notify"
 	"repro/internal/vfs"
 )
 
@@ -72,6 +73,13 @@ func Attach(h *core.Help, fs *vfs.FS, root string) (*Service, error) {
 		return nil, err
 	}
 	if err := s.register(s.root+"/ctl", &rootCtlDevice{s: s}); err != nil {
+		return nil, err
+	}
+	// The global event log: every bus event (window lifecycle, body/tag
+	// edits, exec, trace/fault via the obs sink), one line each. A plain
+	// read drains what arrived since open; blocking reads go through
+	// vfs.ReadWait / srvnet readwait.
+	if err := s.register(s.root+"/log", notify.Device{Bus: h.Notify}); err != nil {
 		return nil, err
 	}
 	if err := s.registerObsFiles(); err != nil {
@@ -137,13 +145,18 @@ func (s *Service) addWindow(w *core.Window) error {
 	if err := s.register(dir+"/bodyapp", &bufDevice{s: s, id: id, sub: core.SubBody, appendOnly: true, k: s.kinds["bodyapp"]}); err != nil {
 		return err
 	}
+	// Per-window event stream: this window's lifecycle and edit events
+	// only, the file a tool watches instead of polling body.
+	if err := s.register(dir+"/event", notify.Device{Bus: s.h.Notify, Win: id}); err != nil {
+		return err
+	}
 	return s.register(dir+"/ctl", &ctlDevice{s: s, id: id, k: s.kinds["ctl"]})
 }
 
 // removeWindow tears down the numbered directory.
 func (s *Service) removeWindow(w *core.Window) {
 	dir := s.winDir(w.ID)
-	for _, f := range []string{"tag", "body", "bodyapp", "ctl"} {
+	for _, f := range []string{"tag", "body", "bodyapp", "event", "ctl"} {
 		s.fs.RemoveDevice(dir + "/" + f)
 	}
 	s.fs.Remove(dir)

@@ -1,0 +1,154 @@
+package helpfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/notify"
+)
+
+// TestLogBlocksUntilEvent: a reader parked on /mnt/help/log with
+// ReadWait wakes when a window is created and sees the "new" event,
+// without ever polling.
+func TestLogBlocksUntilEvent(t *testing.T) {
+	h, _, _ := attach(t)
+	// Concurrent readers go through the serialized view, like every
+	// consumer outside the event loop.
+	fs := h.SafeFS()
+	seq0 := h.Notify.Seq()
+
+	type result struct {
+		data []byte
+		next uint64
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		data, next, err := fs.ReadWait("/mnt/help/log", seq0, nil, 5*time.Second)
+		got <- result{data, next, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.NewWindow()
+
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("ReadWait: %v", r.err)
+		}
+		if r.next <= seq0 {
+			t.Errorf("resume seq %d, want > %d", r.next, seq0)
+		}
+		found := false
+		for _, line := range strings.Split(strings.TrimRight(string(r.data), "\n"), "\n") {
+			if ev, ok := notify.ParseLine(line); ok && ev.Kind == "new" && ev.Window == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no new-window event in %q", r.data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadWait never woke on window create")
+	}
+}
+
+// TestWindowEventFileFilters: /mnt/help/N/event carries only window
+// N's events, even while other windows are busy.
+func TestWindowEventFileFilters(t *testing.T) {
+	h, fs, _ := attach(t)
+	h.NewWindow()
+	h.NewWindow()
+	seq0 := h.Notify.Seq()
+
+	// Edits through the file service sweep the journal, which is the
+	// choke point that publishes body events.
+	if err := fs.WriteFile("/mnt/help/1/body", []byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/mnt/help/2/body", []byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	data, _, err := fs.ReadWait("/mnt/help/1/event", seq0, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		ev, ok := notify.ParseLine(line)
+		if !ok {
+			continue
+		}
+		if ev.Window != 1 {
+			t.Errorf("window-1 event file leaked %+v", ev)
+		}
+		if ev.Kind == "body" {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Errorf("no body event for window 1 in %q", data)
+	}
+}
+
+// TestEventFileReadOnly: event streams cannot be written.
+func TestEventFileReadOnly(t *testing.T) {
+	h, fs, _ := attach(t)
+	h.NewWindow()
+	for _, p := range []string{"/mnt/help/log", "/mnt/help/1/event"} {
+		if err := fs.WriteFile(p, []byte("x")); err == nil {
+			t.Errorf("write to %s succeeded, want error", p)
+		}
+	}
+}
+
+// TestPlainEventReadDoesNotBlock: an ordinary ReadFile on an event
+// device drains whatever is pending and returns — it never parks, so
+// cat /mnt/help/log stays safe.
+func TestPlainEventReadDoesNotBlock(t *testing.T) {
+	h, fs, _ := attach(t)
+	h.NewWindow()
+	done := make(chan struct{})
+	go func() {
+		fs.ReadFile("/mnt/help/log")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("plain ReadFile on /mnt/help/log blocked")
+	}
+}
+
+// TestEventFileRemovedWithWindow: closing the window removes its event
+// file along with the rest of the directory.
+func TestEventFileRemovedWithWindow(t *testing.T) {
+	h, fs, _ := attach(t)
+	w := h.NewWindow()
+	if _, err := fs.Stat("/mnt/help/1/event"); err != nil {
+		t.Fatalf("event file missing while window live: %v", err)
+	}
+	h.CloseWindow(w)
+	if _, err := fs.Stat("/mnt/help/1/event"); err == nil {
+		t.Error("event file survived window close")
+	}
+}
+
+// TestReadWaitDegradesOnPlainFile: ReadWait on a non-event path is
+// just a read — contents come back immediately with the generation.
+func TestReadWaitDegradesOnPlainFile(t *testing.T) {
+	h, fs, _ := attach(t)
+	w := h.NewWindow()
+	w.Body.SetString("hello")
+	data, gen, err := fs.ReadWait("/mnt/help/1/body", 0, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("data = %q", data)
+	}
+	if gen == 0 {
+		t.Error("gen = 0, want the device generation")
+	}
+}

@@ -144,14 +144,18 @@ func TestTraceFileServesSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("trace lines = %d, want 2:\n%s", len(lines), data)
+	if len(lines) != 3 {
+		t.Fatalf("trace lines = %d, want 3:\n%s", len(lines), data)
 	}
-	if !strings.Contains(lines[0], "boot") || !strings.Contains(lines[0], "ok") {
-		t.Errorf("line 0 = %q", lines[0])
+	// Line 0 is the seq stamp scrapers diff to detect missed windows.
+	if !strings.HasPrefix(lines[0], "# seq 2 cap ") {
+		t.Errorf("stamp line = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "exec") || !strings.Contains(lines[1], "date") {
+	if !strings.Contains(lines[1], "boot") || !strings.Contains(lines[1], "ok") {
 		t.Errorf("line 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "exec") || !strings.Contains(lines[2], "date") {
+		t.Errorf("line 2 = %q", lines[2])
 	}
 }
 

@@ -1,0 +1,419 @@
+// Package notify is the event bus behind the session's event files. It
+// inverts the polling the paper's tools rely on (the mail watcher stats
+// a mailbox on a timer; stf re-reads directories) into blocking reads:
+// the core actor publishes one event per observable state change, and
+// readers — /mnt/help/<n>/event, /mnt/help/log, the srvnet readwait op,
+// the Watch built-in — park until something happens.
+//
+// The cardinal rule is that a slow reader can never block the core
+// actor. Publish never waits: each subscriber owns a bounded ring, and
+// when a ring fills the oldest entry is discarded (newest wins) and the
+// subscriber is marked; on its next read it sees a synthesized "gap"
+// event before the retained tail, so it knows to resync. The bus also
+// keeps a bounded history of recent events, which is what makes streams
+// resumable: a reader that remembers the last sequence number it saw
+// can subscribe from there and be backfilled, with the same gap marking
+// if the history has already wrapped past it.
+//
+// Events are one line each on the wire: "<seq> <window> <kind> <detail>".
+// Seq is a bus-wide monotonic counter (never 0 for a real event), window
+// is the help window concerned (0 for session-wide events), kind is a
+// single word, detail free text to end of line.
+package notify
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Event is one bus event. Seq 0 marks a synthesized event (a gap
+// marker), never a published one.
+type Event struct {
+	Seq    uint64
+	Window int
+	Kind   string
+	Detail string
+}
+
+// KindGap is the kind of the synthesized discontinuity marker a reader
+// sees after its ring (or the bus history) overflowed: its detail is
+// "<n> missed", and the events it replaces are gone. A reader that
+// needs coherent state re-reads it from the files and resumes from the
+// seqs that follow.
+const KindGap = "gap"
+
+// Line renders the event in its one-line wire form, without a newline.
+func (e Event) Line() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%d %d %s", e.Seq, e.Window, e.Kind)
+	}
+	return fmt.Sprintf("%d %d %s %s", e.Seq, e.Window, e.Kind, e.Detail)
+}
+
+// ParseLine parses the wire form back into an Event. The second result
+// is false if the line is not an event line.
+func ParseLine(line string) (Event, bool) {
+	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 4)
+	if len(parts) < 3 {
+		return Event{}, false
+	}
+	seq, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return Event{}, false
+	}
+	win, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Event{}, false
+	}
+	ev := Event{Seq: seq, Window: win, Kind: parts[2]}
+	if len(parts) == 4 {
+		ev.Detail = parts[3]
+	}
+	return ev, true
+}
+
+// Errors returned by blocking reads.
+var (
+	// ErrClosed means the subscription was closed under the reader.
+	ErrClosed = errors.New("notify: subscription closed")
+	// ErrTimeout means the wait deadline passed with no event; for a
+	// long poll this is the normal empty result.
+	ErrTimeout = errors.New("notify: wait timed out")
+	// ErrStopped means the caller's stop channel closed (connection
+	// went away, handle closed).
+	ErrStopped = errors.New("notify: wait stopped")
+)
+
+const (
+	// DefaultHistory is the bus's resume window: how many recent events
+	// survive for late subscribers to be backfilled from.
+	DefaultHistory = 512
+	// DefaultRing is the per-subscriber buffer between publish and read.
+	DefaultRing = 256
+)
+
+// Bus is the event bus: one per session (plus one daemon-level bus in
+// sessiond). All methods are safe for concurrent use; Publish never
+// blocks on readers.
+type Bus struct {
+	mu   sync.Mutex
+	seq  uint64
+	hist []Event // ring of the last len(hist) events, indexed by seq
+	subs map[*Sub]struct{}
+	tap  func(Event)
+
+	// armed flips true on the first Subscribe or SetTap and never
+	// resets: before anyone has ever listened, publishers may skip
+	// building expensive detail strings (see Armed), so a session
+	// nobody watches pays nothing for the event layer.
+	armed atomic.Bool
+
+	cPublished *obs.Counter
+	cDropped   *obs.Counter
+	cWaits     *obs.Counter
+}
+
+// New returns a Bus with the default history capacity.
+func New() *Bus { return NewSized(DefaultHistory) }
+
+// NewSized returns a Bus whose resume history holds hist events.
+func NewSized(hist int) *Bus {
+	if hist < 1 {
+		hist = 1
+	}
+	return &Bus{
+		hist: make([]Event, hist),
+		subs: map[*Sub]struct{}{},
+	}
+}
+
+// SetObs installs bus counters on r: notify.published, notify.dropped
+// (ring overflow discards), notify.waits (blocking reads entered), and
+// the notify.subs gauge. Nil removes them.
+func (b *Bus) SetObs(r *obs.Registry) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r == nil {
+		b.cPublished, b.cDropped, b.cWaits = nil, nil, nil
+		return
+	}
+	b.cPublished = r.Counter("notify.published")
+	b.cDropped = r.Counter("notify.dropped")
+	b.cWaits = r.Counter("notify.waits")
+	r.Gauge("notify.subs", func() int64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return int64(len(b.subs))
+	})
+}
+
+// SetTap installs a function called once per published event, after
+// delivery, outside the bus lock (nil removes it). sessiond uses it to
+// aggregate per-session buses into the daemon-level stream; the tap
+// must not block and must not publish back into this bus.
+func (b *Bus) SetTap(fn func(Event)) {
+	b.mu.Lock()
+	b.tap = fn
+	b.mu.Unlock()
+	if fn != nil {
+		b.armed.Store(true)
+	}
+}
+
+// Armed reports whether anyone has ever subscribed (or tapped) this
+// bus. Publishers of events with costly-to-format details may publish
+// them with an empty detail while unarmed — the seq/window/kind
+// skeleton is still recorded for resume — and consumers must treat a
+// detail-less event conservatively (a body event with no generation
+// means "assume stale"). Once armed, always armed: there is no race
+// where a new subscriber sees half-formatted live events.
+func (b *Bus) Armed() bool {
+	return b != nil && b.armed.Load()
+}
+
+// Publish appends one event to the bus and returns its seq. It never
+// blocks: a full subscriber ring discards its oldest entry and marks
+// the gap.
+func (b *Bus) Publish(win int, kind, detail string) uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	b.seq++
+	ev := Event{Seq: b.seq, Window: win, Kind: kind, Detail: detail}
+	b.hist[int((ev.Seq-1)%uint64(len(b.hist)))] = ev
+	for s := range b.subs {
+		s.push(ev)
+	}
+	tap := b.tap
+	b.mu.Unlock()
+	b.cPublished.Inc()
+	if tap != nil {
+		tap(ev)
+	}
+	return ev.Seq
+}
+
+// Seq returns the seq of the most recently published event (0 if none
+// yet): the resume point for a subscriber that wants only the future.
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// oldestLocked is the seq of the oldest event still in history; 0 when
+// the bus has published nothing.
+func (b *Bus) oldestLocked() uint64 {
+	if b.seq <= uint64(len(b.hist)) {
+		return min(b.seq, 1)
+	}
+	return b.seq - uint64(len(b.hist)) + 1
+}
+
+// Subscribe registers a reader. win > 0 filters to that window's events;
+// win <= 0 sees everything. ringCap bounds the unread backlog (<= 0 for
+// the default). since is the last seq the reader has already seen: 0
+// means "from now", anything else backfills from the bus history, with
+// a gap recorded if the history has wrapped past it.
+func (b *Bus) Subscribe(win, ringCap int, since uint64) *Sub {
+	if ringCap <= 0 {
+		ringCap = DefaultRing
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.armed.Store(true)
+	s := &Sub{
+		b:    b,
+		win:  win,
+		ring: make([]Event, ringCap),
+		wake: make(chan struct{}, 1),
+	}
+	if since == 0 || since > b.seq {
+		since = b.seq
+	}
+	s.base = since
+	if oldest := b.oldestLocked(); since+1 < oldest {
+		s.missed = oldest - 1 - since
+		since = oldest - 1
+	}
+	for q := since + 1; q <= b.seq; q++ {
+		s.push(b.hist[int((q-1)%uint64(len(b.hist)))])
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// ReadSince is the long-poll primitive srvnet's readwait op and the
+// event devices build on: collect the events after seq since (0 = from
+// now), blocking until at least one arrives, stop closes, or timeout
+// expires. It returns the batch, capped at max, plus the seq to resume
+// from next time. A timeout returns an empty batch and no error — the
+// normal empty poll; the returned seq is still valid to resume from.
+func (b *Bus) ReadSince(win int, since uint64, max int, stop <-chan struct{}, timeout time.Duration) ([]Event, uint64, error) {
+	if max <= 0 {
+		max = DefaultRing
+	}
+	s := b.Subscribe(win, max, since)
+	defer s.Close()
+	next := s.base
+	first, err := s.Next(stop, timeout)
+	if err == ErrTimeout {
+		return nil, next, nil
+	}
+	if err != nil {
+		return nil, next, err
+	}
+	evs := make([]Event, 1, 8)
+	evs[0] = first
+	if first.Seq > next {
+		next = first.Seq
+	}
+	for len(evs) < max {
+		ev, ok := s.TryNext()
+		if !ok {
+			break
+		}
+		evs = append(evs, ev)
+		if ev.Seq > next {
+			next = ev.Seq
+		}
+	}
+	return evs, next, nil
+}
+
+// Sub is one subscription: a bounded ring the bus pushes into and the
+// reader drains. All fields are guarded by the bus lock.
+type Sub struct {
+	b      *Bus
+	win    int
+	ring   []Event
+	r, n   int
+	missed uint64 // events discarded since the reader last looked
+	base   uint64 // resolved "since" seq at subscribe time
+	closed bool
+	wake   chan struct{} // capacity 1: a wake token, not a queue
+}
+
+// push delivers ev to the ring, discarding the oldest entry when full
+// (newest wins). Runs under the bus lock.
+func (s *Sub) push(ev Event) {
+	if s.win > 0 && ev.Window != s.win {
+		return
+	}
+	if s.n == len(s.ring) {
+		s.ring[s.r] = Event{}
+		s.r = (s.r + 1) % len(s.ring)
+		s.n--
+		s.missed++
+		s.b.cDropped.Inc()
+	}
+	s.ring[(s.r+s.n)%len(s.ring)] = ev
+	s.n++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// tryNext pops the next event. Discarded events surface as a gap marker
+// exactly where they were lost: drops always take the oldest retained
+// entry, so everything still in the ring is newer than the gap.
+func (s *Sub) tryNext() (Event, bool, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.missed > 0 {
+		ev := Event{Kind: KindGap, Detail: strconv.FormatUint(s.missed, 10) + " missed"}
+		s.missed = 0
+		return ev, true, nil
+	}
+	if s.n == 0 {
+		if s.closed {
+			return Event{}, false, ErrClosed
+		}
+		return Event{}, false, nil
+	}
+	ev := s.ring[s.r]
+	s.ring[s.r] = Event{} // don't pin the strings
+	s.r = (s.r + 1) % len(s.ring)
+	s.n--
+	return ev, true, nil
+}
+
+// TryNext pops the next buffered event without blocking.
+func (s *Sub) TryNext() (Event, bool) {
+	ev, ok, _ := s.tryNext()
+	return ev, ok
+}
+
+// Next blocks until an event is available and returns it. It unblocks
+// with ErrStopped when stop closes, ErrTimeout when timeout (if > 0)
+// expires, and ErrClosed when the subscription is closed under it.
+func (s *Sub) Next(stop <-chan struct{}, timeout time.Duration) (Event, error) {
+	s.b.cWaits.Inc()
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	for {
+		ev, ok, err := s.tryNext()
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+		select {
+		case <-s.wake:
+		case <-stop: // nil stop blocks forever, as intended
+			return Event{}, ErrStopped
+		case <-tc:
+			return Event{}, ErrTimeout
+		}
+	}
+}
+
+// Close unregisters the subscription and unblocks any parked Next.
+func (s *Sub) Close() {
+	s.b.mu.Lock()
+	if s.closed {
+		s.b.mu.Unlock()
+		return
+	}
+	s.closed = true
+	delete(s.b.subs, s)
+	s.b.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Sink adapts the bus to obs.Sink so the registry's trace spans and
+// fault events stream into the event feed alongside state changes:
+// every published span becomes a window-0 "trace" event whose detail
+// is "<name> <dur>us <attrs>".
+func (b *Bus) Sink() obs.Sink {
+	return obs.FuncSink(func(sp obs.Span) {
+		detail := sp.Name + " " + strconv.FormatInt(sp.Dur.Microseconds(), 10) + "us"
+		if sp.Attrs != "" {
+			detail += " " + sp.Attrs
+		}
+		b.Publish(0, "trace", detail)
+	})
+}

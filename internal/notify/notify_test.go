@@ -1,0 +1,232 @@
+package notify
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 0, 0)
+	defer s.Close()
+	b.Publish(1, "new", "")
+	b.Publish(1, "body", "gen 2")
+	b.Publish(2, "new", "")
+
+	want := []Event{
+		{Seq: 1, Window: 1, Kind: "new"},
+		{Seq: 2, Window: 1, Kind: "body", Detail: "gen 2"},
+		{Seq: 3, Window: 2, Kind: "new"},
+	}
+	for i, w := range want {
+		ev, ok := s.TryNext()
+		if !ok || ev != w {
+			t.Fatalf("event %d = %+v ok=%v, want %+v", i, ev, ok, w)
+		}
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Error("extra event after the published three")
+	}
+}
+
+func TestWindowFilter(t *testing.T) {
+	b := New()
+	s := b.Subscribe(2, 0, 0)
+	defer s.Close()
+	b.Publish(1, "new", "")
+	b.Publish(2, "new", "")
+	b.Publish(0, "exec", "date") // session-wide events are filtered too
+	ev, ok := s.TryNext()
+	if !ok || ev.Window != 2 {
+		t.Fatalf("ev = %+v ok=%v", ev, ok)
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Error("filtered subscription saw another window's event")
+	}
+}
+
+// TestRingOverflowMarksGap: a slow reader's ring overflows newest-wins;
+// the next read sees one synthesized gap marker counting the losses,
+// then the retained (newest) tail in order.
+func TestRingOverflowMarksGap(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 4, 0)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(1, "body", "")
+	}
+	ev, ok := s.TryNext()
+	if !ok || ev.Kind != KindGap || ev.Seq != 0 {
+		t.Fatalf("first = %+v, want gap marker", ev)
+	}
+	if ev.Detail != "6 missed" {
+		t.Errorf("gap detail = %q, want \"6 missed\"", ev.Detail)
+	}
+	// The tail is the newest 4, contiguous.
+	for want := uint64(7); want <= 10; want++ {
+		ev, ok := s.TryNext()
+		if !ok || ev.Seq != want {
+			t.Fatalf("after gap: seq %d ok=%v, want %d", ev.Seq, ok, want)
+		}
+	}
+}
+
+// TestResumeFromSeq: a subscriber that remembers its last seq is
+// backfilled from history with nothing duplicated or lost.
+func TestResumeFromSeq(t *testing.T) {
+	b := New()
+	for i := 0; i < 5; i++ {
+		b.Publish(1, "body", "")
+	}
+	s := b.Subscribe(0, 0, 3)
+	defer s.Close()
+	for want := uint64(4); want <= 5; want++ {
+		ev, ok := s.TryNext()
+		if !ok || ev.Seq != want {
+			t.Fatalf("seq %d ok=%v, want %d", ev.Seq, ok, want)
+		}
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Error("resume delivered more than the missing tail")
+	}
+}
+
+// TestResumePastHistoryGetsGap: resuming from a seq the bounded history
+// has already dropped yields a gap marker, then everything retained.
+func TestResumePastHistoryGetsGap(t *testing.T) {
+	b := NewSized(4)
+	for i := 0; i < 10; i++ {
+		b.Publish(1, "body", "")
+	}
+	s := b.Subscribe(0, 0, 2) // events 3..6 are gone (history holds 7..10)
+	defer s.Close()
+	ev, ok := s.TryNext()
+	if !ok || ev.Kind != KindGap || ev.Detail != "4 missed" {
+		t.Fatalf("first = %+v ok=%v, want 4-missed gap", ev, ok)
+	}
+	for want := uint64(7); want <= 10; want++ {
+		ev, ok := s.TryNext()
+		if !ok || ev.Seq != want {
+			t.Fatalf("seq %d ok=%v, want %d", ev.Seq, ok, want)
+		}
+	}
+}
+
+func TestNextBlocksUntilPublish(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 0, 0)
+	defer s.Close()
+	got := make(chan Event, 1)
+	go func() {
+		ev, err := s.Next(nil, 2*time.Second)
+		if err != nil {
+			t.Errorf("Next: %v", err)
+		}
+		got <- ev
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish(3, "new", "")
+	select {
+	case ev := <-got:
+		if ev.Window != 3 || ev.Kind != "new" {
+			t.Errorf("ev = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next never woke")
+	}
+}
+
+func TestNextUnblocksOnStopAndClose(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 0, 0)
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() { _, err := s.Next(stop, 0); errs <- err }()
+	close(stop)
+	if err := <-errs; err != ErrStopped {
+		t.Errorf("stop: err = %v, want ErrStopped", err)
+	}
+
+	go func() { _, err := s.Next(nil, 0); errs <- err }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	if err := <-errs; err != ErrClosed {
+		t.Errorf("close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNextTimeout(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 0, 0)
+	defer s.Close()
+	if _, err := s.Next(nil, 5*time.Millisecond); err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestReadSince covers the long-poll primitive: batched delivery, the
+// resume seq, and the empty-timeout poll.
+func TestReadSince(t *testing.T) {
+	b := New()
+	for i := 0; i < 3; i++ {
+		b.Publish(1, "body", "")
+	}
+	evs, next, err := b.ReadSince(0, 1, 0, nil, time.Second)
+	if err != nil || len(evs) != 2 || next != 3 {
+		t.Fatalf("evs=%v next=%d err=%v", evs, next, err)
+	}
+	// Nothing new: the poll times out empty, resume seq intact.
+	evs, next, err = b.ReadSince(0, next, 0, nil, 5*time.Millisecond)
+	if err != nil || len(evs) != 0 || next != 3 {
+		t.Fatalf("empty poll: evs=%v next=%d err=%v", evs, next, err)
+	}
+	// And resuming from it picks up exactly the next event.
+	b.Publish(2, "new", "")
+	evs, next, err = b.ReadSince(0, next, 0, nil, time.Second)
+	if err != nil || len(evs) != 1 || evs[0].Seq != 4 || next != 4 {
+		t.Fatalf("resume: evs=%v next=%d err=%v", evs, next, err)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	cases := []Event{
+		{Seq: 7, Window: 2, Kind: "body", Detail: "gen 9"},
+		{Seq: 1, Window: 0, Kind: "exec", Detail: "date -u"},
+		{Seq: 3, Window: 1, Kind: "new"},
+	}
+	for _, ev := range cases {
+		got, ok := ParseLine(ev.Line())
+		if !ok || got != ev {
+			t.Errorf("round trip %+v -> %q -> %+v ok=%v", ev, ev.Line(), got, ok)
+		}
+	}
+	if _, ok := ParseLine("not an event"); ok {
+		t.Error("garbage parsed")
+	}
+	if _, ok := ParseLine(""); ok {
+		t.Error("empty line parsed")
+	}
+}
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if seq := b.Publish(1, "new", ""); seq != 0 {
+		t.Errorf("nil publish = %d", seq)
+	}
+	if b.Seq() != 0 {
+		t.Error("nil Seq != 0")
+	}
+	b.SetObs(nil)
+}
+
+func TestSinkPublishesTraceEvents(t *testing.T) {
+	b := New()
+	s := b.Subscribe(0, 0, 0)
+	defer s.Close()
+	b.Publish(0, "trace", "exec 12us date")
+	ev, ok := s.TryNext()
+	if !ok || ev.Kind != "trace" || !strings.Contains(ev.Detail, "exec") {
+		t.Errorf("ev = %+v ok=%v", ev, ok)
+	}
+}

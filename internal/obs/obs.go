@@ -370,10 +370,28 @@ func (r *Registry) Spans() []Span {
 	return r.ring.spans()
 }
 
+// Seq returns the seq of the most recently published span (0 if none).
+// Trace and stats snapshots are stamped with it so a scraper comparing
+// consecutive reads can tell whether the ring wrapped in between —
+// i.e. whether it missed a window of spans.
+func (r *Registry) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ring.seq.Load()
+}
+
 // TraceText renders the ring as one span per line, oldest first: the
-// byte content of /mnt/help/trace.
+// byte content of /mnt/help/trace. The first line is a comment stamp,
+// "# seq <n> cap <ring capacity>": a scraper whose previous read ended
+// at seq m has missed spans iff n - m > the number of span lines that
+// follow (the ring wrapped past it).
 func (r *Registry) TraceText() string {
+	if r == nil {
+		return ""
+	}
 	var b strings.Builder
+	fmt.Fprintf(&b, "# seq %d cap %d\n", r.Seq(), len(r.ring.slots))
 	for _, sp := range r.Spans() {
 		b.WriteString(sp.Line())
 		b.WriteByte('\n')
@@ -403,7 +421,9 @@ func (r *Registry) StatsMap() map[string]int64 {
 	}
 	r.mu.Unlock()
 
-	out := make(map[string]int64, len(counters)+len(gauges)+3*len(histos))
+	out := make(map[string]int64, len(counters)+len(gauges)+3*len(histos)+1)
+	// The stamp scrapers diff to detect missed trace windows; see Seq.
+	out["obs.seq"] = int64(r.Seq())
 	for name, c := range counters {
 		out[name] = c.Load()
 	}

@@ -105,6 +105,7 @@ func TestStatsText(t *testing.T) {
 		"exec.count 1",
 		"exec.max_us 5",
 		"exec.sum_us 5",
+		"obs.seq 0",
 	}
 	if len(lines) != len(want) {
 		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), text)

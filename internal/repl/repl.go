@@ -31,6 +31,7 @@ const Usage = `commands:
   tab ID                 click window ID's tab (reveal)
   procs                  list running external commands (id, window, runtime, state, name)
   kill [ID|WORD]...      kill running commands (all of them with no argument)
+  watch ID CMD...        run CMD now and again whenever window ID's body changes
   fetch PATH...          read remote files in one pipelined batch (needs -remote)
   metrics                show interaction counters and the stats registry
   help                   this message
@@ -237,6 +238,17 @@ func (r *REPL) Command(line string) error {
 			return fmt.Errorf("no windows")
 		}
 		h.Execute(ws[0], strings.Join(append([]string{"Kill"}, fields[1:]...), " "))
+		settle()
+		show()
+	case "watch":
+		w, err := winArg(1)
+		if err != nil {
+			return err
+		}
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: watch ID CMD...")
+		}
+		h.Execute(w, "Watch "+strings.Join(fields[2:], " "))
 		settle()
 		show()
 	default:

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/notify"
 	"repro/internal/obs"
 	"repro/internal/srvnet"
 	"repro/internal/vfs"
@@ -144,6 +145,13 @@ type session struct {
 type Manager struct {
 	cfg Config
 
+	// bus is the daemon-level event stream: one line per session
+	// lifecycle transition (spawn, attach, detach, crash, reap, close,
+	// drain), plus every hosted session's own events forwarded with a
+	// "<session>/<window>" prefix. Served as /mnt/help/daemonlog in
+	// every session's namespace.
+	bus *notify.Bus
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	draining bool
@@ -172,9 +180,11 @@ func NewManager(cfg Config) *Manager {
 	}
 	m := &Manager{
 		cfg:      cfg,
+		bus:      notify.New(),
 		sessions: map[string]*session{},
 	}
 	r := cfg.Obs
+	m.bus.SetObs(r)
 	m.cSpawns = r.Counter("sessiond.spawns")
 	m.cAttaches = r.Counter("sessiond.attaches")
 	m.cDetaches = r.Counter("sessiond.detaches")
@@ -275,12 +285,14 @@ func (m *Manager) AttachSession(name string) (*vfs.FS, func(), error) {
 		m.cAttaches.Inc()
 		fs := s.w.FS
 		m.mu.Unlock()
+		m.bus.Publish(0, "attach", name)
 		detach := func() {
 			m.mu.Lock()
 			s.attached--
 			s.lastUsed = time.Now()
 			m.mu.Unlock()
 			m.cDetaches.Inc()
+			m.bus.Publish(0, "detach", name)
 		}
 		return fs, detach, nil
 	}
@@ -302,8 +314,13 @@ func (m *Manager) spawn(s *session) {
 	}
 	m.mu.Unlock()
 	close(s.ready)
-	if err != nil && m.cfg.Obs != nil {
-		m.cfg.Obs.Event("sessiond.spawn-failed", s.name+": "+err.Error())
+	if err != nil {
+		if m.cfg.Obs != nil {
+			m.cfg.Obs.Event("sessiond.spawn-failed", s.name+": "+err.Error())
+		}
+		m.bus.Publish(0, "spawn-failed", s.name+": "+err.Error())
+	} else {
+		m.bus.Publish(0, "spawn", s.name)
 	}
 	// The attach checkpoint may have degraded the writer before the
 	// session was published, in which case OnError's markCrashed found
@@ -369,19 +386,45 @@ func (m *Manager) build(name string) (*world.World, *journal.Writer, *journal.Di
 		m.markCrashed(name, fmt.Sprintf("%s: %v", where, err))
 	}
 
-	// Every session reads the shared table at /mnt/help/sessions. The
+	// The session's own events feed the daemon-level stream, prefixed
+	// "<session>/<window>" so one aggregated log covers every hosted
+	// session. Trace events stay local — every span forwarded from every
+	// session would drown the lifecycle signal. The tap runs outside the
+	// session bus's lock and the daemon bus never calls back into a
+	// session, so the session-actor -> daemon-bus lock order is safe.
+	h.Notify.SetTap(func(ev notify.Event) {
+		if ev.Kind == "trace" {
+			return
+		}
+		m.bus.Publish(0, ev.Kind, fmt.Sprintf("%s/%d %s", name, ev.Window, ev.Detail))
+	})
+
+	// Every session reads the shared table at /mnt/help/sessions and
+	// the daemon-level event stream at /mnt/help/daemonlog. The table
 	// device computes its content under the reading session's actor
 	// lock, then the Manager lock — the sanctioned order — touching
 	// other sessions only through lock-free counters.
-	if err := h.FS.RegisterDevice(world.MountRoot+"/sessions", tableDevice{m}); err != nil {
+	cleanup := func() {
 		if jw != nil {
 			jw.Close()
 		}
 		lock.Release()
+	}
+	if err := h.FS.RegisterDevice(world.MountRoot+"/sessions", tableDevice{m}); err != nil {
+		cleanup()
+		return nil, nil, nil, fmt.Errorf("sessiond: %s: %w", name, err)
+	}
+	if err := h.FS.RegisterDevice(world.MountRoot+"/daemonlog", notify.Device{Bus: m.bus}); err != nil {
+		cleanup()
 		return nil, nil, nil, fmt.Errorf("sessiond: %s: %w", name, err)
 	}
 	return w, jw, lock, nil
 }
+
+// Bus exposes the daemon-level event stream, the same one
+// /mnt/help/daemonlog serves: hosts embed it (a monitoring window, an
+// operator tail) and tests subscribe to assert lifecycle coverage.
+func (m *Manager) Bus() *notify.Bus { return m.bus }
 
 func (m *Manager) journalFS(name string) (journal.Fsys, error) {
 	if m.cfg.JournalFS != nil {
@@ -424,6 +467,7 @@ func (m *Manager) markCrashed(name, reason string) {
 	if m.cfg.Obs != nil {
 		m.cfg.Obs.Event("sessiond.crash", name+": "+reason)
 	}
+	m.bus.Publish(0, "crash", name+": "+reason)
 	go h.KillAll()
 }
 
@@ -529,6 +573,7 @@ func (m *Manager) ReapIdle() int {
 	for _, s := range victims {
 		m.closeSession(s, 2*time.Second)
 		m.cReaps.Inc()
+		m.bus.Publish(0, "reap", s.name)
 	}
 	return len(victims)
 }
@@ -551,6 +596,7 @@ func (m *Manager) closeSession(s *session, wait time.Duration) {
 	m.mu.Lock()
 	s.st = stateClosed
 	m.mu.Unlock()
+	m.bus.Publish(0, "close", s.name)
 }
 
 // Drain is the bounded graceful shutdown: new attaches are refused
@@ -571,6 +617,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		all = append(all, s)
 	}
 	m.mu.Unlock()
+	m.bus.Publish(0, "drain", fmt.Sprintf("%d sessions", len(all)))
 
 	if m.reaperStop != nil {
 		close(m.reaperStop)

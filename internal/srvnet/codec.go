@@ -115,6 +115,10 @@ func encodeReq(dst []byte, req *request) []byte {
 		dst = append(dst, `,"count":`...)
 		dst = strconv.AppendInt(dst, req.Count, 10)
 	}
+	if req.Wait != 0 {
+		dst = append(dst, `,"wait":`...)
+		dst = strconv.AppendInt(dst, req.Wait, 10)
+	}
 	if req.N != 0 {
 		dst = append(dst, `,"n":`...)
 		dst = strconv.AppendInt(dst, req.N, 10)
@@ -326,6 +330,8 @@ func internOp(b []byte) string {
 		return "read"
 	case "readat":
 		return "readat"
+	case "readwait":
+		return "readwait"
 	case "write":
 		return "write"
 	case "readdir":
@@ -427,6 +433,12 @@ func parseReq(line []byte, req *request) bool {
 				return false
 			}
 			req.Count = v
+		case "wait":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			req.Wait = v
 		case "n":
 			v, ok := toInt64(neg, num)
 			if kind != 'n' || !ok {

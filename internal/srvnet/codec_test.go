@@ -28,6 +28,7 @@ func TestCodecRequestRoundTrip(t *testing.T) {
 		{Seq: 7, Op: "read", Path: `/quote"and\slash`}, // forces escape fallback
 		{Seq: 8, Op: "read", Path: "/utf8/héllo"},      // non-ASCII goes through json.Marshal
 		{Seq: 9, Op: "readat", Path: "/x", Offset: -1},
+		{Seq: 10, Op: "readwait", Path: "/mnt/help/log", Offset: 42, Wait: 30000},
 	}
 	for _, want := range cases {
 		line := encodeReq(nil, &want)

@@ -89,8 +89,15 @@ type ReconnectingClient struct {
 	// Client.SetCache) on every dialed connection. Each redial starts
 	// cold: a reconnect may attach to a recovered session whose
 	// generations restart, so nothing cached survives the old
-	// connection.
+	// connection. Every such cold start counts as srvnet.cache.reset
+	// and leaves a trace event, so a redial storm that keeps emptying
+	// the cache is visible in /mnt/help/trace.
 	CacheReads bool
+	// PushInvalRoot, when set alongside CacheReads, arms push
+	// invalidation (Client.StartPushInval) on every dialed connection,
+	// long-polling PushInvalRoot+"/log"; the watcher dies with each
+	// connection and is re-armed cold on redial.
+	PushInvalRoot string
 
 	// Obs, when set before the first operation, records retry counts
 	// (srvnet.retries), redials (srvnet.redials), degradation entries
@@ -186,6 +193,16 @@ func (r *ReconnectingClient) client() (*Client, error) {
 	}
 	if r.dialed {
 		r.Obs.Counter("srvnet.redials").Inc()
+		if r.CacheReads {
+			// The redial dropped every cached generation (the recovered
+			// session may have restarted them): account for the cold
+			// start so its cost is attributable.
+			r.Obs.Counter("srvnet.cache.reset").Inc()
+			r.Obs.Event("srvnet.cache", "reset on redial")
+		}
+	}
+	if r.CacheReads && r.PushInvalRoot != "" {
+		c.StartPushInval(r.PushInvalRoot)
 	}
 	r.dialed = true
 	r.c = c
@@ -390,6 +407,20 @@ func (r *ReconnectingClient) Stat(path string) (info vfs.Info, err error) {
 		return err
 	})
 	return info, err
+}
+
+// ReadWait long-polls an event file (see Client.ReadWait), retrying
+// transport failures. It is idempotent by construction — the resume seq
+// means a retried poll re-delivers nothing it already returned — so a
+// subscriber parked across a drop/redial resumes from its last seq with
+// no events duplicated and any truly lost span surfaced as a "gap"
+// event line.
+func (r *ReconnectingClient) ReadWait(path string, since uint64, wait time.Duration) (data []byte, next uint64, err error) {
+	err = r.do(true, func(c *Client) error {
+		data, next, err = c.ReadWait(path, since, wait)
+		return err
+	})
+	return data, next, err
 }
 
 // Glob expands a pattern remotely, retrying transport failures.

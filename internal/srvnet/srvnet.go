@@ -66,9 +66,12 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/notify"
 	"repro/internal/obs"
 	"repro/internal/vfs"
 )
@@ -105,6 +108,23 @@ const (
 	// pipelineDepth is how many decoded requests may queue behind the
 	// executor on one server connection before the reader blocks.
 	pipelineDepth = 64
+	// maxReadWait caps one readwait long poll server-side; together with
+	// the idleTimeout/2 bound it keeps a parked subscriber's silence well
+	// under the idle deadline, so the poll itself cannot look like a dead
+	// peer.
+	maxReadWait = 30 * time.Second
+	// maxConnWaiters bounds parked readwait goroutines per connection; a
+	// readwait beyond the cap is answered as an immediate poll instead of
+	// parking, so a flooding client degrades to polling rather than
+	// growing goroutines.
+	maxConnWaiters = 16
+	// pushInvalFailureLimit bounds the consecutive readwait refusals the
+	// push-invalidation watcher (StartPushInval) tolerates on a healthy
+	// connection before concluding the feed is gone for good and
+	// disabling the cache; retries back off exponentially from
+	// pushInvalBackoff.
+	pushInvalFailureLimit = 4
+	pushInvalBackoff      = 25 * time.Millisecond
 	// defaultReadChunk is the "readat" chunk size when the request
 	// leaves Count zero.
 	defaultReadChunk = 64 * 1024
@@ -125,9 +145,14 @@ type request struct {
 	Data    []byte `json:"-"`
 	Append  bool   `json:"append,omitempty"`
 	Pattern string `json:"pattern,omitempty"`
-	// Offset and Count address a "readat" chunk.
+	// Offset and Count address a "readat" chunk. "readwait" reuses
+	// Offset as the resume sequence number (the last event seq the
+	// subscriber has seen).
 	Offset int64 `json:"off,omitempty"`
 	Count  int64 `json:"count,omitempty"`
+	// Wait is a "readwait" long-poll bound in milliseconds; <= 0 asks
+	// for the server's maximum.
+	Wait int64 `json:"wait,omitempty"`
 	// N and Sum frame the payload sidecar.
 	N   int64  `json:"n,omitempty"`
 	Sum uint32 `json:"sum,omitempty"`
@@ -579,41 +604,73 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 		}
 	}()
-	// Join the reader before unregistering so no goroutine outlives the
-	// Serve loop's wait.
+	// Join the reader — and any parked readwait goroutines, which the
+	// stop close unblocks — before unregistering so no goroutine
+	// outlives the Serve loop's wait.
+	var waiters sync.WaitGroup
 	defer func() {
 		close(stop)
+		waiters.Wait()
 		conn.Close()
 		<-readerDone
 	}()
 
 	bw := bufio.NewWriterSize(conn, wireBufSize)
-	flush := func() error {
+	// wmu serializes the write buffer between this executor and the
+	// readwait waiter goroutines, which deliver their replies whenever
+	// their events arrive.
+	var wmu sync.Mutex
+	flushLocked := func() error {
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		return bw.Flush()
+	}
+	flush := func() error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return flushLocked()
 	}
 	// reply buffers one response, deferring the socket write while more
 	// requests are already queued: their replies will share the flush.
 	// out is the executor's scratch frame and hdr its header buffer,
-	// both reused across requests; only flush touches the socket, so
-	// the write deadline is set there.
+	// both reused across requests; only flushLocked touches the socket,
+	// so the write deadline is set there.
 	var out response
 	var hdr []byte
 	emit := func() error {
+		wmu.Lock()
+		defer wmu.Unlock()
 		var err error
 		hdr, err = frameResp(bw, hdr, &out)
 		return err
 	}
 	reply := func() error {
-		if err := emit(); err != nil {
+		wmu.Lock()
+		defer wmu.Unlock()
+		var err error
+		if hdr, err = frameResp(bw, hdr, &out); err != nil {
 			return err
 		}
 		if len(reqCh) > 0 {
 			s.Obs.Counter("srvnet.reply.batched").Inc()
 			return nil
 		}
-		return flush()
+		return flushLocked()
 	}
+
+	// A readwait's path resolution must synchronize with whoever else
+	// mutates the namespace (the wait itself parks outside any lock,
+	// per the vfs.WaitDevice contract). A served fs that is already a
+	// serialized view — the world export over the actor lock, a
+	// mux-mode hub namespace — brings its own lock; only a bare fs
+	// needs the executor's mutex wrapped around resolution. Replacing
+	// an existing lock with s.mu here would strip the actor
+	// serialization and race device registration.
+	waitView := func(fs *vfs.FS) *vfs.FS { return fs }
+	if s.hub == nil && fs != nil {
+		sfs := fs.EnsureSerialized(&s.mu)
+		waitView = func(*vfs.FS) *vfs.FS { return sfs }
+	}
+	waiterSlots := make(chan struct{}, maxConnWaiters)
 
 	ra := &readahead{}
 	for {
@@ -674,12 +731,104 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Op == "readwait" {
+			// A long poll must not hold the executor: requests pipelined
+			// behind it keep flowing while the waiter parks on the event
+			// device. The reply is written under wmu whenever it is ready.
+			if fs == nil {
+				out = response{Seq: req.Seq, Err: ErrNoSession.Error(), Code: codeNoSess}
+				if err := reply(); err != nil {
+					return
+				}
+				continue
+			}
+			wfs := waitView(fs)
+			select {
+			case waiterSlots <- struct{}{}:
+				waiters.Add(1)
+				go func(req request) {
+					defer waiters.Done()
+					defer func() { <-waiterSlots }()
+					s.serveReadWait(req, wfs, stop, &wmu, bw, conn)
+				}(req)
+				// The parked waiter emits nothing until its event arrives,
+				// so a reply batched behind this request (reply defers its
+				// flush while more requests are queued) would sit in bw for
+				// the whole poll. Flush it now unless another request is
+				// already queued to pick it up.
+				if len(reqCh) == 0 {
+					if err := flush(); err != nil {
+						return
+					}
+				}
+			default:
+				// Waiter cap reached: degrade this subscriber to an
+				// immediate poll instead of parking another goroutine.
+				resp := s.readWait(req, wfs, stop, time.Millisecond)
+				out = resp
+				out.Seq = req.Seq
+				if err := reply(); err != nil {
+					return
+				}
+			}
+			continue
+		}
 		out = s.handle(req, fs, ra)
 		out.Seq = req.Seq
 		if err := reply(); err != nil {
 			return
 		}
 	}
+}
+
+// readWait performs one bounded wait for events past req.Offset on
+// req.Path. Cancellation (the connection tearing down) surfaces as the
+// error the device reports on stop.
+func (s *Server) readWait(req request, fs *vfs.FS, stop <-chan struct{}, timeout time.Duration) response {
+	data, next, err := fs.ReadWait(req.Path, uint64(req.Offset), stop, timeout)
+	if err != nil {
+		return response{Err: err.Error(), Code: codeOf(err)}
+	}
+	// Gen carries the resume seq: an empty timeout reply still tells the
+	// subscriber where to resume, so the next poll cannot re-deliver.
+	return response{Data: data, Gen: next}
+}
+
+// serveReadWait runs one parked readwait to completion on its own
+// goroutine and delivers the reply under the connection's write mutex.
+// A connection already tearing down (stop closed) swallows the reply:
+// the peer is gone, and bw is about to die with the conn.
+func (s *Server) serveReadWait(req request, fs *vfs.FS, stop <-chan struct{}, wmu *sync.Mutex, bw *bufio.Writer, conn net.Conn) {
+	d := time.Duration(req.Wait) * time.Millisecond
+	if max := s.readWaitCap(); d <= 0 || d > max {
+		d = max
+	}
+	out := s.readWait(req, fs, stop, d)
+	out.Seq = req.Seq
+	wmu.Lock()
+	defer wmu.Unlock()
+	select {
+	case <-stop:
+		return
+	default:
+	}
+	if _, err := frameResp(bw, nil, &out); err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+	bw.Flush()
+}
+
+// readWaitCap bounds one long poll: half the idle timeout (so the
+// client's silence while parked can never trip the idle deadline — it
+// re-polls at least twice per idle window) and never more than
+// maxReadWait.
+func (s *Server) readWaitCap() time.Duration {
+	max := s.idleTimeout() / 2
+	if max > maxReadWait {
+		max = maxReadWait
+	}
+	return max
 }
 
 // Shutdown gracefully stops the server: it closes the listeners handed
@@ -991,10 +1140,7 @@ func (c *Client) SetCache(on bool) {
 // caller to the wire, where the failure surfaces and a
 // ReconnectingClient redials cold.
 func (c *Client) cacheGet(path string) ([]byte, bool) {
-	c.pmu.Lock()
-	closed := c.closed
-	c.pmu.Unlock()
-	if closed {
+	if c.closedNow() {
 		return nil, false
 	}
 	c.cmu.Lock()
@@ -1010,6 +1156,13 @@ func (c *Client) cacheEnabled() bool {
 	c.cmu.Lock()
 	defer c.cmu.Unlock()
 	return c.cache != nil
+}
+
+// closedNow reports whether the connection has been closed or poisoned.
+func (c *Client) closedNow() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.closed
 }
 
 // cachePut stores a read observed at generation gen; gen 0 means the
@@ -1192,6 +1345,13 @@ func (c *Client) start(req *request, flush bool) (*pendingCall, error) {
 // leaves the stream state unknown — and fails every other in-flight
 // call with it.
 func (c *Client) wait(op string, call *pendingCall) (response, error) {
+	return c.waitWithin(op, call, c.timeout())
+}
+
+// waitWithin is wait with an explicit round-trip bound: long polls
+// (ReadWait) stretch the default by their wait budget, so a legitimate
+// empty poll is not mistaken for a dead peer.
+func (c *Client) waitWithin(op string, call *pendingCall, to time.Duration) (response, error) {
 	defer c.Obs.Counter("srvnet.inflight").Add(-1)
 	var res callResult
 	select {
@@ -1209,7 +1369,7 @@ func (c *Client) wait(op string, call *pendingCall) (response, error) {
 		return resp, nil
 	default:
 	}
-	if to := c.timeout(); to > 0 {
+	if to > 0 {
 		timer := getTimer(to)
 		select {
 		case res = <-call.ch:
@@ -1300,6 +1460,172 @@ func (c *Client) ReadFile(path string) ([]byte, error) {
 func (c *Client) ReadFileAt(path string, off, count int64) ([]byte, error) {
 	resp, err := c.rpc(request{Op: "readat", Path: path, Offset: off, Count: count})
 	return resp.Data, err
+}
+
+// ReadWait long-polls an event file: it blocks server-side until events
+// past seq since exist on path (0 = from now), the wait budget expires,
+// or the server's own cap cuts the poll short. It returns the event
+// lines and the seq to resume from; an empty data with a nil error is
+// the normal empty poll, and resuming from the returned seq guarantees
+// no event is delivered twice or skipped (a bus overflow surfaces as a
+// "gap" event line, not a silent loss). On a plain file the server
+// degrades the call to an immediate read, so ReadWait is safe to point
+// at any path. wait <= 0 asks for the server's maximum poll.
+//
+// The round trip is bounded by the client timeout plus the wait budget
+// — a long poll is the one call where a silent server is healthy.
+func (c *Client) ReadWait(path string, since uint64, wait time.Duration) (data []byte, next uint64, err error) {
+	if wait < 0 {
+		wait = 0
+	}
+	req := request{Op: "readwait", Path: path, Offset: int64(since), Wait: int64(wait / time.Millisecond)}
+	if c.Obs != nil {
+		defer func(t0 time.Time) {
+			c.Obs.Histogram("srvnet.readwait").Observe(time.Since(t0))
+		}(time.Now())
+	}
+	call, err := c.start(&req, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.waitWithin("readwait", call, c.readWaitBudget(wait))
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Data, resp.Gen, nil
+}
+
+// readWaitBudget bounds one readwait round trip client-side: the base
+// timeout plus the server's park. A wait <= 0 delegates the park length
+// to the server, whose cap (readWaitCap) can reach maxReadWait — the
+// budget must cover that whole cap, because the server's clock starts
+// at receipt, strictly after the client's: budgeting only the base
+// timeout would let a maximum-length empty poll on an idle session
+// outlive the client timer and poison the connection.
+func (c *Client) readWaitBudget(wait time.Duration) time.Duration {
+	to := c.timeout()
+	if to <= 0 {
+		return 0
+	}
+	if wait <= 0 {
+		wait = maxReadWait
+	}
+	return to + wait
+}
+
+// StartPushInval turns the session's event stream into cache coherence:
+// a background goroutine long-polls root's event log (root+"/log",
+// where root is the help mount, usually "/mnt/help") and drops cached
+// entries the moment their windows change — so a cache hit needs no
+// Stat round trip to be trusted fresh. Each push-driven drop counts as
+// srvnet.cache.pushinval; a stream gap (the subscriber fell too far
+// behind) flushes the whole cache, since anything could have changed in
+// the lost span.
+//
+// The goroutine exits when the connection dies (Close, poison, server
+// gone) or when the returned stop function is called — the cache dies
+// with the connection either way, and a ReconnectingClient re-arms the
+// watcher on the next dial. A readwait refused on a still-healthy
+// connection (wrong root, server draining) must not kill the watcher
+// silently while the cache keeps serving: each refusal flushes the
+// cache (events may be going unheard) and counts as
+// srvnet.cache.pushinval.err, then the poll is retried with backoff;
+// refusals that persist past the retry budget disable the cache
+// entirely and leave a trace event, because a cache with no
+// invalidation feed is unbounded staleness.
+//
+// Invalidation is asynchronous: a read racing an edit may still see the
+// old cached contents until the event lands, which is the same window a
+// polling Stat would have.
+func (c *Client) StartPushInval(root string) (stop func()) {
+	log := vfs.Clean(root + "/log")
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		var since uint64
+		failures := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			data, next, err := c.ReadWait(log, since, 0)
+			if err != nil {
+				if c.closedNow() {
+					// Normal death: cacheGet refuses on a closed client,
+					// so the unwatched cache cannot serve anyone.
+					return
+				}
+				c.cacheFlush()
+				c.Obs.Counter("srvnet.cache.pushinval.err").Inc()
+				failures++
+				if failures >= pushInvalFailureLimit {
+					c.SetCache(false)
+					c.Obs.Event("srvnet.cache", "push invalidation dead, cache disabled: "+err.Error())
+					return
+				}
+				select {
+				case <-done:
+					return
+				case <-time.After(pushInvalBackoff << (failures - 1)):
+				}
+				continue
+			}
+			failures = 0
+			since = next
+			c.applyPushEvents(root, data)
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// applyPushEvents folds a batch of event lines into the cache.
+func (c *Client) applyPushEvents(root string, data []byte) {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		ev, ok := notify.ParseLine(line)
+		if !ok {
+			continue
+		}
+		switch ev.Kind {
+		case notify.KindGap:
+			// Unknown events were lost; nothing cached can be trusted.
+			c.cacheFlush()
+			c.Obs.Counter("srvnet.cache.pushinval").Inc()
+		case "body", "tag":
+			// Detail is "gen <G>": the generation the window's file
+			// reports after the change. A cached entry at any other
+			// generation is stale. Events published before the bus was
+			// armed carry no detail; gen stays 0 and the entry is
+			// dropped unconditionally (assume stale).
+			gen := uint64(0)
+			if g, ok := strings.CutPrefix(ev.Detail, "gen "); ok {
+				gen, _ = strconv.ParseUint(g, 10, 64)
+			}
+			c.pushInval(vfs.Clean(fmt.Sprintf("%s/%d/%s", root, ev.Window, ev.Kind)), gen)
+		case "del":
+			c.pushInval(vfs.Clean(fmt.Sprintf("%s/%d/body", root, ev.Window)), 0)
+			c.pushInval(vfs.Clean(fmt.Sprintf("%s/%d/tag", root, ev.Window)), 0)
+		}
+	}
+}
+
+// pushInval drops path's cached entry if the pushed generation proves
+// it stale (gen 0 means "unknown, drop unconditionally").
+func (c *Client) pushInval(path string, gen uint64) {
+	c.cmu.Lock()
+	ent, ok := c.cache[path]
+	stale := ok && (gen == 0 || ent.gen != gen)
+	if stale {
+		delete(c.cache, path)
+	}
+	c.cmu.Unlock()
+	if stale {
+		c.Obs.Counter("srvnet.cache.pushinval").Inc()
+	}
 }
 
 // WriteFile writes (replacing) a remote file. The cached entry for the

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -111,6 +112,26 @@ type GenDevice interface {
 	Gen() uint64
 }
 
+// WaitDevice is an optional Device extension for event-stream files: a
+// blocking, cancelable, resumable read mode. Unlike every other device
+// op, ReadWait is called WITHOUT the namespace lock held — a read that
+// parks under the lock would stall the whole session — so
+// implementations must synchronize on their own state only (the notify
+// bus does). since is the last sequence number the caller has seen (0
+// for "from now"); the call blocks until events past it exist, stop
+// closes, or timeout (if > 0) expires, and returns the event bytes plus
+// the sequence number to resume from. A timeout returns empty data and
+// no error: the normal empty long poll. A wrapper device that cannot
+// forward the wait returns ErrNotWaitable and the caller falls back to
+// a plain snapshot read.
+type WaitDevice interface {
+	ReadWait(since uint64, stop <-chan struct{}, timeout time.Duration) (data []byte, next uint64, err error)
+}
+
+// ErrNotWaitable reports that a device reached through WaitDevice
+// cannot actually block; FS.ReadWait degrades to ReadFileGen on it.
+var ErrNotWaitable = errors.New("device read cannot block")
+
 // node is one entry in the real (pre-bind) tree.
 type node struct {
 	name     string
@@ -171,6 +192,18 @@ func (fs *FS) unlock() {
 // through either view is immediately visible through the other.
 func (fs *FS) Serialized(lk sync.Locker) *FS {
 	return &FS{st: fs.st, lk: lk}
+}
+
+// EnsureSerialized returns fs itself when its operations already run
+// under a lock, and a Serialized view over lk when fs is bare. Callers
+// that need mutual exclusion with the namespace's other users must not
+// blindly re-wrap: replacing an existing lock would silently drop the
+// serialization the namespace was exported with.
+func (fs *FS) EnsureSerialized(lk sync.Locker) *FS {
+	if fs.lk != nil {
+		return fs
+	}
+	return fs.Serialized(lk)
 }
 
 // SetObs installs (or, with nil, removes) observability counters for
@@ -631,6 +664,43 @@ func (fs *FS) ReadFileAt(p string, off, count int64) ([]byte, uint64, error) {
 		data = data[:count]
 	}
 	return data, gen, nil
+}
+
+// ReadWait is the blocking read entry point for event-stream files: a
+// long poll. The path is resolved under the namespace lock; if its
+// device implements WaitDevice the wait itself happens OUTSIDE the
+// lock, parked on the device's own synchronization, until events past
+// seq since arrive, stop closes, or timeout expires. On anything else
+// — a regular file, a snapshot device — it degrades to a plain
+// ReadFileGen, returning the contents and generation immediately, so a
+// remote long poll on an arbitrary path is simply a read. Like every
+// device entry point it is panic-guarded: a handler bug becomes an
+// error on this call, not a dead process.
+func (fs *FS) ReadWait(p string, since uint64, stop <-chan struct{}, timeout time.Duration) (data []byte, next uint64, err error) {
+	fs.lock()
+	n, ferr := fs.find(p)
+	if ferr != nil {
+		fs.unlock()
+		return nil, 0, ferr
+	}
+	if n.dir {
+		fs.unlock()
+		return nil, 0, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	wd, waitable := n.device.(WaitDevice)
+	fs.unlock()
+	if waitable {
+		defer func() {
+			if r := recover(); r != nil {
+				data, next, err = nil, 0, fmt.Errorf("%s: readwait: internal error: %v", p, r)
+			}
+		}()
+		data, next, err = wd.ReadWait(since, stop, timeout)
+		if !errors.Is(err, ErrNotWaitable) {
+			return data, next, err
+		}
+	}
+	return fs.ReadFileGen(p)
 }
 
 // chunkPool recycles the scratch buffer readDevice drains handles
