@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all test vet bench figs tables race stress soak fuzz cover clean
+.PHONY: all test vet bench figs tables race stress soak chaos fuzz cover clean
 
 all: test
 
 # Tier-1: build, vet, plain tests, then a race-checked pass so the
-# concurrent srvnet/faultnet paths are exercised on every PR.
+# concurrent srvnet/faultnet paths are exercised on every PR. The
+# chaos harness rides along as a small smoke (24 users); `make chaos`
+# runs the full fleet.
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./...
 
@@ -27,7 +29,7 @@ bench:
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
-	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR7.json -o BENCH_PR8.json
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR8.json -o BENCH_PR9.json
 
 # Stress the actor model: the whole-system concurrency matrix, repeated
 # under the race detector so queue/kill/streaming interleavings vary.
@@ -35,11 +37,21 @@ stress:
 	$(GO) test -race -count=5 -run 'TestConcurrencyMatrix|TestOutputStreams|TestKill|TestExternalBackground|TestExit' ./internal/world ./internal/core
 
 # Soak the multi-session daemon: the full stack (Manager behind the mux
-# server on TCP) under session churn, random injected crashes, and
-# abrupt disconnects, race-checked, ending in a graceful drain and a
-# goroutine-leak check. SOAK_SECONDS stretches the run further.
+# server on TCP) replaying loadgen gesture traces in concurrent waves
+# under random injected crashes, race-checked, ending in a graceful
+# drain and a goroutine-leak check. SOAK_SECONDS stretches the run.
 soak:
 	SOAK_SECONDS=$${SOAK_SECONDS:-20} $(GO) test -race -count=1 -v -run 'TestDaemonSoak' ./internal/sessiond
+
+# Chaos: the full loadgen fleet (1,000+ simulated users, scripted
+# network faults, deliberate overload) against an in-process daemon,
+# race-checked, with every robustness invariant asserted afterward —
+# no goroutine leaks, no cross-session bleed, byte-for-byte journal
+# recovery, monotonic notify sequences, budgets respected, typed
+# refusals. CHAOS_USERS resizes the fleet.
+chaos:
+	CHAOS_USERS=$${CHAOS_USERS:-1000} $(GO) test -race -count=1 -v -timeout 20m \
+		-run 'TestChaosReplay|TestChaosOverload|TestDrainUnparksWaiters' ./internal/loadgen
 
 figs:
 	$(GO) run ./cmd/helpfigs -o figures

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/journal"
+	"repro/internal/loadgen"
 	"repro/internal/notify"
 	"repro/internal/session"
 	"repro/internal/sessiond"
@@ -741,6 +742,69 @@ func BenchmarkManySessionsServe(b *testing.B) {
 	b.StopTimer()
 	for _, d := range detaches {
 		d()
+	}
+}
+
+// BenchmarkReplayThroughput measures the overload-governed daemon end to
+// end: a fleet of loadgen users replaying the default editing trace over
+// srvnet against a budgeted multi-session daemon, full speed (no think
+// time). One b.N iteration is one trace repetition per user; the
+// reported ops/s is the wire-operation rate the fleet sustained. This is
+// the PR 9 regression gate for the whole stack — admission control, wire
+// backpressure, and the mux path together.
+func BenchmarkReplayThroughput(b *testing.B) {
+	tmpl, err := world.NewTemplate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sessiond.NewManager(sessiond.Config{
+		Width:       60,
+		Height:      20,
+		MaxSessions: 16,
+		MaxBytes:    256 << 20,
+		Build: func(name string, w, h int) (*world.World, error) {
+			return tmpl.NewSession(w, h)
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	}()
+	srv := srvnet.NewMuxServer(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	const users = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	st, err := loadgen.Replay(loadgen.Config{
+		Addr:       l.Addr().String(),
+		Users:      users,
+		Sessions:   users / 2,
+		Iterations: b.N,
+		Seed:       42,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.Errors > 0 {
+		b.Fatalf("replay errors: %d, first: %v", st.Errors, st.FirstError)
+	}
+	if st.SeqRegressions > 0 {
+		b.Fatalf("notify sequence regressed %d times", st.SeqRegressions)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(st.Ops)/sec, "ops/s")
 	}
 }
 

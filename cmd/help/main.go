@@ -15,7 +15,11 @@
 // (-listen, required) multiplexes independent sessions spawned on first
 // attach, each with its own namespace and (under -journal) its own
 // lockfile-guarded journal directory; -max-sessions and -session-ttl
-// bound the table and reap idle sessions. SIGINT/SIGTERM drains
+// bound the table and reap idle sessions. The overload budgets
+// -max-bytes, -max-session-bytes, -max-total-procs, and -max-waiters
+// bound resident memory, live commands, and parked waiters; past them
+// the daemon refuses with a typed busy error carrying a -retry-after
+// hint instead of degrading everyone. SIGINT/SIGTERM drains
 // gracefully: attaches stop, commands are killed, every journal is
 // checkpointed and flushed.
 package main
@@ -58,14 +62,33 @@ func main() {
 	maxSessions := flag.Int("max-sessions", sessiond.DefaultMaxSessions, "daemon: bound on live sessions")
 	sessionTTL := flag.Duration("session-ttl", 0, "daemon: reap sessions idle this long (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain after SIGINT/SIGTERM")
+	maxBytes := flag.Int64("max-bytes", 0, "daemon: total resident buffer bytes across sessions (0 unbounded)")
+	maxSessionBytes := flag.Int64("max-session-bytes", 0, "daemon: resident buffer bytes per session (0 unbounded)")
+	maxTotalProcs := flag.Int("max-total-procs", 0, "daemon: live commands across sessions (0 unbounded)")
+	maxWaiters := flag.Int("max-waiters", srvnet.DefaultMaxWaiters, "daemon: parked event/readwait waiters across connections (-1 unbounded)")
+	retryAfter := flag.Duration("retry-after", 0, "daemon: retry hint stamped on busy refusals (0: default)")
 	flag.Parse()
 
 	if *recoverFlag && *journalDir == "" {
 		exitOn(fmt.Errorf("-recover requires -journal <dir>"))
 	}
 	if *daemon {
-		exitOn(runDaemon(*width, *height, *listen, *debug, *journalDir, *journalFsync,
-			*maxSessions, *sessionTTL, *drainTimeout))
+		exitOn(runDaemon(daemonOpts{
+			width:           *width,
+			height:          *height,
+			listen:          *listen,
+			debug:           *debug,
+			journalRoot:     *journalDir,
+			fsync:           *journalFsync,
+			maxSessions:     *maxSessions,
+			ttl:             *sessionTTL,
+			drainTimeout:    *drainTimeout,
+			maxBytes:        *maxBytes,
+			maxSessionBytes: *maxSessionBytes,
+			maxTotalProcs:   *maxTotalProcs,
+			maxWaiters:      *maxWaiters,
+			retryAfter:      *retryAfter,
+		}))
 		return
 	}
 
@@ -167,17 +190,34 @@ func main() {
 	r.Run(os.Stdin)
 }
 
+// daemonOpts collects the -daemon flag set: lifecycle knobs plus the
+// overload budgets (memory, commands, waiters, retry hint).
+type daemonOpts struct {
+	width, height   int
+	listen, debug   string
+	journalRoot     string
+	fsync           string
+	maxSessions     int
+	ttl             time.Duration
+	drainTimeout    time.Duration
+	maxBytes        int64
+	maxSessionBytes int64
+	maxTotalProcs   int
+	maxWaiters      int
+	retryAfter      time.Duration
+}
+
 // runDaemon hosts many sessions in one process: a world template is
 // built once, sessions are stamped from it on first attach, and one
 // mux listener serves them all. SIGINT/SIGTERM triggers a bounded
 // graceful drain — stop attaches, kill live commands, checkpoint and
 // flush every journal — before exit.
-func runDaemon(width, height int, listen, debug, journalRoot, fsync string,
-	maxSessions int, ttl, drainTimeout time.Duration) error {
+func runDaemon(o daemonOpts) error {
+	listen, debug, drainTimeout := o.listen, o.debug, o.drainTimeout
 	if listen == "" {
 		return fmt.Errorf("-daemon requires -listen <addr>")
 	}
-	policy, err := journal.ParsePolicy(fsync)
+	policy, err := journal.ParsePolicy(o.fsync)
 	if err != nil {
 		return err
 	}
@@ -187,13 +227,17 @@ func runDaemon(width, height int, listen, debug, journalRoot, fsync string,
 	}
 	reg := obs.New()
 	mgr := sessiond.NewManager(sessiond.Config{
-		Width:       width,
-		Height:      height,
-		MaxSessions: maxSessions,
-		TTL:         ttl,
-		JournalRoot: journalRoot,
-		Fsync:       policy,
-		Obs:         reg,
+		Width:           o.width,
+		Height:          o.height,
+		MaxSessions:     o.maxSessions,
+		TTL:             o.ttl,
+		JournalRoot:     o.journalRoot,
+		Fsync:           policy,
+		MaxBytes:        o.maxBytes,
+		MaxSessionBytes: o.maxSessionBytes,
+		MaxTotalProcs:   o.maxTotalProcs,
+		RetryAfter:      o.retryAfter,
+		Obs:             reg,
 		Build: func(name string, w, h int) (*world.World, error) {
 			return tmpl.NewSession(w, h)
 		},
@@ -215,6 +259,8 @@ func runDaemon(width, height int, listen, debug, journalRoot, fsync string,
 	}
 	srv := srvnet.NewMuxServer(mgr)
 	srv.Obs = reg
+	srv.MaxWaiters = o.maxWaiters
+	srv.RetryAfter = o.retryAfter
 	fmt.Fprintf(os.Stderr, "helpd: sessions served on %s\n", l.Addr())
 
 	sigc := make(chan os.Signal, 1)

@@ -1,0 +1,120 @@
+// Command helpload records and replays gesture traces against a help
+// daemon (help -daemon -listen <addr>): the load generator behind
+// `make chaos`.
+//
+// Replay (the default) drives -users simulated users over -sessions
+// sessions, each repeating the trace -iterations times with jittered
+// think time, and prints what the fleet observed — including typed busy
+// refusals and degradations, the overload work's visible surface:
+//
+//	helpload -addr :8090 -users 100 -sessions 25 -iterations 3
+//
+// -record instead attaches to one session, listens to its event log for
+// -record-for (backfilling the retained tail, then following live), and
+// writes a replayable trace to stdout:
+//
+//	helpload -addr :8090 -record mysession -record-for 30s > trace.txt
+//	helpload -addr :8090 -trace trace.txt -users 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/srvnet"
+	"repro/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon srvnet address (required)")
+	users := flag.Int("users", 1, "simulated users")
+	sessions := flag.Int("sessions", 0, "distinct sessions the users spread over (default: one per user)")
+	iterations := flag.Int("iterations", 1, "trace repetitions per user")
+	think := flag.Float64("think", 0, "think-time scale (0 replays at full speed, 1 at recorded pace)")
+	seed := flag.Int64("seed", 1, "seed for think jitter and client backoff")
+	tracePath := flag.String("trace", "", "trace file to replay (default: the built-in editing trace)")
+	prefix := flag.String("prefix", "load", "session name prefix")
+	busyBudget := flag.Duration("busy-budget", 2*time.Second, "how long one op waits out busy refusals before degrading")
+	record := flag.String("record", "", "record: listen to this session's event log and print a trace")
+	recordFor := flag.Duration("record-for", 10*time.Second, "how long -record listens before writing the trace")
+	recordThink := flag.Duration("record-think", 50*time.Millisecond, "think time stamped on recorded ops")
+	stats := flag.Bool("stats", false, "after replay, print the daemon-visible client stats registry")
+	flag.Parse()
+
+	if *addr == "" {
+		fail(fmt.Errorf("-addr is required"))
+	}
+
+	if *record != "" {
+		c := srvnet.NewReconnectingClient(*addr)
+		c.Session = *record
+		defer c.Close()
+		// The log is a stream, not a file: park on it with resumable
+		// blocking reads (since 0 backfills the retained tail) until the
+		// recording window closes.
+		path := world.MountRoot + "/log"
+		deadline := time.Now().Add(*recordFor)
+		var buf []byte
+		var since uint64
+		for {
+			left := time.Until(deadline)
+			if left <= 0 {
+				break
+			}
+			data, next, err := c.ReadWait(path, since, left)
+			fail(err)
+			buf = append(buf, data...)
+			since = next
+		}
+		tr, err := loadgen.RecordLog(buf, *recordThink)
+		fail(err)
+		fmt.Print(tr.Text())
+		return
+	}
+
+	var tr *loadgen.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		fail(err)
+		tr, err = loadgen.ParseTrace(f)
+		f.Close()
+		fail(err)
+	}
+
+	reg := obs.New()
+	start := time.Now()
+	st, err := loadgen.Replay(loadgen.Config{
+		Addr:          *addr,
+		Users:         *users,
+		Sessions:      *sessions,
+		Iterations:    *iterations,
+		ThinkScale:    *think,
+		Seed:          *seed,
+		Trace:         tr,
+		SessionPrefix: *prefix,
+		Obs:           reg,
+		BusyBudget:    *busyBudget,
+	})
+	fail(err)
+	elapsed := time.Since(start)
+	fmt.Printf("%s in %v (%.0f ops/s)\n", st, elapsed.Round(time.Millisecond),
+		float64(st.Ops)/elapsed.Seconds())
+	if *stats {
+		fmt.Print(reg.StatsText())
+	}
+	if st.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "helpload: %d hard errors, first: %v\n", st.Errors, st.FirstError)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helpload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -182,10 +182,26 @@ type Help struct {
 	// can list many sessions without taking every actor lock.
 	mWindows obs.Counter
 
+	// mMemRunes mirrors the summed resident rune count of every live
+	// window buffer (tags and bodies), maintained through each buffer's
+	// SetOnMem hook (installed by trackWindow). Always-on atomic for
+	// the same reason as mWindows: the daemon's budget governor sums
+	// sessions without taking every actor lock.
+	mMemRunes obs.Counter
+
 	// maxProcs and errorsCap are the per-session resource bounds
-	// installed by SetLimits; errorsCap is always positive.
+	// installed by SetLimits; errorsCap is always positive. maxBytes
+	// caps the session's resident buffer bytes (0: unlimited).
 	maxProcs  int
 	errorsCap int
+	maxBytes  int64
+
+	// memGate and procGate are daemon-wide admission checks installed
+	// by the session manager: consulted before a large body load or a
+	// command launch, they refuse with a typed busy error when the
+	// whole process's budget — not just this session's — is spent.
+	memGate  func(addBytes int64) error
+	procGate func() error
 
 	// statsPath is where helpfs serves the flat stats file, for the
 	// Metrics built-in.
@@ -408,6 +424,7 @@ func (h *Help) newWindowIn(col *Column) *Window {
 	h.nextID++
 	h.byID[w.ID] = w
 	h.mWindows.Add(1)
+	h.trackWindow(w)
 	h.place(w, col)
 	if h.OnWindowCreated != nil {
 		h.OnWindowCreated(w)
@@ -575,6 +592,7 @@ func (h *Help) closeWindow(w *Window) {
 	h.colOf(w).removeWindow(w)
 	delete(h.byID, w.ID)
 	h.mWindows.Add(-1)
+	h.untrackWindow(w)
 	if h.curWin == w {
 		h.curWin = nil
 	}
@@ -668,6 +686,12 @@ type Limits struct {
 	// session is quiescent (no commands in flight); set it right after
 	// New, before serving.
 	QueueDepth int
+	// MaxBytes caps the session's resident buffer bytes (tags plus
+	// bodies, at MemBytesPerRune per rune): a body load that would
+	// exceed it is refused with a typed busy error instead of letting
+	// one session opening huge files starve its neighbors. Negative
+	// means unlimited.
+	MaxBytes int64
 }
 
 // SetLimits installs per-session resource bounds.
@@ -680,10 +704,84 @@ func (h *Help) SetLimits(l Limits) {
 	if l.ErrorsCap > 0 {
 		h.errorsCap = l.ErrorsCap
 	}
+	if l.MaxBytes != 0 {
+		h.maxBytes = l.MaxBytes
+		if l.MaxBytes < 0 {
+			h.maxBytes = 0
+		}
+	}
 	if l.QueueDepth > 0 && l.QueueDepth != cap(h.applyq) &&
 		h.loopActive.Load() == 0 && len(h.applyq) == 0 && len(h.procs) == 0 {
 		h.applyq = make(chan func(), l.QueueDepth)
 	}
+}
+
+// SetMemGate installs (or, with nil, removes) the daemon-wide memory
+// admission check: consulted with the projected resident-byte increase
+// before a large body load, it refuses — typically with a
+// vfs.BusyError carrying a retry-after hint — when the whole process's
+// budget is spent. Loads below memGateRunes skip the consult, so
+// keystroke-sized edits never contend on the daemon's totals.
+func (h *Help) SetMemGate(fn func(addBytes int64) error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.memGate = fn
+}
+
+// SetProcGate installs (or, with nil, removes) the daemon-wide command
+// admission check, consulted after the per-session MaxProcs bound.
+func (h *Help) SetProcGate(fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.procGate = fn
+}
+
+// MemBytesPerRune is the resident cost of one buffered rune: gap
+// buffers store runes, four bytes each.
+const MemBytesPerRune = 4
+
+// memGateRunes is the load size below which checkMem skips the daemon
+// gate: per-keystroke edits must not consult (and contend on) the
+// process-wide budget.
+const memGateRunes = 1024
+
+// trackWindow wires w's buffers into the session's resident-size
+// accounting. Installed at both window-creation choke points (newWindowIn
+// and the recovery path's adoptWindow); untrackWindow reverses it.
+func (h *Help) trackWindow(w *Window) {
+	h.mMemRunes.Add(int64(w.Tag.Len() + w.Body.Len()))
+	w.Tag.SetOnMem(func(d int) { h.mMemRunes.Add(int64(d)) })
+	w.Body.SetOnMem(func(d int) { h.mMemRunes.Add(int64(d)) })
+}
+
+func (h *Help) untrackWindow(w *Window) {
+	w.Tag.SetOnMem(nil)
+	w.Body.SetOnMem(nil)
+	h.mMemRunes.Add(-int64(w.Tag.Len() + w.Body.Len()))
+}
+
+// checkMem is the memory admission check for a body load of addRunes
+// runes (callers may pass a byte count: runes never exceed UTF-8
+// bytes, so the check errs refusing). It consults the session's
+// MaxBytes cap and, for large loads, the daemon-wide gate. Runs under
+// the actor lock.
+func (h *Help) checkMem(addRunes int) error {
+	if addRunes <= 0 {
+		return nil
+	}
+	addBytes := int64(addRunes) * MemBytesPerRune
+	if h.maxBytes > 0 && h.mMemRunes.Load()*MemBytesPerRune+addBytes > h.maxBytes {
+		h.Obs.Counter("core.mem.refused").Inc()
+		h.Obs.Event("limit", fmt.Sprintf("load of %d bytes refused: session memory limit %d", addBytes, h.maxBytes))
+		return &vfs.BusyError{Msg: fmt.Sprintf("core: session memory limit (%d bytes) reached", h.maxBytes)}
+	}
+	if h.memGate != nil && addRunes >= memGateRunes {
+		if err := h.memGate(addBytes); err != nil {
+			h.Obs.Counter("core.mem.refused").Inc()
+			return err
+		}
+	}
+	return nil
 }
 
 // WindowCount reports the number of windows without taking the actor
@@ -692,6 +790,10 @@ func (h *Help) WindowCount() int { return int(h.mWindows.Load()) }
 
 // ProcCount reports the number of live external commands, lock-free.
 func (h *Help) ProcCount() int { return int(h.mProcsLive.Load()) }
+
+// MemBytes reports the session's resident buffer bytes, lock-free; it
+// is maintained as an atomic through the buffers' SetOnMem hooks.
+func (h *Help) MemBytes() int64 { return h.mMemRunes.Load() * MemBytesPerRune }
 
 // AppendErrors appends text to the Errors window, trimming from the
 // front — at a line boundary when possible — once the body exceeds
@@ -791,6 +893,10 @@ func (h *Help) openFile(name, addr string) (*Window, error) {
 			h.closeWindow(w)
 			return nil, err
 		}
+		if err := h.checkMem(len(listing)); err != nil {
+			h.closeWindow(w)
+			return nil, err
+		}
 		w.IsDir = true
 		// Load, not a fresh buffer: the journal's splice hook (and any
 		// other observer) must survive adopting the contents.
@@ -800,6 +906,10 @@ func (h *Help) openFile(name, addr string) (*Window, error) {
 	}
 	data, err := h.FS.ReadFile(name)
 	if err != nil {
+		h.closeWindow(w)
+		return nil, err
+	}
+	if err := h.checkMem(len(data)); err != nil {
 		h.closeWindow(w)
 		return nil, err
 	}
@@ -843,6 +953,9 @@ func (h *Help) get(w *Window) error {
 		if err != nil {
 			return err
 		}
+		if err := h.checkMem(len(listing) - w.Body.Len()); err != nil {
+			return err
+		}
 		w.Body.SetString(listing)
 		w.Body.SetClean()
 		w.Sel[SubBody] = clampSel(w.Sel[SubBody], w.Body.Len())
@@ -851,6 +964,9 @@ func (h *Help) get(w *Window) error {
 	}
 	data, err := h.FS.ReadFile(name)
 	if err != nil {
+		return err
+	}
+	if err := h.checkMem(len(data) - w.Body.Len()); err != nil {
 		return err
 	}
 	w.Body.SetString(string(data))

@@ -755,6 +755,7 @@ func (h *Help) adoptWindow(id int) *Window {
 	w := newWindow(id)
 	h.byID[id] = w
 	h.mWindows.Add(1)
+	h.trackWindow(w)
 	if id >= h.nextID {
 		h.nextID = id + 1
 	}

@@ -81,6 +81,18 @@ func (h *Help) startProc(name string, winID int, ctx *shell.Context, run func(*s
 		}
 		return nil
 	}
+	if h.procGate != nil {
+		// The daemon-wide command budget, checked after the per-session
+		// bound: the whole process shares one machine's cores, so a
+		// thousand polite sessions can still add up to a refusal.
+		if err := h.procGate(); err != nil {
+			h.appendErrors(fmt.Sprintf("%s: refused: %v\n", name, err))
+			if h.Obs != nil {
+				h.Obs.Event("limit", fmt.Sprintf("proc refused (daemon budget): %s", name))
+			}
+			return nil
+		}
+	}
 	h.procSeq++
 	p := &proc{
 		id:    h.procSeq,
@@ -276,3 +288,9 @@ func (v View) CloseWindow(w *Window) { v.h.closeWindow(w) }
 
 // Procs snapshots the live command table.
 func (v View) Procs() []ProcInfo { return v.h.procsInfo() }
+
+// CheckMem is the memory admission check for growing a window buffer
+// by addRunes runes (a byte count is an acceptable overestimate): it
+// consults the session's MaxBytes cap and, for large loads, the
+// daemon-wide gate, returning a typed busy error on refusal.
+func (v View) CheckMem(addRunes int) error { return v.h.checkMem(addRunes) }

@@ -314,6 +314,16 @@ func (h *bufHandle) Close() error {
 		return nil
 	}
 	buf := h.w.Buffer(h.d.sub)
+	// Admission check before the splice: a remote writer filling bodies
+	// is bounded by the same memory budgets as Open/Get, so one session
+	// streaming huge payloads through /mnt/help cannot starve neighbors.
+	add := len(h.pending)
+	if !h.d.appendOnly {
+		add -= buf.Len()
+	}
+	if err := h.d.s.h.View().CheckMem(add); err != nil {
+		return err
+	}
 	if h.d.appendOnly {
 		buf.Insert(buf.Len(), string(h.pending))
 	} else {

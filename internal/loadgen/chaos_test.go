@@ -1,0 +1,484 @@
+// Chaos harness: replay a fleet of recorded-gesture users against a
+// real in-process daemon — multi-session manager behind the mux wire
+// server — under scripted network faults, then assert the overload
+// work's invariants: no goroutine leaks, no cross-session bleed,
+// journals recover byte for byte, notify sequences never regress, and
+// every budget refusal is typed.
+//
+// `make chaos` runs the full fleet (CHAOS_USERS, default 1000); plain
+// `go test` (tier-1) runs the same harness as a small smoke.
+package loadgen_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/journal"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/sessiond"
+	"repro/internal/srvnet"
+	"repro/internal/vfs"
+	"repro/internal/world"
+)
+
+var (
+	tmplOnce sync.Once
+	tmpl     *world.Template
+	tmplErr  error
+)
+
+func sharedTemplate(t testing.TB) *world.Template {
+	t.Helper()
+	tmplOnce.Do(func() { tmpl, tmplErr = world.NewTemplate() })
+	if tmplErr != nil {
+		t.Fatal(tmplErr)
+	}
+	return tmpl
+}
+
+func waitUntil(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// daemon is one in-process help daemon: manager, wire server, journals
+// retained for post-drain recovery checks.
+type daemon struct {
+	reg  *obs.Registry
+	mgr  *sessiond.Manager
+	srv  *srvnet.Server
+	addr string
+
+	mu       sync.Mutex
+	journals map[string]*journal.MemFS
+}
+
+func (d *daemon) journalFS(name string) (journal.Fsys, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fs, ok := d.journals[name]; ok {
+		return fs, nil
+	}
+	fs := journal.NewMemFS()
+	d.journals[name] = fs
+	return fs, nil
+}
+
+func (d *daemon) journalNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.journals))
+	for n := range d.journals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// startDaemon builds the daemon over the shared template. modCfg and
+// modSrv tune budgets; scripts injects per-connection faultnet scripts.
+func startDaemon(t testing.TB, modCfg func(*sessiond.Config), modSrv func(*srvnet.Server),
+	scripts func(i int) *faultnet.Script) *daemon {
+	t.Helper()
+	tm := sharedTemplate(t)
+	d := &daemon{reg: obs.New(), journals: map[string]*journal.MemFS{}}
+	cfg := sessiond.Config{
+		Width: 60, Height: 20,
+		Obs:       d.reg,
+		Fsync:     journal.SyncNever, // MemFS: no disk to lose
+		JournalFS: d.journalFS,
+		Build: func(name string, w, h int) (*world.World, error) {
+			return tm.NewSession(w, h)
+		},
+	}
+	if modCfg != nil {
+		modCfg(&cfg)
+	}
+	d.mgr = sessiond.NewManager(cfg)
+	d.srv = srvnet.NewMuxServer(d.mgr)
+	d.srv.Obs = d.reg
+	if modSrv != nil {
+		modSrv(d.srv)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.addr = l.Addr().String()
+	var serveL net.Listener = l
+	if scripts != nil {
+		serveL = faultnet.WrapListener(l, scripts)
+	}
+	go d.srv.Serve(serveL)
+	return d
+}
+
+// shutdown drains the daemon the way cmd/help does: wire first, then
+// sessions, both within the budget.
+func (d *daemon) shutdown(t testing.TB, budget time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("server shutdown: %v", err)
+	}
+	if err := d.mgr.Drain(ctx); err != nil {
+		t.Fatalf("session drain: %v", err)
+	}
+}
+
+// fingerprint reads every window's tag and body through fs, a
+// serialization-safe byte-for-byte digest of the session's visible
+// state.
+func fingerprint(t testing.TB, fs *vfs.FS) string {
+	t.Helper()
+	ents, err := fs.ReadDir(world.MountRoot)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	var ids []int
+	for _, e := range ents {
+		if id, err := strconv.Atoi(e.Name); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		tag, err := fs.ReadFile(fmt.Sprintf("%s/%d/tag", world.MountRoot, id))
+		if err != nil {
+			t.Fatalf("fingerprint tag %d: %v", id, err)
+		}
+		body, err := fs.ReadFile(fmt.Sprintf("%s/%d/body", world.MountRoot, id))
+		if err != nil {
+			t.Fatalf("fingerprint body %d: %v", id, err)
+		}
+		fmt.Fprintf(&b, "== %d tag %d\n%s\n== %d body %d\n%s\n", id, len(tag), tag, id, len(body), body)
+	}
+	return b.String()
+}
+
+func chaosUsers(t *testing.T) int {
+	if s := os.Getenv("CHAOS_USERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_USERS %q", s)
+		}
+		return n
+	}
+	// Tier-1 (`make test`) runs the same harness as a small smoke; the
+	// full fleet is `make chaos`, which sets CHAOS_USERS.
+	return 24
+}
+
+// TestChaosReplay is the headline run: a fleet of users replaying the
+// default gesture trace over faulty connections, with every invariant
+// checked after the dust settles.
+func TestChaosReplay(t *testing.T) {
+	sharedTemplate(t) // build outside the goroutine baseline
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	users := chaosUsers(t)
+	sessions := users / 4
+	if sessions < 2 {
+		sessions = 2
+	}
+	iterations := 2
+
+	var (
+		scriptMu sync.Mutex
+		scripts  []*faultnet.Script
+	)
+	const maxBytes = 64 << 20
+	d := startDaemon(t,
+		func(c *sessiond.Config) {
+			c.MaxSessions = sessions + 4
+			c.MaxBytes = maxBytes
+			c.MaxSessionBytes = 4 << 20
+			c.MaxTotalProcs = 64
+		},
+		func(s *srvnet.Server) {
+			s.MaxConns = 4*users + 16
+			// Scripted read stalls park until the read deadline; a short
+			// idle timeout keeps them from outliving the drain budget.
+			s.IdleTimeout = 5 * time.Second
+		},
+		func(i int) *faultnet.Script {
+			// Every third connection runs under a seeded fault script;
+			// the rest are clean so the fleet as a whole makes progress.
+			if i%3 != 0 {
+				return nil
+			}
+			sc := faultnet.Generate(int64(1000+i), 2, 60)
+			scriptMu.Lock()
+			scripts = append(scripts, sc)
+			scriptMu.Unlock()
+			return sc
+		})
+
+	st, err := loadgen.Replay(loadgen.Config{
+		Addr:       d.addr,
+		Users:      users,
+		Sessions:   sessions,
+		Iterations: iterations,
+		Seed:       42,
+		Obs:        d.reg,
+		BusyBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replay: %s", st)
+
+	// Invariant: notify sequences never regress.
+	if st.SeqRegressions != 0 {
+		t.Fatalf("notify sequence regressed %d times", st.SeqRegressions)
+	}
+	// Invariant: hard errors only on faulted connections. A fired fault
+	// can fail the op in flight and poison the attach that follows, so
+	// allow a small multiple.
+	scriptMu.Lock()
+	fired := 0
+	for _, sc := range scripts {
+		fired += sc.Fired()
+	}
+	scriptMu.Unlock()
+	if limit := int64(4*fired + 8); st.Errors > limit {
+		t.Fatalf("%d hard errors (> %d allowed for %d fired faults): first: %v",
+			st.Errors, limit, fired, st.FirstError)
+	}
+	// Invariant: the fleet made real progress.
+	if min := int64(users) * int64(iterations); st.Ops < min {
+		t.Fatalf("fleet attempted %d ops, want >= %d", st.Ops, min)
+	}
+	// Invariant: budgets respected at rest.
+	if got := d.mgr.MemBytes(); got > maxBytes {
+		t.Fatalf("daemon.budget.bytes %d exceeds budget %d", got, maxBytes)
+	}
+
+	// Invariant: no cross-session bleed. Stamp every session with its
+	// own name, then read them all back.
+	type stamped struct {
+		name   string
+		fs     *vfs.FS
+		detach func()
+	}
+	var stamps []stamped
+	for i := 0; i < sessions; i++ {
+		name := "load" + strconv.Itoa(i)
+		fs, detach, err := d.mgr.AttachSession(name)
+		if err != nil {
+			t.Fatalf("attach %s for bleed check: %v", name, err)
+		}
+		if err := fs.WriteFile("/tmp/chaos-marker", []byte(name)); err != nil {
+			t.Fatalf("stamp %s: %v", name, err)
+		}
+		stamps = append(stamps, stamped{name, fs, detach})
+	}
+	for _, s := range stamps {
+		got, err := s.fs.ReadFile("/tmp/chaos-marker")
+		if err != nil || string(got) != s.name {
+			t.Fatalf("session %s marker = %q, %v: state bled across sessions", s.name, got, err)
+		}
+	}
+
+	// Capture each live session's visible state, then drain and prove
+	// the journals reproduce it byte for byte.
+	prints := map[string]string{}
+	for _, s := range stamps {
+		prints[s.name] = fingerprint(t, s.fs)
+	}
+	for _, s := range stamps {
+		s.detach()
+	}
+	d.shutdown(t, 60*time.Second)
+
+	for _, name := range d.journalNames() {
+		want, ok := prints[name]
+		if !ok {
+			continue
+		}
+		w2, err := sharedTemplate(t).NewSession(60, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.RecoverSession(w2.Help, d.journals[name]); err != nil {
+			t.Fatalf("recover %s: %v", name, err)
+		}
+		if got := fingerprint(t, w2.FS); got != want {
+			t.Fatalf("session %s did not recover byte-for-byte:\n-- live --\n%s\n-- recovered --\n%s", name, want, got)
+		}
+	}
+
+	// Invariant: everything parked was released.
+	if n := d.srv.WaiterCount(); n != 0 {
+		t.Fatalf("%d waiters still parked after shutdown", n)
+	}
+	// Invariant: no goroutine leaks.
+	waitUntil(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+4
+	})
+}
+
+// TestChaosOverload drives a deliberately tiny daemon past its budgets
+// and proves the refusals are typed (ErrBusy with retry-after), the
+// slow-reader policy disconnects stalled peers, and exhausted waiter
+// budgets degrade to polls — the overload scenario of the acceptance
+// criteria.
+func TestChaosOverload(t *testing.T) {
+	sharedTemplate(t)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	d := startDaemon(t,
+		func(c *sessiond.Config) {
+			c.MaxBytes = 96 * 1024
+			c.MaxSessionBytes = 64 * 1024
+			c.RetryAfter = 20 * time.Millisecond
+		},
+		func(s *srvnet.Server) {
+			s.MaxWaiters = 1
+			s.WriteTimeout = 50 * time.Millisecond
+		},
+		func(i int) *faultnet.Script {
+			// Half the connections stall a server-side response write:
+			// the slow-reader policy must disconnect them rather than
+			// buffer forever.
+			if i%2 == 0 {
+				return nil
+			}
+			return faultnet.NewScript(faultnet.Fault{Op: "write", After: 4, Kind: faultnet.Stall})
+		})
+
+	big := strings.Repeat("m", 16*1024)
+	trace := &loadgen.Trace{Ops: []loadgen.Op{
+		{Verb: "newwin"},
+		{Verb: "write", Path: "$W/body", Data: big},
+		{Verb: "readwait", Path: "log"},
+		{Verb: "read", Path: "$W/body"},
+		{Verb: "readwait", Path: "log"},
+		{Verb: "ctl", Path: "$W/ctl", Data: "delete\n"},
+	}}
+
+	st, err := loadgen.Replay(loadgen.Config{
+		Addr:       d.addr,
+		Users:      12,
+		Sessions:   6,
+		Iterations: 3,
+		Seed:       7,
+		Trace:      trace,
+		Obs:        d.reg,
+		BusyBudget: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overload replay: %s", st)
+
+	if st.Busy == 0 {
+		t.Fatal("overloaded daemon produced no typed busy refusals")
+	}
+	stats := d.reg.StatsMap()
+	if stats["daemon.budget.refused.mem"] == 0 && stats["core.mem.refused"] == 0 {
+		t.Fatalf("no memory-budget refusals counted: %v", stats)
+	}
+	if stats["srvnet.backpressure.disconnect"] == 0 {
+		t.Fatal("stalled readers were never disconnected (slow-reader policy)")
+	}
+	if stats["srvnet.backpressure.poll"] == 0 {
+		t.Fatal("waiter budget exhaustion never degraded a readwait to a poll")
+	}
+	if st.SeqRegressions != 0 {
+		t.Fatalf("notify sequence regressed %d times", st.SeqRegressions)
+	}
+
+	d.shutdown(t, 30*time.Second)
+	waitUntil(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+4
+	})
+}
+
+// TestDrainUnparksWaiters proves the drain story for parked long polls:
+// clients blocked in readwait on /mnt/help/log and a window's event
+// file are all released with the typed draining error, within the drain
+// budget, leaking nothing.
+func TestDrainUnparksWaiters(t *testing.T) {
+	sharedTemplate(t)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	d := startDaemon(t, nil, nil, nil)
+
+	const parked = 6
+	results := make(chan error, parked)
+	var clients []*srvnet.ReconnectingClient
+	for i := 0; i < parked; i++ {
+		c := srvnet.NewReconnectingClient(d.addr)
+		c.Session = "drain" + strconv.Itoa(i%2)
+		clients = append(clients, c)
+		path := world.MountRoot + "/log"
+		if i%2 == 1 {
+			// Half park on a window event file instead of the session log.
+			winID, err := c.ReadFile(world.MountRoot + "/new/ctl")
+			if err != nil {
+				t.Fatalf("new window: %v", err)
+			}
+			path = world.MountRoot + "/" + strings.TrimSpace(string(winID)) + "/event"
+		}
+		go func(c *srvnet.ReconnectingClient, path string) {
+			// Wait far past the drain budget: only the drain can free us.
+			_, _, err := c.ReadWait(path, ^uint64(0)>>1, 25*time.Second)
+			results <- err
+		}(c, path)
+	}
+	waitUntil(t, "clients to park", func() bool { return d.srv.WaiterCount() == parked })
+
+	start := time.Now()
+	d.shutdown(t, 10*time.Second)
+
+	for i := 0; i < parked; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, srvnet.ErrDraining) {
+				t.Fatalf("parked waiter returned %v, want ErrDraining", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("waiter %d still parked %v after drain", i, time.Since(start))
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain took %v, over the budget", elapsed)
+	}
+	if n := d.srv.WaiterCount(); n != 0 {
+		t.Fatalf("WaiterCount = %d after drain", n)
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	waitUntil(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+4
+	})
+}

@@ -1,0 +1,296 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/srvnet"
+	"repro/internal/vfs"
+	"repro/internal/world"
+)
+
+// Config parameterizes one replay run.
+type Config struct {
+	// Addr is the daemon's srvnet address. Required unless NewClient is
+	// set.
+	Addr string
+	// Users is the number of simulated users, each with its own
+	// reconnecting client and goroutine. Default 1.
+	Users int
+	// Sessions is the number of distinct session names the users spread
+	// over (round-robin), so replay exercises both session reuse and
+	// isolation. Default: one session per user.
+	Sessions int
+	// Iterations repeats the trace per user. Default 1.
+	Iterations int
+	// ThinkScale multiplies each op's recorded think time, jittered
+	// ±50% per user. Zero disables think time entirely (replay at full
+	// speed); use 1 for recorded pacing.
+	ThinkScale float64
+	// Seed makes the jitter and think randomness reproducible. Each
+	// user derives its own rng from Seed+user.
+	Seed int64
+	// Trace is the script each user replays. Default: DefaultTrace().
+	Trace *Trace
+	// SessionPrefix names the sessions: <prefix><k>. Default "load".
+	SessionPrefix string
+	// NewClient overrides client construction (tests inject fault
+	// wrappers or tuned budgets). The default dials Addr with the
+	// user's session and Obs.
+	NewClient func(user int, session string) *srvnet.ReconnectingClient
+	// Obs, when set, is handed to default-constructed clients.
+	Obs *obs.Registry
+	// BusyBudget is passed to default-constructed clients: how long one
+	// op waits out typed busy refusals before degrading.
+	BusyBudget time.Duration
+}
+
+// Stats is what the fleet observed, summed across users. Busy,
+// Draining, and Degraded are expected citizens of an overloaded or
+// shutting-down daemon, counted apart from Errors (protocol or I/O
+// failures a healthy run must not produce).
+type Stats struct {
+	Ops            int64 // operations attempted
+	Windows        int64 // windows created
+	Busy           int64 // typed busy refusals (vfs.ErrBusy)
+	Draining       int64 // typed draining refusals
+	Degraded       int64 // ops the client gave up on in degraded state
+	Errors         int64 // everything else
+	SeqRegressions int64 // readwait resume sequence moved backward
+	FirstError     error // first hard error, for the postmortem
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("ops=%d windows=%d busy=%d draining=%d degraded=%d errors=%d seqregress=%d",
+		s.Ops, s.Windows, s.Busy, s.Draining, s.Degraded, s.Errors, s.SeqRegressions)
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.Ops += o.Ops
+	s.Windows += o.Windows
+	s.Busy += o.Busy
+	s.Draining += o.Draining
+	s.Degraded += o.Degraded
+	s.Errors += o.Errors
+	s.SeqRegressions += o.SeqRegressions
+	if s.FirstError == nil {
+		s.FirstError = o.FirstError
+	}
+}
+
+// Replay runs the configured fleet to completion and returns the summed
+// stats. The returned error covers configuration problems only; what
+// the daemon did to the fleet is reported in Stats.
+func Replay(cfg Config) (*Stats, error) {
+	if cfg.Addr == "" && cfg.NewClient == nil {
+		return nil, fmt.Errorf("loadgen: Config.Addr or Config.NewClient required")
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 1
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = cfg.Users
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = DefaultTrace()
+	}
+	if cfg.SessionPrefix == "" {
+		cfg.SessionPrefix = "load"
+	}
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = func(user int, session string) *srvnet.ReconnectingClient {
+			c := srvnet.NewReconnectingClient(cfg.Addr)
+			c.Session = session
+			c.Obs = cfg.Obs
+			c.Seed = cfg.Seed + int64(user) + 1
+			c.BusyBudget = cfg.BusyBudget
+			return c
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		total Stats
+		wg    sync.WaitGroup
+	)
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			session := cfg.SessionPrefix + strconv.Itoa(u%cfg.Sessions)
+			st := runUser(cfg, u, session, newClient(u, session))
+			mu.Lock()
+			total.merge(st)
+			mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+	return &total, nil
+}
+
+// user is one simulated user's replay state.
+type user struct {
+	id     int
+	client *srvnet.ReconnectingClient
+	rng    *rand.Rand
+	scale  float64
+	st     Stats
+	win    string            // current window id ($W), "" if none
+	seqs   map[string]uint64 // readwait resume seq per path
+	iter   int
+}
+
+func runUser(cfg Config, id int, session string, c *srvnet.ReconnectingClient) *Stats {
+	u := &user{
+		id:     id,
+		client: c,
+		rng:    rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1)),
+		scale:  cfg.ThinkScale,
+		seqs:   map[string]uint64{},
+	}
+	defer c.Close()
+	for it := 0; it < cfg.Iterations; it++ {
+		u.iter = it
+		for _, op := range cfg.Trace.Ops {
+			u.think(op.Think)
+			u.record(u.run(op))
+		}
+	}
+	return &u.st
+}
+
+// think sleeps the op's scaled think time, jittered ±50% so a thousand
+// users do not march in lockstep.
+func (u *user) think(d time.Duration) {
+	if u.scale <= 0 || d <= 0 {
+		return
+	}
+	d = time.Duration(float64(d) * u.scale)
+	d = d/2 + time.Duration(u.rng.Int63n(int64(d)+1))
+	time.Sleep(d)
+}
+
+// record classifies one op's outcome into the stats.
+func (u *user) record(err error) {
+	u.st.Ops++
+	switch {
+	case err == nil:
+	case errors.Is(err, vfs.ErrBusy):
+		u.st.Busy++
+		if errors.Is(err, srvnet.ErrDegraded) {
+			u.st.Degraded++
+		}
+	case errors.Is(err, srvnet.ErrDraining):
+		u.st.Draining++
+	case errors.Is(err, srvnet.ErrDegraded):
+		u.st.Degraded++
+	default:
+		u.st.Errors++
+		if u.st.FirstError == nil {
+			u.st.FirstError = fmt.Errorf("user %d: %w", u.id, err)
+		}
+	}
+}
+
+// expand substitutes $W/$U/$I, creating the window on demand when the
+// op references $W before any newwin.
+func (u *user) expand(s string) (string, error) {
+	if strings.Contains(s, "$W") {
+		if u.win == "" {
+			if err := u.newWindow(); err != nil {
+				return "", err
+			}
+		}
+		s = strings.ReplaceAll(s, "$W", u.win)
+	}
+	s = strings.ReplaceAll(s, "$U", strconv.Itoa(u.id))
+	s = strings.ReplaceAll(s, "$I", strconv.Itoa(u.iter))
+	return s, nil
+}
+
+// resolve expands placeholders and anchors relative paths under the
+// session's /mnt/help.
+func (u *user) resolve(p string) (string, error) {
+	p, err := u.expand(p)
+	if err != nil {
+		return "", err
+	}
+	if p == "." {
+		return world.MountRoot, nil
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = world.MountRoot + "/" + p
+	}
+	return p, nil
+}
+
+// newWindow creates a window through new/ctl, whose read returns the
+// new window's id — the paper's "opens /mnt/help/new/ctl ... may then
+// read from that file the name of the window created".
+func (u *user) newWindow() error {
+	data, err := u.client.ReadFile(world.MountRoot + "/new/ctl")
+	if err != nil {
+		return err
+	}
+	id := strings.TrimSpace(string(data))
+	if id == "" {
+		return fmt.Errorf("loadgen: new/ctl returned no window id")
+	}
+	u.win = id
+	u.st.Windows++
+	return nil
+}
+
+func (u *user) run(op Op) error {
+	if op.Verb == "newwin" {
+		return u.newWindow()
+	}
+	path, err := u.resolve(op.Path)
+	if err != nil {
+		return err
+	}
+	switch op.Verb {
+	case "read":
+		_, err = u.client.ReadFile(path)
+	case "readdir":
+		_, err = u.client.ReadDir(path)
+	case "readwait":
+		var next uint64
+		_, next, err = u.client.ReadWait(path, u.seqs[path], 100*time.Millisecond)
+		if err == nil {
+			if next < u.seqs[path] {
+				u.st.SeqRegressions++
+			}
+			u.seqs[path] = next
+		}
+	case "write", "ctl":
+		var data string
+		if data, err = u.expand(op.Data); err == nil {
+			err = u.client.WriteFile(path, []byte(data))
+		}
+		if op.Verb == "ctl" && err == nil && strings.Contains(op.Data, "delete") &&
+			strings.HasPrefix(op.Path, "$W") {
+			u.win = ""
+		}
+	case "append":
+		var data string
+		if data, err = u.expand(op.Data); err == nil {
+			err = u.client.AppendFile(path, []byte(data))
+		}
+	case "remove":
+		err = u.client.Remove(path)
+	default:
+		return fmt.Errorf("loadgen: unknown verb %q", op.Verb)
+	}
+	return err
+}

@@ -1,0 +1,231 @@
+// Package loadgen records and replays gesture traces against a help
+// daemon over srvnet: the load generator the overload work is validated
+// with. A Trace is a small textual script of namespace operations — the
+// wire-visible shadow of a user's session — either written by hand,
+// taken from DefaultTrace, or recovered from a session's event log
+// (RecordLog). Replay drives N simulated users over the wire, each with
+// its own reconnecting client, randomized think time, and per-user
+// window state, and reports what the fleet observed: operation counts,
+// typed busy refusals, degradations, and notify-sequence regressions.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is one step of a trace.
+//
+// Verbs and their operands:
+//
+//	newwin            create a window (reads new/ctl), making it $W
+//	read <path>       read a file
+//	readdir <path>    list a directory
+//	readwait <path>   block for events past the last seen sequence
+//	write <path> <q>  replace a file's contents
+//	append <path> <q> append to a file
+//	ctl <path> <q>    write a control message (an alias of write that
+//	                  reads as intent in traces)
+//	remove <path>     remove a file
+//
+// Paths are relative to the session's /mnt/help unless they begin with
+// "/". The placeholders $W (current window id, creating one on demand),
+// $U (user index), and $I (iteration) are substituted in paths and
+// payloads at replay time. Payloads <q> are Go-quoted strings.
+type Op struct {
+	Think time.Duration // think time before the op (scaled by Replay)
+	Verb  string
+	Path  string
+	Data  string
+}
+
+// Trace is a replayable operation script, one user-session's worth.
+type Trace struct {
+	Ops []Op
+}
+
+// knownVerbs gates ParseTrace so a typo fails at parse time, not midway
+// through a thousand-user replay.
+var knownVerbs = map[string]bool{
+	"newwin": true, "read": true, "readdir": true, "readwait": true,
+	"write": true, "append": true, "ctl": true, "remove": true,
+}
+
+func verbTakesData(verb string) bool {
+	switch verb {
+	case "write", "append", "ctl":
+		return true
+	}
+	return false
+}
+
+// ParseTrace reads the textual trace format, one op per line:
+//
+//	<think_ms> <verb> [path] [quoted-data]
+//
+// Blank lines and lines starting with # are skipped.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseOpLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", lineno, err)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: trace: %w", err)
+	}
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("loadgen: trace is empty")
+	}
+	return t, nil
+}
+
+func parseOpLine(line string) (Op, error) {
+	rest := line
+	word := func() string {
+		rest = strings.TrimLeft(rest, " \t")
+		i := strings.IndexAny(rest, " \t")
+		if i < 0 {
+			w := rest
+			rest = ""
+			return w
+		}
+		w := rest[:i]
+		rest = rest[i:]
+		return w
+	}
+	ms, err := strconv.Atoi(word())
+	if err != nil {
+		return Op{}, fmt.Errorf("bad think time: %v", err)
+	}
+	op := Op{Think: time.Duration(ms) * time.Millisecond, Verb: word()}
+	if !knownVerbs[op.Verb] {
+		return Op{}, fmt.Errorf("unknown verb %q", op.Verb)
+	}
+	if op.Verb != "newwin" {
+		op.Path = word()
+		if op.Path == "" {
+			return Op{}, fmt.Errorf("%s needs a path", op.Verb)
+		}
+	}
+	if verbTakesData(op.Verb) {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return Op{}, fmt.Errorf("%s needs a quoted payload", op.Verb)
+		}
+		data, err := strconv.Unquote(rest)
+		if err != nil {
+			return Op{}, fmt.Errorf("bad payload %s: %v", rest, err)
+		}
+		op.Data = data
+	}
+	return op, nil
+}
+
+// Text renders the trace back into the parseable format, so recorded
+// traces round-trip through files.
+func (t *Trace) Text() string {
+	var b bytes.Buffer
+	b.WriteString("# helpload trace\n")
+	for _, op := range t.Ops {
+		fmt.Fprintf(&b, "%d %s", op.Think.Milliseconds(), op.Verb)
+		if op.Path != "" {
+			b.WriteByte(' ')
+			b.WriteString(op.Path)
+		}
+		if verbTakesData(op.Verb) {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Quote(op.Data))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DefaultTrace is a plausible editing session: make a window, name it,
+// type into its body in a few bursts, read the result back, check the
+// session log, and close the window so replayed users do not accumulate
+// state across iterations.
+func DefaultTrace() *Trace {
+	return &Trace{Ops: []Op{
+		{Think: 50 * time.Millisecond, Verb: "newwin"},
+		{Think: 20 * time.Millisecond, Verb: "ctl", Path: "$W/ctl", Data: "name /u$U/draft\n"},
+		{Think: 80 * time.Millisecond, Verb: "append", Path: "$W/bodyapp", Data: "user $U iteration $I\n"},
+		{Think: 60 * time.Millisecond, Verb: "append", Path: "$W/bodyapp", Data: "the quick brown fox jumps over the lazy dog\n"},
+		{Think: 30 * time.Millisecond, Verb: "read", Path: "$W/body"},
+		{Think: 10 * time.Millisecond, Verb: "readdir", Path: "."},
+		{Think: 20 * time.Millisecond, Verb: "readwait", Path: "log"},
+		{Think: 40 * time.Millisecond, Verb: "write", Path: "$W/body", Data: "rewritten by user $U, iteration $I\n"},
+		{Think: 20 * time.Millisecond, Verb: "read", Path: "$W/tag"},
+		{Think: 30 * time.Millisecond, Verb: "ctl", Path: "$W/ctl", Data: "delete\n"},
+	}}
+}
+
+// RecordLog recovers a replayable trace from a session event log (the
+// /mnt/help/log stream of "seq window kind detail" lines, the PR 8
+// observability surface). The log records gestures, not payloads — a
+// body event carries the buffer's new generation, not the typed text —
+// so payloads are synthesized; what replays is the session's *shape*:
+// window lifecycle and the sequence and interleaving of edits. Events
+// on windows whose creation predates the log are folded onto the
+// trace's own window. think gives each replayed op a uniform think
+// time (the log carries no timestamps).
+func RecordLog(data []byte, think time.Duration) (*Trace, error) {
+	t := &Trace{}
+	known := map[string]bool{} // recorded window id -> created in-log
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// seq window kind [detail]
+		f := strings.SplitN(line, " ", 4)
+		if len(f) < 3 {
+			continue
+		}
+		win, kind := f[1], f[2]
+		switch kind {
+		case "new":
+			known[win] = true
+			t.Ops = append(t.Ops, Op{Think: think, Verb: "newwin"})
+		case "body":
+			t.Ops = append(t.Ops, Op{Think: think, Verb: "append",
+				Path: "$W/bodyapp", Data: "replayed edit (u$U i$I)\n"})
+		case "tag":
+			t.Ops = append(t.Ops, Op{Think: think, Verb: "read", Path: "$W/tag"})
+		case "del":
+			if known[win] {
+				delete(known, win)
+				t.Ops = append(t.Ops, Op{Think: think, Verb: "ctl",
+					Path: "$W/ctl", Data: "delete\n"})
+			}
+		default:
+			// limit, gap, exec, attach...: daemon- or command-level
+			// events with no wire-replayable gesture.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: record: %w", err)
+	}
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("loadgen: log contains no replayable gestures")
+	}
+	return t, nil
+}

@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := DefaultTrace()
+	parsed, err := ParseTrace(strings.NewReader(orig.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parsed.Text(), orig.Text(); got != want {
+		t.Fatalf("round trip changed the trace:\n-- want --\n%s\n-- got --\n%s", want, got)
+	}
+	if len(parsed.Ops) != len(orig.Ops) {
+		t.Fatalf("round trip: %d ops, want %d", len(parsed.Ops), len(orig.Ops))
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // empty
+		"50 frobnicate $W/body", // unknown verb
+		"x read log",            // bad think time
+		"10 write $W/body",      // missing payload
+		"10 write $W/body hi",   // unquoted payload
+		"10 read",               // missing path
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestParseTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n  \n25 read log\n"
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 1 || tr.Ops[0].Verb != "read" || tr.Ops[0].Think != 25*time.Millisecond {
+		t.Fatalf("parsed %+v", tr.Ops)
+	}
+}
+
+func TestRecordLogMapsGestures(t *testing.T) {
+	log := strings.Join([]string{
+		"1 0 attach load0",
+		"2 3 new",
+		"3 3 body gen 1",
+		"4 3 tag gen 2",
+		"5 7 body gen 9", // window 7 predates the log: folds onto $W
+		"6 3 del /u/draft",
+		"7 0 gap 3 missed", // not replayable
+	}, "\n")
+	tr, err := RecordLog([]byte(log), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verbs []string
+	for _, op := range tr.Ops {
+		verbs = append(verbs, op.Verb)
+	}
+	want := []string{"newwin", "append", "read", "append", "ctl"}
+	if strings.Join(verbs, ",") != strings.Join(want, ",") {
+		t.Fatalf("verbs = %v, want %v", verbs, want)
+	}
+	for _, op := range tr.Ops {
+		if op.Think != 10*time.Millisecond {
+			t.Fatalf("op %+v: think not applied", op)
+		}
+	}
+	// The recorded trace must itself be parseable.
+	if _, err := ParseTrace(strings.NewReader(tr.Text())); err != nil {
+		t.Fatalf("recorded trace does not round-trip: %v", err)
+	}
+}
+
+func TestRecordLogRejectsEmpty(t *testing.T) {
+	if _, err := RecordLog([]byte("1 0 gap 5 missed\n"), 0); err == nil {
+		t.Fatal("RecordLog accepted a log with no gestures")
+	}
+}

@@ -77,6 +77,21 @@ type Config struct {
 	MaxProcs   int
 	ErrorsCap  int
 	QueueDepth int
+	// MaxSessionBytes caps each session's resident buffer bytes
+	// (core.Limits.MaxBytes). Zero keeps the core default (unlimited).
+	MaxSessionBytes int64
+	// MaxBytes bounds the daemon's total resident buffer bytes summed
+	// across sessions: body loads past it are refused with a typed busy
+	// error carrying a retry-after hint, and new sessions are refused
+	// admission while the budget is spent. Zero means unbounded.
+	MaxBytes int64
+	// MaxTotalProcs bounds live external commands summed across
+	// sessions, checked after each session's own MaxProcs. Zero means
+	// unbounded.
+	MaxTotalProcs int
+	// RetryAfter is the hint stamped on budget refusals; zero means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
 	// Obs, when set, gains gauges sessiond.live and sessiond.crashed
 	// plus counters for spawns, attaches, detaches, reaps, and crashes.
 	Obs *obs.Registry
@@ -164,6 +179,11 @@ type Manager struct {
 	cDetaches *obs.Counter
 	cReaps    *obs.Counter
 	cCrashes  *obs.Counter
+
+	// Budget refusal counters: daemon.budget.refused.{attach,mem,proc}.
+	cAttachRefused *obs.Counter
+	cMemRefused    *obs.Counter
+	cProcRefused   *obs.Counter
 }
 
 // NewManager returns a Manager over cfg. When cfg.TTL is set, an idle
@@ -190,9 +210,15 @@ func NewManager(cfg Config) *Manager {
 	m.cDetaches = r.Counter("sessiond.detaches")
 	m.cReaps = r.Counter("sessiond.reaps")
 	m.cCrashes = r.Counter("sessiond.crashes")
+	m.cAttachRefused = r.Counter("daemon.budget.refused.attach")
+	m.cMemRefused = r.Counter("daemon.budget.refused.mem")
+	m.cProcRefused = r.Counter("daemon.budget.refused.proc")
 	if r != nil {
 		r.Gauge("sessiond.live", func() int64 { return int64(m.countState(stateActive)) })
 		r.Gauge("sessiond.crashed", func() int64 { return int64(m.countState(stateCrashed)) })
+		r.Gauge("daemon.budget.bytes", m.MemBytes)
+		r.Gauge("daemon.budget.procs", func() int64 { return int64(m.TotalProcs()) })
+		r.Gauge("daemon.budget.sessions", func() int64 { return int64(m.SessionCount()) })
 	}
 	if cfg.TTL > 0 {
 		m.reaperStop = make(chan struct{})
@@ -250,9 +276,9 @@ func (m *Manager) AttachSession(name string) (*vfs.FS, func(), error) {
 		}
 		s, ok := m.sessions[name]
 		if !ok {
-			if len(m.sessions) >= m.cfg.MaxSessions {
+			if err := m.admitSpawnLocked(); err != nil {
 				m.mu.Unlock()
-				return nil, nil, fmt.Errorf("%w (%d live)", ErrMaxSessions, len(m.sessions))
+				return nil, nil, err
 			}
 			s = &session{name: name, ready: make(chan struct{}), born: time.Now()}
 			m.sessions[name] = s
@@ -344,7 +370,13 @@ func (m *Manager) build(name string) (*world.World, *journal.Writer, *journal.Di
 		MaxProcs:   m.cfg.MaxProcs,
 		ErrorsCap:  m.cfg.ErrorsCap,
 		QueueDepth: m.cfg.QueueDepth,
+		MaxBytes:   m.cfg.MaxSessionBytes,
 	})
+	// The daemon-wide budget gates: consulted under this session's
+	// actor lock, they take the Manager lock and sum every session's
+	// lock-free counters — the sanctioned lock order.
+	h.SetMemGate(m.memGate)
+	h.SetProcGate(m.procGate)
 
 	var jw *journal.Writer
 	var lock *journal.DirLock
@@ -417,6 +449,17 @@ func (m *Manager) build(name string) (*world.World, *journal.Writer, *journal.Di
 	if err := h.FS.RegisterDevice(world.MountRoot+"/daemonlog", notify.Device{Bus: m.bus}); err != nil {
 		cleanup()
 		return nil, nil, nil, fmt.Errorf("sessiond: %s: %w", name, err)
+	}
+	// The session's /mnt/help/stats serves that session's own registry,
+	// but the budget governor and the wire's backpressure counters live
+	// on the Manager's — overlay the file so the documented
+	// daemon.budget.* and srvnet.backpressure.* lines show up beside
+	// the session's, one stats file for the operator.
+	if r := m.cfg.Obs; r != nil && r != h.Obs {
+		if err := h.FS.RegisterDevice(world.MountRoot+"/stats", statsDevice{sess: h.Obs, daemon: r}); err != nil {
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("sessiond: %s: %w", name, err)
+		}
 	}
 	return w, jw, lock, nil
 }
@@ -661,6 +704,21 @@ type tableDevice struct{ m *Manager }
 
 func (d tableDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	return &tableHandle{content: d.m.TableText()}, nil
+}
+
+// statsDevice overlays a hosted session's /mnt/help/stats with the
+// daemon's instruments: the session registry's lines followed by the
+// Manager registry's (daemon.budget.*, srvnet.backpressure.*, the mux
+// listener's srvnet.* totals), contents computed at open like the
+// table.
+type statsDevice struct{ sess, daemon *obs.Registry }
+
+func (d statsDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
+	var text string
+	if d.sess != nil {
+		text = d.sess.StatsText()
+	}
+	return &tableHandle{content: text + d.daemon.StatsText()}, nil
 }
 
 type tableHandle struct{ content string }

@@ -2,7 +2,6 @@ package sessiond
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"net"
 	"os"
@@ -13,8 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/loadgen"
 	"repro/internal/srvnet"
-	"repro/internal/world"
 )
 
 // soakDuration is short by default so the soak rides along with tier-1;
@@ -29,10 +28,11 @@ func soakDuration() time.Duration {
 }
 
 // TestDaemonSoak churns the full daemon stack — Manager behind the mux
-// server on a real TCP listener — with concurrent attach/detach cycles,
-// namespace traffic, injected session crashes, and abrupt disconnects,
-// while the reaper retires idle sessions underneath. At the end a
-// graceful drain must succeed and no goroutines may leak.
+// server on a real TCP listener — by replaying the recorded gesture
+// trace (internal/loadgen, the same workload `make chaos` scales up) in
+// concurrent waves over a small shared session pool, with injected
+// session crashes and the reaper retiring idle sessions underneath. At
+// the end a graceful drain must succeed and no goroutines may leak.
 func TestDaemonSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak skipped in -short mode")
@@ -59,13 +59,14 @@ func TestDaemonSoak(t *testing.T) {
 	}()
 	addr := l.Addr().String()
 
+	const sessionPool = 4 // s0..s3, contended by every worker
 	var (
 		ops     atomic.Int64 // successful namespace operations
 		kills   atomic.Int64 // injected session crashes
 		stop    = make(chan struct{})
 		workers sync.WaitGroup
 	)
-	const nworkers = 8
+	const nworkers = 4
 	for i := 0; i < nworkers; i++ {
 		workers.Add(1)
 		go func(seed int64) {
@@ -77,41 +78,31 @@ func TestDaemonSoak(t *testing.T) {
 					return
 				default:
 				}
-				name := fmt.Sprintf("s%d", rng.Intn(10))
-				c, err := srvnet.Dial(addr)
+				// One wave: a couple of users replaying the editing trace
+				// over the shared sessions. Errors are expected citizens
+				// here — crashed sessions and the final drain refuse ops —
+				// so only clean ops are counted toward progress.
+				st, err := loadgen.Replay(loadgen.Config{
+					Addr:          addr,
+					Users:         2,
+					Sessions:      sessionPool,
+					Iterations:    1 + rng.Intn(3),
+					Seed:          rng.Int63(),
+					SessionPrefix: "s",
+					BusyBudget:    200 * time.Millisecond,
+				})
 				if err != nil {
-					return // listener closed: drain has begun
+					t.Errorf("replay config: %v", err)
+					return
 				}
-				// Attach may be refused (session crashed, server
-				// draining); the worker just moves on.
-				if err := c.Attach(name); err != nil {
-					c.Close()
-					continue
+				ops.Add(st.Ops - st.Errors - st.Draining - st.Degraded)
+				if st.Draining > 0 {
+					return // drain has begun
 				}
-				for j := 1 + rng.Intn(5); j > 0; j-- {
-					var err error
-					switch rng.Intn(4) {
-					case 0:
-						_, err = c.ReadFile(world.MountRoot + "/index")
-					case 1:
-						err = c.WriteFile("/tmp/soak", []byte(name))
-					case 2:
-						_, err = c.ReadFile(world.MountRoot + "/sessions")
-					case 3:
-						// Journaled mutation: opens a window.
-						err = c.WriteFile(world.MountRoot+"/ctl",
-							[]byte("open /usr/rob/src/help/help.c\n"))
-					}
-					if err == nil {
-						ops.Add(1)
-					}
-				}
-				if rng.Intn(12) == 0 && m.CrashSession(name, "soak: injected kill") {
+				if rng.Intn(6) == 0 &&
+					m.CrashSession("s"+strconv.Itoa(rng.Intn(sessionPool)), "soak: injected kill") {
 					kills.Add(1)
 				}
-				// Half the time hang up without a graceful goodbye; the
-				// server must treat it like any detach.
-				c.Close()
 			}
 		}(int64(i + 1))
 	}
@@ -133,7 +124,7 @@ func TestDaemonSoak(t *testing.T) {
 	if ops.Load() == 0 {
 		t.Fatal("soak performed no successful operations")
 	}
-	t.Logf("soak: %d ops, %d injected kills, %d sessions at drain",
+	t.Logf("soak: %d clean ops, %d injected kills, %d sessions at drain",
 		ops.Load(), kills.Load(), m.SessionCount())
 
 	waitUntil(t, "goroutines to settle after soak", func() bool {

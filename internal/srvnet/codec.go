@@ -156,6 +156,10 @@ func encodeResp(dst []byte, resp *response) ([]byte, error) {
 		dst = append(dst, `,"gen":`...)
 		dst = strconv.AppendUint(dst, resp.Gen, 10)
 	}
+	if resp.Retry != 0 {
+		dst = append(dst, `,"retry":`...)
+		dst = strconv.AppendInt(dst, resp.Retry, 10)
+	}
 	if resp.N != 0 {
 		dst = append(dst, `,"n":`...)
 		dst = strconv.AppendInt(dst, resp.N, 10)
@@ -486,6 +490,12 @@ func parseResp(line []byte, resp *response) bool {
 				return false
 			}
 			resp.Gen = num
+		case "retry":
+			v, ok := toInt64(neg, num)
+			if kind != 'n' || !ok {
+				return false
+			}
+			resp.Retry = v
 		case "n":
 			v, ok := toInt64(neg, num)
 			if kind != 'n' || !ok {

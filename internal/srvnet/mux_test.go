@@ -212,7 +212,7 @@ func TestConnectDuringDrainRefusedAsDraining(t *testing.T) {
 	if err := json.NewDecoder(client).Decode(&resp); err != nil {
 		t.Fatalf("reading refusal: %v", err)
 	}
-	if err := errFromWire(resp.Err, resp.Code); !errors.Is(err, ErrDraining) {
+	if err := errFromWire(resp.Err, resp.Code, resp.Retry); !errors.Is(err, ErrDraining) {
 		t.Fatalf("refusal: err = %v, want ErrDraining", err)
 	}
 	<-done

@@ -74,6 +74,13 @@ type ReconnectingClient struct {
 	// Zeroes mean 10ms and 1s.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// BusyBudget bounds the total time one operation spends waiting out
+	// busy refusals (the server's retry-after hints). Busy waits are
+	// charged here, not against MaxRetries: a server protecting itself
+	// with admission control is alive, so the refusals must not count
+	// toward the degradation threshold. Zero means 2s; negative
+	// disables busy waiting (refusals degrade immediately).
+	BusyBudget time.Duration
 	// Seed makes the jitter deterministic. Zero means 1.
 	Seed int64
 	// Session, when set, names the session to attach to after every
@@ -220,6 +227,20 @@ func (r *ReconnectingClient) drop(c *Client) {
 	r.mu.Unlock()
 }
 
+// jitter returns a deterministic random duration in [0, max).
+func (r *ReconnectingClient) jitter(max int64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rng == nil {
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r.rng = rand.New(rand.NewSource(seed))
+	}
+	return time.Duration(r.rng.Int63n(max))
+}
+
 // backoff returns the i'th retry delay (i counts from 1): capped
 // exponential with deterministic jitter in the upper half.
 func (r *ReconnectingClient) backoff(i int) time.Duration {
@@ -242,25 +263,49 @@ func (r *ReconnectingClient) backoff(i int) time.Duration {
 	if d > cap {
 		d = cap
 	}
-	r.mu.Lock()
-	if r.rng == nil {
-		seed := r.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		r.rng = rand.New(rand.NewSource(seed))
+	return d/2 + r.jitter(int64(d)/2+1)
+}
+
+// busyBudget resolves the BusyBudget default.
+func (r *ReconnectingClient) busyBudget() time.Duration {
+	if r.BusyBudget > 0 {
+		return r.BusyBudget
 	}
-	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
-	r.mu.Unlock()
-	return d/2 + j
+	if r.BusyBudget < 0 {
+		return 0
+	}
+	return 2 * time.Second
+}
+
+// busyWait honors one busy refusal: sleep the server's retry-after
+// hint (the generic backoff base when it sent none) plus jitter,
+// charging the wait against the busy budget. It reports false once the
+// budget cannot cover the wait — time to degrade.
+func (r *ReconnectingClient) busyWait(err error, spent *time.Duration) bool {
+	hint, ok := vfs.RetryAfter(err)
+	if !ok {
+		hint = r.BackoffBase
+		if hint <= 0 {
+			hint = 10 * time.Millisecond
+		}
+	}
+	d := hint + r.jitter(int64(hint)/2+1)
+	if *spent+d > r.busyBudget() {
+		return false
+	}
+	*spent += d
+	r.Obs.Counter("srvnet.busywait").Inc()
+	time.Sleep(d)
+	return true
 }
 
 // retryable reports whether err is worth a redial: transport failures
-// and peer-reported protocol/busy conditions are; errors the server
-// actually answered with (vfs sentinels and other namespace errors) are
-// not — the retry would just repeat them.
+// and peer-reported protocol violations are; errors the server actually
+// answered with (vfs sentinels and other namespace errors) are not —
+// the retry would just repeat them. Busy refusals never reach here:
+// do intercepts them first and waits the server's hint instead.
 func retryable(err error) bool {
-	if errors.Is(err, ErrProto) || errors.Is(err, ErrBusy) {
+	if errors.Is(err, ErrProto) {
 		return true
 	}
 	var we *wireError
@@ -274,15 +319,22 @@ func retryable(err error) bool {
 }
 
 // do runs call with the retry policy. Idempotent operations retry any
-// retryable failure; mutating ones only dial failures.
+// retryable failure; mutating ones only dial failures — and busy
+// refusals, which are safe for both: a refused request was answered,
+// not applied, so waiting out the server's retry-after hint and
+// resending risks no double write. Busy waits draw on BusyBudget, not
+// the attempt counter: "server protecting itself" must not trip the
+// "server gone" degradation threshold.
 func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error {
 	attempts := r.retries() + 1
 	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			r.Obs.Counter("srvnet.retries").Inc()
-			time.Sleep(r.backoff(i))
-		}
+	var busySpent time.Duration
+	degradeBusy := func(err error) error {
+		err = fmt.Errorf("%w: busy past retry budget: %w", ErrDegraded, err)
+		r.setState(StateDegraded, err)
+		return err
+	}
+	for i := 0; i < attempts; {
 		c, err := r.client()
 		if err != nil {
 			if errors.Is(err, ErrClientClosed) {
@@ -297,9 +349,24 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 				r.setState(StateDegraded, err)
 				return err
 			}
+			if errors.Is(err, vfs.ErrBusy) {
+				// Refused at the door (conn table or session budget
+				// full): the server is alive, wait its hint out.
+				lastErr = err
+				r.setState(StateRetrying, err)
+				if !r.busyWait(err, &busySpent) {
+					return degradeBusy(err)
+				}
+				continue
+			}
 			// Dial failure: nothing was sent, always retryable.
 			lastErr = err
 			r.setState(StateRetrying, err)
+			i++
+			if i < attempts {
+				r.Obs.Counter("srvnet.retries").Inc()
+				time.Sleep(r.backoff(i))
+			}
 			continue
 		}
 		err = call(c)
@@ -312,6 +379,20 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 			err = fmt.Errorf("%w: %w", ErrDegraded, err)
 			r.setState(StateDegraded, err)
 			return err
+		}
+		if errors.Is(err, vfs.ErrBusy) {
+			// An operation refused by a budget. A per-op refusal leaves
+			// the connection healthy; a conn-level one (Seq-0 refusal)
+			// poisoned it, so drop it and let the wait redial.
+			if c.closedNow() {
+				r.drop(c)
+			}
+			lastErr = err
+			r.setState(StateRetrying, err)
+			if !r.busyWait(err, &busySpent) {
+				return degradeBusy(err)
+			}
+			continue
 		}
 		if !retryable(err) {
 			// The server answered: the connection is healthy, the
@@ -328,6 +409,11 @@ func (r *ReconnectingClient) do(idempotent bool, call func(*Client) error) error
 			return fmt.Errorf("srvnet: request outcome unknown (connection lost): %w", err)
 		}
 		r.setState(StateRetrying, err)
+		i++
+		if i < attempts {
+			r.Obs.Counter("srvnet.retries").Inc()
+			time.Sleep(r.backoff(i))
+		}
 	}
 	err := fmt.Errorf("%w (after %d attempts): %v", ErrDegraded, attempts, lastErr)
 	r.setState(StateDegraded, err)

@@ -1,0 +1,142 @@
+package srvnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// busyHub refuses the first `refusals` attaches with a typed busy error
+// carrying a retry-after hint, then behaves like testHub. It models a
+// daemon whose admission control is briefly saturated.
+type busyHub struct {
+	*testHub
+	mu       sync.Mutex
+	refusals int
+	hint     time.Duration
+	refused  int
+}
+
+func (h *busyHub) AttachSession(name string) (*vfs.FS, func(), error) {
+	h.mu.Lock()
+	if h.refused < h.refusals {
+		h.refused++
+		h.mu.Unlock()
+		return nil, nil, &vfs.BusyError{Msg: "hub saturated", After: h.hint}
+	}
+	h.mu.Unlock()
+	return h.testHub.AttachSession(name)
+}
+
+func (h *busyHub) refusedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.refused
+}
+
+// TestReconnectWaitsOutBusyRefusals: a busy refusal means "alive but
+// protecting itself", so the client must wait the server's retry-after
+// hint (jittered) and try again — without consuming redial attempts or
+// tripping the degradation threshold.
+func TestReconnectWaitsOutBusyRefusals(t *testing.T) {
+	const refusals = 3
+	hint := 30 * time.Millisecond
+	hub := &busyHub{testHub: newTestHub(), refusals: refusals, hint: hint}
+	addr, _ := muxServe(t, hub)
+
+	reg := obs.New()
+	r := NewReconnectingClient(addr)
+	r.Session = "s"
+	r.Obs = reg
+	r.Seed = 7
+	defer r.Close()
+
+	start := time.Now()
+	who, err := r.ReadFile("/d/who")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("ReadFile after busy refusals: %v", err)
+	}
+	if string(who) != "s" {
+		t.Fatalf("who = %q, want s", who)
+	}
+	if got := hub.refusedCount(); got != refusals {
+		t.Fatalf("hub refused %d attaches, want %d", got, refusals)
+	}
+	// Each refusal is waited out for at least the server's hint.
+	if min := time.Duration(refusals) * hint; elapsed < min-10*time.Millisecond {
+		t.Fatalf("op finished in %v; %d hints of %v should take at least ~%v", elapsed, refusals, hint, min)
+	}
+	// The waits were charged to the busy budget, not the retry counter:
+	// busy must never advance the client toward ErrDegraded.
+	if got := reg.Counter("srvnet.retries").Load(); got != 0 {
+		t.Fatalf("srvnet.retries = %d after busy refusals, want 0", got)
+	}
+	if got := reg.Counter("srvnet.busywait").Load(); got != refusals {
+		t.Fatalf("srvnet.busywait = %d, want %d", got, refusals)
+	}
+	if st := r.State(); st != StateConnected {
+		t.Fatalf("state = %v after recovery, want connected", st)
+	}
+}
+
+// TestReconnectBusyBudgetDegrades: once the busy budget cannot cover the
+// next hinted wait, the client degrades with an error naming both
+// conditions — degraded, and why (busy).
+func TestReconnectBusyBudgetDegrades(t *testing.T) {
+	hub := &busyHub{testHub: newTestHub(), refusals: 1 << 30, hint: 30 * time.Millisecond}
+	addr, _ := muxServe(t, hub)
+
+	reg := obs.New()
+	r := NewReconnectingClient(addr)
+	r.Session = "s"
+	r.Obs = reg
+	r.Seed = 7
+	r.BusyBudget = 40 * time.Millisecond
+	defer r.Close()
+
+	_, err := r.ReadFile("/d/who")
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if !errors.Is(err, vfs.ErrBusy) {
+		t.Fatalf("err = %v, should still identify as busy", err)
+	}
+	if got := reg.Counter("srvnet.retries").Load(); got != 0 {
+		t.Fatalf("srvnet.retries = %d, want 0: busy must not consume redial attempts", got)
+	}
+	if st := r.State(); st != StateDegraded {
+		t.Fatalf("state = %v, want degraded", st)
+	}
+}
+
+// TestReconnectNegativeBusyBudgetDisablesWaiting: a negative budget opts
+// out of busy waiting entirely — the first refusal degrades immediately,
+// with no sleep.
+func TestReconnectNegativeBusyBudgetDisablesWaiting(t *testing.T) {
+	hub := &busyHub{testHub: newTestHub(), refusals: 1 << 30, hint: 50 * time.Millisecond}
+	addr, _ := muxServe(t, hub)
+
+	reg := obs.New()
+	r := NewReconnectingClient(addr)
+	r.Session = "s"
+	r.Obs = reg
+	r.BusyBudget = -1
+	defer r.Close()
+
+	start := time.Now()
+	_, err := r.ReadFile("/d/who")
+	if !errors.Is(err, ErrDegraded) || !errors.Is(err, vfs.ErrBusy) {
+		t.Fatalf("err = %v, want degraded busy", err)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("degraded after %v; a disabled budget must not sleep out the hint", elapsed)
+	}
+	if got := reg.Counter("srvnet.busywait").Load(); got != 0 {
+		t.Fatalf("srvnet.busywait = %d, want 0", got)
+	}
+}

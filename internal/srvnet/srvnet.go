@@ -69,6 +69,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/notify"
@@ -82,9 +83,11 @@ var (
 	// by the peer, or an out-of-sequence response. The connection is
 	// not usable afterward.
 	ErrProto = errors.New("srvnet: protocol error")
-	// ErrBusy is the reply to a connection the server cannot take on:
-	// the registry is full.
-	ErrBusy = errors.New("srvnet: server busy")
+	// ErrBusy is a transient server refusal: the connection registry,
+	// the waiter budget, or a daemon resource budget is full. It wraps
+	// vfs.ErrBusy so a refusal classifies the same on both sides of the
+	// wire, and the reply may carry a retry-after hint (RetryAfter).
+	ErrBusy = fmt.Errorf("srvnet: server busy: %w", vfs.ErrBusy)
 	// ErrDraining is the reply once Shutdown has begun: the server is
 	// deliberately going away, so clients should degrade immediately
 	// instead of treating the condition as transient and redialing.
@@ -118,6 +121,15 @@ const (
 	// parking, so a flooding client degrades to polling rather than
 	// growing goroutines.
 	maxConnWaiters = 16
+	// DefaultMaxWaiters bounds parked readwait goroutines server-wide:
+	// many clients each under their per-conn cap can still add up to
+	// thousands of parked goroutines, so the server holds a global
+	// budget too. Overflow degrades to an immediate poll, same as the
+	// per-conn cap.
+	DefaultMaxWaiters = 1024
+	// DefaultRetryAfter is the retry-after hint a busy refusal carries
+	// when the refusing budget did not name its own.
+	DefaultRetryAfter = 250 * time.Millisecond
 	// pushInvalFailureLimit bounds the consecutive readwait refusals the
 	// push-invalidation watcher (StartPushInval) tolerates on a healthy
 	// connection before concluding the feed is gone for good and
@@ -181,6 +193,10 @@ type response struct {
 	Names   []string `json:"names,omitempty"`
 	Info    *entry   `json:"info,omitempty"`
 	Gen     uint64   `json:"gen,omitempty"`
+	// Retry, on a busy refusal, is the server's retry-after hint in
+	// milliseconds: how long the refused client should wait (jittered)
+	// before trying again.
+	Retry int64 `json:"retry,omitempty"`
 	// N and Sum frame the payload sidecar.
 	N   int64  `json:"n,omitempty"`
 	Sum uint32 `json:"sum,omitempty"`
@@ -334,7 +350,9 @@ func codeOf(err error) string {
 		return codeBadMode
 	case errors.Is(err, ErrDraining):
 		return codeDraining
-	case errors.Is(err, ErrBusy):
+	case errors.Is(err, vfs.ErrBusy):
+		// ErrBusy wraps vfs.ErrBusy, so this covers both the wire
+		// sentinel and typed budget refusals (vfs.BusyError).
 		return codeBusy
 	case errors.Is(err, ErrNoSession):
 		return codeNoSess
@@ -343,20 +361,27 @@ func codeOf(err error) string {
 }
 
 // wireError reconstructs a remote error on the client: the message is
-// the server's, Unwrap restores the sentinel named by the wire code.
+// the server's, Unwrap restores the sentinel named by the wire code,
+// and retry keeps a busy reply's retry-after hint.
 type wireError struct {
-	msg  string
-	base error
+	msg   string
+	base  error
+	retry time.Duration
 }
 
 func (e *wireError) Error() string { return e.msg }
 func (e *wireError) Unwrap() error { return e.base }
 
+// RetryAfter reports the server's retry-after hint (0: none), so
+// vfs.RetryAfter works on remote refusals.
+func (e *wireError) RetryAfter() time.Duration { return e.retry }
+
 // errFromWire turns an error reply into a client-side error that keeps
-// both the remote message and, when the code is known, the sentinel.
-func errFromWire(msg, code string) error {
+// the remote message, the sentinel named by the wire code, and — on a
+// busy refusal — the retry-after hint (retryMS, milliseconds).
+func errFromWire(msg, code string, retryMS int64) error {
 	if base, ok := codeToErr[code]; ok {
-		return &wireError{msg: msg, base: base}
+		return &wireError{msg: msg, base: base, retry: time.Duration(retryMS) * time.Millisecond}
 	}
 	return errors.New(msg)
 }
@@ -388,6 +413,14 @@ type Server struct {
 	// MaxConns bounds concurrently served connections; connections
 	// beyond it receive an ErrBusy reply and are closed.
 	MaxConns int
+	// MaxWaiters bounds parked readwait goroutines across all
+	// connections (DefaultMaxWaiters when zero; negative disables the
+	// bound). A readwait beyond the budget is answered as an immediate
+	// poll instead of parking.
+	MaxWaiters int
+	// RetryAfter is the retry-after hint stamped on busy refusals whose
+	// cause carries no hint of its own (DefaultRetryAfter when zero).
+	RetryAfter time.Duration
 	// Obs, when set before Serve, records wire-path counters:
 	// srvnet.readahead.hit / srvnet.readahead.miss for the sequential
 	// read slot and srvnet.reply.batched for replies coalesced into a
@@ -399,6 +432,10 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	wg        sync.WaitGroup
 	draining  bool
+
+	// waiters counts parked readwait goroutines server-wide against
+	// MaxWaiters; atomic so the readwait dispatch path takes no lock.
+	waiters atomic.Int64
 }
 
 // NewServer wraps fs for serving. The mutex serializes all requests, so
@@ -447,6 +484,68 @@ func (s *Server) maxConns() int {
 	}
 	return DefaultMaxConns
 }
+
+func (s *Server) maxWaiters() int {
+	if s.MaxWaiters > 0 {
+		return s.MaxWaiters
+	}
+	if s.MaxWaiters < 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	return DefaultMaxWaiters
+}
+
+func (s *Server) retryAfter() time.Duration {
+	if s.RetryAfter > 0 {
+		return s.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// retryHintMS resolves the retry-after hint (in wire milliseconds) for
+// a busy refusal: the refusing budget's own hint when err carries one,
+// the server default otherwise.
+func (s *Server) retryHintMS(err error) int64 {
+	d := s.retryAfter()
+	if hint, ok := vfs.RetryAfter(err); ok {
+		d = hint
+	}
+	ms := int64(d / time.Millisecond)
+	if ms <= 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// errResp fills an error reply's wire fields, stamping busy refusals
+// with their retry-after hint.
+func (s *Server) errResp(err error) response {
+	resp := response{Err: err.Error(), Code: codeOf(err)}
+	if resp.Code == codeBusy {
+		resp.Retry = s.retryHintMS(err)
+	}
+	return resp
+}
+
+// acquireWaiter reserves one slot of the server-wide waiter budget,
+// reporting false when the budget is exhausted.
+func (s *Server) acquireWaiter() bool {
+	max := int64(s.maxWaiters())
+	for {
+		n := s.waiters.Load()
+		if n >= max {
+			return false
+		}
+		if s.waiters.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (s *Server) releaseWaiter() { s.waiters.Add(-1) }
+
+// WaiterCount reports parked readwait goroutines server-wide.
+func (s *Server) WaiterCount() int { return int(s.waiters.Load()) }
 
 // register adds conn to the registry and reserves a goroutine slot. It
 // reports false when the server is draining or full.
@@ -555,9 +654,11 @@ type readItem struct {
 // a few large writes instead of one write per reply.
 func (s *Server) ServeConn(conn net.Conn) {
 	if !s.register(conn) {
-		refusal := response{Err: ErrBusy.Error(), Code: codeBusy}
+		refusal := response{Err: ErrBusy.Error(), Code: codeBusy, Retry: s.retryHintMS(nil)}
 		if s.isDraining() {
 			refusal = response{Err: ErrDraining.Error(), Code: codeDraining}
+		} else {
+			s.Obs.Counter("srvnet.backpressure.refused.conn").Inc()
 		}
 		enc := json.NewEncoder(conn)
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
@@ -579,6 +680,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	reqCh := make(chan readItem, pipelineDepth)
 	stop := make(chan struct{})
 	readerDone := make(chan struct{})
+	// connDead is set by the reader the moment the connection proves
+	// gone (EOF, reset, idle timeout), strictly before the error item is
+	// queued. Requests already sitting in reqCh behind that point belong
+	// to a peer that can no longer hear the answer; the executor skips
+	// them instead of burning namespace time on abandoned work.
+	var connDead atomic.Bool
 	go func() {
 		defer close(readerDone)
 		br := bufio.NewReaderSize(conn, wireBufSize)
@@ -591,6 +698,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 				conn.SetReadDeadline(time.Now().Add(s.idleTimeout()))
 			}
 			if err := readReq(br, &req); err != nil {
+				var ne net.Error
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+					errors.Is(err, net.ErrClosed) || (errors.As(err, &ne) && ne.Timeout()) {
+					connDead.Store(true)
+				}
 				select {
 				case reqCh <- readItem{err: err}:
 				case <-stop:
@@ -620,9 +732,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// readwait waiter goroutines, which deliver their replies whenever
 	// their events arrive.
 	var wmu sync.Mutex
+	noteWriteErr := s.noteWriteErr
 	flushLocked := func() error {
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
-		return bw.Flush()
+		err := bw.Flush()
+		noteWriteErr(err)
+		return err
 	}
 	flush := func() error {
 		wmu.Lock()
@@ -632,22 +747,29 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// reply buffers one response, deferring the socket write while more
 	// requests are already queued: their replies will share the flush.
 	// out is the executor's scratch frame and hdr its header buffer,
-	// both reused across requests; only flushLocked touches the socket,
-	// so the write deadline is set there.
+	// both reused across requests. The write buffer is bounded: framing
+	// a response can spill it to the socket once it fills, so the write
+	// deadline is armed before every frame, not just at flush — a
+	// stalled peer fails the spill within the write timeout instead of
+	// hanging the executor mid-frame forever.
 	var out response
 	var hdr []byte
 	emit := func() error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		var err error
 		hdr, err = frameResp(bw, hdr, &out)
+		noteWriteErr(err)
 		return err
 	}
 	reply := func() error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		var err error
 		if hdr, err = frameResp(bw, hdr, &out); err != nil {
+			noteWriteErr(err)
 			return err
 		}
 		if len(reqCh) > 0 {
@@ -703,6 +825,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 		req := item.req
+		if connDead.Load() {
+			// The peer is provably gone; requests it pipelined before
+			// dying are abandoned work. Skip them instead of spending
+			// executor and namespace time on replies nobody will read.
+			s.Obs.Counter("srvnet.backpressure.abandoned").Inc()
+			continue
+		}
 		if s.isDraining() {
 			// A request decoded after Shutdown began gets the typed
 			// refusal so the client degrades instead of redialing.
@@ -717,7 +846,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 				out.Err = "srvnet: server does not multiplex sessions"
 				out.Code = codeProto
 			} else if nfs, ndetach, err := s.hub.AttachSession(req.Path); err != nil {
-				out.Err, out.Code = err.Error(), codeOf(err)
+				out = s.errResp(err)
+				out.Seq = req.Seq
 			} else {
 				if detach != nil {
 					detach()
@@ -743,11 +873,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 				continue
 			}
 			wfs := waitView(fs)
-			select {
-			case waiterSlots <- struct{}{}:
+			// Parking costs a goroutine, budgeted twice: per connection
+			// (waiterSlots) and server-wide (acquireWaiter), so neither
+			// one flooding client nor a thousand polite ones can grow
+			// goroutines without bound.
+			parked := false
+			if s.acquireWaiter() {
+				select {
+				case waiterSlots <- struct{}{}:
+					parked = true
+				default:
+					s.releaseWaiter()
+				}
+			}
+			if parked {
 				waiters.Add(1)
 				go func(req request) {
 					defer waiters.Done()
+					defer s.releaseWaiter()
 					defer func() { <-waiterSlots }()
 					s.serveReadWait(req, wfs, stop, &wmu, bw, conn)
 				}(req)
@@ -761,9 +904,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 						return
 					}
 				}
-			default:
-				// Waiter cap reached: degrade this subscriber to an
+			} else {
+				// Waiter budget exhausted: degrade this subscriber to an
 				// immediate poll instead of parking another goroutine.
+				s.Obs.Counter("srvnet.backpressure.poll").Inc()
 				resp := s.readWait(req, wfs, stop, time.Millisecond)
 				out = resp
 				out.Seq = req.Seq
@@ -778,6 +922,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err := reply(); err != nil {
 			return
 		}
+	}
+}
+
+// noteWriteErr classifies a failed response write: a timeout is the
+// slow-reader policy firing — the peer stopped draining its socket, the
+// write buffer filled, and the connection is disconnected with the
+// deadline error rather than buffering without bound.
+func (s *Server) noteWriteErr(err error) {
+	if err == nil {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.Obs.Counter("srvnet.backpressure.disconnect").Inc()
 	}
 }
 
@@ -812,11 +970,12 @@ func (s *Server) serveReadWait(req request, fs *vfs.FS, stop <-chan struct{}, wm
 		return
 	default:
 	}
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 	if _, err := frameResp(bw, nil, &out); err != nil {
+		s.noteWriteErr(err)
 		return
 	}
-	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
-	bw.Flush()
+	s.noteWriteErr(bw.Flush())
 }
 
 // readWaitCap bounds one long poll: half the idle timeout (so the
@@ -922,7 +1081,7 @@ func (s *Server) handle(req request, fs *vfs.FS, ra *readahead) response {
 	if fs == nil {
 		return response{Err: ErrNoSession.Error(), Code: codeNoSess}
 	}
-	fail := func(err error) response { return response{Err: err.Error(), Code: codeOf(err)} }
+	fail := func(err error) response { return s.errResp(err) }
 	switch req.Op {
 	case "read":
 		data, gen, err := fs.ReadFileGen(req.Path)
@@ -1270,7 +1429,7 @@ func (c *Client) reader() {
 		if resp.Seq == 0 {
 			var err error
 			if resp.Err != "" {
-				err = errFromWire(resp.Err, resp.Code)
+				err = errFromWire(resp.Err, resp.Code, resp.Retry)
 			} else {
 				err = fmt.Errorf("%w: unattributable reply", ErrProto)
 			}
@@ -1364,7 +1523,7 @@ func (c *Client) waitWithin(op string, call *pendingCall, to time.Duration) (res
 			return response{}, err
 		}
 		if resp.Err != "" {
-			return resp, errFromWire(resp.Err, resp.Code)
+			return resp, errFromWire(resp.Err, resp.Code, resp.Retry)
 		}
 		return resp, nil
 	default:
@@ -1394,7 +1553,7 @@ func (c *Client) waitWithin(op string, call *pendingCall, to time.Duration) (res
 		return response{}, err
 	}
 	if resp.Err != "" {
-		return resp, errFromWire(resp.Err, resp.Code)
+		return resp, errFromWire(resp.Err, resp.Code, resp.Retry)
 	}
 	return resp, nil
 }

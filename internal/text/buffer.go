@@ -58,6 +58,13 @@ type Buffer struct {
 	// single choke point all edits funnel through, so one callback
 	// captures every way a buffer can change.
 	onSplice func(off, ndel int, ins string)
+
+	// onMem, when set, observes the buffer's resident size moving:
+	// delta is the rune-count change of each primitive mutation.
+	// Memory accounting hangs off this separate hook because the
+	// journal owns onSplice — the two observers must not fight over
+	// one slot.
+	onMem func(delta int)
 }
 
 // change records one primitive edit for the undo log.
@@ -160,6 +167,9 @@ func (b *Buffer) primInsert(off int, rs []rune) {
 	b.gapStart += len(rs)
 	b.indexInsert(off, rs)
 	b.gen++
+	if b.onMem != nil && len(rs) > 0 {
+		b.onMem(len(rs))
+	}
 	if b.onSplice != nil {
 		b.onSplice(off, 0, string(rs))
 	}
@@ -176,6 +186,9 @@ func (b *Buffer) primDelete(off, n int) []rune {
 	b.gapEnd += n
 	b.indexDelete(off, n)
 	b.gen++
+	if b.onMem != nil && n > 0 {
+		b.onMem(-n)
+	}
 	if b.onSplice != nil {
 		b.onSplice(off, n, "")
 	}
@@ -387,6 +400,15 @@ func (b *Buffer) SetString(s string) {
 // buffer.
 func (b *Buffer) SetOnSplice(fn func(off, ndel int, ins string)) {
 	b.onSplice = fn
+}
+
+// SetOnMem installs (or, with nil, removes) the resident-size observer:
+// a callback invoked after every primitive mutation with the buffer's
+// rune-count delta. It is a slot separate from SetOnSplice so memory
+// accounting composes with the journal. The callback must not mutate
+// the buffer.
+func (b *Buffer) SetOnMem(fn func(delta int)) {
+	b.onMem = fn
 }
 
 // Load replaces the entire contents without recording undo and marks the

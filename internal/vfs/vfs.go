@@ -48,7 +48,45 @@ var (
 	ErrNotDir   = errors.New("not a directory")
 	ErrPerm     = errors.New("permission denied")
 	ErrBadMode  = errors.New("bad open mode")
+	// ErrBusy is a transient refusal: the operation was rejected by a
+	// resource budget (admission control, memory, procs, waiters), not
+	// because it is invalid. Callers should back off and retry; a
+	// BusyError in the chain may carry the server's retry-after hint.
+	ErrBusy = errors.New("resource temporarily unavailable")
 )
+
+// BusyError is a typed transient refusal carrying the refusing budget's
+// retry-after hint. It unwraps to ErrBusy so errors.Is(err, ErrBusy)
+// works everywhere, and exposes RetryAfter for transports that forward
+// the hint to clients.
+type BusyError struct {
+	Msg   string        // which budget refused, human-readable
+	After time.Duration // suggested wait before retrying (0: none)
+}
+
+func (e *BusyError) Error() string {
+	if e.Msg == "" {
+		return ErrBusy.Error()
+	}
+	return e.Msg + ": " + ErrBusy.Error()
+}
+
+func (e *BusyError) Unwrap() error { return ErrBusy }
+
+// RetryAfter reports the refusing budget's suggested wait.
+func (e *BusyError) RetryAfter() time.Duration { return e.After }
+
+// RetryAfter extracts a retry-after hint from anywhere in err's chain.
+// The second result reports whether a hint was present.
+func RetryAfter(err error) (time.Duration, bool) {
+	var h interface{ RetryAfter() time.Duration }
+	if errors.As(err, &h) {
+		if d := h.RetryAfter(); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
 
 // Open modes.
 const (
@@ -575,9 +613,15 @@ func (fs *FS) writeDevice(n *node, data []byte) error {
 	if err != nil {
 		return err
 	}
-	defer h.Close()
-	_, err = h.WriteAt(data, 0)
-	return err
+	_, werr := h.WriteAt(data, 0)
+	// Device writes commit at Close (helpfs applies buffered writes
+	// there, after its admission checks), so a dropped Close error
+	// would silently discard a refused write.
+	cerr := h.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // genOf reports n's edit generation: the per-file mtime stamp for
@@ -754,9 +798,14 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		defer h.Close()
-		_, err = h.WriteAt(data, -1)
-		return err
+		_, werr := h.WriteAt(data, -1)
+		// As in writeDevice: the append commits (and may be refused)
+		// at Close.
+		cerr := h.Close()
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	if n.sealed {
 		return sealErr(p)
