@@ -22,14 +22,14 @@ vet:
 # Bench evidence loop: run the suite serially three times (separate
 # passes, minutes apart, so a noisy-neighbor phase can't taint every
 # sample of a benchmark — helpbench keeps each benchmark's best run),
-# record BENCH_PR8.json, and fail if anything regressed >20% on ns/op
+# record BENCH_PR10.json, and fail if anything regressed >20% on ns/op
 # or allocs/op against the checked-in pre-PR baseline (see
 # docs/ARCHITECTURE.md, "Performance model").
 bench:
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
 	$(GO) test -p 1 -run '^$$' -bench=. -benchmem ./... | tee -a bench_output.txt
-	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR8.json -o BENCH_PR9.json
+	$(GO) run ./cmd/helpbench -benchjson bench_output.txt -baseline BENCH_PR9.json -o BENCH_PR10.json
 
 # Stress the actor model: the whole-system concurrency matrix, repeated
 # under the race detector so queue/kill/streaming interleavings vary.
@@ -65,6 +65,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzAddress$$' -fuzztime=30s ./internal/text
 	$(GO) test -fuzz='FuzzEditSequence$$' -fuzztime=30s ./internal/text
 	$(GO) test -fuzz='FuzzLineIndex$$' -fuzztime=30s ./internal/text
+	$(GO) test -fuzz='FuzzPagedBuffer$$' -fuzztime=30s ./internal/text
 	$(GO) test -fuzz='FuzzJournalDecode$$' -fuzztime=30s ./internal/journal
 
 cover:

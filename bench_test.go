@@ -896,3 +896,117 @@ func BenchmarkPushInvalidatedRead(b *testing.B) {
 		}
 	})
 }
+
+// ---- PR 10: gigabyte-class bodies behind the same Buffer API ----
+
+// largeBodyBytes sizes the synthetic log the paged-text benchmarks open:
+// big enough (100 MB) that materializing it would dwarf the resident
+// budget, small enough to synthesize per run.
+const largeBodyBytes = 100 << 20
+
+// largeBudget is the paged residency cap the benchmarks run under, and
+// largeMemCeiling is the assertion threshold: cache cap plus one
+// in-flight page plus slack for the rest of the session's windows.
+const (
+	largeBudget     = 8 << 20
+	largeMemCeiling = 3 * largeBudget
+)
+
+// buildLargeWorld provisions a world holding a 100 MB line-structured
+// log, the body every following benchmark opens paged.
+func buildLargeWorld(b *testing.B) (*world.World, string) {
+	b.Helper()
+	w, err := world.Build(120, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Help.SetLimits(core.Limits{MaxResident: largeBudget})
+	const name = "/usr/rob/lib/huge.log"
+	line := []byte("0000000 a log line with several words to scan per visit\n")
+	body := bytes.Repeat(line, largeBodyBytes/len(line)+1)[:largeBodyBytes]
+	body[len(body)-1] = '\n'
+	if err := w.FS.WriteFile(name, body); err != nil {
+		b.Fatal(err)
+	}
+	return w, name
+}
+
+// assertBounded fails the benchmark if the session's resident buffer
+// bytes ever approach the size of the file: the whole point of the paged
+// engine is that a 100 MB body costs a bounded working set.
+func assertBounded(b *testing.B, w *world.World) {
+	b.Helper()
+	if mem := w.Help.MemBytes(); mem > largeMemCeiling {
+		b.Fatalf("resident %d bytes exceeds ceiling %d (budget %d)", mem, largeMemCeiling, largeBudget)
+	}
+}
+
+// BenchmarkOpenLarge opens the 100 MB body. The open streams one byte
+// scan to build the page/newline index but materializes nothing, so the
+// reported MB/s is the index build and memory stays at the budget.
+func BenchmarkOpenLarge(b *testing.B) {
+	w, name := buildLargeWorld(b)
+	b.SetBytes(largeBodyBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win, err := w.Help.OpenFile(name, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !win.Body.Paged() {
+			b.Fatal("large body did not open paged")
+		}
+		assertBounded(b, w)
+		w.Help.CloseWindow(win)
+	}
+}
+
+// BenchmarkScrollLarge jumps around the whole file, pricing the line
+// lookup plus the page faults needed to show each landing spot.
+func BenchmarkScrollLarge(b *testing.B) {
+	w, name := buildLargeWorld(b)
+	win, err := w.Help.OpenFile(name, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := win.Body.NLines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ln := (i*7919)%lines + 1
+		org := win.Body.LineStart(ln)
+		// Paint one row's worth of text at the landing spot.
+		if s := win.Body.Slice(org, 80); len(s) == 0 && ln < lines {
+			b.Fatal("empty slice inside body")
+		}
+	}
+	b.StopTimer()
+	assertBounded(b, w)
+}
+
+// BenchmarkEditLarge splices single characters at spots all over the
+// file and undoes each one, the piece-table edit path under a body that
+// could never be materialized.
+func BenchmarkEditLarge(b *testing.B) {
+	w, name := buildLargeWorld(b)
+	win, err := w.Help.OpenFile(name, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := win.Body.Len()
+	// A fixed cycle of offsets: each spot's first edit splits a piece,
+	// later visits reuse the boundary, so the piece list stays small and
+	// the number prices the steady-state splice, not list growth.
+	var offs [256]int
+	for j := range offs {
+		offs[j] = (j * 7919 * 1031) % n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win.Body.Insert(offs[i%len(offs)], "x")
+		if !win.Body.Undo() {
+			b.Fatal("undo failed")
+		}
+	}
+	b.StopTimer()
+	assertBounded(b, w)
+}

@@ -67,6 +67,7 @@ func main() {
 	maxTotalProcs := flag.Int("max-total-procs", 0, "daemon: live commands across sessions (0 unbounded)")
 	maxWaiters := flag.Int("max-waiters", srvnet.DefaultMaxWaiters, "daemon: parked event/readwait waiters across connections (-1 unbounded)")
 	retryAfter := flag.Duration("retry-after", 0, "daemon: retry hint stamped on busy refusals (0: default)")
+	maxResident := flag.Int64("max-resident", 0, "paged-text threshold and per-window residency cap in bytes (0: 8 MiB default, negative disables paging)")
 	flag.Parse()
 
 	if *recoverFlag && *journalDir == "" {
@@ -88,6 +89,7 @@ func main() {
 			maxTotalProcs:   *maxTotalProcs,
 			maxWaiters:      *maxWaiters,
 			retryAfter:      *retryAfter,
+			maxResident:     *maxResident,
 		}))
 		return
 	}
@@ -108,6 +110,9 @@ func main() {
 	w, err := world.Build(*width, *height)
 	exitOn(err)
 	exitOn(w.Boot())
+	if *maxResident != 0 {
+		w.Help.SetLimits(core.Limits{MaxResident: *maxResident})
+	}
 
 	if *journalDir != "" {
 		policy, err := journal.ParsePolicy(*journalFsync)
@@ -205,6 +210,7 @@ type daemonOpts struct {
 	maxTotalProcs   int
 	maxWaiters      int
 	retryAfter      time.Duration
+	maxResident     int64
 }
 
 // runDaemon hosts many sessions in one process: a world template is
@@ -236,6 +242,7 @@ func runDaemon(o daemonOpts) error {
 		MaxBytes:        o.maxBytes,
 		MaxSessionBytes: o.maxSessionBytes,
 		MaxTotalProcs:   o.maxTotalProcs,
+		MaxResident:     o.maxResident,
 		RetryAfter:      o.retryAfter,
 		Obs:             reg,
 		Build: func(name string, w, h int) (*world.World, error) {

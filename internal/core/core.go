@@ -196,6 +196,12 @@ type Help struct {
 	errorsCap int
 	maxBytes  int64
 
+	// maxResident is the paged-text threshold and per-buffer residency
+	// cap: bodies larger than this open as piece tables over lazily
+	// paged-in file segments instead of being materialized (0: paging
+	// disabled, every body loads whole).
+	maxResident int64
+
 	// memGate and procGate are daemon-wide admission checks installed
 	// by the session manager: consulted before a large body load or a
 	// command launch, they refuse with a typed busy error when the
@@ -257,6 +263,7 @@ func New(fs *vfs.FS, sh *shell.Shell, w, h int) *Help {
 		Notify: notify.New(),
 	}
 	h9.errorsCap = defaultErrorsCap
+	h9.maxResident = DefaultMaxResident
 	h9.safeFS = fs.Serialized(&h9.mu)
 	h9.procIdle = sync.NewCond(&h9.mu)
 	// Row 0 is the column tab row; columns split the rest side by side.
@@ -692,6 +699,12 @@ type Limits struct {
 	// one session opening huge files starve its neighbors. Negative
 	// means unlimited.
 	MaxBytes int64
+	// MaxResident sets the paged-text threshold and per-buffer
+	// residency cap: files larger than this open as paged piece tables
+	// holding at most this many resident bytes of text. Zero keeps the
+	// current value (DefaultMaxResident after New); negative disables
+	// paging so every body materializes, the pre-paging behavior.
+	MaxResident int64
 }
 
 // SetLimits installs per-session resource bounds.
@@ -708,6 +721,12 @@ func (h *Help) SetLimits(l Limits) {
 		h.maxBytes = l.MaxBytes
 		if l.MaxBytes < 0 {
 			h.maxBytes = 0
+		}
+	}
+	if l.MaxResident != 0 {
+		h.maxResident = l.MaxResident
+		if l.MaxResident < 0 {
+			h.maxResident = 0
 		}
 	}
 	if l.QueueDepth > 0 && l.QueueDepth != cap(h.applyq) &&
@@ -749,7 +768,7 @@ const memGateRunes = 1024
 // accounting. Installed at both window-creation choke points (newWindowIn
 // and the recovery path's adoptWindow); untrackWindow reverses it.
 func (h *Help) trackWindow(w *Window) {
-	h.mMemRunes.Add(int64(w.Tag.Len() + w.Body.Len()))
+	h.mMemRunes.Add(int64(w.Tag.MemRunes() + w.Body.MemRunes()))
 	w.Tag.SetOnMem(func(d int) { h.mMemRunes.Add(int64(d)) })
 	w.Body.SetOnMem(func(d int) { h.mMemRunes.Add(int64(d)) })
 }
@@ -757,7 +776,7 @@ func (h *Help) trackWindow(w *Window) {
 func (h *Help) untrackWindow(w *Window) {
 	w.Tag.SetOnMem(nil)
 	w.Body.SetOnMem(nil)
-	h.mMemRunes.Add(-int64(w.Tag.Len() + w.Body.Len()))
+	h.mMemRunes.Add(-int64(w.Tag.MemRunes() + w.Body.MemRunes()))
 }
 
 // checkMem is the memory admission check for a body load of addRunes
@@ -904,7 +923,20 @@ func (h *Help) openFile(name, addr string) (*Window, error) {
 		w.SetNameTag(name + "/")
 		return w, nil
 	}
-	data, err := h.FS.ReadFile(name)
+	if h.pagedEligible(info) {
+		// Large file: point the body at the file instead of slurping it.
+		// Any indexing failure falls back to the materialized path.
+		if err := h.loadPagedBody(w, name, info); err == nil {
+			w.SetNameTag(name)
+			if addr != "" {
+				if err := w.ShowAddr(addr); err != nil {
+					return w, err
+				}
+			}
+			return w, nil
+		}
+	}
+	data, gen, err := h.FS.ReadFileGen(name)
 	if err != nil {
 		h.closeWindow(w)
 		return nil, err
@@ -914,6 +946,7 @@ func (h *Help) openFile(name, addr string) (*Window, error) {
 		return nil, err
 	}
 	w.Body.Load(string(data))
+	w.fileGen = gen
 	w.SetNameTag(name)
 	if addr != "" {
 		if err := w.ShowAddr(addr); err != nil {
@@ -962,7 +995,31 @@ func (h *Help) get(w *Window) error {
 		w.RefreshTag()
 		return nil
 	}
-	data, err := h.FS.ReadFile(name)
+	info, err := h.FS.Stat(name)
+	if err != nil {
+		return err
+	}
+	// Diff-aware reload: when the file carries a generation and it has
+	// not moved since this window last loaded or put it, and the buffer
+	// holds no local edits, the re-read would reproduce the buffer
+	// byte for byte — skip it entirely.
+	if info.Gen != 0 && info.Gen == w.fileGen && !w.Body.Modified() {
+		h.Obs.Counter("core.get.unchanged").Inc()
+		w.RefreshTag()
+		return nil
+	}
+	if h.pagedEligible(info) || w.Body.Paged() {
+		// Large files reload as a fresh paged view; a window that is
+		// already paged stays paged even if the file shrank, keeping
+		// its budget behavior stable.
+		if err := h.loadPagedBody(w, name, info); err != nil {
+			return err
+		}
+		w.Sel[SubBody] = clampSel(w.Sel[SubBody], w.Body.Len())
+		w.RefreshTag()
+		return nil
+	}
+	data, gen, err := h.FS.ReadFileGen(name)
 	if err != nil {
 		return err
 	}
@@ -971,6 +1028,7 @@ func (h *Help) get(w *Window) error {
 	}
 	w.Body.SetString(string(data))
 	w.Body.SetClean()
+	w.fileGen = gen
 	w.Sel[SubBody] = clampSel(w.Sel[SubBody], w.Body.Len())
 	w.RefreshTag()
 	return nil
@@ -995,6 +1053,9 @@ func (h *Help) put(w *Window, name string) error {
 		return err
 	}
 	w.Body.SetClean()
+	// The buffer now matches the file at its post-write generation, so
+	// a Get with no further changes can skip the re-read.
+	w.fileGen = h.FS.Gen(vfs.Clean(name))
 	w.SetNameTag(vfs.Clean(name))
 	return nil
 }

@@ -278,14 +278,22 @@ func (h *Help) cloneCmd(w *Window) {
 		h.appendErrors("Clone!: window has no file name\n")
 		return
 	}
+	if err := h.checkMem(w.Body.MemRunes()); err != nil {
+		h.appendErrors(fmt.Sprintf("Clone!: %v\n", err))
+		return
+	}
 	nw := h.newWindowIn(h.selectionColumn())
 	nw.IsDir = w.IsDir
-	nw.Body.SetString(w.Body.String())
-	nw.Body.SetClean()
+	// Structural clone: pieces and indexes copy, page data stays shared
+	// and lazy, so cloning a paged gigabyte window never materializes
+	// it (and a mem window copies runes once instead of encoding to a
+	// string and decoding back).
+	nw.Body.AdoptClone(w.Body)
 	if w.Body.Modified() {
 		nw.Body.SetDirty()
 	}
 	nw.SetNameTag(name)
+	nw.fileGen = w.fileGen
 	nw.bodyOrg = w.bodyOrg
 	nw.Sel[SubBody] = w.Sel[SubBody]
 }

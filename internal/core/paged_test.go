@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// bigBody builds a line-structured body of roughly n bytes.
+func bigBody(n int) string {
+	var b strings.Builder
+	b.Grow(n + 64)
+	for i := 0; b.Len() < n; i++ {
+		fmt.Fprintf(&b, "line %d: the quick brown fox jumps over the lazy dog\n", i)
+	}
+	return b.String()
+}
+
+// pagedWorld builds a help world with a low paging threshold and one
+// large file that crosses it.
+func pagedWorld(t *testing.T) (*Help, string, string) {
+	t.Helper()
+	h, fs := world(t)
+	h.SetLimits(Limits{MaxResident: 32 << 10})
+	body := bigBody(256 << 10)
+	fs.WriteFile("/usr/rob/lib/trace.log", []byte(body))
+	return h, "/usr/rob/lib/trace.log", body
+}
+
+func TestOpenFilePaged(t *testing.T) {
+	h, name, body := pagedWorld(t)
+	w, err := h.OpenFile(name, "")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if !w.Body.Paged() {
+		t.Fatal("large body did not open paged")
+	}
+	if got := w.Body.Len(); got != len(body) {
+		t.Fatalf("Len = %d, want %d", got, len(body))
+	}
+	if got := w.Body.NLines(); got != strings.Count(body, "\n") {
+		t.Fatalf("NLines = %d, want %d", got, strings.Count(body, "\n"))
+	}
+	// Scrolling to the end faults in only the tail pages; residency is
+	// bounded by the cache cap (which floors at one 64 KiB page) plus
+	// one in-flight page, far below the full body.
+	w.Scroll(w.Body.NLines())
+	if mr := w.Body.MemRunes(); mr > 128<<10 {
+		t.Errorf("MemRunes = %d after scroll, want <= %d", mr, 128<<10)
+	}
+	if mr := w.Body.MemRunes(); mr >= len(body) {
+		t.Errorf("MemRunes = %d: whole body resident", mr)
+	}
+	if h.Obs.Counter("core.paged.open").Load() == 0 {
+		t.Error("core.paged.open counter not bumped")
+	}
+	// The full body is still reachable through the same API.
+	if got := w.Body.String(); got != body {
+		t.Error("String() mismatch on paged body")
+	}
+}
+
+func TestOpenFileSmallStaysUnpaged(t *testing.T) {
+	h, _ := world(t)
+	h.SetLimits(Limits{MaxResident: 32 << 10})
+	w, err := h.OpenFile("/usr/rob/src/help/help.c", "")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if w.Body.Paged() {
+		t.Error("small body opened paged")
+	}
+}
+
+func TestGetSkipsUnchanged(t *testing.T) {
+	h, fs := world(t)
+	w, err := h.OpenFile("/usr/rob/src/help/help.c", "")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	c := h.Obs.Counter("core.get.unchanged")
+	before := c.Load()
+	if err := h.get(w); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if c.Load() != before+1 {
+		t.Errorf("unchanged get did not skip (counter %d -> %d)", before, c.Load())
+	}
+	// Rewrite the file: the next Get must do a real reload.
+	fs.WriteFile("/usr/rob/src/help/help.c", []byte("fresh\n"))
+	if err := h.get(w); err != nil {
+		t.Fatalf("get after write: %v", err)
+	}
+	if got := w.Body.String(); got != "fresh\n" {
+		t.Errorf("body after changed get = %q", got)
+	}
+	if c.Load() != before+1 {
+		t.Errorf("changed get was wrongly skipped")
+	}
+	// A locally modified body must reload even when the file is unchanged
+	// (Get is the "discard my edits" command).
+	w.Body.Insert(0, "junk")
+	if err := h.get(w); err != nil {
+		t.Fatalf("get of modified body: %v", err)
+	}
+	if got := w.Body.String(); got != "fresh\n" {
+		t.Errorf("modified get did not restore file: %q", got)
+	}
+}
+
+func TestGetPagedReload(t *testing.T) {
+	h, name, body := pagedWorld(t)
+	w, err := h.OpenFile(name, "")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	// Unchanged file: skip, still paged.
+	if err := h.get(w); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !w.Body.Paged() {
+		t.Fatal("get of unchanged paged window dropped paging")
+	}
+	// Grow the file: Get reloads paged at the new size.
+	fs := h.FS
+	grown := body + "tail line\n"
+	fs.WriteFile(name, []byte(grown))
+	if err := h.get(w); err != nil {
+		t.Fatalf("get after grow: %v", err)
+	}
+	if !w.Body.Paged() {
+		t.Error("reload of large file not paged")
+	}
+	if got := w.Body.Len(); got != len(grown) {
+		t.Errorf("Len after reload = %d, want %d", got, len(grown))
+	}
+	// Shrink below the threshold: Get falls back to a materialized body.
+	fs.WriteFile(name, []byte("tiny\n"))
+	if err := h.get(w); err != nil {
+		t.Fatalf("get after shrink: %v", err)
+	}
+	if got := w.Body.String(); got != "tiny\n" {
+		t.Errorf("body after shrink = %q", got)
+	}
+}
+
+func TestClonePaged(t *testing.T) {
+	h, name, body := pagedWorld(t)
+	w, err := h.OpenFile(name, "")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	h.Execute(w, "Clone!")
+	wins := h.Windows()
+	var nw *Window
+	for _, x := range wins {
+		if x != w && x.FileName() == name {
+			nw = x
+		}
+	}
+	if nw == nil {
+		t.Fatal("Clone! did not create a window")
+	}
+	if !nw.Body.Paged() {
+		t.Error("clone of paged body is not paged")
+	}
+	if nw.Body.Len() != len(body) {
+		t.Errorf("clone Len = %d, want %d", nw.Body.Len(), len(body))
+	}
+	if nw.Body.Modified() {
+		t.Error("clone marked modified")
+	}
+	// Clone shares no mutable state: editing one must not touch the other.
+	nw.Body.Insert(0, "x")
+	if w.Body.Len() != len(body) {
+		t.Error("edit of clone leaked into original")
+	}
+	if nw.fileGen != w.fileGen {
+		t.Errorf("clone fileGen = %d, want %d", nw.fileGen, w.fileGen)
+	}
+}

@@ -57,6 +57,11 @@ type Window struct {
 	// body lists the directory.
 	IsDir bool
 
+	// fileGen is the generation of the window's file as of the last
+	// load or put (0 when unknown). Get compares it against a fresh
+	// stat to skip re-reading a file that has not moved.
+	fileGen uint64
+
 	// notifiedBody and notifiedTag are the buffer generations the last
 	// notify sweep announced; see Help.notifySweep.
 	notifiedBody uint64

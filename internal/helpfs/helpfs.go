@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/notify"
+	"repro/internal/text"
 	"repro/internal/vfs"
 )
 
@@ -265,7 +266,19 @@ func (d *bufDevice) OpenDevice(mode int) (vfs.DeviceFile, error) {
 	// of the whole buffer per write.
 	if rw != vfs.OWRITE {
 		h.readable = true
-		h.snapshot = w.Buffer(d.sub).String()
+		if b := w.Buffer(d.sub); b.Paged() {
+			// A paged body may be gigabytes mostly on disk; String()
+			// here would defeat the point of paging. Serve reads
+			// straight from the piece table instead. This trades the
+			// snapshot guarantee for bounded memory: reads of a paged
+			// body observe the contents as of each ReadAt (the reader
+			// re-seeks when the buffer's generation moves), which is
+			// the same coherence a remote srvnet reader already gets
+			// across its separate reads.
+			h.reader = text.NewByteReader(b)
+		} else {
+			h.snapshot = w.Buffer(d.sub).String()
+		}
 	}
 	return h, nil
 }
@@ -274,6 +287,8 @@ type bufHandle struct {
 	d        *bufDevice
 	w        *core.Window
 	snapshot string
+	// reader replaces snapshot for paged bodies; see OpenDevice.
+	reader   *text.ByteReader
 	readable bool
 	writable bool
 	wrote    bool
@@ -287,6 +302,9 @@ func (h *bufHandle) ReadAt(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("helpfs: not opened for reading")
 	}
 	h.k.read()
+	if h.reader != nil {
+		return h.reader.ReadAt(p, off)
+	}
 	if off >= int64(len(h.snapshot)) {
 		return 0, io.EOF
 	}

@@ -1,0 +1,69 @@
+package helpfs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// TestPagedBodyRead drives a gigabyte-class code path at test scale:
+// a body big enough to open paged is read back through /mnt/help/N/body
+// without ever being materialized as one string.
+func TestPagedBodyRead(t *testing.T) {
+	h, fs, _ := attach(t)
+	h.SetLimits(core.Limits{MaxResident: 32 << 10})
+	var b strings.Builder
+	for i := 0; b.Len() < 256<<10; i++ {
+		fmt.Fprintf(&b, "paged line %d\n", i)
+	}
+	body := b.String()
+	fs.WriteFile("/tmp/big.log", []byte(body))
+	w, err := h.OpenFile("/tmp/big.log", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Body.Paged() {
+		t.Fatal("test body did not open paged")
+	}
+
+	data, err := fs.ReadFile("/mnt/help/1/body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != body {
+		t.Fatalf("device read mismatch: %d bytes, want %d", len(data), len(body))
+	}
+	// Reading the whole body through the device must not have made it
+	// resident: the piece table pages in and evicts as the reader walks.
+	if mr := w.Body.MemRunes(); mr >= len(body) {
+		t.Errorf("MemRunes = %d after full device read: body fully resident", mr)
+	}
+
+	// Paged reads are live, not open-time snapshots: a second read of the
+	// same path observes edits made in between.
+	f, err := fs.Open("/mnt/help/1/body", vfs.OREAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	head := make([]byte, 6)
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	if string(head) != "paged " {
+		t.Fatalf("head = %q", head)
+	}
+	w.Body.Insert(0, "EDIT! ")
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	if string(head) != "EDIT! " {
+		t.Errorf("read after edit = %q, want %q", head, "EDIT! ")
+	}
+}

@@ -80,6 +80,10 @@ type Config struct {
 	// MaxSessionBytes caps each session's resident buffer bytes
 	// (core.Limits.MaxBytes). Zero keeps the core default (unlimited).
 	MaxSessionBytes int64
+	// MaxResident sets each session's paged-text threshold and
+	// per-buffer residency cap (core.Limits.MaxResident). Zero keeps
+	// the core default; negative disables paging.
+	MaxResident int64
 	// MaxBytes bounds the daemon's total resident buffer bytes summed
 	// across sessions: body loads past it are refused with a typed busy
 	// error carrying a retry-after hint, and new sessions are refused
@@ -367,10 +371,11 @@ func (m *Manager) build(name string) (*world.World, *journal.Writer, *journal.Di
 	}
 	h := w.Help
 	h.SetLimits(core.Limits{
-		MaxProcs:   m.cfg.MaxProcs,
-		ErrorsCap:  m.cfg.ErrorsCap,
-		QueueDepth: m.cfg.QueueDepth,
-		MaxBytes:   m.cfg.MaxSessionBytes,
+		MaxProcs:    m.cfg.MaxProcs,
+		ErrorsCap:   m.cfg.ErrorsCap,
+		QueueDepth:  m.cfg.QueueDepth,
+		MaxBytes:    m.cfg.MaxSessionBytes,
+		MaxResident: m.cfg.MaxResident,
 	})
 	// The daemon-wide budget gates: consulted under this session's
 	// actor lock, they take the Manager lock and sum every session's

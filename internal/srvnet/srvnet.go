@@ -1026,15 +1026,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// raWindow is how much a readahead miss pulls in: enough that a client
+// streaming a file sequentially revisits the namespace once per megabyte
+// rather than once per 64 KiB chunk, small enough that a connection
+// walking a gigabyte log holds one window, not the log.
+const raWindow = 1 << 20
+
 // readahead is a per-connection slot for sequential chunked reads: the
-// first "readat" of a file snapshots the whole contents once (one
-// namespace visit, one device snapshot); later chunks slice the slot as
-// long as the file's generation has not moved. Files without a
-// generation cannot be validated and are re-read per chunk.
+// first "readat" of a file reads a raWindow-sized range once (one
+// namespace visit, one device handle); later chunks slice the window as
+// long as the file's generation has not moved and the range is covered,
+// sliding the window forward on the first chunk past it. Files without
+// a generation cannot be validated and are re-read per chunk.
+//
+// Earlier versions snapshotted the entire file here, which was simpler
+// but meant a "readat" of the head of a gigabyte file materialized the
+// whole thing server-side — exactly what the paged text engine exists
+// to avoid.
 type readahead struct {
 	path string
 	gen  uint64
+	base int64 // file offset of data[0]
 	data []byte
+	eof  bool // data reaches end of file
 }
 
 // readAt serves one chunk through the slot.
@@ -1042,25 +1056,33 @@ func (ra *readahead) readAt(fs *vfs.FS, reg *obs.Registry, path string, off, cou
 	if count <= 0 {
 		count = defaultReadChunk
 	}
-	if ra.path == path && ra.gen != 0 && fs.Gen(path) == ra.gen {
+	if off < 0 {
+		off = 0
+	}
+	covered := off >= ra.base &&
+		(off+count <= ra.base+int64(len(ra.data)) || ra.eof)
+	if ra.path == path && ra.gen != 0 && covered && fs.Gen(path) == ra.gen {
 		reg.Counter("srvnet.readahead.hit").Inc()
 	} else {
-		data, gen, err := fs.ReadFileGen(path)
+		window := count
+		if window < raWindow {
+			window = raWindow
+		}
+		data, gen, err := fs.ReadFileAt(path, off, window)
 		if err != nil {
 			ra.path = ""
 			return nil, 0, err
 		}
-		ra.path, ra.gen, ra.data = path, gen, data
+		ra.path, ra.gen, ra.base, ra.data = path, gen, off, data
+		ra.eof = int64(len(data)) < window
 		reg.Counter("srvnet.readahead.miss").Inc()
 	}
 	data := ra.data
-	if off < 0 {
-		off = 0
-	}
-	if off >= int64(len(data)) {
+	rel := off - ra.base
+	if rel >= int64(len(data)) {
 		return nil, ra.gen, nil
 	}
-	data = data[off:]
+	data = data[rel:]
 	if count < int64(len(data)) {
 		data = data[:count]
 	}

@@ -1,10 +1,14 @@
 // Package text implements the rune buffer underlying every help subwindow.
 //
-// A Buffer is a gap buffer of runes with an undo/redo log. Offsets are rune
-// counts from the start of the buffer, matching the paper's model in which
-// help passes applications "the file and character offset of the mouse
-// position". The package also resolves the location syntax accepted by the
-// Open command — :27 line numbers, and the "general locations" the paper
+// A Buffer is an editable rune sequence with an undo/redo log. Offsets are
+// rune counts from the start of the buffer, matching the paper's model in
+// which help passes applications "the file and character offset of the mouse
+// position". Storage is pluggable behind the backing interface: small bodies
+// live in the original in-memory gap buffer, while large files use a piece
+// table over lazily paged-in file segments (see LoadPaged) so a gigabyte log
+// costs memory proportional to what is being looked at, not to its size.
+// The package also resolves the location syntax accepted by the Open
+// command — :27 line numbers, and the "general locations" the paper
 // mentions (:/pattern/ searches and :#offset character addresses), which we
 // implement as one of the paper's future-work extensions.
 package text
@@ -12,7 +16,6 @@ package text
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -22,16 +25,13 @@ import (
 // concurrent use; help serializes all access through its event loop, as the
 // original did.
 type Buffer struct {
-	// Gap buffer: runes[:gapStart] and runes[gapEnd:] hold the text.
-	runes    []rune
-	gapStart int
-	gapEnd   int
+	back backing
 
-	// newlines is the line index: the offset of every '\n' in the text,
-	// ascending. primInsert/primDelete maintain it incrementally, so the
-	// line queries (LineStart, LineEnd, LineAt, NLines) are binary
-	// searches or direct lookups instead of full buffer scans.
-	newlines []int
+	// mem is back when back is the resident gap buffer, else nil. It
+	// exists so the per-rune hot path (Len, At — called once per cell
+	// by every reflow) dispatches on a concrete type the compiler can
+	// inline instead of paying two interface calls per rune.
+	mem *memBacking
 
 	// gen counts primitive edits (including undo/redo replay). Frames
 	// compare it against the generation they laid out to decide whether
@@ -59,11 +59,11 @@ type Buffer struct {
 	// captures every way a buffer can change.
 	onSplice func(off, ndel int, ins string)
 
-	// onMem, when set, observes the buffer's resident size moving:
-	// delta is the rune-count change of each primitive mutation.
-	// Memory accounting hangs off this separate hook because the
-	// journal owns onSplice — the two observers must not fight over
-	// one slot.
+	// onMem, when set, observes the buffer's resident size moving. It is
+	// installed into the backing, which fires it with signed rune deltas:
+	// edits for the in-memory backing, and additionally page-in/eviction
+	// for the paged backing. It is a slot separate from SetOnSplice so
+	// memory accounting composes with the journal.
 	onMem func(delta int)
 }
 
@@ -77,15 +77,44 @@ type change struct {
 
 // NewBuffer returns a buffer initialized with the given text.
 func NewBuffer(s string) *Buffer {
-	b := &Buffer{}
+	m := newMemBacking()
+	b := &Buffer{back: m, mem: m}
 	b.primInsert(0, []rune(s))
 	b.undo = nil // initial content is not undoable
 	b.modified = false
 	return b
 }
 
+// bk returns the storage engine, installing the in-memory one on first
+// use so the zero-value Buffer stays ready to use.
+func (b *Buffer) bk() backing {
+	if b.back == nil {
+		m := newMemBacking()
+		b.back = m
+		b.mem = m
+	}
+	return b.back
+}
+
 // Len returns the number of runes in the buffer.
-func (b *Buffer) Len() int { return len(b.runes) - (b.gapEnd - b.gapStart) }
+func (b *Buffer) Len() int {
+	if m := b.mem; m != nil {
+		return m.length()
+	}
+	return b.bk().length()
+}
+
+// MemRunes returns the number of runes resident in process memory. For an
+// in-memory buffer this equals Len; for a paged buffer it is the cached
+// pages plus edits, which is what the session memory budget charges.
+func (b *Buffer) MemRunes() int { return b.bk().memRunes() }
+
+// Paged reports whether the buffer is backed by the paged piece table
+// rather than the fully resident gap buffer.
+func (b *Buffer) Paged() bool {
+	_, ok := b.back.(*pagedBacking)
+	return ok
+}
 
 // Modified reports whether the buffer differs from its state at the last
 // call to SetClean. The help Put!/Get! commands use this to decide whether
@@ -123,122 +152,32 @@ func (b *Buffer) recomputeModified() {
 // damage checks rely on.
 func (b *Buffer) Gen() uint64 { return b.gen }
 
-// moveGap positions the gap at rune offset off.
-func (b *Buffer) moveGap(off int) {
-	if off < b.gapStart {
-		n := b.gapStart - off
-		copy(b.runes[b.gapEnd-n:b.gapEnd], b.runes[off:b.gapStart])
-		b.gapStart = off
-		b.gapEnd -= n
-	} else if off > b.gapStart {
-		n := off - b.gapStart
-		copy(b.runes[b.gapStart:], b.runes[b.gapEnd:b.gapEnd+n])
-		b.gapStart += n
-		b.gapEnd += n
-	}
-}
-
-// grow ensures the gap has room for at least n more runes.
-func (b *Buffer) grow(n int) {
-	gap := b.gapEnd - b.gapStart
-	if gap >= n {
-		return
-	}
-	newCap := len(b.runes)*2 + n
-	if newCap < 64 {
-		newCap = 64 + n
-	}
-	nr := make([]rune, newCap)
-	copy(nr, b.runes[:b.gapStart])
-	tail := len(b.runes) - b.gapEnd
-	copy(nr[newCap-tail:], b.runes[b.gapEnd:])
-	b.gapEnd = newCap - tail
-	b.runes = nr
-}
-
 // primInsert inserts without recording undo.
 func (b *Buffer) primInsert(off int, rs []rune) {
 	if off < 0 || off > b.Len() {
 		panic(fmt.Sprintf("text: insert offset %d out of range [0,%d]", off, b.Len()))
 	}
-	b.grow(len(rs))
-	b.moveGap(off)
-	copy(b.runes[b.gapStart:], rs)
-	b.gapStart += len(rs)
-	b.indexInsert(off, rs)
+	b.bk().insert(off, rs)
 	b.gen++
-	if b.onMem != nil && len(rs) > 0 {
-		b.onMem(len(rs))
-	}
 	if b.onSplice != nil {
 		b.onSplice(off, 0, string(rs))
 	}
 }
 
-// primDelete deletes without recording undo and returns the removed runes.
-func (b *Buffer) primDelete(off, n int) []rune {
+// primDelete deletes without recording undo. The removed runes are
+// materialized and returned only when want is true; undo replay of an
+// insert and wholesale reloads pass false, which lets a paged backing
+// drop piece references without faulting their pages in.
+func (b *Buffer) primDelete(off, n int, want bool) []rune {
 	if off < 0 || n < 0 || off+n > b.Len() {
 		panic(fmt.Sprintf("text: delete [%d,%d) out of range [0,%d]", off, off+n, b.Len()))
 	}
-	b.moveGap(off)
-	removed := make([]rune, n)
-	copy(removed, b.runes[b.gapEnd:b.gapEnd+n])
-	b.gapEnd += n
-	b.indexDelete(off, n)
+	removed := b.bk().remove(off, n, want)
 	b.gen++
-	if b.onMem != nil && n > 0 {
-		b.onMem(-n)
-	}
 	if b.onSplice != nil {
 		b.onSplice(off, n, "")
 	}
 	return removed
-}
-
-// indexInsert splices rs's newlines into the line index and shifts every
-// later newline by len(rs). The shift is a bulk pass over the tail of the
-// index, so an append to the end of the buffer costs only the scan of rs.
-func (b *Buffer) indexInsert(off int, rs []rune) {
-	count := 0
-	for _, r := range rs {
-		if r == '\n' {
-			count++
-		}
-	}
-	i := sort.SearchInts(b.newlines, off)
-	if count > 0 {
-		old := len(b.newlines)
-		for len(b.newlines) < old+count {
-			// Amortized growth; no temporary slice of the added offsets.
-			b.newlines = append(b.newlines, 0)
-		}
-		copy(b.newlines[i+count:], b.newlines[i:old])
-		idx := i
-		for j, r := range rs {
-			if r == '\n' {
-				b.newlines[idx] = off + j
-				idx++
-			}
-		}
-		i += count
-	}
-	for k := i; k < len(b.newlines); k++ {
-		b.newlines[k] += len(rs)
-	}
-}
-
-// indexDelete drops newlines inside the deleted range [off, off+n) and
-// shifts every later newline down by n.
-func (b *Buffer) indexDelete(off, n int) {
-	i := sort.SearchInts(b.newlines, off)
-	j := sort.SearchInts(b.newlines, off+n)
-	if i != j {
-		copy(b.newlines[i:], b.newlines[j:])
-		b.newlines = b.newlines[:len(b.newlines)-(j-i)]
-	}
-	for k := i; k < len(b.newlines); k++ {
-		b.newlines[k] -= n
-	}
 }
 
 // Insert inserts s at rune offset off.
@@ -265,7 +204,7 @@ func (b *Buffer) Delete(off, n int) string {
 	if n == 0 {
 		return ""
 	}
-	removed := b.primDelete(off, n)
+	removed := b.primDelete(off, n, true)
 	if !b.noUndo {
 		if b.cleanLen > len(b.undo) {
 			b.cleanGone = true
@@ -302,7 +241,7 @@ func (b *Buffer) Undo() bool {
 		c := b.undo[len(b.undo)-1]
 		b.undo = b.undo[:len(b.undo)-1]
 		if c.insert {
-			b.primDelete(c.off, len(c.text))
+			b.primDelete(c.off, len(c.text), false)
 		} else {
 			b.primInsert(c.off, c.text)
 		}
@@ -327,7 +266,7 @@ func (b *Buffer) Redo() bool {
 		if c.insert {
 			b.primInsert(c.off, c.text)
 		} else {
-			b.primDelete(c.off, len(c.text))
+			b.primDelete(c.off, len(c.text), false)
 		}
 		b.undo = append(b.undo, c)
 	}
@@ -343,13 +282,24 @@ func (b *Buffer) CanRedo() bool { return len(b.redo) > 0 }
 
 // At returns the rune at offset off. It panics if off is out of range.
 func (b *Buffer) At(off int) rune {
+	// Happy path only, kept small enough to inline into render loops;
+	// everything else — paged backing, out-of-range panic — is atSlow.
+	if m := b.mem; m != nil && off >= 0 {
+		if off < m.gapStart {
+			return m.runes[off]
+		}
+		if i := off + (m.gapEnd - m.gapStart); i < len(m.runes) {
+			return m.runes[i]
+		}
+	}
+	return b.atSlow(off)
+}
+
+func (b *Buffer) atSlow(off int) rune {
 	if off < 0 || off >= b.Len() {
 		panic(fmt.Sprintf("text: At(%d) out of range [0,%d)", off, b.Len()))
 	}
-	if off < b.gapStart {
-		return b.runes[off]
-	}
-	return b.runes[off+(b.gapEnd-b.gapStart)]
+	return b.bk().at(off)
 }
 
 // Slice returns the runes in [off, off+n) as a string, clamped to the
@@ -368,19 +318,8 @@ func (b *Buffer) Slice(off, n int) string {
 	if n <= 0 {
 		return ""
 	}
-	// Bulk path: at most two copies, the parts before and after the gap,
-	// instead of a bounds-checked At call per rune.
-	out := make([]rune, n)
-	gap := b.gapEnd - b.gapStart
-	switch end := off + n; {
-	case end <= b.gapStart:
-		copy(out, b.runes[off:end])
-	case off >= b.gapStart:
-		copy(out, b.runes[off+gap:end+gap])
-	default:
-		m := copy(out, b.runes[off:b.gapStart])
-		copy(out[m:], b.runes[b.gapEnd:end+gap])
-	}
+	out := make([]rune, 0, n)
+	out = b.bk().appendRange(out, off, n)
 	return string(out)
 }
 
@@ -403,12 +342,14 @@ func (b *Buffer) SetOnSplice(fn func(off, ndel int, ins string)) {
 }
 
 // SetOnMem installs (or, with nil, removes) the resident-size observer:
-// a callback invoked after every primitive mutation with the buffer's
-// rune-count delta. It is a slot separate from SetOnSplice so memory
+// a callback invoked with signed rune deltas whenever the buffer's
+// resident size moves — on every edit, and for paged buffers also on
+// page-in and eviction. It is a slot separate from SetOnSplice so memory
 // accounting composes with the journal. The callback must not mutate
 // the buffer.
 func (b *Buffer) SetOnMem(fn func(delta int)) {
 	b.onMem = fn
+	b.bk().setOnMem(fn)
 }
 
 // Load replaces the entire contents without recording undo and marks the
@@ -418,7 +359,7 @@ func (b *Buffer) SetOnMem(fn func(delta int)) {
 func (b *Buffer) Load(s string) {
 	b.noUndo = true
 	if n := b.Len(); n > 0 {
-		b.primDelete(0, n)
+		b.primDelete(0, n, false)
 	}
 	if rs := []rune(s); len(rs) > 0 {
 		b.primInsert(0, rs)
@@ -427,6 +368,76 @@ func (b *Buffer) Load(s string) {
 	b.undo = nil
 	b.redo = nil
 	b.SetClean()
+}
+
+// swapBacking replaces the storage engine wholesale, with the same
+// observable semantics as Load: the splice observer sees a delete of the
+// old contents and an insert of the new, the generation bumps for each,
+// residency accounting transfers from the old backing to the new, and the
+// undo/redo histories are discarded with the buffer left clean.
+//
+// The insert half materializes the new contents as a string only when a
+// splice observer is installed (the journal needs the text); without one,
+// adopting a paged backing stays lazy.
+func (b *Buffer) swapBacking(nb backing) {
+	old := b.bk()
+	oldLen := old.length()
+	if oldLen > 0 {
+		b.gen++
+		if b.onSplice != nil {
+			b.onSplice(0, oldLen, "")
+		}
+	}
+	old.setOnMem(nil)
+	if b.onMem != nil {
+		if n := old.memRunes(); n != 0 {
+			b.onMem(-n)
+		}
+	}
+	b.back = nb
+	b.mem, _ = nb.(*memBacking)
+	if b.onMem != nil {
+		if n := nb.memRunes(); n != 0 {
+			b.onMem(n)
+		}
+	}
+	nb.setOnMem(b.onMem)
+	if nb.length() > 0 {
+		b.gen++
+		if b.onSplice != nil {
+			b.onSplice(0, 0, b.String())
+		}
+	}
+	b.undo = nil
+	b.redo = nil
+	b.SetClean()
+}
+
+// LoadPaged replaces the entire contents with a paged view of src, the
+// piece-table analogue of Load: the file's bytes page in on demand as the
+// buffer is read, with at most maxResident bytes of decoded text held
+// resident at once (minimum one page). Building the view streams src once
+// to index page boundaries and newlines — a byte scan, with no rune
+// materialization — so line queries never touch unresident pages.
+//
+// On error the buffer is left unchanged. Edits, undo, generations, and
+// splice observation behave identically to an in-memory buffer.
+func (b *Buffer) LoadPaged(src Source, maxResident int64) error {
+	nb, err := newPagedBacking(src, maxResident, defaultPageBytes)
+	if err != nil {
+		return err
+	}
+	b.swapBacking(nb)
+	return nil
+}
+
+// AdoptClone replaces the contents with a structural clone of src's
+// storage: pieces and indexes are copied, but file-backed page data is
+// shared lazily rather than materialized, so cloning a paged gigabyte
+// window costs the piece table, not the text. Undo history is not
+// inherited and the buffer starts clean, exactly like Load.
+func (b *Buffer) AdoptClone(src *Buffer) {
+	b.swapBacking(src.back.clone())
 }
 
 // ApplySplice applies a journaled primitive mutation: delete ndel runes
@@ -439,7 +450,7 @@ func (b *Buffer) ApplySplice(off, ndel int, ins string) error {
 		return fmt.Errorf("text: splice [%d,%d) out of range [0,%d]", off, off+ndel, b.Len())
 	}
 	if ndel > 0 {
-		b.primDelete(off, ndel)
+		b.primDelete(off, ndel, false)
 	}
 	if rs := []rune(ins); len(rs) > 0 {
 		b.primInsert(off, rs)
@@ -454,8 +465,8 @@ func (b *Buffer) LineStart(ln int) int {
 	if ln <= 1 {
 		return 0
 	}
-	if ln-2 < len(b.newlines) {
-		return b.newlines[ln-2] + 1
+	if ln-2 < b.bk().nNewlines() {
+		return b.bk().newlineOff(ln-2) + 1
 	}
 	return b.Len()
 }
@@ -464,8 +475,8 @@ func (b *Buffer) LineStart(ln int) int {
 // the newline itself: the first newline at or after the line's start.
 func (b *Buffer) LineEnd(ln int) int {
 	off := b.LineStart(ln)
-	if i := sort.SearchInts(b.newlines, off); i < len(b.newlines) {
-		return b.newlines[i]
+	if i := b.bk().newlineIdx(off); i < b.bk().nNewlines() {
+		return b.bk().newlineOff(i)
 	}
 	return b.Len()
 }
@@ -476,7 +487,7 @@ func (b *Buffer) LineAt(off int) int {
 	if off > b.Len() {
 		off = b.Len()
 	}
-	return sort.SearchInts(b.newlines, off) + 1
+	return b.bk().newlineIdx(off) + 1
 }
 
 // NLines returns the number of lines in the buffer. An empty buffer has
@@ -486,8 +497,8 @@ func (b *Buffer) NLines() int {
 	if n == 0 {
 		return 1
 	}
-	k := len(b.newlines)
-	if k > 0 && b.newlines[k-1] == n-1 {
+	k := b.bk().nNewlines()
+	if k > 0 && b.bk().newlineOff(k-1) == n-1 {
 		return k // trailing newline: no extra line after it
 	}
 	return k + 1

@@ -1,0 +1,143 @@
+package userland
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// grepRef is a trivially-correct sequential grep used as the oracle for
+// the parallel chunked scanner.
+func grepRef(o *grepOpts, name string, data []byte, showName bool) (string, bool) {
+	var out bytes.Buffer
+	hit := grepScanAll(o, name, data, showName, &out)
+	return out.String(), hit
+}
+
+// bigGrepBody builds a body comfortably above grepParallelMin whose lines
+// exercise the chunk machinery: ordinary lines, matches placed at random,
+// a handful of giant lines that span several chunks, \r\n endings, and no
+// trailing newline at EOF.
+func bigGrepBody(t testing.TB) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var b bytes.Buffer
+	b.Grow(grepParallelMin + 2*grepChunk)
+	i := 0
+	for b.Len() < grepParallelMin+grepChunk {
+		switch rng.Intn(20) {
+		case 0:
+			fmt.Fprintf(&b, "needle line %d\n", i)
+		case 1:
+			fmt.Fprintf(&b, "crlf needle %d\r\n", i)
+		case 2:
+			// A line longer than a chunk, sometimes matching.
+			tag := "hay"
+			if rng.Intn(2) == 0 {
+				tag = "needle"
+			}
+			b.WriteString(tag)
+			b.Write(bytes.Repeat([]byte{'x'}, grepChunk+grepChunk/2))
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "line %d of plain hay without the word\n", i)
+		}
+		i++
+	}
+	b.WriteString("needle at EOF with no newline")
+	return b.Bytes()
+}
+
+func grepEnv(t testing.TB, body []byte) (*shell.Shell, *shell.Context, *bytes.Buffer) {
+	fs := vfs.New()
+	fs.MkdirAll("/tmp")
+	fs.WriteFile("/tmp/big", body)
+	fs.WriteFile("/tmp/small", []byte("one needle\ntwo hay\n"))
+	sh := shell.New(fs)
+	Install(sh)
+	var out bytes.Buffer
+	ctx := sh.NewContext(&out, &out)
+	return sh, ctx, &out
+}
+
+// TestGrepChunkedMatchesSequential runs every flag combination that
+// changes the output shape over a multi-chunk file and compares the
+// parallel scan against the in-memory oracle.
+func TestGrepChunkedMatchesSequential(t *testing.T) {
+	body := bigGrepBody(t)
+	for _, flags := range []string{"", "-n", "-c", "-l", "-vc", "-nv"} {
+		sh, ctx, out := grepEnv(t, body)
+		cmd := "grep " + flags + " needle /tmp/big"
+		status := sh.Run(ctx, cmd)
+
+		o := &grepOpts{
+			numbers:   strings.Contains(flags, "n"),
+			namesOnly: strings.Contains(flags, "l"),
+			count:     strings.Contains(flags, "c"),
+			invert:    strings.Contains(flags, "v"),
+		}
+		o.re = mustRe(t, "needle")
+		want, hit := grepRef(o, "/tmp/big", body, o.numbers)
+		wantStatus := 1
+		if hit {
+			wantStatus = 0
+		}
+		if status != wantStatus {
+			t.Errorf("%s: status = %d, want %d", cmd, status, wantStatus)
+		}
+		if got := out.String(); got != want {
+			t.Errorf("%s: output diverges from sequential oracle (%d vs %d bytes)",
+				cmd, len(got), len(want))
+			gl := strings.SplitAfter(got, "\n")
+			wl := strings.SplitAfter(want, "\n")
+			for i := 0; i < len(gl) && i < len(wl); i++ {
+				if gl[i] != wl[i] {
+					t.Fatalf("first divergence at output line %d:\n got %q\nwant %q", i+1, trunc(gl[i]), trunc(wl[i]))
+				}
+			}
+		}
+	}
+}
+
+func trunc(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}
+
+func mustRe(t testing.TB, pat string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
+
+// TestGrepMixedSizesOrdered greps a big and a small file together and
+// checks the output keeps argument order with name prefixes.
+func TestGrepMixedSizesOrdered(t *testing.T) {
+	body := bigGrepBody(t)
+	sh, ctx, out := grepEnv(t, body)
+	status := sh.Run(ctx, "grep -c needle /tmp/big /tmp/small /tmp/missing")
+	if status != 0 {
+		t.Errorf("status = %d", status)
+	}
+	s := out.String()
+	bigAt := strings.Index(s, "/tmp/big:")
+	smallAt := strings.Index(s, "/tmp/small:1")
+	errAt := strings.Index(s, "grep:")
+	if bigAt < 0 || smallAt < 0 || errAt < 0 {
+		t.Fatalf("missing pieces in output:\n%s", trunc(s))
+	}
+	if !(bigAt < smallAt) {
+		t.Errorf("big/small out of order:\n%s", trunc(s))
+	}
+}

@@ -12,12 +12,15 @@ package userland
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/shell"
@@ -104,10 +107,214 @@ func Cp(ctx *shell.Context, args []string) int {
 	return 0
 }
 
+const (
+	// grepParallelMin is the file size above which grep stops reading the
+	// whole file and instead scans fixed ranges through FS.ReadFileAt, so
+	// a gigabyte log costs a few chunks of memory, not the file.
+	grepParallelMin = 4 << 20
+	// grepChunk is the scan unit for such files; each chunk is an
+	// independent job for the worker pool.
+	grepChunk = 1 << 20
+)
+
+type grepOpts struct {
+	numbers, namesOnly, count, invert bool
+	re                                *regexp.Regexp
+}
+
+// grepLine is one matched line of a chunk; rel is its 0-based index among
+// the lines owned by that chunk, resolved to a global line number once
+// every chunk's newline count is known.
+type grepLine struct {
+	rel  int
+	text []byte
+}
+
+// grepChunkRes is what scanning one chunk of a large file yields.
+type grepChunkRes struct {
+	lines []grepLine
+	n     int // matched (or, with -v, non-matched) owned lines
+	nl    int // newlines inside the chunk range, prefix-summed for -n
+	preNl int // newlines between the range start and the first owned line
+	err   error
+}
+
+// grepNextLine cuts the line starting at start out of data, returning it
+// without its terminator (a trailing \r\n or \n) and the start of the next
+// line, mirroring bufio.ScanLines.
+func grepNextLine(data []byte, start int) ([]byte, int) {
+	line := data[start:]
+	next := len(data)
+	if j := bytes.IndexByte(line, '\n'); j >= 0 {
+		line = line[:j]
+		next = start + j + 1
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, next
+}
+
+func writeGrepLine(out *bytes.Buffer, o *grepOpts, name string, showName bool, ln int, line []byte) {
+	if showName {
+		out.WriteString(name)
+		out.WriteByte(':')
+	}
+	if o.numbers {
+		out.WriteString(strconv.Itoa(ln))
+		out.WriteByte(':')
+	}
+	out.Write(line)
+	out.WriteByte('\n')
+}
+
+// grepScanAll greps one in-memory body (small files and stdin).
+func grepScanAll(o *grepOpts, name string, data []byte, showName bool, out *bytes.Buffer) bool {
+	ln, n := 0, 0
+	for start := 0; start < len(data); {
+		var line []byte
+		line, start = grepNextLine(data, start)
+		ln++
+		if o.re.Match(line) == o.invert {
+			continue
+		}
+		n++
+		if o.namesOnly {
+			fmt.Fprintln(out, name)
+			return true
+		}
+		if o.count {
+			continue
+		}
+		writeGrepLine(out, o, name, showName, ln, line)
+	}
+	if o.count {
+		prefix := ""
+		if showName {
+			prefix = name + ":"
+		}
+		fmt.Fprintln(out, prefix+strconv.Itoa(n))
+	}
+	return n > 0
+}
+
+// grepLineTail reads forward from off until a newline or EOF: the rest of
+// a line that started inside one chunk but runs past its end.
+func grepLineTail(ctx *shell.Context, path string, off, size int64) ([]byte, error) {
+	var tail []byte
+	for off < size {
+		n := int64(grepChunk)
+		if off+n > size {
+			n = size - off
+		}
+		b, _, err := ctx.FS.ReadFileAt(path, off, n)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			break
+		}
+		if j := bytes.IndexByte(b, '\n'); j >= 0 {
+			return append(tail, b[:j]...), nil
+		}
+		tail = append(tail, b...)
+		off += int64(len(b))
+	}
+	return tail, nil
+}
+
+// grepScanChunk greps chunk ci of a large file. A chunk owns the lines
+// that start inside its range [lo, hi); it reads one byte before lo to
+// decide whether lo itself starts a line, and reads past hi to finish a
+// line that spans the boundary. Line numbers cannot be assigned yet —
+// they need the newline counts of every earlier chunk — so matches are
+// reported by index among the chunk's owned lines.
+func grepScanChunk(ctx *shell.Context, o *grepOpts, path string, size int64, ci int) grepChunkRes {
+	lo := int64(ci) * grepChunk
+	hi := lo + grepChunk
+	if hi > size {
+		hi = size
+	}
+	readStart := lo
+	if lo > 0 {
+		readStart = lo - 1
+	}
+	slab, _, err := ctx.FS.ReadFileAt(path, readStart, hi-readStart)
+	if err != nil {
+		return grepChunkRes{err: err}
+	}
+	if int64(len(slab)) < hi-readStart {
+		return grepChunkRes{err: fmt.Errorf("%s: file shrank during scan", path)}
+	}
+	var res grepChunkRes
+	first := 0
+	if lo > 0 {
+		j := bytes.IndexByte(slab, '\n')
+		if j < 0 {
+			// The whole range is the middle of a line owned by an
+			// earlier chunk.
+			return res
+		}
+		first = j + 1
+		if j > 0 {
+			res.preNl = 1
+		}
+		res.nl = bytes.Count(slab[1:], nlByte)
+	} else {
+		res.nl = bytes.Count(slab, nlByte)
+	}
+	rel := 0
+	for start := first; readStart+int64(start) < hi; {
+		var line []byte
+		if j := bytes.IndexByte(slab[start:], '\n'); j >= 0 {
+			line = slab[start : start+j]
+			start += j + 1
+		} else {
+			tail, err := grepLineTail(ctx, path, readStart+int64(len(slab)), size)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			line = append(append([]byte{}, slab[start:]...), tail...)
+			start = len(slab)
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		rel++
+		if o.re.Match(line) == o.invert {
+			continue
+		}
+		res.n++
+		if !o.namesOnly && !o.count {
+			res.lines = append(res.lines, grepLine{rel: rel - 1, text: line})
+		}
+	}
+	return res
+}
+
+var nlByte = []byte{'\n'}
+
+// grepFile is the per-argument unit of work and output.
+type grepFile struct {
+	display string
+	path    string
+	size    int64          // chunked scan when > 0
+	chunks  []grepChunkRes // one per chunk, filled by workers
+	out     bytes.Buffer
+	hit     bool
+	err     error
+}
+
 // Grep searches files (or stdin) for a regular expression. Supported
 // flags: -n (line numbers), -i (case fold), -l (names only), -c (count),
 // -v (invert). With more than one file, or with -n, matches are prefixed
 // with the file name — the behaviour the uses-vs-grep comparison needs.
+//
+// The scan is parallel: one worker per CPU sweeps the argument list, and
+// files above grepParallelMin are further split into chunk jobs read via
+// FS.ReadFileAt, so big logs grep at bounded memory. Output is assembled
+// in argument order regardless of which worker finishes first.
 func Grep(ctx *shell.Context, args []string) int {
 	var numbers, fold, namesOnly, count, invert bool
 	rest := args[1:]
@@ -144,62 +351,132 @@ func Grep(ctx *shell.Context, args []string) int {
 		ctx.Errorf("grep: %v", err)
 		return 2
 	}
-	files := rest[1:]
-	matched := false
-	scan := func(name string, r io.Reader, showName bool) {
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-		ln := 0
-		n := 0
-		for sc.Scan() {
-			ln++
-			hit := re.MatchString(sc.Text())
-			if hit == invert {
-				continue
+	o := &grepOpts{numbers: numbers, namesOnly: namesOnly, count: count, invert: invert, re: re}
+	names := rest[1:]
+	if len(names) == 0 {
+		data, err := io.ReadAll(ctx.Stdin)
+		if err != nil {
+			ctx.Errorf("grep: %v", err)
+			return 2
+		}
+		var out bytes.Buffer
+		hit := grepScanAll(o, "<stdin>", data, false, &out)
+		ctx.Stdout.Write(out.Bytes())
+		if hit {
+			return 0
+		}
+		return 1
+	}
+
+	showName := len(names) > 1 || numbers
+	files := make([]*grepFile, len(names))
+	var jobs []func()
+	for i, name := range names {
+		f := &grepFile{display: name, path: resolvePath(ctx, name)}
+		files[i] = f
+		info, err := ctx.FS.Stat(f.path)
+		if err == nil && !info.IsDir && info.Size >= grepParallelMin {
+			f.size = info.Size
+			nchunks := int((info.Size + grepChunk - 1) / grepChunk)
+			f.chunks = make([]grepChunkRes, nchunks)
+			for ci := 0; ci < nchunks; ci++ {
+				ci := ci
+				jobs = append(jobs, func() {
+					f.chunks[ci] = grepScanChunk(ctx, o, f.path, f.size, ci)
+				})
 			}
-			matched = true
-			n++
-			if namesOnly {
-				fmt.Fprintln(ctx.Stdout, name)
+			continue
+		}
+		// Small files, devices, directories and stat failures all take
+		// the whole-read path, which produces the canonical errors.
+		jobs = append(jobs, func() {
+			data, err := ctx.FS.ReadFile(f.path)
+			if err != nil {
+				f.err = err
 				return
 			}
-			if count {
-				continue
-			}
-			prefix := ""
-			if showName {
-				prefix = name + ":"
-			}
-			if numbers {
-				prefix += strconv.Itoa(ln) + ":"
-			}
-			fmt.Fprintln(ctx.Stdout, prefix+sc.Text())
-		}
-		if count {
-			prefix := ""
-			if showName {
-				prefix = name + ":"
-			}
-			fmt.Fprintln(ctx.Stdout, prefix+strconv.Itoa(n))
-		}
+			f.hit = grepScanAll(o, f.display, data, showName, &f.out)
+		})
 	}
-	if len(files) == 0 {
-		scan("<stdin>", ctx.Stdin, false)
-	} else {
-		showName := len(files) > 1 || numbers
-		for _, f := range files {
-			data, err := ctx.FS.ReadFile(resolvePath(ctx, f))
-			if err != nil {
-				ctx.Errorf("grep: %v", err)
+
+	// Every job writes a distinct slot (f.out/f.err of its file, or one
+	// chunks[ci]), so the pool needs no locking.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobc := make(chan func())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobc {
+				job()
+			}
+		}()
+	}
+	for _, job := range jobs {
+		jobc <- job
+	}
+	close(jobc)
+	wg.Wait()
+
+	matched := false
+	for _, f := range files {
+		if f.err != nil {
+			ctx.Errorf("grep: %v", f.err)
+			continue
+		}
+		if f.chunks != nil {
+			grepAssemble(o, f, showName)
+			if f.err != nil {
+				ctx.Errorf("grep: %v", f.err)
 				continue
 			}
-			scan(f, strings.NewReader(string(data)), showName)
 		}
+		matched = matched || f.hit
+		ctx.Stdout.Write(f.out.Bytes())
 	}
 	if matched {
 		return 0
 	}
 	return 1
+}
+
+// grepAssemble merges a chunked file's per-chunk results in order,
+// turning chunk-relative match indices into global line numbers via a
+// running prefix sum of newline counts.
+func grepAssemble(o *grepOpts, f *grepFile, showName bool) {
+	prefix := 0
+	n := 0
+	for i := range f.chunks {
+		c := &f.chunks[i]
+		if c.err != nil {
+			f.err = c.err
+			return
+		}
+		for _, ml := range c.lines {
+			writeGrepLine(&f.out, o, f.display, showName, prefix+c.preNl+ml.rel+1, ml.text)
+		}
+		n += c.n
+		prefix += c.nl
+	}
+	f.hit = n > 0
+	if o.namesOnly {
+		f.out.Reset()
+		if f.hit {
+			fmt.Fprintln(&f.out, f.display)
+		}
+		return
+	}
+	if o.count {
+		prefixStr := ""
+		if showName {
+			prefixStr = f.display + ":"
+		}
+		fmt.Fprintln(&f.out, prefixStr+strconv.Itoa(n))
+	}
 }
 
 // Ls lists a directory (or the context directory), one entry per line with

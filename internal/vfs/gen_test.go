@@ -117,3 +117,46 @@ func TestReadFileAt(t *testing.T) {
 		t.Fatalf("ReadFileAt(8,100) = %q", chunk)
 	}
 }
+
+// ReadFileAt on a device reads at the requested offset through one
+// handle instead of draining the whole device and slicing: the range is
+// served directly, including the count<=0 drain-from-offset form.
+func TestReadFileAtDevice(t *testing.T) {
+	fs := New()
+	dev := &testDevice{reply: "abcdefghij"}
+	if err := fs.RegisterDevice("/dev/echo", dev); err != nil {
+		t.Fatal(err)
+	}
+	chunk, _, err := fs.ReadFileAt("/dev/echo", 3, 4)
+	if err != nil || string(chunk) != "defg" {
+		t.Fatalf("device ReadFileAt(3,4) = %q err %v", chunk, err)
+	}
+	chunk, _, err = fs.ReadFileAt("/dev/echo", 6, 0)
+	if err != nil || string(chunk) != "ghij" {
+		t.Fatalf("device ReadFileAt(6,0) = %q err %v", chunk, err)
+	}
+	chunk, _, err = fs.ReadFileAt("/dev/echo", 8, 100)
+	if err != nil || string(chunk) != "ij" {
+		t.Fatalf("device ReadFileAt(8,100) = %q err %v", chunk, err)
+	}
+	chunk, _, err = fs.ReadFileAt("/dev/echo", 42, 5)
+	if err != nil || len(chunk) != 0 {
+		t.Fatalf("device ReadFileAt past EOF = %q err %v", chunk, err)
+	}
+}
+
+// A regular-file range read must not alias the node's backing array: a
+// later write replaces the data, and the earlier slice must not see it.
+func TestReadFileAtCopies(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/f", []byte("immutable"))
+	chunk, _, err := fs.ReadFileAt("/d/f", 0, 4)
+	if err != nil || string(chunk) != "immu" {
+		t.Fatalf("ReadFileAt = %q err %v", chunk, err)
+	}
+	fs.WriteFile("/d/f", []byte("XXXXXXXXX"))
+	if string(chunk) != "immu" {
+		t.Fatalf("range read aliased file data: %q", chunk)
+	}
+}

@@ -689,25 +689,87 @@ func (fs *FS) readFileGen(p string) ([]byte, uint64, error) {
 // ReadFileAt returns up to count bytes of the file at p starting at
 // byte offset off, plus the file's generation. A short (or empty)
 // result means the read reached end of file. count <= 0 reads to the
-// end. Devices are snapshotted whole per call, exactly like ReadFile —
-// chunked remote readers should sit behind srvnet's readahead, which
-// amortizes that snapshot across sequential chunks.
+// end.
+//
+// Regular files copy only the requested range — this is the page-in
+// path for paged text buffers, where materializing a gigabyte to serve
+// 64 KiB would defeat the point. Devices open a handle and read at the
+// requested offset, so a device that supports random access serves the
+// range directly; handles that ignore the offset still behave as
+// before because the read loop fills from off onward.
 func (fs *FS) ReadFileAt(p string, off, count int64) ([]byte, uint64, error) {
-	data, gen, err := fs.ReadFileGen(p)
-	if err != nil {
-		return nil, 0, err
-	}
 	if off < 0 {
 		off = 0
 	}
-	if off >= int64(len(data)) {
-		return nil, gen, nil
+	fs.lock()
+	n, err := fs.find(p)
+	if err != nil {
+		fs.unlock()
+		return nil, 0, err
 	}
-	data = data[off:]
-	if count > 0 && count < int64(len(data)) {
-		data = data[:count]
+	if n.dir {
+		fs.unlock()
+		return nil, 0, fmt.Errorf("%s: %w", p, ErrIsDir)
 	}
-	return data, gen, nil
+	gen := genOf(n)
+	if n.device == nil {
+		var out []byte
+		if off < int64(len(n.data)) {
+			end := int64(len(n.data))
+			if count > 0 && off+count < end {
+				end = off + count
+			}
+			out = append([]byte(nil), n.data[off:end]...)
+		}
+		fs.unlock()
+		return out, gen, nil
+	}
+	data, err := fs.readDeviceAt(n, off, count)
+	fs.unlock()
+	return data, gen, err
+}
+
+// readDeviceAt reads [off, off+count) from a device through one handle.
+// count <= 0 drains from off to EOF.
+func (fs *FS) readDeviceAt(n *node, off, count int64) ([]byte, error) {
+	h, err := n.device.OpenDevice(OREAD)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	var out []byte
+	if count > 0 {
+		out = make([]byte, count)
+		got := int64(0)
+		for got < count {
+			k, err := h.ReadAt(out[got:], off+got)
+			got += int64(k)
+			if err == io.EOF || (err == nil && k == 0) {
+				break
+			}
+			if err != nil {
+				return out[:got], err
+			}
+		}
+		return out[:got], nil
+	}
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	for {
+		k, err := h.ReadAt(buf, off)
+		out = append(out, buf[:k]...)
+		off += int64(k)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if k == 0 {
+			return out, nil
+		}
+	}
 }
 
 // ReadWait is the blocking read entry point for event-stream files: a
